@@ -1,0 +1,128 @@
+(* relax_compile: command-line driver.
+
+   Compile a model from the zoo for a target device, optionally dump
+   the IR before/after lowering, and report the simulated decode
+   latency and the compiled program's shape.
+
+     dune exec bin/relax_compile.exe -- --model tiny --dump-ir
+     dune exec bin/relax_compile.exe -- --model llama3-8b \
+         --device "NVIDIA RTX 4090" --batch 1 --ctx 1024
+     dune exec bin/relax_compile.exe -- --model llama3-8b --quant q4 \
+         --device "Jetson Orin" --no-fusion *)
+
+let models =
+  [ ("tiny", Frontend.Configs.tiny);
+    ("tiny-q", Frontend.Configs.tiny_q);
+    ("llama3-8b", Frontend.Configs.llama3_8b);
+    ("llama2-7b", Frontend.Configs.llama2_7b);
+    ("gemma-7b", Frontend.Configs.gemma_7b);
+    ("qwen2-7b", Frontend.Configs.qwen2_7b);
+    ("phi3-mini", Frontend.Configs.phi3_mini);
+    ("redpajama-3b", Frontend.Configs.redpajama_3b) ]
+
+let run model_name device_name batch ctx quant dump_ir no_fusion no_library
+    no_planning no_capture paged =
+  let cfg =
+    match List.assoc_opt model_name models with
+    | Some cfg -> cfg
+    | None ->
+        Printf.eprintf "unknown model %s; available: %s\n" model_name
+          (String.concat ", " (List.map fst models));
+        exit 1
+  in
+  let device =
+    match Runtime.Device.find device_name with
+    | Some d -> d
+    | None ->
+        Printf.eprintf "unknown device %s; available: %s\n" device_name
+          (String.concat ", "
+             (List.map
+                (fun (d : Runtime.Device.t) -> d.Runtime.Device.name)
+                Runtime.Device.all_presets));
+        exit 1
+  in
+  let precision =
+    match quant with
+    | "f16" -> Frontend.Llm.F16
+    | "q4" -> Frontend.Llm.Q4
+    | "q3" -> Frontend.Llm.Q3
+    | other ->
+        Printf.eprintf "unknown precision %s (f16|q4|q3)\n" other;
+        exit 1
+  in
+  let built =
+    if paged then Frontend.Llm.decode_paged cfg ~batch precision
+    else Frontend.Llm.decode cfg ~batch precision
+  in
+  let options =
+    {
+      Relax_passes.Pipeline.default_options with
+      Relax_passes.Pipeline.fusion = not no_fusion;
+      dispatch_library = not no_library;
+      memory_plan = not no_planning;
+      graph_capture = not no_capture;
+      upper_bounds = Frontend.Llm.upper_bound_hints built;
+    }
+  in
+  if dump_ir then begin
+    print_endline "=== IR before lowering ===";
+    print_string (Relax_core.Printer.module_to_string built.Frontend.Llm.mod_)
+  end;
+  let lowered =
+    Relax_passes.Pipeline.lower ~options ~device built.Frontend.Llm.mod_
+  in
+  if dump_ir then begin
+    print_endline "=== IR after lowering ===";
+    print_string (Relax_core.Printer.module_to_string lowered)
+  end;
+  let program = Relax_passes.To_vm.compile lowered in
+  let vm = Runtime.Vm.create (`Timed device) program in
+  let args = Frontend.Llm.args_for built ~ctx ~mode:`Shadow () in
+  for _ = 1 to 3 do
+    ignore (Runtime.Vm.run vm "decode" args)
+  done;
+  let st = Runtime.Vm.stats vm in
+  let per_step_ms = st.Runtime.Vm.elapsed_us /. 3.0 /. 1000.0 in
+  Printf.printf "model            %s (%s, batch %d, context %d)\n"
+    cfg.Frontend.Configs.name quant batch ctx;
+  Printf.printf "device           %s\n" device.Runtime.Device.name;
+  Printf.printf "kernels          %d tensor programs in module\n"
+    (List.length (Relax_core.Ir_module.tir_funcs lowered));
+  Printf.printf "launches/step    %d (+%d library calls)\n"
+    (st.Runtime.Vm.kernel_launches / 3)
+    (st.Runtime.Vm.lib_calls / 3);
+  Printf.printf "decode latency   %.2f ms/token (%.1f tokens/s)\n" per_step_ms
+    (1000.0 /. per_step_ms)
+
+open Cmdliner
+
+let model =
+  Arg.(value & opt string "tiny" & info [ "model"; "m" ] ~doc:"Model name.")
+
+let device =
+  Arg.(
+    value
+    & opt string "NVIDIA RTX 4090"
+    & info [ "device"; "d" ] ~doc:"Device preset name.")
+
+let batch = Arg.(value & opt int 1 & info [ "batch"; "b" ] ~doc:"Batch size.")
+let ctx = Arg.(value & opt int 1024 & info [ "ctx" ] ~doc:"Context length.")
+
+let quant =
+  Arg.(value & opt string "f16" & info [ "quant"; "q" ] ~doc:"f16, q4 or q3.")
+
+let dump_ir = Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the IR.")
+let no_fusion = Arg.(value & flag & info [ "no-fusion" ] ~doc:"Disable FuseOps.")
+let no_library = Arg.(value & flag & info [ "no-library" ] ~doc:"Disable library dispatch.")
+let no_planning = Arg.(value & flag & info [ "no-planning" ] ~doc:"Disable memory planning.")
+let no_capture = Arg.(value & flag & info [ "no-capture" ] ~doc:"Disable graph capture.")
+let paged = Arg.(value & flag & info [ "paged" ] ~doc:"Use the in-place paged KV cache.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "relax_compile" ~doc:"Compile and time a model from the zoo")
+    Term.(
+      const run $ model $ device $ batch $ ctx $ quant $ dump_ir $ no_fusion
+      $ no_library $ no_planning $ no_capture $ paged)
+
+let () = exit (Cmd.eval cmd)

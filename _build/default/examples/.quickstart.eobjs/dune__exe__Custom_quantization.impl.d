@@ -1,0 +1,1 @@
+examples/custom_quantization.ml: Arith Base Builder Expr Ir_module List Option Printer Printf Relax_core Relax_passes Runtime Struct_info Tir

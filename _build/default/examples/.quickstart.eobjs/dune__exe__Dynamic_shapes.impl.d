@@ -1,0 +1,1 @@
+examples/dynamic_shapes.ml: Arith Base Deduce Expr Ir_module List Printf Relax_core Rvar Struct_info

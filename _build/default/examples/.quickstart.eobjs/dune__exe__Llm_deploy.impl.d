@@ -1,0 +1,1 @@
+examples/llm_deploy.ml: Frontend List Printf Relax_passes Runtime

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Arith Base Builder Expr Format List Printer Printf Relax_core Relax_passes Runtime Struct_info

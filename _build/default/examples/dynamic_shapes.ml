@@ -1,0 +1,85 @@
+(* First-class symbolic shapes in action: the scenarios of Figure 3
+   (symbolic deduction through reshape/flatten, the coarse fallback at
+   a data-dependent operator, match_cast) and Figure 7
+   (interprocedural deduction through a subgraph function signature).
+
+     dune exec examples/dynamic_shapes.exe *)
+
+open Relax_core
+
+let show msg si = Printf.printf "  %-46s : %s\n" msg (Struct_info.to_string si)
+
+let () =
+  let e = Arith.Expr.const in
+  let f32 = Base.Dtype.F32 in
+
+  print_endline "--- Figure 3: symbolic tracking and the coarse fallback ---";
+  let n = Arith.Expr.var (Arith.Var.fresh "n") in
+  let x = Expr.Var (Rvar.fresh "x" (Struct_info.tensor [ n; e 2; e 2 ] f32)) in
+  let mod_ = Ir_module.empty in
+  let lv0 =
+    Deduce.expr_sinfo mod_
+      (Expr.call_op "reshape" [ x; Expr.Shape_expr [ n; e 4 ] ])
+  in
+  show "lv0 = reshape(x, (n, 4))" lv0;
+  let lv1 =
+    Deduce.expr_sinfo mod_
+      (Expr.call_op "flatten" [ Expr.Var (Rvar.fresh "lv0" lv0) ])
+  in
+  show "lv1 = flatten(lv0)    (tracks n * 4!)" lv1;
+  let lv2 =
+    Deduce.expr_sinfo mod_
+      (Expr.call_op "unique" [ Expr.Var (Rvar.fresh "lv1" lv1) ])
+  in
+  show "lv2 = unique(lv1)     (data-dependent)" lv2;
+  (* match_cast reintroduces a symbolic description with a fresh
+     variable m; the compiler emits a runtime check for it. *)
+  let m = Arith.Expr.var (Arith.Var.fresh "m") in
+  let lv3 = Struct_info.tensor [ m ] f32 in
+  show "lv3 = match_cast(lv2, Tensor((m,)))" lv3;
+  let lv4 =
+    Deduce.expr_sinfo mod_ (Expr.call_op "exp" [ Expr.Var (Rvar.fresh "lv3" lv3) ])
+  in
+  show "lv4 = exp(lv3)" lv4;
+
+  print_endline "";
+  print_endline "--- Figure 7: deduction across subgraph function calls ---";
+  (* subfn(s: Shape([n, m])) -> Tensor((n * m,), "f32") *)
+  let nv = Arith.Var.fresh "n" and mv = Arith.Var.fresh "m" in
+  let params = [ Struct_info.shape [ Arith.Expr.var nv; Arith.Expr.var mv ] ] in
+  let ret =
+    Struct_info.tensor [ Arith.Expr.mul (Arith.Expr.var nv) (Arith.Expr.var mv) ] f32
+  in
+  Printf.printf "  subfn : %s -> %s\n"
+    (Struct_info.to_string (List.hd params))
+    (Struct_info.to_string ret);
+  let caller_n = Arith.Expr.var (Arith.Var.fresh "n") in
+  show "subfn(shape(n, 4))"
+    (Deduce.signature_call_sinfo ~params ~ret
+       ~args:[ Struct_info.shape [ caller_n; e 4 ] ]);
+  show "subfn(shape(3, 4))"
+    (Deduce.signature_call_sinfo ~params ~ret
+       ~args:[ Struct_info.shape [ e 3; e 4 ] ]);
+  show "subfn(shape(n + 1, 4))"
+    (Deduce.signature_call_sinfo ~params ~ret
+       ~args:[ Struct_info.shape [ Arith.Expr.add caller_n (e 1); e 4 ] ]);
+  show "subfn(y : Shape(ndim=2))   (coarse fallback)"
+    (Deduce.signature_call_sinfo ~params ~ret ~args:[ Struct_info.shape_ndim 2 ]);
+
+  print_endline "";
+  print_endline "--- the equality prover behind memory-plan reuse (Alg. 3) ---";
+  let two_n = Arith.Expr.mul caller_n (e 2) in
+  let n_plus_n = Arith.Expr.add caller_n caller_n in
+  Printf.printf "  prove 2*n == n + n       : %b\n"
+    (Arith.Simplify.prove_equal two_n n_plus_n);
+  Printf.printf "  prove 2*n == n + 1       : %b\n"
+    (Arith.Simplify.prove_equal two_n (Arith.Expr.add caller_n (e 1)));
+  let a = Arith.Analyzer.create () in
+  Arith.Analyzer.bind_upper_bound a (Arith.Var.fresh "ignored") ~hi:1;
+  (match Arith.Expr.free_vars caller_n |> Arith.Var.Set.choose_opt with
+  | Some v -> Arith.Analyzer.bind_upper_bound a v ~hi:2048
+  | None -> ());
+  Printf.printf "  upper bound of 2*n given n <= 2048 : %s\n"
+    (match Arith.Analyzer.upper_bound a two_n with
+    | Some ub -> string_of_int ub
+    | None -> "unknown")

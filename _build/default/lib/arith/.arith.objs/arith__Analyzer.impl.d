@@ -1,0 +1,1 @@
+lib/arith/analyzer.ml: Bounds Expr Simplify Var

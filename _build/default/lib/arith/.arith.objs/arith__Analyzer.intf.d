@@ -1,0 +1,1 @@
+lib/arith/analyzer.mli: Bounds Expr Var

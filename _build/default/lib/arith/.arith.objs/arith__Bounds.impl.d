@@ -1,0 +1,1 @@
+lib/arith/bounds.ml: Expr Format List Option Simplify

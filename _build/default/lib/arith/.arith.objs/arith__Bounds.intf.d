@@ -1,0 +1,1 @@
+lib/arith/bounds.mli: Expr Format Var

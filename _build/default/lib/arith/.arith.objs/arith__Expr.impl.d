@@ -1,0 +1,1 @@
+lib/arith/expr.ml: Format Int Stdlib Var

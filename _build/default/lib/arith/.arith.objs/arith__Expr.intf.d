@@ -1,0 +1,1 @@
+lib/arith/expr.mli: Format Var

@@ -1,0 +1,1 @@
+lib/arith/simplify.ml: Expr Int List Map Var

@@ -1,0 +1,1 @@
+lib/arith/var.ml: Base Format Int Map Set

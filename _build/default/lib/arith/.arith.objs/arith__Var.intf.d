@@ -1,0 +1,1 @@
+lib/arith/var.mli: Format Map Set

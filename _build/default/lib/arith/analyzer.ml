@@ -1,0 +1,26 @@
+type t = { mutable ranges : Bounds.interval Var.Map.t }
+
+let create () = { ranges = Var.Map.empty }
+
+let bind_range t v ~lo ~hi =
+  t.ranges <- Var.Map.add v (Bounds.range lo hi) t.ranges
+
+let bind_upper_bound t v ~hi = bind_range t v ~lo:1 ~hi
+
+let interval_of t v =
+  match Var.Map.find_opt v t.ranges with
+  | Some i -> i
+  | None -> Bounds.unbounded
+
+let env t v = interval_of t v
+let prove_equal _t a b = Simplify.prove_equal a b
+let prove_leq t a b = Bounds.prove_leq (env t) a b
+let prove_nonneg t e = Bounds.prove_nonneg (env t) e
+let upper_bound t e = Bounds.upper_bound (env t) e
+let lower_bound t e = Bounds.lower_bound (env t) e
+
+let simplify t e =
+  let canon = Simplify.simplify e in
+  match Bounds.eval (env t) canon with
+  | { lo = Some a; hi = Some b } when a = b -> Expr.Const a
+  | _ -> canon

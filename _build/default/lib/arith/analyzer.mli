@@ -1,0 +1,31 @@
+(** Symbolic analysis context.
+
+    Bundles the equality prover and the bound analysis behind one
+    stateful handle, mirroring TVM's [arith::Analyzer]. Compiler passes
+    create one analyzer per function, bind the known variable ranges
+    (e.g. user-annotated upper bounds of sequence length), and query it
+    for equality proofs and static bounds. *)
+
+type t
+
+val create : unit -> t
+
+val bind_range : t -> Var.t -> lo:int -> hi:int -> unit
+(** Declare [lo <= v <= hi]. Later bindings overwrite earlier ones. *)
+
+val bind_upper_bound : t -> Var.t -> hi:int -> unit
+(** Declare [1 <= v <= hi] — the common shape-variable case: extents
+    are at least one. *)
+
+val interval_of : t -> Var.t -> Bounds.interval
+
+val prove_equal : t -> Expr.t -> Expr.t -> bool
+val prove_leq : t -> Expr.t -> Expr.t -> bool
+val prove_nonneg : t -> Expr.t -> bool
+
+val upper_bound : t -> Expr.t -> int option
+val lower_bound : t -> Expr.t -> int option
+
+val simplify : t -> Expr.t -> Expr.t
+(** Canonicalize, then collapse any subterm whose interval pins it to
+    a single value. *)

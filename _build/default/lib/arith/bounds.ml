@@ -1,0 +1,94 @@
+type interval = { lo : int option; hi : int option }
+
+let unbounded = { lo = None; hi = None }
+let exactly c = { lo = Some c; hi = Some c }
+let range lo hi = { lo = Some lo; hi = Some hi }
+let at_least lo = { lo = Some lo; hi = None }
+let at_most hi = { lo = None; hi = Some hi }
+
+let opt_map2 f a b =
+  match (a, b) with Some x, Some y -> Some (f x y) | _, _ -> None
+
+let add_i a b = { lo = opt_map2 ( + ) a.lo b.lo; hi = opt_map2 ( + ) a.hi b.hi }
+
+let neg_i a =
+  { lo = Option.map (fun x -> -x) a.hi; hi = Option.map (fun x -> -x) a.lo }
+
+let sub_i a b = add_i a (neg_i b)
+
+(* Multiplication considers the four corner products; any missing
+   corner that could matter makes that side unbounded. With signs
+   unknown, a single infinite endpoint poisons both sides. *)
+let mul_i a b =
+  let corners =
+    [ (a.lo, b.lo); (a.lo, b.hi); (a.hi, b.lo); (a.hi, b.hi) ]
+  in
+  let products = List.map (fun (x, y) -> opt_map2 ( * ) x y) corners in
+  if List.exists (fun p -> p = None) products then
+    (* A finite result is still possible when one operand is exactly 0;
+       keep it simple and sound: only fully finite operands give finite
+       bounds, except multiplication by the exact constant zero. *)
+    if a = exactly 0 || b = exactly 0 then exactly 0 else unbounded
+  else
+    let vals = List.filter_map (fun p -> p) products in
+    { lo = Some (List.fold_left min max_int vals);
+      hi = Some (List.fold_left max min_int vals) }
+
+let div_const_i a c =
+  if c > 0 then
+    { lo = Option.map (fun x -> Expr.fdiv x c) a.lo;
+      hi = Option.map (fun x -> Expr.fdiv x c) a.hi }
+  else if c < 0 then
+    { lo = Option.map (fun x -> Expr.fdiv x c) a.hi;
+      hi = Option.map (fun x -> Expr.fdiv x c) a.lo }
+  else unbounded
+
+let min_i a b =
+  { lo = opt_map2 min a.lo b.lo;
+    hi =
+      (match (a.hi, b.hi) with
+      | Some x, Some y -> Some (min x y)
+      | Some x, None | None, Some x -> Some x
+      | None, None -> None) }
+
+let max_i a b =
+  { hi = opt_map2 max a.hi b.hi;
+    lo =
+      (match (a.lo, b.lo) with
+      | Some x, Some y -> Some (max x y)
+      | Some x, None | None, Some x -> Some x
+      | None, None -> None) }
+
+let rec eval env (e : Expr.t) : interval =
+  match e with
+  | Expr.Const c -> exactly c
+  | Expr.Var v -> env v
+  | Expr.Add (a, b) -> add_i (eval env a) (eval env b)
+  | Expr.Sub (a, b) -> sub_i (eval env a) (eval env b)
+  | Expr.Mul (a, b) -> mul_i (eval env a) (eval env b)
+  | Expr.Floor_div (a, b) -> (
+      match Expr.as_const b with
+      | Some c when c <> 0 -> div_const_i (eval env a) c
+      | _ -> unbounded)
+  | Expr.Floor_mod (_, b) -> (
+      (* x mod c lies in [0, c-1] for positive c regardless of x. *)
+      match Expr.as_const b with
+      | Some c when c > 0 -> range 0 (c - 1)
+      | _ -> unbounded)
+  | Expr.Min (a, b) -> min_i (eval env a) (eval env b)
+  | Expr.Max (a, b) -> max_i (eval env a) (eval env b)
+
+let upper_bound env e = (eval env (Simplify.simplify e)).hi
+let lower_bound env e = (eval env (Simplify.simplify e)).lo
+
+let prove_nonneg env e =
+  match lower_bound env e with Some lo -> lo >= 0 | None -> false
+
+let prove_leq env a b = prove_nonneg env (Expr.Sub (b, a))
+
+let pp_interval fmt { lo; hi } =
+  let pp_opt fmt = function
+    | Some x -> Format.pp_print_int fmt x
+    | None -> Format.pp_print_string fmt "inf"
+  in
+  Format.fprintf fmt "[%a, %a]" pp_opt lo pp_opt hi

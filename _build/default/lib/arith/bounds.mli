@@ -1,0 +1,34 @@
+(** Interval (bound) analysis for symbolic expressions.
+
+    Used by dynamic shape–aware memory planning (§4.3): when the user
+    annotates upper bounds for symbolic variables (e.g. the maximum
+    context length of an LLM), the planner computes a static upper
+    bound for every symbolic allocation size and allocates adequate
+    memory ahead of time. *)
+
+type interval = { lo : int option; hi : int option }
+(** [None] means unbounded on that side. *)
+
+val unbounded : interval
+val exactly : int -> interval
+val range : int -> int -> interval
+val at_least : int -> interval
+val at_most : int -> interval
+
+val eval : (Var.t -> interval) -> Expr.t -> interval
+(** Interval of the expression under per-variable intervals.
+    Conservative: the true range is always contained in the result. *)
+
+val upper_bound : (Var.t -> interval) -> Expr.t -> int option
+(** [Some hi] iff a finite upper bound can be established. *)
+
+val lower_bound : (Var.t -> interval) -> Expr.t -> int option
+
+val prove_nonneg : (Var.t -> interval) -> Expr.t -> bool
+(** [true] only if the expression is provably [>= 0]. *)
+
+val prove_leq : (Var.t -> interval) -> Expr.t -> Expr.t -> bool
+(** [prove_leq env a b] is [true] only if [a <= b] is provable from
+    the intervals after canonicalizing [b - a]. *)
+
+val pp_interval : Format.formatter -> interval -> unit

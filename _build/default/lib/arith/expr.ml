@@ -1,0 +1,192 @@
+type t =
+  | Const of int
+  | Var of Var.t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Floor_div of t * t
+  | Floor_mod of t * t
+  | Min of t * t
+  | Max of t * t
+
+let const c = Const c
+let var v = Var v
+let sym name = Var (Var.fresh name)
+
+(* Floor division/modulo on native ints; OCaml's (/) truncates toward
+   zero, which differs from floor semantics for negative operands. *)
+let fdiv a b =
+  let q = a / b and r = a mod b in
+  if (r <> 0) && (r < 0) <> (b < 0) then q - 1 else q
+
+let fmod a b =
+  let r = a mod b in
+  if (r <> 0) && (r < 0) <> (b < 0) then r + b else r
+
+let add a b =
+  match (a, b) with
+  | Const x, Const y -> Const (x + y)
+  | Const 0, e | e, Const 0 -> e
+  | _ -> Add (a, b)
+
+let sub a b =
+  match (a, b) with
+  | Const x, Const y -> Const (x - y)
+  | e, Const 0 -> e
+  | _ -> Sub (a, b)
+
+let mul a b =
+  match (a, b) with
+  | Const x, Const y -> Const (x * y)
+  | Const 1, e | e, Const 1 -> e
+  | (Const 0 as z), _ | _, (Const 0 as z) -> z
+  | _ -> Mul (a, b)
+
+let floor_div a b =
+  match (a, b) with
+  | Const x, Const y when y <> 0 -> Const (fdiv x y)
+  | e, Const 1 -> e
+  | _ -> Floor_div (a, b)
+
+let floor_mod a b =
+  match (a, b) with
+  | Const x, Const y when y <> 0 -> Const (fmod x y)
+  | _, Const 1 -> Const 0
+  | _ -> Floor_mod (a, b)
+
+let min_ a b =
+  match (a, b) with
+  | Const x, Const y -> Const (min x y)
+  | _ -> Min (a, b)
+
+let max_ a b =
+  match (a, b) with
+  | Const x, Const y -> Const (max x y)
+  | _ -> Max (a, b)
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = floor_div
+let ( % ) = floor_mod
+
+let rec free_vars = function
+  | Const _ -> Var.Set.empty
+  | Var v -> Var.Set.singleton v
+  | Add (a, b)
+  | Sub (a, b)
+  | Mul (a, b)
+  | Floor_div (a, b)
+  | Floor_mod (a, b)
+  | Min (a, b)
+  | Max (a, b) ->
+      Var.Set.union (free_vars a) (free_vars b)
+
+let as_const = function Const c -> Some c | _ -> None
+let is_const = function Const _ -> true | _ -> false
+
+let rec equal_syntactic a b =
+  match (a, b) with
+  | Const x, Const y -> Int.equal x y
+  | Var x, Var y -> Var.equal x y
+  | Add (a1, a2), Add (b1, b2)
+  | Sub (a1, a2), Sub (b1, b2)
+  | Mul (a1, a2), Mul (b1, b2)
+  | Floor_div (a1, a2), Floor_div (b1, b2)
+  | Floor_mod (a1, a2), Floor_mod (b1, b2)
+  | Min (a1, a2), Min (b1, b2)
+  | Max (a1, a2), Max (b1, b2) ->
+      equal_syntactic a1 b1 && equal_syntactic a2 b2
+  | ( ( Const _ | Var _ | Add _ | Sub _ | Mul _ | Floor_div _ | Floor_mod _
+      | Min _ | Max _ ),
+      _ ) ->
+      false
+
+let node_rank = function
+  | Const _ -> 0
+  | Var _ -> 1
+  | Add _ -> 2
+  | Sub _ -> 3
+  | Mul _ -> 4
+  | Floor_div _ -> 5
+  | Floor_mod _ -> 6
+  | Min _ -> 7
+  | Max _ -> 8
+
+let rec compare_syntactic a b =
+  match (a, b) with
+  | Const x, Const y -> Int.compare x y
+  | Var x, Var y -> Var.compare x y
+  | Add (a1, a2), Add (b1, b2)
+  | Sub (a1, a2), Sub (b1, b2)
+  | Mul (a1, a2), Mul (b1, b2)
+  | Floor_div (a1, a2), Floor_div (b1, b2)
+  | Floor_mod (a1, a2), Floor_mod (b1, b2)
+  | Min (a1, a2), Min (b1, b2)
+  | Max (a1, a2), Max (b1, b2) ->
+      let c = compare_syntactic a1 b1 in
+      if c <> 0 then c else compare_syntactic a2 b2
+  | ( ( Const _ | Var _ | Add _ | Sub _ | Mul _ | Floor_div _ | Floor_mod _
+      | Min _ | Max _ ),
+      _ ) ->
+      Int.compare (node_rank a) (node_rank b)
+
+let rec subst env = function
+  | Const _ as e -> e
+  | Var v as e -> ( match Var.Map.find_opt v env with Some e' -> e' | None -> e)
+  | Add (a, b) -> add (subst env a) (subst env b)
+  | Sub (a, b) -> sub (subst env a) (subst env b)
+  | Mul (a, b) -> mul (subst env a) (subst env b)
+  | Floor_div (a, b) -> floor_div (subst env a) (subst env b)
+  | Floor_mod (a, b) -> floor_mod (subst env a) (subst env b)
+  | Min (a, b) -> min_ (subst env a) (subst env b)
+  | Max (a, b) -> max_ (subst env a) (subst env b)
+
+let rec eval env = function
+  | Const c -> c
+  | Var v -> env v
+  | Add (a, b) -> Stdlib.( + ) (eval env a) (eval env b)
+  | Sub (a, b) -> Stdlib.( - ) (eval env a) (eval env b)
+  | Mul (a, b) -> Stdlib.( * ) (eval env a) (eval env b)
+  | Floor_div (a, b) ->
+      let d = eval env b in
+      if d = 0 then raise Division_by_zero else fdiv (eval env a) d
+  | Floor_mod (a, b) ->
+      let d = eval env b in
+      if d = 0 then raise Division_by_zero else fmod (eval env a) d
+  | Min (a, b) -> Stdlib.min (eval env a) (eval env b)
+  | Max (a, b) -> Stdlib.max (eval env a) (eval env b)
+
+let eval_opt env e =
+  let exception Unbound in
+  let lookup v = match env v with Some x -> x | None -> raise Unbound in
+  match eval lookup e with
+  | x -> Some x
+  | exception (Unbound | Division_by_zero) -> None
+
+(* Precedence-aware printing: additive 1, multiplicative 2, atoms 3. *)
+let rec pp_prec prec fmt e =
+  let open Format in
+  let paren p body =
+    if Stdlib.( > ) prec p then fprintf fmt "(%t)" body else body fmt
+  in
+  match e with
+  | Const c -> pp_print_int fmt c
+  | Var v -> Var.pp fmt v
+  | Add (a, b) ->
+      paren 1 (fun fmt -> fprintf fmt "%a + %a" (pp_prec 1) a (pp_prec 2) b)
+  | Sub (a, b) ->
+      paren 1 (fun fmt -> fprintf fmt "%a - %a" (pp_prec 1) a (pp_prec 2) b)
+  | Mul (a, b) ->
+      paren 2 (fun fmt -> fprintf fmt "%a * %a" (pp_prec 2) a (pp_prec 3) b)
+  | Floor_div (a, b) ->
+      paren 2 (fun fmt -> fprintf fmt "%a // %a" (pp_prec 2) a (pp_prec 3) b)
+  | Floor_mod (a, b) ->
+      paren 2 (fun fmt -> fprintf fmt "%a %% %a" (pp_prec 2) a (pp_prec 3) b)
+  | Min (a, b) ->
+      paren 3 (fun fmt -> fprintf fmt "min(%a, %a)" (pp_prec 0) a (pp_prec 0) b)
+  | Max (a, b) ->
+      paren 3 (fun fmt -> fprintf fmt "max(%a, %a)" (pp_prec 0) a (pp_prec 0) b)
+
+let pp fmt e = pp_prec 0 fmt e
+let to_string e = Format.asprintf "%a" pp e

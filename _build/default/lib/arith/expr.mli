@@ -1,0 +1,84 @@
+(** Symbolic integer expressions.
+
+    This is the single expression system shared by loop-level tensor
+    programs (extents, indices) and graph-level shape annotations, as
+    in the paper (§3.1): "we reuse the loop-level tensor program
+    expression system, so that shape annotations support all integer
+    expressions that tensor programs support".
+
+    Division and modulo follow floor semantics (rounding toward
+    negative infinity), matching TVM's [floordiv]/[floormod]. *)
+
+type t =
+  | Const of int
+  | Var of Var.t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Floor_div of t * t
+  | Floor_mod of t * t
+  | Min of t * t
+  | Max of t * t
+
+(** {1 Smart constructors}
+
+    These perform cheap local folding (constants, neutral elements)
+    but no global canonicalization; see {!Simplify} for that. *)
+
+val const : int -> t
+val var : Var.t -> t
+val sym : string -> t
+(** [sym name] is [var (Var.fresh name)]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val floor_div : t -> t -> t
+val floor_mod : t -> t -> t
+val min_ : t -> t -> t
+val max_ : t -> t -> t
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( % ) : t -> t -> t
+
+(** {1 Integer helpers} *)
+
+val fdiv : int -> int -> int
+(** Floor division on native ints (rounds toward negative infinity). *)
+
+val fmod : int -> int -> int
+(** Floor modulo on native ints; result has the divisor's sign. *)
+
+(** {1 Queries} *)
+
+val free_vars : t -> Var.Set.t
+
+val as_const : t -> int option
+(** [Some c] iff the expression is syntactically [Const c]. *)
+
+val is_const : t -> bool
+
+val equal_syntactic : t -> t -> bool
+(** Structural equality up to nothing — no algebra. Use
+    {!Simplify.prove_equal} for semantic equality. *)
+
+val compare_syntactic : t -> t -> int
+
+(** {1 Transformations} *)
+
+val subst : t Var.Map.t -> t -> t
+(** Capture-free substitution of variables by expressions. *)
+
+val eval : (Var.t -> int) -> t -> int
+(** Evaluate under a full environment.
+    @raise Division_by_zero on division or modulo by zero. *)
+
+val eval_opt : (Var.t -> int option) -> t -> int option
+(** Evaluate under a partial environment; [None] if any needed
+    variable is unbound or a division by zero occurs. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

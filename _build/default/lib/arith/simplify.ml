@@ -1,0 +1,212 @@
+(* Polynomial normal form.
+
+   A canonical expression is a sum of monomials; a monomial is an
+   integer coefficient times a sorted bag of atoms. Atoms are variables
+   or division/modulo/min/max nodes whose operands are themselves
+   canonical expressions. The polynomial representation is a map from
+   the atom bag to its coefficient, which makes addition a merge and
+   multiplication a convolution. *)
+
+type atom =
+  | A_var of Var.t
+  | A_div of Expr.t * Expr.t
+  | A_mod of Expr.t * Expr.t
+  | A_min of Expr.t * Expr.t
+  | A_max of Expr.t * Expr.t
+
+let atom_rank = function
+  | A_var _ -> 0
+  | A_div _ -> 1
+  | A_mod _ -> 2
+  | A_min _ -> 3
+  | A_max _ -> 4
+
+let compare_atom a b =
+  match (a, b) with
+  | A_var x, A_var y -> Var.compare x y
+  | A_div (a1, a2), A_div (b1, b2)
+  | A_mod (a1, a2), A_mod (b1, b2)
+  | A_min (a1, a2), A_min (b1, b2)
+  | A_max (a1, a2), A_max (b1, b2) ->
+      let c = Expr.compare_syntactic a1 b1 in
+      if c <> 0 then c else Expr.compare_syntactic a2 b2
+  | (A_var _ | A_div _ | A_mod _ | A_min _ | A_max _), _ ->
+      Int.compare (atom_rank a) (atom_rank b)
+
+module Monomial = struct
+  (* Sorted list of atoms, possibly with repetitions (powers). *)
+  type t = atom list
+
+  let compare (a : t) (b : t) =
+    let rec go xs ys =
+      match (xs, ys) with
+      | [], [] -> 0
+      | [], _ :: _ -> -1
+      | _ :: _, [] -> 1
+      | x :: xs', y :: ys' ->
+          let c = compare_atom x y in
+          if c <> 0 then c else go xs' ys'
+    in
+    (* Shorter monomials (lower total degree) first for stable output. *)
+    let c = Int.compare (List.length a) (List.length b) in
+    if c <> 0 then c else go a b
+
+  let mul (a : t) (b : t) : t = List.sort compare_atom (a @ b)
+end
+
+module Poly = Map.Make (Monomial)
+
+type poly = int Poly.t
+
+let poly_const c : poly = if c = 0 then Poly.empty else Poly.singleton [] c
+
+let poly_add (p : poly) (q : poly) : poly =
+  Poly.union
+    (fun _ c1 c2 ->
+      let c = c1 + c2 in
+      if c = 0 then None else Some c)
+    p q
+
+let poly_neg (p : poly) : poly = Poly.map (fun c -> -c) p
+
+let poly_mul (p : poly) (q : poly) : poly =
+  Poly.fold
+    (fun m1 c1 acc ->
+      Poly.fold
+        (fun m2 c2 acc ->
+          poly_add acc (Poly.singleton (Monomial.mul m1 m2) (c1 * c2)))
+        q acc)
+    p Poly.empty
+
+let atom_to_expr = function
+  | A_var v -> Expr.Var v
+  | A_div (a, b) -> Expr.Floor_div (a, b)
+  | A_mod (a, b) -> Expr.Floor_mod (a, b)
+  | A_min (a, b) -> Expr.Min (a, b)
+  | A_max (a, b) -> Expr.Max (a, b)
+
+let monomial_to_expr (m : Monomial.t) (coeff : int) : Expr.t =
+  let atoms = List.map atom_to_expr m in
+  let base =
+    match atoms with
+    | [] -> Expr.Const (abs coeff)
+    | first :: rest ->
+        let prod = List.fold_left (fun acc a -> Expr.Mul (acc, a)) first rest in
+        if abs coeff = 1 then prod else Expr.Mul (prod, Expr.Const (abs coeff))
+  in
+  base
+
+let poly_to_expr (p : poly) : Expr.t =
+  let terms = Poly.bindings p in
+  (* Non-constant monomials first (ordered by Monomial.compare, which
+     puts [] — the constant — first; rotate it to the back). *)
+  let consts, rest = List.partition (fun (m, _) -> m = []) terms in
+  let ordered = rest @ consts in
+  match ordered with
+  | [] -> Expr.Const 0
+  | (m0, c0) :: tl ->
+      let head =
+        if c0 >= 0 then monomial_to_expr m0 c0
+        else
+          match m0 with
+          | [] -> Expr.Const c0
+          | _ -> Expr.Mul (monomial_to_expr m0 1, Expr.Const c0)
+      in
+      List.fold_left
+        (fun acc (m, c) ->
+          if c >= 0 then Expr.Add (acc, monomial_to_expr m c)
+          else Expr.Sub (acc, monomial_to_expr m c))
+        head tl
+
+(* Split [p] into the part whose coefficients are divisible by [c] and
+   the remainder part. *)
+let poly_split_divisible c (p : poly) : poly * poly =
+  Poly.fold
+    (fun m coeff (divp, remp) ->
+      if coeff mod c = 0 then (Poly.add m (coeff / c) divp, remp)
+      else (divp, Poly.add m coeff remp))
+    p
+    (Poly.empty, Poly.empty)
+
+let rec to_poly (e : Expr.t) : poly =
+  match e with
+  | Expr.Const c -> poly_const c
+  | Expr.Var v -> Poly.singleton [ A_var v ] 1
+  | Expr.Add (a, b) -> poly_add (to_poly a) (to_poly b)
+  | Expr.Sub (a, b) -> poly_add (to_poly a) (poly_neg (to_poly b))
+  | Expr.Mul (a, b) -> poly_mul (to_poly a) (to_poly b)
+  | Expr.Floor_div (a, b) -> div_poly (to_poly a) (norm b)
+  | Expr.Floor_mod (a, b) -> mod_poly (to_poly a) (norm b)
+  | Expr.Min (a, b) -> minmax_poly ~is_min:true (norm a) (norm b)
+  | Expr.Max (a, b) -> minmax_poly ~is_min:false (norm a) (norm b)
+
+and norm e = poly_to_expr (to_poly e)
+
+and div_poly (pa : poly) (nb : Expr.t) : poly =
+  match nb with
+  | Expr.Const 0 -> Poly.singleton [ A_div (poly_to_expr pa, nb) ] 1
+  | Expr.Const 1 -> pa
+  | Expr.Const c when c > 0 ->
+      (* floor((c*Q + R)/c) = Q + floor(R/c); valid because Q is an
+         integer-valued polynomial. Only sound to drop floor when R is
+         a known constant. *)
+      let q, r = poly_split_divisible c pa in
+      if Poly.is_empty r then q
+      else if Poly.for_all (fun m _ -> m = []) r then
+        let rc = try Poly.find [] r with Not_found -> 0 in
+        poly_add q (poly_const (Expr.fdiv rc c))
+      else
+        poly_add q (Poly.singleton [ A_div (poly_to_expr r, Expr.Const c) ] 1)
+  | _ ->
+      let na = poly_to_expr pa in
+      if Expr.equal_syntactic na nb then poly_const 1
+      else Poly.singleton [ A_div (na, nb) ] 1
+
+and mod_poly (pa : poly) (nb : Expr.t) : poly =
+  match nb with
+  | Expr.Const 0 -> Poly.singleton [ A_mod (poly_to_expr pa, nb) ] 1
+  | Expr.Const 1 -> poly_const 0
+  | Expr.Const c when c > 0 ->
+      (* (c*Q + R) mod c = R mod c. *)
+      let _, r = poly_split_divisible c pa in
+      if Poly.is_empty r then poly_const 0
+      else if Poly.for_all (fun m _ -> m = []) r then
+        let rc = try Poly.find [] r with Not_found -> 0 in
+        poly_const (Expr.fmod rc c)
+      else Poly.singleton [ A_mod (poly_to_expr r, Expr.Const c) ] 1
+  | _ ->
+      let na = poly_to_expr pa in
+      if Expr.equal_syntactic na nb then poly_const 0
+      else Poly.singleton [ A_mod (na, nb) ] 1
+
+and minmax_poly ~is_min (na : Expr.t) (nb : Expr.t) : poly =
+  if Expr.equal_syntactic na nb then to_poly na
+  else
+    (* min(a, a + c) folds when the difference is a known constant. *)
+    let diff = poly_add (to_poly nb) (poly_neg (to_poly na)) in
+    let const_diff =
+      if Poly.is_empty diff then Some 0
+      else if Poly.for_all (fun m _ -> m = []) diff then
+        Some (try Poly.find [] diff with Not_found -> 0)
+      else None
+    in
+    match const_diff with
+    | Some d ->
+        (* nb = na + d *)
+        if (is_min && d >= 0) || ((not is_min) && d <= 0) then to_poly na
+        else to_poly nb
+    | None ->
+        (* Order operands canonically so min(a,b) = min(b,a). *)
+        let lo, hi =
+          if Expr.compare_syntactic na nb <= 0 then (na, nb) else (nb, na)
+        in
+        if is_min then Poly.singleton [ A_min (lo, hi) ] 1
+        else Poly.singleton [ A_max (lo, hi) ] 1
+
+let simplify e = poly_to_expr (to_poly e)
+
+let prove_equal a b =
+  match simplify (Expr.Sub (a, b)) with Expr.Const 0 -> true | _ -> false
+
+let prove_equal_shapes sa sb =
+  List.length sa = List.length sb && List.for_all2 prove_equal sa sb

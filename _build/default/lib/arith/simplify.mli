@@ -1,0 +1,21 @@
+(** Canonical simplification of symbolic integer expressions.
+
+    Expressions are normalized to a sum-of-products form: a polynomial
+    with integer coefficients over "atoms" (variables and opaque
+    subterms such as [floordiv]/[floormod]/[min]/[max] whose arguments
+    are recursively canonicalized). Two expressions are proved equal by
+    canonicalizing their difference to the constant zero — this is the
+    [RequestReuseWithSymShape] equality oracle of Algorithm 3 and the
+    expression-equality proof mentioned in §3.1 of the paper. *)
+
+val simplify : Expr.t -> Expr.t
+(** Canonical form. Idempotent: [simplify (simplify e)] is
+    syntactically equal to [simplify e]. *)
+
+val prove_equal : Expr.t -> Expr.t -> bool
+(** [prove_equal a b] is [true] only if [a = b] for every assignment
+    of the free variables. A [false] answer means "could not prove",
+    not "provably different". *)
+
+val prove_equal_shapes : Expr.t list -> Expr.t list -> bool
+(** Pointwise {!prove_equal} on equal-length dimension lists. *)

@@ -1,0 +1,16 @@
+type t = { name : string; id : int }
+
+let fresh name = { name; id = Base.Id.fresh () }
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let name t = t.name
+let pp fmt t = Format.pp_print_string fmt t.name
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

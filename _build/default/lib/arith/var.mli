@@ -1,0 +1,18 @@
+(** Symbolic integer variables.
+
+    A variable pairs a surface name (e.g. ["n"]) with a process-unique
+    id, so two [sym_var "n"] calls produce distinct variables. Shape
+    annotations, loop extents and loop indices all use this type. *)
+
+type t = private { name : string; id : int }
+
+val fresh : string -> t
+(** A new variable distinct from every previously created one. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,1 @@
+lib/base/ndarray.ml: Array Dtype Format List Printf String

@@ -1,0 +1,1 @@
+lib/base/ndarray.mli: Dtype Format

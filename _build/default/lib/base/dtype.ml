@@ -1,0 +1,48 @@
+type t =
+  | F16
+  | F32
+  | I8
+  | U8
+  | I32
+  | U32
+  | I64
+  | Bool
+
+let to_string = function
+  | F16 -> "f16"
+  | F32 -> "f32"
+  | I8 -> "i8"
+  | U8 -> "u8"
+  | I32 -> "i32"
+  | U32 -> "u32"
+  | I64 -> "i64"
+  | Bool -> "bool"
+
+let of_string = function
+  | "f16" -> Some F16
+  | "f32" -> Some F32
+  | "i8" -> Some I8
+  | "u8" -> Some U8
+  | "i32" -> Some I32
+  | "u32" -> Some U32
+  | "i64" -> Some I64
+  | "bool" -> Some Bool
+  | _ -> None
+
+let size_in_bytes = function
+  | F16 -> 2
+  | F32 -> 4
+  | I8 | U8 | Bool -> 1
+  | I32 | U32 -> 4
+  | I64 -> 8
+
+let is_float = function
+  | F16 | F32 -> true
+  | I8 | U8 | I32 | U32 | I64 | Bool -> false
+
+let is_int = function
+  | I8 | U8 | I32 | U32 | I64 | Bool -> true
+  | F16 | F32 -> false
+
+let equal (a : t) (b : t) = a = b
+let pp fmt t = Format.pp_print_string fmt (to_string t)

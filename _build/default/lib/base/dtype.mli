@@ -1,0 +1,31 @@
+(** Scalar data types used by tensors, buffers and scalar expressions.
+
+    The set mirrors the dtypes exercised by the paper's workloads:
+    float16/float32 activations, int32 indices, uint32 packed quantized
+    weights, and booleans for masks. *)
+
+type t =
+  | F16
+  | F32
+  | I8
+  | U8
+  | I32
+  | U32
+  | I64
+  | Bool
+
+val to_string : t -> string
+(** Short dtype name as written in annotations, e.g. ["f16"], ["u32"]. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string}. *)
+
+val size_in_bytes : t -> int
+(** Storage footprint of one element. [F16] counts as 2 even though the
+    numeric interpreter computes in double precision. *)
+
+val is_float : t -> bool
+val is_int : t -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

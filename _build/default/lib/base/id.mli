@@ -1,0 +1,12 @@
+(** Process-wide fresh integer identifiers.
+
+    Variables across the arith, TIR and Relax layers carry a unique id
+    so that alpha-distinct variables with the same surface name never
+    collide during substitution or deduction. *)
+
+val fresh : unit -> int
+(** A new identifier, strictly increasing within a process. *)
+
+val reset : unit -> unit
+(** Reset the counter. Only for test isolation; never call from
+    library code. *)

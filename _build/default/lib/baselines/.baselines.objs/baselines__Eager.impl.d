@@ -1,0 +1,1 @@
+lib/baselines/eager.ml: Arith Array Base Expr Format Hashtbl Ir_module List Op Relax_core Runtime Rvar Struct_info Tir

@@ -1,0 +1,1 @@
+lib/baselines/eager.mli: Relax_core Runtime

@@ -1,0 +1,1 @@
+lib/baselines/profiles.ml: Eager Float Relax_passes Runtime

@@ -1,0 +1,1 @@
+lib/baselines/profiles.mli: Relax_passes Runtime

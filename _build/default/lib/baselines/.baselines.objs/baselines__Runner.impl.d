@@ -1,0 +1,1 @@
+lib/baselines/runner.ml: Arith Frontend List Profiles Relax_core Relax_passes Runtime

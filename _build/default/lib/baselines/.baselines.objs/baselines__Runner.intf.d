@@ -1,0 +1,1 @@
+lib/baselines/runner.mli: Arith Frontend Profiles Relax_core Runtime

@@ -1,0 +1,32 @@
+(** A genuine eager-mode executor — the HF-Transformers-with-PyTorch-
+    eager baseline mechanism, implemented as our own code path.
+
+    No compilation: the Relax function is walked binding by binding;
+    each graph operator is legalized to a tensor program on the fly,
+    a fresh output is allocated, and the kernel is interpreted
+    (numeric) or charged to the device model (timed), with a host-side
+    dispatch overhead per operator. No fusion, no memory planning, no
+    graph capture — exactly the mechanisms the paper's eager baseline
+    lacks. *)
+
+type stats = {
+  mutable elapsed_us : float;
+  mutable ops : int;
+  mutable peak_bytes : int;
+}
+
+type mode = [ `Numeric | `Timed of Runtime.Device.t ]
+
+val host_overhead_us : float
+(** Modeled per-operator host dispatch cost (Python + framework). *)
+
+val run :
+  ?entry:string ->
+  mode ->
+  Relax_core.Ir_module.t ->
+  Runtime.Vm.value list ->
+  Runtime.Vm.value * stats
+(** Execute the entry function ([main] by default) eagerly.
+    Cross-level calls ([call_tir]) are executed directly; graph
+    operators are legalized per call. Tuple results are supported.
+    @raise Failure on unsupported constructs. *)

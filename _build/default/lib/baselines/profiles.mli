@@ -1,0 +1,49 @@
+(** Calibrated performance profiles of the paper's baseline systems.
+
+    Each baseline is modeled by the *mechanisms* it has or lacks —
+    fusion, vendor-library use, graph capture, static KV cache,
+    host-side overheads, platform support — applied to the same model
+    and device roofline as Relax (DESIGN.md, substitutions). The code
+    paths are our own pipeline under each profile's options; nothing
+    of the competitors' implementations is reproduced beyond these
+    mechanisms. *)
+
+type t = {
+  name : string;
+  supports : Runtime.Device.t -> bool;
+  options :
+    Runtime.Device.t ->
+    Relax_passes.Pipeline.options ->
+    Relax_passes.Pipeline.options;
+      (** pipeline configuration this system corresponds to *)
+  device : Runtime.Device.t -> Runtime.Device.t;
+      (** device adjustment, e.g. llama.cpp runs CPU-only on Android,
+          and its hand-tuned Metal kernels get an efficiency bonus *)
+  per_launch_overhead_us : float;  (** host-side cost per kernel *)
+  per_step_overhead_us : float;  (** scheduler cost per decode step *)
+  static_kv : bool;
+      (** torch.compile-style static cache: attention traffic priced
+          at the maximum context length regardless of actual length *)
+}
+
+val relax : t
+(** Our system: the full pipeline, unmodified. *)
+
+val hf_eager : t
+(** HuggingFace Transformers + PyTorch eager: no fusion, no library
+    epilogues beyond per-op cuBLAS, per-op Python dispatch. *)
+
+val hf_compile : t
+(** PyTorch compile mode: fused + library + CUDA graphs, but static
+    KV cache and no Apple support. *)
+
+val vllm : t
+(** vLLM v0.5: library-dominant kernels, paged cache, CUDA graphs,
+    per-step scheduling overhead; CUDA/ROCm only. *)
+
+val llama_cpp : t
+(** Hand-optimized kernels: strongest on Apple Metal, weaker on
+    discrete GPUs, CPU-only on Android. *)
+
+val all_llm : t list
+(** The Figure 14-16 baseline set plus Relax, in plot order. *)

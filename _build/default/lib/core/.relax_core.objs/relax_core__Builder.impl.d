@@ -1,0 +1,1 @@
+lib/core/builder.ml: Deduce Expr Ir_module List Printf Rvar Tir

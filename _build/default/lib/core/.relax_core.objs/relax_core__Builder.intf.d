@@ -1,0 +1,1 @@
+lib/core/builder.mli: Arith Expr Ir_module Rvar Struct_info Tir

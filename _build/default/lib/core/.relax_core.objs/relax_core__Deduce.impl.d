@@ -1,0 +1,1 @@
+lib/core/deduce.ml: Arith Array Base Expr Format Ir_module List Op Rvar Struct_info

@@ -1,0 +1,1 @@
+lib/core/deduce.mli: Expr Ir_module Struct_info

@@ -1,0 +1,1 @@
+lib/core/expr.ml: Arith Base List Rvar Struct_info

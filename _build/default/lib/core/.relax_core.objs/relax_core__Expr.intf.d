@@ -1,0 +1,1 @@
+lib/core/expr.mli: Arith Base Rvar Struct_info

@@ -1,0 +1,1 @@
+lib/core/ir_module.ml: Expr List Map Printf String Tir

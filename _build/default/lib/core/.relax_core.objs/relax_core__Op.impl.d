@@ -1,0 +1,1 @@
+lib/core/op.ml: Arith Base Expr Format Hashtbl List Option Printf Rvar String Struct_info Tir

@@ -1,0 +1,1 @@
+lib/core/op.mli: Arith Base Expr Struct_info Tir

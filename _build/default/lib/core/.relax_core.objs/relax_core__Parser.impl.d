@@ -1,0 +1,1 @@
+lib/core/parser.ml: Arith Base Expr Format Ir_module List Op Printf Rvar String Struct_info

@@ -1,0 +1,1 @@
+lib/core/parser.mli: Expr Ir_module Struct_info

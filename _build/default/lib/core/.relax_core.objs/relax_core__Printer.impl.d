@@ -1,0 +1,1 @@
+lib/core/printer.ml: Arith Base Expr Format Ir_module List Printf Rvar String Struct_info Tir

@@ -1,0 +1,1 @@
+lib/core/printer.mli: Expr Format Ir_module

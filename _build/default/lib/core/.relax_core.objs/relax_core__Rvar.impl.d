@@ -1,0 +1,1 @@
+lib/core/rvar.ml: Base Format Int Map Set Struct_info

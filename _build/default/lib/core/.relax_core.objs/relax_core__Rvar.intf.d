@@ -1,0 +1,1 @@
+lib/core/rvar.mli: Format Map Set Struct_info

@@ -1,0 +1,1 @@
+lib/core/struct_info.ml: Arith Base Format List Option Printf String

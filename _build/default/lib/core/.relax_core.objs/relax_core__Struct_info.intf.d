@@ -1,0 +1,1 @@
+lib/core/struct_info.mli: Arith Base Format

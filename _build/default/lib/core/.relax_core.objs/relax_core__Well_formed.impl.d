@@ -1,0 +1,1 @@
+lib/core/well_formed.ml: Arith Deduce Expr Format Ir_module List Printf Rvar String Struct_info Tir

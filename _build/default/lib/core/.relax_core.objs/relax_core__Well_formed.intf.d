@@ -1,0 +1,1 @@
+lib/core/well_formed.mli: Ir_module

@@ -1,0 +1,162 @@
+type fn_ctx = {
+  fn_name : string;
+  fn_params : Rvar.t list;
+  mutable done_blocks : Expr.block list; (* reverse order *)
+  mutable cur_bindings : Expr.binding list; (* reverse order *)
+  mutable cur_dataflow : bool;
+}
+
+type t = {
+  mutable mod_ : Ir_module.t;
+  mutable fn : fn_ctx option;
+  mutable tir_names : (Tir.Prim_func.t * string) list;
+      (** physical-identity cache so re-adding the same kernel object
+          reuses its global name *)
+}
+
+let create ?(mod_ = Ir_module.empty) () = { mod_; fn = None; tir_names = [] }
+let module_ t = t.mod_
+
+let add_tir t f =
+  match List.find_opt (fun (g, _) -> g == f) t.tir_names with
+  | Some (_, name) -> name
+  | None ->
+      let mod_, name = Ir_module.add_tir_fresh t.mod_ f in
+      t.mod_ <- mod_;
+      t.tir_names <- (f, name) :: t.tir_names;
+      name
+
+let current_fn t =
+  match t.fn with
+  | Some fn -> fn
+  | None -> invalid_arg "Builder: no function under construction"
+
+(* Close the block being accumulated, if non-empty. *)
+let flush_block fn =
+  match fn.cur_bindings with
+  | [] -> ()
+  | bindings ->
+      fn.done_blocks <-
+        { Expr.dataflow = fn.cur_dataflow; bindings = List.rev bindings }
+        :: fn.done_blocks;
+      fn.cur_bindings <- []
+
+let push_binding t binding =
+  let fn = current_fn t in
+  fn.cur_bindings <- binding :: fn.cur_bindings
+
+let dataflow t body =
+  let fn = current_fn t in
+  flush_block fn;
+  fn.cur_dataflow <- true;
+  let result = body () in
+  flush_block fn;
+  fn.cur_dataflow <- false;
+  result
+
+let emit t ?name e =
+  let sinfo = Deduce.expr_sinfo t.mod_ e in
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+        let fn = current_fn t in
+        Printf.sprintf "lv%d"
+          (List.length fn.cur_bindings
+          + List.fold_left
+              (fun acc (b : Expr.block) -> acc + List.length b.Expr.bindings)
+              0 fn.done_blocks)
+  in
+  let v = Rvar.fresh name sinfo in
+  push_binding t (Expr.Bind (v, e));
+  v
+
+let emit_match_cast t ?(name = "mc") e sinfo =
+  let v = Rvar.fresh name sinfo in
+  push_binding t (Expr.Match_cast (v, e, sinfo));
+  v
+
+(* Run a branch callback with a fresh binding collector, returning the
+   branch body expression. *)
+let capture_branch t body =
+  let fn = current_fn t in
+  flush_block fn;
+  let saved_blocks = fn.done_blocks and saved_df = fn.cur_dataflow in
+  fn.done_blocks <- [];
+  fn.cur_dataflow <- false;
+  let result =
+    try body ()
+    with exn ->
+      fn.done_blocks <- saved_blocks;
+      fn.cur_dataflow <- saved_df;
+      raise exn
+  in
+  flush_block fn;
+  let blocks = List.rev fn.done_blocks in
+  fn.done_blocks <- saved_blocks;
+  fn.cur_dataflow <- saved_df;
+  match blocks with
+  | [] -> result
+  | _ -> Expr.Seq { blocks; body = result }
+
+let emit_if t ~cond ~then_ ~else_ ?(name = "branch") () =
+  let fn = current_fn t in
+  let then_body = capture_branch t then_ in
+  let else_body = capture_branch t else_ in
+  let e = Expr.If { cond; then_ = then_body; else_ = else_body } in
+  let sinfo = Deduce.expr_sinfo t.mod_ e in
+  let v = Rvar.fresh name sinfo in
+  (* Control flow may not live inside a dataflow block: emit the If
+     into a plain block, splitting the dataflow region around it. *)
+  let was_df = fn.cur_dataflow in
+  flush_block fn;
+  fn.cur_dataflow <- false;
+  push_binding t (Expr.Bind (v, e));
+  flush_block fn;
+  fn.cur_dataflow <- was_df;
+  v
+
+let emit_call_tir t kernel args ~out ?(sym_args = []) ?name () =
+  let fname = add_tir t kernel in
+  emit t ?name (Expr.call_tir fname args ~out ~sym_args ())
+
+let emit_call_tir_inplace t kernel args ~out_index ~out ?(sym_args = []) ?name () =
+  let fname = add_tir t kernel in
+  emit t ?name (Expr.call_tir_inplace fname args ~out_index ~out ~sym_args ())
+
+let emit_call_dps_library t fname args ~out ?name () =
+  emit t ?name (Expr.call_dps_library fname args ~out)
+
+let function_ t ~name ~params ?(attrs = []) body =
+  if t.fn <> None then
+    invalid_arg "Builder.function_: nested function construction";
+  let param_vars = List.map (fun (n, si) -> Rvar.fresh n si) params in
+  let fn =
+    {
+      fn_name = name;
+      fn_params = param_vars;
+      done_blocks = [];
+      cur_bindings = [];
+      cur_dataflow = false;
+    }
+  in
+  t.fn <- Some fn;
+  let result =
+    try body param_vars
+    with exn ->
+      t.fn <- None;
+      raise exn
+  in
+  flush_block fn;
+  t.fn <- None;
+  let blocks = List.rev fn.done_blocks in
+  let body_expr =
+    match blocks with
+    | [] -> result
+    | _ -> Expr.Seq { blocks; body = result }
+  in
+  let ret_sinfo = Deduce.expr_sinfo t.mod_ result in
+  let func =
+    { Expr.params = param_vars; ret_sinfo; body = body_expr; attrs }
+  in
+  t.mod_ <- Ir_module.add_func t.mod_ fn.fn_name func

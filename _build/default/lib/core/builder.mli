@@ -1,0 +1,83 @@
+(** Block builder: the programmatic frontend for constructing Relax
+    functions in A-normal form with automatic shape deduction.
+
+    Mirrors the nn.Module-style construction the paper uses to build
+    models (§5.1): every emitted expression is bound to a fresh
+    variable whose annotation is deduced on the spot, so symbolic
+    shape relations are tracked during model construction. *)
+
+type t
+
+val create : ?mod_:Ir_module.t -> unit -> t
+val module_ : t -> Ir_module.t
+
+val add_tir : t -> Tir.Prim_func.t -> string
+(** Register a tensor program; returns the (possibly suffixed) global
+    name. Structurally identical re-additions of the same function
+    object reuse the existing name. *)
+
+val function_ :
+  t ->
+  name:string ->
+  params:(string * Struct_info.t) list ->
+  ?attrs:(string * string) list ->
+  (Rvar.t list -> Expr.expr) ->
+  unit
+(** Build a graph-level function and add it to the module. The
+    callback receives the parameter variables and returns the result
+    expression (typically a variable emitted earlier); all bindings
+    emitted during the callback form the function body. *)
+
+val dataflow : t -> (unit -> 'a) -> 'a
+(** Run the callback with emissions collected into a dataflow block. *)
+
+val emit : t -> ?name:string -> Expr.expr -> Rvar.t
+(** Bind the expression to a fresh variable with deduced annotation.
+    @raise Deduce.Error when deduction fails. *)
+
+val emit_match_cast : t -> ?name:string -> Expr.expr -> Struct_info.t -> Rvar.t
+(** Assert a more specific annotation ([match_cast], §3.2); compiles
+    to a runtime check. *)
+
+val emit_if :
+  t ->
+  cond:Expr.expr ->
+  then_:(unit -> Expr.expr) ->
+  else_:(unit -> Expr.expr) ->
+  ?name:string ->
+  unit ->
+  Rvar.t
+(** Structured control flow. Each branch callback emits its own
+    bindings (collected into the branch body) and returns the branch
+    result. Control flow is not allowed inside dataflow blocks
+    (§3.1), so the [If] binding lands in a plain binding block; an
+    enclosing {!dataflow} region is split around it. The result
+    annotation is the join of the branch annotations (coarsened when
+    they disagree). *)
+
+val emit_call_tir :
+  t ->
+  Tir.Prim_func.t ->
+  Expr.expr list ->
+  out:Struct_info.t ->
+  ?sym_args:Arith.Expr.t list ->
+  ?name:string ->
+  unit ->
+  Rvar.t
+(** Register the tensor program and emit a [call_tir] to it. *)
+
+val emit_call_tir_inplace :
+  t ->
+  Tir.Prim_func.t ->
+  Expr.expr list ->
+  out_index:int ->
+  out:Struct_info.t ->
+  ?sym_args:Arith.Expr.t list ->
+  ?name:string ->
+  unit ->
+  Rvar.t
+(** Register the tensor program and emit a [call_tir_inplace]: the
+    kernel mutates argument [out_index] instead of allocating. *)
+
+val emit_call_dps_library :
+  t -> string -> Expr.expr list -> out:Struct_info.t -> ?name:string -> unit -> Rvar.t

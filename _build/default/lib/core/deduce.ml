@@ -1,0 +1,143 @@
+exception Error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* Bind signature variables by structural unification of a parameter
+   annotation against an argument annotation. Imprecise arguments bind
+   nothing (the runtime check at the function boundary covers them). *)
+let rec unify_sinfo env (param : Struct_info.t) (arg : Struct_info.t) =
+  match (param, arg) with
+  | Struct_info.Tensor tp, Struct_info.Tensor ta ->
+      unify_shape_info env tp.Struct_info.shape ta.Struct_info.shape
+  | Struct_info.Shape sp, Struct_info.Shape sa -> unify_shape_info env sp sa
+  | Struct_info.Tuple ps, Struct_info.Tuple as_ when List.length ps = List.length as_ ->
+      List.iter2 (unify_sinfo env) ps as_
+  | _, _ -> ()
+
+and unify_shape_info env (param : Struct_info.shape_info)
+    (arg : Struct_info.shape_info) =
+  match (param, arg) with
+  | Struct_info.Known dp, Struct_info.Known da
+    when List.length dp = List.length da ->
+      List.iter2
+        (fun p a ->
+          match p with
+          | Arith.Expr.Var v ->
+              if not (Arith.Var.Map.mem v !env) then
+                env := Arith.Var.Map.add v a !env
+          | Arith.Expr.Const _ | Arith.Expr.Add _ | Arith.Expr.Sub _
+          | Arith.Expr.Mul _ | Arith.Expr.Floor_div _ | Arith.Expr.Floor_mod _
+          | Arith.Expr.Min _ | Arith.Expr.Max _ ->
+              ())
+        dp da
+  | _, _ -> ()
+
+let signature_call_sinfo ~params ~ret ~args =
+  if List.length params <> List.length args then
+    fail "function call arity mismatch: %d parameters, %d arguments"
+      (List.length params) (List.length args);
+  let env = ref Arith.Var.Map.empty in
+  List.iter2 (fun p a -> unify_sinfo env p a) params args;
+  let ret' = Struct_info.subst !env ret in
+  (* Any signature variable that survives substitution is unbound at
+     this call site: deduction falls back to rank-only information. *)
+  let sig_vars =
+    List.fold_left
+      (fun acc p -> Arith.Var.Set.union acc (Struct_info.free_sym_vars p))
+      (Struct_info.free_sym_vars ret)
+      params
+  in
+  let leftover =
+    Arith.Var.Set.inter (Struct_info.free_sym_vars ret') sig_vars
+  in
+  if Arith.Var.Set.is_empty leftover then ret'
+  else Struct_info.erase_to_coarse ret'
+
+let const_sinfo (nd : Base.Ndarray.t) =
+  Struct_info.tensor
+    (List.map Arith.Expr.const (Array.to_list nd.Base.Ndarray.shape))
+    nd.Base.Ndarray.dtype
+
+let join_branch a b =
+  if Struct_info.equal a b then a
+  else
+    let a' = Struct_info.erase_to_coarse a
+    and b' = Struct_info.erase_to_coarse b in
+    if Struct_info.equal a' b' then a' else Struct_info.Object
+
+let rec expr_sinfo (mod_ : Ir_module.t) (e : Expr.expr) : Struct_info.t =
+  match e with
+  | Expr.Var v -> Rvar.sinfo v
+  | Expr.Const nd -> const_sinfo nd
+  | Expr.Prim_value _ -> Struct_info.Prim Base.Dtype.I64
+  | Expr.Shape_expr dims -> Struct_info.shape dims
+  | Expr.Tuple es -> Struct_info.Tuple (List.map (expr_sinfo mod_) es)
+  | Expr.Tuple_get (e, i) -> (
+      match expr_sinfo mod_ e with
+      | Struct_info.Tuple ts -> (
+          match List.nth_opt ts i with
+          | Some t -> t
+          | None -> fail "tuple index %d out of bounds" i)
+      | Struct_info.Object -> Struct_info.Object
+      | si -> fail "tuple_get on non-tuple %s" (Struct_info.to_string si))
+  | Expr.Global_var name -> (
+      match Ir_module.find mod_ name with
+      | Some (Ir_module.Relax_func f) -> Expr.func_callable_sinfo f
+      | Some (Ir_module.Tir_func _) -> Struct_info.Object
+      | None -> Struct_info.Object)
+  | Expr.Extern_func _ | Expr.Op _ -> Struct_info.Object
+  | Expr.Call c -> call_sinfo mod_ c
+  | Expr.If { cond = _; then_; else_ } ->
+      join_branch (expr_sinfo mod_ then_) (expr_sinfo mod_ else_)
+  | Expr.Seq { body; _ } -> expr_sinfo mod_ body
+
+and call_sinfo mod_ (c : Expr.call) : Struct_info.t =
+  match c.Expr.callee with
+  | Expr.Op "call_tir" -> (
+      match c.Expr.sinfo_args with
+      | [ out ] -> out
+      | _ -> fail "call_tir: expected exactly one output annotation")
+  | Expr.Op "call_dps_library" -> (
+      match c.Expr.sinfo_args with
+      | [ out ] -> out
+      | _ -> fail "call_dps_library: expected exactly one output annotation")
+  | Expr.Op
+      ( "builtin.alloc_tensor" | "builtin.tensor_from_storage"
+      | "builtin.graph_run" | "call_tir_inplace" )
+    -> (
+      match c.Expr.sinfo_args with
+      | [ out ] -> out
+      | _ -> fail "builtin: expected exactly one output annotation")
+  | Expr.Op ("builtin.alloc_storage" | "builtin.kernel_call" | "builtin.extern_call" | "builtin.kill")
+    ->
+      Struct_info.Object
+  | Expr.Op name -> (
+      match Op.deduce_rule name with
+      | Some rule -> (
+          let arg_sinfo = List.map (expr_sinfo mod_) c.Expr.args in
+          try rule ~args:c.Expr.args ~arg_sinfo
+          with Op.Deduce_error msg -> raise (Error msg))
+      | None -> fail "unknown operator %s" name)
+  | Expr.Global_var name -> (
+      match Ir_module.find mod_ name with
+      | Some (Ir_module.Relax_func f) ->
+          signature_call_sinfo
+            ~params:(List.map Rvar.sinfo f.Expr.params)
+            ~ret:f.Expr.ret_sinfo
+            ~args:(List.map (expr_sinfo mod_) c.Expr.args)
+      | Some (Ir_module.Tir_func _) ->
+          fail "direct call to tensor program %s (use call_tir)" name
+      | None -> fail "call to unknown global %s" name)
+  | Expr.Var v -> (
+      (* First-class function value: deduce from the Callable
+         annotation (Figure 7's f0 case). *)
+      match Rvar.sinfo v with
+      | Struct_info.Callable { params; ret } ->
+          signature_call_sinfo ~params ~ret
+            ~args:(List.map (expr_sinfo mod_) c.Expr.args)
+      | Struct_info.Object -> Struct_info.Object
+      | si -> fail "call to non-callable %s" (Struct_info.to_string si))
+  | Expr.Extern_func _ -> Struct_info.Object
+  | Expr.Const _ | Expr.Prim_value _ | Expr.Shape_expr _ | Expr.Tuple _
+  | Expr.Tuple_get _ | Expr.Call _ | Expr.If _ | Expr.Seq _ ->
+      fail "unsupported callee expression"

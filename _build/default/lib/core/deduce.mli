@@ -1,0 +1,27 @@
+(** Forward symbolic shape deduction (§4.1).
+
+    Deduces the structural annotation of any expression from its
+    parts: operator calls use the registered rules, cross-level calls
+    ([call_tir] / [call_dps_library]) read their explicit output
+    annotation, and subgraph function calls are deduced
+    interprocedurally from the callee's signature alone (Figure 7) —
+    symbolic variables in the signature are bound by unifying
+    parameter annotations with argument annotations, then substituted
+    into the return annotation, falling back to a coarse annotation
+    when a variable cannot be bound. *)
+
+exception Error of string
+
+val expr_sinfo : Ir_module.t -> Expr.expr -> Struct_info.t
+(** Annotation of an ANF expression (sub-expressions must be leaves,
+    as produced by the builder).
+    @raise Error on arity errors or provably inconsistent shapes. *)
+
+val signature_call_sinfo :
+  params:Struct_info.t list ->
+  ret:Struct_info.t ->
+  args:Struct_info.t list ->
+  Struct_info.t
+(** Interprocedural deduction from a function signature: bind the
+    signature's symbolic variables against [args], substitute into
+    [ret], coarsen whatever remains unbound. *)

@@ -1,0 +1,228 @@
+type expr =
+  | Var of Rvar.t
+  | Const of Base.Ndarray.t
+  | Prim_value of Arith.Expr.t
+  | Shape_expr of Arith.Expr.t list
+  | Tuple of expr list
+  | Tuple_get of expr * int
+  | Global_var of string
+  | Extern_func of string
+  | Op of string
+  | Call of call
+  | If of { cond : expr; then_ : expr; else_ : expr }
+  | Seq of { blocks : block list; body : expr }
+
+and call = {
+  callee : expr;
+  args : expr list;
+  sinfo_args : Struct_info.t list;
+}
+
+and binding =
+  | Bind of Rvar.t * expr
+  | Match_cast of Rvar.t * expr * Struct_info.t
+
+and block = { dataflow : bool; bindings : binding list }
+
+type func = {
+  params : Rvar.t list;
+  ret_sinfo : Struct_info.t;
+  body : expr;
+  attrs : (string * string) list;
+}
+
+let call_op name args = Call { callee = Op name; args; sinfo_args = [] }
+let call_fn callee args = Call { callee; args; sinfo_args = [] }
+
+let call_tir fname args ~out ?(sym_args = []) () =
+  Call
+    {
+      callee = Op "call_tir";
+      args = [ Global_var fname; Tuple args; Shape_expr sym_args ];
+      sinfo_args = [ out ];
+    }
+
+let call_dps_library fname args ~out =
+  Call
+    {
+      callee = Op "call_dps_library";
+      args = [ Extern_func fname; Tuple args ];
+      sinfo_args = [ out ];
+    }
+
+let call_tir_inplace fname args ~out_index ~out ?(sym_args = []) () =
+  Call
+    {
+      callee = Op "call_tir_inplace";
+      args =
+        [ Global_var fname; Tuple args; Shape_expr sym_args;
+          Prim_value (Arith.Expr.const out_index) ];
+      sinfo_args = [ out ];
+    }
+
+let as_call_tir_inplace = function
+  | Call
+      {
+        callee = Op "call_tir_inplace";
+        args =
+          [ Global_var fname; Tuple args; Shape_expr sym_args;
+            Prim_value idx ];
+        sinfo_args = [ out ];
+      } -> (
+      match Arith.Expr.as_const idx with
+      | Some i -> Some (fname, args, i, out, sym_args)
+      | None -> None)
+  | _ -> None
+
+let as_call_tir = function
+  | Call
+      {
+        callee = Op "call_tir";
+        args = [ Global_var fname; Tuple args; Shape_expr sym_args ];
+        sinfo_args = [ out ];
+      } ->
+      Some (fname, args, out, sym_args)
+  | _ -> None
+
+let as_call_dps_library = function
+  | Call
+      {
+        callee = Op "call_dps_library";
+        args = [ Extern_func fname; Tuple args ];
+        sinfo_args = [ out ];
+      } ->
+      Some (fname, args, out)
+  | _ -> None
+
+let binding_var = function Bind (v, _) -> v | Match_cast (v, _, _) -> v
+let bound_expr = function Bind (_, e) -> e | Match_cast (_, e, _) -> e
+
+let func_callable_sinfo f =
+  Struct_info.Callable
+    { params = List.map Rvar.sinfo f.params; ret = f.ret_sinfo }
+
+let body_blocks f =
+  match f.body with
+  | Seq { blocks; body } -> (blocks, body)
+  | (Var _ | Const _ | Prim_value _ | Shape_expr _ | Tuple _ | Tuple_get _
+    | Global_var _ | Extern_func _ | Op _ | Call _ | If _) as e ->
+      ([], e)
+
+let map_bindings fn f =
+  let map_block b = { b with bindings = List.map fn b.bindings } in
+  let body =
+    match f.body with
+    | Seq { blocks; body } -> Seq { blocks = List.map map_block blocks; body }
+    | e -> e
+  in
+  { f with body }
+
+let rec free_vars_aux bound acc = function
+  | Var v -> if Rvar.Set.mem v bound then acc else Rvar.Set.add v acc
+  | Const _ | Prim_value _ | Shape_expr _ | Global_var _ | Extern_func _
+  | Op _ ->
+      acc
+  | Tuple es -> List.fold_left (free_vars_aux bound) acc es
+  | Tuple_get (e, _) -> free_vars_aux bound acc e
+  | Call { callee; args; _ } ->
+      List.fold_left (free_vars_aux bound) (free_vars_aux bound acc callee) args
+  | If { cond; then_; else_ } ->
+      let acc = free_vars_aux bound acc cond in
+      let acc = free_vars_aux bound acc then_ in
+      free_vars_aux bound acc else_
+  | Seq { blocks; body } ->
+      let bound, acc =
+        List.fold_left
+          (fun (bound, acc) block ->
+            List.fold_left
+              (fun (bound, acc) b ->
+                let acc = free_vars_aux bound acc (bound_expr b) in
+                (Rvar.Set.add (binding_var b) bound, acc))
+              (bound, acc) block.bindings)
+          (bound, acc) blocks
+      in
+      free_vars_aux bound acc body
+
+let free_vars e = free_vars_aux Rvar.Set.empty Rvar.Set.empty e
+
+let rec sym_vars_of_expr = function
+  | Var v -> Struct_info.free_sym_vars (Rvar.sinfo v)
+  | Const _ | Global_var _ | Extern_func _ | Op _ -> Arith.Var.Set.empty
+  | Prim_value e -> Arith.Expr.free_vars e
+  | Shape_expr dims ->
+      List.fold_left
+        (fun acc d -> Arith.Var.Set.union acc (Arith.Expr.free_vars d))
+        Arith.Var.Set.empty dims
+  | Tuple es ->
+      List.fold_left
+        (fun acc e -> Arith.Var.Set.union acc (sym_vars_of_expr e))
+        Arith.Var.Set.empty es
+  | Tuple_get (e, _) -> sym_vars_of_expr e
+  | Call { callee; args; sinfo_args } ->
+      let acc = sym_vars_of_expr callee in
+      let acc =
+        List.fold_left
+          (fun acc e -> Arith.Var.Set.union acc (sym_vars_of_expr e))
+          acc args
+      in
+      List.fold_left
+        (fun acc si -> Arith.Var.Set.union acc (Struct_info.free_sym_vars si))
+        acc sinfo_args
+  | If { cond; then_; else_ } ->
+      Arith.Var.Set.union (sym_vars_of_expr cond)
+        (Arith.Var.Set.union (sym_vars_of_expr then_) (sym_vars_of_expr else_))
+  | Seq { blocks; body } ->
+      let acc =
+        List.fold_left
+          (fun acc block ->
+            List.fold_left
+              (fun acc b ->
+                let acc =
+                  Arith.Var.Set.union acc (sym_vars_of_expr (bound_expr b))
+                in
+                Arith.Var.Set.union acc
+                  (Struct_info.free_sym_vars (Rvar.sinfo (binding_var b))))
+              acc block.bindings)
+          Arith.Var.Set.empty blocks
+      in
+      Arith.Var.Set.union acc (sym_vars_of_expr body)
+
+let free_sym_vars_of_func f =
+  let introduced =
+    List.fold_left
+      (fun acc p ->
+        Arith.Var.Set.union acc (Struct_info.free_sym_vars (Rvar.sinfo p)))
+      Arith.Var.Set.empty f.params
+  in
+  (* match_cast bindings also introduce symbolic variables. *)
+  let introduced =
+    match f.body with
+    | Seq { blocks; _ } ->
+        List.fold_left
+          (fun acc block ->
+            List.fold_left
+              (fun acc b ->
+                match b with
+                | Match_cast (_, _, si) ->
+                    Arith.Var.Set.union acc (Struct_info.free_sym_vars si)
+                | Bind _ -> acc)
+              acc block.bindings)
+          introduced blocks
+    | _ -> introduced
+  in
+  Arith.Var.Set.diff
+    (Arith.Var.Set.union (sym_vars_of_expr f.body)
+       (Struct_info.free_sym_vars f.ret_sinfo))
+    introduced
+
+let callee_tir_names f =
+  let blocks, _ = body_blocks f in
+  List.concat_map
+    (fun block ->
+      List.filter_map
+        (fun b ->
+          match as_call_tir (bound_expr b) with
+          | Some (name, _, _, _) -> Some name
+          | None -> None)
+        block.bindings)
+    blocks

@@ -1,0 +1,113 @@
+(** Relax graph-level expressions, bindings and functions.
+
+    The IR is kept in A-normal form: function bodies are [Seq]
+    expressions whose binding blocks bind every intermediate result to
+    a variable. Dataflow blocks (§3.1) mark side-effect-free straight-
+    line regions that passes may freely reorder or prune.
+
+    Cross-level calls are ordinary [Call] nodes whose callee is the
+    primitive operator ["call_tir"] or ["call_dps_library"]; see
+    {!call_tir} and {!call_dps_library} for the argument convention
+    (Figures 4-5 of the paper). *)
+
+type expr =
+  | Var of Rvar.t
+  | Const of Base.Ndarray.t
+  | Prim_value of Arith.Expr.t  (** symbolic integer as a runtime value *)
+  | Shape_expr of Arith.Expr.t list  (** first-class shape value *)
+  | Tuple of expr list
+  | Tuple_get of expr * int
+  | Global_var of string  (** reference to a module-level function *)
+  | Extern_func of string  (** external library routine by name *)
+  | Op of string  (** primitive graph operator, e.g. ["matmul"] *)
+  | Call of call
+  | If of { cond : expr; then_ : expr; else_ : expr }
+  | Seq of { blocks : block list; body : expr }
+
+and call = {
+  callee : expr;
+  args : expr list;
+  sinfo_args : Struct_info.t list;
+      (** explicit output annotations for cross-level calls *)
+}
+
+and binding =
+  | Bind of Rvar.t * expr
+  | Match_cast of Rvar.t * expr * Struct_info.t
+      (** asserted annotation; compiled to a runtime shape check *)
+
+and block = { dataflow : bool; bindings : binding list }
+
+type func = {
+  params : Rvar.t list;
+  ret_sinfo : Struct_info.t;
+  body : expr;
+  attrs : (string * string) list;
+}
+
+(** {1 Constructors} *)
+
+val call_op : string -> expr list -> expr
+val call_fn : expr -> expr list -> expr
+
+val call_tir :
+  string -> expr list -> out:Struct_info.t -> ?sym_args:Arith.Expr.t list ->
+  unit -> expr
+(** [call_tir fname args ~out ()] — invoke the module-level tensor
+    program [fname] in destination-passing style: the callee receives
+    [args], then a fresh output tensor described by [out], then the
+    runtime values of [sym_args] (Figure 8's extra symbolic
+    arguments). *)
+
+val call_dps_library :
+  string -> expr list -> out:Struct_info.t -> expr
+(** Like {!call_tir} with an external registry function as callee. *)
+
+val call_tir_inplace :
+  string ->
+  expr list ->
+  out_index:int ->
+  out:Struct_info.t ->
+  ?sym_args:Arith.Expr.t list ->
+  unit ->
+  expr
+(** In-place variant of {!call_tir}: no output is allocated — the
+    kernel mutates argument [out_index], and the call's value is that
+    argument (with annotation [out]). Used by the paged KV cache
+    extension: the cache is pre-allocated once at the bound and each
+    step writes one position. Such calls are effectful and are never
+    eliminated by DCE. *)
+
+val as_call_tir :
+  expr -> (string * expr list * Struct_info.t * Arith.Expr.t list) option
+(** Destructure a [call_tir] call: [(func name, args, out, sym_args)]. *)
+
+val as_call_dps_library : expr -> (string * expr list * Struct_info.t) option
+
+val as_call_tir_inplace :
+  expr -> (string * expr list * int * Struct_info.t * Arith.Expr.t list) option
+
+(** {1 Accessors and traversal} *)
+
+val binding_var : binding -> Rvar.t
+val bound_expr : binding -> expr
+
+val func_callable_sinfo : func -> Struct_info.t
+(** The [Callable] annotation derived from a function's signature. *)
+
+val body_blocks : func -> block list * expr
+(** Blocks and final expression of an ANF function body. A non-[Seq]
+    body is treated as zero blocks. *)
+
+val map_bindings : (binding -> binding) -> func -> func
+(** Rewrite every binding in every block, leaving structure intact. *)
+
+val free_vars : expr -> Rvar.Set.t
+(** Graph-level variables not bound within the expression. *)
+
+val free_sym_vars_of_func : func -> Arith.Var.Set.t
+(** Symbolic variables used by the function but not introduced by its
+    own parameter annotations. Well-formed functions have none. *)
+
+val callee_tir_names : func -> string list
+(** Names of tensor programs invoked via [call_tir], in order. *)

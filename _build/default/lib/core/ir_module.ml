@@ -1,0 +1,90 @@
+type item = Relax_func of Expr.func | Tir_func of Tir.Prim_func.t
+
+module Smap = Map.Make (String)
+
+type t = {
+  table : item Smap.t;
+  order : string list;  (** reverse insertion order *)
+}
+
+let empty = { table = Smap.empty; order = [] }
+
+let add t name item =
+  let order = if Smap.mem name t.table then t.order else name :: t.order in
+  { table = Smap.add name item t.table; order }
+
+let add_func t name f = add t name (Relax_func f)
+let add_tir t name f = add t name (Tir_func f)
+
+let add_tir_fresh t (f : Tir.Prim_func.t) =
+  let base = f.Tir.Prim_func.name in
+  let rec pick i =
+    let candidate = if i = 0 then base else Printf.sprintf "%s_%d" base i in
+    if Smap.mem candidate t.table then pick (i + 1) else candidate
+  in
+  let name = pick 0 in
+  let f = Tir.Prim_func.with_name f name in
+  (add_tir t name f, name)
+
+let remove t name =
+  {
+    table = Smap.remove name t.table;
+    order = List.filter (fun n -> n <> name) t.order;
+  }
+
+let find t name = Smap.find_opt name t.table
+
+let find_func t name =
+  match find t name with
+  | Some (Relax_func f) -> Some f
+  | Some (Tir_func _) | None -> None
+
+let find_tir t name =
+  match find t name with
+  | Some (Tir_func f) -> Some f
+  | Some (Relax_func _) | None -> None
+
+let mem t name = Smap.mem name t.table
+
+let items t =
+  List.rev_map (fun name -> (name, Smap.find name t.table)) t.order
+
+let funcs t =
+  List.filter_map
+    (fun (name, item) ->
+      match item with Relax_func f -> Some (name, f) | Tir_func _ -> None)
+    (items t)
+
+let tir_funcs t =
+  List.filter_map
+    (fun (name, item) ->
+      match item with Tir_func f -> Some (name, f) | Relax_func _ -> None)
+    (items t)
+
+let map_funcs fn t =
+  {
+    t with
+    table =
+      Smap.mapi
+        (fun name item ->
+          match item with
+          | Relax_func f -> Relax_func (fn name f)
+          | Tir_func _ -> item)
+        t.table;
+  }
+
+let map_tir fn t =
+  {
+    t with
+    table =
+      Smap.mapi
+        (fun name item ->
+          match item with
+          | Tir_func f -> Tir_func (fn name f)
+          | Relax_func _ -> item)
+        t.table;
+  }
+
+let update_func t name f =
+  if not (Smap.mem name t.table) then raise Not_found;
+  { t with table = Smap.add name (Relax_func f) t.table }

@@ -1,0 +1,37 @@
+(** The cross-level IR module.
+
+    One container maps global names to functions of either level:
+    graph-level Relax functions and loop-level tensor programs share a
+    namespace and are transformed jointly by passes — the essence of
+    the paper's cross-level abstraction (§3.3). *)
+
+type item =
+  | Relax_func of Expr.func
+  | Tir_func of Tir.Prim_func.t
+
+type t
+
+val empty : t
+val add_func : t -> string -> Expr.func -> t
+val add_tir : t -> string -> Tir.Prim_func.t -> t
+val add_tir_fresh : t -> Tir.Prim_func.t -> t * string
+(** Add a tensor program under its own name, suffixing to avoid
+    collisions; returns the name actually used. *)
+
+val remove : t -> string -> t
+val find : t -> string -> item option
+val find_func : t -> string -> Expr.func option
+val find_tir : t -> string -> Tir.Prim_func.t option
+val mem : t -> string -> bool
+
+val funcs : t -> (string * Expr.func) list
+(** Graph-level functions in insertion order. *)
+
+val tir_funcs : t -> (string * Tir.Prim_func.t) list
+val items : t -> (string * item) list
+
+val map_funcs : (string -> Expr.func -> Expr.func) -> t -> t
+val map_tir : (string -> Tir.Prim_func.t -> Tir.Prim_func.t) -> t -> t
+
+val update_func : t -> string -> Expr.func -> t
+(** Replace an existing graph function. @raise Not_found if absent. *)

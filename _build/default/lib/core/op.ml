@@ -1,0 +1,742 @@
+exception Deduce_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Deduce_error s)) fmt
+
+type rule = args:Expr.expr list -> arg_sinfo:Struct_info.t list -> Struct_info.t
+
+type legalized = {
+  kernel : Tir.Prim_func.t;
+  tensor_args : Expr.expr list;
+  sym_args : Arith.Expr.t list;
+}
+
+type legalizer =
+  args:Expr.expr list ->
+  arg_sinfo:Struct_info.t list ->
+  out:Struct_info.t ->
+  legalized option
+
+type entry = { rule : rule; legalize : legalizer option }
+
+let registry : (string, entry) Hashtbl.t = Hashtbl.create 64
+
+let register name ?legalize rule =
+  if Hashtbl.mem registry name then
+    invalid_arg (Printf.sprintf "Op.register: %s already registered" name);
+  Hashtbl.replace registry name { rule; legalize }
+
+let deduce_rule name =
+  Option.map (fun e -> e.rule) (Hashtbl.find_opt registry name)
+
+let legalizer name =
+  Option.bind (Hashtbl.find_opt registry name) (fun e -> e.legalize)
+
+let registered () =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) registry [])
+
+(* ---------- shared helpers ---------- *)
+
+let one = Arith.Expr.const 1
+
+let broadcast_shapes a b =
+  let ra = List.length a and rb = List.length b in
+  let pad shape by = List.init by (fun _ -> one) @ shape in
+  let a = if ra < rb then pad a (rb - ra) else a in
+  let b = if rb < ra then pad b (ra - rb) else b in
+  let join da db =
+    if Arith.Simplify.prove_equal da db then Some da
+    else if Arith.Simplify.prove_equal da one then Some db
+    else if Arith.Simplify.prove_equal db one then Some da
+    else None
+  in
+  let joined = List.map2 join a b in
+  if List.for_all Option.is_some joined then
+    Some (List.map Option.get joined)
+  else None
+
+let join_dtypes a b =
+  match (a, b) with
+  | Some da, Some db ->
+      if Base.Dtype.equal da db then Some da
+      else
+        fail "dtype mismatch: %s vs %s" (Base.Dtype.to_string da)
+          (Base.Dtype.to_string db)
+  | Some d, None | None, Some d -> Some d
+  | None, None -> None
+
+let as_tensor op si =
+  match si with
+  | Struct_info.Tensor t -> t
+  | Struct_info.Object | Struct_info.Prim _ | Struct_info.Shape _
+  | Struct_info.Tuple _ | Struct_info.Callable _ ->
+      fail "%s: expected a Tensor argument, got %s" op
+        (Struct_info.to_string si)
+
+let tensor_arg op args arg_sinfo i =
+  ignore args;
+  match List.nth_opt arg_sinfo i with
+  | Some si -> as_tensor op si
+  | None -> fail "%s: missing argument %d" op i
+
+let require_dtype op (dt : Base.Dtype.t option) =
+  match dt with
+  | Some d -> d
+  | None -> fail "%s: argument dtype must be known for legalization" op
+
+let known_dims op (si : Struct_info.shape_info) =
+  match si with
+  | Struct_info.Known dims -> dims
+  | Struct_info.Ndim _ | Struct_info.Unknown_rank ->
+      fail "%s: symbolic shape must be known for legalization" op
+
+(* ---------- elementwise binary with broadcasting ---------- *)
+
+let binary_rule name : rule =
+ fun ~args ~arg_sinfo ->
+  match arg_sinfo with
+  | [ a; b ] -> (
+      ignore args;
+      let ta = as_tensor name a and tb = as_tensor name b in
+      let dtype = join_dtypes ta.Struct_info.dtype tb.Struct_info.dtype in
+      match (ta.Struct_info.shape, tb.Struct_info.shape) with
+      | Struct_info.Known da, Struct_info.Known db -> (
+          match broadcast_shapes da db with
+          | Some dims -> Struct_info.Tensor { shape = Known dims; dtype }
+          | None ->
+              fail "%s: shapes (%s) and (%s) do not broadcast" name
+                (String.concat ", " (List.map Arith.Expr.to_string da))
+                (String.concat ", " (List.map Arith.Expr.to_string db)))
+      | sa, sb ->
+          let rank =
+            match (Struct_info.shape_info_ndim sa, Struct_info.shape_info_ndim sb) with
+            | Some ra, Some rb -> Struct_info.Ndim (max ra rb)
+            | _, _ -> Struct_info.Unknown_rank
+          in
+          Struct_info.Tensor { shape = rank; dtype })
+  | _ -> fail "%s: expected 2 arguments" name
+
+let binary_legalizer name op : legalizer =
+ fun ~args ~arg_sinfo ~out ->
+  ignore out;
+  match arg_sinfo with
+  | [ Struct_info.Tensor ta; Struct_info.Tensor tb ] ->
+      let da = known_dims name ta.Struct_info.shape in
+      let db = known_dims name tb.Struct_info.shape in
+      let dtype = require_dtype name (join_dtypes ta.dtype tb.dtype) in
+      let kernel =
+        if Arith.Simplify.prove_equal_shapes da db then
+          Tir.Kernels.binary ~name ~op da dtype
+        else if List.length db <= List.length da then
+          (* suffix broadcast: db must match the trailing dims of da *)
+          Tir.Kernels.broadcast_binary ~name:(name ^ "_bcast") ~op ~lhs:da
+            ~rhs:db dtype
+        else
+          Tir.Kernels.broadcast_binary ~name:(name ^ "_bcast")
+            ~op:(fun a b -> op b a)
+            ~lhs:db ~rhs:da dtype
+      in
+      let tensor_args =
+        if List.length db <= List.length da then args else List.rev args
+      in
+      Some { kernel; tensor_args; sym_args = [] }
+  | _ -> None
+
+let register_binary name op =
+  register name ~legalize:(binary_legalizer name op) (binary_rule name)
+
+(* ---------- elementwise unary ---------- *)
+
+let unary_rule name : rule =
+ fun ~args ~arg_sinfo ->
+  ignore args;
+  match arg_sinfo with
+  | [ si ] ->
+      let t = as_tensor name si in
+      Struct_info.Tensor t
+  | _ -> fail "%s: expected 1 argument" name
+
+let unary_legalizer name op : legalizer =
+ fun ~args ~arg_sinfo ~out ->
+  ignore out;
+  match arg_sinfo with
+  | [ Struct_info.Tensor t ] ->
+      let dims = known_dims name t.Struct_info.shape in
+      let dtype = require_dtype name t.Struct_info.dtype in
+      Some
+        {
+          kernel = Tir.Kernels.unary ~name ~op dims dtype;
+          tensor_args = args;
+          sym_args = [];
+        }
+  | _ -> None
+
+let register_unary name op =
+  register name ~legalize:(unary_legalizer name op) (unary_rule name)
+
+(* ---------- registrations ---------- *)
+
+let () =
+  let open Tir.Texpr in
+  register_binary "add" (fun a b -> a +. b);
+  register_binary "subtract" (fun a b -> a -. b);
+  register_binary "multiply" (fun a b -> a *. b);
+  register_binary "divide" (fun a b -> a /. b);
+  register_binary "maximum" (fun a b -> Binop (Max, a, b));
+  register_binary "minimum" (fun a b -> Binop (Min, a, b));
+  register_binary "power" (fun a b -> Binop (Pow, a, b));
+  register_unary "exp" (fun x -> Unop (Exp, x));
+  register_unary "log" (fun x -> Unop (Log, x));
+  register_unary "negative" (fun x -> Unop (Neg, x));
+  register_unary "sqrt" (fun x -> Unop (Sqrt, x));
+  register_unary "rsqrt" (fun x -> Unop (Rsqrt, x));
+  register_unary "tanh" (fun x -> Unop (Tanh, x));
+  register_unary "sigmoid" (fun x -> Unop (Sigmoid, x));
+  register_unary "erf" (fun x -> Unop (Erf, x));
+  register_unary "relu" Tir.Kernels.relu;
+  register_unary "silu" Tir.Kernels.silu;
+  register_unary "gelu" Tir.Kernels.gelu
+
+(* ---------- matmul ---------- *)
+
+let matmul_rule : rule =
+ fun ~args ~arg_sinfo ->
+  ignore args;
+  match arg_sinfo with
+  | [ a; b ] -> (
+      let ta = as_tensor "matmul" a and tb = as_tensor "matmul" b in
+      let dtype = join_dtypes ta.Struct_info.dtype tb.Struct_info.dtype in
+      match (ta.Struct_info.shape, tb.Struct_info.shape) with
+      | Struct_info.Known da, Struct_info.Known db -> (
+          let ra = List.length da and rb = List.length db in
+          if ra < 2 || rb < 2 then fail "matmul: inputs must have rank >= 2";
+          let k_a = List.nth da (ra - 1) in
+          let k_b = List.nth db (rb - 2) in
+          if not (Arith.Simplify.prove_equal k_a k_b) then
+            fail "matmul: inner dimensions %s and %s do not match"
+              (Arith.Expr.to_string k_a) (Arith.Expr.to_string k_b);
+          let m = List.nth da (ra - 2) in
+          let n = List.nth db (rb - 1) in
+          let batch_a = List.filteri (fun i _ -> i < ra - 2) da in
+          let batch_b = List.filteri (fun i _ -> i < rb - 2) db in
+          match (batch_a, batch_b) with
+          | batch, [] | [], batch ->
+              Struct_info.tensor (batch @ [ m; n ])
+                (match dtype with Some d -> d | None -> Base.Dtype.F32)
+          | ba, bb when Arith.Simplify.prove_equal_shapes ba bb ->
+              Struct_info.Tensor { shape = Known (ba @ [ m; n ]); dtype }
+          | _, _ -> fail "matmul: batch dimensions do not match")
+      | sa, sb -> (
+          match (Struct_info.shape_info_ndim sa, Struct_info.shape_info_ndim sb) with
+          | Some ra, Some rb ->
+              Struct_info.Tensor { shape = Ndim (max ra rb); dtype }
+          | _, _ -> Struct_info.Tensor { shape = Unknown_rank; dtype }))
+  | _ -> fail "matmul: expected 2 arguments"
+
+let matmul_legalizer : legalizer =
+ fun ~args ~arg_sinfo ~out ->
+  ignore out;
+  match arg_sinfo with
+  | [ Struct_info.Tensor ta; Struct_info.Tensor tb ] -> (
+      let da = known_dims "matmul" ta.Struct_info.shape in
+      let db = known_dims "matmul" tb.Struct_info.shape in
+      let dtype = require_dtype "matmul" (join_dtypes ta.dtype tb.dtype) in
+      let ra = List.length da and rb = List.length db in
+      let m = List.nth da (ra - 2) in
+      let k = List.nth da (ra - 1) in
+      let n = List.nth db (rb - 1) in
+      let batch_a = List.filteri (fun i _ -> i < ra - 2) da in
+      match (batch_a, rb) with
+      | [], 2 ->
+          Some
+            {
+              kernel = Tir.Kernels.matmul_weights ~name:"matmul" ~m ~k ~n dtype;
+              tensor_args = args;
+              sym_args = [];
+            }
+      | batch, 2 ->
+          Some
+            {
+              kernel =
+                Tir.Kernels.matmul_weights ~name:"matmul" ~batch ~m ~k ~n dtype;
+              tensor_args = args;
+              sym_args = [];
+            }
+      | batch, _ ->
+          Some
+            {
+              kernel = Tir.Kernels.matmul ~name:"batch_matmul" ~batch ~m ~k ~n dtype;
+              tensor_args = args;
+              sym_args = [];
+            })
+  | _ -> None
+
+let () = register "matmul" ~legalize:matmul_legalizer matmul_rule
+
+(* ---------- shape manipulation ---------- *)
+
+let shape_of_value_arg args arg_sinfo i =
+  (* A shape argument may be a literal Shape_expr or a variable whose
+     annotation carries the symbolic dims. *)
+  match List.nth_opt args i with
+  | Some (Expr.Shape_expr dims) -> Some dims
+  | Some (Expr.Var v) -> (
+      match Rvar.sinfo v with
+      | Struct_info.Shape (Struct_info.Known dims) -> Some dims
+      | _ -> None)
+  | _ -> (
+      match List.nth_opt arg_sinfo i with
+      | Some (Struct_info.Shape (Struct_info.Known dims)) -> Some dims
+      | _ -> None)
+
+let reshape_rule : rule =
+ fun ~args ~arg_sinfo ->
+  let t = tensor_arg "reshape" args arg_sinfo 0 in
+  match shape_of_value_arg args arg_sinfo 1 with
+  | Some dims -> Struct_info.Tensor { shape = Known dims; dtype = t.Struct_info.dtype }
+  | None -> (
+      match List.nth_opt arg_sinfo 1 with
+      | Some (Struct_info.Shape si) ->
+          Struct_info.Tensor
+            {
+              shape =
+                (match Struct_info.shape_info_ndim si with
+                | Some n -> Ndim n
+                | None -> Unknown_rank);
+              dtype = t.Struct_info.dtype;
+            }
+      | _ -> fail "reshape: second argument must be a shape")
+
+let reshape_legalizer : legalizer =
+ fun ~args ~arg_sinfo ~out ->
+  match (arg_sinfo, Struct_info.tensor_shape out) with
+  | Struct_info.Tensor t :: _, Some to_dims ->
+      let from_dims = known_dims "reshape" t.Struct_info.shape in
+      let dtype = require_dtype "reshape" t.Struct_info.dtype in
+      Some
+        {
+          kernel = Tir.Kernels.reshape ~name:"reshape" ~from_:from_dims ~to_:to_dims dtype;
+          tensor_args = [ List.hd args ];
+          sym_args = [];
+        }
+  | _ -> None
+
+let () = register "reshape" ~legalize:reshape_legalizer reshape_rule
+
+let flatten_rule : rule =
+ fun ~args ~arg_sinfo ->
+  let t = tensor_arg "flatten" args arg_sinfo 0 in
+  match t.Struct_info.shape with
+  | Struct_info.Known dims ->
+      let total = List.fold_left Arith.Expr.mul one dims in
+      Struct_info.Tensor
+        {
+          shape = Known [ Arith.Simplify.simplify total ];
+          dtype = t.Struct_info.dtype;
+        }
+  | Struct_info.Ndim _ | Struct_info.Unknown_rank ->
+      Struct_info.Tensor { shape = Ndim 1; dtype = t.Struct_info.dtype }
+
+let flatten_legalizer : legalizer =
+ fun ~args ~arg_sinfo ~out ->
+  ignore out;
+  match arg_sinfo with
+  | [ Struct_info.Tensor t ] ->
+      let dims = known_dims "flatten" t.Struct_info.shape in
+      let dtype = require_dtype "flatten" t.Struct_info.dtype in
+      let total =
+        Arith.Simplify.simplify (List.fold_left Arith.Expr.mul one dims)
+      in
+      Some
+        {
+          kernel =
+            Tir.Kernels.reshape ~name:"flatten" ~from_:dims ~to_:[ total ] dtype;
+          tensor_args = args;
+          sym_args = [];
+        }
+  | _ -> None
+
+let () = register "flatten" ~legalize:flatten_legalizer flatten_rule
+
+let perm_of_args args =
+  match List.nth_opt args 1 with
+  | Some (Expr.Shape_expr dims) ->
+      let ints = List.map Arith.Expr.as_const dims in
+      if List.for_all Option.is_some ints then
+        Some (List.map Option.get ints)
+      else None
+  | _ -> None
+
+let permute_rule : rule =
+ fun ~args ~arg_sinfo ->
+  let t = tensor_arg "permute_dims" args arg_sinfo 0 in
+  match (t.Struct_info.shape, perm_of_args args) with
+  | Struct_info.Known dims, Some perm ->
+      if List.length perm <> List.length dims then
+        fail "permute_dims: permutation rank mismatch";
+      Struct_info.Tensor
+        {
+          shape = Known (List.map (fun i -> List.nth dims i) perm);
+          dtype = t.Struct_info.dtype;
+        }
+  | (Struct_info.Ndim _ | Struct_info.Unknown_rank), _ | _, None ->
+      Struct_info.Tensor
+        {
+          shape =
+            (match Struct_info.shape_info_ndim t.Struct_info.shape with
+            | Some n -> Ndim n
+            | None -> Unknown_rank);
+          dtype = t.Struct_info.dtype;
+        }
+
+let permute_legalizer : legalizer =
+ fun ~args ~arg_sinfo ~out ->
+  ignore out;
+  match (arg_sinfo, perm_of_args args) with
+  | Struct_info.Tensor t :: _, Some perm ->
+      let dims = known_dims "permute_dims" t.Struct_info.shape in
+      let dtype = require_dtype "permute_dims" t.Struct_info.dtype in
+      Some
+        {
+          kernel = Tir.Kernels.transpose ~name:"permute_dims" dims ~perm dtype;
+          tensor_args = [ List.hd args ];
+          sym_args = [];
+        }
+  | _ -> None
+
+let () = register "permute_dims" ~legalize:permute_legalizer permute_rule
+
+(* ---------- reductions over the last axis ---------- *)
+
+let reduce_rule name : rule =
+ fun ~args ~arg_sinfo ->
+  let t = tensor_arg name args arg_sinfo 0 in
+  match t.Struct_info.shape with
+  | Struct_info.Known [] -> fail "%s: cannot reduce a rank-0 tensor" name
+  | Struct_info.Known dims ->
+      Struct_info.Tensor
+        {
+          shape = Known (List.filteri (fun i _ -> i < List.length dims - 1) dims);
+          dtype = t.Struct_info.dtype;
+        }
+  | Struct_info.Ndim n when n > 0 ->
+      Struct_info.Tensor { shape = Ndim (n - 1); dtype = t.Struct_info.dtype }
+  | Struct_info.Ndim _ | Struct_info.Unknown_rank ->
+      Struct_info.Tensor { shape = Unknown_rank; dtype = t.Struct_info.dtype }
+
+let reduce_legalizer name kind : legalizer =
+ fun ~args ~arg_sinfo ~out ->
+  ignore out;
+  match arg_sinfo with
+  | [ Struct_info.Tensor t ] ->
+      let dims = known_dims name t.Struct_info.shape in
+      let dtype = require_dtype name t.Struct_info.dtype in
+      Some
+        {
+          kernel = Tir.Kernels.reduce ~name ~kind dims dtype;
+          tensor_args = args;
+          sym_args = [];
+        }
+  | _ -> None
+
+let () =
+  register "sum" ~legalize:(reduce_legalizer "sum" `Sum) (reduce_rule "sum");
+  register "mean" ~legalize:(reduce_legalizer "mean" `Mean) (reduce_rule "mean");
+  register "max" ~legalize:(reduce_legalizer "max" `Max) (reduce_rule "max")
+
+(* ---------- softmax / rms_norm ---------- *)
+
+let softmax_legalizer : legalizer =
+ fun ~args ~arg_sinfo ~out ->
+  ignore out;
+  match arg_sinfo with
+  | [ Struct_info.Tensor t ] ->
+      let dims = known_dims "softmax" t.Struct_info.shape in
+      let dtype = require_dtype "softmax" t.Struct_info.dtype in
+      Some
+        {
+          kernel = Tir.Kernels.softmax_last ~name:"softmax" dims dtype;
+          tensor_args = args;
+          sym_args = [];
+        }
+  | _ -> None
+
+let () = register "softmax" ~legalize:softmax_legalizer (unary_rule "softmax")
+
+let rms_norm_rule : rule =
+ fun ~args ~arg_sinfo ->
+  let t = tensor_arg "rms_norm" args arg_sinfo 0 in
+  Struct_info.Tensor t
+
+let rms_norm_legalizer : legalizer =
+ fun ~args ~arg_sinfo ~out ->
+  ignore out;
+  match arg_sinfo with
+  | [ Struct_info.Tensor t; Struct_info.Tensor _ ] ->
+      let dims = known_dims "rms_norm" t.Struct_info.shape in
+      let dtype = require_dtype "rms_norm" t.Struct_info.dtype in
+      Some
+        {
+          kernel = Tir.Kernels.rms_norm ~name:"rms_norm" dims ~eps:1e-5 dtype;
+          tensor_args = args;
+          sym_args = [];
+        }
+  | _ -> None
+
+let () = register "rms_norm" ~legalize:rms_norm_legalizer rms_norm_rule
+
+let layer_norm_rule : rule =
+ fun ~args ~arg_sinfo ->
+  let t = tensor_arg "layer_norm" args arg_sinfo 0 in
+  Struct_info.Tensor t
+
+let layer_norm_legalizer : legalizer =
+ fun ~args ~arg_sinfo ~out ->
+  ignore out;
+  match arg_sinfo with
+  | [ Struct_info.Tensor t; Struct_info.Tensor _; Struct_info.Tensor _ ] ->
+      let dims = known_dims "layer_norm" t.Struct_info.shape in
+      let dtype = require_dtype "layer_norm" t.Struct_info.dtype in
+      Some
+        {
+          kernel = Tir.Kernels.layer_norm ~name:"layer_norm" dims ~eps:1e-5 dtype;
+          tensor_args = args;
+          sym_args = [];
+        }
+  | _ -> None
+
+let () = register "layer_norm" ~legalize:layer_norm_legalizer layer_norm_rule
+
+(* ---------- dtype cast: astype.<dtype> ---------- *)
+
+let astype_dtype name =
+  match String.index_opt name '.' with
+  | Some i ->
+      Base.Dtype.of_string (String.sub name (i + 1) (String.length name - i - 1))
+  | None -> None
+
+let astype_rule name : rule =
+ fun ~args ~arg_sinfo ->
+  let t = tensor_arg name args arg_sinfo 0 in
+  match astype_dtype name with
+  | Some dt -> Struct_info.Tensor { shape = t.Struct_info.shape; dtype = Some dt }
+  | None -> fail "%s: unknown target dtype" name
+
+let astype_legalizer name : legalizer =
+ fun ~args ~arg_sinfo ~out ->
+  ignore out;
+  match (arg_sinfo, astype_dtype name) with
+  | [ Struct_info.Tensor t ], Some to_ ->
+      let dims = known_dims name t.Struct_info.shape in
+      let from_ = require_dtype name t.Struct_info.dtype in
+      Some
+        {
+          kernel = Tir.Kernels.cast_kernel ~name:"astype" dims ~from_ ~to_;
+          tensor_args = args;
+          sym_args = [];
+        }
+  | _ -> None
+
+let () =
+  List.iter
+    (fun dt ->
+      let name = "astype." ^ Base.Dtype.to_string dt in
+      register name ~legalize:(astype_legalizer name) (astype_rule name))
+    [ Base.Dtype.F16; Base.Dtype.F32; Base.Dtype.I32; Base.Dtype.U32 ]
+
+(* ---------- take (embedding lookup) ---------- *)
+
+let take_rule : rule =
+ fun ~args ~arg_sinfo ->
+  let table = tensor_arg "take" args arg_sinfo 0 in
+  let idx = tensor_arg "take" args arg_sinfo 1 in
+  match (table.Struct_info.shape, idx.Struct_info.shape) with
+  | Struct_info.Known [ _rows; width ], Struct_info.Known [ n ] ->
+      Struct_info.Tensor { shape = Known [ n; width ]; dtype = table.Struct_info.dtype }
+  | _, _ ->
+      Struct_info.Tensor { shape = Ndim 2; dtype = table.Struct_info.dtype }
+
+let take_legalizer : legalizer =
+ fun ~args ~arg_sinfo ~out ->
+  ignore out;
+  match arg_sinfo with
+  | [ Struct_info.Tensor table; Struct_info.Tensor idx ] -> (
+      match
+        (known_dims "take" table.Struct_info.shape,
+         known_dims "take" idx.Struct_info.shape)
+      with
+      | [ rows; width ], [ n ] ->
+          let dtype = require_dtype "take" table.Struct_info.dtype in
+          Some
+            {
+              kernel =
+                Tir.Kernels.take_rows ~name:"take" ~rows ~width ~num_indices:n
+                  dtype;
+              tensor_args = args;
+              sym_args = [];
+            }
+      | _, _ -> None)
+  | _ -> None
+
+let () = register "take" ~legalize:take_legalizer take_rule
+
+(* ---------- where / clip ---------- *)
+
+let where_rule : rule =
+ fun ~args ~arg_sinfo ->
+  match arg_sinfo with
+  | [ cond; a; b ] ->
+      let tc = as_tensor "where" cond in
+      let ta = as_tensor "where" a in
+      let tb = as_tensor "where" b in
+      let dtype = join_dtypes ta.Struct_info.dtype tb.Struct_info.dtype in
+      ignore args;
+      (match
+         (tc.Struct_info.shape, ta.Struct_info.shape, tb.Struct_info.shape)
+       with
+      | Struct_info.Known dc, Struct_info.Known da, Struct_info.Known db
+        when Arith.Simplify.prove_equal_shapes dc da
+             && Arith.Simplify.prove_equal_shapes da db ->
+          Struct_info.Tensor { shape = Known da; dtype }
+      | sc, _, _ -> (
+          match Struct_info.shape_info_ndim sc with
+          | Some n -> Struct_info.Tensor { shape = Ndim n; dtype }
+          | None -> Struct_info.Tensor { shape = Unknown_rank; dtype }))
+  | _ -> fail "where: expected 3 arguments"
+
+let where_legalizer : legalizer =
+ fun ~args ~arg_sinfo ~out ->
+  ignore out;
+  match arg_sinfo with
+  | [ Struct_info.Tensor tc; Struct_info.Tensor ta; Struct_info.Tensor tb ] ->
+      let dims = known_dims "where" tc.Struct_info.shape in
+      let dtype = require_dtype "where" (join_dtypes ta.dtype tb.dtype) in
+      let cbuf = Tir.Buffer.create "C" dims dtype in
+      let abuf = Tir.Buffer.create "A" dims dtype in
+      let bbuf = Tir.Buffer.create "B" dims dtype in
+      let ybuf = Tir.Buffer.create "Y" dims dtype in
+      let body =
+        Tir.Stmt.grid
+          (List.mapi (fun i d -> (Printf.sprintf "i%d" i, d)) dims)
+          (fun idx ->
+            Tir.Stmt.Store
+              ( ybuf,
+                List.map Tir.Texpr.idx idx,
+                Tir.Texpr.Select
+                  ( Tir.Texpr.Binop
+                      (Tir.Texpr.Ne, Tir.Texpr.load cbuf idx, Tir.Texpr.f 0.0),
+                    Tir.Texpr.load abuf idx,
+                    Tir.Texpr.load bbuf idx ) ))
+      in
+      Some
+        {
+          kernel =
+            Tir.Prim_func.create ~name:"where" ~params:[ cbuf; abuf; bbuf; ybuf ]
+              body;
+          tensor_args = args;
+          sym_args = [];
+        }
+  | _ -> None
+
+let () = register "where" ~legalize:where_legalizer where_rule
+
+let clip_legalizer : legalizer =
+ fun ~args ~arg_sinfo ~out ->
+  ignore out;
+  match arg_sinfo with
+  | [ Struct_info.Tensor t ] ->
+      let dims = known_dims "clip" t.Struct_info.shape in
+      let dtype = require_dtype "clip" t.Struct_info.dtype in
+      let op x =
+        Tir.Texpr.Binop
+          ( Tir.Texpr.Min,
+            Tir.Texpr.Binop (Tir.Texpr.Max, x, Tir.Texpr.f (-1.0)),
+            Tir.Texpr.f 1.0 )
+      in
+      Some
+        {
+          kernel = Tir.Kernels.unary ~name:"clip" ~op dims dtype;
+          tensor_args = args;
+          sym_args = [];
+        }
+  | _ -> None
+
+let () = register "clip" ~legalize:clip_legalizer (unary_rule "clip")
+
+(* ---------- data-dependent ops ---------- *)
+
+let unique_rule : rule =
+ fun ~args ~arg_sinfo ->
+  (* Output length depends on runtime values: coarse rank-1 result
+     (the paper's Figure 3 example). *)
+  let t = tensor_arg "unique" args arg_sinfo 0 in
+  Struct_info.Tensor { shape = Ndim 1; dtype = t.Struct_info.dtype }
+
+let () = register "unique" unique_rule
+
+(* ---------- concat along the last axis ---------- *)
+
+let concat_rule : rule =
+ fun ~args ~arg_sinfo ->
+  let a = tensor_arg "concat" args arg_sinfo 0 in
+  let b = tensor_arg "concat" args arg_sinfo 1 in
+  let dtype = join_dtypes a.Struct_info.dtype b.Struct_info.dtype in
+  match (a.Struct_info.shape, b.Struct_info.shape) with
+  | Struct_info.Known da, Struct_info.Known db
+    when List.length da = List.length db && da <> [] -> (
+      let r = List.length da in
+      let lead_a = List.filteri (fun i _ -> i < r - 1) da in
+      let lead_b = List.filteri (fun i _ -> i < r - 1) db in
+      if not (Arith.Simplify.prove_equal_shapes lead_a lead_b) then
+        fail "concat: leading dimensions do not match"
+      else
+        let last =
+          Arith.Simplify.simplify
+            (Arith.Expr.add (List.nth da (r - 1)) (List.nth db (r - 1)))
+        in
+        Struct_info.Tensor { shape = Known (lead_a @ [ last ]); dtype })
+  | sa, _ -> (
+      match Struct_info.shape_info_ndim sa with
+      | Some n -> Struct_info.Tensor { shape = Ndim n; dtype }
+      | None -> Struct_info.Tensor { shape = Unknown_rank; dtype })
+
+let concat_legalizer : legalizer =
+ fun ~args ~arg_sinfo ~out ->
+  ignore out;
+  match arg_sinfo with
+  | [ Struct_info.Tensor ta; Struct_info.Tensor tb ] ->
+      let da = known_dims "concat" ta.Struct_info.shape in
+      let db = known_dims "concat" tb.Struct_info.shape in
+      let dtype = require_dtype "concat" (join_dtypes ta.dtype tb.dtype) in
+      let r = List.length da in
+      let lead = List.filteri (fun i _ -> i < r - 1) da in
+      let la = List.nth da (r - 1) and lb = List.nth db (r - 1) in
+      let a_buf = Tir.Buffer.create "A" da dtype in
+      let b_buf = Tir.Buffer.create "B" db dtype in
+      let y_buf =
+        Tir.Buffer.create "Y" (lead @ [ Arith.Expr.add la lb ]) dtype
+      in
+      (* Two sequential loop nests: copy A, then copy B shifted. *)
+      let copy_a =
+        Tir.Stmt.grid
+          (List.mapi (fun i d -> (Printf.sprintf "a%d" i, d)) da)
+          (fun idx -> Tir.Stmt.Store (y_buf, List.map Tir.Texpr.idx idx, Tir.Texpr.load a_buf idx))
+      in
+      let copy_b =
+        Tir.Stmt.grid
+          (List.mapi (fun i d -> (Printf.sprintf "b%d" i, d)) db)
+          (fun idx ->
+            let outer = List.filteri (fun i _ -> i < r - 1) idx in
+            let j = List.nth idx (r - 1) in
+            Tir.Stmt.Store
+              ( y_buf,
+                List.map Tir.Texpr.idx (outer @ [ Arith.Expr.add j la ]),
+                Tir.Texpr.load b_buf idx ))
+      in
+      let kernel =
+        Tir.Prim_func.create ~name:"concat" ~params:[ a_buf; b_buf; y_buf ]
+          (Tir.Stmt.seq [ copy_a; copy_b ])
+      in
+      Some { kernel; tensor_args = args; sym_args = [] }
+  | _ -> None
+
+let () = register "concat" ~legalize:concat_legalizer concat_rule

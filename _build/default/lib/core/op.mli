@@ -1,0 +1,51 @@
+(** The graph-level operator registry.
+
+    Each tensor operator registers a shape-deduction rule (§4.1) —
+    taking argument annotations and values, returning the output
+    annotation — and optionally a legalizer that produces the
+    loop-level tensor program implementing it (used by the LegalizeOps
+    pass to lower graph operators to [call_tir]).
+
+    The standard operator set is registered at module load. *)
+
+exception Deduce_error of string
+
+type rule = args:Expr.expr list -> arg_sinfo:Struct_info.t list -> Struct_info.t
+(** Forward deduction: output annotation from input annotations (and
+    argument values, for operators like [reshape] whose output shape
+    is a first-class shape argument).
+    @raise Deduce_error on provably ill-formed applications; coarse
+    annotations are returned when the inputs are merely imprecise. *)
+
+type legalized = {
+  kernel : Tir.Prim_func.t;  (** generated tensor program *)
+  tensor_args : Expr.expr list;  (** args to pass (non-tensor args dropped) *)
+  sym_args : Arith.Expr.t list;
+      (** extra symbolic arguments the kernel needs (Figure 8) *)
+}
+
+type legalizer =
+  args:Expr.expr list ->
+  arg_sinfo:Struct_info.t list ->
+  out:Struct_info.t ->
+  legalized option
+(** [None] when the operator cannot be expressed as a loop nest (e.g.
+    data-dependent [unique], which lowers to a runtime builtin). *)
+
+val register : string -> ?legalize:legalizer -> rule -> unit
+(** @raise Invalid_argument on duplicate registration. *)
+
+val deduce_rule : string -> rule option
+val legalizer : string -> legalizer option
+val registered : unit -> string list
+
+(** {1 Helpers used by rules and tests} *)
+
+val broadcast_shapes :
+  Arith.Expr.t list -> Arith.Expr.t list -> Arith.Expr.t list option
+(** Result of broadcasting two symbolic shapes: equal-rank dims must
+    be provably equal (or one side the constant 1); a lower-rank side
+    is right-aligned. [None] when incompatible. *)
+
+val join_dtypes : Base.Dtype.t option -> Base.Dtype.t option -> Base.Dtype.t option
+(** @raise Deduce_error when both are known and different. *)

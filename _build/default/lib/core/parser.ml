@@ -1,0 +1,520 @@
+exception Parse_error of string
+
+let fail_at line fmt =
+  Format.kasprintf (fun s -> raise (Parse_error (Printf.sprintf "line %d: %s" line s))) fmt
+
+(* ---------- lexer ---------- *)
+
+type tok =
+  | Tname of string  (** identifiers, incl. dotted builtins *)
+  | Tint of int
+  | Tstring of string
+  | Tpunct of string  (** ( ) [ ] , : = -> + - * // % ? *)
+
+let tok_to_string = function
+  | Tname s -> s
+  | Tint i -> string_of_int i
+  | Tstring s -> Printf.sprintf "%S" s
+  | Tpunct s -> s
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '\''
+
+let lex_line lineno (s : string) : tok list =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c = '#' then i := n (* comment *)
+    else if c >= '0' && c <= '9' then begin
+      let j = ref !i in
+      while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+      push (Tint (int_of_string (String.sub s !i (!j - !i))));
+      i := !j
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let j = ref !i in
+      while !j < n && is_name_char s.[!j] do incr j done;
+      push (Tname (String.sub s !i (!j - !i)));
+      i := !j
+    end
+    else if c = '"' then begin
+      let j = ref (!i + 1) in
+      while !j < n && s.[!j] <> '"' do incr j done;
+      if !j >= n then fail_at lineno "unterminated string";
+      push (Tstring (String.sub s (!i + 1) (!j - !i - 1)));
+      i := !j + 1
+    end
+    else if c = '-' && !i + 1 < n && s.[!i + 1] = '>' then begin
+      push (Tpunct "->");
+      i := !i + 2
+    end
+    else if c = '-' && !i + 1 < n && s.[!i + 1] >= '0' && s.[!i + 1] <= '9'
+            && (match !toks with
+                | Tint _ :: _ | Tname _ :: _ | Tpunct ")" :: _ | Tpunct "]" :: _ ->
+                    false
+                | _ -> true)
+    then begin
+      (* negative integer literal *)
+      let j = ref (!i + 1) in
+      while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+      push (Tint (int_of_string (String.sub s !i (!j - !i))));
+      i := !j
+    end
+    else if c = '/' && !i + 1 < n && s.[!i + 1] = '/' then begin
+      push (Tpunct "//");
+      i := !i + 2
+    end
+    else if String.contains "()[],:=+-*%?" c then begin
+      push (Tpunct (String.make 1 c));
+      incr i
+    end
+    else if c = '@' then
+      fail_at lineno "tensor program sections are not parseable"
+    else fail_at lineno "unexpected character %C" c
+  done;
+  List.rev !toks
+
+type line = { lineno : int; indent : int; toks : tok list }
+
+let split_lines text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun idx raw ->
+         let indent =
+           let i = ref 0 in
+           while !i < String.length raw && raw.[!i] = ' ' do incr i done;
+           !i
+         in
+         { lineno = idx + 1; indent; toks = lex_line (idx + 1) raw })
+  |> List.filter (fun l -> l.toks <> [])
+
+(* ---------- token-stream parser within a line (or joined lines) ---------- *)
+
+type stream = { mutable toks : tok list; lineno : int }
+
+let peek st = match st.toks with t :: _ -> Some t | [] -> None
+
+let next st =
+  match st.toks with
+  | t :: rest ->
+      st.toks <- rest;
+      t
+  | [] -> fail_at st.lineno "unexpected end of line"
+
+let expect st want =
+  let t = next st in
+  if tok_to_string t <> want then
+    fail_at st.lineno "expected %s, found %s" want (tok_to_string t)
+
+let accept st want =
+  match peek st with
+  | Some t when tok_to_string t = want ->
+      ignore (next st);
+      true
+  | _ -> false
+
+(* ---------- symbolic variable scope ---------- *)
+
+type scope = {
+  mutable sym_vars : (string * Arith.Var.t) list;
+  mutable vars : (string * Rvar.t) list;  (** graph-level bindings *)
+}
+
+let fresh_scope () = { sym_vars = []; vars = [] }
+
+let sym_var scope name =
+  match List.assoc_opt name scope.sym_vars with
+  | Some v -> v
+  | None ->
+      let v = Arith.Var.fresh name in
+      scope.sym_vars <- (name, v) :: scope.sym_vars;
+      v
+
+(* ---------- arith expressions ---------- *)
+
+(* additive > multiplicative > atom, mirroring Arith.Expr.pp *)
+let rec parse_arith scope st : Arith.Expr.t =
+  let lhs = parse_arith_mul scope st in
+  let rec loop acc =
+    if accept st "+" then loop (Arith.Expr.Add (acc, parse_arith_mul scope st))
+    else if accept st "-" then loop (Arith.Expr.Sub (acc, parse_arith_mul scope st))
+    else acc
+  in
+  loop lhs
+
+and parse_arith_mul scope st =
+  let lhs = parse_arith_atom scope st in
+  let rec loop acc =
+    if accept st "*" then loop (Arith.Expr.Mul (acc, parse_arith_atom scope st))
+    else if accept st "//" then
+      loop (Arith.Expr.Floor_div (acc, parse_arith_atom scope st))
+    else if accept st "%" then
+      loop (Arith.Expr.Floor_mod (acc, parse_arith_atom scope st))
+    else acc
+  in
+  loop lhs
+
+and parse_arith_atom scope st =
+  match next st with
+  | Tint i -> Arith.Expr.Const i
+  | Tname "min" ->
+      expect st "(";
+      let a = parse_arith scope st in
+      expect st ",";
+      let b = parse_arith scope st in
+      expect st ")";
+      Arith.Expr.Min (a, b)
+  | Tname "max" ->
+      expect st "(";
+      let a = parse_arith scope st in
+      expect st ",";
+      let b = parse_arith scope st in
+      expect st ")";
+      Arith.Expr.Max (a, b)
+  | Tname n -> Arith.Expr.Var (sym_var scope n)
+  | Tpunct "(" ->
+      let e = parse_arith scope st in
+      expect st ")";
+      e
+  | t -> fail_at st.lineno "expected an integer expression, found %s" (tok_to_string t)
+
+let parse_arith_list scope st ~closing =
+  let rec go acc =
+    match peek st with
+    | Some t when tok_to_string t = closing ->
+        ignore (next st);
+        List.rev acc
+    | _ ->
+        let e = parse_arith scope st in
+        if accept st "," then go (e :: acc)
+        else begin
+          expect st closing;
+          List.rev (e :: acc)
+        end
+  in
+  go []
+
+(* ---------- struct info ---------- *)
+
+let parse_dtype st =
+  match next st with
+  | Tstring s -> (
+      match Base.Dtype.of_string s with
+      | Some dt -> dt
+      | None -> fail_at st.lineno "unknown dtype %S" s)
+  | t -> fail_at st.lineno "expected a dtype string, found %s" (tok_to_string t)
+
+let rec parse_sinfo_st scope st : Struct_info.t =
+  match next st with
+  | Tname "Object" -> Struct_info.Object
+  | Tname "Prim" ->
+      expect st "(";
+      let dt = parse_dtype st in
+      expect st ")";
+      Struct_info.Prim dt
+  | Tname "Shape" ->
+      expect st "(";
+      let si = parse_shape_info scope st ~bracketed:true in
+      expect st ")";
+      Struct_info.Shape si
+  | Tname "Tensor" ->
+      expect st "(";
+      let shape = parse_shape_info scope st ~bracketed:false in
+      let dtype = if accept st "," then Some (parse_dtype st) else None in
+      expect st ")";
+      Struct_info.Tensor { shape; dtype }
+  | Tname "Tuple" ->
+      expect st "[";
+      let rec go acc =
+        if accept st "]" then List.rev acc
+        else
+          let si = parse_sinfo_st scope st in
+          if accept st "," then go (si :: acc)
+          else begin
+            expect st "]";
+            List.rev (si :: acc)
+          end
+      in
+      Struct_info.Tuple (go [])
+  | Tname "Callable" ->
+      expect st "(";
+      expect st "[";
+      let rec go acc =
+        if accept st "]" then List.rev acc
+        else
+          let si = parse_sinfo_st scope st in
+          if accept st "," then go (si :: acc)
+          else begin
+            expect st "]";
+            List.rev (si :: acc)
+          end
+      in
+      let params = go [] in
+      expect st ",";
+      let ret = parse_sinfo_st scope st in
+      expect st ")";
+      Struct_info.Callable { params; ret }
+  | t -> fail_at st.lineno "expected an annotation, found %s" (tok_to_string t)
+
+(* Shape payloads: "(dims)" / "([dims])" / "ndim=K" / "ndim=?" *)
+and parse_shape_info scope st ~bracketed : Struct_info.shape_info =
+  match peek st with
+  | Some (Tname "ndim") ->
+      ignore (next st);
+      expect st "=";
+      (match next st with
+      | Tint k -> Struct_info.Ndim k
+      | Tpunct "?" -> Struct_info.Unknown_rank
+      | t -> fail_at st.lineno "expected a rank, found %s" (tok_to_string t))
+  | Some (Tpunct ("(" | "[")) ->
+      let opener = tok_to_string (next st) in
+      let closing = if opener = "(" then ")" else "]" in
+      if bracketed && opener = "[" then
+        Struct_info.Known (parse_arith_list scope st ~closing:"]")
+      else Struct_info.Known (parse_arith_list scope st ~closing)
+  | Some t -> fail_at st.lineno "expected a shape, found %s" (tok_to_string t)
+  | None -> fail_at st.lineno "expected a shape"
+
+(* ---------- graph expressions ---------- *)
+
+let sinfo_ahead st =
+  match peek st with
+  | Some (Tname ("Object" | "Prim" | "Shape" | "Tensor" | "Tuple" | "Callable"))
+    ->
+      true
+  | _ -> false
+
+let resolve_callee scope mod_ name =
+  match List.assoc_opt name scope.vars with
+  | Some v -> Expr.Var v
+  | None ->
+      if Ir_module.mem mod_ name then Expr.Global_var name
+      else if
+        Op.deduce_rule name <> None
+        || String.contains name '.'
+        || List.mem name
+             [ "call_tir"; "call_dps_library"; "call_tir_inplace" ]
+      then Expr.Op name
+      else Expr.Global_var name
+
+let rec parse_expr scope mod_ st : Expr.expr =
+  let atom = parse_expr_atom scope mod_ st in
+  parse_postfix scope mod_ st atom
+
+and parse_postfix scope mod_ st acc =
+  match peek st with
+  | Some (Tpunct "[") ->
+      ignore (next st);
+      let idx = match next st with
+        | Tint i -> i
+        | t -> fail_at st.lineno "expected a tuple index, found %s" (tok_to_string t)
+      in
+      expect st "]";
+      parse_postfix scope mod_ st (Expr.Tuple_get (acc, idx))
+  | Some (Tpunct "(") ->
+      ignore (next st);
+      let args, sinfo_args = parse_call_args scope mod_ st in
+      parse_postfix scope mod_ st (Expr.Call { callee = acc; args; sinfo_args })
+  | _ -> acc
+
+and parse_call_args scope mod_ st =
+  let args = ref [] and sinfos = ref [] in
+  let rec go () =
+    if accept st ")" then ()
+    else begin
+      if sinfo_ahead st then sinfos := parse_sinfo_st scope st :: !sinfos
+      else args := parse_expr scope mod_ st :: !args;
+      if accept st "," then go () else expect st ")"
+    end
+  in
+  go ();
+  (List.rev !args, List.rev !sinfos)
+
+and parse_expr_atom scope mod_ st : Expr.expr =
+  match next st with
+  | Tname "shape" ->
+      expect st "(";
+      Expr.Shape_expr (parse_arith_list scope st ~closing:")")
+  | Tname "const" -> fail_at st.lineno "constant literals are not parseable"
+  | Tname "if" -> fail_at st.lineno "if expressions are not parseable"
+  | Tname name -> (
+      match List.assoc_opt name scope.vars with
+      | Some v -> Expr.Var v
+      | None -> resolve_callee scope mod_ name)
+  | Tstring s -> Expr.Extern_func s
+  | Tint i -> Expr.Prim_value (Arith.Expr.Const i)
+  | Tpunct "(" ->
+      (* tuple (or parenthesized expression: a 1-tuple never prints) *)
+      let rec go acc =
+        if accept st ")" then List.rev acc
+        else
+          let e = parse_expr scope mod_ st in
+          if accept st "," then go (e :: acc)
+          else begin
+            expect st ")";
+            List.rev (e :: acc)
+          end
+      in
+      Expr.Tuple (go [])
+  | t -> fail_at st.lineno "unexpected token %s in expression" (tok_to_string t)
+
+(* ---------- functions ---------- *)
+
+let stream_of (l : line) = { toks = l.toks; lineno = l.lineno }
+
+let parse_params scope st =
+  expect st "(";
+  let rec go acc =
+    if accept st ")" then List.rev acc
+    else
+      match next st with
+      | Tname pname ->
+          expect st ":";
+          let si = parse_sinfo_st scope st in
+          let v = Rvar.fresh pname si in
+          scope.vars <- (pname, v) :: scope.vars;
+          let acc = v :: acc in
+          if accept st "," then go acc
+          else begin
+            expect st ")";
+            List.rev acc
+          end
+      | t -> fail_at st.lineno "expected a parameter name, found %s" (tok_to_string t)
+  in
+  go []
+
+type fstate = {
+  mutable blocks : Expr.block list;  (** reversed *)
+  mutable cur : Expr.binding list;  (** reversed *)
+  mutable cur_df : bool;
+}
+
+let flush fs =
+  if fs.cur <> [] then begin
+    fs.blocks <-
+      { Expr.dataflow = fs.cur_df; bindings = List.rev fs.cur } :: fs.blocks;
+    fs.cur <- []
+  end
+
+let parse_binding scope mod_ (l : line) : Expr.binding =
+  let st = stream_of l in
+  match next st with
+  | Tname vname -> (
+      match peek st with
+      | Some (Tpunct ":") ->
+          ignore (next st);
+          let si = parse_sinfo_st scope st in
+          expect st "=";
+          let e = parse_expr scope mod_ st in
+          if st.toks <> [] then
+            fail_at l.lineno "trailing tokens after binding";
+          let v = Rvar.fresh vname si in
+          scope.vars <- (vname, v) :: scope.vars;
+          Expr.Bind (v, e)
+      | Some (Tpunct "=") ->
+          ignore (next st);
+          (match next st with
+          | Tname "match_cast" ->
+              expect st "(";
+              let e = parse_expr scope mod_ st in
+              expect st ",";
+              let si = parse_sinfo_st scope st in
+              expect st ")";
+              let v = Rvar.fresh vname si in
+              scope.vars <- (vname, v) :: scope.vars;
+              Expr.Match_cast (v, e, si)
+          | t ->
+              fail_at l.lineno "expected match_cast after '=', found %s"
+                (tok_to_string t))
+      | _ -> fail_at l.lineno "expected ':' or '=' after %s" vname)
+  | t -> fail_at l.lineno "expected a binding, found %s" (tok_to_string t)
+
+let parse_func_lines mod_ (lines : line list) : (string * Expr.func) * line list =
+  match lines with
+  | [] -> raise (Parse_error "expected a function definition")
+  | head :: rest ->
+      let st = stream_of head in
+      expect st "def";
+      let fname =
+        match next st with
+        | Tname n -> n
+        | t -> fail_at head.lineno "expected a function name, found %s" (tok_to_string t)
+      in
+      let scope = fresh_scope () in
+      let params = parse_params scope st in
+      expect st "->";
+      let ret_sinfo = parse_sinfo_st scope st in
+      expect st ":";
+      let fs = { blocks = []; cur = []; cur_df = false } in
+      let result = ref None in
+      let rec consume = function
+        | [] -> []
+        | (l : line) :: rest when l.indent = 0 -> l :: rest (* next def *)
+        | l :: rest -> (
+            match l.toks with
+            | Tname "with" :: Tname "dataflow" :: _ ->
+                flush fs;
+                fs.cur_df <- true;
+                consume rest
+            | Tname "return" :: ret_toks ->
+                let st = { toks = ret_toks; lineno = l.lineno } in
+                result := Some (parse_expr scope mod_ st);
+                flush fs;
+                consume rest
+            | _ ->
+                (* dataflow bindings print two columns deeper *)
+                if fs.cur_df && l.indent <= 4 then begin
+                  flush fs;
+                  fs.cur_df <- false
+                end;
+                fs.cur <- parse_binding scope mod_ l :: fs.cur;
+                consume rest)
+      in
+      let remaining = consume rest in
+      flush fs;
+      let body_result =
+        match !result with
+        | Some r -> r
+        | None -> fail_at head.lineno "function %s has no return" fname
+      in
+      let blocks = List.rev fs.blocks in
+      let body =
+        match blocks with
+        | [] -> body_result
+        | _ -> Expr.Seq { blocks; body = body_result }
+      in
+      ((fname, { Expr.params; ret_sinfo; body; attrs = [] }), remaining)
+
+let parse_module ?(into = Ir_module.empty) text =
+  let lines = split_lines text in
+  let rec go mod_ = function
+    | [] -> mod_
+    | lines ->
+        let (name, f), rest = parse_func_lines mod_ lines in
+        go (Ir_module.add_func mod_ name f) rest
+  in
+  go into lines
+
+let parse_func ?(mod_ = Ir_module.empty) text =
+  let lines = split_lines text in
+  let (name, f), rest = parse_func_lines mod_ lines in
+  if rest <> [] then
+    raise (Parse_error "parse_func: trailing content after the function");
+  (name, f)
+
+let parse_sinfo text =
+  let lines = split_lines text in
+  match lines with
+  | [ l ] ->
+      let st = stream_of l in
+      let scope = fresh_scope () in
+      let si = parse_sinfo_st scope st in
+      if st.toks <> [] then fail_at l.lineno "trailing tokens";
+      si
+  | _ -> raise (Parse_error "parse_sinfo: expected one line")

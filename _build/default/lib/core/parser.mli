@@ -1,0 +1,37 @@
+(** Parser for the printed Relax surface syntax.
+
+    Inverse of {!Printer} for graph-level functions: modules written
+    in the paper-style syntax (Figures 3-4) — function definitions
+    with struct-info annotations, dataflow blocks, bindings,
+    [match_cast], operator calls, [call_tir]-style cross-level calls
+    and first-class shape expressions — parse back into
+    {!Ir_module.t}, giving the usual write/print/parse round trip.
+
+    Scope and conventions:
+    - Graph-level functions only: tensor programs are registered
+      programmatically (a [@tensorir_function] section is rejected).
+    - Symbolic shape variables are scoped per function and identified
+      by name: every occurrence of [n] inside one function denotes
+      the same variable.
+    - A callee name resolves to (in priority order) a bound variable,
+      a previously parsed or pre-registered global, or a primitive
+      operator.
+    - Constants ([const(...)]) and [if] bindings are printed in a
+      lossy form and are rejected by the parser. *)
+
+exception Parse_error of string
+(** Carries a line/column-annotated message. *)
+
+val parse_module : ?into:Ir_module.t -> string -> Ir_module.t
+(** Parse every function definition in the text, adding them (in
+    order) to [into] (default {!Ir_module.empty}) — existing entries
+    are available for callee resolution.
+    @raise Parse_error on malformed input. *)
+
+val parse_func : ?mod_:Ir_module.t -> string -> string * Expr.func
+(** Parse exactly one function definition; returns its name. *)
+
+val parse_sinfo : string -> Struct_info.t
+(** Parse a standalone annotation, e.g.
+    ["Tensor((n, 4), \"f32\")"]. Symbolic names create fresh
+    variables scoped to this call. *)

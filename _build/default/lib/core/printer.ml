@@ -1,0 +1,97 @@
+let rec pp_expr fmt (e : Expr.expr) =
+  match e with
+  | Expr.Var v -> Rvar.pp fmt v
+  | Expr.Const nd -> Format.fprintf fmt "const(%a)" Base.Ndarray.pp nd
+  | Expr.Prim_value e -> Arith.Expr.pp fmt e
+  | Expr.Shape_expr dims ->
+      Format.fprintf fmt "shape(%s)"
+        (String.concat ", " (List.map Arith.Expr.to_string dims))
+  | Expr.Tuple es ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp_expr)
+        es
+  | Expr.Tuple_get (e, i) -> Format.fprintf fmt "%a[%d]" pp_expr e i
+  | Expr.Global_var name -> Format.pp_print_string fmt name
+  | Expr.Extern_func name -> Format.fprintf fmt "%S" name
+  | Expr.Op name -> Format.pp_print_string fmt name
+  | Expr.Call { callee; args; sinfo_args } ->
+      Format.fprintf fmt "%a(%a%s)" pp_expr callee
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp_expr)
+        args
+        (match sinfo_args with
+        | [] -> ""
+        | sis ->
+            ", " ^ String.concat ", " (List.map Struct_info.to_string sis))
+  | Expr.If { cond; then_; else_ } ->
+      Format.fprintf fmt "if %a then %a else %a" pp_expr cond pp_expr then_
+        pp_expr else_
+  | Expr.Seq { blocks; body } ->
+      List.iter (pp_block fmt 4) blocks;
+      Format.fprintf fmt "    return %a@\n" pp_expr body
+
+and pp_branch fmt indent (e : Expr.expr) =
+  let pad = String.make indent ' ' in
+  match e with
+  | Expr.Seq { blocks; body } ->
+      List.iter (pp_block fmt indent) blocks;
+      Format.fprintf fmt "%s%a@\n" pad pp_expr body
+  | e -> Format.fprintf fmt "%s%a@\n" pad pp_expr e
+
+and pp_block fmt indent (b : Expr.block) =
+  let pad = String.make indent ' ' in
+  if b.Expr.dataflow then Format.fprintf fmt "%swith dataflow():@\n" pad;
+  let inner = if b.Expr.dataflow then indent + 2 else indent in
+  let ipad = String.make inner ' ' in
+  List.iter
+    (fun binding ->
+      match binding with
+      | Expr.Bind (v, Expr.If { cond; then_; else_ }) ->
+          Format.fprintf fmt "%s%s: %s = if %a:@\n" ipad (Rvar.name v)
+            (Struct_info.to_string (Rvar.sinfo v))
+            pp_expr cond;
+          pp_branch fmt (inner + 2) then_;
+          Format.fprintf fmt "%selse:@\n" ipad;
+          pp_branch fmt (inner + 2) else_
+      | Expr.Bind (v, e) ->
+          Format.fprintf fmt "%s%s: %s = %a@\n" ipad (Rvar.name v)
+            (Struct_info.to_string (Rvar.sinfo v))
+            pp_expr e
+      | Expr.Match_cast (v, e, si) ->
+          Format.fprintf fmt "%s%s = match_cast(%a, %s)@\n" ipad (Rvar.name v)
+            pp_expr e (Struct_info.to_string si))
+    b.Expr.bindings
+
+let pp_func fmt name (f : Expr.func) =
+  Format.fprintf fmt "def %s(%s) -> %s:@\n" name
+    (String.concat ", "
+       (List.map
+          (fun p ->
+            Printf.sprintf "%s: %s" (Rvar.name p)
+              (Struct_info.to_string (Rvar.sinfo p)))
+          f.Expr.params))
+    (Struct_info.to_string f.Expr.ret_sinfo);
+  (match f.Expr.attrs with
+  | [] -> ()
+  | attrs ->
+      Format.fprintf fmt "    # attrs: %s@\n"
+        (String.concat ", "
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) attrs)));
+  match f.Expr.body with
+  | Expr.Seq _ as body -> pp_expr fmt body
+  | body -> Format.fprintf fmt "    return %a@\n" pp_expr body
+
+let pp_module fmt (m : Ir_module.t) =
+  List.iter
+    (fun (name, item) ->
+      (match item with
+      | Ir_module.Relax_func f -> pp_func fmt name f
+      | Ir_module.Tir_func f -> Tir.Prim_func.pp fmt f);
+      Format.pp_print_newline fmt ())
+    (Ir_module.items m)
+
+let module_to_string m = Format.asprintf "%a" pp_module m
+let func_to_string name f = Format.asprintf "%a" (fun fmt -> pp_func fmt name) f

@@ -1,0 +1,8 @@
+(** Human-readable rendering of Relax modules in the paper's
+    TVMScript-like surface syntax (Figures 3-4). *)
+
+val pp_expr : Format.formatter -> Expr.expr -> unit
+val pp_func : Format.formatter -> string -> Expr.func -> unit
+val pp_module : Format.formatter -> Ir_module.t -> unit
+val module_to_string : Ir_module.t -> string
+val func_to_string : string -> Expr.func -> string

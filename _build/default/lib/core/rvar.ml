@@ -1,0 +1,18 @@
+type t = { name : string; id : int; sinfo : Struct_info.t }
+
+let fresh name sinfo = { name; id = Base.Id.fresh (); sinfo }
+let with_sinfo t sinfo = { t with sinfo }
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let name t = t.name
+let sinfo t = t.sinfo
+let pp fmt t = Format.pp_print_string fmt t.name
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

@@ -1,0 +1,20 @@
+(** Relax graph-level variables.
+
+    Each variable carries its structural annotation. Variables are
+    identified by a unique id; two variables with the same surface
+    name are distinct unless they are the same object. *)
+
+type t = private { name : string; id : int; sinfo : Struct_info.t }
+
+val fresh : string -> Struct_info.t -> t
+val with_sinfo : t -> Struct_info.t -> t
+(** Same identity, refined annotation (used by re-deduction). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val name : t -> string
+val sinfo : t -> Struct_info.t
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

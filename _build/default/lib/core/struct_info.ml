@@ -1,0 +1,169 @@
+type shape_info =
+  | Known of Arith.Expr.t list
+  | Ndim of int
+  | Unknown_rank
+
+type t =
+  | Object
+  | Prim of Base.Dtype.t
+  | Shape of shape_info
+  | Tensor of tensor_info
+  | Tuple of t list
+  | Callable of callable_info
+
+and tensor_info = { shape : shape_info; dtype : Base.Dtype.t option }
+and callable_info = { params : t list; ret : t }
+
+let tensor dims dtype = Tensor { shape = Known dims; dtype = Some dtype }
+let tensor_ndim n dtype = Tensor { shape = Ndim n; dtype = Some dtype }
+let shape dims = Shape (Known dims)
+let shape_ndim n = Shape (Ndim n)
+
+let tensor_shape = function
+  | Tensor { shape = Known dims; _ } -> Some dims
+  | Tensor _ | Object | Prim _ | Shape _ | Tuple _ | Callable _ -> None
+
+let tensor_dtype = function
+  | Tensor { dtype; _ } -> dtype
+  | Object | Prim _ | Shape _ | Tuple _ | Callable _ -> None
+
+let shape_info_ndim = function
+  | Known dims -> Some (List.length dims)
+  | Ndim n -> Some n
+  | Unknown_rank -> None
+
+let ndim = function
+  | Tensor { shape; _ } | Shape shape -> shape_info_ndim shape
+  | Object | Prim _ | Tuple _ | Callable _ -> None
+
+let shape_info_free_vars = function
+  | Known dims ->
+      List.fold_left
+        (fun acc d -> Arith.Var.Set.union acc (Arith.Expr.free_vars d))
+        Arith.Var.Set.empty dims
+  | Ndim _ | Unknown_rank -> Arith.Var.Set.empty
+
+let rec free_sym_vars = function
+  | Object | Prim _ -> Arith.Var.Set.empty
+  | Shape si -> shape_info_free_vars si
+  | Tensor { shape; _ } -> shape_info_free_vars shape
+  | Tuple ts ->
+      List.fold_left
+        (fun acc t -> Arith.Var.Set.union acc (free_sym_vars t))
+        Arith.Var.Set.empty ts
+  | Callable { params; ret } ->
+      List.fold_left
+        (fun acc t -> Arith.Var.Set.union acc (free_sym_vars t))
+        (free_sym_vars ret) params
+
+let subst_shape_info env = function
+  | Known dims -> Known (List.map (Arith.Expr.subst env) dims)
+  | (Ndim _ | Unknown_rank) as si -> si
+
+let rec subst env = function
+  | (Object | Prim _) as t -> t
+  | Shape si -> Shape (subst_shape_info env si)
+  | Tensor { shape; dtype } -> Tensor { shape = subst_shape_info env shape; dtype }
+  | Tuple ts -> Tuple (List.map (subst env) ts)
+  | Callable { params; ret } ->
+      Callable { params = List.map (subst env) params; ret = subst env ret }
+
+let erase_shape_info = function
+  | Known dims -> Ndim (List.length dims)
+  | (Ndim _ | Unknown_rank) as si -> si
+
+let rec erase_to_coarse = function
+  | (Object | Prim _) as t -> t
+  | Shape si -> Shape (erase_shape_info si)
+  | Tensor { shape; dtype } -> Tensor { shape = erase_shape_info shape; dtype }
+  | Tuple ts -> Tuple (List.map erase_to_coarse ts)
+  | Callable _ as t -> t
+
+let shape_info_equal a b =
+  match (a, b) with
+  | Known da, Known db -> Arith.Simplify.prove_equal_shapes da db
+  | Ndim na, Ndim nb -> na = nb
+  | Unknown_rank, Unknown_rank -> true
+  | (Known _ | Ndim _ | Unknown_rank), _ -> false
+
+let rec equal a b =
+  match (a, b) with
+  | Object, Object -> true
+  | Prim da, Prim db -> Base.Dtype.equal da db
+  | Shape sa, Shape sb -> shape_info_equal sa sb
+  | Tensor ta, Tensor tb ->
+      shape_info_equal ta.shape tb.shape
+      && Option.equal Base.Dtype.equal ta.dtype tb.dtype
+  | Tuple ta, Tuple tb ->
+      List.length ta = List.length tb && List.for_all2 equal ta tb
+  | Callable ca, Callable cb ->
+      List.length ca.params = List.length cb.params
+      && List.for_all2 equal ca.params cb.params
+      && equal ca.ret cb.ret
+  | (Object | Prim _ | Shape _ | Tensor _ | Tuple _ | Callable _), _ -> false
+
+let shape_info_subsumes general specific =
+  match (general, specific) with
+  | Unknown_rank, (Known _ | Ndim _ | Unknown_rank) -> true
+  | Ndim n, Known dims -> n = List.length dims
+  | Ndim n, Ndim m -> n = m
+  | Known da, Known db -> Arith.Simplify.prove_equal_shapes da db
+  | (Known _ | Ndim _), _ -> false
+
+let rec subsumes general specific =
+  match (general, specific) with
+  | Object, _ -> true
+  | Prim da, Prim db -> Base.Dtype.equal da db
+  | Shape sa, Shape sb -> shape_info_subsumes sa sb
+  | Tensor ta, Tensor tb ->
+      shape_info_subsumes ta.shape tb.shape
+      && (match (ta.dtype, tb.dtype) with
+         | None, _ -> true
+         | Some da, Some db -> Base.Dtype.equal da db
+         | Some _, None -> false)
+  | Tuple ta, Tuple tb ->
+      List.length ta = List.length tb && List.for_all2 subsumes ta tb
+  | Callable ca, Callable cb ->
+      (* Parameters contravariant, return covariant. *)
+      List.length ca.params = List.length cb.params
+      && List.for_all2 subsumes cb.params ca.params
+      && subsumes ca.ret cb.ret
+  | (Prim _ | Shape _ | Tensor _ | Tuple _ | Callable _), _ -> false
+
+let pp_shape_info fmt = function
+  | Known dims ->
+      Format.fprintf fmt "(%s)"
+        (String.concat ", " (List.map Arith.Expr.to_string dims))
+  | Ndim n -> Format.fprintf fmt "ndim=%d" n
+  | Unknown_rank -> Format.pp_print_string fmt "ndim=?"
+
+let rec pp fmt = function
+  | Object -> Format.pp_print_string fmt "Object"
+  | Prim dt -> Format.fprintf fmt "Prim(\"%s\")" (Base.Dtype.to_string dt)
+  | Shape si -> Format.fprintf fmt "Shape%a" pp_paren_shape si
+  | Tensor { shape; dtype } ->
+      Format.fprintf fmt "Tensor(%a%s)" pp_shape_info shape
+        (match dtype with
+        | Some dt -> Printf.sprintf ", \"%s\"" (Base.Dtype.to_string dt)
+        | None -> "")
+  | Tuple ts ->
+      Format.fprintf fmt "Tuple[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp)
+        ts
+  | Callable { params; ret } ->
+      Format.fprintf fmt "Callable([%a], %a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp)
+        params pp ret
+
+and pp_paren_shape fmt = function
+  | Known dims ->
+      Format.fprintf fmt "([%s])"
+        (String.concat ", " (List.map Arith.Expr.to_string dims))
+  | Ndim n -> Format.fprintf fmt "(ndim=%d)" n
+  | Unknown_rank -> Format.pp_print_string fmt "(ndim=?)"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,62 @@
+(** Structural annotations (Table 1 of the paper).
+
+    Every Relax value carries an annotation conveying compile-time
+    structural information — the overall kind of value (tensor, shape,
+    tuple, callable) plus symbolic shape and dtype detail. First-class
+    symbolic shapes live here: a tensor dimension is an arbitrary
+    {!Arith.Expr.t}, so relations like "this buffer holds [n * 4]
+    elements" survive every transformation. *)
+
+type shape_info =
+  | Known of Arith.Expr.t list
+      (** fully symbolic per-dimension description, e.g. [(n, 4)] *)
+  | Ndim of int
+      (** rank known, dimensions unknown — the coarse fallback used
+          for data-dependent operators like [unique] *)
+  | Unknown_rank
+
+type t =
+  | Object  (** any runtime value *)
+  | Prim of Base.Dtype.t  (** scalar value of the given dtype *)
+  | Shape of shape_info  (** first-class shape value *)
+  | Tensor of tensor_info
+  | Tuple of t list
+  | Callable of callable_info
+
+and tensor_info = { shape : shape_info; dtype : Base.Dtype.t option }
+and callable_info = { params : t list; ret : t }
+
+val tensor : Arith.Expr.t list -> Base.Dtype.t -> t
+val tensor_ndim : int -> Base.Dtype.t -> t
+val shape : Arith.Expr.t list -> t
+val shape_ndim : int -> t
+
+val tensor_shape : t -> Arith.Expr.t list option
+(** The symbolic dimensions if the annotation is a tensor of fully
+    known symbolic shape. *)
+
+val tensor_dtype : t -> Base.Dtype.t option
+val ndim : t -> int option
+(** Rank of a tensor or shape annotation when known. *)
+
+val shape_info_ndim : shape_info -> int option
+
+val free_sym_vars : t -> Arith.Var.Set.t
+val subst : Arith.Expr.t Arith.Var.Map.t -> t -> t
+
+val erase_to_coarse : t -> t
+(** Replace symbolic dimension lists by rank-only information — what
+    deduction falls back to when symbolic tracking fails. *)
+
+val equal : t -> t -> bool
+(** Semantic equality: symbolic dimensions are compared with the
+    equality prover, so [Tensor((n + n,))] equals [Tensor((2 * n,))]. *)
+
+val subsumes : t -> t -> bool
+(** [subsumes general specific]: every value described by [specific]
+    is also described by [general]. [Object] subsumes everything;
+    [Tensor(ndim=2)] subsumes [Tensor((n, 4))]. Used for function
+    boundary checks and [match_cast] validation. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

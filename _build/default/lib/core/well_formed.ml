@@ -1,0 +1,119 @@
+type violation = { func : string; message : string }
+
+let check_func mod_ fname (f : Expr.func) : violation list =
+  let violations = ref [] in
+  let report fmt =
+    Format.kasprintf
+      (fun message -> violations := { func = fname; message } :: !violations)
+      fmt
+  in
+  let defined = ref (Rvar.Set.of_list f.Expr.params) in
+  let check_leaf_defined (e : Expr.expr) =
+    Rvar.Set.iter
+      (fun v ->
+        if not (Rvar.Set.mem v !defined) then
+          report "variable %s used before definition" (Rvar.name v))
+      (Expr.free_vars e)
+  in
+  let check_call_tir (e : Expr.expr) =
+    match Expr.as_call_tir e with
+    | Some (name, args, out, sym_args) -> (
+        match Ir_module.find mod_ name with
+        | Some (Ir_module.Tir_func tf) ->
+            let expected_bufs = List.length tf.Tir.Prim_func.params in
+            let workspace_like = expected_bufs - List.length args - 1 in
+            if workspace_like < 0 then
+              report
+                "call_tir %s: %d tensor arguments for a kernel with %d \
+                 buffer parameters"
+                name (List.length args) expected_bufs;
+            if
+              List.length sym_args
+              <> List.length tf.Tir.Prim_func.sym_params
+            then
+              report
+                "call_tir %s: %d symbolic arguments but kernel declares %d"
+                name (List.length sym_args)
+                (List.length tf.Tir.Prim_func.sym_params);
+            (match out with
+            | Struct_info.Tensor _ | Struct_info.Tuple _ -> ()
+            | si ->
+                report "call_tir %s: output annotation %s is not a tensor"
+                  name (Struct_info.to_string si))
+        | Some (Ir_module.Relax_func _) ->
+            report "call_tir target %s is a graph-level function" name
+        | None -> report "call_tir target %s not found in module" name)
+    | None -> ()
+  in
+  let check_binding in_dataflow (b : Expr.binding) =
+    let e = Expr.bound_expr b in
+    check_leaf_defined e;
+    check_call_tir e;
+    (match e with
+    | Expr.If _ when in_dataflow ->
+        report "control flow (If) inside a dataflow block"
+    | Expr.Seq _ -> report "nested Seq in ANF binding"
+    | _ -> ());
+    (match b with
+    | Expr.Bind (v, e) -> (
+        match Deduce.expr_sinfo mod_ e with
+        | deduced ->
+            let recorded = Rvar.sinfo v in
+            if
+              not
+                (Struct_info.equal recorded deduced
+                || Struct_info.subsumes recorded deduced
+                || Struct_info.subsumes deduced recorded)
+            then
+              report
+                "binding %s: recorded annotation %s is inconsistent with \
+                 deduced %s"
+                (Rvar.name v)
+                (Struct_info.to_string recorded)
+                (Struct_info.to_string deduced)
+        | exception Deduce.Error msg -> report "deduction failed: %s" msg)
+    | Expr.Match_cast (v, e, si) -> (
+        if not (Struct_info.equal (Rvar.sinfo v) si) then
+          report "match_cast %s: variable annotation differs from cast target"
+            (Rvar.name v);
+        (* The cast may refine or (rarely) coarsen; it must at least be
+           rank-compatible when both sides know the rank. *)
+        match Deduce.expr_sinfo mod_ e with
+        | deduced -> (
+            match (Struct_info.ndim deduced, Struct_info.ndim si) with
+            | Some a, Some b when a <> b ->
+                report "match_cast %s: rank %d value cast to rank %d"
+                  (Rvar.name v) a b
+            | _, _ -> ())
+        | exception Deduce.Error msg -> report "deduction failed: %s" msg));
+    defined := Rvar.Set.add (Expr.binding_var b) !defined
+  in
+  (match f.Expr.body with
+  | Expr.Seq { blocks; body } ->
+      List.iter
+        (fun (block : Expr.block) ->
+          List.iter (check_binding block.Expr.dataflow) block.Expr.bindings)
+        blocks;
+      check_leaf_defined body
+  | body -> check_leaf_defined body);
+  let leftover = Expr.free_sym_vars_of_func f in
+  if not (Arith.Var.Set.is_empty leftover) then
+    report "unbound symbolic variable(s): %s"
+      (String.concat ", "
+         (List.map Arith.Var.name (Arith.Var.Set.elements leftover)));
+  List.rev !violations
+
+let check_module mod_ =
+  List.concat_map
+    (fun (name, f) -> check_func mod_ name f)
+    (Ir_module.funcs mod_)
+
+let assert_well_formed mod_ =
+  match check_module mod_ with
+  | [] -> ()
+  | violations ->
+      failwith
+        (String.concat "\n"
+           (List.map
+              (fun v -> Printf.sprintf "[%s] %s" v.func v.message)
+              violations))

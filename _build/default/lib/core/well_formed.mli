@@ -1,0 +1,16 @@
+(** Structural well-formedness checking of cross-level modules.
+
+    Invoked by tests and (in debug pipelines) between passes. Checks:
+    ANF discipline, def-before-use of graph variables, purity of
+    dataflow blocks (no control flow inside), consistency of recorded
+    annotations with fresh forward deduction, [call_tir] callee
+    existence and arity against the tensor program's signature, and
+    closedness of symbolic variables. *)
+
+type violation = { func : string; message : string }
+
+val check_module : Ir_module.t -> violation list
+(** Empty list iff the module is well-formed. *)
+
+val assert_well_formed : Ir_module.t -> unit
+(** @raise Failure listing all violations if any. *)

@@ -1,0 +1,1 @@
+lib/frontend/attention.ml: Arith Base List Tir

@@ -1,0 +1,1 @@
+lib/frontend/attention.mli: Arith Base Tir

@@ -1,0 +1,1 @@
+lib/frontend/encoder.ml: Arith Array Attention Base Builder Expr Ir_module List Option Printf Relax_core Runtime Struct_info

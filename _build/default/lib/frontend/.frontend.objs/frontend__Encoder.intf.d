@@ -1,0 +1,1 @@
+lib/frontend/encoder.mli: Relax_core Runtime

@@ -1,0 +1,1 @@
+lib/frontend/llava.ml: Configs Encoder

@@ -1,0 +1,1 @@
+lib/frontend/llm.ml: Arith Array Attention Base Builder Configs Expr Hashtbl Ir_module List Printf Relax_core Runtime Rvar Struct_info Tir

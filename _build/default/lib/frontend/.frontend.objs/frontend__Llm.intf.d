@@ -1,0 +1,1 @@
+lib/frontend/llm.mli: Arith Configs Relax_core Runtime

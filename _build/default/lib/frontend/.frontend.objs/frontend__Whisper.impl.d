@@ -1,0 +1,1 @@
+lib/frontend/whisper.ml: Arith Array Attention Base Builder Encoder Expr Ir_module List Printf Relax_core Runtime Struct_info

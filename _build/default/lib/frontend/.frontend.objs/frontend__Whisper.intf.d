@@ -1,0 +1,1 @@
+lib/frontend/whisper.mli: Arith Encoder Relax_core Runtime

@@ -1,0 +1,100 @@
+(** Customized attention tensor programs.
+
+    These are exactly the paper's "user-defined operators ... written
+    in loops" (§1, Figure 9): model-specific kernels built directly at
+    the tensor-program level and invoked from the graph through
+    [call_tir], with symbolic sequence lengths flowing across the
+    level boundary. Grouped-query attention is handled inside the
+    kernel (a query head reads key/value head [h / (heads / kv_heads)]).
+
+    All kernels are destination-passing: the last buffer parameter is
+    the output. *)
+
+val decode :
+  name:string ->
+  batch:Arith.Expr.t ->
+  heads:int ->
+  kv_heads:int ->
+  head_dim:int ->
+  m:Arith.Expr.t ->
+  Base.Dtype.t ->
+  Tir.Prim_func.t
+(** Single-position attention against a KV cache of context length
+    [m]: inputs [Q: (b, heads, 1, d)], [K: (b, kv, m, d)],
+    [V: (b, kv, m, d)], output [(b, heads, 1, d)]. *)
+
+val prefill :
+  ?causal:bool ->
+  name:string ->
+  heads:int ->
+  kv_heads:int ->
+  head_dim:int ->
+  n:Arith.Expr.t ->
+  Base.Dtype.t ->
+  Tir.Prim_func.t
+(** Self-attention over a full sequence (batch 1), causal by default:
+    inputs
+    [Q: (heads, n, d)], [K: (kv, n, d)], [V: (kv, n, d)], output
+    [(heads, n, d)]. *)
+
+val kv_append :
+  name:string ->
+  batch:Arith.Expr.t ->
+  kv_heads:int ->
+  head_dim:int ->
+  m:Arith.Expr.t ->
+  Base.Dtype.t ->
+  Tir.Prim_func.t
+(** Functional cache append: inputs [cache: (b, kv, m, d)] and
+    [new_kv: (b, kv, 1, d)], output [(b, kv, m + 1, d)] — the result
+    shape is a symbolic expression over the input's length. *)
+
+val kv_write :
+  name:string ->
+  batch:Arith.Expr.t ->
+  kv_heads:int ->
+  head_dim:int ->
+  max_ctx:Arith.Expr.t ->
+  pos:Arith.Var.t ->
+  Base.Dtype.t ->
+  Tir.Prim_func.t
+(** In-place cache update for the paged-cache extension: writes
+    [new_kv: (b, kv, 1, d)] into row [pos] of the pre-allocated
+    [cache: (b, kv, max_ctx, d)] (the cache is the DPS output and is
+    mutated, no copy). Invoked through [call_tir_inplace]. *)
+
+val decode_paged :
+  name:string ->
+  batch:Arith.Expr.t ->
+  heads:int ->
+  kv_heads:int ->
+  head_dim:int ->
+  max_ctx:Arith.Expr.t ->
+  len:Arith.Var.t ->
+  Base.Dtype.t ->
+  Tir.Prim_func.t
+(** Decode attention against a pre-allocated cache: reads only the
+    first [len] positions of [K, V: (b, kv, max_ctx, d)] — the
+    symbolic current length flows in as an explicit argument while
+    the buffer extent stays at the bound. *)
+
+val rope_decode :
+  name:string ->
+  batch:Arith.Expr.t ->
+  heads:int ->
+  head_dim:int ->
+  pos:Arith.Var.t ->
+  Base.Dtype.t ->
+  Tir.Prim_func.t
+(** Rotary position embedding at a single (symbolic) position [pos]:
+    in/out [(b, heads, 1, d)]. [pos] becomes an explicit symbolic
+    parameter of the tensor program (Figure 8's extra argument). *)
+
+val rope_prefill :
+  name:string ->
+  heads:int ->
+  head_dim:int ->
+  n:Arith.Expr.t ->
+  Base.Dtype.t ->
+  Tir.Prim_func.t
+(** Rotary embedding over positions [0, n): in/out [(heads, n, d)]. *)

@@ -1,0 +1,178 @@
+type norm = Rms | Layer
+type act = Silu | Gelu
+type mlp = Gated | Plain
+
+type t = {
+  name : string;
+  hidden : int;
+  inter : int;
+  layers : int;
+  heads : int;
+  kv_heads : int;
+  head_dim : int;
+  vocab : int;
+  norm : norm;
+  act : act;
+  mlp : mlp;
+  qkv_bias : bool;
+  max_context : int;
+}
+
+let llama3_8b =
+  {
+    name = "Llama3-8B";
+    hidden = 4096;
+    inter = 14336;
+    layers = 32;
+    heads = 32;
+    kv_heads = 8;
+    head_dim = 128;
+    vocab = 128256;
+    norm = Rms;
+    act = Silu;
+    mlp = Gated;
+    qkv_bias = false;
+    max_context = 8192;
+  }
+
+let llama2_7b =
+  {
+    name = "Llama2-7B";
+    hidden = 4096;
+    inter = 11008;
+    layers = 32;
+    heads = 32;
+    kv_heads = 32;
+    head_dim = 128;
+    vocab = 32000;
+    norm = Rms;
+    act = Silu;
+    mlp = Gated;
+    qkv_bias = false;
+    max_context = 4096;
+  }
+
+let gemma_7b =
+  {
+    name = "Gemma1.1-7B";
+    hidden = 3072;
+    inter = 24576;
+    layers = 28;
+    heads = 16;
+    kv_heads = 16;
+    head_dim = 256;
+    vocab = 256000;
+    norm = Rms;
+    act = Gelu;
+    mlp = Gated;
+    qkv_bias = false;
+    max_context = 8192;
+  }
+
+let qwen2_7b =
+  {
+    name = "Qwen2-7B";
+    hidden = 3584;
+    inter = 18944;
+    layers = 28;
+    heads = 28;
+    kv_heads = 4;
+    head_dim = 128;
+    vocab = 152064;
+    norm = Rms;
+    act = Silu;
+    mlp = Gated;
+    qkv_bias = true;
+    max_context = 32768;
+  }
+
+let phi3_mini =
+  {
+    name = "Phi3-mini-4k";
+    hidden = 3072;
+    inter = 8192;
+    layers = 32;
+    heads = 32;
+    kv_heads = 32;
+    head_dim = 96;
+    vocab = 32064;
+    norm = Rms;
+    act = Silu;
+    mlp = Gated;
+    qkv_bias = false;
+    max_context = 4096;
+  }
+
+let redpajama_3b =
+  {
+    name = "RedPajama-3B";
+    hidden = 2560;
+    inter = 10240;
+    layers = 32;
+    heads = 32;
+    kv_heads = 32;
+    head_dim = 80;
+    vocab = 50432;
+    norm = Layer;
+    act = Gelu;
+    mlp = Plain;
+    qkv_bias = false;
+    max_context = 2048;
+  }
+
+let vicuna_7b = { llama2_7b with name = "Vicuna-7B" }
+
+let tiny =
+  {
+    name = "tiny";
+    hidden = 8;
+    inter = 16;
+    layers = 2;
+    heads = 2;
+    kv_heads = 2;
+    head_dim = 4;
+    vocab = 32;
+    norm = Rms;
+    act = Silu;
+    mlp = Gated;
+    qkv_bias = false;
+    max_context = 16;
+  }
+
+let tiny_gqa = { tiny with name = "tiny-gqa"; heads = 4; kv_heads = 2; hidden = 16; head_dim = 4 }
+
+let tiny_q =
+  {
+    name = "tiny-q";
+    hidden = 64;
+    inter = 64;
+    layers = 1;
+    heads = 2;
+    kv_heads = 2;
+    head_dim = 32;
+    vocab = 64;
+    norm = Rms;
+    act = Silu;
+    mlp = Gated;
+    qkv_bias = false;
+    max_context = 16;
+  }
+
+let param_bytes t ~quant_bits =
+  let matmul_params_per_layer =
+    (t.hidden * t.heads * t.head_dim)          (* wq *)
+    + (2 * t.hidden * t.kv_heads * t.head_dim) (* wk, wv *)
+    + (t.heads * t.head_dim * t.hidden)        (* wo *)
+    + match t.mlp with
+      | Gated -> 3 * t.hidden * t.inter
+      | Plain -> 2 * t.hidden * t.inter
+  in
+  let matmul_params =
+    (t.layers * matmul_params_per_layer) + (t.hidden * t.vocab) (* lm head *)
+  in
+  let f16_params =
+    (t.vocab * t.hidden)                       (* embedding *)
+    + (t.layers * 2 * t.hidden) + t.hidden     (* norms *)
+  in
+  (float_of_int matmul_params *. float_of_int quant_bits /. 8.0)
+  +. (float_of_int f16_params *. 2.0)

@@ -1,0 +1,54 @@
+(** Hyperparameters of the models evaluated in the paper (§5).
+
+    Sizes follow the public model cards. The [tiny] configurations are
+    scaled-down shapes used by numeric correctness tests — the same
+    builder code paths at interpretable sizes. *)
+
+type norm = Rms | Layer
+type act = Silu | Gelu
+type mlp = Gated | Plain
+
+type t = {
+  name : string;
+  hidden : int;
+  inter : int;
+  layers : int;
+  heads : int;
+  kv_heads : int;
+  head_dim : int;
+  vocab : int;
+  norm : norm;
+  act : act;
+  mlp : mlp;
+  qkv_bias : bool;  (** Qwen2-style attention projection biases *)
+  max_context : int;
+}
+
+val llama3_8b : t
+
+val llama2_7b : t
+
+val gemma_7b : t
+(** Gemma 1.1 7B *)
+
+val qwen2_7b : t
+
+val phi3_mini : t
+
+val redpajama_3b : t
+
+val vicuna_7b : t
+(** LLaVA's language model *)
+
+val tiny : t
+(** 2 layers, hidden 8 — numeric test scale *)
+
+val tiny_gqa : t
+(** tiny with kv_heads < heads *)
+
+val tiny_q : t
+(** tiny but wide enough (hidden 64) for 4-bit packing tests *)
+
+val param_bytes : t -> quant_bits:int -> float
+(** Approximate weight footprint: quantized matmul weights at
+    [quant_bits] (16 = unquantized) plus f16 embeddings. *)

@@ -1,0 +1,120 @@
+open Relax_core
+module E = Arith.Expr
+
+type t = {
+  mod_ : Ir_module.t;
+  entry : string;
+  params : (string * Struct_info.t) list;
+}
+
+let dt = Base.Dtype.F16
+let c = E.const
+
+let build ~name ~seq ~hidden ~heads ~head_dim ~inter ~layers ?proj_out () =
+  let specs = ref [] in
+  let declare pname sinfo =
+    let i = List.length !specs in
+    specs := !specs @ [ (pname, sinfo) ];
+    i
+  in
+  let x_i = declare "x" (Struct_info.tensor [ c seq; c hidden ] dt) in
+  let vec = Struct_info.tensor [ c hidden ] dt in
+  let mat k n = Struct_info.tensor [ c k; c n ] dt in
+  let layer_is =
+    List.init layers (fun l ->
+        let p s = Printf.sprintf "l%d_%s" l s in
+        ( declare (p "norm1_g") vec,
+          declare (p "norm1_b") vec,
+          declare (p "wq") (mat hidden (heads * head_dim)),
+          declare (p "wk") (mat hidden (heads * head_dim)),
+          declare (p "wv") (mat hidden (heads * head_dim)),
+          declare (p "wo") (mat (heads * head_dim) hidden),
+          declare (p "norm2_g") vec,
+          declare (p "norm2_b") vec,
+          declare (p "w_up") (mat hidden inter),
+          declare (p "w_down") (mat inter hidden) ))
+  in
+  let final_g = declare "final_norm_g" vec in
+  let final_b = declare "final_norm_b" vec in
+  let proj_i =
+    Option.map (fun out -> declare "w_proj" (mat hidden out)) proj_out
+  in
+  let attn_kernel =
+    Attention.prefill ~causal:false ~name:(name ^ "_attention") ~heads
+      ~kv_heads:heads ~head_dim ~n:(E.var (Arith.Var.fresh "n")) dt
+  in
+  let b = Builder.create () in
+  Builder.function_ b ~name ~params:!specs (fun params ->
+      Builder.dataflow b (fun () ->
+          let p i = Expr.Var (List.nth params i) in
+          let mm x w = Builder.emit b (Expr.call_op "matmul" [ x; w ]) in
+          let ln x g bt =
+            Builder.emit b (Expr.call_op "layer_norm" [ x; p g; p bt ])
+          in
+          let to_heads v =
+            let r3 =
+              Builder.emit b
+                (Expr.call_op "reshape"
+                   [ Expr.Var v; Expr.Shape_expr [ c seq; c heads; c head_dim ] ])
+            in
+            Builder.emit b
+              (Expr.call_op "permute_dims"
+                 [ Expr.Var r3; Expr.Shape_expr [ c 1; c 0; c 2 ] ])
+          in
+          let x = ref (List.nth params x_i) in
+          List.iter
+            (fun (n1g, n1b, wq, wk, wv, wo, n2g, n2b, wu, wd) ->
+              let h = ln (Expr.Var !x) n1g n1b in
+              let q = to_heads (mm (Expr.Var h) (p wq)) in
+              let k = to_heads (mm (Expr.Var h) (p wk)) in
+              let v = to_heads (mm (Expr.Var h) (p wv)) in
+              let at =
+                Builder.emit_call_tir b attn_kernel
+                  [ Expr.Var q; Expr.Var k; Expr.Var v ]
+                  ~out:(Struct_info.tensor [ c heads; c seq; c head_dim ] dt)
+                  ()
+              in
+              let atp =
+                Builder.emit b
+                  (Expr.call_op "permute_dims"
+                     [ Expr.Var at; Expr.Shape_expr [ c 1; c 0; c 2 ] ])
+              in
+              let at2 =
+                Builder.emit b
+                  (Expr.call_op "reshape"
+                     [ Expr.Var atp;
+                       Expr.Shape_expr [ c seq; c (heads * head_dim) ] ])
+              in
+              let o = mm (Expr.Var at2) (p wo) in
+              let x1 = Builder.emit b (Expr.call_op "add" [ Expr.Var !x; Expr.Var o ]) in
+              let h2 = ln (Expr.Var x1) n2g n2b in
+              let u = mm (Expr.Var h2) (p wu) in
+              let a = Builder.emit b (Expr.call_op "gelu" [ Expr.Var u ]) in
+              let dn = mm (Expr.Var a) (p wd) in
+              let x2 = Builder.emit b (Expr.call_op "add" [ Expr.Var x1; Expr.Var dn ]) in
+              x := x2)
+            layer_is;
+          let xf = ln (Expr.Var !x) final_g final_b in
+          let out =
+            match proj_i with
+            | Some wp -> mm (Expr.Var xf) (p wp)
+            | None -> xf
+          in
+          Expr.Var out));
+  { mod_ = Builder.module_ b; entry = name; params = !specs }
+
+let args_for t ~mode =
+  List.mapi
+    (fun i (_, sinfo) ->
+      match sinfo with
+      | Struct_info.Tensor { shape = Struct_info.Known dims; dtype = Some dtype }
+        -> (
+          let shape = List.map (E.eval (fun _ -> assert false)) dims in
+          match mode with
+          | `Shadow -> Runtime.Vm.shadow_of_shape dtype shape
+          | `Numeric seed ->
+              Runtime.Vm.tensor
+                (Base.Ndarray.random_uniform ~seed:(seed + i) dtype
+                   (Array.of_list shape)))
+      | _ -> failwith "Encoder.args_for: non-tensor parameter")
+    t.params

@@ -1,0 +1,28 @@
+(** Transformer encoder builder (non-causal, fixed sequence length).
+
+    Shared by the Whisper audio encoder and LLaVA's CLIP ViT visual
+    encoder (§5.4): pre-norm blocks with bidirectional self-attention
+    and a plain GELU MLP, plus an optional output projection (the
+    multimodal projector in LLaVA). Patchification / mel-spectrogram
+    frontends are out of scope: the input is the embedded sequence
+    [(seq, hidden)] (see DESIGN.md on substitutions). *)
+
+type t = {
+  mod_ : Relax_core.Ir_module.t;
+  entry : string;
+  params : (string * Relax_core.Struct_info.t) list;
+}
+
+val build :
+  name:string ->
+  seq:int ->
+  hidden:int ->
+  heads:int ->
+  head_dim:int ->
+  inter:int ->
+  layers:int ->
+  ?proj_out:int ->
+  unit ->
+  t
+
+val args_for : t -> mode:[ `Shadow | `Numeric of int ] -> Runtime.Vm.value list

@@ -1,0 +1,9 @@
+let clip_patches = 576
+
+let vision_encoder () =
+  Encoder.build ~name:"clip_vit_encode" ~seq:clip_patches ~hidden:1024
+    ~heads:16 ~head_dim:64 ~inter:4096 ~layers:24
+    ~proj_out:Configs.vicuna_7b.Configs.hidden ()
+
+let language_model = Configs.vicuna_7b
+let prompt_length text_tokens = clip_patches + text_tokens

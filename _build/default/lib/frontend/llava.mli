@@ -1,0 +1,26 @@
+(** LLaVA-style multimodal model (§5.4, Figure 20): a CLIP ViT-L/14
+    visual encoder whose projected patch embeddings prefix the
+    language model (Vicuna-7B) prompt.
+
+    The pipeline evaluated in Figure 20 is: encode one image
+    (576 patch tokens at 336 px), prefill the language model over the
+    image+prompt sequence, then decode 32 tokens. The image
+    patchification is out of scope; the encoder input is the embedded
+    patch sequence (DESIGN.md, substitutions). The prefill over
+    projected embeddings is modeled by an ids-prefill of the same
+    sequence length, which is cost-equivalent (embedding lookup is
+    negligible next to the transformer stack). *)
+
+val clip_patches : int
+(** 576 = (336 / 14)^2 *)
+
+val vision_encoder : unit -> Encoder.t
+(** CLIP ViT-L/14: 24 layers, hidden 1024, projecting to Vicuna's
+    hidden size 4096. *)
+
+val language_model : Configs.t
+(** Vicuna-7B. *)
+
+val prompt_length : int -> int
+(** Total prefill length for a text prompt of the given token count:
+    image patches + prompt. *)

@@ -1,0 +1,726 @@
+open Relax_core
+module E = Arith.Expr
+
+type precision = F16 | Q4 | Q3
+
+let bits_of_precision = function F16 -> 16 | Q4 -> 4 | Q3 -> 3
+
+type built = {
+  mod_ : Ir_module.t;
+  entry : string;
+  ctx_var : Arith.Var.t;
+  batch_var : Arith.Var.t option;
+  params : (string * Struct_info.t) list;
+  config : Configs.t;
+  batch : int;
+  precision : precision;
+}
+
+let dt = Base.Dtype.F16
+let c = E.const
+
+(* A linear layer's weights: one f16 matrix, or packed data + scales. *)
+type weight = Full of Rvar.t | Packed of { wdata : Rvar.t; wscale : Rvar.t; k : int; n : int }
+
+(* Parameter declaration: models declare all parameters up front and
+   receive accessor indices into the parameter array. *)
+type decl = { mutable specs : (string * Struct_info.t) list }
+
+let declare d name sinfo =
+  let i = List.length d.specs in
+  d.specs <- d.specs @ [ (name, sinfo) ];
+  i
+
+let ceil_div a b = (a + b - 1) / b
+
+let declare_linear d precision ~name ~k ~n =
+  match precision with
+  | F16 -> `One (declare d name (Struct_info.tensor [ c k; c n ] dt))
+  | Q4 ->
+      `Two
+        ( declare d (name ^ "_data")
+            (Struct_info.Tensor
+               {
+                 shape = Known [ c k; c (ceil_div n 8) ];
+                 dtype = Some Base.Dtype.U32;
+               }),
+          declare d (name ^ "_scale")
+            (Struct_info.tensor [ c k; c (ceil_div n 32) ] dt),
+          k,
+          n )
+  | Q3 ->
+      `Two
+        ( declare d (name ^ "_data")
+            (Struct_info.Tensor
+               {
+                 shape = Known [ c k; c (ceil_div n 10) ];
+                 dtype = Some Base.Dtype.U32;
+               }),
+          declare d (name ^ "_scale")
+            (Struct_info.tensor [ c k; c (ceil_div n 32) ] dt),
+          k,
+          n )
+
+(* Shared kernel cache so every layer reuses the same tensor programs. *)
+type kernels = {
+  decode_cache : (int * int, Tir.Prim_func.t) Hashtbl.t;
+      (** (k, n) -> quantized weight decode kernel *)
+}
+
+let weight_of params precision spec =
+  match spec with
+  | `One i -> Full (List.nth params i)
+  | `Two (di, si, k, n) ->
+      ignore precision;
+      Packed { wdata = List.nth params di; wscale = List.nth params si; k; n }
+
+let linear b kernels precision x w =
+  match w with
+  | Full wv -> Builder.emit b (Expr.call_op "matmul" [ x; Expr.Var wv ])
+  | Packed { wdata; wscale; k; n } ->
+      let kernel =
+        match Hashtbl.find_opt kernels.decode_cache (k, n) with
+        | Some kf -> kf
+        | None ->
+            let name =
+              match precision with Q3 -> "decode_q3" | _ -> "decode_q4"
+            in
+            let gen =
+              match precision with
+              | Q3 -> Tir.Kernels.decode_q3
+              | Q4 | F16 -> Tir.Kernels.decode_q4
+            in
+            let kf = gen ~name ~k:(c k) ~n:(c n) dt in
+            Hashtbl.replace kernels.decode_cache (k, n) kf;
+            kf
+      in
+      let w_full =
+        Builder.emit_call_tir b kernel
+          [ Expr.Var wdata; Expr.Var wscale ]
+          ~out:(Struct_info.tensor [ c k; c n ] dt)
+          ()
+      in
+      Builder.emit b (Expr.call_op "matmul" [ x; Expr.Var w_full ])
+
+(* Broadcast-add a projection bias when the model has one. *)
+let add_bias b params bias_idx v =
+  match bias_idx with
+  | None -> v
+  | Some i ->
+      Builder.emit b
+        (Expr.call_op "add" [ Expr.Var v; Expr.Var (List.nth params i) ])
+
+let norm_weights d (cfg : Configs.t) name =
+  match cfg.Configs.norm with
+  | Configs.Rms -> `Rms (declare d name (Struct_info.tensor [ c cfg.Configs.hidden ] dt))
+  | Configs.Layer ->
+      `Layer
+        ( declare d (name ^ "_g") (Struct_info.tensor [ c cfg.Configs.hidden ] dt),
+          declare d (name ^ "_b") (Struct_info.tensor [ c cfg.Configs.hidden ] dt) )
+
+let apply_norm b params spec x =
+  match spec with
+  | `Rms i -> Builder.emit b (Expr.call_op "rms_norm" [ x; Expr.Var (List.nth params i) ])
+  | `Layer (gi, bi) ->
+      Builder.emit b
+        (Expr.call_op "layer_norm"
+           [ x; Expr.Var (List.nth params gi); Expr.Var (List.nth params bi) ])
+
+let apply_act b (cfg : Configs.t) x =
+  let op = match cfg.Configs.act with Configs.Silu -> "silu" | Configs.Gelu -> "gelu" in
+  Builder.emit b (Expr.call_op op [ x ])
+
+type layer_weights = {
+  attn_norm : [ `Rms of int | `Layer of int * int ];
+  wq : [ `One of int | `Two of int * int * int * int ];
+  wk : [ `One of int | `Two of int * int * int * int ];
+  wv : [ `One of int | `Two of int * int * int * int ];
+  qkv_biases : (int * int * int) option;
+      (** Qwen2-style projection biases (q, k, v) *)
+  wo : [ `One of int | `Two of int * int * int * int ];
+  ffn_norm : [ `Rms of int | `Layer of int * int ];
+  w_gate : [ `One of int | `Two of int * int * int * int ] option;
+  w_up : [ `One of int | `Two of int * int * int * int ];
+  w_down : [ `One of int | `Two of int * int * int * int ];
+}
+
+let declare_layer d (cfg : Configs.t) precision l =
+  let h = cfg.Configs.hidden in
+  let qd = cfg.Configs.heads * cfg.Configs.head_dim in
+  let kvd = cfg.Configs.kv_heads * cfg.Configs.head_dim in
+  let pre name = Printf.sprintf "l%d_%s" l name in
+  {
+    attn_norm = norm_weights d cfg (pre "attn_norm");
+    wq = declare_linear d precision ~name:(pre "wq") ~k:h ~n:qd;
+    wk = declare_linear d precision ~name:(pre "wk") ~k:h ~n:kvd;
+    wv = declare_linear d precision ~name:(pre "wv") ~k:h ~n:kvd;
+    qkv_biases =
+      (if cfg.Configs.qkv_bias then
+         Some
+           ( declare d (pre "bq") (Struct_info.tensor [ c qd ] dt),
+             declare d (pre "bk") (Struct_info.tensor [ c kvd ] dt),
+             declare d (pre "bv") (Struct_info.tensor [ c kvd ] dt) )
+       else None);
+    wo = declare_linear d precision ~name:(pre "wo") ~k:qd ~n:h;
+    ffn_norm = norm_weights d cfg (pre "ffn_norm");
+    w_gate =
+      (match cfg.Configs.mlp with
+      | Configs.Gated ->
+          Some (declare_linear d precision ~name:(pre "w_gate") ~k:h ~n:cfg.Configs.inter)
+      | Configs.Plain -> None);
+    w_up = declare_linear d precision ~name:(pre "w_up") ~k:h ~n:cfg.Configs.inter;
+    w_down = declare_linear d precision ~name:(pre "w_down") ~k:cfg.Configs.inter ~n:h;
+  }
+
+let mlp_block b kernels precision cfg params lw x =
+  match lw.w_gate with
+  | Some gate_spec ->
+      let g =
+        linear b kernels precision x (weight_of params precision gate_spec)
+      in
+      let u = linear b kernels precision x (weight_of params precision lw.w_up) in
+      let a = apply_act b cfg (Expr.Var g) in
+      let m = Builder.emit b (Expr.call_op "multiply" [ Expr.Var a; Expr.Var u ]) in
+      linear b kernels precision (Expr.Var m) (weight_of params precision lw.w_down)
+  | None ->
+      let u = linear b kernels precision x (weight_of params precision lw.w_up) in
+      let a = apply_act b cfg (Expr.Var u) in
+      linear b kernels precision (Expr.Var a) (weight_of params precision lw.w_down)
+
+(* ---------- decode step ---------- *)
+
+let decode_gen (cfg : Configs.t) ~(bb : E.t) ~batch ~batch_var ~return_caches precision =
+  let m_var = Arith.Var.fresh "m" in
+  let m = E.var m_var in
+  let h = cfg.Configs.hidden in
+  let heads = cfg.Configs.heads and kv = cfg.Configs.kv_heads in
+  let d = cfg.Configs.head_dim in
+  let decl = { specs = [] } in
+  let ids_i =
+    declare decl "ids"
+      (Struct_info.Tensor { shape = Known [ bb ]; dtype = Some Base.Dtype.I32 })
+  in
+  let cache_is =
+    List.init cfg.Configs.layers (fun l ->
+        let ksi =
+          declare decl
+            (Printf.sprintf "k_cache_%d" l)
+            (Struct_info.tensor [ bb; c kv; m; c d ] dt)
+        in
+        let vsi =
+          declare decl
+            (Printf.sprintf "v_cache_%d" l)
+            (Struct_info.tensor [ bb; c kv; m; c d ] dt)
+        in
+        (ksi, vsi))
+  in
+  let emb_i =
+    declare decl "embedding" (Struct_info.tensor [ c cfg.Configs.vocab; c h ] dt)
+  in
+  let layer_ws = List.init cfg.Configs.layers (declare_layer decl cfg precision) in
+  let final_norm = norm_weights decl cfg "final_norm" in
+  let lm_head = declare_linear decl precision ~name:"lm_head" ~k:h ~n:cfg.Configs.vocab in
+  let kernels = { decode_cache = Hashtbl.create 8 } in
+  let rope_q =
+    Attention.rope_decode ~name:"rope_q" ~batch:bb ~heads ~head_dim:d
+      ~pos:(Arith.Var.fresh "pos") dt
+  in
+  let rope_k =
+    Attention.rope_decode ~name:"rope_k" ~batch:bb ~heads:kv ~head_dim:d
+      ~pos:(Arith.Var.fresh "pos") dt
+  in
+  let append_kernel =
+    Attention.kv_append ~name:"kv_append" ~batch:bb ~kv_heads:kv ~head_dim:d
+      ~m:(E.var (Arith.Var.fresh "mc")) dt
+  in
+  let attn_kernel =
+    Attention.decode ~name:"attention_decode" ~batch:bb ~heads ~kv_heads:kv
+      ~head_dim:d ~m:(E.var (Arith.Var.fresh "ma")) dt
+  in
+  let b = Builder.create () in
+  Builder.function_ b ~name:"decode" ~params:decl.specs (fun params ->
+      Builder.dataflow b (fun () ->
+          let p i = Expr.Var (List.nth params i) in
+          let x =
+            ref
+              (Builder.emit b (Expr.call_op "take" [ p emb_i; p ids_i ]))
+          in
+          let new_caches = ref [] in
+          List.iteri
+            (fun l lw ->
+              let ksi, vsi = List.nth cache_is l in
+              let hin = apply_norm b params lw.attn_norm (Expr.Var !x) in
+              let bq, bk, bv =
+                match lw.qkv_biases with
+                | Some (a, b_, c_) -> (Some a, Some b_, Some c_)
+                | None -> (None, None, None)
+              in
+              let q =
+                add_bias b params bq
+                  (linear b kernels precision (Expr.Var hin)
+                     (weight_of params precision lw.wq))
+              in
+              let k =
+                add_bias b params bk
+                  (linear b kernels precision (Expr.Var hin)
+                     (weight_of params precision lw.wk))
+              in
+              let v =
+                add_bias b params bv
+                  (linear b kernels precision (Expr.Var hin)
+                     (weight_of params precision lw.wv))
+              in
+              let q4 =
+                Builder.emit b
+                  (Expr.call_op "reshape"
+                     [ Expr.Var q; Expr.Shape_expr [ bb; c heads; c 1; c d ] ])
+              in
+              let k4 =
+                Builder.emit b
+                  (Expr.call_op "reshape"
+                     [ Expr.Var k; Expr.Shape_expr [ bb; c kv; c 1; c d ] ])
+              in
+              let v4 =
+                Builder.emit b
+                  (Expr.call_op "reshape"
+                     [ Expr.Var v; Expr.Shape_expr [ bb; c kv; c 1; c d ] ])
+              in
+              let qr =
+                Builder.emit_call_tir b rope_q [ Expr.Var q4 ]
+                  ~out:(Struct_info.tensor [ bb; c heads; c 1; c d ] dt)
+                  ~sym_args:[ m ] ()
+              in
+              let kr =
+                Builder.emit_call_tir b rope_k [ Expr.Var k4 ]
+                  ~out:(Struct_info.tensor [ bb; c kv; c 1; c d ] dt)
+                  ~sym_args:[ m ] ()
+              in
+              let kc' =
+                Builder.emit_call_tir b append_kernel
+                  [ p ksi; Expr.Var kr ]
+                  ~out:(Struct_info.tensor [ bb; c kv; E.add m (c 1); c d ] dt)
+                  ()
+              in
+              let vc' =
+                Builder.emit_call_tir b append_kernel
+                  [ p vsi; Expr.Var v4 ]
+                  ~out:(Struct_info.tensor [ bb; c kv; E.add m (c 1); c d ] dt)
+                  ()
+              in
+              let at =
+                Builder.emit_call_tir b attn_kernel
+                  [ Expr.Var qr; Expr.Var kc'; Expr.Var vc' ]
+                  ~out:(Struct_info.tensor [ bb; c heads; c 1; c d ] dt)
+                  ()
+              in
+              let at2 =
+                Builder.emit b
+                  (Expr.call_op "reshape"
+                     [ Expr.Var at; Expr.Shape_expr [ bb; c (heads * d) ] ])
+              in
+              let o =
+                linear b kernels precision (Expr.Var at2)
+                  (weight_of params precision lw.wo)
+              in
+              let x1 =
+                Builder.emit b (Expr.call_op "add" [ Expr.Var !x; Expr.Var o ])
+              in
+              let h2 = apply_norm b params lw.ffn_norm (Expr.Var x1) in
+              let dn = mlp_block b kernels precision cfg params lw (Expr.Var h2) in
+              let x2 =
+                Builder.emit b (Expr.call_op "add" [ Expr.Var x1; Expr.Var dn ])
+              in
+              x := x2;
+              new_caches := !new_caches @ [ kc'; vc' ])
+            layer_ws;
+          let xf = apply_norm b params final_norm (Expr.Var !x) in
+          let logits =
+            linear b kernels precision (Expr.Var xf)
+              (weight_of params precision lm_head)
+          in
+          if return_caches then
+            Expr.Tuple
+              (Expr.Var logits :: List.map (fun v -> Expr.Var v) !new_caches)
+          else Expr.Var logits))
+  ;
+  {
+    mod_ = Builder.module_ b;
+    entry = "decode";
+    ctx_var = m_var;
+    batch_var;
+    params = decl.specs;
+    config = cfg;
+    batch;
+    precision;
+  }
+
+let decode ?(return_caches = true) (cfg : Configs.t) ~batch precision =
+  decode_gen cfg ~bb:(c batch) ~batch ~batch_var:None ~return_caches precision
+
+let decode_symbolic_batch ?(return_caches = true) ?(max_batch = 64)
+    (cfg : Configs.t) precision =
+  let bv = Arith.Var.fresh "b" in
+  let built =
+    decode_gen cfg ~bb:(E.var bv) ~batch:max_batch ~batch_var:(Some bv)
+      ~return_caches precision
+  in
+  { built with batch_var = Some bv }
+
+(* ---------- paged-cache decode (extension) ---------- *)
+
+let decode_paged (cfg : Configs.t) ~batch precision =
+  let m_var = Arith.Var.fresh "m" in
+  let m = E.var m_var in
+  let bb = c batch in
+  let h = cfg.Configs.hidden in
+  let heads = cfg.Configs.heads and kv = cfg.Configs.kv_heads in
+  let d = cfg.Configs.head_dim in
+  let mmax = c cfg.Configs.max_context in
+  let decl = { specs = [] } in
+  let ids_i =
+    declare decl "ids"
+      (Struct_info.Tensor { shape = Known [ bb ]; dtype = Some Base.Dtype.I32 })
+  in
+  let len_i = declare decl "cur_len" (Struct_info.shape [ m ]) in
+  let cache_is =
+    List.init cfg.Configs.layers (fun l ->
+        ( declare decl
+            (Printf.sprintf "k_cache_%d" l)
+            (Struct_info.tensor [ bb; c kv; mmax; c d ] dt),
+          declare decl
+            (Printf.sprintf "v_cache_%d" l)
+            (Struct_info.tensor [ bb; c kv; mmax; c d ] dt) ))
+  in
+  let emb_i =
+    declare decl "embedding" (Struct_info.tensor [ c cfg.Configs.vocab; c h ] dt)
+  in
+  let layer_ws = List.init cfg.Configs.layers (declare_layer decl cfg precision) in
+  let final_norm = norm_weights decl cfg "final_norm" in
+  let lm_head = declare_linear decl precision ~name:"lm_head" ~k:h ~n:cfg.Configs.vocab in
+  let kernels = { decode_cache = Hashtbl.create 8 } in
+  let rope_q =
+    Attention.rope_decode ~name:"rope_q" ~batch:bb ~heads ~head_dim:d
+      ~pos:(Arith.Var.fresh "pos") dt
+  in
+  let rope_k =
+    Attention.rope_decode ~name:"rope_k" ~batch:bb ~heads:kv ~head_dim:d
+      ~pos:(Arith.Var.fresh "pos") dt
+  in
+  let write_kernel =
+    Attention.kv_write ~name:"kv_write" ~batch:bb ~kv_heads:kv ~head_dim:d
+      ~max_ctx:mmax ~pos:(Arith.Var.fresh "wpos") dt
+  in
+  let attn_kernel =
+    Attention.decode_paged ~name:"attention_paged" ~batch:bb ~heads
+      ~kv_heads:kv ~head_dim:d ~max_ctx:mmax ~len:(Arith.Var.fresh "alen") dt
+  in
+  let b = Builder.create () in
+  Builder.function_ b ~name:"decode" ~params:decl.specs (fun params ->
+      Builder.dataflow b (fun () ->
+          let p i = Expr.Var (List.nth params i) in
+          ignore (p len_i);
+          let x =
+            ref (Builder.emit b (Expr.call_op "take" [ p emb_i; p ids_i ]))
+          in
+          List.iteri
+            (fun l lw ->
+              let ksi, vsi = List.nth cache_is l in
+              let hin = apply_norm b params lw.attn_norm (Expr.Var !x) in
+              let bq, bk, bv =
+                match lw.qkv_biases with
+                | Some (a, b_, c_) -> (Some a, Some b_, Some c_)
+                | None -> (None, None, None)
+              in
+              let q =
+                add_bias b params bq
+                  (linear b kernels precision (Expr.Var hin)
+                     (weight_of params precision lw.wq))
+              in
+              let k =
+                add_bias b params bk
+                  (linear b kernels precision (Expr.Var hin)
+                     (weight_of params precision lw.wk))
+              in
+              let v =
+                add_bias b params bv
+                  (linear b kernels precision (Expr.Var hin)
+                     (weight_of params precision lw.wv))
+              in
+              let q4 =
+                Builder.emit b
+                  (Expr.call_op "reshape"
+                     [ Expr.Var q; Expr.Shape_expr [ bb; c heads; c 1; c d ] ])
+              in
+              let k4 =
+                Builder.emit b
+                  (Expr.call_op "reshape"
+                     [ Expr.Var k; Expr.Shape_expr [ bb; c kv; c 1; c d ] ])
+              in
+              let v4 =
+                Builder.emit b
+                  (Expr.call_op "reshape"
+                     [ Expr.Var v; Expr.Shape_expr [ bb; c kv; c 1; c d ] ])
+              in
+              let qr =
+                Builder.emit_call_tir b rope_q [ Expr.Var q4 ]
+                  ~out:(Struct_info.tensor [ bb; c heads; c 1; c d ] dt)
+                  ~sym_args:[ m ] ()
+              in
+              let kr =
+                Builder.emit_call_tir b rope_k [ Expr.Var k4 ]
+                  ~out:(Struct_info.tensor [ bb; c kv; c 1; c d ] dt)
+                  ~sym_args:[ m ] ()
+              in
+              let kc =
+                Builder.emit_call_tir_inplace b write_kernel
+                  [ Expr.Var kr; p ksi ]
+                  ~out_index:1
+                  ~out:(Struct_info.tensor [ bb; c kv; mmax; c d ] dt)
+                  ~sym_args:[ m ] ()
+              in
+              let vc =
+                Builder.emit_call_tir_inplace b write_kernel
+                  [ Expr.Var v4; p vsi ]
+                  ~out_index:1
+                  ~out:(Struct_info.tensor [ bb; c kv; mmax; c d ] dt)
+                  ~sym_args:[ m ] ()
+              in
+              let at =
+                Builder.emit_call_tir b attn_kernel
+                  [ Expr.Var qr; Expr.Var kc; Expr.Var vc ]
+                  ~out:(Struct_info.tensor [ bb; c heads; c 1; c d ] dt)
+                  ~sym_args:[ E.add m (c 1) ] ()
+              in
+              let at2 =
+                Builder.emit b
+                  (Expr.call_op "reshape"
+                     [ Expr.Var at; Expr.Shape_expr [ bb; c (heads * d) ] ])
+              in
+              let o =
+                linear b kernels precision (Expr.Var at2)
+                  (weight_of params precision lw.wo)
+              in
+              let x1 = Builder.emit b (Expr.call_op "add" [ Expr.Var !x; Expr.Var o ]) in
+              let h2 = apply_norm b params lw.ffn_norm (Expr.Var x1) in
+              let dn = mlp_block b kernels precision cfg params lw (Expr.Var h2) in
+              let x2 = Builder.emit b (Expr.call_op "add" [ Expr.Var x1; Expr.Var dn ]) in
+              x := x2)
+            layer_ws;
+          let xf = apply_norm b params final_norm (Expr.Var !x) in
+          let logits =
+            linear b kernels precision (Expr.Var xf)
+              (weight_of params precision lm_head)
+          in
+          Expr.Var logits));
+  {
+    mod_ = Builder.module_ b;
+    entry = "decode";
+    ctx_var = m_var;
+    batch_var = None;
+    params = decl.specs;
+    config = cfg;
+    batch;
+    precision;
+  }
+
+(* ---------- prefill (batch 1) ----------- *)
+
+(* Copy the last row: lets prefill return (1, vocab) logits instead of
+   materializing the full (n, vocab) matrix. *)
+let last_row_kernel ~n ~width dtype =
+  let x = Tir.Buffer.create "X" [ n; width ] dtype in
+  let y = Tir.Buffer.create "Y" [ c 1; width ] dtype in
+  let j = Arith.Var.fresh "j" in
+  let body =
+    Tir.Stmt.for_ j width
+      (Tir.Stmt.Store
+         ( y,
+           [ Tir.Texpr.i 0; Tir.Texpr.iv j ],
+           Tir.Texpr.load x [ E.sub n (c 1); E.var j ] ))
+  in
+  Tir.Prim_func.create ~name:"last_row" ~params:[ x; y ] body
+
+let prefill ?(return_caches = true) (cfg : Configs.t) precision =
+  let n_var = Arith.Var.fresh "n" in
+  let n = E.var n_var in
+  let h = cfg.Configs.hidden in
+  let heads = cfg.Configs.heads and kv = cfg.Configs.kv_heads in
+  let d = cfg.Configs.head_dim in
+  let decl = { specs = [] } in
+  let ids_i =
+    declare decl "ids"
+      (Struct_info.Tensor { shape = Known [ n ]; dtype = Some Base.Dtype.I32 })
+  in
+  let emb_i =
+    declare decl "embedding" (Struct_info.tensor [ c cfg.Configs.vocab; c h ] dt)
+  in
+  let layer_ws = List.init cfg.Configs.layers (declare_layer decl cfg precision) in
+  let final_norm = norm_weights decl cfg "final_norm" in
+  let lm_head = declare_linear decl precision ~name:"lm_head" ~k:h ~n:cfg.Configs.vocab in
+  let kernels = { decode_cache = Hashtbl.create 8 } in
+  let rope_q = Attention.rope_prefill ~name:"rope_prefill_q" ~heads ~head_dim:d ~n dt in
+  let rope_k = Attention.rope_prefill ~name:"rope_prefill_k" ~heads:kv ~head_dim:d ~n dt in
+  let attn_kernel =
+    Attention.prefill ~name:"attention_prefill" ~heads ~kv_heads:kv ~head_dim:d
+      ~n:(E.var (Arith.Var.fresh "na")) dt
+  in
+  let lrk = last_row_kernel ~n:(E.var (Arith.Var.fresh "nl")) ~width:(c h) dt in
+  let to_heads b v ~count =
+    (* (n, count*d) -> (count, n, d) *)
+    let r3 =
+      Builder.emit b
+        (Expr.call_op "reshape"
+           [ Expr.Var v; Expr.Shape_expr [ n; c count; c d ] ])
+    in
+    Builder.emit b
+      (Expr.call_op "permute_dims"
+         [ Expr.Var r3; Expr.Shape_expr [ c 1; c 0; c 2 ] ])
+  in
+  let b = Builder.create () in
+  Builder.function_ b ~name:"prefill" ~params:decl.specs (fun params ->
+      Builder.dataflow b (fun () ->
+          let p i = Expr.Var (List.nth params i) in
+          let x = ref (Builder.emit b (Expr.call_op "take" [ p emb_i; p ids_i ])) in
+          let caches = ref [] in
+          List.iter
+            (fun lw ->
+              let hin = apply_norm b params lw.attn_norm (Expr.Var !x) in
+              let bq, bk, bv =
+                match lw.qkv_biases with
+                | Some (a, b_, c_) -> (Some a, Some b_, Some c_)
+                | None -> (None, None, None)
+              in
+              let q =
+                add_bias b params bq
+                  (linear b kernels precision (Expr.Var hin)
+                     (weight_of params precision lw.wq))
+              in
+              let k =
+                add_bias b params bk
+                  (linear b kernels precision (Expr.Var hin)
+                     (weight_of params precision lw.wk))
+              in
+              let v =
+                add_bias b params bv
+                  (linear b kernels precision (Expr.Var hin)
+                     (weight_of params precision lw.wv))
+              in
+              let qh = to_heads b q ~count:heads in
+              let kh = to_heads b k ~count:kv in
+              let vh = to_heads b v ~count:kv in
+              let qr =
+                Builder.emit_call_tir b rope_q [ Expr.Var qh ]
+                  ~out:(Struct_info.tensor [ c heads; n; c d ] dt)
+                  ()
+              in
+              let kr =
+                Builder.emit_call_tir b rope_k [ Expr.Var kh ]
+                  ~out:(Struct_info.tensor [ c kv; n; c d ] dt)
+                  ()
+              in
+              let at =
+                Builder.emit_call_tir b attn_kernel
+                  [ Expr.Var qr; Expr.Var kr; Expr.Var vh ]
+                  ~out:(Struct_info.tensor [ c heads; n; c d ] dt)
+                  ()
+              in
+              (* (heads, n, d) -> (n, heads*d) *)
+              let atp =
+                Builder.emit b
+                  (Expr.call_op "permute_dims"
+                     [ Expr.Var at; Expr.Shape_expr [ c 1; c 0; c 2 ] ])
+              in
+              let at2 =
+                Builder.emit b
+                  (Expr.call_op "reshape"
+                     [ Expr.Var atp; Expr.Shape_expr [ n; c (heads * d) ] ])
+              in
+              let o =
+                linear b kernels precision (Expr.Var at2)
+                  (weight_of params precision lw.wo)
+              in
+              let x1 = Builder.emit b (Expr.call_op "add" [ Expr.Var !x; Expr.Var o ]) in
+              let h2 = apply_norm b params lw.ffn_norm (Expr.Var x1) in
+              let dn = mlp_block b kernels precision cfg params lw (Expr.Var h2) in
+              let x2 = Builder.emit b (Expr.call_op "add" [ Expr.Var x1; Expr.Var dn ]) in
+              x := x2;
+              (* caches for subsequent decode: (1, kv, n, d) *)
+              let kc =
+                Builder.emit b
+                  (Expr.call_op "reshape"
+                     [ Expr.Var kr; Expr.Shape_expr [ c 1; c kv; n; c d ] ])
+              in
+              let vc =
+                Builder.emit b
+                  (Expr.call_op "reshape"
+                     [ Expr.Var vh; Expr.Shape_expr [ c 1; c kv; n; c d ] ])
+              in
+              caches := !caches @ [ kc; vc ])
+            layer_ws;
+          let last =
+            Builder.emit_call_tir b lrk [ Expr.Var !x ]
+              ~out:(Struct_info.tensor [ c 1; c h ] dt)
+              ()
+          in
+          let xf = apply_norm b params final_norm (Expr.Var last) in
+          let logits =
+            linear b kernels precision (Expr.Var xf)
+              (weight_of params precision lm_head)
+          in
+          if return_caches then
+            Expr.Tuple
+              (Expr.Var logits :: List.map (fun v -> Expr.Var v) !caches)
+          else Expr.Var logits))
+  ;
+  {
+    mod_ = Builder.module_ b;
+    entry = "prefill";
+    ctx_var = n_var;
+    batch_var = None;
+    params = decl.specs;
+    config = cfg;
+    batch = 1;
+    precision;
+  }
+
+(* ---------- runtime argument construction ---------- *)
+
+let args_for built ~ctx ?batch ~mode () =
+  let lookup v =
+    if Arith.Var.equal v built.ctx_var then ctx
+    else
+      match built.batch_var with
+      | Some bv when Arith.Var.equal v bv -> (
+          match batch with
+          | Some b -> b
+          | None -> built.batch)
+      | _ ->
+          failwith
+            (Printf.sprintf "Llm.args_for: unexpected symbolic variable %s"
+               (Arith.Var.name v))
+  in
+  List.mapi
+    (fun i (name, sinfo) ->
+      ignore name;
+      match sinfo with
+      | Struct_info.Tensor { shape = Struct_info.Known dims; dtype = Some dtype }
+        -> (
+          let shape = List.map (E.eval lookup) dims in
+          match mode with
+          | `Shadow -> Runtime.Vm.shadow_of_shape dtype shape
+          | `Numeric seed ->
+              Runtime.Vm.tensor
+                (Base.Ndarray.random_uniform ~seed:(seed + i) dtype
+                   (Array.of_list shape)))
+      | Struct_info.Shape (Struct_info.Known dims) ->
+          Runtime.Vm.Shape_val
+            (Array.of_list (List.map (E.eval lookup) dims))
+      | _ -> failwith "Llm.args_for: unsupported parameter kind")
+    built.params
+
+let upper_bound_hints built =
+  (built.ctx_var, built.config.Configs.max_context)
+  ::
+  (match built.batch_var with
+  | Some bv -> [ (bv, built.batch) ]
+  | None -> [])

@@ -1,0 +1,70 @@
+(** Decoder-only transformer builders (the paper's LLM workloads).
+
+    Models are constructed through the Relax block builder with an
+    nn.Module-like structure (§5.1): weights are function parameters,
+    the KV cache flows through functional append kernels, sequence
+    length and cache length are first-class symbolic variables, and
+    the customized attention / RoPE / quantization-decode tensor
+    programs of {!Attention} and {!Tir.Kernels} are invoked through
+    [call_tir] — the cross-level path that lets FuseOps merge the
+    4-bit weight decode into the matmul (Figure 9).
+
+    [decode] builds one generation step for a fixed batch size with a
+    symbolic cache length [m]; [prefill] builds whole-sequence
+    processing (batch 1) with symbolic length [n]. *)
+
+type precision = F16 | Q4 | Q3
+
+val bits_of_precision : precision -> int
+
+type built = {
+  mod_ : Relax_core.Ir_module.t;
+  entry : string;  (** entry function name *)
+  ctx_var : Arith.Var.t;  (** symbolic cache/sequence length *)
+  batch_var : Arith.Var.t option;
+      (** symbolic batch dimension, when compiled once for arbitrary
+          batch sizes (§5.1) *)
+  params : (string * Relax_core.Struct_info.t) list;
+      (** entry parameters in order: inputs, caches, weights *)
+  config : Configs.t;
+  batch : int;
+  precision : precision;
+}
+
+val decode : ?return_caches:bool -> Configs.t -> batch:int -> precision -> built
+val decode_symbolic_batch :
+  ?return_caches:bool -> ?max_batch:int -> Configs.t -> precision -> built
+(** Compile-once variant: the batch dimension is a symbolic variable
+    bounded by [max_batch] (default 64).
+
+    [return_caches:false] builds the serving-loop variant used by the
+    Table 2 memory measurement: grown caches are consumed by attention
+    but not returned, so their storage is recycled across layers —
+    modeling a runtime that maintains the cache outside the
+    activation pool. *)
+
+val decode_paged : Configs.t -> batch:int -> precision -> built
+(** Serving-style decode with a pre-allocated in-place KV cache (the
+    paged-cache extension): caches are passed at the model's maximum
+    context length, a [Shape] parameter carries the current length,
+    and each step writes one position through [call_tir_inplace] —
+    no cache copies, matching production runtimes. Returns logits
+    only. *)
+
+val prefill : ?return_caches:bool -> Configs.t -> precision -> built
+
+val args_for :
+  built ->
+  ctx:int ->
+  ?batch:int ->
+  mode:[ `Shadow | `Numeric of int ] ->
+  unit ->
+  Runtime.Vm.value list
+(** Concrete VM arguments for context/sequence length [ctx] (and
+    [batch] when compiled with a symbolic batch): shape-only shadows
+    for timed runs, seeded random tensors for numeric runs. *)
+
+val upper_bound_hints : built -> (Arith.Var.t * int) list
+(** [ctx_var] (and the symbolic batch, if any) bounded by the model's
+    maximum context / batch — the user annotation that enables fully
+    static memory planning (§4.3). *)

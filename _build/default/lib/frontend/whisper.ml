@@ -1,0 +1,216 @@
+open Relax_core
+module E = Arith.Expr
+
+type sizes = {
+  hidden : int;
+  heads : int;
+  head_dim : int;
+  inter : int;
+  enc_layers : int;
+  dec_layers : int;
+  vocab : int;
+  audio_ctx : int;
+  text_ctx : int;
+}
+
+let large_v3 =
+  {
+    hidden = 1280;
+    heads = 20;
+    head_dim = 64;
+    inter = 5120;
+    enc_layers = 32;
+    dec_layers = 32;
+    vocab = 51866;
+    audio_ctx = 1500;
+    text_ctx = 448;
+  }
+
+let tiny_sizes =
+  {
+    hidden = 8;
+    heads = 2;
+    head_dim = 4;
+    inter = 16;
+    enc_layers = 2;
+    dec_layers = 2;
+    vocab = 32;
+    audio_ctx = 6;
+    text_ctx = 8;
+  }
+
+let dt = Base.Dtype.F16
+let c = E.const
+
+let encoder s =
+  Encoder.build ~name:"whisper_encode" ~seq:s.audio_ctx ~hidden:s.hidden
+    ~heads:s.heads ~head_dim:s.head_dim ~inter:s.inter ~layers:s.enc_layers ()
+
+type decoder = {
+  mod_ : Ir_module.t;
+  entry : string;
+  ctx_var : Arith.Var.t;
+  params : (string * Struct_info.t) list;
+  sizes : sizes;
+}
+
+let decoder_step s =
+  let m_var = Arith.Var.fresh "m" in
+  let m = E.var m_var in
+  let h = s.hidden and heads = s.heads and d = s.head_dim in
+  let specs = ref [] in
+  let declare name sinfo =
+    let i = List.length !specs in
+    specs := !specs @ [ (name, sinfo) ];
+    i
+  in
+  let vec = Struct_info.tensor [ c h ] dt in
+  let mat k n = Struct_info.tensor [ c k; c n ] dt in
+  let ids_i =
+    declare "ids"
+      (Struct_info.Tensor { shape = Known [ c 1 ]; dtype = Some Base.Dtype.I32 })
+  in
+  let self_caches =
+    List.init s.dec_layers (fun l ->
+        ( declare (Printf.sprintf "k_cache_%d" l)
+            (Struct_info.tensor [ c 1; c heads; m; c d ] dt),
+          declare (Printf.sprintf "v_cache_%d" l)
+            (Struct_info.tensor [ c 1; c heads; m; c d ] dt) ))
+  in
+  let cross_kv =
+    List.init s.dec_layers (fun l ->
+        ( declare (Printf.sprintf "cross_k_%d" l)
+            (Struct_info.tensor [ c 1; c heads; c s.audio_ctx; c d ] dt),
+          declare (Printf.sprintf "cross_v_%d" l)
+            (Struct_info.tensor [ c 1; c heads; c s.audio_ctx; c d ] dt) ))
+  in
+  let emb_i = declare "embedding" (mat s.vocab h) in
+  let layer_ws =
+    List.init s.dec_layers (fun l ->
+        let p name = Printf.sprintf "l%d_%s" l name in
+        ( (declare (p "norm1_g") vec, declare (p "norm1_b") vec),
+          ( declare (p "wq") (mat h (heads * d)),
+            declare (p "wk") (mat h (heads * d)),
+            declare (p "wv") (mat h (heads * d)),
+            declare (p "wo") (mat (heads * d) h) ),
+          (declare (p "norm_c_g") vec, declare (p "norm_c_b") vec),
+          (declare (p "wq_c") (mat h (heads * d)), declare (p "wo_c") (mat (heads * d) h)),
+          (declare (p "norm2_g") vec, declare (p "norm2_b") vec),
+          (declare (p "w_up") (mat h s.inter), declare (p "w_down") (mat s.inter h))
+        ))
+  in
+  let final_g = declare "final_norm_g" vec in
+  let final_b = declare "final_norm_b" vec in
+  let lm_head = declare "lm_head" (mat h s.vocab) in
+  let append_kernel =
+    Attention.kv_append ~name:"whisper_kv_append" ~batch:(c 1) ~kv_heads:heads
+      ~head_dim:d ~m:(E.var (Arith.Var.fresh "mc")) dt
+  in
+  let self_attn =
+    Attention.decode ~name:"whisper_self_attention" ~batch:(c 1) ~heads
+      ~kv_heads:heads ~head_dim:d ~m:(E.var (Arith.Var.fresh "ms")) dt
+  in
+  let cross_attn =
+    Attention.decode ~name:"whisper_cross_attention" ~batch:(c 1) ~heads
+      ~kv_heads:heads ~head_dim:d ~m:(E.var (Arith.Var.fresh "mx")) dt
+  in
+  let b = Builder.create () in
+  Builder.function_ b ~name:"whisper_decode" ~params:!specs (fun params ->
+      Builder.dataflow b (fun () ->
+          let p i = Expr.Var (List.nth params i) in
+          let mm x w = Builder.emit b (Expr.call_op "matmul" [ x; w ]) in
+          let ln x (g, bt) =
+            Builder.emit b (Expr.call_op "layer_norm" [ x; p g; p bt ])
+          in
+          let reshape v dims =
+            Builder.emit b
+              (Expr.call_op "reshape" [ Expr.Var v; Expr.Shape_expr dims ])
+          in
+          let x = ref (Builder.emit b (Expr.call_op "take" [ p emb_i; p ids_i ])) in
+          let new_caches = ref [] in
+          List.iteri
+            (fun l (n1, (wq, wk, wv, wo), nc, (wq_c, wo_c), n2, (wu, wd)) ->
+              let ksi, vsi = List.nth self_caches l in
+              let cki, cvi = List.nth cross_kv l in
+              (* self attention with cache growth *)
+              let hin = ln (Expr.Var !x) n1 in
+              let q = reshape (mm (Expr.Var hin) (p wq)) [ c 1; c heads; c 1; c d ] in
+              let k = reshape (mm (Expr.Var hin) (p wk)) [ c 1; c heads; c 1; c d ] in
+              let v = reshape (mm (Expr.Var hin) (p wv)) [ c 1; c heads; c 1; c d ] in
+              let kc' =
+                Builder.emit_call_tir b append_kernel
+                  [ p ksi; Expr.Var k ]
+                  ~out:(Struct_info.tensor [ c 1; c heads; E.add m (c 1); c d ] dt)
+                  ()
+              in
+              let vc' =
+                Builder.emit_call_tir b append_kernel
+                  [ p vsi; Expr.Var v ]
+                  ~out:(Struct_info.tensor [ c 1; c heads; E.add m (c 1); c d ] dt)
+                  ()
+              in
+              let at =
+                Builder.emit_call_tir b self_attn
+                  [ Expr.Var q; Expr.Var kc'; Expr.Var vc' ]
+                  ~out:(Struct_info.tensor [ c 1; c heads; c 1; c d ] dt)
+                  ()
+              in
+              let o = mm (Expr.Var (reshape at [ c 1; c (heads * d) ])) (p wo) in
+              let x1 = Builder.emit b (Expr.call_op "add" [ Expr.Var !x; Expr.Var o ]) in
+              (* cross attention into the pre-projected encoder K/V *)
+              let hc = ln (Expr.Var x1) nc in
+              let qc =
+                reshape (mm (Expr.Var hc) (p wq_c)) [ c 1; c heads; c 1; c d ]
+              in
+              let atc =
+                Builder.emit_call_tir b cross_attn
+                  [ Expr.Var qc; p cki; p cvi ]
+                  ~out:(Struct_info.tensor [ c 1; c heads; c 1; c d ] dt)
+                  ()
+              in
+              let oc =
+                mm (Expr.Var (reshape atc [ c 1; c (heads * d) ])) (p wo_c)
+              in
+              let x2 = Builder.emit b (Expr.call_op "add" [ Expr.Var x1; Expr.Var oc ]) in
+              (* MLP *)
+              let h2 = ln (Expr.Var x2) n2 in
+              let u = mm (Expr.Var h2) (p wu) in
+              let a = Builder.emit b (Expr.call_op "gelu" [ Expr.Var u ]) in
+              let dn = mm (Expr.Var a) (p wd) in
+              let x3 = Builder.emit b (Expr.call_op "add" [ Expr.Var x2; Expr.Var dn ]) in
+              x := x3;
+              new_caches := !new_caches @ [ kc'; vc' ])
+            layer_ws;
+          let xf = ln (Expr.Var !x) (final_g, final_b) in
+          let logits = mm (Expr.Var xf) (p lm_head) in
+          Expr.Tuple
+            (Expr.Var logits :: List.map (fun v -> Expr.Var v) !new_caches)));
+  {
+    mod_ = Builder.module_ b;
+    entry = "whisper_decode";
+    ctx_var = m_var;
+    params = !specs;
+    sizes = s;
+  }
+
+let decoder_args dec ~ctx ~mode =
+  let lookup v =
+    if Arith.Var.equal v dec.ctx_var then ctx
+    else failwith "Whisper.decoder_args: unexpected symbolic variable"
+  in
+  List.mapi
+    (fun i (_, sinfo) ->
+      match sinfo with
+      | Struct_info.Tensor { shape = Struct_info.Known dims; dtype = Some dtype }
+        -> (
+          let shape = List.map (E.eval lookup) dims in
+          match mode with
+          | `Shadow -> Runtime.Vm.shadow_of_shape dtype shape
+          | `Numeric seed ->
+              Runtime.Vm.tensor
+                (Base.Ndarray.random_uniform ~seed:(seed + i) dtype
+                   (Array.of_list shape)))
+      | _ -> failwith "Whisper.decoder_args: non-tensor parameter")
+    dec.params
+
+let upper_bound_hints dec = [ (dec.ctx_var, dec.sizes.text_ctx) ]

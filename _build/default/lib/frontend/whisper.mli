@@ -1,0 +1,48 @@
+(** Whisper-style encoder-decoder ASR model (§5.4, Figure 19).
+
+    The audio encoder is a non-causal transformer over 1500 audio
+    positions (30 s at 50 frames/s); the decoder generates text tokens
+    with self-attention over a growing KV cache plus cross-attention
+    into the encoder output. Cross-attention keys/values are
+    pre-projected once after encoding and passed to every decode step,
+    as real implementations do.
+
+    The mel-spectrogram/conv frontend is out of scope: the encoder
+    input is the embedded audio sequence (DESIGN.md, substitutions). *)
+
+type sizes = {
+  hidden : int;
+  heads : int;
+  head_dim : int;
+  inter : int;
+  enc_layers : int;
+  dec_layers : int;
+  vocab : int;
+  audio_ctx : int;
+  text_ctx : int;
+}
+
+val large_v3 : sizes
+val tiny_sizes : sizes  (** numeric test scale *)
+
+val encoder : sizes -> Encoder.t
+(** Audio encoder: [(audio_ctx, hidden)] to [(audio_ctx, hidden)]. *)
+
+type decoder = {
+  mod_ : Relax_core.Ir_module.t;
+  entry : string;
+  ctx_var : Arith.Var.t;  (** generated-token count so far *)
+  params : (string * Relax_core.Struct_info.t) list;
+  sizes : sizes;
+}
+
+val decoder_step : sizes -> decoder
+(** One text-token decode step. Parameters: token id, per-layer self
+    KV caches [(1, heads, m, d)], per-layer pre-projected cross K/V
+    [(1, heads, audio_ctx, d)], weights. Returns logits and the grown
+    self caches. *)
+
+val decoder_args :
+  decoder -> ctx:int -> mode:[ `Shadow | `Numeric of int ] -> Runtime.Vm.value list
+
+val upper_bound_hints : decoder -> (Arith.Var.t * int) list

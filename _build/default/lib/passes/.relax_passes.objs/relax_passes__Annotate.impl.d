@@ -1,0 +1,1 @@
+lib/passes/annotate.ml: Relax_core Tir

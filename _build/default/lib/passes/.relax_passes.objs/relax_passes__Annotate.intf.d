@@ -1,0 +1,1 @@
+lib/passes/annotate.mli: Relax_core

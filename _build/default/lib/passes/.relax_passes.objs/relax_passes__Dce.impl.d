@@ -1,0 +1,1 @@
+lib/passes/dce.ml: Expr Hashtbl Ir_module List Relax_core Rvar Util

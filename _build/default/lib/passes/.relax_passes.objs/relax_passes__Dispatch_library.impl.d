@@ -1,0 +1,1 @@
+lib/passes/dispatch_library.ml: Arith Expr Ir_module List Relax_core Rvar Struct_info Util

@@ -1,0 +1,1 @@
+lib/passes/dispatch_library.mli: Arith Relax_core

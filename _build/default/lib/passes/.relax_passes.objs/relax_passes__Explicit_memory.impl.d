@@ -1,0 +1,1 @@
+lib/passes/explicit_memory.ml: Array Expr Hashtbl Ir_module List Printf Relax_core Rvar Struct_info

@@ -1,0 +1,1 @@
+lib/passes/explicit_memory.mli: Relax_core

@@ -1,0 +1,1 @@
+lib/passes/fold_constants.ml: Arith Array Base Expr Hashtbl Ir_module List Op Relax_core Rvar Struct_info Tir Util

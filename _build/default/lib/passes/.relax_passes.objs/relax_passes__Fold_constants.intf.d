@@ -1,0 +1,1 @@
+lib/passes/fold_constants.mli: Relax_core

@@ -1,0 +1,1 @@
+lib/passes/fuse_ops.ml: Arith Array Expr Hashtbl Ir_module List Printf Relax_core Rvar String Struct_info Tir Util

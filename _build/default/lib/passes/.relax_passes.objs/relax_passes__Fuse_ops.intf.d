@@ -1,0 +1,1 @@
+lib/passes/fuse_ops.mli: Relax_core

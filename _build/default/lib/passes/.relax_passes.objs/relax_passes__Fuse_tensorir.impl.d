@@ -1,0 +1,1 @@
+lib/passes/fuse_tensorir.ml: Arith Expr Hashtbl Ir_module List Relax_core Rvar Struct_info Tir Util

@@ -1,0 +1,1 @@
+lib/passes/fuse_tensorir.mli: Relax_core

@@ -1,0 +1,1 @@
+lib/passes/graph_capture.ml: Arith Expr Ir_module List Memory_plan Printf Relax_core Rvar Struct_info Util

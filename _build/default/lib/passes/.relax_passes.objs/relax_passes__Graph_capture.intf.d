@@ -1,0 +1,1 @@
+lib/passes/graph_capture.mli: Relax_core

@@ -1,0 +1,1 @@
+lib/passes/legalize.ml: Arith Deduce Expr Ir_module List Op Printf Relax_core Rvar Struct_info Util

@@ -1,0 +1,1 @@
+lib/passes/legalize.mli: Relax_core

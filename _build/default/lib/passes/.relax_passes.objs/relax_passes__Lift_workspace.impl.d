@@ -1,0 +1,1 @@
+lib/passes/lift_workspace.ml: Arith Deduce Expr Hashtbl Ir_module List Relax_core Rvar Struct_info Tir Util

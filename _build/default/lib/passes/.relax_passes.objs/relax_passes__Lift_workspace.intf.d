@@ -1,0 +1,1 @@
+lib/passes/lift_workspace.mli: Relax_core

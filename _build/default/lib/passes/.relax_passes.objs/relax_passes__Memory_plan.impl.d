@@ -1,0 +1,1 @@
+lib/passes/memory_plan.ml: Arith Expr Hashtbl Ir_module List Relax_core Rvar Struct_info Util

@@ -1,0 +1,1 @@
+lib/passes/memory_plan.mli: Arith Relax_core

@@ -1,0 +1,1 @@
+lib/passes/normalize.ml: Deduce Expr Ir_module List Printf Relax_core Rvar Struct_info

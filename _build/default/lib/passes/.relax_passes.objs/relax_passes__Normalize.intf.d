@@ -1,0 +1,1 @@
+lib/passes/normalize.mli: Relax_core

@@ -1,0 +1,1 @@
+lib/passes/pipeline.mli: Arith Relax_core Runtime

@@ -1,0 +1,1 @@
+lib/passes/renormalize.ml: Deduce Expr Hashtbl Ir_module List Relax_core Rvar Struct_info

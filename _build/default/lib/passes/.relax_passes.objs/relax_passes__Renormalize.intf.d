@@ -1,0 +1,1 @@
+lib/passes/renormalize.mli: Relax_core

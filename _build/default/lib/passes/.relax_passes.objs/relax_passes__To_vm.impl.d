@@ -1,0 +1,1 @@
+lib/passes/to_vm.ml: Arith Array Base Expr Hashtbl Ir_module List Printf Relax_core Runtime Rvar Struct_info

@@ -1,0 +1,1 @@
+lib/passes/to_vm.mli: Relax_core Runtime

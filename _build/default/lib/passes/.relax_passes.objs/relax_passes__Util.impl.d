@@ -1,0 +1,1 @@
+lib/passes/util.ml: Arith Base Expr List Relax_core Rvar Struct_info

@@ -1,0 +1,1 @@
+lib/passes/util.mli: Arith Expr Relax_core Rvar Struct_info

@@ -1,0 +1,2 @@
+let run mod_ =
+  Relax_core.Ir_module.map_tir (fun _ f -> Tir.Pattern.annotate f) mod_

@@ -1,0 +1,6 @@
+(** Analysis feedback (Algorithm 1 driver): classify every tensor
+    program in the module and record its compute pattern as a function
+    attribute, replacing the manual operator annotations traditional
+    compilers require. *)
+
+val run : Relax_core.Ir_module.t -> Relax_core.Ir_module.t

@@ -1,0 +1,77 @@
+open Relax_core
+
+let run_func (f : Expr.func) =
+  (* Iterate to a fixed point: removing a dead binding can kill the
+     uses that kept its producers alive. *)
+  let rec go f =
+    let counts = Util.use_counts f in
+    let changed = ref false in
+    let f' =
+      match f.Expr.body with
+      | Expr.Seq { blocks; body } ->
+          let blocks =
+            List.map
+              (fun (b : Expr.block) ->
+                if not b.Expr.dataflow then b
+                else
+                  let effectful binding =
+                    match Expr.bound_expr binding with
+                    | Expr.Call { callee = Expr.Op "call_tir_inplace"; _ } ->
+                        true
+                    | _ -> false
+                  in
+                  {
+                    b with
+                    Expr.bindings =
+                      List.filter
+                        (fun binding ->
+                          let v = Expr.binding_var binding in
+                          effectful binding
+                          ||
+                          match Rvar.Map.find_opt v counts with
+                          | Some _ -> true
+                          | None ->
+                              changed := true;
+                              false)
+                        b.Expr.bindings;
+                  })
+              blocks
+          in
+          { f with Expr.body = Expr.Seq { blocks; body } }
+      | _ -> f
+    in
+    if !changed then go f' else f'
+  in
+  go f
+
+let run mod_ = Ir_module.map_funcs (fun _ f -> run_func f) mod_
+
+let prune_unused_tir mod_ =
+  let used = Hashtbl.create 64 in
+  let rec mark (e : Expr.expr) =
+    match e with
+    | Expr.Global_var name -> Hashtbl.replace used name ()
+    | Expr.Tuple es -> List.iter mark es
+    | Expr.Tuple_get (e, _) -> mark e
+    | Expr.Call { callee; args; _ } ->
+        mark callee;
+        List.iter mark args
+    | Expr.If { cond; then_; else_ } ->
+        mark cond;
+        mark then_;
+        mark else_
+    | Expr.Seq { blocks; body } ->
+        List.iter
+          (fun (b : Expr.block) ->
+            List.iter (fun bd -> mark (Expr.bound_expr bd)) b.Expr.bindings)
+          blocks;
+        mark body
+    | Expr.Var _ | Expr.Const _ | Expr.Prim_value _ | Expr.Shape_expr _
+    | Expr.Extern_func _ | Expr.Op _ ->
+        ()
+  in
+  List.iter (fun (_, f) -> mark f.Expr.body) (Ir_module.funcs mod_);
+  List.fold_left
+    (fun m (name, _) ->
+      if Hashtbl.mem used name then m else Ir_module.remove m name)
+    mod_ (Ir_module.tir_funcs mod_)

@@ -1,0 +1,13 @@
+(** Dead code elimination inside dataflow blocks.
+
+    The paper's motivating use of dataflow blocks (§3.1): bindings in a
+    dataflow block are pure, so any binding whose variable is never
+    used can be dropped without changing observable behavior. Bindings
+    in non-dataflow blocks are conservatively kept. *)
+
+val run_func : Relax_core.Expr.func -> Relax_core.Expr.func
+val run : Relax_core.Ir_module.t -> Relax_core.Ir_module.t
+
+val prune_unused_tir : Relax_core.Ir_module.t -> Relax_core.Ir_module.t
+(** Remove tensor programs not referenced by any graph-level function
+    (fusion and library dispatch leave originals behind). *)

@@ -1,0 +1,60 @@
+open Relax_core
+
+type pattern = {
+  op_name : string;
+  library_fn : string -> string;
+  min_batch : int;
+}
+
+let default_patterns =
+  [
+    { op_name = "matmul"; library_fn = (fun v -> v ^ ".matmul"); min_batch = 2 };
+    {
+      op_name = "rms_norm";
+      library_fn = (fun v -> v ^ ".rms_norm");
+      min_batch = 0;
+    };
+  ]
+
+(* Leading extent (product of all but the last dimension) of the first
+   argument, when its annotation is precise enough. *)
+let leading_extent (args : Expr.expr list) =
+  match args with
+  | Expr.Var v :: _ -> (
+      match Struct_info.tensor_shape (Rvar.sinfo v) with
+      | Some dims when dims <> [] ->
+          let lead = List.filteri (fun i _ -> i < List.length dims - 1) dims in
+          Some
+            (Arith.Simplify.simplify
+               (List.fold_left Arith.Expr.mul (Arith.Expr.const 1) lead))
+      | Some _ | None -> None)
+  | _ -> None
+
+let run ?(patterns = default_patterns) ~vendor ?(bound_of = fun _ -> None) mod_ =
+  ignore bound_of;
+  let rewrite_binding (b : Expr.binding) =
+    match b with
+    | Expr.Bind (v, Expr.Call { callee = Expr.Op name; args; sinfo_args = [] })
+      -> (
+        match List.find_opt (fun p -> p.op_name = name) patterns with
+        | Some p ->
+            let batch_ok =
+              match leading_extent args with
+              | Some e -> (
+                  match Arith.Expr.as_const e with
+                  | Some c -> c >= p.min_batch
+                  | None -> true (* dynamic extent: assume large *))
+              | None -> true
+            in
+            if batch_ok then
+              [
+                Expr.Bind
+                  ( v,
+                    Expr.call_dps_library (p.library_fn vendor) args
+                      ~out:(Rvar.sinfo v) );
+              ]
+            else [ b ]
+        | None -> [ b ])
+    | Expr.Bind _ | Expr.Match_cast _ -> [ b ]
+  in
+  Ir_module.map_funcs (fun _ f -> Util.map_func_bindings rewrite_binding f) mod_

@@ -1,0 +1,31 @@
+(** Partial library lowering (§4.6, Figure 12).
+
+    Rewrites graph-level operator calls matching registered
+    "(pattern, library function)" pairs into [call_dps_library],
+    leaving everything else for later passes — the composable
+    partial-lowering the paper contrasts with single-shot lowering.
+    Runs first in the pipeline (Figure 13) so libraries take priority
+    on targets that have them. *)
+
+type pattern = {
+  op_name : string;  (** graph operator to match, e.g. ["matmul"] *)
+  library_fn : string -> string;
+      (** vendor prefix to qualified routine name *)
+  min_batch : int;
+      (** only dispatch when the leading (batch x rows) extent is
+          known to be at least this large — the paper keeps
+          compiler-generated matrix-vector kernels at batch 1 *)
+}
+
+val default_patterns : pattern list
+(** matmul and rms_norm, with matmul dispatched for batch >= 2. *)
+
+val run :
+  ?patterns:pattern list ->
+  vendor:string ->
+  ?bound_of:(Arith.Var.t -> int option) ->
+  Relax_core.Ir_module.t ->
+  Relax_core.Ir_module.t
+(** [bound_of] supplies lower bounds for symbolic dims when deciding
+    [min_batch] (unknown symbolic extents count as large, since decode
+    batch is the leading dim in the evaluated workloads). *)

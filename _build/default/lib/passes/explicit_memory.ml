@@ -1,0 +1,184 @@
+open Relax_core
+
+let dummy_var () = Rvar.fresh "_" Struct_info.Object
+
+let out_dims fname (out : Struct_info.t) =
+  match Struct_info.tensor_shape out with
+  | Some dims -> dims
+  | None ->
+      failwith
+        (Printf.sprintf
+           "ExplicitMemory: %s output annotation must have a known symbolic \
+            shape (got %s)"
+           fname (Struct_info.to_string out))
+
+let lower_bindings (b : Expr.binding) : Expr.binding list =
+  match b with
+  | Expr.Bind (v, e) -> (
+      match Expr.as_call_tir e with
+      | Some (kname, args, out, sym_args) ->
+          let dims = out_dims kname out in
+          [
+            Expr.Bind
+              ( v,
+                Expr.Call
+                  {
+                    callee = Expr.Op "builtin.alloc_tensor";
+                    args = [ Expr.Shape_expr dims ];
+                    sinfo_args = [ out ];
+                  } );
+            Expr.Bind
+              ( dummy_var (),
+                Expr.Call
+                  {
+                    callee = Expr.Op "builtin.kernel_call";
+                    args =
+                      (Expr.Global_var kname :: args)
+                      @ [ Expr.Var v ]
+                      @ List.map (fun s -> Expr.Prim_value s) sym_args;
+                    sinfo_args = [];
+                  } );
+          ]
+      | None -> (
+          match Expr.as_call_tir_inplace e with
+          | Some (kname, args, out_index, _out, sym_args) ->
+              (* No allocation: the kernel mutates args.(out_index);
+                 the binding aliases that argument. *)
+              let target =
+                match List.nth_opt args out_index with
+                | Some a -> a
+                | None ->
+                    failwith "ExplicitMemory: call_tir_inplace index out of range"
+              in
+              [
+                Expr.Bind
+                  ( dummy_var (),
+                    Expr.Call
+                      {
+                        callee = Expr.Op "builtin.kernel_call";
+                        args =
+                          (Expr.Global_var kname :: args)
+                          @ List.map (fun s -> Expr.Prim_value s) sym_args;
+                        sinfo_args = [];
+                      } );
+                Expr.Bind (v, target);
+              ]
+          | None ->
+          match Expr.as_call_dps_library e with
+          | Some (fname, args, out) ->
+              let dims = out_dims fname out in
+              [
+                Expr.Bind
+                  ( v,
+                    Expr.Call
+                      {
+                        callee = Expr.Op "builtin.alloc_tensor";
+                        args = [ Expr.Shape_expr dims ];
+                        sinfo_args = [ out ];
+                      } );
+                Expr.Bind
+                  ( dummy_var (),
+                    Expr.Call
+                      {
+                        callee = Expr.Op "builtin.extern_call";
+                        args = (Expr.Extern_func fname :: args) @ [ Expr.Var v ];
+                        sinfo_args = [];
+                      } );
+              ]
+          | None -> [ b ]))
+  | Expr.Match_cast _ -> [ b ]
+
+let is_alloc_binding (b : Expr.binding) =
+  match b with
+  | Expr.Bind (_, Expr.Call { callee = Expr.Op "builtin.alloc_tensor"; _ }) ->
+      true
+  | Expr.Bind _ | Expr.Match_cast _ -> false
+
+(* Insert builtin.kill markers after the last use of each allocated
+   tensor. Result variables are never killed. *)
+let insert_kills (bindings : Expr.binding list) (result : Expr.expr) :
+    Expr.binding list =
+  let arr = Array.of_list bindings in
+  let allocated =
+    Array.to_list arr
+    |> List.filter is_alloc_binding
+    |> List.map Expr.binding_var
+    |> Rvar.Set.of_list
+  in
+  let result_vars = Expr.free_vars result in
+  let last_use = Hashtbl.create 16 in
+  Array.iteri
+    (fun i b ->
+      Rvar.Set.iter
+        (fun v -> Hashtbl.replace last_use v.Rvar.id i)
+        (Expr.free_vars (Expr.bound_expr b)))
+    arr;
+  let kills_at = Hashtbl.create 16 in
+  Rvar.Set.iter
+    (fun v ->
+      if not (Rvar.Set.mem v result_vars) then
+        match Hashtbl.find_opt last_use v.Rvar.id with
+        | Some i ->
+            let cur = try Hashtbl.find kills_at i with Not_found -> [] in
+            Hashtbl.replace kills_at i (v :: cur)
+        | None -> ())
+    allocated;
+  List.concat
+    (List.mapi
+       (fun i b ->
+         match Hashtbl.find_opt kills_at i with
+         | Some vs ->
+             [
+               b;
+               Expr.Bind
+                 ( dummy_var (),
+                   Expr.Call
+                     {
+                       callee = Expr.Op "builtin.kill";
+                       args = List.map (fun v -> Expr.Var v) vs;
+                       sinfo_args = [];
+                     } );
+             ]
+         | None -> [ b ])
+       (Array.to_list arr))
+
+(* Lower an If branch body in place: each branch is a self-contained
+   region whose allocations stay unplanned (conservative). *)
+let rec lower_expr (e : Expr.expr) : Expr.expr =
+  match e with
+  | Expr.Seq { blocks; body } ->
+      let bindings =
+        List.concat_map
+          (fun (blk : Expr.block) ->
+            List.concat_map lower_binding_rec blk.Expr.bindings)
+          blocks
+      in
+      Expr.Seq { blocks = [ { Expr.dataflow = false; bindings } ]; body }
+  | Expr.If { cond; then_; else_ } ->
+      Expr.If { cond; then_ = lower_expr then_; else_ = lower_expr else_ }
+  | e -> e
+
+and lower_binding_rec (b : Expr.binding) : Expr.binding list =
+  match b with
+  | Expr.Bind (v, (Expr.If _ as e)) -> [ Expr.Bind (v, lower_expr e) ]
+  | b -> lower_bindings b
+
+let run_func (f : Expr.func) =
+  match f.Expr.body with
+  | Expr.Seq { blocks; body } ->
+      let bindings =
+        List.concat_map
+          (fun (blk : Expr.block) ->
+            List.concat_map lower_binding_rec blk.Expr.bindings)
+          blocks
+      in
+      let bindings = insert_kills bindings body in
+      {
+        f with
+        Expr.body =
+          Expr.Seq
+            { blocks = [ { Expr.dataflow = false; bindings } ]; body };
+      }
+  | _ -> f
+
+let run mod_ = Ir_module.map_funcs (fun _ f -> run_func f) mod_

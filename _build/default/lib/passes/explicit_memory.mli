@@ -1,0 +1,21 @@
+(** Lower cross-level calls to explicit memory form (Figure 5).
+
+    Each [call_tir] / [call_dps_library] binding expands to an
+    explicit output allocation followed by a destination-passing call:
+
+    {v
+      lv = call_tir(mm, [x, w], Tensor((n, 256), "f32"))
+    v}
+    becomes
+    {v
+      lv = builtin.alloc_tensor(shape(n, 256))   # annotated
+      _  = builtin.kernel_call(mm, x, w, lv, n)
+    v}
+
+    Liveness-based kill markers ([builtin.kill]) are inserted after
+    the last use of every allocated tensor so the runtime pool can
+    recycle unplanned memory; static memory planning (§4.3) replaces
+    allocations and removes the markers it subsumes. Blocks lose
+    their dataflow marking (allocation and mutation are effects). *)
+
+val run : Relax_core.Ir_module.t -> Relax_core.Ir_module.t

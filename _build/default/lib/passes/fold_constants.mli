@@ -1,0 +1,11 @@
+(** Constant folding inside dataflow blocks.
+
+    A pure operator call whose arguments are all constants (or
+    constant shapes) is evaluated at compile time through its own
+    legalized tensor program and replaced by the resulting constant —
+    the standard graph-level cleanup that runs early in Relax
+    pipelines (weights pre-transformation in MLC-style deployments).
+    Dead producers are left for {!Dce}. *)
+
+val run_func : Relax_core.Ir_module.t -> Relax_core.Expr.func -> Relax_core.Expr.func
+val run : Relax_core.Ir_module.t -> Relax_core.Ir_module.t

@@ -1,0 +1,312 @@
+open Relax_core
+
+type kind = Tir.Pattern.kind
+
+let severity = function
+  | Tir.Pattern.Element_wise -> 0
+  | Tir.Pattern.Broadcast -> 1
+  | Tir.Pattern.Injective -> 2
+  | Tir.Pattern.Reduction -> 3
+  | Tir.Pattern.Output_ewise_fusible -> 4
+  | Tir.Pattern.Opaque -> 5
+
+let is_light = function
+  | Tir.Pattern.Element_wise | Tir.Pattern.Broadcast | Tir.Pattern.Injective ->
+      true
+  | Tir.Pattern.Reduction | Tir.Pattern.Output_ewise_fusible
+  | Tir.Pattern.Opaque ->
+      false
+
+(* Fusion rules: can a binding of kind [bk] join a group of kind [gk],
+   and what is the merged group kind? *)
+let combine (gk : kind) (bk : kind) : kind option =
+  match (gk, bk) with
+  | _, _ when is_light gk && is_light bk ->
+      Some (if severity gk >= severity bk then gk else bk)
+  | _, Tir.Pattern.Output_ewise_fusible when is_light gk ->
+      Some Tir.Pattern.Output_ewise_fusible (* prologue, e.g. decode_q4 -> mm *)
+  | _, Tir.Pattern.Reduction when is_light gk -> Some Tir.Pattern.Reduction
+  | Tir.Pattern.Output_ewise_fusible, (Tir.Pattern.Element_wise | Tir.Pattern.Broadcast)
+    ->
+      Some Tir.Pattern.Output_ewise_fusible (* epilogue, e.g. mm + relu *)
+  | Tir.Pattern.Reduction, (Tir.Pattern.Element_wise | Tir.Pattern.Broadcast) ->
+      Some Tir.Pattern.Reduction
+  | _, _ -> None
+
+(* Union-find over binding indices within one block. *)
+type uf = { parent : int array; kinds : (int, kind) Hashtbl.t }
+
+let rec find uf i = if uf.parent.(i) = i then i else find uf uf.parent.(i)
+
+let fused_counter = ref 0
+
+let fuse_block mod_ref _fname (counts : int Rvar.Map.t) (block : Expr.block) :
+    Expr.block =
+  if not block.Expr.dataflow then block
+  else begin
+    let bindings = Array.of_list block.Expr.bindings in
+    let n = Array.length bindings in
+    let kind_of i =
+      match bindings.(i) with
+      | Expr.Bind (_, e) -> (
+          match Expr.as_call_tir e with
+          | Some (kname, _, _, _) -> (
+              match Ir_module.find_tir !mod_ref kname with
+              | Some kf -> (
+                  match Tir.Pattern.kind_of kf with
+                  | Tir.Pattern.Opaque -> None
+                  | k -> Some k)
+              | None -> None)
+          | None -> None)
+      | Expr.Match_cast _ -> None
+    in
+    let kinds = Array.init n kind_of in
+    let producer = Hashtbl.create 16 in
+    Array.iteri
+      (fun i b -> Hashtbl.replace producer (Expr.binding_var b) i)
+      bindings;
+    let uf = { parent = Array.init n (fun i -> i); kinds = Hashtbl.create 16 } in
+    Array.iteri
+      (fun i k -> match k with Some k -> Hashtbl.replace uf.kinds i k | None -> ())
+      kinds;
+    let group_kind i = Hashtbl.find_opt uf.kinds (find uf i) in
+    (* Try to merge binding i into the group of the producer of each of
+       its single-use arguments. *)
+    for i = 0 to n - 1 do
+      match (bindings.(i), kinds.(i)) with
+      | Expr.Bind (_, e), Some _ -> (
+          match Expr.as_call_tir e with
+          | Some (_, args, _, _) ->
+              List.iter
+                (fun arg ->
+                  match arg with
+                  | Expr.Var a -> (
+                      match Hashtbl.find_opt producer a with
+                      | Some p when find uf p <> find uf i -> (
+                          let single_use =
+                            Rvar.Map.find_opt a counts = Some 1
+                          in
+                          match
+                            (group_kind p, group_kind i, single_use)
+                          with
+                          | Some gk, Some ik, true -> (
+                              match combine gk ik with
+                              | Some merged ->
+                                  let rp = find uf p and ri = find uf i in
+                                  uf.parent.(rp) <- ri;
+                                  Hashtbl.replace uf.kinds ri merged
+                              | None -> ())
+                          | _, _, _ -> ())
+                      | Some _ | None -> ())
+                  | _ -> ())
+                args
+          | None -> ())
+      | _, _ -> ()
+    done;
+    (* Collect groups in index order. *)
+    let groups = Hashtbl.create 8 in
+    for i = 0 to n - 1 do
+      if kinds.(i) <> None then begin
+        let r = find uf i in
+        let cur = try Hashtbl.find groups r with Not_found -> [] in
+        Hashtbl.replace groups r (i :: cur)
+      end
+    done;
+    let multi =
+      Hashtbl.fold
+        (fun r members acc ->
+          let members = List.rev members in
+          if List.length members >= 2 then (r, members) :: acc else acc)
+        groups []
+    in
+    (* Build one subgraph function per multi-member group. *)
+    let replacement = Hashtbl.create 8 in
+    (* last-index -> replacement binding *)
+    let dropped = Hashtbl.create 8 in
+    List.iter
+      (fun (_, members) ->
+        let internal_vars =
+          List.map (fun i -> Expr.binding_var bindings.(i)) members
+        in
+        let is_internal v = List.exists (Rvar.equal v) internal_vars in
+        (* External tensor inputs in first-use order. *)
+        let externals = ref [] in
+        List.iter
+          (fun i ->
+            match bindings.(i) with
+            | Expr.Bind (_, e) -> (
+                match Expr.as_call_tir e with
+                | Some (_, args, _, _) ->
+                    List.iter
+                      (fun arg ->
+                        match arg with
+                        | Expr.Var a
+                          when (not (is_internal a))
+                               && not (List.exists (Rvar.equal a) !externals)
+                          ->
+                            externals := !externals @ [ a ]
+                        | _ -> ())
+                      args
+                | None -> ())
+            | Expr.Match_cast _ -> ())
+          members;
+        let externals = !externals in
+        let params = List.map Util.fresh_like externals in
+        (* Symbolic variables of the group, and those derivable from
+           bare dims of the tensor parameters. *)
+        let needed =
+          List.fold_left
+            (fun acc i ->
+              match bindings.(i) with
+              | Expr.Bind (v, e) ->
+                  let acc =
+                    Arith.Var.Set.union acc
+                      (Struct_info.free_sym_vars (Rvar.sinfo v))
+                  in
+                  (match Expr.as_call_tir e with
+                  | Some (_, _, out, sym_args) ->
+                      let acc =
+                        Arith.Var.Set.union acc (Struct_info.free_sym_vars out)
+                      in
+                      List.fold_left
+                        (fun acc sa ->
+                          Arith.Var.Set.union acc (Arith.Expr.free_vars sa))
+                        acc sym_args
+                  | None -> acc)
+              | Expr.Match_cast _ -> acc)
+            (List.fold_left
+               (fun acc p ->
+                 Arith.Var.Set.union acc
+                   (Struct_info.free_sym_vars (Rvar.sinfo p)))
+               Arith.Var.Set.empty params)
+            members
+        in
+        let derivable =
+          List.fold_left
+            (fun acc p ->
+              match Struct_info.tensor_shape (Rvar.sinfo p) with
+              | Some dims ->
+                  List.fold_left
+                    (fun acc d ->
+                      match d with
+                      | Arith.Expr.Var v -> Arith.Var.Set.add v acc
+                      | _ -> acc)
+                    acc dims
+              | None -> acc)
+            Arith.Var.Set.empty params
+        in
+        let missing =
+          Arith.Var.Set.elements (Arith.Var.Set.diff needed derivable)
+        in
+        let shape_param =
+          match missing with
+          | [] -> None
+          | vs ->
+              Some
+                (Rvar.fresh "s"
+                   (Struct_info.shape (List.map Arith.Expr.var vs)))
+        in
+        let all_params =
+          params @ match shape_param with Some s -> [ s ] | None -> []
+        in
+        (* Subgraph body: group bindings with externals renamed. *)
+        let env =
+          List.fold_left2
+            (fun acc ext p -> Rvar.Map.add ext (Expr.Var p) acc)
+            Rvar.Map.empty externals params
+        in
+        let inner_bindings =
+          List.map
+            (fun i ->
+              match bindings.(i) with
+              | Expr.Bind (v, e) -> Expr.Bind (v, Util.subst_vars env e)
+              | Expr.Match_cast (v, e, si) ->
+                  Expr.Match_cast (v, Util.subst_vars env e, si))
+            members
+        in
+        let last_var = Expr.binding_var bindings.(List.nth members (List.length members - 1)) in
+        let subgraph =
+          {
+            Expr.params = all_params;
+            ret_sinfo = Rvar.sinfo last_var;
+            body =
+              Expr.Seq
+                {
+                  blocks =
+                    [ { Expr.dataflow = true; bindings = inner_bindings } ];
+                  body = Expr.Var last_var;
+                };
+            attrs = [ ("fused", "1") ];
+          }
+        in
+        incr fused_counter;
+        let base_name =
+          let kernel_names =
+            List.filter_map
+              (fun i ->
+                match bindings.(i) with
+                | Expr.Bind (_, e) -> (
+                    match Expr.as_call_tir e with
+                    | Some (kname, _, _, _) -> Some kname
+                    | None -> None)
+                | Expr.Match_cast _ -> None)
+              members
+          in
+          "fused_" ^ String.concat "_" kernel_names
+        in
+        let rec unique_name candidate i =
+          if Ir_module.mem !mod_ref candidate then
+            unique_name (Printf.sprintf "%s_%d" base_name i) (i + 1)
+          else candidate
+        in
+        let name = unique_name base_name 1 in
+        mod_ref := Ir_module.add_func !mod_ref name subgraph;
+        (* Caller-side replacement at the last member's position. *)
+        let call_args =
+          List.map (fun v -> Expr.Var v) externals
+          @
+          match missing with
+          | [] -> []
+          | vs -> [ Expr.Shape_expr (List.map Arith.Expr.var vs) ]
+        in
+        let last = List.nth members (List.length members - 1) in
+        Hashtbl.replace replacement last
+          (Expr.Bind (last_var, Expr.call_fn (Expr.Global_var name) call_args));
+        List.iter
+          (fun i -> if i <> last then Hashtbl.replace dropped i ())
+          members)
+      multi;
+    let new_bindings =
+      List.concat
+        (List.mapi
+           (fun i b ->
+             if Hashtbl.mem dropped i then []
+             else
+               match Hashtbl.find_opt replacement i with
+               | Some r -> [ r ]
+               | None -> [ b ])
+           (Array.to_list bindings))
+    in
+    { block with Expr.bindings = new_bindings }
+  end
+
+let run mod_ =
+  let mod_ref = ref mod_ in
+  List.iter
+    (fun (name, f) ->
+      if List.assoc_opt "fused" f.Expr.attrs = None then begin
+        let counts = Util.use_counts f in
+        let body =
+          match f.Expr.body with
+          | Expr.Seq { blocks; body } ->
+              Expr.Seq
+                {
+                  blocks = List.map (fuse_block mod_ref name counts) blocks;
+                  body;
+                }
+          | e -> e
+        in
+        mod_ref := Ir_module.update_func !mod_ref name { f with Expr.body }
+      end)
+    (Ir_module.funcs mod_);
+  !mod_ref

@@ -1,0 +1,21 @@
+(** FuseOps (Algorithm 2): dynamic shape-aware operator fusion.
+
+    Groups [call_tir] bindings inside dataflow blocks using the
+    compute patterns recorded by the analysis-feedback pass:
+
+    - chains of ElementWise / Broadcast / Injective programs merge;
+    - Injective producers (e.g. the custom quantization decode of
+      Figure 9) merge into a consuming OutputEwiseFusible program
+      (matmul-like) as prologues;
+    - ElementWise / Broadcast consumers merge into OutputEwiseFusible
+      or Reduction groups as epilogues.
+
+    A producer is only pulled into a group when its result has a
+    single consumer. Each multi-binding group becomes a new subgraph
+    function; when the group's symbolic variables are not derivable
+    from its tensor parameters, an extra [Shape] parameter carries
+    them (Figure 8). The original bindings are replaced by a call to
+    the subgraph function. Fused functions carry the attribute
+    [("fused", "1")] for FuseTensorIR. *)
+
+val run : Relax_core.Ir_module.t -> Relax_core.Ir_module.t

@@ -1,0 +1,160 @@
+open Relax_core
+
+(* Build a TIR buffer mirroring a graph-level tensor variable. *)
+let buffer_of_var (v : Rvar.t) : Tir.Buffer.t option =
+  match Rvar.sinfo v with
+  | Struct_info.Tensor { shape = Struct_info.Known dims; dtype = Some dt } ->
+      Some (Tir.Buffer.create (Rvar.name v) dims dt)
+  | _ -> None
+
+type plan = {
+  kernel : Tir.Prim_func.t;
+  sym_vars : Arith.Var.t list;  (** order of the merged kernel's sym params *)
+}
+
+(* Try to merge the tensor programs of one fused subgraph function. *)
+let plan_subgraph mod_ (f : Expr.func) : plan option =
+  let tensor_params, shape_params =
+    List.partition
+      (fun p ->
+        match Rvar.sinfo p with Struct_info.Tensor _ -> true | _ -> false)
+      f.Expr.params
+  in
+  let sym_vars =
+    List.concat_map
+      (fun p ->
+        match Rvar.sinfo p with
+        | Struct_info.Shape (Struct_info.Known dims) ->
+            List.filter_map
+              (fun d -> match d with Arith.Expr.Var v -> Some v | _ -> None)
+              dims
+        | _ -> [])
+      shape_params
+  in
+  match f.Expr.body with
+  | Expr.Seq { blocks = [ { Expr.bindings; _ } ]; body = Expr.Var result } -> (
+      let buf_table = Hashtbl.create 16 in
+      let buffer_for v =
+        match Hashtbl.find_opt buf_table v.Rvar.id with
+        | Some b -> Some b
+        | None -> (
+            match buffer_of_var v with
+            | Some b ->
+                Hashtbl.replace buf_table v.Rvar.id b;
+                Some b
+            | None -> None)
+      in
+      let exception Bail in
+      try
+        let calls =
+          List.map
+            (fun binding ->
+              match binding with
+              | Expr.Bind (v, e) -> (
+                  match Expr.as_call_tir e with
+                  | Some (kname, args, _out, sym_args) -> (
+                      match Ir_module.find_tir mod_ kname with
+                      | Some kernel ->
+                          let arg_bufs =
+                            List.map
+                              (fun a ->
+                                match a with
+                                | Expr.Var av -> (
+                                    match buffer_for av with
+                                    | Some b -> b
+                                    | None -> raise Bail)
+                                | _ -> raise Bail)
+                              args
+                          in
+                          let out_buf =
+                            match buffer_for v with
+                            | Some b -> b
+                            | None -> raise Bail
+                          in
+                          (v, { Tir.Fuse.callee = kernel;
+                                buffer_args = arg_bufs @ [ out_buf ];
+                                sym_args })
+                      | None -> raise Bail)
+                  | None -> raise Bail)
+              | Expr.Match_cast _ -> raise Bail)
+            bindings
+        in
+        let input_bufs =
+          List.filter_map
+            (fun p ->
+              match buffer_for p with Some b -> Some b | None -> None)
+            tensor_params
+        in
+        if List.length input_bufs <> List.length tensor_params then raise Bail;
+        let out_buf =
+          match buffer_for result with Some b -> b | None -> raise Bail
+        in
+        let temps =
+          List.filter_map
+            (fun (v, _) -> if Rvar.equal v result then None else buffer_for v)
+            calls
+        in
+        let kernel =
+          Tir.Fuse.merge ~name:"merged" ~inputs:input_bufs ~outputs:[ out_buf ]
+            ~temps
+            ~calls:(List.map snd calls)
+            ~sym_params:sym_vars ()
+        in
+        Some { kernel; sym_vars }
+      with Bail | Tir.Fuse.Fusion_error _ -> None)
+  | _ -> None
+
+(* Rewrite call sites of fused subgraph functions into call_tir of the
+   merged kernels. *)
+let rewrite_calls (merged : (string, string * plan) Hashtbl.t) (f : Expr.func) =
+  let rewrite (b : Expr.binding) =
+    match b with
+    | Expr.Bind (v, Expr.Call { callee = Expr.Global_var g; args; sinfo_args = [] })
+      -> (
+        match Hashtbl.find_opt merged g with
+        | Some (kname, _plan) ->
+            let tensor_args, shape_args =
+              List.partition
+                (fun a ->
+                  match a with Expr.Shape_expr _ -> false | _ -> true)
+                args
+            in
+            let sym_args =
+              match shape_args with
+              | [ Expr.Shape_expr dims ] -> dims
+              | [] -> []
+              | _ -> List.concat_map
+                       (fun a ->
+                         match a with Expr.Shape_expr d -> d | _ -> [])
+                       shape_args
+            in
+            [
+              Expr.Bind
+                ( v,
+                  Expr.call_tir kname tensor_args ~out:(Rvar.sinfo v) ~sym_args
+                    () );
+            ]
+        | None -> [ b ])
+    | Expr.Bind _ | Expr.Match_cast _ -> [ b ]
+  in
+  Util.map_func_bindings rewrite f
+
+let run mod_ =
+  let fused =
+    List.filter
+      (fun (_, f) -> List.assoc_opt "fused" f.Expr.attrs = Some "1")
+      (Ir_module.funcs mod_)
+  in
+  let merged = Hashtbl.create 8 in
+  let mod_ref = ref mod_ in
+  List.iter
+    (fun (name, f) ->
+      match plan_subgraph !mod_ref f with
+      | Some plan ->
+          let kernel = Tir.Pattern.annotate (Tir.Prim_func.with_name plan.kernel name) in
+          let m, kname = Ir_module.add_tir_fresh (Ir_module.remove !mod_ref name) kernel in
+          mod_ref := m;
+          Hashtbl.replace merged name (kname, plan)
+      | None -> ())
+    fused;
+  Ir_module.map_funcs (fun _ f -> rewrite_calls merged f) !mod_ref

@@ -1,0 +1,15 @@
+(** FuseTensorIR (§4.2, Figure 9): the cross-level half of fusion.
+
+    For every subgraph function produced by FuseOps (attribute
+    [("fused", "1")]), merge the tensor programs it calls into a
+    single kernel via {!Tir.Fuse.merge} — intermediates become on-chip
+    scratch — and replace every call to the subgraph function with a
+    direct [call_tir] of the merged kernel, passing the subgraph's
+    extra symbolic arguments through. The subgraph function is then
+    removed from the module.
+
+    Subgraph functions containing anything but [call_tir] bindings of
+    variable arguments are left as ordinary functions (conservative
+    bail-out). *)
+
+val run : Relax_core.Ir_module.t -> Relax_core.Ir_module.t

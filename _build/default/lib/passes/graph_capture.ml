@@ -1,0 +1,195 @@
+open Relax_core
+
+let capture_counter = ref 0
+
+let is_capturable (b : Expr.binding) =
+  match b with
+  | Expr.Bind
+      ( _,
+        Expr.Call
+          {
+            callee =
+              Expr.Op
+                ( "builtin.kernel_call" | "builtin.extern_call"
+                | "builtin.tensor_from_storage" );
+            _;
+          } ) ->
+      true
+  | Expr.Bind _ | Expr.Match_cast _ -> false
+
+let is_call (b : Expr.binding) =
+  match b with
+  | Expr.Bind
+      ( _,
+        Expr.Call
+          { callee = Expr.Op ("builtin.kernel_call" | "builtin.extern_call"); _ }
+      ) ->
+      true
+  | Expr.Bind _ | Expr.Match_cast _ -> false
+
+(* Split bindings into maximal runs of capturable bindings and the
+   bindings between them. *)
+let runs_of bindings =
+  let rec go acc cur = function
+    | [] -> List.rev (if cur = [] then acc else `Run (List.rev cur) :: acc)
+    | b :: rest ->
+        if is_capturable b then go acc (b :: cur) rest
+        else
+          let acc = if cur = [] then acc else `Run (List.rev cur) :: acc in
+          go (`Single b :: acc) [] rest
+  in
+  go [] [] bindings
+
+let sym_vars_of_bindings bindings =
+  List.fold_left
+    (fun acc b ->
+      let e = Expr.bound_expr b in
+      let rec vars_of (e : Expr.expr) =
+        match e with
+        | Expr.Shape_expr dims ->
+            List.fold_left
+              (fun acc d -> Arith.Var.Set.union acc (Arith.Expr.free_vars d))
+              Arith.Var.Set.empty dims
+        | Expr.Prim_value p -> Arith.Expr.free_vars p
+        | Expr.Call { args; _ } ->
+            List.fold_left
+              (fun acc a -> Arith.Var.Set.union acc (vars_of a))
+              Arith.Var.Set.empty args
+        | Expr.Tuple es ->
+            List.fold_left
+              (fun acc a -> Arith.Var.Set.union acc (vars_of a))
+              Arith.Var.Set.empty es
+        | _ -> Arith.Var.Set.empty
+      in
+      Arith.Var.Set.union acc (vars_of e))
+    Arith.Var.Set.empty bindings
+
+let lift_region mod_ref fname region ~used_after =
+  let defined = List.map Expr.binding_var region in
+  let is_defined v = List.exists (Rvar.equal v) defined in
+  (* External variables in first-use order. *)
+  let externals = ref [] in
+  List.iter
+    (fun b ->
+      Rvar.Set.iter
+        (fun v ->
+          if (not (is_defined v)) && not (List.exists (Rvar.equal v) !externals)
+          then externals := !externals @ [ v ])
+        (Expr.free_vars (Expr.bound_expr b)))
+    region;
+  let externals = !externals in
+  let outputs =
+    List.filter (fun v -> Rvar.Set.mem v used_after) defined
+  in
+  let params = List.map Util.fresh_like externals in
+  let sym_needed = sym_vars_of_bindings region in
+  let sym_list = Arith.Var.Set.elements sym_needed in
+  let shape_param =
+    match sym_list with
+    | [] -> None
+    | vs -> Some (Rvar.fresh "s" (Struct_info.shape (List.map Arith.Expr.var vs)))
+  in
+  let env =
+    List.fold_left2
+      (fun acc ext p -> Rvar.Map.add ext (Expr.Var p) acc)
+      Rvar.Map.empty externals params
+  in
+  let inner =
+    List.map
+      (fun b ->
+        match b with
+        | Expr.Bind (v, e) -> Expr.Bind (v, Util.subst_vars env e)
+        | Expr.Match_cast (v, e, si) ->
+            Expr.Match_cast (v, Util.subst_vars env e, si))
+      region
+  in
+  let ret_expr, ret_sinfo =
+    match outputs with
+    | [ v ] -> (Expr.Var v, Rvar.sinfo v)
+    | vs ->
+        ( Expr.Tuple (List.map (fun v -> Expr.Var v) vs),
+          Struct_info.Tuple (List.map Rvar.sinfo vs) )
+  in
+  let subgraph =
+    {
+      Expr.params =
+        (params @ match shape_param with Some s -> [ s ] | None -> []);
+      ret_sinfo;
+      body =
+        Expr.Seq
+          { blocks = [ { Expr.dataflow = false; bindings = inner } ];
+            body = ret_expr };
+      attrs = [ ("captured_graph", "1") ];
+    }
+  in
+  incr capture_counter;
+  let name = Printf.sprintf "%s_cuda_graph_%d" fname !capture_counter in
+  mod_ref := Ir_module.add_func !mod_ref name subgraph;
+  let call_args =
+    (Expr.Global_var name :: List.map (fun v -> Expr.Var v) externals)
+    @
+    match sym_list with
+    | [] -> []
+    | vs -> [ Expr.Shape_expr (List.map Arith.Expr.var vs) ]
+  in
+  let call =
+    Expr.Call
+      {
+        callee = Expr.Op "builtin.graph_run";
+        args = Expr.Prim_value (Arith.Expr.const !capture_counter) :: call_args;
+        sinfo_args = [ ret_sinfo ];
+      }
+  in
+  match outputs with
+  | [ v ] -> [ Expr.Bind (v, call) ]
+  | vs ->
+      let tup = Rvar.fresh "captured" ret_sinfo in
+      Expr.Bind (tup, call)
+      :: List.mapi (fun i v -> Expr.Bind (v, Expr.Tuple_get (Expr.Var tup, i))) vs
+
+let run_func mod_ref fname (f : Expr.func) =
+  if not (Memory_plan.plan_is_static f) then f
+  else
+    match f.Expr.body with
+    | Expr.Seq { blocks = [ { Expr.bindings; dataflow } ]; body } ->
+        let pieces = runs_of bindings in
+        (* Variables used after each position, including the result. *)
+        let result_vars = Expr.free_vars body in
+        let rec rebuild pieces =
+          match pieces with
+          | [] -> []
+          | `Single b :: rest -> b :: rebuild rest
+          | `Run region :: rest ->
+              let calls = List.length (List.filter is_call region) in
+              if calls < 2 then region @ rebuild rest
+              else
+                let after_bindings =
+                  List.concat_map
+                    (function `Single b -> [ b ] | `Run r -> r)
+                    rest
+                in
+                let used_after =
+                  List.fold_left
+                    (fun acc b ->
+                      Rvar.Set.union acc
+                        (Expr.free_vars (Expr.bound_expr b)))
+                    result_vars after_bindings
+                in
+                lift_region mod_ref fname region ~used_after @ rebuild rest
+        in
+        let bindings = rebuild pieces in
+        {
+          f with
+          Expr.body =
+            Expr.Seq { blocks = [ { Expr.dataflow; bindings } ]; body };
+        }
+    | _ -> f
+
+let run mod_ =
+  let mod_ref = ref mod_ in
+  List.iter
+    (fun (name, f) ->
+      if List.assoc_opt "captured_graph" f.Expr.attrs = None then
+        mod_ref := Ir_module.update_func !mod_ref name (run_func mod_ref name f))
+    (Ir_module.funcs mod_);
+  !mod_ref

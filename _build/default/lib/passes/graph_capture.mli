@@ -1,0 +1,19 @@
+(** Graph offloading — the CUDA Graph analogue (§4.5).
+
+    After static memory planning, lifts maximal regions of kernel and
+    library calls (plus the zero-cost tensor instantiations between
+    them) into subgraph functions invoked through the
+    [builtin.graph_run] builtin. At runtime the first invocation of a
+    region captures it; every later invocation replays it, eliminating
+    per-kernel launch overhead (the VM charges a single replay
+    overhead instead).
+
+    Preconditions, checked per function: the target device supports
+    graph capture, and the memory plan is fully static
+    ({!Memory_plan.plan_is_static}) — exactly the paper's requirement
+    that all memory accessed by captured kernels be statically
+    allocated. *)
+
+val run : Relax_core.Ir_module.t -> Relax_core.Ir_module.t
+(** Functions that fail the preconditions are left unchanged. Only
+    regions containing at least two kernel/library calls are lifted. *)

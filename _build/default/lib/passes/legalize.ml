@@ -1,0 +1,82 @@
+open Relax_core
+
+(* Freshen non-constant dims, sharing fresh variables between
+   occurrences of provably-equal expressions so that shape relations
+   (same input/output extents, matching inner dimensions) survive in
+   the generated kernel's signature. *)
+type freshener = {
+  mutable mapping : (Arith.Expr.t * Arith.Var.t) list;
+}
+
+let fresh_dim fr (e : Arith.Expr.t) =
+  match e with
+  | Arith.Expr.Const _ -> e
+  | _ -> (
+      let canon = Arith.Simplify.simplify e in
+      match
+        List.find_opt
+          (fun (prev, _) -> Arith.Simplify.prove_equal prev canon)
+          fr.mapping
+      with
+      | Some (_, v) -> Arith.Expr.var v
+      | None ->
+          let v = Arith.Var.fresh "d" in
+          fr.mapping <- (canon, v) :: fr.mapping;
+          Arith.Expr.var v)
+
+let fresh_shape_info fr (si : Struct_info.shape_info) =
+  match si with
+  | Struct_info.Known dims -> Struct_info.Known (List.map (fresh_dim fr) dims)
+  | Struct_info.Ndim _ | Struct_info.Unknown_rank -> si
+
+let rec fresh_sinfo fr (si : Struct_info.t) =
+  match si with
+  | Struct_info.Tensor t ->
+      Struct_info.Tensor { t with Struct_info.shape = fresh_shape_info fr t.Struct_info.shape }
+  | Struct_info.Shape s -> Struct_info.Shape (fresh_shape_info fr s)
+  | Struct_info.Tuple ts -> Struct_info.Tuple (List.map (fresh_sinfo fr) ts)
+  | Struct_info.Object | Struct_info.Prim _ | Struct_info.Callable _ -> si
+
+let legalize_func mod_ref fname (f : Expr.func) =
+  let rewrite (b : Expr.binding) =
+    match b with
+    | Expr.Bind (v, Expr.Call { callee = Expr.Op name; args; sinfo_args = [] })
+      -> (
+        match Op.legalizer name with
+        | None ->
+            failwith
+              (Printf.sprintf
+                 "Legalize: operator %s (in %s) has no registered legalizer"
+                 name fname)
+        | Some legalize -> (
+            let arg_sinfo = List.map (Deduce.expr_sinfo !mod_ref) args in
+            let out = Rvar.sinfo v in
+            let fr = { mapping = [] } in
+            let arg_sinfo_fresh = List.map (fresh_sinfo fr) arg_sinfo in
+            let out_fresh = fresh_sinfo fr out in
+            match
+              legalize ~args ~arg_sinfo:arg_sinfo_fresh ~out:out_fresh
+            with
+            | None ->
+                failwith
+                  (Printf.sprintf "Legalize: %s could not be legalized" name)
+            | Some { Op.kernel; tensor_args; sym_args } ->
+                let mod_, kname = Ir_module.add_tir_fresh !mod_ref kernel in
+                mod_ref := mod_;
+                [
+                  Expr.Bind
+                    (v, Expr.call_tir kname tensor_args ~out ~sym_args ());
+                ]))
+    | Expr.Bind _ | Expr.Match_cast _ -> [ b ]
+  in
+  Util.map_func_bindings rewrite f
+
+let run mod_ =
+  let mod_ref = ref mod_ in
+  let funcs = Ir_module.funcs mod_ in
+  List.iter
+    (fun (name, f) ->
+      let f' = legalize_func mod_ref name f in
+      mod_ref := Ir_module.update_func !mod_ref name f')
+    funcs;
+  !mod_ref

@@ -1,0 +1,16 @@
+(** LegalizeOps: lower remaining graph-level operator calls to
+    [call_tir] of generated tensor programs (Figure 13's second
+    stage).
+
+    Symbolic dimensions are freshened before kernel generation:
+    every distinct non-constant dimension expression becomes a fresh
+    shape variable shared across all occurrences, so generated kernels
+    are shape-polymorphic exactly where the program is dynamic and
+    fully specialized where it is static — "code that specializes to
+    most static dimensions and only uses dynamic dimensions when
+    necessary" (§3.3). The call site keeps the original symbolic
+    annotation, preserving graph-level shape relations. *)
+
+val run : Relax_core.Ir_module.t -> Relax_core.Ir_module.t
+(** @raise Failure on an operator with no registered legalizer whose
+    result is actually needed. *)

@@ -1,0 +1,10 @@
+(** Cross-level tensor program workspace lifting (§4.4, Figure 11).
+
+    For every [call_tir] whose kernel allocates global intermediate
+    memory (detected by {!Tir.Workspace}), rewrite the kernel to take
+    the workspace as an explicit parameter and rewrite the graph-level
+    call site to allocate the workspace and pass it in. The lifted
+    allocation then participates in global memory planning — an
+    optimization only expressible with a cross-level abstraction. *)
+
+val run : Relax_core.Ir_module.t -> Relax_core.Ir_module.t

@@ -1,0 +1,154 @@
+open Relax_core
+
+type pool_entry = {
+  storage : Rvar.t;
+  size : Arith.Expr.t;
+  mutable free : bool;
+}
+
+let alloc_tensor_parts (b : Expr.binding) =
+  match b with
+  | Expr.Bind
+      ( v,
+        Expr.Call
+          {
+            callee = Expr.Op "builtin.alloc_tensor";
+            args = [ Expr.Shape_expr dims ];
+            sinfo_args = [ sinfo ];
+          } ) ->
+      Some (v, dims, sinfo)
+  | Expr.Bind _ | Expr.Match_cast _ -> None
+
+let kill_vars (b : Expr.binding) =
+  match b with
+  | Expr.Bind (_, Expr.Call { callee = Expr.Op "builtin.kill"; args; _ }) ->
+      Some
+        (List.filter_map
+           (fun a -> match a with Expr.Var v -> Some v | _ -> None)
+           args)
+  | Expr.Bind _ | Expr.Match_cast _ -> None
+
+let plan_func (analyzer : Arith.Analyzer.t) (f : Expr.func) =
+  match f.Expr.body with
+  | Expr.Seq { blocks = [ { Expr.bindings; dataflow } ]; body } ->
+      let pool : pool_entry list ref = ref [] in
+      let storage_prelude = ref [] in
+      (* tensor var id -> pool entry holding it *)
+      let holder = Hashtbl.create 16 in
+      let request_size (e : Arith.Expr.t) =
+        match Arith.Analyzer.upper_bound analyzer e with
+        | Some ub -> Arith.Expr.const ub
+        | None -> Arith.Analyzer.simplify analyzer e
+      in
+      let request_reuse (size : Arith.Expr.t) =
+        List.find_opt
+          (fun entry ->
+            entry.free
+            && (Arith.Simplify.prove_equal entry.size size
+               ||
+               match (Arith.Expr.as_const entry.size, Arith.Expr.as_const size) with
+               | Some have, Some need -> have >= need
+               | _, _ -> false))
+          !pool
+      in
+      let rewritten =
+        List.concat_map
+          (fun b ->
+            match alloc_tensor_parts b with
+            | Some (v, dims, sinfo) ->
+                let bytes =
+                  match Util.tensor_bytes sinfo with
+                  | Some e -> e
+                  | None ->
+                      failwith
+                        "MemoryPlan: allocation without known shape/dtype"
+                in
+                let size = request_size bytes in
+                let entry =
+                  match request_reuse size with
+                  | Some entry ->
+                      entry.free <- false;
+                      entry
+                  | None ->
+                      let sv = Rvar.fresh "storage" Struct_info.Object in
+                      let entry = { storage = sv; size; free = false } in
+                      pool := !pool @ [ entry ];
+                      storage_prelude :=
+                        !storage_prelude
+                        @ [
+                            Expr.Bind
+                              ( sv,
+                                Expr.Call
+                                  {
+                                    callee = Expr.Op "builtin.alloc_storage";
+                                    args = [ Expr.Prim_value size ];
+                                    sinfo_args = [];
+                                  } );
+                          ];
+                      entry
+                in
+                Hashtbl.replace holder v.Rvar.id entry;
+                [
+                  Expr.Bind
+                    ( v,
+                      Expr.Call
+                        {
+                          callee = Expr.Op "builtin.tensor_from_storage";
+                          args =
+                            [ Expr.Var entry.storage; Expr.Shape_expr dims ];
+                          sinfo_args = [ sinfo ];
+                        } );
+                ]
+            | None -> (
+                match kill_vars b with
+                | Some vs ->
+                    (* Recycle the storages at compile time; the marker
+                       itself disappears (planned storages are never
+                       freed at runtime). *)
+                    List.iter
+                      (fun v ->
+                        match Hashtbl.find_opt holder v.Rvar.id with
+                        | Some entry -> entry.free <- true
+                        | None -> ())
+                      vs;
+                    []
+                | None -> [ b ]))
+          bindings
+      in
+      {
+        f with
+        Expr.body =
+          Expr.Seq
+            {
+              blocks = [ { Expr.dataflow; bindings = !storage_prelude @ rewritten } ];
+              body;
+            };
+      }
+  | _ -> f
+
+let run ?(bounds = []) mod_ =
+  let analyzer = Arith.Analyzer.create () in
+  List.iter (fun (v, hi) -> Arith.Analyzer.bind_upper_bound analyzer v ~hi) bounds;
+  Ir_module.map_funcs (fun _ f -> plan_func analyzer f) mod_
+
+let plan_is_static (f : Expr.func) =
+  match f.Expr.body with
+  | Expr.Seq { blocks; _ } ->
+      List.for_all
+        (fun (blk : Expr.block) ->
+          List.for_all
+            (fun b ->
+              match b with
+              | Expr.Bind
+                  ( _,
+                    Expr.Call
+                      {
+                        callee = Expr.Op "builtin.alloc_storage";
+                        args = [ Expr.Prim_value size ];
+                        _;
+                      } ) ->
+                  Arith.Expr.is_const size
+              | Expr.Bind _ | Expr.Match_cast _ -> true)
+            blk.Expr.bindings)
+        blocks
+  | _ -> true

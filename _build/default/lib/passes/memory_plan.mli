@@ -1,0 +1,26 @@
+(** Dynamic shape-aware static memory planning (Algorithm 3, §4.3).
+
+    Runs on explicit-memory form. Walks each function's allocations in
+    order, maintaining a compile-time storage pool:
+
+    - an allocation whose symbolic size is provably equal to a free
+      pooled storage's size — or, in upper-bound mode, fits within a
+      free constant-size storage — reuses it;
+    - otherwise a new storage binding is created (hoisted to the
+      function entry) and the tensor instantiates from it;
+    - kill markers recycle their tensors' storages into the
+      compile-time pool and are removed from the program.
+
+    With [bounds] supplying upper bounds for the symbolic variables
+    (the paper's user-annotated context length / max batch), every
+    storage size becomes a constant: the plan is fully static, memory
+    is allocated once at load time, and graph capture (§4.5) becomes
+    applicable. *)
+
+val run :
+  ?bounds:(Arith.Var.t * int) list ->
+  Relax_core.Ir_module.t ->
+  Relax_core.Ir_module.t
+
+val plan_is_static : Relax_core.Expr.func -> bool
+(** All [builtin.alloc_storage] sizes are constants. *)

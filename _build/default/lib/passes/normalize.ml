@@ -1,0 +1,147 @@
+open Relax_core
+
+(* A leaf can appear directly as a call/tuple argument. *)
+let is_leaf (e : Expr.expr) =
+  match e with
+  | Expr.Var _ | Expr.Const _ | Expr.Prim_value _ | Expr.Shape_expr _
+  | Expr.Global_var _ | Expr.Extern_func _ | Expr.Op _ ->
+      true
+  | Expr.Tuple _ | Expr.Tuple_get _ | Expr.Call _ | Expr.If _ | Expr.Seq _ ->
+      false
+
+type ctx = { mod_ : Ir_module.t; mutable fresh : int }
+
+let fresh_name ctx =
+  let n = ctx.fresh in
+  ctx.fresh <- ctx.fresh + 1;
+  Printf.sprintf "nrm%d" n
+
+(* Normalize [e]; non-leaf sub-expressions are emitted as bindings via
+   [emit]. [root] controls whether [e] itself may stay compound (a
+   binding's RHS may; an argument may not). *)
+let rec norm_expr ctx emit ~root (e : Expr.expr) : Expr.expr =
+  let as_arg e =
+    let e = norm_expr ctx emit ~root:false e in
+    if is_leaf e then e
+    else begin
+      let sinfo =
+        try Deduce.expr_sinfo ctx.mod_ e
+        with Deduce.Error _ -> Struct_info.Object
+      in
+      let v = Rvar.fresh (fresh_name ctx) sinfo in
+      emit (Expr.Bind (v, e));
+      Expr.Var v
+    end
+  in
+  match e with
+  | _ when is_leaf e -> e
+  | Expr.Tuple es ->
+      let e' = Expr.Tuple (List.map as_arg es) in
+      if root then e' else e'
+  | Expr.Tuple_get (inner, i) -> Expr.Tuple_get (as_arg inner, i)
+  | Expr.Call c ->
+      let special =
+        match c.Expr.callee with
+        | Expr.Op
+            ( "call_tir" | "call_dps_library" | "call_tir_inplace"
+            | "builtin.alloc_tensor" | "builtin.alloc_storage"
+            | "builtin.tensor_from_storage" | "builtin.kernel_call"
+            | "builtin.extern_call" | "builtin.kill" | "builtin.graph_run" ) ->
+            true
+        | _ -> false
+      in
+      if special then
+        (* Cross-level call forms carry a structural argument tuple
+           the passes pattern-match on: keep the skeleton, normalize
+           only the tensor arguments inside it. *)
+        Expr.Call
+          {
+            c with
+            Expr.args =
+              List.map
+                (fun a ->
+                  match a with
+                  | Expr.Tuple es -> Expr.Tuple (List.map as_arg es)
+                  | a when is_leaf a -> a
+                  | a -> as_arg a)
+                c.Expr.args;
+          }
+      else Expr.Call { c with Expr.args = List.map as_arg c.Expr.args }
+  | Expr.If { cond; then_; else_ } ->
+      Expr.If
+        {
+          cond = as_arg cond;
+          then_ = norm_body ctx then_;
+          else_ = norm_body ctx else_;
+        }
+  | Expr.Seq _ -> norm_body ctx e
+  | _ -> e
+
+(* Normalize a region (If branch or function body). *)
+and norm_body ctx (e : Expr.expr) : Expr.expr =
+  let blocks, result =
+    match e with
+    | Expr.Seq { blocks; body } -> (blocks, body)
+    | e -> ([], e)
+  in
+  let out_blocks = ref [] in
+  let norm_block (blk : Expr.block) =
+    let acc = ref [] in
+    let emit b = acc := b :: !acc in
+    List.iter
+      (fun binding ->
+        match binding with
+        | Expr.Bind (v, rhs) ->
+            let rhs = norm_expr ctx emit ~root:true rhs in
+            emit (Expr.Bind (v, rhs))
+        | Expr.Match_cast (v, rhs, si) ->
+            let rhs = norm_expr ctx emit ~root:false rhs in
+            emit (Expr.Match_cast (v, rhs, si)))
+      blk.Expr.bindings;
+    { blk with Expr.bindings = List.rev !acc }
+  in
+  List.iter (fun blk -> out_blocks := norm_block blk :: !out_blocks) blocks;
+  (* The result must be a leaf or a tuple of leaves. *)
+  let tail = ref [] in
+  let emit b = tail := b :: !tail in
+  let result =
+    match result with
+    | e when is_leaf e -> e
+    | Expr.Tuple es ->
+        Expr.Tuple
+          (List.map
+             (fun inner ->
+               let inner = norm_expr ctx emit ~root:false inner in
+               if is_leaf inner then inner
+               else begin
+                 let sinfo =
+                   try Deduce.expr_sinfo ctx.mod_ inner
+                   with Deduce.Error _ -> Struct_info.Object
+                 in
+                 let v = Rvar.fresh (fresh_name ctx) sinfo in
+                 emit (Expr.Bind (v, inner));
+                 Expr.Var v
+               end)
+             es)
+    | e ->
+        let e = norm_expr ctx emit ~root:true e in
+        let sinfo =
+          try Deduce.expr_sinfo ctx.mod_ e
+          with Deduce.Error _ -> Struct_info.Object
+        in
+        let v = Rvar.fresh (fresh_name ctx) sinfo in
+        emit (Expr.Bind (v, e));
+        Expr.Var v
+  in
+  if !tail <> [] then
+    out_blocks :=
+      { Expr.dataflow = false; bindings = List.rev !tail } :: !out_blocks;
+  match List.rev !out_blocks with
+  | [] -> result
+  | blocks -> Expr.Seq { blocks; body = result }
+
+let run_func mod_ (f : Expr.func) =
+  let ctx = { mod_; fresh = 0 } in
+  { f with Expr.body = norm_body ctx f.Expr.body }
+
+let run mod_ = Ir_module.map_funcs (fun _ f -> run_func mod_ f) mod_

@@ -1,0 +1,11 @@
+(** Normalization to A-normal form.
+
+    The block builder produces ANF by construction, but hand-written
+    programs (via {!Relax_core.Parser}) and mechanically generated
+    ones may nest calls inside call arguments, tuples or returns.
+    This pass flattens every non-leaf sub-expression into its own
+    binding with a forward-deduced annotation, so all later passes can
+    rely on the ANF discipline. Idempotent. *)
+
+val run_func : Relax_core.Ir_module.t -> Relax_core.Expr.func -> Relax_core.Expr.func
+val run : Relax_core.Ir_module.t -> Relax_core.Ir_module.t

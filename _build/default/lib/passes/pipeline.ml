@@ -1,0 +1,82 @@
+type options = {
+  dispatch_library : bool;
+  lib_all_batches : bool;
+  fusion : bool;
+  schedule_tensorir : bool;
+  lift_workspace : bool;
+  memory_plan : bool;
+  graph_capture : bool;
+  upper_bounds : (Arith.Var.t * int) list;
+}
+
+let default_options =
+  {
+    dispatch_library = true;
+    lib_all_batches = false;
+    fusion = true;
+    schedule_tensorir = false;
+    lift_workspace = true;
+    memory_plan = true;
+    graph_capture = true;
+    upper_bounds = [];
+  }
+
+let all_off =
+  {
+    dispatch_library = false;
+    lib_all_batches = false;
+    fusion = false;
+    schedule_tensorir = false;
+    lift_workspace = false;
+    memory_plan = false;
+    graph_capture = false;
+    upper_bounds = [];
+  }
+
+let lower ?(options = default_options) ~(device : Runtime.Device.t) mod_ =
+  let mod_ = Normalize.run mod_ in
+  let mod_ =
+    match
+      (options.dispatch_library && Runtime.Device.has_library device,
+       Runtime.Library.vendor_prefix device.Runtime.Device.backend)
+    with
+    | true, Some vendor ->
+        let patterns =
+          if options.lib_all_batches then
+            List.map
+              (fun (p : Dispatch_library.pattern) ->
+                { p with Dispatch_library.min_batch = 0 })
+              Dispatch_library.default_patterns
+          else Dispatch_library.default_patterns
+        in
+        Dispatch_library.run ~patterns ~vendor mod_
+    | _, _ -> mod_
+  in
+  let mod_ = Legalize.run mod_ in
+  let mod_ = Annotate.run mod_ in
+  let mod_ =
+    if options.fusion then Fuse_tensorir.run (Fuse_ops.run mod_) else mod_
+  in
+  let mod_ = Dce.prune_unused_tir (Dce.run mod_) in
+  let mod_ =
+    if options.schedule_tensorir then
+      Relax_core.Ir_module.map_tir (fun _ f -> Tir.Schedule.auto_schedule f) mod_
+    else mod_
+  in
+  (* Deduction runs between passes (§4.1): tighten annotations that
+     transformations left coarser than a fresh forward deduction. *)
+  let mod_ = Renormalize.run mod_ in
+  let mod_ = if options.lift_workspace then Lift_workspace.run mod_ else mod_ in
+  let mod_ = Explicit_memory.run mod_ in
+  let mod_ =
+    if options.memory_plan then Memory_plan.run ~bounds:options.upper_bounds mod_
+    else mod_
+  in
+  let mod_ =
+    if options.graph_capture && device.Runtime.Device.supports_graph_capture
+    then Graph_capture.run mod_
+    else mod_
+  in
+  mod_
+
+let compile ?options ~device mod_ = To_vm.compile (lower ?options ~device mod_)

@@ -1,0 +1,48 @@
+(** The cross-level optimization and lowering pipeline (Figure 13).
+
+    Fixed pass order, no fixed point:
+    {v
+      Normalize -> DispatchLibrary -> LegalizeOps -> AnnotatePatterns
+        -> FuseOps -> FuseTensorIR -> DCE -> LiftWorkspace
+        -> ExplicitMemory -> MemoryPlan -> GraphCapture -> ToVM
+    v}
+    Every stage is individually toggleable, which is what the paper's
+    ablation study (Figure 17) exercises. *)
+
+type options = {
+  dispatch_library : bool;
+  lib_all_batches : bool;
+      (** dispatch matmuls to the library even at batch 1 (models
+          library-centric systems like vLLM; Relax keeps generated
+          matrix-vector kernels there, §5.1) *)
+  fusion : bool;
+  schedule_tensorir : bool;
+      (** apply the analysis-based default schedules of §4.6
+          ({!Tir.Schedule.auto_schedule}) to every tensor program
+          after fusion *)
+  lift_workspace : bool;
+  memory_plan : bool;
+  graph_capture : bool;
+  upper_bounds : (Arith.Var.t * int) list;
+      (** user-annotated bounds, e.g. max context length (§4.3) *)
+}
+
+val default_options : options
+(** Everything enabled, no bounds. *)
+
+val all_off : options
+
+val compile :
+  ?options:options ->
+  device:Runtime.Device.t ->
+  Relax_core.Ir_module.t ->
+  Runtime.Vm.program
+(** Library dispatch only fires on devices with a vendor library;
+    graph capture only on devices supporting it. *)
+
+val lower :
+  ?options:options ->
+  device:Runtime.Device.t ->
+  Relax_core.Ir_module.t ->
+  Relax_core.Ir_module.t
+(** The IR-to-IR part of {!compile}, for inspection and tests. *)

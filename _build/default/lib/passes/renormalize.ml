@@ -1,0 +1,55 @@
+open Relax_core
+
+(* Is [fresh] strictly more precise than [recorded]? Refinement means
+   the recorded annotation subsumes the fresh one but not vice versa. *)
+let refines ~recorded ~fresh =
+  Struct_info.subsumes recorded fresh && not (Struct_info.equal recorded fresh)
+
+let run_func mod_ (f : Expr.func) =
+  (* Variables refined earlier in the walk must be seen with their new
+     annotations by later deductions: substitute as we go. *)
+  let refined : (int, Rvar.t) Hashtbl.t = Hashtbl.create 16 in
+  let rewrite_var (v : Rvar.t) =
+    match Hashtbl.find_opt refined v.Rvar.id with Some v' -> v' | None -> v
+  in
+  let rec rewrite_uses (e : Expr.expr) : Expr.expr =
+    match e with
+    | Expr.Var v -> Expr.Var (rewrite_var v)
+    | Expr.Tuple es -> Expr.Tuple (List.map rewrite_uses es)
+    | Expr.Tuple_get (e, i) -> Expr.Tuple_get (rewrite_uses e, i)
+    | Expr.Call c ->
+        Expr.Call { c with Expr.args = List.map rewrite_uses c.Expr.args }
+    | Expr.If { cond; then_; else_ } ->
+        Expr.If
+          {
+            cond = rewrite_uses cond;
+            then_ = rewrite_body then_;
+            else_ = rewrite_body else_;
+          }
+    | e -> e
+  and rewrite_body (e : Expr.expr) : Expr.expr =
+    match e with
+    | Expr.Seq { blocks; body } ->
+        let blocks =
+          List.map
+            (fun (blk : Expr.block) ->
+              { blk with Expr.bindings = List.map rewrite_binding blk.Expr.bindings })
+            blocks
+        in
+        Expr.Seq { blocks; body = rewrite_uses body }
+    | e -> rewrite_uses e
+  and rewrite_binding (b : Expr.binding) : Expr.binding =
+    match b with
+    | Expr.Match_cast (v, e, si) -> Expr.Match_cast (v, rewrite_uses e, si)
+    | Expr.Bind (v, e) -> (
+        let e = rewrite_uses e in
+        match Deduce.expr_sinfo mod_ e with
+        | fresh when refines ~recorded:(Rvar.sinfo v) ~fresh ->
+            let v' = Rvar.with_sinfo v fresh in
+            Hashtbl.replace refined v.Rvar.id v';
+            Expr.Bind (v', e)
+        | _ | (exception Deduce.Error _) -> Expr.Bind (v, e))
+  in
+  { f with Expr.body = rewrite_body f.Expr.body }
+
+let run mod_ = Ir_module.map_funcs (fun _ f -> run_func mod_ f) mod_

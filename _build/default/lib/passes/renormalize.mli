@@ -1,0 +1,14 @@
+(** Re-run forward shape deduction over every binding (§4.1: "Relax
+    automatically tracks and deduces symbolic shape annotations of
+    intermediate values not only during model construction but also
+    between compiler passes").
+
+    Each bound variable's annotation is replaced by a fresh forward
+    deduction of its right-hand side when the deduction is strictly
+    more precise (a [Known] symbolic shape where the recorded
+    annotation was rank-only); [match_cast] annotations are kept —
+    they are assertions, not deductions. Runs in linear time over the
+    program, per the paper's forward-deduction design. *)
+
+val run_func : Relax_core.Ir_module.t -> Relax_core.Expr.func -> Relax_core.Expr.func
+val run : Relax_core.Ir_module.t -> Relax_core.Ir_module.t

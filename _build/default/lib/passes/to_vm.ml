@@ -1,0 +1,214 @@
+open Relax_core
+module Vm = Runtime.Vm
+
+type ctx = {
+  mutable nregs : int;
+  regs : (int, int) Hashtbl.t;  (** Rvar id -> register *)
+  mutable code : Vm.instr list;  (** reversed *)
+}
+
+let fresh_reg ctx =
+  let r = ctx.nregs in
+  ctx.nregs <- ctx.nregs + 1;
+  r
+
+let reg_of ctx (v : Rvar.t) =
+  match Hashtbl.find_opt ctx.regs v.Rvar.id with
+  | Some r -> r
+  | None ->
+      let r = fresh_reg ctx in
+      Hashtbl.replace ctx.regs v.Rvar.id r;
+      r
+
+let alias ctx (v : Rvar.t) (r : int) = Hashtbl.replace ctx.regs v.Rvar.id r
+let emit ctx i = ctx.code <- i :: ctx.code
+
+(* Compile an argument expression to a register. *)
+let rec arg_reg ctx (e : Expr.expr) : int =
+  match e with
+  | Expr.Var v -> reg_of ctx v
+  | Expr.Const nd ->
+      let r = fresh_reg ctx in
+      emit ctx (Vm.Load_const { dst = r; tensor = nd });
+      r
+  | Expr.Shape_expr dims ->
+      let r = fresh_reg ctx in
+      emit ctx (Vm.Make_shape { dst = r; dims = Array.of_list dims });
+      r
+  | Expr.Tuple es ->
+      let srcs = Array.of_list (List.map (arg_reg ctx) es) in
+      let r = fresh_reg ctx in
+      emit ctx (Vm.Make_tuple { dst = r; srcs });
+      r
+  | Expr.Prim_value p ->
+      (* Scalar symbolic value (e.g. an If condition): materialized as
+         a one-element shape value. *)
+      let r = fresh_reg ctx in
+      emit ctx (Vm.Make_shape { dst = r; dims = [| p |] });
+      r
+  | _ -> failwith "ToVM: unsupported argument expression"
+
+let dtype_of_sinfo = function
+  | Struct_info.Tensor { dtype = Some dt; _ } -> dt
+  | _ -> Base.Dtype.F32
+
+(* Split trailing Prim_value symbolic arguments off a kernel_call's
+   argument list. *)
+let split_sym_args args =
+  let rec go acc = function
+    | Expr.Prim_value p :: rest -> go (p :: acc) rest
+    | rest -> (List.rev rest, acc)
+  in
+  go [] (List.rev args)
+
+let rec compile_binding ctx (b : Expr.binding) =
+  match b with
+  | Expr.Match_cast (v, e, si) -> (
+      let src = arg_reg ctx e in
+      alias ctx v src;
+      match si with
+      | Struct_info.Tensor { shape = Struct_info.Known dims; _ }
+      | Struct_info.Shape (Struct_info.Known dims) ->
+          emit ctx (Vm.Match_shape { src; dims = Array.of_list dims })
+      | _ -> () (* coarse casts carry no checkable constraint *))
+  | Expr.Bind (v, e) -> (
+      match e with
+      | Expr.Var u -> alias ctx v (reg_of ctx u)
+      | Expr.Const nd ->
+          emit ctx (Vm.Load_const { dst = reg_of ctx v; tensor = nd })
+      | Expr.Shape_expr dims ->
+          emit ctx
+            (Vm.Make_shape { dst = reg_of ctx v; dims = Array.of_list dims })
+      | Expr.Tuple es ->
+          let srcs = Array.of_list (List.map (arg_reg ctx) es) in
+          emit ctx (Vm.Make_tuple { dst = reg_of ctx v; srcs })
+      | Expr.Tuple_get (src, i) ->
+          let s = arg_reg ctx src in
+          emit ctx (Vm.Get_tuple { dst = reg_of ctx v; src = s; index = i })
+      | Expr.Call { callee = Expr.Op "builtin.alloc_storage";
+                    args = [ Expr.Prim_value size ]; _ } ->
+          emit ctx (Vm.Alloc_storage { dst = reg_of ctx v; bytes = size })
+      | Expr.Call { callee = Expr.Op "builtin.alloc_tensor";
+                    args = [ Expr.Shape_expr dims ]; sinfo_args = [ si ] } ->
+          emit ctx
+            (Vm.Alloc_tensor
+               {
+                 dst = reg_of ctx v;
+                 storage = None;
+                 dims = Array.of_list dims;
+                 dtype = dtype_of_sinfo si;
+               })
+      | Expr.Call { callee = Expr.Op "builtin.tensor_from_storage";
+                    args = [ Expr.Var sv; Expr.Shape_expr dims ];
+                    sinfo_args = [ si ] } ->
+          emit ctx
+            (Vm.Alloc_tensor
+               {
+                 dst = reg_of ctx v;
+                 storage = Some (reg_of ctx sv);
+                 dims = Array.of_list dims;
+                 dtype = dtype_of_sinfo si;
+               })
+      | Expr.Call { callee = Expr.Op "builtin.kernel_call";
+                    args = Expr.Global_var kname :: rest; _ } ->
+          let tensor_args, sym_args = split_sym_args rest in
+          let args = Array.of_list (List.map (arg_reg ctx) tensor_args) in
+          emit ctx
+            (Vm.Call_kernel
+               { kernel = kname; args; sym_args = Array.of_list sym_args })
+      | Expr.Call { callee = Expr.Op "builtin.extern_call";
+                    args = Expr.Extern_func fname :: rest; _ } ->
+          let args = Array.of_list (List.map (arg_reg ctx) rest) in
+          emit ctx (Vm.Call_extern { func = fname; args })
+      | Expr.Call { callee = Expr.Op "builtin.kill"; args; _ } ->
+          let regs =
+            Array.of_list
+              (List.filter_map
+                 (fun a ->
+                   match a with
+                   | Expr.Var u -> Some (reg_of ctx u)
+                   | _ -> None)
+                 args)
+          in
+          emit ctx (Vm.Kill regs)
+      | Expr.Call { callee = Expr.Op "builtin.graph_run";
+                    args = Expr.Prim_value cid :: Expr.Global_var g :: rest; _ }
+        ->
+          let capture_id =
+            match Arith.Expr.as_const cid with
+            | Some c -> c
+            | None -> failwith "ToVM: non-constant capture id"
+          in
+          let args = Array.of_list (List.map (arg_reg ctx) rest) in
+          emit ctx
+            (Vm.Call_captured { dst = reg_of ctx v; func = g; args; capture_id })
+      | Expr.Call { callee = Expr.Global_var g; args; _ } ->
+          let args = Array.of_list (List.map (arg_reg ctx) args) in
+          emit ctx (Vm.Call_func { dst = reg_of ctx v; func = g; args })
+      | Expr.If { cond; then_; else_ } ->
+          let cond_reg = arg_reg ctx cond in
+          let compile_branch (e : Expr.expr) =
+            let saved = ctx.code in
+            ctx.code <- [];
+            let res =
+              match e with
+              | Expr.Seq { blocks; body } ->
+                  List.iter
+                    (fun (blk : Expr.block) ->
+                      List.iter (compile_binding ctx) blk.Expr.bindings)
+                    blocks;
+                  arg_reg ctx body
+              | e -> arg_reg ctx e
+            in
+            let code = Array.of_list (List.rev ctx.code) in
+            ctx.code <- saved;
+            (code, res)
+          in
+          let then_code, then_reg = compile_branch then_ in
+          let else_code, else_reg = compile_branch else_ in
+          emit ctx
+            (Vm.Cond
+               { cond = cond_reg; then_code; then_reg; else_code; else_reg;
+                 dst = reg_of ctx v })
+      | Expr.Call { callee = Expr.Op op; _ } ->
+          failwith
+            (Printf.sprintf
+               "ToVM: operator %s was not lowered (run Legalize/ExplicitMemory \
+                first)"
+               op)
+      | _ -> failwith "ToVM: unsupported binding expression")
+
+let compile_func fname (f : Expr.func) : Vm.vm_func =
+  let ctx = { nregs = 0; regs = Hashtbl.create 32; code = [] } in
+  (* Parameters take registers 0..n-1, then compile their annotations
+     into shape binding/checking instructions. *)
+  List.iter (fun p -> ignore (reg_of ctx p)) f.Expr.params;
+  List.iter
+    (fun p ->
+      match Rvar.sinfo p with
+      | Struct_info.Tensor { shape = Struct_info.Known dims; _ }
+      | Struct_info.Shape (Struct_info.Known dims) ->
+          emit ctx
+            (Vm.Match_shape
+               { src = reg_of ctx p; dims = Array.of_list dims })
+      | _ -> ())
+    f.Expr.params;
+  let blocks, result = Expr.body_blocks f in
+  List.iter
+    (fun (blk : Expr.block) -> List.iter (compile_binding ctx) blk.Expr.bindings)
+    blocks;
+  let ret = arg_reg ctx result in
+  emit ctx (Vm.Ret ret);
+  {
+    Vm.fname;
+    nparams = List.length f.Expr.params;
+    nregs = ctx.nregs;
+    instrs = Array.of_list (List.rev ctx.code);
+  }
+
+let compile mod_ =
+  {
+    Vm.funcs =
+      List.map (fun (name, f) -> (name, compile_func name f)) (Ir_module.funcs mod_);
+    mod_;
+  }

@@ -1,0 +1,12 @@
+(** Translate fully-lowered Relax functions into VM programs (§4.7).
+
+    Expects explicit-memory form (post {!Explicit_memory}, optionally
+    {!Memory_plan} / {!Graph_capture}). Parameter annotations compile
+    to [Match_shape] instructions that bind the function's symbolic
+    variables from runtime shapes and check declared constraints —
+    the lightweight boundary checks of §4.1. All annotations are then
+    erased: the emitted program is plain low-level calls. *)
+
+val compile : Relax_core.Ir_module.t -> Runtime.Vm.program
+(** @raise Failure on constructs that should have been lowered away
+    (remaining graph operators, [call_tir] that escaped lowering). *)

@@ -1,0 +1,127 @@
+open Relax_core
+
+let rec subst_vars env (e : Expr.expr) : Expr.expr =
+  match e with
+  | Expr.Var v -> (
+      match Rvar.Map.find_opt v env with Some e' -> e' | None -> e)
+  | Expr.Const _ | Expr.Prim_value _ | Expr.Shape_expr _ | Expr.Global_var _
+  | Expr.Extern_func _ | Expr.Op _ ->
+      e
+  | Expr.Tuple es -> Expr.Tuple (List.map (subst_vars env) es)
+  | Expr.Tuple_get (e, i) -> Expr.Tuple_get (subst_vars env e, i)
+  | Expr.Call c ->
+      Expr.Call
+        {
+          c with
+          callee = subst_vars env c.Expr.callee;
+          args = List.map (subst_vars env) c.Expr.args;
+        }
+  | Expr.If { cond; then_; else_ } ->
+      Expr.If
+        {
+          cond = subst_vars env cond;
+          then_ = subst_vars env then_;
+          else_ = subst_vars env else_;
+        }
+  | Expr.Seq { blocks; body } ->
+      Expr.Seq
+        {
+          blocks =
+            List.map
+              (fun (b : Expr.block) ->
+                {
+                  b with
+                  Expr.bindings =
+                    List.map
+                      (fun binding ->
+                        match binding with
+                        | Expr.Bind (v, e) -> Expr.Bind (v, subst_vars env e)
+                        | Expr.Match_cast (v, e, si) ->
+                            Expr.Match_cast (v, subst_vars env e, si))
+                      b.Expr.bindings;
+                })
+              blocks;
+          body = subst_vars env body;
+        }
+
+let use_counts (f : Expr.func) =
+  let counts = ref Rvar.Map.empty in
+  let bump v =
+    counts :=
+      Rvar.Map.update v
+        (function Some c -> Some (c + 1) | None -> Some 1)
+        !counts
+  in
+  let rec visit (e : Expr.expr) =
+    match e with
+    | Expr.Var v -> bump v
+    | Expr.Const _ | Expr.Prim_value _ | Expr.Shape_expr _ | Expr.Global_var _
+    | Expr.Extern_func _ | Expr.Op _ ->
+        ()
+    | Expr.Tuple es -> List.iter visit es
+    | Expr.Tuple_get (e, _) -> visit e
+    | Expr.Call c ->
+        visit c.Expr.callee;
+        List.iter visit c.Expr.args
+    | Expr.If { cond; then_; else_ } ->
+        visit cond;
+        visit then_;
+        visit else_
+    | Expr.Seq { blocks; body } ->
+        List.iter
+          (fun (b : Expr.block) ->
+            List.iter (fun bd -> visit (Expr.bound_expr bd)) b.Expr.bindings)
+          blocks;
+        visit body
+  in
+  visit f.Expr.body;
+  !counts
+
+let rec map_bindings_in_expr fn (e : Expr.expr) : Expr.expr =
+  match e with
+  | Expr.Seq { blocks; body } ->
+      Expr.Seq
+        {
+          blocks =
+            List.map
+              (fun (b : Expr.block) ->
+                {
+                  b with
+                  Expr.bindings =
+                    List.concat_map
+                      (fun binding ->
+                        let binding =
+                          match binding with
+                          | Expr.Bind (v, inner) ->
+                              Expr.Bind (v, map_bindings_in_expr fn inner)
+                          | Expr.Match_cast _ -> binding
+                        in
+                        fn binding)
+                      b.Expr.bindings;
+                })
+              blocks;
+          body;
+        }
+  | Expr.If { cond; then_; else_ } ->
+      Expr.If
+        {
+          cond;
+          then_ = map_bindings_in_expr fn then_;
+          else_ = map_bindings_in_expr fn else_;
+        }
+  | e -> e
+
+let map_func_bindings fn (f : Expr.func) =
+  { f with Expr.body = map_bindings_in_expr fn f.Expr.body }
+
+let fresh_like v = Rvar.fresh (Rvar.name v) (Rvar.sinfo v)
+
+let tensor_bytes (si : Struct_info.t) =
+  match si with
+  | Struct_info.Tensor { shape = Struct_info.Known dims; dtype = Some dt } ->
+      Some
+        (Arith.Simplify.simplify
+           (Arith.Expr.mul
+              (List.fold_left Arith.Expr.mul (Arith.Expr.const 1) dims)
+              (Arith.Expr.const (Base.Dtype.size_in_bytes dt))))
+  | _ -> None

@@ -1,0 +1,24 @@
+(** Shared helpers for pass implementations: variable substitution in
+    ANF expressions, use counting, and binding-list rewriting. *)
+
+open Relax_core
+
+val subst_vars : Expr.expr Rvar.Map.t -> Expr.expr -> Expr.expr
+(** Replace free variable occurrences (does not descend into [Seq]
+    binders' shadowing — passes operate on ANF where rebinding does
+    not occur). *)
+
+val use_counts : Expr.func -> int Rvar.Map.t
+(** Number of occurrences of each variable in binding right-hand
+    sides and the function result. *)
+
+val map_func_bindings :
+  (Expr.binding -> Expr.binding list) -> Expr.func -> Expr.func
+(** Rewrite each binding into zero or more bindings, block structure
+    preserved; recurses into [If] branch bodies. *)
+
+val fresh_like : Rvar.t -> Rvar.t
+
+val tensor_bytes : Struct_info.t -> Arith.Expr.t option
+(** Symbolic byte size of a tensor annotation with known shape and
+    dtype. *)

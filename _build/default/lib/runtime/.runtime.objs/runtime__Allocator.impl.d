@@ -1,0 +1,1 @@
+lib/runtime/allocator.ml: Hashtbl List

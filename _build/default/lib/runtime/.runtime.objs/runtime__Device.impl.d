@@ -1,0 +1,1 @@
+lib/runtime/device.ml: Base Float List

@@ -1,0 +1,1 @@
+lib/runtime/device.mli: Base

@@ -1,0 +1,1 @@
+lib/runtime/library.ml: Array Base Device Hashtbl List String

@@ -1,0 +1,1 @@
+lib/runtime/library.mli: Base Device

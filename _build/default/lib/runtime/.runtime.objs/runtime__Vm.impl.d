@@ -1,0 +1,1 @@
+lib/runtime/vm.ml: Allocator Arith Array Base Device Float Format Hashtbl Library List Relax_core Tir

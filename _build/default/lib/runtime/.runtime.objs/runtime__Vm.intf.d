@@ -1,0 +1,1 @@
+lib/runtime/vm.mli: Allocator Arith Base Device Relax_core

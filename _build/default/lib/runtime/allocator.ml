@@ -1,0 +1,65 @@
+type kind = [ `Planned | `Pooling | `Naive ]
+
+type storage = { size : int }
+
+type t = {
+  akind : kind;
+  storages : (int, storage) Hashtbl.t;
+  mutable free_pool : (int * int) list;  (** (size, id) blocks held by the pool *)
+  mutable next_id : int;
+  mutable live : int;
+  mutable peak : int;
+  mutable allocs : int;
+}
+
+let create akind =
+  {
+    akind;
+    storages = Hashtbl.create 64;
+    free_pool = [];
+    next_id = 0;
+    live = 0;
+    peak = 0;
+    allocs = 0;
+  }
+
+let kind t = t.akind
+
+let fresh_alloc t bytes =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  Hashtbl.replace t.storages id { size = bytes };
+  t.live <- t.live + bytes;
+  if t.live > t.peak then t.peak <- t.live;
+  t.allocs <- t.allocs + 1;
+  id
+
+let alloc t bytes =
+  match t.akind with
+  | `Planned | `Naive -> fresh_alloc t bytes
+  | `Pooling -> (
+      match List.partition (fun (size, _) -> size = bytes) t.free_pool with
+      | (_, id) :: rest_same, others ->
+          t.free_pool <- List.map (fun (s, i) -> (s, i)) rest_same @ others;
+          id
+      | [], _ -> fresh_alloc t bytes)
+
+let free t id =
+  match Hashtbl.find_opt t.storages id with
+  | None -> ()
+  | Some { size } -> (
+      match t.akind with
+      | `Pooling ->
+          (* Block stays resident in the pool. *)
+          t.free_pool <- (size, id) :: t.free_pool
+      | `Planned | `Naive ->
+          Hashtbl.remove t.storages id;
+          t.live <- t.live - size)
+
+let live_bytes t = t.live
+let peak_bytes t = t.peak
+let alloc_count t = t.allocs
+
+let reset_stats t =
+  t.peak <- t.live;
+  t.allocs <- 0

@@ -1,0 +1,35 @@
+(** Memory allocators with usage accounting.
+
+    Two flavors model the paper's Table 2 comparison:
+    - [`Planned]: storage is allocated once by the compiler's static
+      memory plan and reused across shapes — the "with planning" rows.
+    - [`Pooling]: a runtime pool that recycles freed blocks by exact
+      size — the paper's "without planning" fallback, which grows as
+      new dynamic shapes appear.
+    - [`Naive]: allocate/free with no reuse (eager-framework model).
+
+    All report live/peak bytes and allocation counts. *)
+
+type kind = [ `Planned | `Pooling | `Naive ]
+
+type t
+
+val create : kind -> t
+val kind : t -> kind
+
+val alloc : t -> int -> int
+(** [alloc t bytes] returns a storage id. For [`Pooling], a free block
+    of the exact size is reused when available. *)
+
+val free : t -> int -> unit
+(** Release the storage id: [`Pooling] returns the block to the pool
+    (still resident); [`Naive]/[`Planned] release the memory. *)
+
+val live_bytes : t -> int
+(** Currently resident bytes (pool blocks count as resident). *)
+
+val peak_bytes : t -> int
+val alloc_count : t -> int
+(** Number of fresh (non-recycled) allocations performed. *)
+
+val reset_stats : t -> unit

@@ -1,0 +1,127 @@
+type cost = { flops : float; bytes : float; small_batch : bool }
+
+type impl = {
+  name : string;
+  compute : Base.Ndarray.t array -> unit;
+  cost_fn : int array array -> Base.Dtype.t -> cost;
+}
+
+let registry : (string, impl) Hashtbl.t = Hashtbl.create 16
+let register impl = Hashtbl.replace registry impl.name impl
+let find name = Hashtbl.find_opt registry name
+
+let registered () =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) registry [])
+
+let vendor_prefix (b : Device.backend) =
+  match b with
+  | Device.Cuda -> Some "cublas"
+  | Device.Rocm -> Some "rocblas"
+  | Device.Metal -> Some "mps"
+  | Device.Vulkan | Device.Opencl | Device.Webgpu | Device.Cpu -> None
+
+(* ---------- matmul: X (..., m, k) x W (k, n) or batched W ---------- *)
+
+let shape_bytes (shapes : int array array) (dt : Base.Dtype.t) =
+  Array.fold_left
+    (fun acc s ->
+      acc
+      +. float_of_int
+           (Array.fold_left ( * ) 1 s * Base.Dtype.size_in_bytes dt))
+    0.0 shapes
+
+let matmul_compute (args : Base.Ndarray.t array) =
+  match args with
+  | [| x; w; y |] ->
+      let xs = x.Base.Ndarray.shape and ws = w.Base.Ndarray.shape in
+      let rx = Array.length xs in
+      let k = xs.(rx - 1) in
+      let n = ws.(Array.length ws - 1) in
+      let m = xs.(rx - 2) in
+      let batch = Array.fold_left ( * ) 1 (Array.sub xs 0 (rx - 2)) in
+      let w_batched = Array.length ws > 2 in
+      for b = 0 to batch - 1 do
+        for i = 0 to m - 1 do
+          for j = 0 to n - 1 do
+            let acc = ref 0.0 in
+            for kk = 0 to k - 1 do
+              let xv = Base.Ndarray.get_flat_float x ((((b * m) + i) * k) + kk) in
+              let wv =
+                if w_batched then
+                  Base.Ndarray.get_flat_float w ((((b * k) + kk) * n) + j)
+                else Base.Ndarray.get_flat_float w ((kk * n) + j)
+              in
+              acc := !acc +. (xv *. wv)
+            done;
+            Base.Ndarray.set_flat_float y ((((b * m) + i) * n) + j) !acc
+          done
+        done
+      done
+  | _ -> invalid_arg "library matmul: expected 3 arguments"
+
+let matmul_cost (shapes : int array array) dt =
+  match shapes with
+  | [| xs; ws; _ys |] ->
+      let rx = Array.length xs in
+      let k = xs.(rx - 1) in
+      let n = ws.(Array.length ws - 1) in
+      let m = xs.(rx - 2) in
+      let batch = Array.fold_left ( * ) 1 (Array.sub xs 0 (rx - 2)) in
+      {
+        flops = 2.0 *. float_of_int (batch * m * k * n);
+        bytes = shape_bytes shapes dt;
+        small_batch = batch * m <= 2;
+      }
+  | _ -> invalid_arg "library matmul cost: expected 3 shapes"
+
+(* ---------- rms_norm: (x, weight, y) ---------- *)
+
+let rms_norm_compute (args : Base.Ndarray.t array) =
+  match args with
+  | [| x; w; y |] ->
+      let xs = x.Base.Ndarray.shape in
+      let r = Array.length xs in
+      let h = xs.(r - 1) in
+      let rows = Base.Ndarray.numel x / h in
+      for row = 0 to rows - 1 do
+        let ss = ref 0.0 in
+        for j = 0 to h - 1 do
+          let v = Base.Ndarray.get_flat_float x ((row * h) + j) in
+          ss := !ss +. (v *. v)
+        done;
+        let inv = 1.0 /. sqrt ((!ss /. float_of_int h) +. 1e-5) in
+        for j = 0 to h - 1 do
+          let v = Base.Ndarray.get_flat_float x ((row * h) + j) in
+          let wv = Base.Ndarray.get_flat_float w j in
+          Base.Ndarray.set_flat_float y ((row * h) + j) (v *. inv *. wv)
+        done
+      done
+  | _ -> invalid_arg "library rms_norm: expected 3 arguments"
+
+let rms_norm_cost (shapes : int array array) dt =
+  match shapes with
+  | [| xs; _ws; _ys |] ->
+      let n = Array.fold_left ( * ) 1 xs in
+      {
+        flops = 4.0 *. float_of_int n;
+        bytes = shape_bytes shapes dt;
+        small_batch = false;
+      }
+  | _ -> invalid_arg "library rms_norm cost: expected 3 shapes"
+
+let () =
+  List.iter
+    (fun vendor ->
+      register
+        {
+          name = vendor ^ ".matmul";
+          compute = matmul_compute;
+          cost_fn = matmul_cost;
+        };
+      register
+        {
+          name = vendor ^ ".rms_norm";
+          compute = rms_norm_compute;
+          cost_fn = rms_norm_cost;
+        })
+    [ "cublas"; "rocblas"; "mps" ]

@@ -1,0 +1,1 @@
+lib/tir/buffer.ml: Arith Base Format Int List Map Set String

@@ -1,0 +1,1 @@
+lib/tir/buffer.mli: Arith Base Format Map Set

@@ -1,0 +1,1 @@
+lib/tir/cost.ml: Arith Base Buffer Hashtbl List Prim_func Stmt Texpr

@@ -1,0 +1,1 @@
+lib/tir/cost.mli: Arith Prim_func

@@ -1,0 +1,1 @@
+lib/tir/fuse.ml: Arith Buffer Format List Prim_func Stmt String

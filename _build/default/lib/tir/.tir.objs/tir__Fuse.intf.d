@@ -1,0 +1,1 @@
+lib/tir/fuse.mli: Arith Buffer Prim_func

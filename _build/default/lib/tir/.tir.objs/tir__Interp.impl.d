@@ -1,0 +1,1 @@
+lib/tir/interp.ml: Arith Array Base Buffer Float Format Hashtbl List Prim_func Stmt Texpr

@@ -1,0 +1,1 @@
+lib/tir/interp.mli: Arith Base Prim_func

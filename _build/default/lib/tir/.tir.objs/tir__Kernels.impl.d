@@ -1,0 +1,1 @@
+lib/tir/kernels.ml: Arith Base Buffer List Prim_func Printf Stmt Texpr

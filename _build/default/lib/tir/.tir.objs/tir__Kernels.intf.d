@@ -1,0 +1,1 @@
+lib/tir/kernels.mli: Arith Base Prim_func Texpr

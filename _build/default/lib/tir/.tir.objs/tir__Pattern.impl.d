@@ -1,0 +1,1 @@
+lib/tir/pattern.ml: Arith Buffer List Prim_func Stmt Texpr

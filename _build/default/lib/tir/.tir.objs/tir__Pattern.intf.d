@@ -1,0 +1,1 @@
+lib/tir/pattern.mli: Prim_func

@@ -1,0 +1,1 @@
+lib/tir/prim_func.ml: Arith Buffer Format List Printf Stmt String Texpr

@@ -1,0 +1,1 @@
+lib/tir/prim_func.mli: Arith Buffer Format Stmt

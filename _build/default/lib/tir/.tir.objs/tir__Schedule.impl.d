@@ -1,0 +1,1 @@
+lib/tir/schedule.ml: Arith Format List Option Pattern Prim_func Stmt Texpr

@@ -1,0 +1,1 @@
+lib/tir/schedule.mli: Arith Prim_func

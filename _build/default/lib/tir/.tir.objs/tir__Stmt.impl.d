@@ -1,0 +1,1 @@
+lib/tir/stmt.ml: Arith Base Buffer Format List Option String Texpr

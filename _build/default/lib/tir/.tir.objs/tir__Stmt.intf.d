@@ -1,0 +1,1 @@
+lib/tir/stmt.mli: Arith Buffer Format Texpr

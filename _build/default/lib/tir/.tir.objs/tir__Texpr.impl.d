@@ -1,0 +1,1 @@
+lib/tir/texpr.ml: Arith Base Buffer Format List

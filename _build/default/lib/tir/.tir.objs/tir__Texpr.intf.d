@@ -1,0 +1,1 @@
+lib/tir/texpr.mli: Arith Base Buffer Format

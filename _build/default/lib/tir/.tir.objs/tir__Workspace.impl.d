@@ -1,0 +1,1 @@
+lib/tir/workspace.ml: Buffer List Option Prim_func Stmt

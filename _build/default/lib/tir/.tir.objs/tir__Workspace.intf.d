@@ -1,0 +1,1 @@
+lib/tir/workspace.mli: Buffer Prim_func

@@ -1,0 +1,49 @@
+type scope = Global | Shared | Local
+
+type t = {
+  name : string;
+  id : int;
+  shape : Arith.Expr.t list;
+  dtype : Base.Dtype.t;
+  scope : scope;
+}
+
+let create ?(scope = Global) name shape dtype =
+  { name; id = Base.Id.fresh (); shape; dtype; scope }
+
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let ndim t = List.length t.shape
+
+let numel t =
+  List.fold_left Arith.Expr.mul (Arith.Expr.const 1) t.shape
+
+let size_in_bytes t =
+  Arith.Expr.mul (numel t)
+    (Arith.Expr.const (Base.Dtype.size_in_bytes t.dtype))
+
+let free_sym_vars t =
+  List.fold_left
+    (fun acc d -> Arith.Var.Set.union acc (Arith.Expr.free_vars d))
+    Arith.Var.Set.empty t.shape
+
+let with_shape t shape = { t with shape }
+
+let scope_to_string = function
+  | Global -> "global"
+  | Shared -> "shared"
+  | Local -> "local"
+
+let pp fmt t =
+  Format.fprintf fmt "%s: Buffer((%s), \"%s\")" t.name
+    (String.concat ", " (List.map Arith.Expr.to_string t.shape))
+    (Base.Dtype.to_string t.dtype)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

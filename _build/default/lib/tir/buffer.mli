@@ -1,0 +1,43 @@
+(** Buffers: named, typed, symbolically-shaped memory regions.
+
+    Tensor programs read and write buffers through explicit indices
+    (destination-passing style). Shapes are symbolic expressions over
+    {!Arith.Var.t}, so a single compiled tensor program serves every
+    runtime value of its dynamic dimensions. *)
+
+type scope =
+  | Global  (** device global memory; participates in memory planning *)
+  | Shared  (** on-chip scratch (e.g. shared memory); not planned *)
+  | Local   (** registers; not planned *)
+
+type t = private {
+  name : string;
+  id : int;
+  shape : Arith.Expr.t list;
+  dtype : Base.Dtype.t;
+  scope : scope;
+}
+
+val create : ?scope:scope -> string -> Arith.Expr.t list -> Base.Dtype.t -> t
+(** A fresh buffer (unique id) with [Global] scope by default. *)
+
+val equal : t -> t -> bool
+(** Identity (by id), not structural. *)
+
+val compare : t -> t -> int
+val ndim : t -> int
+
+val numel : t -> Arith.Expr.t
+(** Symbolic element count: the product of the dimensions. *)
+
+val size_in_bytes : t -> Arith.Expr.t
+val free_sym_vars : t -> Arith.Var.Set.t
+val with_shape : t -> Arith.Expr.t list -> t
+(** Same identity, different shape — used when specializing symbolic
+    dims; keeps the id so substitutions remain consistent. *)
+
+val pp : Format.formatter -> t -> unit
+val scope_to_string : scope -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

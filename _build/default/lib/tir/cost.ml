@@ -1,0 +1,101 @@
+type t = {
+  flops : Arith.Expr.t;
+  bytes_read : Arith.Expr.t;
+  bytes_written : Arith.Expr.t;
+}
+
+(* Arithmetic work: flops of each store/evaluate, multiplied by the
+   extents of enclosing loops. Both branches of an [If] are counted —
+   a small overestimate for init guards, dominated by the loop body. *)
+let rec flops_of_stmt (s : Stmt.t) : Arith.Expr.t =
+  match s with
+  | Stmt.Seq ss ->
+      List.fold_left
+        (fun acc s -> Arith.Expr.add acc (flops_of_stmt s))
+        (Arith.Expr.const 0) ss
+  | Stmt.For { extent; body; _ } -> Arith.Expr.mul extent (flops_of_stmt body)
+  | Stmt.Store (_, idxs, v) ->
+      Arith.Expr.const
+        (Texpr.count_flops v
+        + List.fold_left (fun acc i -> acc + Texpr.count_flops i) 0 idxs)
+  | Stmt.If (c, t, e) ->
+      Arith.Expr.add
+        (Arith.Expr.const (Texpr.count_flops c))
+        (Arith.Expr.add (flops_of_stmt t)
+           (match e with
+           | Some e -> flops_of_stmt e
+           | None -> Arith.Expr.const 0))
+  | Stmt.Alloc (_, body) -> flops_of_stmt body
+  | Stmt.Assert _ -> Arith.Expr.const 0
+  | Stmt.Evaluate e -> Arith.Expr.const (Texpr.count_flops e)
+
+let is_global (b : Buffer.t) =
+  match b.Buffer.scope with
+  | Buffer.Global -> true
+  | Buffer.Shared | Buffer.Local -> false
+
+(* Global-memory traffic per buffer: the smaller of its footprint
+   (ideal on-chip reuse — the matmul/attention regime) and the number
+   of accesses actually executed (the gather/copy regime, where a
+   kernel touches far less than the whole buffer, e.g. an embedding
+   lookup into a large table). *)
+let accumulate add_access stmt =
+  let rec walk mult (s : Stmt.t) =
+    match s with
+    | Stmt.Seq ss -> List.iter (walk mult) ss
+    | Stmt.For { extent; body; _ } -> walk (Arith.Expr.mul mult extent) body
+    | Stmt.Store (b, idxs, v) ->
+        add_access `Write b mult;
+        List.iter
+          (fun (lb, _) -> add_access `Read lb mult)
+          (List.concat_map Texpr.loads idxs @ Texpr.loads v)
+    | Stmt.If (c, t, e) ->
+        List.iter (fun (lb, _) -> add_access `Read lb mult) (Texpr.loads c);
+        walk mult t;
+        (match e with Some e -> walk mult e | None -> ())
+    | Stmt.Alloc (_, body) -> walk mult body
+    | Stmt.Assert (c, _) ->
+        List.iter (fun (lb, _) -> add_access `Read lb mult) (Texpr.loads c)
+    | Stmt.Evaluate e ->
+        List.iter (fun (lb, _) -> add_access `Read lb mult) (Texpr.loads e)
+  in
+  walk (Arith.Expr.const 1) stmt
+
+let analyze (f : Prim_func.t) : t =
+  let body = f.Prim_func.body in
+  let reads : (int, Buffer.t * Arith.Expr.t) Hashtbl.t = Hashtbl.create 8 in
+  let writes : (int, Buffer.t * Arith.Expr.t) Hashtbl.t = Hashtbl.create 8 in
+  let add_access kind (b : Buffer.t) mult =
+    if is_global b then begin
+      let table = match kind with `Read -> reads | `Write -> writes in
+      let prev =
+        match Hashtbl.find_opt table b.Buffer.id with
+        | Some (_, e) -> e
+        | None -> Arith.Expr.const 0
+      in
+      Hashtbl.replace table b.Buffer.id (b, Arith.Expr.add prev mult)
+    end
+  in
+  accumulate add_access body;
+  let traffic table =
+    Hashtbl.fold
+      (fun _ ((b : Buffer.t), accesses) acc ->
+        let elem = Arith.Expr.const (Base.Dtype.size_in_bytes b.Buffer.dtype) in
+        let by_access = Arith.Expr.mul accesses elem in
+        Arith.Expr.add acc (Arith.Expr.min_ (Buffer.size_in_bytes b) by_access))
+      table (Arith.Expr.const 0)
+  in
+  {
+    flops = Arith.Simplify.simplify (flops_of_stmt body);
+    bytes_read = Arith.Simplify.simplify (traffic reads);
+    bytes_written = Arith.Simplify.simplify (traffic writes);
+  }
+
+let total_bytes t = Arith.Expr.add t.bytes_read t.bytes_written
+
+let eval lookup t ~flops ~bytes =
+  flops := !flops + Arith.Expr.eval lookup t.flops;
+  bytes :=
+    !bytes
+    + Arith.Expr.eval lookup t.bytes_read
+    + Arith.Expr.eval lookup t.bytes_written

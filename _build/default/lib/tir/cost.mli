@@ -1,0 +1,27 @@
+(** Symbolic cost analysis of tensor programs.
+
+    Produces the quantities the device performance model consumes:
+    arithmetic work and global-memory traffic, both as symbolic
+    expressions over the program's shape variables. Traffic per buffer
+    is the smaller of its footprint (ideal on-chip reuse — the regime
+    that makes LLM decode bandwidth-bound in the paper's evaluation)
+    and the executed access count (the gather/copy regime, where a
+    kernel touches far less than the whole buffer).
+
+    Shared/local scratch buffers do not count toward global traffic:
+    this is exactly the benefit FuseTensorIR obtains by demoting
+    intermediates into fused kernels. *)
+
+type t = {
+  flops : Arith.Expr.t;  (** arithmetic ops over the full loop nest *)
+  bytes_read : Arith.Expr.t;  (** global footprint loaded *)
+  bytes_written : Arith.Expr.t;  (** global footprint stored *)
+}
+
+val analyze : Prim_func.t -> t
+
+val total_bytes : t -> Arith.Expr.t
+
+val eval :
+  (Arith.Var.t -> int) -> t -> flops:int ref -> bytes:int ref -> unit
+(** Evaluate and accumulate into the two counters. *)

@@ -1,0 +1,141 @@
+exception Fusion_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Fusion_error s)) fmt
+
+(* Bind a callee's symbolic variables by unifying its declared
+   parameter shapes with the shapes of the actual buffers. A declared
+   dimension that is a bare variable binds it to the actual dimension
+   expression; other declared dimensions are checked by equality proof
+   after every variable is bound. *)
+type call = {
+  callee : Prim_func.t;
+  buffer_args : Buffer.t list;
+  sym_args : Arith.Expr.t list;
+}
+
+let unify_call (callee : Prim_func.t) (args : Buffer.t list)
+    (sym_args : Arith.Expr.t list) : Arith.Expr.t Arith.Var.Map.t =
+  if List.length args <> List.length callee.Prim_func.params then
+    fail "%s: expected %d buffer arguments, got %d" callee.Prim_func.name
+      (List.length callee.Prim_func.params)
+      (List.length args);
+  if List.length sym_args <> List.length callee.Prim_func.sym_params then
+    fail "%s: expected %d symbolic arguments, got %d" callee.Prim_func.name
+      (List.length callee.Prim_func.sym_params)
+      (List.length sym_args);
+  let env =
+    ref
+      (List.fold_left2
+         (fun acc v e -> Arith.Var.Map.add v e acc)
+         Arith.Var.Map.empty callee.Prim_func.sym_params sym_args)
+  in
+  let deferred = ref [] in
+  List.iter2
+    (fun (p : Buffer.t) (a : Buffer.t) ->
+      if List.length p.Buffer.shape <> List.length a.Buffer.shape then
+        fail "%s: param %s rank mismatch" callee.Prim_func.name p.Buffer.name;
+      List.iter2
+        (fun declared actual ->
+          match declared with
+          | Arith.Expr.Var v -> (
+              match Arith.Var.Map.find_opt v !env with
+              | Some prev ->
+                  if not (Arith.Simplify.prove_equal prev actual) then
+                    fail "%s: %s bound to both %s and %s"
+                      callee.Prim_func.name (Arith.Var.name v)
+                      (Arith.Expr.to_string prev)
+                      (Arith.Expr.to_string actual)
+              | None -> env := Arith.Var.Map.add v actual !env)
+          | Arith.Expr.Const _ | Arith.Expr.Add _ | Arith.Expr.Sub _
+          | Arith.Expr.Mul _ | Arith.Expr.Floor_div _ | Arith.Expr.Floor_mod _
+          | Arith.Expr.Min _ | Arith.Expr.Max _ ->
+              deferred := (declared, actual) :: !deferred)
+        p.Buffer.shape a.Buffer.shape)
+    callee.Prim_func.params args;
+  List.iter
+    (fun (declared, actual) ->
+      let substituted = Arith.Expr.subst !env declared in
+      if not (Arith.Simplify.prove_equal substituted actual) then
+        fail "%s: declared dim %s does not match actual %s"
+          callee.Prim_func.name
+          (Arith.Expr.to_string declared)
+          (Arith.Expr.to_string actual))
+    !deferred;
+  let unbound =
+    Arith.Var.Set.diff
+      (Prim_func.free_sym_vars callee)
+      (Arith.Var.Map.fold
+         (fun v _ acc -> Arith.Var.Set.add v acc)
+         !env Arith.Var.Set.empty)
+  in
+  if not (Arith.Var.Set.is_empty unbound) then
+    fail "%s: symbolic variable(s) %s not bound by shape unification"
+      callee.Prim_func.name
+      (String.concat ", "
+         (List.map Arith.Var.name (Arith.Var.Set.elements unbound)));
+  !env
+
+let inline_call { callee; buffer_args = args; sym_args } : Stmt.t =
+  (* Alpha-rename first so that inlining the same callee twice in one
+     fused body never shares variables or parameter buffers. *)
+  let callee = Prim_func.rename_params callee in
+  let env = unify_call callee args sym_args in
+  let buf_map =
+    List.fold_left2
+      (fun acc p a -> Buffer.Map.add p a acc)
+      Buffer.Map.empty callee.Prim_func.params args
+  in
+  let map_buf b =
+    match Buffer.Map.find_opt b buf_map with Some b' -> b' | None -> b
+  in
+  Stmt.subst_vars env (Stmt.map_buffers map_buf callee.Prim_func.body)
+
+let merge ~name ~inputs ~outputs ~temps ~calls ?(sym_params = []) () =
+  let body = Stmt.seq (List.map inline_call calls) in
+  let body =
+    List.fold_right
+      (fun temp acc ->
+        let shared =
+          Buffer.create ~scope:Buffer.Shared temp.Buffer.name temp.Buffer.shape
+            temp.Buffer.dtype
+        in
+        (* The temp keeps its identity inside the body; retarget
+           accesses to the shared-scope replacement. *)
+        Stmt.Alloc
+          ( shared,
+            Stmt.map_buffers
+              (fun b -> if Buffer.equal b temp then shared else b)
+              acc ))
+      temps body
+  in
+  let params = inputs @ outputs in
+  let sym_params =
+    if sym_params <> [] then sym_params
+    else
+      (* Any shape variable not derivable from parameter shapes must be
+         passed explicitly (Figure 8's extra symbolic argument). *)
+      let derivable =
+        List.fold_left
+          (fun acc (b : Buffer.t) ->
+            List.fold_left
+              (fun acc dim ->
+                match dim with
+                | Arith.Expr.Var v -> Arith.Var.Set.add v acc
+                | Arith.Expr.Const _ | Arith.Expr.Add _ | Arith.Expr.Sub _
+                | Arith.Expr.Mul _ | Arith.Expr.Floor_div _
+                | Arith.Expr.Floor_mod _ | Arith.Expr.Min _ | Arith.Expr.Max _
+                  ->
+                    acc)
+              acc b.Buffer.shape)
+          Arith.Var.Set.empty params
+      in
+      let all =
+        List.fold_left
+          (fun acc (b : Buffer.t) ->
+            Arith.Var.Set.union acc (Buffer.free_sym_vars b))
+          Arith.Var.Set.empty (params @ temps)
+      in
+      Arith.Var.Set.elements (Arith.Var.Set.diff all derivable)
+  in
+  Prim_func.create ~sym_params ~num_outputs:(List.length outputs) ~name ~params
+    body

@@ -1,0 +1,46 @@
+(** Merging of tensor programs into a single kernel — the loop-level
+    half of the FuseTensorIR transformation (§4.2).
+
+    Given the tensor programs called inside a fused subgraph function
+    and the dataflow between them, [merge] produces one prim func whose
+    body runs the constituent bodies in sequence, with the intermediate
+    tensors demoted to on-chip ([Shared]) scratch. Demotion is what
+    realizes fusion's benefit under the cost model: intermediates stop
+    counting toward global-memory traffic, and the merged function is
+    launched as a single kernel.
+
+    Symbolic shapes are preserved throughout: each callee's shape
+    variables are bound by unifying its declared parameter shapes with
+    the shapes of the buffers actually passed, so a callee declared for
+    shape [(m, 4)] instantiated at [(n * 2, 4)] specializes correctly
+    (the situation of Figure 8 of the paper). *)
+
+exception Fusion_error of string
+
+type call = {
+  callee : Prim_func.t;
+  buffer_args : Buffer.t list;  (** positional, one per callee param *)
+  sym_args : Arith.Expr.t list;
+      (** positional values for the callee's [sym_params] — symbolic
+          arguments that do not appear in any buffer shape (e.g. a
+          RoPE position) *)
+}
+
+val merge :
+  name:string ->
+  inputs:Buffer.t list ->
+  outputs:Buffer.t list ->
+  temps:Buffer.t list ->
+  calls:call list ->
+  ?sym_params:Arith.Var.t list ->
+  unit ->
+  Prim_func.t
+(** [merge ~name ~inputs ~outputs ~temps ~calls ()] builds the fused
+    function. [calls] are in dataflow order; each callee's buffer
+    arguments are given positionally and must be drawn from
+    [inputs @ outputs @ temps]. [temps] become [Shared]-scope
+    allocations wrapping the body.
+
+    @raise Fusion_error if a callee's symbolic parameters cannot be
+    bound by shape unification or [sym_args], or an argument list has
+    the wrong arity. *)

@@ -1,0 +1,431 @@
+type shape = Arith.Expr.t list
+
+let dims_named prefix shape =
+  List.mapi (fun i extent -> (Printf.sprintf "%s%d" prefix i, extent)) shape
+
+let relu x = Texpr.Binop (Texpr.Max, x, Texpr.f 0.0)
+let silu x = Texpr.(x *. Unop (Sigmoid, x))
+
+let inv_sqrt2 = 1.0 /. sqrt 2.0
+
+let gelu x =
+  (* 0.5 * x * (1 + erf(x / sqrt 2)) *)
+  Texpr.(f 0.5 *. x *. (f 1.0 +. Unop (Erf, x *. f inv_sqrt2)))
+
+let unary ~name ~op shape dtype =
+  let x = Buffer.create "X" shape dtype in
+  let y = Buffer.create "Y" shape dtype in
+  let body =
+    Stmt.grid (dims_named "i" shape) (fun idx ->
+        Stmt.Store (y, List.map Texpr.idx idx, op (Texpr.load x idx)))
+  in
+  Prim_func.create ~name ~params:[ x; y ] body
+
+let binary ~name ~op shape dtype =
+  let a = Buffer.create "A" shape dtype in
+  let b = Buffer.create "B" shape dtype in
+  let y = Buffer.create "Y" shape dtype in
+  let body =
+    Stmt.grid (dims_named "i" shape) (fun idx ->
+        Stmt.Store
+          (y, List.map Texpr.idx idx, op (Texpr.load a idx) (Texpr.load b idx)))
+  in
+  Prim_func.create ~name ~params:[ a; b; y ] body
+
+let broadcast_binary ~name ~op ~lhs ~rhs dtype =
+  let extra = List.length lhs - List.length rhs in
+  if extra < 0 then
+    invalid_arg "Kernels.broadcast_binary: rhs has higher rank than lhs";
+  let a = Buffer.create "A" lhs dtype in
+  let b = Buffer.create "B" rhs dtype in
+  let y = Buffer.create "Y" lhs dtype in
+  let body =
+    Stmt.grid (dims_named "i" lhs) (fun idx ->
+        let rhs_idx = List.filteri (fun d _ -> d >= extra) idx in
+        Stmt.Store
+          ( y,
+            List.map Texpr.idx idx,
+            op (Texpr.load a idx) (Texpr.load b rhs_idx) ))
+  in
+  Prim_func.create ~name ~params:[ a; b; y ] body
+
+let cast_kernel ~name shape ~from_ ~to_ =
+  let x = Buffer.create "X" shape from_ in
+  let y = Buffer.create "Y" shape to_ in
+  let body =
+    Stmt.grid (dims_named "i" shape) (fun idx ->
+        Stmt.Store (y, List.map Texpr.idx idx, Texpr.Cast (to_, Texpr.load x idx)))
+  in
+  Prim_func.create ~name ~params:[ x; y ] body
+
+let matmul_body ~x ~w ~y ~batch_idx ~m ~k ~n ~shared_rhs =
+  let mi = Arith.Var.fresh "i" in
+  let nj = Arith.Var.fresh "j" in
+  let kk = Arith.Var.fresh "k" in
+  let ei = Arith.Expr.var mi
+  and ej = Arith.Expr.var nj
+  and ek = Arith.Expr.var kk in
+  let w_idx suffix = if shared_rhs then suffix else batch_idx @ suffix in
+  let y_idx = batch_idx @ [ ei; ej ] in
+  let init = Stmt.Store (y, List.map Texpr.idx y_idx, Texpr.f 0.0) in
+  let accum =
+    Stmt.Store
+      ( y,
+        List.map Texpr.idx y_idx,
+        Texpr.(
+          load y y_idx
+          +. (load x (batch_idx @ [ ei; ek ]) *. load w (w_idx [ ek; ej ]))) )
+  in
+  Stmt.for_ mi m (Stmt.for_ nj n (Stmt.seq [ init; Stmt.for_ kk k accum ]))
+
+let matmul_like ~name ?(batch = []) ~m ~k ~n ~shared_rhs dtype =
+  let x = Buffer.create "X" (batch @ [ m; k ]) dtype in
+  let w_shape = if shared_rhs then [ k; n ] else batch @ [ k; n ] in
+  let w = Buffer.create "W" w_shape dtype in
+  let y = Buffer.create "Y" (batch @ [ m; n ]) dtype in
+  let body =
+    Stmt.grid (dims_named "b" batch) (fun batch_idx ->
+        matmul_body ~x ~w ~y ~batch_idx ~m ~k ~n ~shared_rhs)
+  in
+  Prim_func.create ~name ~params:[ x; w; y ] body
+
+let matmul ~name ?batch ~m ~k ~n dtype =
+  matmul_like ~name ?batch ~m ~k ~n ~shared_rhs:false dtype
+
+let matmul_weights ~name ?batch ~m ~k ~n dtype =
+  matmul_like ~name ?batch ~m ~k ~n ~shared_rhs:true dtype
+
+let transpose ~name shape ~perm dtype =
+  if List.length perm <> List.length shape then
+    invalid_arg "Kernels.transpose: perm rank mismatch";
+  let out_shape = List.map (fun d -> List.nth shape d) perm in
+  let x = Buffer.create "X" shape dtype in
+  let y = Buffer.create "Y" out_shape dtype in
+  let body =
+    Stmt.grid (dims_named "i" out_shape) (fun out_idx ->
+        (* out[i...] = in[inverse-permuted i]: input axis a is output
+           axis p where perm.(p) = a. *)
+        let in_idx =
+          List.mapi
+            (fun in_axis _ ->
+              let out_axis =
+                match
+                  List.find_index (fun p -> p = in_axis) perm
+                with
+                | Some p -> p
+                | None -> invalid_arg "Kernels.transpose: perm not a permutation"
+              in
+              List.nth out_idx out_axis)
+            shape
+        in
+        Stmt.Store (y, List.map Texpr.idx out_idx, Texpr.load x in_idx))
+  in
+  Prim_func.create ~name ~params:[ x; y ] body
+
+let linearize idx shape =
+  match (idx, shape) with
+  | [], [] -> Arith.Expr.const 0
+  | i0 :: it, _ :: st ->
+      List.fold_left2
+        (fun acc i extent -> Arith.Expr.(add (mul acc extent) i))
+        i0 it st
+  | _, _ -> invalid_arg "Kernels.linearize: rank mismatch"
+
+let unflatten linear shape =
+  (* Row-major: last axis varies fastest. *)
+  let rev = List.rev shape in
+  let rec go linear = function
+    | [] -> []
+    | [ _ ] -> [ linear ]
+    | extent :: rest ->
+        Arith.Expr.floor_mod linear extent
+        :: go (Arith.Expr.floor_div linear extent) rest
+  in
+  List.rev (go linear rev)
+
+let reshape ~name ~from_ ~to_ dtype =
+  let x = Buffer.create "X" from_ dtype in
+  let y = Buffer.create "Y" to_ dtype in
+  let body =
+    Stmt.grid (dims_named "i" to_) (fun out_idx ->
+        let linear = linearize out_idx to_ in
+        let in_idx = unflatten linear from_ in
+        Stmt.Store (y, List.map Texpr.idx out_idx, Texpr.load x in_idx))
+  in
+  Prim_func.create ~name ~params:[ x; y ] body
+
+let reduce ~name ~kind shape dtype =
+  let outer, last =
+    match List.rev shape with
+    | last :: rev_outer -> (List.rev rev_outer, last)
+    | [] -> invalid_arg "Kernels.reduce: rank-0 input"
+  in
+  let x = Buffer.create "X" shape dtype in
+  let y = Buffer.create "Y" outer dtype in
+  let r = Arith.Var.fresh "r" in
+  let er = Arith.Expr.var r in
+  let body =
+    Stmt.grid (dims_named "i" outer) (fun out_idx ->
+        let out_texpr = List.map Texpr.idx out_idx in
+        let x_at = Texpr.load x (out_idx @ [ er ]) in
+        let init_value =
+          match kind with
+          | `Sum | `Mean -> Texpr.f 0.0
+          | `Max -> Texpr.f neg_infinity
+        in
+        let step =
+          match kind with
+          | `Sum | `Mean -> Texpr.(Load (y, out_texpr) +. x_at)
+          | `Max -> Texpr.Binop (Texpr.Max, Texpr.Load (y, out_texpr), x_at)
+        in
+        let finish =
+          match kind with
+          | `Mean ->
+              [ Stmt.Store
+                  ( y,
+                    out_texpr,
+                    Texpr.(
+                      Load (y, out_texpr)
+                      /. Cast (dtype, Texpr.idx last)) ) ]
+          | `Sum | `Max -> []
+        in
+        Stmt.seq
+          ([ Stmt.Store (y, out_texpr, init_value);
+             Stmt.for_ r last (Stmt.Store (y, out_texpr, step)) ]
+          @ finish))
+  in
+  Prim_func.create ~name ~params:[ x; y ] body
+
+let softmax_last ~name shape dtype =
+  let outer, last =
+    match List.rev shape with
+    | last :: rev_outer -> (List.rev rev_outer, last)
+    | [] -> invalid_arg "Kernels.softmax_last: rank-0 input"
+  in
+  let x = Buffer.create "X" shape dtype in
+  let y = Buffer.create "Y" shape dtype in
+  let mx = Buffer.create ~scope:Buffer.Shared "mx" outer dtype in
+  let sm = Buffer.create ~scope:Buffer.Shared "sm" outer dtype in
+  let r = Arith.Var.fresh "r" in
+  let er = Arith.Expr.var r in
+  let body =
+    Stmt.grid (dims_named "i" outer) (fun o ->
+        let ot = List.map Texpr.idx o in
+        let x_at = Texpr.load x (o @ [ er ]) in
+        let centered = Texpr.(Unop (Exp, x_at -. Load (mx, ot))) in
+        Stmt.seq
+          [ Stmt.Store (mx, ot, Texpr.f neg_infinity);
+            Stmt.for_ r last
+              (Stmt.Store
+                 (mx, ot, Texpr.Binop (Texpr.Max, Texpr.Load (mx, ot), x_at)));
+            Stmt.Store (sm, ot, Texpr.f 0.0);
+            Stmt.for_ r last
+              (Stmt.Store (sm, ot, Texpr.(Load (sm, ot) +. centered)));
+            Stmt.for_ r last
+              (Stmt.Store
+                 ( y,
+                   List.map Texpr.idx (o @ [ er ]),
+                   Texpr.(centered /. Load (sm, ot)) )) ])
+  in
+  Prim_func.create ~name ~params:[ x; y ]
+    (Stmt.Alloc (mx, Stmt.Alloc (sm, body)))
+
+let rms_norm ~name shape ~eps dtype =
+  let outer, last =
+    match List.rev shape with
+    | last :: rev_outer -> (List.rev rev_outer, last)
+    | [] -> invalid_arg "Kernels.rms_norm: rank-0 input"
+  in
+  let x = Buffer.create "X" shape dtype in
+  let wt = Buffer.create "Wt" [ last ] dtype in
+  let y = Buffer.create "Y" shape dtype in
+  let ss = Buffer.create ~scope:Buffer.Shared "ss" outer dtype in
+  let r = Arith.Var.fresh "r" in
+  let er = Arith.Expr.var r in
+  let body =
+    Stmt.grid (dims_named "i" outer) (fun o ->
+        let ot = List.map Texpr.idx o in
+        let x_at = Texpr.load x (o @ [ er ]) in
+        let inv_rms =
+          Texpr.(
+            Unop
+              ( Rsqrt,
+                (Load (ss, ot) /. Cast (dtype, Texpr.idx last)) +. f eps ))
+        in
+        Stmt.seq
+          [ Stmt.Store (ss, ot, Texpr.f 0.0);
+            Stmt.for_ r last
+              (Stmt.Store (ss, ot, Texpr.(Load (ss, ot) +. (x_at *. x_at))));
+            Stmt.for_ r last
+              (Stmt.Store
+                 ( y,
+                   List.map Texpr.idx (o @ [ er ]),
+                   Texpr.(x_at *. inv_rms *. load wt [ er ]) )) ])
+  in
+  Prim_func.create ~name ~params:[ x; wt; y ] (Stmt.Alloc (ss, body))
+
+let layer_norm ~name shape ~eps dtype =
+  let outer, last =
+    match List.rev shape with
+    | last :: rev_outer -> (List.rev rev_outer, last)
+    | [] -> invalid_arg "Kernels.layer_norm: rank-0 input"
+  in
+  let x = Buffer.create "X" shape dtype in
+  let gamma = Buffer.create "G" [ last ] dtype in
+  let beta = Buffer.create "B" [ last ] dtype in
+  let y = Buffer.create "Y" shape dtype in
+  let mu = Buffer.create ~scope:Buffer.Shared "mu" outer dtype in
+  let var = Buffer.create ~scope:Buffer.Shared "var" outer dtype in
+  let r = Arith.Var.fresh "r" in
+  let er = Arith.Expr.var r in
+  let body =
+    Stmt.grid (dims_named "i" outer) (fun o ->
+        let ot = List.map Texpr.idx o in
+        let x_at = Texpr.load x (o @ [ er ]) in
+        let count = Texpr.Cast (dtype, Texpr.idx last) in
+        let centered = Texpr.(x_at -. Load (mu, ot)) in
+        Stmt.seq
+          [ Stmt.Store (mu, ot, Texpr.f 0.0);
+            Stmt.for_ r last (Stmt.Store (mu, ot, Texpr.(Load (mu, ot) +. x_at)));
+            Stmt.Store (mu, ot, Texpr.(Load (mu, ot) /. count));
+            Stmt.Store (var, ot, Texpr.f 0.0);
+            Stmt.for_ r last
+              (Stmt.Store (var, ot, Texpr.(Load (var, ot) +. (centered *. centered))));
+            Stmt.Store (var, ot, Texpr.(Load (var, ot) /. count));
+            Stmt.for_ r last
+              (Stmt.Store
+                 ( y,
+                   List.map Texpr.idx (o @ [ er ]),
+                   Texpr.(
+                     (centered
+                      *. Unop (Rsqrt, Load (var, ot) +. f eps)
+                      *. load gamma [ er ])
+                     +. load beta [ er ]) )) ])
+  in
+  Prim_func.create ~name ~params:[ x; gamma; beta; y ]
+    (Stmt.Alloc (mu, Stmt.Alloc (var, body)))
+
+let take_rows ~name ~rows ~width ~num_indices dtype =
+  let table = Buffer.create "T" [ rows; width ] dtype in
+  let indices = Buffer.create "I" [ num_indices ] Base.Dtype.I32 in
+  let y = Buffer.create "Y" [ num_indices; width ] dtype in
+  let body =
+    Stmt.grid
+      [ ("i", num_indices); ("j", width) ]
+      (fun idx ->
+        match idx with
+        | [ i; j ] ->
+            Stmt.Store
+              ( y,
+                [ Texpr.idx i; Texpr.idx j ],
+                Texpr.load_v table [ Texpr.load indices [ i ]; Texpr.idx j ] )
+        | _ -> assert false)
+  in
+  Prim_func.create ~name ~params:[ table; indices; y ] body
+
+let ceil_div a b = Arith.Expr.floor_div (Arith.Expr.add a (Arith.Expr.const (b - 1))) (Arith.Expr.const b)
+
+let decode_q4 ~name ~k ~n dtype =
+  let c = Arith.Expr.const in
+  let wdata = Buffer.create "Wdata" [ k; ceil_div n 8 ] Base.Dtype.U32 in
+  let wscale = Buffer.create "Wscale" [ k; ceil_div n 32 ] dtype in
+  let w = Buffer.create "W" [ k; n ] dtype in
+  let body =
+    Stmt.grid
+      [ ("i", k); ("j", n) ]
+      (fun idx ->
+        match idx with
+        | [ i; j ] ->
+            let word = Texpr.load wdata [ i; Arith.Expr.floor_div j (c 8) ] in
+            let shift = Texpr.idx (Arith.Expr.mul (Arith.Expr.floor_mod j (c 8)) (c 4)) in
+            let nibble =
+              Texpr.(
+                Binop (Bit_and, Binop (Shift_right, word, shift), Texpr.i 15))
+            in
+            let scale = Texpr.load wscale [ i; Arith.Expr.floor_div j (c 32) ] in
+            Stmt.Store
+              ( w,
+                [ Texpr.idx i; Texpr.idx j ],
+                Texpr.((Cast (dtype, nibble) -. f 7.0) *. scale) )
+        | _ -> assert false)
+  in
+  Prim_func.create ~name ~params:[ wdata; wscale; w ] body
+
+let decode_q3 ~name ~k ~n dtype =
+  let c = Arith.Expr.const in
+  let wdata = Buffer.create "Wdata" [ k; ceil_div n 10 ] Base.Dtype.U32 in
+  let wscale = Buffer.create "Wscale" [ k; ceil_div n 32 ] dtype in
+  let w = Buffer.create "W" [ k; n ] dtype in
+  let body =
+    Stmt.grid
+      [ ("i", k); ("j", n) ]
+      (fun idx ->
+        match idx with
+        | [ i; j ] ->
+            let word = Texpr.load wdata [ i; Arith.Expr.floor_div j (c 10) ] in
+            let shift =
+              Texpr.idx (Arith.Expr.mul (Arith.Expr.floor_mod j (c 10)) (c 3))
+            in
+            let bits =
+              Texpr.(
+                Binop (Bit_and, Binop (Shift_right, word, shift), Texpr.i 7))
+            in
+            let scale = Texpr.load wscale [ i; Arith.Expr.floor_div j (c 32) ] in
+            Stmt.Store
+              ( w,
+                [ Texpr.idx i; Texpr.idx j ],
+                Texpr.((Cast (dtype, bits) -. f 3.0) *. scale) )
+        | _ -> assert false)
+  in
+  Prim_func.create ~name ~params:[ wdata; wscale; w ] body
+
+let split_k_matmul ~name ~m ~k ~n ~splits dtype =
+  let c = Arith.Expr.const in
+  let x = Buffer.create "X" [ m; k ] dtype in
+  let w = Buffer.create "W" [ k; n ] dtype in
+  let y = Buffer.create "Y" [ m; n ] dtype in
+  let workspace =
+    Buffer.create ~scope:Buffer.Global "workspace" [ c splits; m; n ] dtype
+  in
+  let chunk = Arith.Expr.floor_div k (c splits) in
+  let phase1 =
+    Stmt.grid
+      [ ("s", c splits); ("i", m); ("j", n) ]
+      (fun idx ->
+        match idx with
+        | [ s; ii; jj ] ->
+            let kk = Arith.Var.fresh "k0" in
+            let ek = Arith.Expr.var kk in
+            let global_k = Arith.Expr.(add (mul s chunk) ek) in
+            Stmt.seq
+              [ Stmt.Store (workspace, List.map Texpr.idx [ s; ii; jj ], Texpr.f 0.0);
+                Stmt.for_ kk chunk
+                  (Stmt.Store
+                     ( workspace,
+                       List.map Texpr.idx [ s; ii; jj ],
+                       Texpr.(
+                         load workspace [ s; ii; jj ]
+                         +. (load x [ ii; global_k ] *. load w [ global_k; jj ]))
+                     )) ]
+        | _ -> assert false)
+  in
+  let phase2 =
+    Stmt.grid
+      [ ("i", m); ("j", n) ]
+      (fun idx ->
+        match idx with
+        | [ ii; jj ] ->
+            let s = Arith.Var.fresh "s1" in
+            let es = Arith.Expr.var s in
+            Stmt.seq
+              [ Stmt.Store (y, List.map Texpr.idx [ ii; jj ], Texpr.f 0.0);
+                Stmt.for_ s (c splits)
+                  (Stmt.Store
+                     ( y,
+                       List.map Texpr.idx [ ii; jj ],
+                       Texpr.(load y [ ii; jj ] +. load workspace [ es; ii; jj ]) ))
+              ]
+        | _ -> assert false)
+  in
+  Prim_func.create ~name ~params:[ x; w; y ]
+    (Stmt.Alloc (workspace, Stmt.seq [ phase1; phase2 ]))

@@ -1,0 +1,135 @@
+(** Generators for standard tensor programs.
+
+    The legalization pass (graph operator → [call_tir]) and the model
+    frontend build their loop-level kernels through this module. All
+    shapes are symbolic, so one generated kernel serves every dynamic
+    instantiation. Generated functions follow destination-passing
+    style: inputs first, one output last. *)
+
+type shape = Arith.Expr.t list
+
+val unary :
+  name:string -> op:(Texpr.t -> Texpr.t) -> shape -> Base.Dtype.t -> Prim_func.t
+(** Elementwise unary kernel [out[i...] = op in[i...]]. *)
+
+val binary :
+  name:string ->
+  op:(Texpr.t -> Texpr.t -> Texpr.t) ->
+  shape ->
+  Base.Dtype.t ->
+  Prim_func.t
+(** Elementwise binary kernel over two same-shape inputs. *)
+
+val broadcast_binary :
+  name:string ->
+  op:(Texpr.t -> Texpr.t -> Texpr.t) ->
+  lhs:shape ->
+  rhs:shape ->
+  Base.Dtype.t ->
+  Prim_func.t
+(** Binary kernel where [rhs] is a trailing-suffix broadcast of [lhs]
+    (including the scalar case [rhs = []]).
+    @raise Invalid_argument when [rhs] is not a suffix of [lhs]. *)
+
+val cast_kernel :
+  name:string -> shape -> from_:Base.Dtype.t -> to_:Base.Dtype.t -> Prim_func.t
+
+val matmul :
+  name:string ->
+  ?batch:shape ->
+  m:Arith.Expr.t ->
+  k:Arith.Expr.t ->
+  n:Arith.Expr.t ->
+  Base.Dtype.t ->
+  Prim_func.t
+(** [X: (batch..., m, k)] times [W: (batch..., k, n)] into
+    [Y: (batch..., m, n)]; [W] is unbatched [(k, n)] when [batch] is
+    given but [shared_rhs] holds — see [matmul_nt] variants below. The
+    plain form batches both operands. *)
+
+val matmul_weights :
+  name:string ->
+  ?batch:shape ->
+  m:Arith.Expr.t ->
+  k:Arith.Expr.t ->
+  n:Arith.Expr.t ->
+  Base.Dtype.t ->
+  Prim_func.t
+(** [X: (batch..., m, k)] times a shared unbatched weight [W: (k, n)]
+    — the dense-layer case. *)
+
+val transpose :
+  name:string -> shape -> perm:int list -> Base.Dtype.t -> Prim_func.t
+(** Output dimension [d] reads input dimension [perm.(d)]. *)
+
+val reshape : name:string -> from_:shape -> to_:shape -> Base.Dtype.t -> Prim_func.t
+(** Row-major relayout; the element counts must be provably equal for
+    well-formed use (checked by graph-level deduction, not here). *)
+
+val reduce :
+  name:string ->
+  kind:[ `Sum | `Max | `Mean ] ->
+  shape ->
+  Base.Dtype.t ->
+  Prim_func.t
+(** Reduce over the last axis: [(d0..dk, r)] to [(d0..dk)]. *)
+
+val softmax_last : name:string -> shape -> Base.Dtype.t -> Prim_func.t
+(** Numerically-stable softmax over the last axis. *)
+
+val layer_norm :
+  name:string ->
+  shape ->
+  eps:float ->
+  Base.Dtype.t ->
+  Prim_func.t
+(** Layer normalization over the last axis with scale and bias;
+    inputs [(x, gamma, beta)]. *)
+
+val rms_norm :
+  name:string ->
+  shape ->
+  eps:float ->
+  Base.Dtype.t ->
+  Prim_func.t
+(** RMS normalization over the last axis with a learned scale; inputs
+    [(x, weight)]. *)
+
+val take_rows :
+  name:string ->
+  rows:Arith.Expr.t ->
+  width:Arith.Expr.t ->
+  num_indices:Arith.Expr.t ->
+  Base.Dtype.t ->
+  Prim_func.t
+(** Embedding lookup: [out[i, j] = table[indices[i], j]], with
+    [indices] an [I32] tensor. Inputs [(table, indices)]. *)
+
+val decode_q4 :
+  name:string -> k:Arith.Expr.t -> n:Arith.Expr.t -> Base.Dtype.t -> Prim_func.t
+(** Figure 9's custom 4-bit quantization decode: unpack 8 nibbles per
+    [U32] word and scale per 32-wide group. Inputs
+    [(wdata: (k, n/8) u32, wscale: (k, n/32) f)], output [(k, n) f]. *)
+
+val decode_q3 :
+  name:string -> k:Arith.Expr.t -> n:Arith.Expr.t -> Base.Dtype.t -> Prim_func.t
+(** 3-bit variant used for the iPhone Llama2 configuration of Table 3:
+    ten 3-bit values per [U32] word (2 bits wasted). *)
+
+val split_k_matmul :
+  name:string ->
+  m:Arith.Expr.t ->
+  k:Arith.Expr.t ->
+  n:Arith.Expr.t ->
+  splits:int ->
+  Base.Dtype.t ->
+  Prim_func.t
+(** Stream-K-style two-phase matmul with a global workspace for
+    partial accumulations (Figure 11's lifting candidate). [k] must be
+    divisible by [splits] at runtime. *)
+
+(** {1 Common scalar op builders} *)
+
+val relu : Texpr.t -> Texpr.t
+val silu : Texpr.t -> Texpr.t
+val gelu : Texpr.t -> Texpr.t

@@ -1,0 +1,203 @@
+type kind =
+  | Element_wise
+  | Broadcast
+  | Injective
+  | Reduction
+  | Output_ewise_fusible
+  | Opaque
+
+let kind_to_string = function
+  | Element_wise -> "ElementWise"
+  | Broadcast -> "Broadcast"
+  | Injective -> "Injective"
+  | Reduction -> "Reduction"
+  | Output_ewise_fusible -> "OutputEwiseFusible"
+  | Opaque -> "Opaque"
+
+let kind_of_string = function
+  | "ElementWise" -> Some Element_wise
+  | "Broadcast" -> Some Broadcast
+  | "Injective" -> Some Injective
+  | "Reduction" -> Some Reduction
+  | "OutputEwiseFusible" -> Some Output_ewise_fusible
+  | "Opaque" -> Some Opaque
+  | _ -> None
+
+(* Severity order used to combine per-read classifications: a single
+   harder read makes the whole program harder. *)
+let severity = function
+  | Element_wise -> 0
+  | Broadcast -> 1
+  | Injective -> 2
+  | Reduction -> 3
+  | Output_ewise_fusible -> 4
+  | Opaque -> 5
+
+let max_kind a b = if severity a >= severity b then a else b
+
+(* Stores paired with the loop variables enclosing them. *)
+type store_site = {
+  target : Buffer.t;
+  indices : Texpr.t list;
+  value : Texpr.t;
+  loop_vars : Arith.Var.t list;
+}
+
+let collect_stores (f : Prim_func.t) : store_site list =
+  let rec go loop_vars = function
+    | Stmt.Seq ss -> List.concat_map (go loop_vars) ss
+    | Stmt.For { var; body; _ } -> go (loop_vars @ [ var ]) body
+    | Stmt.Store (target, indices, value) ->
+        [ { target; indices; value; loop_vars } ]
+    | Stmt.If (_, t, e) -> (
+        go loop_vars t @ match e with Some e -> go loop_vars e | None -> [])
+    | Stmt.Alloc (_, body) -> go loop_vars body
+    | Stmt.Assert _ | Stmt.Evaluate _ -> []
+  in
+  go [] f.Prim_func.body
+
+let as_indices idxs = List.map Texpr.as_index idxs
+
+let all_some xs =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | Some x :: tl -> go (x :: acc) tl
+    | None :: _ -> None
+  in
+  go [] xs
+
+let indices_equal a b =
+  List.length a = List.length b && List.for_all2 Arith.Simplify.prove_equal a b
+
+let is_element_wise r w = indices_equal r w
+
+(* r is an order-preserving selection of w's indices (e.g. B[j] read
+   while writing C[i, j]). *)
+let is_broadcast r w =
+  let rec go r w =
+    match (r, w) with
+    | [], _ -> true
+    | _ :: _, [] -> false
+    | ri :: rt, wi :: wt ->
+        if Arith.Simplify.prove_equal ri wi then go rt wt else go r wt
+  in
+  List.length r < List.length w && go r w
+
+(* Every read coordinate is a function of the write coordinates only:
+   no reduction variable is involved, so the producer can be inlined
+   into any consumer position (transpose, reshape-style flattening). *)
+let is_injective r w =
+  let wvars =
+    List.fold_left
+      (fun acc e -> Arith.Var.Set.union acc (Arith.Expr.free_vars e))
+      Arith.Var.Set.empty w
+  in
+  List.for_all (fun e -> Arith.Var.Set.subset (Arith.Expr.free_vars e) wvars) r
+
+(* Accumulation into the output at the write indices with a multiply
+   of two loads: the matmul/convolution shape. *)
+let is_fuse_multiply_add (site : store_site) w_idx =
+  let rec has_self_accum e =
+    match e with
+    | Texpr.Binop (Texpr.Add, a, b) ->
+        is_self_load a || is_self_load b || has_self_accum a || has_self_accum b
+    | Texpr.Cast (_, a) -> has_self_accum a
+    | Texpr.Imm_int _ | Texpr.Imm_float _ | Texpr.Idx _ | Texpr.Load _
+    | Texpr.Binop _ | Texpr.Unop _ | Texpr.Select _ ->
+        false
+  and is_self_load e =
+    match e with
+    | Texpr.Load (b, idxs) -> (
+        Buffer.equal b site.target
+        &&
+        match all_some (as_indices idxs) with
+        | Some r -> indices_equal r w_idx
+        | None -> false)
+    | Texpr.Cast (_, a) -> is_self_load a
+    | Texpr.Imm_int _ | Texpr.Imm_float _ | Texpr.Idx _ | Texpr.Binop _
+    | Texpr.Unop _ | Texpr.Select _ ->
+        false
+  in
+  let rec has_mul_of_loads e =
+    match e with
+    | Texpr.Binop (Texpr.Mul, a, b) ->
+        (contains_load a && contains_load b)
+        || has_mul_of_loads a || has_mul_of_loads b
+    | Texpr.Binop (_, a, b) -> has_mul_of_loads a || has_mul_of_loads b
+    | Texpr.Unop (_, a) | Texpr.Cast (_, a) -> has_mul_of_loads a
+    | Texpr.Select (c, a, b) ->
+        has_mul_of_loads c || has_mul_of_loads a || has_mul_of_loads b
+    | Texpr.Imm_int _ | Texpr.Imm_float _ | Texpr.Idx _ | Texpr.Load _ -> false
+  and contains_load e = Texpr.loads e <> []
+  in
+  has_self_accum site.value && has_mul_of_loads site.value
+
+let has_reduction_loop sites w_idx =
+  let wvars =
+    List.fold_left
+      (fun acc e -> Arith.Var.Set.union acc (Arith.Expr.free_vars e))
+      Arith.Var.Set.empty w_idx
+  in
+  List.exists
+    (fun site ->
+      List.exists
+        (fun lv -> not (Arith.Var.Set.mem lv wvars))
+        site.loop_vars)
+    sites
+
+let classify (f : Prim_func.t) : kind =
+  let outputs = Buffer.Set.of_list (Prim_func.outputs f) in
+  let sites = collect_stores f in
+  if sites = [] then Opaque
+  else
+    (* Stores to anything but the declared outputs (a global workspace,
+       a shared staging buffer) defeat index-based classification. *)
+    let to_outputs, others =
+      List.partition (fun s -> Buffer.Set.mem s.target outputs) sites
+    in
+    if others <> [] || to_outputs = [] then Opaque
+    else
+      let w_indices = List.map (fun s -> as_indices s.indices) to_outputs in
+      match all_some (List.map all_some w_indices) with
+      | None -> Opaque (* data-dependent write position (scatter) *)
+      | Some (w0 :: rest) when List.for_all (indices_equal w0) rest ->
+          let w_idx = w0 in
+          (* Reads of input buffers; reads of the output itself are the
+             accumulation pattern handled by the FMA check. *)
+          let reads =
+            List.concat_map
+              (fun site ->
+                List.filter
+                  (fun (b, _) -> not (Buffer.equal b site.target))
+                  (Texpr.loads site.value
+                  @ List.concat_map Texpr.loads site.indices))
+              to_outputs
+          in
+          let classify_read (_, idxs) =
+            match all_some (as_indices idxs) with
+            | None -> Opaque (* data-dependent gather *)
+            | Some r ->
+                if is_element_wise r w_idx then Element_wise
+                else if is_broadcast r w_idx then Broadcast
+                else if is_injective r w_idx then Injective
+                else Opaque
+          in
+          let kinds = List.map classify_read reads in
+          let has_elem_wise = List.mem Element_wise kinds in
+          let kind = List.fold_left max_kind Element_wise kinds in
+          if kind = Broadcast && has_elem_wise then Element_wise
+          else if severity kind <= severity Injective then kind
+          else if
+            List.exists (fun s -> is_fuse_multiply_add s w_idx) to_outputs
+          then Output_ewise_fusible
+          else if has_reduction_loop to_outputs w_idx then Reduction
+          else Opaque
+      | Some _ -> Opaque
+
+let annotate f =
+  Prim_func.with_attr f "compute_pattern" (kind_to_string (classify f))
+
+let kind_of f =
+  match Prim_func.attr f "compute_pattern" with
+  | Some s -> ( match kind_of_string s with Some k -> k | None -> classify f)
+  | None -> classify f

@@ -1,0 +1,29 @@
+(** Compute-pattern analysis of tensor programs (Algorithm 1).
+
+    This is the "analysis feedback" pass of the paper: instead of
+    manually annotating every high-level operator with its fusion
+    properties, the compiler classifies each tensor program by pattern
+    matching on its loop nest and buffer access indices. The resulting
+    kind drives pattern-match-based operator fusion (Algorithm 2). *)
+
+type kind =
+  | Element_wise
+  | Broadcast
+  | Injective
+  | Reduction
+  | Output_ewise_fusible  (** matmul/conv-like: elementwise ops fuse into its output *)
+  | Opaque
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+
+val classify : Prim_func.t -> kind
+(** Pattern kind of a tensor program, derived from its read and write
+    indices per Algorithm 1 of the paper. *)
+
+val annotate : Prim_func.t -> Prim_func.t
+(** [classify] and record the result as the ["compute_pattern"]
+    function attribute. *)
+
+val kind_of : Prim_func.t -> kind
+(** The recorded attribute if present, else [classify]. *)

@@ -1,0 +1,169 @@
+type t = {
+  name : string;
+  params : Buffer.t list;
+  sym_params : Arith.Var.t list;
+  num_outputs : int;
+  body : Stmt.t;
+  attrs : (string * string) list;
+}
+
+(* Free symbolic variables of a statement, excluding loop-bound vars. *)
+let rec stmt_free_vars bound = function
+  | Stmt.Seq ss ->
+      List.fold_left
+        (fun acc s -> Arith.Var.Set.union acc (stmt_free_vars bound s))
+        Arith.Var.Set.empty ss
+  | Stmt.For r ->
+      let ext = Arith.Var.Set.diff (Arith.Expr.free_vars r.extent) bound in
+      let bound' = Arith.Var.Set.add r.var bound in
+      Arith.Var.Set.union ext (stmt_free_vars bound' r.body)
+  | Stmt.Store (b, idxs, v) ->
+      let acc = Arith.Var.Set.diff (Buffer.free_sym_vars b) bound in
+      let acc =
+        List.fold_left
+          (fun acc e -> Arith.Var.Set.union acc (texpr_free_vars bound e))
+          acc idxs
+      in
+      Arith.Var.Set.union acc (texpr_free_vars bound v)
+  | Stmt.If (c, t, e) ->
+      let acc = texpr_free_vars bound c in
+      let acc = Arith.Var.Set.union acc (stmt_free_vars bound t) in
+      Arith.Var.Set.union acc
+        (match e with
+        | Some e -> stmt_free_vars bound e
+        | None -> Arith.Var.Set.empty)
+  | Stmt.Alloc (b, body) ->
+      Arith.Var.Set.union
+        (Arith.Var.Set.diff (Buffer.free_sym_vars b) bound)
+        (stmt_free_vars bound body)
+  | Stmt.Assert (c, _) -> texpr_free_vars bound c
+  | Stmt.Evaluate e -> texpr_free_vars bound e
+
+and texpr_free_vars bound = function
+  | Texpr.Imm_int _ | Texpr.Imm_float _ -> Arith.Var.Set.empty
+  | Texpr.Idx e -> Arith.Var.Set.diff (Arith.Expr.free_vars e) bound
+  | Texpr.Load (b, idxs) ->
+      List.fold_left
+        (fun acc e -> Arith.Var.Set.union acc (texpr_free_vars bound e))
+        (Arith.Var.Set.diff (Buffer.free_sym_vars b) bound)
+        idxs
+  | Texpr.Binop (_, a, b) ->
+      Arith.Var.Set.union (texpr_free_vars bound a) (texpr_free_vars bound b)
+  | Texpr.Unop (_, a) | Texpr.Cast (_, a) -> texpr_free_vars bound a
+  | Texpr.Select (c, a, b) ->
+      Arith.Var.Set.union (texpr_free_vars bound c)
+        (Arith.Var.Set.union (texpr_free_vars bound a) (texpr_free_vars bound b))
+
+let param_shape_vars params =
+  List.fold_left
+    (fun acc b -> Arith.Var.Set.union acc (Buffer.free_sym_vars b))
+    Arith.Var.Set.empty params
+
+let derivable_of params =
+  List.fold_left
+    (fun acc b ->
+      List.fold_left
+        (fun acc dim ->
+          match dim with
+          | Arith.Expr.Var v -> Arith.Var.Set.add v acc
+          | Arith.Expr.Const _ | Arith.Expr.Add _ | Arith.Expr.Sub _
+          | Arith.Expr.Mul _ | Arith.Expr.Floor_div _ | Arith.Expr.Floor_mod _
+          | Arith.Expr.Min _ | Arith.Expr.Max _ ->
+              acc)
+        acc b.Buffer.shape)
+    Arith.Var.Set.empty params
+
+let create ?(sym_params = []) ?(num_outputs = 1) ?(attrs = []) ~name ~params
+    body =
+  if num_outputs > List.length params then
+    invalid_arg "Prim_func.create: num_outputs exceeds parameter count";
+  let free =
+    Arith.Var.Set.union (param_shape_vars params)
+      (stmt_free_vars Arith.Var.Set.empty body)
+  in
+  let known =
+    Arith.Var.Set.union (derivable_of params)
+      (Arith.Var.Set.of_list sym_params)
+  in
+  let missing = Arith.Var.Set.diff free known in
+  if not (Arith.Var.Set.is_empty missing) then
+    invalid_arg
+      (Printf.sprintf
+         "Prim_func.create(%s): symbolic variable(s) %s are neither derivable \
+          from parameter shapes nor passed as sym_params"
+         name
+         (String.concat ", "
+            (List.map Arith.Var.name (Arith.Var.Set.elements missing))));
+  { name; params; sym_params; num_outputs; body; attrs }
+
+let inputs t =
+  let n = List.length t.params - t.num_outputs in
+  List.filteri (fun i _ -> i < n) t.params
+
+let outputs t =
+  let n = List.length t.params - t.num_outputs in
+  List.filteri (fun i _ -> i >= n) t.params
+
+let attr t key = List.assoc_opt key t.attrs
+let with_attr t key value = { t with attrs = (key, value) :: List.remove_assoc key t.attrs }
+let with_name t name = { t with name }
+
+let free_sym_vars t =
+  Arith.Var.Set.union (param_shape_vars t.params)
+    (stmt_free_vars Arith.Var.Set.empty t.body)
+
+let derivable_sym_vars t = derivable_of t.params
+
+let rename_params t =
+  let var_env =
+    List.fold_left
+      (fun acc v ->
+        Arith.Var.Map.add v (Arith.Expr.var (Arith.Var.fresh (Arith.Var.name v))) acc)
+      Arith.Var.Map.empty
+      (Arith.Var.Set.elements (free_sym_vars t))
+  in
+  let fresh_buffer b =
+    Buffer.create ~scope:b.Buffer.scope b.Buffer.name
+      (List.map (Arith.Expr.subst var_env) b.Buffer.shape)
+      b.Buffer.dtype
+  in
+  let buf_map =
+    List.fold_left
+      (fun acc b -> Buffer.Map.add b (fresh_buffer b) acc)
+      Buffer.Map.empty t.params
+  in
+  let map_buf b = match Buffer.Map.find_opt b buf_map with
+    | Some b' -> b'
+    | None ->
+        (* Non-parameter buffers (local allocs) keep identity but get
+           substituted shapes via subst_vars below. *)
+        b
+  in
+  let body = Stmt.subst_vars var_env (Stmt.map_buffers map_buf t.body) in
+  let params = List.map (fun b -> Buffer.Map.find b buf_map) t.params in
+  let sym_params =
+    List.map
+      (fun v ->
+        match Arith.Var.Map.find_opt v var_env with
+        | Some (Arith.Expr.Var v') -> v'
+        | Some _ | None -> v)
+      t.sym_params
+  in
+  { t with params; sym_params; body }
+
+let pp fmt t =
+  Format.fprintf fmt "@tensorir_function%s@\ndef %s(%s)%s:@\n"
+    (match attr t "compute_pattern" with
+    | Some p -> Printf.sprintf "  # compute_pattern = %s" p
+    | None -> "")
+    t.name
+    (String.concat ", "
+       (List.map (fun b -> Format.asprintf "%a" Buffer.pp b) t.params))
+    (match t.sym_params with
+    | [] -> ""
+    | vs ->
+        Printf.sprintf "  # sym: %s"
+          (String.concat ", " (List.map Arith.Var.name vs)));
+  Stmt.pp_indent fmt 2 t.body
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,51 @@
+(** Loop-level tensor program functions (the TensorIR analogue).
+
+    A prim func follows destination-passing style: its buffer
+    parameters are inputs, then intermediate workspaces (if lifted to
+    the caller, §4.4), then outputs. [sym_params] receive the runtime
+    values of symbolic shape variables that cannot be derived from the
+    buffer arguments alone (the extra symbolic arguments of Figure 8). *)
+
+type t = private {
+  name : string;
+  params : Buffer.t list;
+  sym_params : Arith.Var.t list;
+  num_outputs : int;  (** trailing buffer params that are outputs *)
+  body : Stmt.t;
+  attrs : (string * string) list;
+}
+
+val create :
+  ?sym_params:Arith.Var.t list ->
+  ?num_outputs:int ->
+  ?attrs:(string * string) list ->
+  name:string ->
+  params:Buffer.t list ->
+  Stmt.t ->
+  t
+(** @raise Invalid_argument if [num_outputs] exceeds the parameter
+    count or a symbolic variable used by shapes or the body is neither
+    bound by a loop nor derivable from parameter shapes nor listed in
+    [sym_params]. *)
+
+val inputs : t -> Buffer.t list
+val outputs : t -> Buffer.t list
+
+val attr : t -> string -> string option
+val with_attr : t -> string -> string -> t
+val with_name : t -> string -> t
+
+val free_sym_vars : t -> Arith.Var.Set.t
+(** Symbolic variables appearing in parameter shapes or the body. *)
+
+val derivable_sym_vars : t -> Arith.Var.Set.t
+(** Variables recoverable from buffer parameter shapes at call time
+    (those appearing as a bare dimension of some parameter). *)
+
+val rename_params : t -> t
+(** Fresh copies of all buffer params and symbolic vars (alpha
+    renaming); used when inlining one func into another. Returns the
+    renamed function. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,164 @@
+exception Schedule_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Schedule_error s)) fmt
+
+let rec loop_vars_of_stmt (s : Stmt.t) =
+  match s with
+  | Stmt.Seq ss -> List.concat_map loop_vars_of_stmt ss
+  | Stmt.For { var; body; _ } -> var :: loop_vars_of_stmt body
+  | Stmt.If (_, t, e) -> (
+      loop_vars_of_stmt t
+      @ match e with Some e -> loop_vars_of_stmt e | None -> [])
+  | Stmt.Alloc (_, body) -> loop_vars_of_stmt body
+  | Stmt.Store _ | Stmt.Assert _ | Stmt.Evaluate _ -> []
+
+let loop_vars (f : Prim_func.t) = loop_vars_of_stmt f.Prim_func.body
+
+(* Rewrite the unique For node binding [loop]; [rewrite] receives the
+   For's record and produces the replacement statement. *)
+let rewrite_loop (f : Prim_func.t) (loop : Arith.Var.t) rewrite =
+  let found = ref false in
+  let rec go (s : Stmt.t) : Stmt.t =
+    match s with
+    | Stmt.Seq ss -> Stmt.Seq (List.map go ss)
+    | Stmt.For { var; extent; kind; body } when Arith.Var.equal var loop ->
+        found := true;
+        rewrite ~var ~extent ~kind ~body
+    | Stmt.For r -> Stmt.For { r with body = go r.body }
+    | Stmt.If (c, t, e) -> Stmt.If (c, go t, Option.map go e)
+    | Stmt.Alloc (b, body) -> Stmt.Alloc (b, go body)
+    | (Stmt.Store _ | Stmt.Assert _ | Stmt.Evaluate _) as s -> s
+  in
+  let body = go f.Prim_func.body in
+  if not !found then fail "loop %s not found" (Arith.Var.name loop);
+  Prim_func.create
+    ~sym_params:f.Prim_func.sym_params
+    ~num_outputs:f.Prim_func.num_outputs ~attrs:f.Prim_func.attrs
+    ~name:f.Prim_func.name ~params:f.Prim_func.params body
+
+let split (f : Prim_func.t) ~loop ~factor =
+  if factor <= 0 then fail "split factor must be positive";
+  let outer = Arith.Var.fresh (Arith.Var.name loop ^ "_o") in
+  let inner = Arith.Var.fresh (Arith.Var.name loop ^ "_i") in
+  let f' =
+    rewrite_loop f loop (fun ~var ~extent ~kind ~body ->
+        let fe = Arith.Expr.const factor in
+        let outer_extent =
+          Arith.Simplify.simplify
+            (Arith.Expr.floor_div
+               (Arith.Expr.add extent (Arith.Expr.const (factor - 1)))
+               fe)
+        in
+        let fused =
+          Arith.Expr.add
+            (Arith.Expr.mul (Arith.Expr.var outer) fe)
+            (Arith.Expr.var inner)
+        in
+        let body = Stmt.subst_vars (Arith.Var.Map.singleton var fused) body in
+        (* Divisible extents (proved symbolically) need no guard. *)
+        let divisible =
+          Arith.Simplify.prove_equal (Arith.Expr.mul outer_extent fe) extent
+        in
+        let body =
+          if divisible then body
+          else
+            Stmt.If
+              ( Texpr.Binop (Texpr.Lt, Texpr.idx fused, Texpr.idx extent),
+                body,
+                None )
+        in
+        Stmt.For
+          {
+            var = outer;
+            extent = outer_extent;
+            kind;
+            body = Stmt.For { var = inner; extent = fe; kind = Stmt.Serial; body };
+          })
+  in
+  (f', outer, inner)
+
+(* Free symbolic variables of a scalar expression (indices only). *)
+let rec texpr_vars (e : Texpr.t) =
+  match e with
+  | Texpr.Imm_int _ | Texpr.Imm_float _ -> Arith.Var.Set.empty
+  | Texpr.Idx ie -> Arith.Expr.free_vars ie
+  | Texpr.Load (_, idxs) ->
+      List.fold_left
+        (fun acc i -> Arith.Var.Set.union acc (texpr_vars i))
+        Arith.Var.Set.empty idxs
+  | Texpr.Binop (_, a, b) -> Arith.Var.Set.union (texpr_vars a) (texpr_vars b)
+  | Texpr.Unop (_, a) | Texpr.Cast (_, a) -> texpr_vars a
+  | Texpr.Select (c, a, b) ->
+      Arith.Var.Set.union (texpr_vars c)
+        (Arith.Var.Set.union (texpr_vars a) (texpr_vars b))
+
+let reorder (f : Prim_func.t) ~outer ~inner =
+  rewrite_loop f outer (fun ~var ~extent ~kind ~body ->
+      let check_extent (ri_extent : Arith.Expr.t) =
+        if Arith.Var.Set.mem var (Arith.Expr.free_vars ri_extent) then
+          fail "cannot reorder: inner extent depends on outer variable"
+      in
+      match body with
+      | Stmt.For ri when Arith.Var.equal ri.var inner ->
+          check_extent ri.extent;
+          Stmt.For
+            { ri with body = Stmt.For { var; extent; kind; body = ri.body } }
+      | Stmt.If (cond, Stmt.For ri, None)
+        when Arith.Var.equal ri.var inner
+             && not (Arith.Var.Set.mem ri.var (texpr_vars cond)) ->
+          (* A bounds guard between the loops (from a dynamic-extent
+             split) commutes with the inner loop when it does not read
+             the inner variable. *)
+          check_extent ri.extent;
+          Stmt.For
+            {
+              ri with
+              body =
+                Stmt.For
+                  { var; extent; kind; body = Stmt.If (cond, ri.body, None) };
+            }
+      | _ ->
+          fail "loops %s and %s are not perfectly nested"
+            (Arith.Var.name outer) (Arith.Var.name inner))
+
+let parallelize (f : Prim_func.t) ~loop =
+  rewrite_loop f loop (fun ~var ~extent ~kind:_ ~body ->
+      Stmt.For { var; extent; kind = Stmt.Parallel; body })
+
+let unroll (f : Prim_func.t) ~loop =
+  rewrite_loop f loop (fun ~var ~extent ~kind:_ ~body ->
+      match Arith.Expr.as_const extent with
+      | Some n when n >= 0 && n <= 64 ->
+          Stmt.seq
+            (List.init n (fun i ->
+                 Stmt.subst_vars
+                   (Arith.Var.Map.singleton var (Arith.Expr.const i))
+                   body))
+      | Some n -> fail "unroll: extent %d too large" n
+      | None -> fail "unroll: extent is not constant")
+
+let tile2 f ~i ~j ~ti ~tj =
+  (* (i, j, ...) -> (i_o, i_i, j_o, j_i) -> (i_o, j_o, i_i, j_i) *)
+  let f, _io, ii = split f ~loop:i ~factor:ti in
+  let f, jo, _ji = split f ~loop:j ~factor:tj in
+  reorder f ~outer:ii ~inner:jo
+
+let auto_schedule (f : Prim_func.t) =
+  match Pattern.classify f with
+  | Pattern.Output_ewise_fusible -> (
+      (* The two loops enclosing the FMA accumulation are the output
+         coordinates; tile and parallelize them. *)
+      match loop_vars f with
+      | i :: j :: _ -> (
+          try
+            let tiled = tile2 f ~i ~j ~ti:32 ~tj:32 in
+            match loop_vars_of_stmt tiled.Prim_func.body with
+            | o :: _ -> parallelize tiled ~loop:o
+            | [] -> tiled
+          with Schedule_error _ -> f)
+      | _ -> f)
+  | Pattern.Element_wise | Pattern.Broadcast | Pattern.Injective -> (
+      match loop_vars f with
+      | o :: _ -> ( try parallelize f ~loop:o with Schedule_error _ -> f)
+      | [] -> f)
+  | Pattern.Reduction | Pattern.Opaque -> f

@@ -1,0 +1,57 @@
+(** Loop transformations on tensor programs (the TensorIR scheduling
+    layer used by §4.6's "analysis-based dynamic shape-aware schedule
+    rules").
+
+    Schedules are semantics-preserving rewrites of a prim func's loop
+    nest. Loops are identified by their loop variable. Splitting a
+    loop with a symbolic extent inserts a bounds guard unless the
+    factor provably divides the extent — the shape-aware
+    specialization of §3.3 (static dimensions get guard-free tiled
+    code, dynamic ones keep the guard). *)
+
+exception Schedule_error of string
+
+val loop_vars : Prim_func.t -> Arith.Var.t list
+(** All loop variables, outermost-first in program order. *)
+
+val split :
+  Prim_func.t -> loop:Arith.Var.t -> factor:int -> Prim_func.t * Arith.Var.t * Arith.Var.t
+(** [split f ~loop ~factor] replaces [for v in extent] by
+    [for v_o in ceil(extent/factor): for v_i in factor] with
+    [v := v_o * factor + v_i], guarding the body when divisibility
+    cannot be proved. Returns the new function and the outer/inner
+    loop variables.
+    @raise Schedule_error if the loop is not found or [factor <= 0]. *)
+
+val reorder : Prim_func.t -> outer:Arith.Var.t -> inner:Arith.Var.t -> Prim_func.t
+(** Swap two perfectly-nested adjacent loops ([inner]'s [For] must be
+    the entire body of [outer]'s, and [inner]'s extent must not use
+    [outer]'s variable). The caller asserts iteration independence, as
+    in TensorIR's unchecked schedule primitives; the test suite
+    verifies equivalence through the interpreter.
+    @raise Schedule_error if the loops are not perfectly nested. *)
+
+val parallelize : Prim_func.t -> loop:Arith.Var.t -> Prim_func.t
+(** Mark a loop as parallel (a code-generation annotation). *)
+
+val unroll : Prim_func.t -> loop:Arith.Var.t -> Prim_func.t
+(** Fully unroll a loop with a small constant extent.
+    @raise Schedule_error if the extent is not a constant [<= 64]. *)
+
+val tile2 :
+  Prim_func.t ->
+  i:Arith.Var.t ->
+  j:Arith.Var.t ->
+  ti:int ->
+  tj:int ->
+  Prim_func.t
+(** Classic 2-D tiling of two perfectly-nested loops:
+    [(i, j) -> (i_o, j_o, i_i, j_i)]. *)
+
+val auto_schedule : Prim_func.t -> Prim_func.t
+(** The analysis-based rule of §4.6: classify the program
+    ({!Pattern.classify}) and apply a matching default schedule —
+    tile + parallelize matmul-like programs on their two output
+    loops, parallelize the outermost loop of elementwise/injective
+    programs, leave the rest untouched. Dynamic extents keep their
+    guards; static ones tile cleanly. *)

@@ -1,0 +1,125 @@
+type for_kind = Serial | Parallel
+
+type t =
+  | Seq of t list
+  | For of { var : Arith.Var.t; extent : Arith.Expr.t; kind : for_kind; body : t }
+  | Store of Buffer.t * Texpr.t list * Texpr.t
+  | If of Texpr.t * t * t option
+  | Alloc of Buffer.t * t
+  | Assert of Texpr.t * string
+  | Evaluate of Texpr.t
+
+let seq stmts =
+  let rec flatten = function
+    | Seq inner -> List.concat_map flatten inner
+    | s -> [ s ]
+  in
+  match List.concat_map flatten stmts with [ s ] -> s | ss -> Seq ss
+
+let for_ var extent body = For { var; extent; kind = Serial; body }
+let for_par var extent body = For { var; extent; kind = Parallel; body }
+
+let grid dims body =
+  let vars = List.map (fun (name, _) -> Arith.Var.fresh name) dims in
+  let exprs = List.map Arith.Expr.var vars in
+  let inner = body exprs in
+  List.fold_right2
+    (fun var (_, extent) acc -> for_ var extent acc)
+    vars dims inner
+
+let rec map_buffers fn = function
+  | Seq ss -> Seq (List.map (map_buffers fn) ss)
+  | For r -> For { r with body = map_buffers fn r.body }
+  | Store (b, idxs, v) ->
+      Store (fn b, List.map (Texpr.map_buffers fn) idxs, Texpr.map_buffers fn v)
+  | If (c, t, e) ->
+      If (Texpr.map_buffers fn c, map_buffers fn t, Option.map (map_buffers fn) e)
+  | Alloc (b, body) -> Alloc (fn b, map_buffers fn body)
+  | Assert (c, msg) -> Assert (Texpr.map_buffers fn c, msg)
+  | Evaluate e -> Evaluate (Texpr.map_buffers fn e)
+
+let subst_buffer_shape env b =
+  Buffer.with_shape b (List.map (Arith.Expr.subst env) b.Buffer.shape)
+
+let rec subst_vars env = function
+  | Seq ss -> Seq (List.map (subst_vars env) ss)
+  | For r ->
+      For
+        { r with
+          extent = Arith.Expr.subst env r.extent;
+          body = subst_vars env r.body }
+  | Store (b, idxs, v) ->
+      Store
+        ( subst_buffer_shape env b,
+          List.map (Texpr.subst_vars env) idxs,
+          Texpr.subst_vars env v )
+  | If (c, t, e) ->
+      If (Texpr.subst_vars env c, subst_vars env t, Option.map (subst_vars env) e)
+  | Alloc (b, body) -> Alloc (subst_buffer_shape env b, subst_vars env body)
+  | Assert (c, msg) -> Assert (Texpr.subst_vars env c, msg)
+  | Evaluate e -> Evaluate (Texpr.subst_vars env e)
+
+let rec stores = function
+  | Seq ss -> List.concat_map stores ss
+  | For r -> stores r.body
+  | Store (b, idxs, _) -> [ (b, idxs) ]
+  | If (_, t, e) -> stores t @ (match e with Some e -> stores e | None -> [])
+  | Alloc (_, body) -> stores body
+  | Assert _ | Evaluate _ -> []
+
+let rec loads = function
+  | Seq ss -> List.concat_map loads ss
+  | For r -> loads r.body
+  | Store (_, idxs, v) -> List.concat_map Texpr.loads idxs @ Texpr.loads v
+  | If (c, t, e) ->
+      Texpr.loads c @ loads t @ (match e with Some e -> loads e | None -> [])
+  | Alloc (_, body) -> loads body
+  | Assert (c, _) -> Texpr.loads c
+  | Evaluate e -> Texpr.loads e
+
+let rec allocs = function
+  | Seq ss -> List.concat_map allocs ss
+  | For r -> allocs r.body
+  | Store _ | Assert _ | Evaluate _ -> []
+  | If (_, t, e) -> allocs t @ (match e with Some e -> allocs e | None -> [])
+  | Alloc (b, body) -> b :: allocs body
+
+let buffers_accessed stmt =
+  let add acc (b, _) = Buffer.Set.add b acc in
+  let acc = List.fold_left add Buffer.Set.empty (stores stmt) in
+  List.fold_left add acc (loads stmt)
+
+let rec pp_indent fmt indent stmt =
+  let pad = String.make indent ' ' in
+  match stmt with
+  | Seq ss -> List.iter (pp_indent fmt indent) ss
+  | For r ->
+      Format.fprintf fmt "%sfor %a in range(%a)%s:@\n" pad Arith.Var.pp r.var
+        Arith.Expr.pp r.extent
+        (match r.kind with Serial -> "" | Parallel -> "  # parallel");
+      pp_indent fmt (indent + 2) r.body
+  | Store (b, idxs, v) ->
+      Format.fprintf fmt "%s%s[%a] = %a@\n" pad b.Buffer.name
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           Texpr.pp)
+        idxs Texpr.pp v
+  | If (c, t, e) -> (
+      Format.fprintf fmt "%sif %a:@\n" pad Texpr.pp c;
+      pp_indent fmt (indent + 2) t;
+      match e with
+      | Some e ->
+          Format.fprintf fmt "%selse:@\n" pad;
+          pp_indent fmt (indent + 2) e
+      | None -> ())
+  | Alloc (b, body) ->
+      Format.fprintf fmt "%s%s = alloc_buffer((%s), \"%s\", \"%s\")@\n" pad
+        b.Buffer.name
+        (String.concat ", " (List.map Arith.Expr.to_string b.Buffer.shape))
+        (Base.Dtype.to_string b.Buffer.dtype)
+        (Buffer.scope_to_string b.Buffer.scope);
+      pp_indent fmt indent body
+  | Assert (c, msg) -> Format.fprintf fmt "%sassert %a, %S@\n" pad Texpr.pp c msg
+  | Evaluate e -> Format.fprintf fmt "%s%a@\n" pad Texpr.pp e
+
+let pp fmt stmt = pp_indent fmt 0 stmt

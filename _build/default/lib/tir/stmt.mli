@@ -1,0 +1,43 @@
+(** Statements of loop-level tensor programs. *)
+
+type for_kind =
+  | Serial
+  | Parallel  (** paper-level marker for GPU-parallelizable loops *)
+
+type t =
+  | Seq of t list
+  | For of { var : Arith.Var.t; extent : Arith.Expr.t; kind : for_kind; body : t }
+  | Store of Buffer.t * Texpr.t list * Texpr.t
+      (** [Store (buf, indices, value)]: [buf[indices] = value] *)
+  | If of Texpr.t * t * t option
+  | Alloc of Buffer.t * t
+      (** Scoped allocation; a [Buffer.Global] alloc is an intermediate
+          workspace eligible for cross-level lifting (§4.4). *)
+  | Assert of Texpr.t * string
+  | Evaluate of Texpr.t
+
+val seq : t list -> t
+(** Flattens nested [Seq]s; a singleton collapses to its element. *)
+
+val for_ : Arith.Var.t -> Arith.Expr.t -> t -> t
+val for_par : Arith.Var.t -> Arith.Expr.t -> t -> t
+
+val grid : (string * Arith.Expr.t) list -> (Arith.Expr.t list -> t) -> t
+(** [grid [("i", n); ("j", m)] body] builds the nested serial loops
+    and hands the loop variables (as expressions) to [body]. *)
+
+val map_buffers : (Buffer.t -> Buffer.t) -> t -> t
+val subst_vars : Arith.Expr.t Arith.Var.Map.t -> t -> t
+
+val stores : t -> (Buffer.t * Texpr.t list) list
+(** Buffers written anywhere in the statement (with their indices). *)
+
+val loads : t -> (Buffer.t * Texpr.t list) list
+val allocs : t -> Buffer.t list
+(** All [Alloc]ed buffers, outermost first. *)
+
+val buffers_accessed : t -> Buffer.Set.t
+val pp : Format.formatter -> t -> unit
+
+val pp_indent : Format.formatter -> int -> t -> unit
+(** [pp] starting at the given indentation (spaces). *)

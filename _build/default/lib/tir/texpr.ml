@@ -1,0 +1,162 @@
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Floor_div
+  | Floor_mod
+  | Min
+  | Max
+  | Pow
+  | Bit_and
+  | Bit_or
+  | Bit_xor
+  | Shift_left
+  | Shift_right
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop =
+  | Neg
+  | Exp
+  | Log
+  | Sqrt
+  | Rsqrt
+  | Tanh
+  | Sigmoid
+  | Erf
+  | Abs
+  | Not
+  | Cos
+  | Sin
+
+type t =
+  | Imm_int of int
+  | Imm_float of float
+  | Idx of Arith.Expr.t
+  | Load of Buffer.t * t list
+  | Binop of binop * t * t
+  | Unop of unop * t
+  | Cast of Base.Dtype.t * t
+  | Select of t * t * t
+
+let idx e = Idx e
+let iv v = Idx (Arith.Expr.var v)
+let f x = Imm_float x
+let i x = Imm_int x
+let load buf indices = Load (buf, List.map idx indices)
+let load_v buf indices = Load (buf, indices)
+let ( +. ) a b = Binop (Add, a, b)
+let ( -. ) a b = Binop (Sub, a, b)
+let ( *. ) a b = Binop (Mul, a, b)
+let ( /. ) a b = Binop (Div, a, b)
+
+let as_index = function
+  | Idx e -> Some e
+  | Imm_int c -> Some (Arith.Expr.const c)
+  | Imm_float _ | Load _ | Binop _ | Unop _ | Cast _ | Select _ -> None
+
+let rec map_buffers fn = function
+  | (Imm_int _ | Imm_float _ | Idx _) as e -> e
+  | Load (b, idxs) -> Load (fn b, List.map (map_buffers fn) idxs)
+  | Binop (op, a, b) -> Binop (op, map_buffers fn a, map_buffers fn b)
+  | Unop (op, a) -> Unop (op, map_buffers fn a)
+  | Cast (dt, a) -> Cast (dt, map_buffers fn a)
+  | Select (c, a, b) ->
+      Select (map_buffers fn c, map_buffers fn a, map_buffers fn b)
+
+let rec subst_vars env = function
+  | (Imm_int _ | Imm_float _) as e -> e
+  | Idx e -> Idx (Arith.Expr.subst env e)
+  | Load (b, idxs) ->
+      let shape = List.map (Arith.Expr.subst env) b.Buffer.shape in
+      Load (Buffer.with_shape b shape, List.map (subst_vars env) idxs)
+  | Binop (op, a, b) -> Binop (op, subst_vars env a, subst_vars env b)
+  | Unop (op, a) -> Unop (op, subst_vars env a)
+  | Cast (dt, a) -> Cast (dt, subst_vars env a)
+  | Select (c, a, b) ->
+      Select (subst_vars env c, subst_vars env a, subst_vars env b)
+
+let rec loads = function
+  | Imm_int _ | Imm_float _ | Idx _ -> []
+  | Load (b, idxs) -> ((b, idxs) :: List.concat_map loads idxs)
+  | Binop (_, a, b) -> loads a @ loads b
+  | Unop (_, a) -> loads a
+  | Cast (_, a) -> loads a
+  | Select (c, a, b) -> loads c @ loads a @ loads b
+
+let rec count_flops = function
+  | Imm_int _ | Imm_float _ | Idx _ -> 0
+  | Load (_, idxs) -> List.fold_left (fun acc e -> acc + count_flops e) 0 idxs
+  | Binop (_, a, b) -> 1 + count_flops a + count_flops b
+  | Unop (_, a) -> 1 + count_flops a
+  | Cast (_, a) -> count_flops a
+  | Select (c, a, b) -> 1 + count_flops c + count_flops a + count_flops b
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Floor_div -> "//"
+  | Floor_mod -> "%"
+  | Min -> "min"
+  | Max -> "max"
+  | Pow -> "pow"
+  | Bit_and -> "&"
+  | Bit_or -> "|"
+  | Bit_xor -> "^"
+  | Shift_left -> "<<"
+  | Shift_right -> ">>"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+let unop_to_string = function
+  | Neg -> "-"
+  | Exp -> "exp"
+  | Log -> "log"
+  | Sqrt -> "sqrt"
+  | Rsqrt -> "rsqrt"
+  | Tanh -> "tanh"
+  | Sigmoid -> "sigmoid"
+  | Erf -> "erf"
+  | Abs -> "abs"
+  | Not -> "!"
+  | Cos -> "cos"
+  | Sin -> "sin"
+
+let rec pp fmt = function
+  | Imm_int c -> Format.pp_print_int fmt c
+  | Imm_float x -> Format.fprintf fmt "%g" x
+  | Idx e -> Arith.Expr.pp fmt e
+  | Load (b, idxs) ->
+      Format.fprintf fmt "%s[%a]" b.Buffer.name
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp)
+        idxs
+  | Binop (((Min | Max | Pow) as op), a, b) ->
+      Format.fprintf fmt "%s(%a, %a)" (binop_to_string op) pp a pp b
+  | Binop (op, a, b) ->
+      Format.fprintf fmt "(%a %s %a)" pp a (binop_to_string op) pp b
+  | Unop (((Neg | Not) as op), a) ->
+      Format.fprintf fmt "%s%a" (unop_to_string op) pp a
+  | Unop (op, a) -> Format.fprintf fmt "%s(%a)" (unop_to_string op) pp a
+  | Cast (dt, a) ->
+      Format.fprintf fmt "cast<%s>(%a)" (Base.Dtype.to_string dt) pp a
+  | Select (c, a, b) ->
+      Format.fprintf fmt "select(%a, %a, %a)" pp c pp a pp b
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,90 @@
+(** Scalar value expressions inside tensor programs.
+
+    These are the right-hand sides of buffer stores: loads, float and
+    integer arithmetic, comparisons, bit manipulation (for quantized
+    weight decoding), casts and selects. Integer index arithmetic over
+    loop and shape variables is embedded via the [Idx] constructor,
+    keeping the symbolic-shape expression system ({!Arith.Expr})
+    shared between levels. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div          (** float division / integer truncated division *)
+  | Floor_div
+  | Floor_mod
+  | Min
+  | Max
+  | Pow
+  | Bit_and
+  | Bit_or
+  | Bit_xor
+  | Shift_left
+  | Shift_right
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop =
+  | Neg
+  | Exp
+  | Log
+  | Sqrt
+  | Rsqrt
+  | Tanh
+  | Sigmoid
+  | Erf
+  | Abs
+  | Not
+  | Cos
+  | Sin
+
+type t =
+  | Imm_int of int
+  | Imm_float of float
+  | Idx of Arith.Expr.t
+      (** integer expression over loop/shape variables *)
+  | Load of Buffer.t * t list
+  | Binop of binop * t * t
+  | Unop of unop * t
+  | Cast of Base.Dtype.t * t
+  | Select of t * t * t  (** [Select (cond, then_, else_)] *)
+
+val idx : Arith.Expr.t -> t
+val iv : Arith.Var.t -> t
+(** Index variable as a value. *)
+
+val f : float -> t
+val i : int -> t
+val load : Buffer.t -> Arith.Expr.t list -> t
+(** Load with plain integer indices (the common, analyzable case). *)
+
+val load_v : Buffer.t -> t list -> t
+(** Load with arbitrary value indices (data-dependent gather). *)
+
+val ( +. ) : t -> t -> t
+val ( -. ) : t -> t -> t
+val ( *. ) : t -> t -> t
+val ( /. ) : t -> t -> t
+
+val as_index : t -> Arith.Expr.t option
+(** [Some e] iff the expression is a pure integer index expression. *)
+
+val map_buffers : (Buffer.t -> Buffer.t) -> t -> t
+val subst_vars : Arith.Expr.t Arith.Var.Map.t -> t -> t
+(** Substitute symbolic variables inside [Idx] sub-expressions. *)
+
+val loads : t -> (Buffer.t * t list) list
+(** All buffer loads, outermost first. *)
+
+val count_flops : t -> int
+(** Arithmetic operations in one evaluation of this expression. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

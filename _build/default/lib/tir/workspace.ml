@@ -1,0 +1,36 @@
+let detect (f : Prim_func.t) =
+  List.filter
+    (fun b ->
+      match b.Buffer.scope with
+      | Buffer.Global -> true
+      | Buffer.Shared | Buffer.Local -> false)
+    (Stmt.allocs f.Prim_func.body)
+
+let rec remove_global_allocs (s : Stmt.t) : Stmt.t =
+  match s with
+  | Stmt.Seq ss -> Stmt.seq (List.map remove_global_allocs ss)
+  | Stmt.For r -> Stmt.For { r with body = remove_global_allocs r.body }
+  | Stmt.Alloc (b, body) -> (
+      match b.Buffer.scope with
+      | Buffer.Global -> remove_global_allocs body
+      | Buffer.Shared | Buffer.Local ->
+          Stmt.Alloc (b, remove_global_allocs body))
+  | Stmt.If (c, t, e) ->
+      Stmt.If (c, remove_global_allocs t, Option.map remove_global_allocs e)
+  | (Stmt.Store _ | Stmt.Assert _ | Stmt.Evaluate _) as s -> s
+
+let lift (f : Prim_func.t) =
+  match detect f with
+  | [] -> None
+  | workspaces ->
+      let body = remove_global_allocs f.Prim_func.body in
+      let params =
+        Prim_func.inputs f @ workspaces @ Prim_func.outputs f
+      in
+      let f' =
+        Prim_func.create
+          ~sym_params:f.Prim_func.sym_params
+          ~num_outputs:f.Prim_func.num_outputs
+          ~attrs:f.Prim_func.attrs ~name:f.Prim_func.name ~params body
+      in
+      Some (f', workspaces)

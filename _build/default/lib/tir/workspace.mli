@@ -1,0 +1,18 @@
+(** Detection and lifting of tensor-program workspaces (§4.4).
+
+    A tensor program such as split-K matmul allocates an intermediate
+    global buffer for partial results. This module detects such
+    allocations from analysis feedback and rewrites the function to
+    receive the workspace as an explicit parameter, so the graph-level
+    caller can allocate it — making it visible to global memory
+    planning. The graph-level half of the rewrite lives in
+    [Relax_passes.Lift_workspace]. *)
+
+val detect : Prim_func.t -> Buffer.t list
+(** Global-scope allocations inside the function body. *)
+
+val lift : Prim_func.t -> (Prim_func.t * Buffer.t list) option
+(** [Some (f', workspaces)] when the function has global allocations:
+    [f'] takes the workspaces as extra buffer parameters inserted
+    between the inputs and the outputs, and its body no longer
+    allocates. [None] when there is nothing to lift. *)

@@ -1,0 +1,1 @@
+test/test_arith.ml: Alcotest Analyzer Arith Array Bounds Expr Gen List QCheck QCheck_alcotest Simplify Var

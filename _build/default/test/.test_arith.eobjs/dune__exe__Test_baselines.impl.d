@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Arith Base Baselines Builder Expr Frontend List Option Printf Relax_core Relax_passes Runtime Struct_info

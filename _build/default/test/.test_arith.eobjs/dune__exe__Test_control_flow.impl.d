@@ -1,0 +1,1 @@
+test/test_control_flow.ml: Alcotest Arith Base Baselines Builder Expr Float Ir_module List Option Printf Relax_core Relax_passes Runtime Struct_info Tir Well_formed

@@ -1,0 +1,1 @@
+test/test_cross_function.ml: Alcotest Arith Base Builder Expr Float Ir_module List Option Printf Relax_core Relax_passes Runtime Struct_info Well_formed

@@ -1,0 +1,1 @@
+test/test_errors.ml: Alcotest Arith Array Base Builder Deduce Expr Ir_module List Op Option Relax_core Relax_passes Runtime Rvar Struct_info

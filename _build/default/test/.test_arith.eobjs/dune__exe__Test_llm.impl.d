@@ -1,0 +1,1 @@
+test/test_llm.ml: Alcotest Base Frontend List Printf Relax_passes Runtime

@@ -1,0 +1,1 @@
+test/test_paged_cache.ml: Alcotest Arith Base Builder Expr Frontend Ir_module List Option Printf Relax_core Relax_passes Runtime Struct_info

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Arith Base Builder Expr Float Ir_module List Option Printf Relax_core Relax_passes Runtime String Struct_info Tir

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Arith Array Base Baselines Builder Expr Gen Ir_module List Option Printf QCheck QCheck_alcotest Relax_core Relax_passes Runtime Rvar String Struct_info Well_formed

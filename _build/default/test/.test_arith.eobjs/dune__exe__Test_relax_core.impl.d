@@ -1,0 +1,1 @@
+test/test_relax_core.ml: Alcotest Arith Base Builder Deduce Expr Format Ir_module List Option Printer Relax_core Rvar String Struct_info Tir Well_formed

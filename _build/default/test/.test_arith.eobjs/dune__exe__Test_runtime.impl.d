@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Arith Base Builder Expr Float Ir_module List Option Printf Relax_core Relax_passes Runtime Rvar Struct_info Tir

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Arith Base Frontend List QCheck QCheck_alcotest Relax_passes Runtime Tir

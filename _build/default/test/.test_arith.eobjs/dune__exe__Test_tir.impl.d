@@ -1,0 +1,1 @@
+test/test_tir.ml: Alcotest Arith Base Dtype Float List Ndarray Tir

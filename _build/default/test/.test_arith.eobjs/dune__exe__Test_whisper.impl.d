@@ -1,0 +1,1 @@
+test/test_whisper.ml: Alcotest Base Baselines Frontend Printf Relax_passes Runtime

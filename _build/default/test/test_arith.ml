@@ -1,0 +1,254 @@
+(* Unit and property tests for the symbolic arithmetic substrate. *)
+
+open Arith
+
+let n = Var.fresh "n"
+let m = Var.fresh "m"
+let k = Var.fresh "k"
+let en = Expr.var n
+let em = Expr.var m
+let ek = Expr.var k
+let c = Expr.const
+
+let check_simp msg e expected =
+  Alcotest.(check string) msg expected Expr.(to_string (Simplify.simplify e))
+
+let check_equal msg a b = Alcotest.(check bool) msg true (Simplify.prove_equal a b)
+let check_nequal msg a b = Alcotest.(check bool) msg false (Simplify.prove_equal a b)
+
+let test_smart_constructors () =
+  Alcotest.(check string) "0 + e" "n" Expr.(to_string (add (c 0) en));
+  Alcotest.(check string) "e * 1" "n" Expr.(to_string (mul en (c 1)));
+  Alcotest.(check string) "e * 0" "0" Expr.(to_string (mul en (c 0)));
+  Alcotest.(check string) "const fold" "7" Expr.(to_string (add (c 3) (c 4)));
+  Alcotest.(check string) "div by 1" "n" Expr.(to_string (floor_div en (c 1)));
+  Alcotest.(check string) "mod by 1" "0" Expr.(to_string (floor_mod en (c 1)))
+
+let test_floor_semantics () =
+  Alcotest.(check int) "fdiv pos" 2 (Expr.fdiv 7 3);
+  Alcotest.(check int) "fdiv neg num" (-3) (Expr.fdiv (-7) 3);
+  Alcotest.(check int) "fdiv neg den" (-3) (Expr.fdiv 7 (-3));
+  Alcotest.(check int) "fdiv both neg" 2 (Expr.fdiv (-7) (-3));
+  Alcotest.(check int) "fmod pos" 1 (Expr.fmod 7 3);
+  Alcotest.(check int) "fmod neg num" 2 (Expr.fmod (-7) 3);
+  Alcotest.(check int) "fmod neg den" (-2) (Expr.fmod 7 (-3))
+
+let test_simplify_basic () =
+  check_simp "n + n" Expr.(add en en) "n * 2";
+  check_simp "n - n" Expr.(sub en en) "0";
+  check_simp "2n + 3n" Expr.(add (mul (c 2) en) (mul (c 3) en)) "n * 5";
+  check_simp "n*m - m*n" Expr.(sub (mul en em) (mul em en)) "0";
+  check_simp "(n+1)*(n-1) - n*n"
+    Expr.(sub (mul (add en (c 1)) (sub en (c 1))) (mul en en))
+    "-1";
+  check_simp "distribute" Expr.(mul (add en (c 2)) (c 3)) "n * 3 + 6"
+
+let test_simplify_divmod () =
+  check_simp "4n / 4" Expr.(floor_div (mul en (c 4)) (c 4)) "n";
+  check_simp "(4n + 8) / 4" Expr.(floor_div (add (mul en (c 4)) (c 8)) (c 4))
+    "n + 2";
+  check_simp "(4n + 2) / 4 keeps remainder"
+    Expr.(floor_div (add (mul en (c 4)) (c 2)) (c 4))
+    "n";
+  check_simp "4n mod 4" Expr.(floor_mod (mul en (c 4)) (c 4)) "0";
+  check_simp "(4n + 3) mod 4" Expr.(floor_mod (add (mul en (c 4)) (c 3)) (c 4))
+    "3";
+  check_simp "(4n + m) mod 4" Expr.(floor_mod (add (mul en (c 4)) em) (c 4))
+    "m % 4";
+  check_simp "n / n" Expr.(floor_div en en) "1";
+  check_simp "n mod n" Expr.(floor_mod en en) "0"
+
+let test_simplify_minmax () =
+  check_simp "min(n, n)" Expr.(min_ en en) "n";
+  check_simp "min(n, n+3)" Expr.(min_ en (add en (c 3))) "n";
+  check_simp "max(n, n+3)" Expr.(max_ en (add en (c 3))) "n + 3";
+  check_simp "min(n+5, n-2)" Expr.(min_ (add en (c 5)) (sub en (c 2))) "n - 2";
+  (* Commutativity through canonical ordering of opaque operands. *)
+  check_equal "min commutes" Expr.(min_ en em) Expr.(min_ em en);
+  check_equal "max commutes" Expr.(max_ en em) Expr.(max_ em en)
+
+let test_prove_equal () =
+  check_equal "flatten count: n*4 = 4*n" Expr.(mul en (c 4)) Expr.(mul (c 4) en);
+  check_equal "2*(n+1) = 2n+2"
+    Expr.(mul (c 2) (add en (c 1)))
+    Expr.(add (mul (c 2) en) (c 2));
+  check_equal "(n*2)*m = n*(m*2)"
+    Expr.(mul (mul en (c 2)) em)
+    Expr.(mul en (mul em (c 2)));
+  check_nequal "n <> m" en em;
+  check_nequal "n <> n+1" en Expr.(add en (c 1));
+  check_nequal "n*m <> n+m" Expr.(mul en em) Expr.(add en em)
+
+let test_prove_equal_shapes () =
+  let s1 = Expr.[ mul en (c 2); c 4 ] in
+  let s2 = Expr.[ add en en; c 4 ] in
+  Alcotest.(check bool) "shapes equal" true (Simplify.prove_equal_shapes s1 s2);
+  Alcotest.(check bool) "rank mismatch" false
+    (Simplify.prove_equal_shapes s1 [ c 4 ]);
+  Alcotest.(check bool) "dim mismatch" false
+    (Simplify.prove_equal_shapes s1 Expr.[ mul en (c 3); c 4 ])
+
+let test_subst () =
+  let env = Var.Map.(add n (c 5) empty) in
+  let e = Expr.(add (mul en (c 4)) em) in
+  Alcotest.(check string) "subst n:=5" "20 + m" (Expr.to_string (Expr.subst env e));
+  (* Substituting an expression, not just a constant. *)
+  let env2 = Var.Map.(add n Expr.(add em (c 1)) empty) in
+  check_equal "subst n:=m+1 in n*2"
+    (Expr.subst env2 Expr.(mul en (c 2)))
+    Expr.(add (mul em (c 2)) (c 2))
+
+let test_eval () =
+  let env v = if Var.equal v n then 7 else if Var.equal v m then 3 else 0 in
+  Alcotest.(check int) "eval poly" 31 (Expr.eval env Expr.(add (mul en (c 4)) em));
+  Alcotest.(check int) "eval div" 2 (Expr.eval env Expr.(floor_div en em));
+  Alcotest.(check int) "eval min" 3 (Expr.eval env Expr.(min_ en em));
+  Alcotest.(check (option int)) "eval_opt unbound" None
+    (Expr.eval_opt (fun _ -> None) en);
+  Alcotest.(check (option int)) "eval_opt bound" (Some 14)
+    (Expr.eval_opt (fun _ -> Some 7) Expr.(mul en (c 2)))
+
+let test_bounds () =
+  let env v =
+    if Var.equal v n then Bounds.range 1 2048
+    else if Var.equal v m then Bounds.at_least 0
+    else Bounds.unbounded
+  in
+  Alcotest.(check (option int)) "ub of 2n" (Some 4096)
+    (Bounds.upper_bound env Expr.(mul en (c 2)));
+  Alcotest.(check (option int)) "lb of 2n" (Some 2)
+    (Bounds.lower_bound env Expr.(mul en (c 2)));
+  Alcotest.(check (option int)) "ub of n*m unbounded" None
+    (Bounds.upper_bound env Expr.(mul en em));
+  Alcotest.(check (option int)) "ub of min(n*m, 100)" (Some 100)
+    (Bounds.upper_bound env Expr.(min_ (mul en em) (c 100)));
+  Alcotest.(check (option int)) "ub of n mod 8" (Some 7)
+    (Bounds.upper_bound env Expr.(floor_mod ek (c 8)));
+  Alcotest.(check bool) "prove n <= 4096" true
+    (Bounds.prove_leq env en (c 4096));
+  Alcotest.(check bool) "cannot prove n <= 10" false
+    (Bounds.prove_leq env en (c 10));
+  Alcotest.(check bool) "nonneg m" true (Bounds.prove_nonneg env em);
+  Alcotest.(check bool) "nonneg k unknown" false (Bounds.prove_nonneg env ek)
+
+let test_analyzer () =
+  let a = Analyzer.create () in
+  Analyzer.bind_upper_bound a n ~hi:2048;
+  Alcotest.(check (option int)) "analyzer ub" (Some (2048 * 4096 * 2))
+    (Analyzer.upper_bound a Expr.(mul (mul en (c 4096)) (c 2)));
+  Alcotest.(check bool) "analyzer equality" true
+    (Analyzer.prove_equal a Expr.(add en en) Expr.(mul en (c 2)));
+  Alcotest.(check bool) "analyzer leq" true
+    (Analyzer.prove_leq a en (c 2048));
+  (* An interval pinned to one value collapses to a constant. *)
+  Analyzer.bind_range a m ~lo:4 ~hi:4;
+  Alcotest.(check string) "pinned var collapses" "8"
+    (Expr.to_string (Analyzer.simplify a Expr.(mul em (c 2))))
+
+(* Property tests: simplification preserves evaluation; the equality
+   prover is sound on random expressions. *)
+
+let gen_expr : Expr.t QCheck.arbitrary =
+  let open QCheck in
+  let vars = [| n; m; k |] in
+  let leaf =
+    Gen.oneof
+      [ Gen.map Expr.const (Gen.int_range (-20) 20);
+        Gen.map (fun i -> Expr.var vars.(i mod 3)) (Gen.int_range 0 2) ]
+  in
+  let node self size =
+    let sub = self (size / 2) in
+    Gen.oneof
+      [ Gen.map2 Expr.add sub sub;
+        Gen.map2 Expr.sub sub sub;
+        Gen.map2 Expr.mul sub sub;
+        Gen.map2 Expr.floor_div sub sub;
+        Gen.map2 Expr.floor_mod sub sub;
+        Gen.map2 Expr.min_ sub sub;
+        Gen.map2 Expr.max_ sub sub ]
+  in
+  let gen =
+    Gen.sized (Gen.fix (fun self size ->
+        if size <= 1 then leaf else Gen.oneof [ leaf; node self size ]))
+  in
+  make ~print:Expr.to_string gen
+
+let env_of (a, b, c_) v =
+  if Var.equal v n then a else if Var.equal v m then b else c_
+
+let prop_simplify_preserves_eval =
+  QCheck.Test.make ~count:500 ~name:"simplify preserves evaluation"
+    QCheck.(pair gen_expr (triple small_int small_int small_int))
+    (fun (e, (a, b, c_)) ->
+      let env = env_of (a + 1, b + 1, c_ + 1) in
+      match Expr.eval env e with
+      | v -> Expr.eval env (Simplify.simplify e) = v
+      | exception Division_by_zero ->
+          QCheck.assume_fail ())
+
+let prop_simplify_idempotent =
+  QCheck.Test.make ~count:500 ~name:"simplify is idempotent" gen_expr (fun e ->
+      let s = Simplify.simplify e in
+      Expr.equal_syntactic s (Simplify.simplify s))
+
+let prop_prove_equal_sound =
+  QCheck.Test.make ~count:300 ~name:"prove_equal sound under evaluation"
+    QCheck.(pair (pair gen_expr gen_expr) (triple small_int small_int small_int))
+    (fun ((e1, e2), (a, b, c_)) ->
+      QCheck.assume (Simplify.prove_equal e1 e2);
+      let env = env_of (a + 1, b + 1, c_ + 1) in
+      match (Expr.eval env e1, Expr.eval env e2) with
+      | v1, v2 -> v1 = v2
+      | exception Division_by_zero -> true)
+
+let prop_bounds_sound =
+  QCheck.Test.make ~count:500 ~name:"interval bounds contain evaluation"
+    QCheck.(pair gen_expr (triple (int_range 1 50) (int_range 1 50) (int_range 1 50)))
+    (fun (e, (a, b, c_)) ->
+      let benv v =
+        if Var.equal v n then Bounds.range 1 50
+        else if Var.equal v m then Bounds.range 1 50
+        else Bounds.range 1 50
+      in
+      let env = env_of (a, b, c_) in
+      match Expr.eval env e with
+      | v ->
+          let i = Bounds.eval benv e in
+          (match i.Bounds.lo with Some lo -> lo <= v | None -> true)
+          && (match i.Bounds.hi with Some hi -> v <= hi | None -> true)
+      | exception Division_by_zero -> true)
+
+let prop_subst_commutes_with_eval =
+  QCheck.Test.make ~count:300 ~name:"subst then eval = eval extended env"
+    QCheck.(pair gen_expr (triple small_int small_int small_int))
+    (fun (e, (a, b, c_)) ->
+      let env = env_of (a + 1, b + 1, c_ + 1) in
+      let sub = Var.Map.(add n (Expr.const (a + 1)) empty) in
+      match Expr.eval env e with
+      | v -> Expr.eval env (Expr.subst sub e) = v
+      | exception Division_by_zero -> QCheck.assume_fail ())
+
+let () =
+  Alcotest.run "arith"
+    [ ( "expr",
+        [ Alcotest.test_case "smart constructors" `Quick test_smart_constructors;
+          Alcotest.test_case "floor semantics" `Quick test_floor_semantics;
+          Alcotest.test_case "subst" `Quick test_subst;
+          Alcotest.test_case "eval" `Quick test_eval ] );
+      ( "simplify",
+        [ Alcotest.test_case "basic" `Quick test_simplify_basic;
+          Alcotest.test_case "divmod" `Quick test_simplify_divmod;
+          Alcotest.test_case "minmax" `Quick test_simplify_minmax;
+          Alcotest.test_case "prove_equal" `Quick test_prove_equal;
+          Alcotest.test_case "prove_equal_shapes" `Quick test_prove_equal_shapes ]
+      );
+      ( "bounds",
+        [ Alcotest.test_case "intervals" `Quick test_bounds;
+          Alcotest.test_case "analyzer" `Quick test_analyzer ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_simplify_preserves_eval;
+            prop_simplify_idempotent;
+            prop_prove_equal_sound;
+            prop_bounds_sound;
+            prop_subst_commutes_with_eval ] ) ]

@@ -1,0 +1,127 @@
+(* Cross-function execution: the Figure 7 story end to end — a
+   subgraph function with its own symbolic signature is called from
+   main; the deduced caller annotation, the runtime boundary checks,
+   the compiled Call_func path, and dynamic-shape propagation must all
+   line up. Also covers the where/clip operators. *)
+
+open Relax_core
+
+let e = Arith.Expr.const
+let f32 = Base.Dtype.F32
+
+let build_modular () =
+  let b = Builder.create () in
+  (* double(x: (k, 4)) -> (k, 4): x + x *)
+  let kv = Arith.Var.fresh "k" in
+  Builder.function_ b ~name:"double"
+    ~params:[ ("x", Struct_info.tensor [ Arith.Expr.var kv; e 4 ] f32) ]
+    (fun params ->
+      match params with
+      | [ x ] ->
+          Builder.dataflow b (fun () ->
+              Expr.Var (Builder.emit b (Expr.call_op "add" [ Expr.Var x; Expr.Var x ])))
+      | _ -> assert false);
+  (* main(y: (n, 4)) -> (n, 4): relu(double(double(y))) *)
+  let nv = Arith.Var.fresh "n" in
+  Builder.function_ b ~name:"main"
+    ~params:[ ("y", Struct_info.tensor [ Arith.Expr.var nv; e 4 ] f32) ]
+    (fun params ->
+      match params with
+      | [ y ] ->
+          let d1 =
+            Builder.emit b (Expr.call_fn (Expr.Global_var "double") [ Expr.Var y ])
+          in
+          let d2 =
+            Builder.emit b (Expr.call_fn (Expr.Global_var "double") [ Expr.Var d1 ])
+          in
+          Builder.dataflow b (fun () ->
+              Expr.Var (Builder.emit b (Expr.call_op "relu" [ Expr.Var d2 ])))
+      | _ -> assert false);
+  (Builder.module_ b, nv)
+
+let test_interprocedural_runtime () =
+  let mod_, nv = build_modular () in
+  Well_formed.assert_well_formed mod_;
+  (* Deduction through the call: main's intermediate keeps (n, 4). *)
+  let main = Option.get (Ir_module.find_func mod_ "main") in
+  (match main.Expr.ret_sinfo with
+  | Struct_info.Tensor { shape = Struct_info.Known [ _; c4 ]; _ } ->
+      Alcotest.(check bool) "ret (n, 4)" true (Arith.Simplify.prove_equal c4 (e 4))
+  | si -> Alcotest.failf "unexpected %s" (Struct_info.to_string si));
+  let program =
+    Relax_passes.Pipeline.compile
+      ~options:
+        { Relax_passes.Pipeline.default_options with
+          Relax_passes.Pipeline.upper_bounds = [ (nv, 8) ] }
+      ~device:Runtime.Device.rtx4090 mod_
+  in
+  let vm = Runtime.Vm.create `Numeric program in
+  List.iter
+    (fun n ->
+      let y = Base.Ndarray.random_uniform ~seed:n f32 [| n; 4 |] in
+      let out =
+        Runtime.Vm.value_tensor (Runtime.Vm.run vm "main" [ Runtime.Vm.tensor y ])
+      in
+      let expect =
+        Base.Ndarray.init_float f32 [| n; 4 |] (fun i ->
+            Float.max 0.0 (4.0 *. Base.Ndarray.get_float y i))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d relu(4y) through two subgraph calls" n)
+        true
+        (Base.Ndarray.equal_approx ~eps:1e-6 expect out))
+    [ 1; 3; 6 ];
+  (* The boundary check on the callee fires for a bad rank. *)
+  match
+    Runtime.Vm.run vm "double"
+      [ Runtime.Vm.tensor (Base.Ndarray.create f32 [| 4 |]) ]
+  with
+  | _ -> Alcotest.fail "rank check at the function boundary missing"
+  | exception Runtime.Vm.Vm_error _ -> ()
+
+let test_where_clip_ops () =
+  let nv = Arith.Var.fresh "n" in
+  let en = Arith.Expr.var nv in
+  let b = Builder.create () in
+  Builder.function_ b ~name:"main"
+    ~params:
+      [ ("c", Struct_info.tensor [ en ] f32);
+        ("a", Struct_info.tensor [ en ] f32);
+        ("bb", Struct_info.tensor [ en ] f32) ]
+    (fun params ->
+      match params with
+      | [ c; a; bb ] ->
+          Builder.dataflow b (fun () ->
+              let w =
+                Builder.emit b
+                  (Expr.call_op "where" [ Expr.Var c; Expr.Var a; Expr.Var bb ])
+              in
+              Expr.Var (Builder.emit b (Expr.call_op "clip" [ Expr.Var w ])))
+      | _ -> assert false);
+  let program =
+    Relax_passes.Pipeline.compile
+      ~options:
+        { Relax_passes.Pipeline.default_options with
+          Relax_passes.Pipeline.upper_bounds = [ (nv, 8) ] }
+      ~device:Runtime.Device.rtx4090 (Builder.module_ b)
+  in
+  let vm = Runtime.Vm.create `Numeric program in
+  let c = Base.Ndarray.of_float_list f32 [| 4 |] [ 1.; 0.; 1.; 0. ] in
+  let a = Base.Ndarray.of_float_list f32 [| 4 |] [ 5.; 5.; -5.; -5. ] in
+  let bb = Base.Ndarray.of_float_list f32 [| 4 |] [ 0.5; 0.5; 0.5; 0.5 ] in
+  let out =
+    Runtime.Vm.value_tensor
+      (Runtime.Vm.run vm "main"
+         [ Runtime.Vm.tensor c; Runtime.Vm.tensor a; Runtime.Vm.tensor bb ])
+  in
+  Alcotest.(check (list (float 1e-9))) "where then clip to [-1, 1]"
+    [ 1.0; 0.5; -1.0; 0.5 ]
+    (Base.Ndarray.to_float_list out)
+
+let () =
+  Alcotest.run "cross_function"
+    [ ( "calls",
+        [ Alcotest.test_case "figure 7 at runtime" `Quick
+            test_interprocedural_runtime ] );
+      ( "ops",
+        [ Alcotest.test_case "where/clip" `Quick test_where_clip_ops ] ) ]

@@ -1,0 +1,340 @@
+(* Parser tests: hand-written programs in the paper's surface syntax,
+   error reporting, and the print -> parse -> print round trip — both
+   on curated functions and on fuzzer-generated modules. *)
+
+open Relax_core
+
+let e = Arith.Expr.const
+let f32 = Base.Dtype.F32
+
+let test_parse_sinfo () =
+  let check text expected =
+    Alcotest.(check bool) text true
+      (Struct_info.equal (Parser.parse_sinfo text) expected)
+  in
+  check "Object" Struct_info.Object;
+  check "Prim(\"i64\")" (Struct_info.Prim Base.Dtype.I64);
+  check "Tensor((3, 4), \"f32\")" (Struct_info.tensor [ e 3; e 4 ] f32);
+  check "Tensor(ndim=2, \"f16\")" (Struct_info.tensor_ndim 2 Base.Dtype.F16);
+  check "Shape(ndim=?)" (Struct_info.Shape Struct_info.Unknown_rank);
+  check "Tuple[Object, Tensor((1), \"f32\")]"
+    (Struct_info.Tuple [ Struct_info.Object; Struct_info.tensor [ e 1 ] f32 ]);
+  (* symbolic dims parse into per-call fresh variables *)
+  (match Parser.parse_sinfo "Tensor((n, n * 4 + 2), \"f32\")" with
+  | Struct_info.Tensor { shape = Struct_info.Known [ d0; d1 ]; _ } ->
+      Alcotest.(check bool) "shared symbolic variable" true
+        (Arith.Simplify.prove_equal d1
+           (Arith.Expr.add (Arith.Expr.mul d0 (e 4)) (e 2)))
+  | _ -> Alcotest.fail "expected a tensor");
+  (* Callable (Table 1's last row) *)
+  match
+    Parser.parse_sinfo "Callable([Tensor((n, 4), \"f32\")], Tensor((n * 4), \"f32\"))"
+  with
+  | Struct_info.Callable { params = [ _ ]; ret = Struct_info.Tensor _ } -> ()
+  | _ -> Alcotest.fail "expected a callable"
+
+let test_parse_figure3_style () =
+  (* A hand-written program in the paper's style. *)
+  let text =
+    {|def symbolic_shape_fn(x: Tensor((n, 2, 2), "f32")) -> Tensor(ndim=1, "f32"):
+    with dataflow():
+      lv0: Tensor((n, 4), "f32") = reshape(x, shape(n, 4))
+      lv1: Tensor((n * 4), "f32") = flatten(lv0)
+      lv2: Tensor(ndim=1, "f32") = unique(lv1)
+    return lv2
+|}
+  in
+  let name, f = Parser.parse_func text in
+  Alcotest.(check string) "name" "symbolic_shape_fn" name;
+  let mod_ = Ir_module.add_func Ir_module.empty name f in
+  Well_formed.assert_well_formed mod_;
+  let blocks, _ = Expr.body_blocks f in
+  Alcotest.(check int) "one dataflow block" 1 (List.length blocks);
+  Alcotest.(check bool) "dataflow" true (List.hd blocks).Expr.dataflow;
+  Alcotest.(check int) "three bindings" 3
+    (List.length (List.hd blocks).Expr.bindings);
+  (* deduction agrees with the written annotations *)
+  List.iter
+    (fun binding ->
+      match binding with
+      | Expr.Bind (v, ex) ->
+          let fresh = Deduce.expr_sinfo mod_ ex in
+          Alcotest.(check bool)
+            (Printf.sprintf "annotation of %s deducible" (Rvar.name v))
+            true
+            (Struct_info.equal (Rvar.sinfo v) fresh
+            || Struct_info.subsumes (Rvar.sinfo v) fresh)
+      | Expr.Match_cast _ -> ())
+    (List.hd blocks).Expr.bindings
+
+let test_parse_match_cast_and_calls () =
+  let text =
+    {|def f(x: Tensor((n, 4), "f32")) -> Tensor(ndim=1, "f32"):
+    lv0: Tensor(ndim=1, "f32") = unique(x)
+    mc = match_cast(lv0, Tensor((m), "f32"))
+    lv1: Tensor((m), "f32") = exp(mc)
+    return lv1
+|}
+  in
+  let name, f = Parser.parse_func text in
+  Well_formed.assert_well_formed (Ir_module.add_func Ir_module.empty name f);
+  let blocks, _ = Expr.body_blocks f in
+  match (List.hd blocks).Expr.bindings with
+  | [ _; Expr.Match_cast (_, _, si); _ ] ->
+      Alcotest.(check bool) "cast target parsed" true
+        (match si with
+        | Struct_info.Tensor { shape = Struct_info.Known [ _ ]; _ } -> true
+        | _ -> false)
+  | _ -> Alcotest.fail "expected a match_cast in the middle"
+
+let test_parse_cross_level_call () =
+  (* call_tir-style cross-level calls parse back into the canonical
+     form the passes recognize. *)
+  let text =
+    {|def main(x: Tensor((n, 8), "f32"), w: Tensor((8, 4), "f32")) -> Tensor((n, 4), "f32"):
+    with dataflow():
+      lv0: Tensor((n, 4), "f32") = call_tir(mm, (x, w), shape(), Tensor((n, 4), "f32"))
+    return lv0
+|}
+  in
+  let _, f = Parser.parse_func text in
+  let blocks, _ = Expr.body_blocks f in
+  match (List.hd blocks).Expr.bindings with
+  | [ Expr.Bind (_, ex) ] -> (
+      match Expr.as_call_tir ex with
+      | Some (kname, args, _out, sym) ->
+          Alcotest.(check string) "kernel" "mm" kname;
+          Alcotest.(check int) "two tensor args" 2 (List.length args);
+          Alcotest.(check int) "no symbolic args" 0 (List.length sym)
+      | None -> Alcotest.fail "not recognized as call_tir")
+  | _ -> Alcotest.fail "expected one binding"
+
+let test_parse_errors () =
+  let bad text =
+    match Parser.parse_func text with
+    | _ -> Alcotest.failf "accepted: %s" text
+    | exception Parser.Parse_error _ -> ()
+  in
+  bad "def f( -> Tensor((1), \"f32\"):\n    return x\n";
+  bad "def f(x: Tensor((1), \"f32\")) -> Object:\n    lv0 = exp(x)\n    return lv0\n";
+  (* missing return *)
+  bad "def f(x: Tensor((1), \"f32\")) -> Object:\n    lv0: Object = exp(x)\n";
+  (* constants are lossy *)
+  bad
+    "def f(x: Tensor((1), \"f32\")) -> Object:\n    lv0: Object = add(x, const(ndarray<1, f32>[1]))\n    return lv0\n";
+  (* tensor program sections rejected *)
+  match Parser.parse_module "@tensorir_function\ndef mm(...):\n" with
+  | _ -> Alcotest.fail "accepted a TIR section"
+  | exception Parser.Parse_error _ -> ()
+
+let test_round_trip_curated () =
+  let nv = Arith.Var.fresh "n" in
+  let en = Arith.Expr.var nv in
+  (* a realistic module: the MLP from the quickstart *)
+  let b2 = Builder.create () in
+  Builder.function_ b2 ~name:"main"
+    ~params:
+      [ ("x", Struct_info.tensor [ en; e 8 ] f32);
+        ("w1", Struct_info.tensor [ e 8; e 16 ] f32);
+        ("w2", Struct_info.tensor [ e 16; e 4 ] f32) ]
+    (fun params ->
+      match params with
+      | [ x; w1; w2 ] ->
+          Builder.dataflow b2 (fun () ->
+              let h = Builder.emit b2 (Expr.call_op "matmul" [ Expr.Var x; Expr.Var w1 ]) in
+              let a = Builder.emit b2 (Expr.call_op "relu" [ Expr.Var h ]) in
+              let o = Builder.emit b2 (Expr.call_op "matmul" [ Expr.Var a; Expr.Var w2 ]) in
+              Expr.Var o)
+      | _ -> assert false);
+  let mod1 = Builder.module_ b2 in
+  let text1 = Printer.module_to_string mod1 in
+  let mod2 = Parser.parse_module text1 in
+  let text2 = Printer.module_to_string mod2 in
+  Alcotest.(check string) "print/parse/print fixpoint" text1 text2;
+  Well_formed.assert_well_formed mod2;
+  (* and the re-parsed module compiles and computes the same *)
+  let x = Base.Ndarray.random_uniform ~seed:1 f32 [| 3; 8 |] in
+  let w1 = Base.Ndarray.random_uniform ~seed:2 f32 [| 8; 16 |] in
+  let w2 = Base.Ndarray.random_uniform ~seed:3 f32 [| 16; 4 |] in
+  let args = [ Runtime.Vm.tensor x; Runtime.Vm.tensor w1; Runtime.Vm.tensor w2 ] in
+  let run m =
+    let program = Relax_passes.Pipeline.compile ~device:Runtime.Device.rtx4090 m in
+    let vm = Runtime.Vm.create `Numeric program in
+    Runtime.Vm.value_tensor (Runtime.Vm.run vm "main" args)
+  in
+  Alcotest.(check bool) "reparsed module computes identically" true
+    (Base.Ndarray.equal_approx ~eps:1e-9 (run mod1) (run mod2))
+
+(* Round trip over fuzzer-style random programs (no constants). *)
+let gen_opcodes = QCheck.(list_of_size (QCheck.Gen.int_range 1 8) (int_range 0 79))
+
+let build_random opcodes =
+  let nv = Arith.Var.fresh "n" in
+  let en = Arith.Expr.var nv in
+  let b = Builder.create () in
+  Builder.function_ b ~name:"main"
+    ~params:
+      [ ("x", Struct_info.tensor [ en; e 4 ] f32);
+        ("z", Struct_info.tensor [ en; e 4 ] f32) ]
+    (fun pvars ->
+      Builder.dataflow b (fun () ->
+          let pool = ref pvars in
+          let pick i = List.nth !pool (i mod List.length !pool) in
+          let shape_of v = Struct_info.tensor_shape (Rvar.sinfo v) in
+          let emit ex =
+            let v = Builder.emit b ex in
+            pool := !pool @ [ v ]
+          in
+          List.iter
+            (fun code ->
+              let sel = code / 5 in
+              let v = pick sel in
+              match code mod 5 with
+              | 0 ->
+                  let ops = [| "exp"; "relu"; "tanh"; "sigmoid" |] in
+                  emit (Expr.call_op ops.(sel mod 4) [ Expr.Var v ])
+              | 1 -> (
+                  match
+                    List.find_opt
+                      (fun u ->
+                        match (shape_of v, shape_of u) with
+                        | Some a, Some c -> Arith.Simplify.prove_equal_shapes a c
+                        | _ -> false)
+                      !pool
+                  with
+                  | Some u -> emit (Expr.call_op "add" [ Expr.Var v; Expr.Var u ])
+                  | None -> ())
+              | 2 ->
+                  if
+                    match shape_of v with Some d -> List.length d >= 1 | None -> false
+                  then emit (Expr.call_op "softmax" [ Expr.Var v ])
+              | 3 ->
+                  if
+                    match shape_of v with Some d -> List.length d >= 1 | None -> false
+                  then emit (Expr.call_op "flatten" [ Expr.Var v ])
+              | _ ->
+                  if
+                    match shape_of v with Some d -> List.length d = 2 | None -> false
+                  then
+                    emit
+                      (Expr.call_op "permute_dims"
+                         [ Expr.Var v; Expr.Shape_expr [ e 1; e 0 ] ]))
+            opcodes;
+          Expr.Var (List.nth !pool (List.length !pool - 1))));
+  Builder.module_ b
+
+let gen_sinfo_rt : Struct_info.t QCheck.arbitrary =
+  let open QCheck in
+  let nv = Arith.Var.fresh "n" in
+  let dim =
+    Gen.oneof
+      [ Gen.map e (Gen.int_range 1 9);
+        Gen.return (Arith.Expr.var nv);
+        Gen.map
+          (fun c -> Arith.Expr.add (Arith.Expr.mul (Arith.Expr.var nv) (e c)) (e 1))
+          (Gen.int_range 2 4) ]
+  in
+  let base =
+    Gen.oneof
+      [ Gen.map
+          (fun dims -> Struct_info.Tensor { shape = Known dims; dtype = Some f32 })
+          (Gen.list_size (Gen.int_range 0 3) dim);
+        Gen.map (fun n -> Struct_info.tensor_ndim n f32) (Gen.int_range 0 3);
+        Gen.map (fun dims -> Struct_info.shape dims) (Gen.list_size (Gen.int_range 1 3) dim);
+        Gen.return Struct_info.Object;
+        Gen.return (Struct_info.Shape Struct_info.Unknown_rank) ]
+  in
+  make ~print:Struct_info.to_string
+    (Gen.oneof
+       [ base;
+         Gen.map (fun ts -> Struct_info.Tuple ts) (Gen.list_size (Gen.int_range 1 3) base);
+         Gen.map2
+           (fun ps r -> Struct_info.Callable { params = ps; ret = r })
+           (Gen.list_size (Gen.int_range 0 2) base)
+           base ])
+
+let prop_sinfo_round_trip =
+  QCheck.Test.make ~count:300 ~name:"annotation print/parse round trip"
+    gen_sinfo_rt (fun si ->
+      let text = Struct_info.to_string si in
+      Struct_info.to_string (Parser.parse_sinfo text) = text)
+
+let prop_round_trip =
+  QCheck.Test.make ~count:100 ~name:"print/parse/print is a fixpoint"
+    gen_opcodes (fun opcodes ->
+      let mod1 = build_random opcodes in
+      let text1 = Printer.module_to_string mod1 in
+      let mod2 = Parser.parse_module text1 in
+      Printer.module_to_string mod2 = text1)
+
+(* Nested (non-ANF) programs normalize and compile. *)
+let test_nested_program_normalizes () =
+  let text =
+    {|def main(x: Tensor((n, 4), "f32"), w: Tensor((4, 6), "f32")) -> Tensor((n, 6), "f32"):
+    lv0: Tensor((n, 6), "f32") = relu(matmul(exp(x), w))
+    return lv0
+|}
+  in
+  let mod_ = Parser.parse_module text in
+  let nv =
+    match
+      Struct_info.tensor_shape
+        (Rvar.sinfo
+           (List.hd (Option.get (Ir_module.find_func mod_ "main")).Expr.params))
+    with
+    | Some (d :: _) -> Arith.Var.Set.choose (Arith.Expr.free_vars d)
+    | _ -> Alcotest.fail "expected symbolic first dim"
+  in
+  let program =
+    Relax_passes.Pipeline.compile
+      ~options:
+        { Relax_passes.Pipeline.default_options with
+          Relax_passes.Pipeline.upper_bounds = [ (nv, 8) ] }
+      ~device:Runtime.Device.rtx4090 mod_
+  in
+  let vm = Runtime.Vm.create `Numeric program in
+  let x = Base.Ndarray.random_uniform ~seed:1 f32 [| 3; 4 |] in
+  let w = Base.Ndarray.random_uniform ~seed:2 f32 [| 4; 6 |] in
+  let out =
+    Runtime.Vm.value_tensor
+      (Runtime.Vm.run vm "main" [ Runtime.Vm.tensor x; Runtime.Vm.tensor w ])
+  in
+  (* reference: relu(exp(x) @ w) *)
+  let expect = Base.Ndarray.create f32 [| 3; 6 |] in
+  for i = 0 to 2 do
+    for j = 0 to 5 do
+      let acc = ref 0.0 in
+      for k = 0 to 3 do
+        acc :=
+          !acc
+          +. (exp (Base.Ndarray.get_float x [| i; k |])
+             *. Base.Ndarray.get_float w [| k; j |])
+      done;
+      Base.Ndarray.set_float expect [| i; j |] (Float.max 0.0 !acc)
+    done
+  done;
+  Alcotest.(check bool) "nested program computes correctly" true
+    (Base.Ndarray.equal_approx ~eps:1e-6 expect out);
+  (* Normalization is idempotent. *)
+  let once = Relax_passes.Normalize.run mod_ in
+  let twice = Relax_passes.Normalize.run once in
+  Alcotest.(check string) "normalize idempotent"
+    (Printer.module_to_string once)
+    (Printer.module_to_string twice)
+
+let () =
+  Alcotest.run "parser"
+    [ ( "units",
+        [ Alcotest.test_case "annotations" `Quick test_parse_sinfo;
+          Alcotest.test_case "figure 3 style" `Quick test_parse_figure3_style;
+          Alcotest.test_case "match_cast" `Quick test_parse_match_cast_and_calls;
+          Alcotest.test_case "cross-level call" `Quick test_parse_cross_level_call;
+          Alcotest.test_case "errors" `Quick test_parse_errors ] );
+      ( "round_trip",
+        Alcotest.test_case "curated module" `Quick test_round_trip_curated
+        :: List.map QCheck_alcotest.to_alcotest
+             [ prop_round_trip; prop_sinfo_round_trip ] );
+      ( "normalize",
+        [ Alcotest.test_case "nested program" `Quick
+            test_nested_program_normalizes ] ) ]
+

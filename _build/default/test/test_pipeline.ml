@@ -1,0 +1,466 @@
+(* End-to-end tests of the full compilation pipeline: build a model
+   with the block builder, lower it through every pass combination,
+   execute on the VM, and check numeric results against references.
+   Also checks the pipeline's observable effects: fewer kernel
+   launches under fusion, lower peak memory under planning, graph
+   replays under capture. *)
+
+open Relax_core
+
+let e = Arith.Expr.const
+let f32 = Base.Dtype.F32
+
+(* ---------- a small dynamic MLP: relu(x @ w1) @ w2 ---------- *)
+
+let build_mlp ?static_batch () =
+  let nv = Arith.Var.fresh "n" in
+  let en =
+    match static_batch with
+    | Some c -> e c
+    | None -> Arith.Expr.var nv
+  in
+  let b = Builder.create () in
+  Builder.function_ b ~name:"main"
+    ~params:
+      [ ("x", Struct_info.tensor [ en; e 8 ] f32);
+        ("w1", Struct_info.tensor [ e 8; e 16 ] f32);
+        ("w2", Struct_info.tensor [ e 16; e 4 ] f32) ]
+    (fun params ->
+      match params with
+      | [ x; w1; w2 ] ->
+          Builder.dataflow b (fun () ->
+              let h = Builder.emit b (Expr.call_op "matmul" [ Expr.Var x; Expr.Var w1 ]) in
+              let a = Builder.emit b (Expr.call_op "relu" [ Expr.Var h ]) in
+              let o = Builder.emit b (Expr.call_op "matmul" [ Expr.Var a; Expr.Var w2 ]) in
+              Expr.Var o)
+      | _ -> assert false);
+  (Builder.module_ b, nv)
+
+(* OCaml reference for the MLP. *)
+let mlp_reference x w1 w2 n =
+  let open Base.Ndarray in
+  let h = create f32 [| n; 16 |] in
+  for i = 0 to n - 1 do
+    for j = 0 to 15 do
+      let acc = ref 0.0 in
+      for k = 0 to 7 do
+        acc := !acc +. (get_float x [| i; k |] *. get_float w1 [| k; j |])
+      done;
+      set_float h [| i; j |] (Float.max 0.0 !acc)
+    done
+  done;
+  let o = create f32 [| n; 4 |] in
+  for i = 0 to n - 1 do
+    for j = 0 to 3 do
+      let acc = ref 0.0 in
+      for k = 0 to 15 do
+        acc := !acc +. (get_float h [| i; k |] *. get_float w2 [| k; j |])
+      done;
+      set_float o [| i; j |] !acc
+    done
+  done;
+  o
+
+let mlp_inputs n =
+  ( Base.Ndarray.random_uniform ~seed:11 f32 [| n; 8 |],
+    Base.Ndarray.random_uniform ~seed:22 f32 [| 8; 16 |],
+    Base.Ndarray.random_uniform ~seed:33 f32 [| 16; 4 |] )
+
+let run_mlp ?(device = Runtime.Device.rtx4090) ?static_batch ~options n =
+  let mod_, nv = build_mlp ?static_batch () in
+  let options = { options with Relax_passes.Pipeline.upper_bounds = [ (nv, 64) ] } in
+  let program = Relax_passes.Pipeline.compile ~options ~device mod_ in
+  let vm = Runtime.Vm.create `Numeric program in
+  let x, w1, w2 = mlp_inputs n in
+  let result =
+    Runtime.Vm.run vm "main"
+      [ Runtime.Vm.tensor x; Runtime.Vm.tensor w1; Runtime.Vm.tensor w2 ]
+  in
+  (Runtime.Vm.value_tensor result, vm, (x, w1, w2))
+
+let check_close msg expected actual =
+  Alcotest.(check bool) msg true
+    (Base.Ndarray.equal_approx ~eps:1e-6 expected actual)
+
+let test_mlp_all_configs () =
+  let base = Relax_passes.Pipeline.default_options in
+  let configs =
+    [ ("all on", base);
+      ("no fusion", { base with Relax_passes.Pipeline.fusion = false });
+      ("no library", { base with Relax_passes.Pipeline.dispatch_library = false });
+      ("no planning", { base with Relax_passes.Pipeline.memory_plan = false;
+                        Relax_passes.Pipeline.graph_capture = false });
+      ("all off", Relax_passes.Pipeline.all_off) ]
+  in
+  List.iter
+    (fun (name, options) ->
+      List.iter
+        (fun n ->
+          let actual, _, (x, w1, w2) = run_mlp ~options n in
+          let expected = mlp_reference x w1 w2 n in
+          check_close (Printf.sprintf "%s n=%d" name n) expected actual)
+        [ 1; 3; 7 ])
+    configs
+
+let test_mlp_on_all_devices () =
+  (* Same compiled semantics on every backend: library availability and
+     graph support differ, numerics must not. *)
+  List.iter
+    (fun device ->
+      let actual, _, (x, w1, w2) =
+        run_mlp ~device ~options:Relax_passes.Pipeline.default_options 5
+      in
+      check_close device.Runtime.Device.name (mlp_reference x w1 w2 5) actual)
+    Runtime.Device.all_presets
+
+let test_fusion_reduces_launches () =
+  let run options =
+    let _, vm, _ =
+      run_mlp ~options:{ options with Relax_passes.Pipeline.dispatch_library = false } 4
+    in
+    (Runtime.Vm.stats vm).Runtime.Vm.kernel_launches
+  in
+  let fused = run Relax_passes.Pipeline.default_options in
+  let unfused =
+    run { Relax_passes.Pipeline.default_options with Relax_passes.Pipeline.fusion = false }
+  in
+  Alcotest.(check int) "unfused launches" 3 unfused;
+  (* matmul+relu fuse; the second matmul stays separate. *)
+  Alcotest.(check int) "fused launches" 2 fused
+
+let test_library_dispatch_used () =
+  let _, vm, _ = run_mlp ~options:Relax_passes.Pipeline.default_options 4 in
+  Alcotest.(check bool) "library calls on CUDA at batch 4" true
+    ((Runtime.Vm.stats vm).Runtime.Vm.lib_calls > 0);
+  (* With a static batch of 1 the compiler keeps its generated
+     matrix-vector kernel instead of dispatching to the library. *)
+  let _, vm1, _ =
+    run_mlp ~static_batch:1 ~options:Relax_passes.Pipeline.default_options 1
+  in
+  Alcotest.(check int) "no library calls at static batch 1" 0
+    (Runtime.Vm.stats vm1).Runtime.Vm.lib_calls;
+  let _, vm16, _ =
+    run_mlp ~static_batch:16 ~options:Relax_passes.Pipeline.default_options 16
+  in
+  Alcotest.(check bool) "library used at static batch 16" true
+    ((Runtime.Vm.stats vm16).Runtime.Vm.lib_calls > 0)
+
+(* ---------- memory planning (Figure 10) ---------- *)
+
+let build_chain () =
+  (* exp -> transpose -> relu -> transpose over (2, n): four
+     same-size intermediates; the plan must reuse two storages. *)
+  let nv = Arith.Var.fresh "n" in
+  let en = Arith.Expr.var nv in
+  let b = Builder.create () in
+  Builder.function_ b ~name:"main"
+    ~params:[ ("x", Struct_info.tensor [ e 2; en ] f32) ]
+    (fun params ->
+      match params with
+      | [ x ] ->
+          Builder.dataflow b (fun () ->
+              let v0 = Builder.emit b (Expr.call_op "exp" [ Expr.Var x ]) in
+              let v1 =
+                Builder.emit b
+                  (Expr.call_op "permute_dims"
+                     [ Expr.Var v0; Expr.Shape_expr [ e 1; e 0 ] ])
+              in
+              let v2 = Builder.emit b (Expr.call_op "relu" [ Expr.Var v1 ]) in
+              let v3 =
+                Builder.emit b
+                  (Expr.call_op "permute_dims"
+                     [ Expr.Var v2; Expr.Shape_expr [ e 1; e 0 ] ])
+              in
+              Expr.Var v3)
+      | _ -> assert false);
+  (Builder.module_ b, nv)
+
+let test_memory_planning_reuse () =
+  (* Table 2's scenario: successive invocations with different dynamic
+     shapes. The static plan holds two upper-bound storages reused by
+     every shape; the runtime pool accretes blocks as new sizes
+     appear. *)
+  let compile_and_run ~plan =
+    let mod_, nv = build_chain () in
+    let options =
+      {
+        Relax_passes.Pipeline.default_options with
+        Relax_passes.Pipeline.fusion = false;
+        (* keep all four kernels so the planning effect is isolated *)
+        dispatch_library = false;
+        graph_capture = false;
+        memory_plan = plan;
+        upper_bounds = [ (nv, 128) ];
+      }
+    in
+    let program =
+      Relax_passes.Pipeline.compile ~options ~device:Runtime.Device.rtx4090 mod_
+    in
+    let alloc = Runtime.Allocator.create (if plan then `Planned else `Pooling) in
+    let vm = Runtime.Vm.create ~allocator:alloc `Numeric program in
+    let outs =
+      List.map
+        (fun n ->
+          let x = Base.Ndarray.random_uniform ~seed:5 f32 [| 2; n |] in
+          (x, Runtime.Vm.value_tensor (Runtime.Vm.run vm "main" [ Runtime.Vm.tensor x ])))
+        [ 32; 64; 128 ]
+    in
+    (outs, Runtime.Allocator.peak_bytes alloc)
+  in
+  let outs_planned, peak_planned = compile_and_run ~plan:true in
+  let outs_pooled, peak_pooled = compile_and_run ~plan:false in
+  List.iter2
+    (fun (_, a) (_, b) -> check_close "planned result matches unplanned" b a)
+    outs_planned outs_pooled;
+  (* Two storages sized for the upper bound (2 x 128 floats each). *)
+  Alcotest.(check int) "planned peak = 2 upper-bound storages"
+    (2 * 2 * 128 * 4) peak_planned;
+  Alcotest.(check bool) "planned peak below pooled peak across shapes" true
+    (peak_planned < peak_pooled)
+
+(* ---------- graph capture ---------- *)
+
+let build_deep_chain depth =
+  let nv = Arith.Var.fresh "n" in
+  let en = Arith.Expr.var nv in
+  let b = Builder.create () in
+  Builder.function_ b ~name:"main"
+    ~params:[ ("x", Struct_info.tensor [ e 2; en ] f32) ]
+    (fun params ->
+      match params with
+      | [ x ] ->
+          Builder.dataflow b (fun () ->
+              let v = ref (Expr.Var x) in
+              for _ = 1 to depth do
+                v := Expr.Var (Builder.emit b (Expr.call_op "relu" [ !v ]))
+              done;
+              !v)
+      | _ -> assert false);
+  (Builder.module_ b, nv)
+
+let test_graph_capture_replay () =
+  (* Replay eliminates per-kernel launch overheads in exchange for one
+     replay overhead, so it pays off once the region has enough
+     kernels (eight here, fusion disabled to keep them separate). *)
+  let mod_, nv = build_deep_chain 8 in
+  let options =
+    {
+      Relax_passes.Pipeline.default_options with
+      Relax_passes.Pipeline.dispatch_library = false;
+      fusion = false;
+      upper_bounds = [ (nv, 64) ];
+    }
+  in
+  let program =
+    Relax_passes.Pipeline.compile ~options ~device:Runtime.Device.rtx4090 mod_
+  in
+  let vm = Runtime.Vm.create (`Timed Runtime.Device.rtx4090) program in
+  let args = [ Runtime.Vm.shadow_of_shape f32 [ 2; 64 ] ] in
+  ignore (Runtime.Vm.run vm "main" args);
+  let t1 = (Runtime.Vm.stats vm).Runtime.Vm.elapsed_us in
+  ignore (Runtime.Vm.run vm "main" args);
+  let t2 = (Runtime.Vm.stats vm).Runtime.Vm.elapsed_us -. t1 in
+  Alcotest.(check bool) "a replay happened" true
+    ((Runtime.Vm.stats vm).Runtime.Vm.graph_replays >= 1);
+  Alcotest.(check bool) "replay is faster than capture" true (t2 < t1);
+  (* Numeric correctness is unaffected by capture/replay. *)
+  let vm2 = Runtime.Vm.create `Numeric program in
+  let x = Base.Ndarray.random_uniform ~seed:4 f32 [| 2; 8 |] in
+  let expected =
+    Base.Ndarray.init_float f32 [| 2; 8 |] (fun idx ->
+        Float.max 0.0 (Base.Ndarray.get_float x idx))
+  in
+  let r1 =
+    Runtime.Vm.value_tensor (Runtime.Vm.run vm2 "main" [ Runtime.Vm.tensor x ])
+  in
+  let r2 =
+    Runtime.Vm.value_tensor (Runtime.Vm.run vm2 "main" [ Runtime.Vm.tensor x ])
+  in
+  check_close "first call" expected r1;
+  check_close "replayed call" expected r2
+
+(* ---------- custom quantized kernel fusion (Figure 9) ---------- *)
+
+let build_quantized ~n:nv =
+  let en = Arith.Expr.var nv in
+  let kdim = e 4 and ndim = e 32 in
+  let b = Builder.create () in
+  let dq = Tir.Kernels.decode_q4 ~name:"decode_q4" ~k:kdim ~n:ndim f32 in
+  let mm = Tir.Kernels.matmul_weights ~name:"mm" ~m:en ~k:kdim ~n:ndim f32 in
+  Builder.function_ b ~name:"main"
+    ~params:
+      [ ("x", Struct_info.tensor [ en; kdim ] f32);
+        ("wdata", Struct_info.Tensor
+            { shape = Known [ kdim; e 4 ]; dtype = Some Base.Dtype.U32 });
+        ("wscale", Struct_info.tensor [ kdim; e 1 ] f32) ]
+    (fun params ->
+      match params with
+      | [ x; wdata; wscale ] ->
+          Builder.dataflow b (fun () ->
+              let w =
+                Builder.emit_call_tir b dq
+                  [ Expr.Var wdata; Expr.Var wscale ]
+                  ~out:(Struct_info.tensor [ kdim; ndim ] f32)
+                  ()
+              in
+              let o =
+                Builder.emit_call_tir b mm
+                  [ Expr.Var x; Expr.Var w ]
+                  ~out:(Struct_info.tensor [ en; ndim ] f32)
+                  ()
+              in
+              Expr.Var o)
+      | _ -> assert false);
+  Builder.module_ b
+
+let test_quantized_fusion_figure9 () =
+  let nv = Arith.Var.fresh "n" in
+  let mod_ = build_quantized ~n:nv in
+  let options =
+    {
+      Relax_passes.Pipeline.default_options with
+      Relax_passes.Pipeline.dispatch_library = false;
+      upper_bounds = [ (nv, 16) ];
+    }
+  in
+  let lowered =
+    Relax_passes.Pipeline.lower ~options ~device:Runtime.Device.rtx4090 mod_
+  in
+  (* decode_q4 (Injective) fused into the matmul: single merged kernel. *)
+  let kernel_names = List.map fst (Ir_module.tir_funcs lowered) in
+  Alcotest.(check bool) "merged kernel exists" true
+    (List.exists
+       (fun n ->
+         String.length n >= 5 && String.sub n 0 5 = "fused")
+       kernel_names);
+  let program = Relax_passes.To_vm.compile lowered in
+  let vm = Runtime.Vm.create `Numeric program in
+  let x = Base.Ndarray.random_uniform ~seed:1 f32 [| 3; 4 |] in
+  let wdata = Base.Ndarray.random_uniform ~seed:2 Base.Dtype.U32 [| 4; 4 |] in
+  let wscale = Base.Ndarray.random_uniform ~seed:3 f32 [| 4; 1 |] in
+  let out =
+    Runtime.Vm.value_tensor
+      (Runtime.Vm.run vm "main"
+         [ Runtime.Vm.tensor x; Runtime.Vm.tensor wdata;
+           Runtime.Vm.tensor wscale ])
+  in
+  Alcotest.(check int) "single kernel launch" 1
+    (Runtime.Vm.stats vm).Runtime.Vm.kernel_launches;
+  (* Reference: run decode then matmul via the TIR interpreter. *)
+  let dq = Tir.Kernels.decode_q4 ~name:"dq_ref" ~k:(e 4) ~n:(e 32) f32 in
+  let w = Base.Ndarray.create f32 [| 4; 32 |] in
+  Tir.Interp.run dq [ wdata; wscale; w ];
+  let mm =
+    Tir.Kernels.matmul_weights ~name:"mm_ref" ~m:(Arith.Expr.var nv) ~k:(e 4)
+      ~n:(e 32) f32
+  in
+  let y = Base.Ndarray.create f32 [| 3; 32 |] in
+  Tir.Interp.run mm [ x; w; y ];
+  check_close "fused quantized result" y out
+
+(* ---------- workspace lifting end-to-end (Figure 11) ---------- *)
+
+let test_workspace_lift_e2e () =
+  let nv = Arith.Var.fresh "n" in
+  let en = Arith.Expr.var nv in
+  let b = Builder.create () in
+  let mmsk =
+    Tir.Kernels.split_k_matmul ~name:"mm_split_k" ~m:en ~k:(e 8) ~n:(e 4)
+      ~splits:2 f32
+  in
+  Builder.function_ b ~name:"main"
+    ~params:
+      [ ("x", Struct_info.tensor [ en; e 8 ] f32);
+        ("w", Struct_info.tensor [ e 8; e 4 ] f32) ]
+    (fun params ->
+      match params with
+      | [ x; w ] ->
+          Builder.dataflow b (fun () ->
+              let o =
+                Builder.emit_call_tir b mmsk
+                  [ Expr.Var x; Expr.Var w ]
+                  ~out:(Struct_info.tensor [ en; e 4 ] f32)
+                  ()
+              in
+              Expr.Var o)
+      | _ -> assert false);
+  let mod_ = Builder.module_ b in
+  let options =
+    {
+      Relax_passes.Pipeline.default_options with
+      Relax_passes.Pipeline.dispatch_library = false;
+      graph_capture = false;
+      upper_bounds = [ (nv, 8) ];
+    }
+  in
+  let lowered =
+    Relax_passes.Pipeline.lower ~options ~device:Runtime.Device.rtx4090 mod_
+  in
+  (* The kernel no longer allocates global memory itself. *)
+  let kernel = Option.get (Ir_module.find_tir lowered "mm_split_k") in
+  Alcotest.(check int) "workspace lifted out of the kernel" 0
+    (List.length (Tir.Workspace.detect kernel));
+  Alcotest.(check int) "kernel takes the workspace as a parameter" 4
+    (List.length kernel.Tir.Prim_func.params);
+  let program = Relax_passes.To_vm.compile lowered in
+  let vm = Runtime.Vm.create `Numeric program in
+  let x = Base.Ndarray.random_uniform ~seed:7 f32 [| 3; 8 |] in
+  let w = Base.Ndarray.random_uniform ~seed:8 f32 [| 8; 4 |] in
+  let out =
+    Runtime.Vm.value_tensor
+      (Runtime.Vm.run vm "main" [ Runtime.Vm.tensor x; Runtime.Vm.tensor w ])
+  in
+  (* Reference: the original (unlifted) kernel. *)
+  let y = Base.Ndarray.create f32 [| 3; 4 |] in
+  let ref_kernel =
+    Tir.Kernels.split_k_matmul ~name:"ref" ~m:en ~k:(e 8) ~n:(e 4) ~splits:2 f32
+  in
+  Tir.Interp.run ref_kernel [ x; w; y ];
+  check_close "lifted split-k equals in-kernel workspace" y out
+
+(* ---------- runtime shape checks ---------- *)
+
+let test_runtime_shape_check () =
+  let mod_, nv = build_mlp () in
+  let options =
+    { Relax_passes.Pipeline.default_options with
+      Relax_passes.Pipeline.upper_bounds = [ (nv, 64) ] }
+  in
+  let program =
+    Relax_passes.Pipeline.compile ~options ~device:Runtime.Device.rtx4090 mod_
+  in
+  let vm = Runtime.Vm.create `Numeric program in
+  let x = Base.Ndarray.random_uniform ~seed:1 f32 [| 4; 8 |] in
+  let w1_bad = Base.Ndarray.random_uniform ~seed:2 f32 [| 9; 16 |] in
+  let w2 = Base.Ndarray.random_uniform ~seed:3 f32 [| 16; 4 |] in
+  match
+    Runtime.Vm.run vm "main"
+      [ Runtime.Vm.tensor x; Runtime.Vm.tensor w1_bad; Runtime.Vm.tensor w2 ]
+  with
+  | _ -> Alcotest.fail "expected a runtime shape-check failure"
+  | exception Runtime.Vm.Vm_error _ -> ()
+
+let () =
+  Alcotest.run "pipeline"
+    [ ( "end_to_end",
+        [ Alcotest.test_case "mlp all configurations" `Quick test_mlp_all_configs;
+          Alcotest.test_case "mlp on all device presets" `Quick
+            test_mlp_on_all_devices;
+          Alcotest.test_case "fusion reduces launches" `Quick
+            test_fusion_reduces_launches;
+          Alcotest.test_case "library dispatch policy" `Quick
+            test_library_dispatch_used ] );
+      ( "memory",
+        [ Alcotest.test_case "planning reuses storage (Fig 10)" `Quick
+            test_memory_planning_reuse ] );
+      ( "capture",
+        [ Alcotest.test_case "graph capture replay" `Quick
+            test_graph_capture_replay ] );
+      ( "cross_level",
+        [ Alcotest.test_case "quantized fusion (Fig 9)" `Quick
+            test_quantized_fusion_figure9;
+          Alcotest.test_case "workspace lifting (Fig 11)" `Quick
+            test_workspace_lift_e2e ] );
+      ( "checks",
+        [ Alcotest.test_case "runtime shape check" `Quick
+            test_runtime_shape_check ] ) ]

@@ -1,0 +1,371 @@
+(* Tests for the Relax core IR: annotations (Table 1), forward shape
+   deduction incl. the Figure 3 / Figure 7 scenarios, the block
+   builder, well-formedness checking, and the printer. *)
+
+open Relax_core
+
+let e = Arith.Expr.const
+let sym name = Arith.Expr.var (Arith.Var.fresh name)
+let f32 = Base.Dtype.F32
+let f16 = Base.Dtype.F16
+
+let si_testable =
+  Alcotest.testable
+    (fun fmt si -> Format.pp_print_string fmt (Struct_info.to_string si))
+    Struct_info.equal
+
+(* ---------- struct info ---------- *)
+
+let test_struct_info_table1 () =
+  let n = sym "n" in
+  Alcotest.(check string) "Shape([n, 4])" "Shape([n, 4])"
+    (Struct_info.to_string (Struct_info.shape [ n; e 4 ]));
+  Alcotest.(check string) "Shape(ndim=2)" "Shape(ndim=2)"
+    (Struct_info.to_string (Struct_info.shape_ndim 2));
+  Alcotest.(check string) "Tensor((n, 4), f32)" "Tensor((n, 4), \"f32\")"
+    (Struct_info.to_string (Struct_info.tensor [ n; e 4 ] f32));
+  Alcotest.(check string) "Object" "Object" (Struct_info.to_string Struct_info.Object);
+  Alcotest.(check string) "Tuple" "Tuple[Tensor((n, 4), \"f32\"), Object]"
+    (Struct_info.to_string
+       (Struct_info.Tuple [ Struct_info.tensor [ n; e 4 ] f32; Struct_info.Object ]));
+  Alcotest.(check string) "Callable"
+    "Callable([Tensor((n, 4), \"f32\")], Tensor((n * 4), \"f32\"))"
+    (Struct_info.to_string
+       (Struct_info.Callable
+          {
+            params = [ Struct_info.tensor [ n; e 4 ] f32 ];
+            ret = Struct_info.tensor [ Arith.Expr.mul n (e 4) ] f32;
+          }))
+
+let test_struct_info_equal_subsume () =
+  let n = sym "n" in
+  let t1 = Struct_info.tensor [ Arith.Expr.add n n ] f32 in
+  let t2 = Struct_info.tensor [ Arith.Expr.mul n (e 2) ] f32 in
+  Alcotest.(check bool) "semantic equality via prover" true
+    (Struct_info.equal t1 t2);
+  Alcotest.(check bool) "coarse subsumes specific" true
+    (Struct_info.subsumes (Struct_info.tensor_ndim 1 f32) t1);
+  Alcotest.(check bool) "specific does not subsume coarse" false
+    (Struct_info.subsumes t1 (Struct_info.tensor_ndim 1 f32));
+  Alcotest.(check bool) "object subsumes all" true
+    (Struct_info.subsumes Struct_info.Object t1);
+  Alcotest.(check bool) "dtype mismatch" false
+    (Struct_info.equal t1 (Struct_info.tensor [ Arith.Expr.add n n ] f16));
+  Alcotest.(check bool) "unknown dtype subsumes known" true
+    (Struct_info.subsumes
+       (Struct_info.Tensor { shape = Ndim 1; dtype = None })
+       t1)
+
+let test_struct_info_coarse_subst () =
+  let nv = Arith.Var.fresh "n" in
+  let t = Struct_info.tensor [ Arith.Expr.var nv; e 4 ] f32 in
+  Alcotest.(check si_testable) "erase" (Struct_info.tensor_ndim 2 f32)
+    (Struct_info.erase_to_coarse t);
+  let env = Arith.Var.Map.(add nv (e 7) empty) in
+  Alcotest.(check si_testable) "subst"
+    (Struct_info.tensor [ e 7; e 4 ] f32)
+    (Struct_info.subst env t)
+
+(* ---------- operator deduction ---------- *)
+
+let deduce_op name arg_sinfos =
+  let args = List.map (fun si -> Expr.Var (Rvar.fresh "x" si)) arg_sinfos in
+  Deduce.expr_sinfo Ir_module.empty (Expr.call_op name args)
+
+let test_deduce_elementwise () =
+  let n = sym "n" in
+  let t = Struct_info.tensor [ n; e 4 ] f32 in
+  Alcotest.(check si_testable) "add same shape" t (deduce_op "add" [ t; t ]);
+  Alcotest.(check si_testable) "exp" t (deduce_op "exp" [ t ]);
+  (* suffix broadcast *)
+  let b = Struct_info.tensor [ e 4 ] f32 in
+  Alcotest.(check si_testable) "broadcast" t (deduce_op "multiply" [ t; b ]);
+  (* mismatch is an error *)
+  let bad = Struct_info.tensor [ e 5 ] f32 in
+  (match deduce_op "add" [ t; bad ] with
+  | _ -> Alcotest.fail "expected broadcast failure"
+  | exception Deduce.Error _ -> ());
+  (* coarse falls back to rank info *)
+  let coarse = Struct_info.tensor_ndim 2 f32 in
+  Alcotest.(check si_testable) "coarse fallback" coarse
+    (deduce_op "add" [ t; coarse ])
+
+let test_deduce_matmul () =
+  let n = sym "n" in
+  let x = Struct_info.tensor [ n; e 128 ] f32 in
+  let w = Struct_info.tensor [ e 128; e 256 ] f32 in
+  Alcotest.(check si_testable) "2d matmul"
+    (Struct_info.tensor [ n; e 256 ] f32)
+    (deduce_op "matmul" [ x; w ]);
+  let bx = Struct_info.tensor [ e 8; n; e 64 ] f32 in
+  let bw = Struct_info.tensor [ e 8; e 64; n ] f32 in
+  Alcotest.(check si_testable) "batched matmul"
+    (Struct_info.tensor [ e 8; n; n ] f32)
+    (deduce_op "matmul" [ bx; bw ]);
+  (match deduce_op "matmul" [ x; Struct_info.tensor [ e 64; e 256 ] f32 ] with
+  | _ -> Alcotest.fail "expected inner-dim failure"
+  | exception Deduce.Error _ -> ());
+  (* dtype mismatch *)
+  match deduce_op "matmul" [ x; Struct_info.tensor [ e 128; e 256 ] f16 ] with
+  | _ -> Alcotest.fail "expected dtype failure"
+  | exception Deduce.Error _ -> ()
+
+let test_deduce_figure3 () =
+  (* Figure 3: reshape -> flatten -> unique -> match_cast -> exp. *)
+  let nv = Arith.Var.fresh "n" in
+  let n = Arith.Expr.var nv in
+  let x = Struct_info.tensor [ n; e 2; e 2 ] f32 in
+  let reshaped =
+    let args =
+      [ Expr.Var (Rvar.fresh "x" x); Expr.Shape_expr [ n; e 4 ] ]
+    in
+    Deduce.expr_sinfo Ir_module.empty (Expr.call_op "reshape" args)
+  in
+  Alcotest.(check si_testable) "reshape to (n, 4)"
+    (Struct_info.tensor [ n; e 4 ] f32)
+    reshaped;
+  let flattened = deduce_op "flatten" [ reshaped ] in
+  Alcotest.(check si_testable) "flatten tracks n * 4"
+    (Struct_info.tensor [ Arith.Expr.mul n (e 4) ] f32)
+    flattened;
+  (* data-dependent: coarse rank-1 annotation *)
+  let uniq = deduce_op "unique" [ flattened ] in
+  Alcotest.(check si_testable) "unique coarse" (Struct_info.tensor_ndim 1 f32) uniq;
+  (* exp of the match_cast'ed (m,) keeps (m,) *)
+  let mv = Arith.Expr.var (Arith.Var.fresh "m") in
+  let cast = Struct_info.tensor [ mv ] f32 in
+  Alcotest.(check si_testable) "exp after match_cast" cast
+    (deduce_op "exp" [ cast ])
+
+let test_deduce_reductions_etc () =
+  let n = sym "n" in
+  let x = Struct_info.tensor [ n; e 4 ] f32 in
+  Alcotest.(check si_testable) "sum drops last"
+    (Struct_info.tensor [ n ] f32)
+    (deduce_op "sum" [ x ]);
+  Alcotest.(check si_testable) "softmax keeps shape" x (deduce_op "softmax" [ x ]);
+  Alcotest.(check si_testable) "astype.f16 changes dtype"
+    (Struct_info.tensor [ n; e 4 ] f16)
+    (deduce_op "astype.f16" [ x ]);
+  let table = Struct_info.tensor [ e 32000; e 4096 ] f32 in
+  let idx = Struct_info.Tensor { shape = Known [ n ]; dtype = Some Base.Dtype.I32 } in
+  Alcotest.(check si_testable) "take"
+    (Struct_info.tensor [ n; e 4096 ] f32)
+    (deduce_op "take" [ table; idx ]);
+  let a = Struct_info.tensor [ n; e 8 ] f32 in
+  let b = Struct_info.tensor [ n; e 4 ] f32 in
+  Alcotest.(check si_testable) "concat adds last dims"
+    (Struct_info.tensor [ n; e 12 ] f32)
+    (deduce_op "concat" [ a; b ]);
+  let permuted =
+    Deduce.expr_sinfo Ir_module.empty
+      (Expr.call_op "permute_dims"
+         [ Expr.Var (Rvar.fresh "x" x); Expr.Shape_expr [ e 1; e 0 ] ])
+  in
+  Alcotest.(check si_testable) "permute_dims"
+    (Struct_info.tensor [ e 4; n ] f32)
+    permuted
+
+let test_deduce_figure7_interprocedural () =
+  (* subfn(s: Shape([n, m])) -> Tensor((n * m,), f32) *)
+  let nv = Arith.Var.fresh "n" and mv = Arith.Var.fresh "m" in
+  let en = Arith.Expr.var nv and em = Arith.Expr.var mv in
+  let params = [ Struct_info.shape [ en; em ] ] in
+  let ret = Struct_info.tensor [ Arith.Expr.mul en em ] f32 in
+  (* lv0: call with shape(n', 4) where n' is a caller variable *)
+  let n' = sym "n'" in
+  Alcotest.(check si_testable) "lv0: (n' * 4,)"
+    (Struct_info.tensor [ Arith.Expr.mul n' (e 4) ] f32)
+    (Deduce.signature_call_sinfo ~params ~ret
+       ~args:[ Struct_info.shape [ n'; e 4 ] ]);
+  (* lv1: fully static shape(3, 4) -> (12,) *)
+  Alcotest.(check si_testable) "lv1: (12,)"
+    (Struct_info.tensor [ e 12 ] f32)
+    (Deduce.signature_call_sinfo ~params ~ret
+       ~args:[ Struct_info.shape [ e 3; e 4 ] ]);
+  (* lv2: shape(n' + 1, 4) -> ((n' + 1) * 4,) *)
+  Alcotest.(check si_testable) "lv2: ((n' + 1) * 4,)"
+    (Struct_info.tensor [ Arith.Expr.(mul (add n' (e 1)) (e 4)) ] f32)
+    (Deduce.signature_call_sinfo ~params ~ret
+       ~args:[ Struct_info.shape [ Arith.Expr.add n' (e 1); e 4 ] ]);
+  (* lv3: coarse Shape(ndim=2) argument -> coarse Tensor(ndim=1) *)
+  Alcotest.(check si_testable) "lv3: coarse fallback"
+    (Struct_info.tensor_ndim 1 f32)
+    (Deduce.signature_call_sinfo ~params ~ret
+       ~args:[ Struct_info.shape_ndim 2 ])
+
+let test_deduce_global_call () =
+  (* Deduction through a module-level subgraph function call. *)
+  let nv = Arith.Var.fresh "n" in
+  let en = Arith.Expr.var nv in
+  let b = Builder.create () in
+  Builder.function_ b ~name:"subfn"
+    ~params:[ ("x", Struct_info.tensor [ en ] f32) ]
+    (fun params ->
+      match params with
+      | [ x ] ->
+          let y =
+            Builder.emit b (Expr.call_op "add" [ Expr.Var x; Expr.Var x ])
+          in
+          Expr.Var y
+      | _ -> assert false);
+  let mod_ = Builder.module_ b in
+  let caller_n = sym "cn" in
+  let arg =
+    Expr.Var
+      (Rvar.fresh "y" (Struct_info.tensor [ Arith.Expr.mul caller_n (e 2) ] f32))
+  in
+  Alcotest.(check si_testable) "global call propagates caller shape"
+    (Struct_info.tensor [ Arith.Expr.mul caller_n (e 2) ] f32)
+    (Deduce.expr_sinfo mod_ (Expr.call_fn (Expr.Global_var "subfn") [ arg ]))
+
+(* ---------- builder + well-formed + printer ---------- *)
+
+let build_mlp () =
+  let nv = Arith.Var.fresh "n" in
+  let en = Arith.Expr.var nv in
+  let b = Builder.create () in
+  Builder.function_ b ~name:"main"
+    ~params:
+      [ ("x", Struct_info.tensor [ en; e 8 ] f32);
+        ("w1", Struct_info.tensor [ e 8; e 16 ] f32);
+        ("w2", Struct_info.tensor [ e 16; e 4 ] f32) ]
+    (fun params ->
+      match params with
+      | [ x; w1; w2 ] ->
+          Builder.dataflow b (fun () ->
+              let h =
+                Builder.emit b (Expr.call_op "matmul" [ Expr.Var x; Expr.Var w1 ])
+              in
+              let a = Builder.emit b (Expr.call_op "relu" [ Expr.Var h ]) in
+              let out =
+                Builder.emit b (Expr.call_op "matmul" [ Expr.Var a; Expr.Var w2 ])
+              in
+              Expr.Var out)
+      | _ -> assert false);
+  (Builder.module_ b, nv)
+
+let test_builder_and_wf () =
+  let mod_, _ = build_mlp () in
+  Well_formed.assert_well_formed mod_;
+  let f = Option.get (Ir_module.find_func mod_ "main") in
+  (match f.Expr.ret_sinfo with
+  | Struct_info.Tensor { shape = Known [ _; last ]; _ } ->
+      Alcotest.(check bool) "ret shape last dim is 4" true
+        (Arith.Simplify.prove_equal last (e 4))
+  | si -> Alcotest.failf "unexpected ret sinfo %s" (Struct_info.to_string si));
+  let blocks, _ = Expr.body_blocks f in
+  Alcotest.(check int) "one dataflow block" 1 (List.length blocks);
+  Alcotest.(check bool) "block is dataflow" true (List.hd blocks).Expr.dataflow
+
+let test_builder_call_tir () =
+  let nv = Arith.Var.fresh "n" in
+  let en = Arith.Expr.var nv in
+  let b = Builder.create () in
+  let mm = Tir.Kernels.matmul_weights ~name:"mm" ~m:en ~k:(e 128) ~n:(e 256) f32 in
+  Builder.function_ b ~name:"main"
+    ~params:
+      [ ("x", Struct_info.tensor [ en; e 128 ] f32);
+        ("w", Struct_info.tensor [ e 128; e 256 ] f32) ]
+    (fun params ->
+      match params with
+      | [ x; w ] ->
+          let out =
+            Builder.emit_call_tir b mm
+              [ Expr.Var x; Expr.Var w ]
+              ~out:(Struct_info.tensor [ en; e 256 ] f32)
+              ()
+          in
+          Expr.Var out
+      | _ -> assert false);
+  let mod_ = Builder.module_ b in
+  Well_formed.assert_well_formed mod_;
+  Alcotest.(check bool) "tir func in module" true
+    (Ir_module.find_tir mod_ "mm" <> None);
+  let f = Option.get (Ir_module.find_func mod_ "main") in
+  Alcotest.(check (list string)) "call_tir recorded" [ "mm" ]
+    (Expr.callee_tir_names f)
+
+let test_wf_detects_violations () =
+  (* Use-before-def. *)
+  let ghost = Rvar.fresh "ghost" (Struct_info.tensor [ e 2 ] f32) in
+  let v = Rvar.fresh "v" (Struct_info.tensor [ e 2 ] f32) in
+  let body =
+    Expr.Seq
+      {
+        blocks =
+          [ { Expr.dataflow = false;
+              bindings = [ Expr.Bind (v, Expr.call_op "exp" [ Expr.Var ghost ]) ] } ];
+        body = Expr.Var v;
+      }
+  in
+  let f =
+    { Expr.params = []; ret_sinfo = Rvar.sinfo v; body; attrs = [] }
+  in
+  let mod_ = Ir_module.add_func Ir_module.empty "bad" f in
+  let violations = Well_formed.check_module mod_ in
+  Alcotest.(check bool) "use-before-def flagged" true
+    (List.exists
+       (fun (x : Well_formed.violation) ->
+         x.func = "bad"
+         && String.length x.message > 0
+         && String.sub x.message 0 8 = "variable")
+       violations);
+  (* call_tir to a missing kernel. *)
+  let u = Rvar.fresh "u" (Struct_info.tensor [ e 2 ] f32) in
+  let body2 =
+    Expr.Seq
+      {
+        blocks =
+          [ { Expr.dataflow = false;
+              bindings =
+                [ Expr.Bind
+                    ( u,
+                      Expr.call_tir "nope" []
+                        ~out:(Struct_info.tensor [ e 2 ] f32)
+                        () ) ] } ];
+        body = Expr.Var u;
+      }
+  in
+  let f2 = { Expr.params = []; ret_sinfo = Rvar.sinfo u; body = body2; attrs = [] } in
+  let mod2 = Ir_module.add_func Ir_module.empty "bad2" f2 in
+  Alcotest.(check bool) "missing kernel flagged" true
+    (Well_formed.check_module mod2 <> [])
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_printer_smoke () =
+  let mod_, _ = build_mlp () in
+  let text = Printer.module_to_string mod_ in
+  Alcotest.(check bool) "mentions main" true (contains ~sub:"def main" text);
+  Alcotest.(check bool) "prints dataflow block" true
+    (contains ~sub:"with dataflow():" text);
+  Alcotest.(check bool) "prints annotations" true
+    (contains ~sub:"Tensor((n, 16), \"f32\")" text)
+
+let () =
+  Alcotest.run "relax_core"
+    [ ( "struct_info",
+        [ Alcotest.test_case "table 1 annotations" `Quick test_struct_info_table1;
+          Alcotest.test_case "equality and subsumption" `Quick
+            test_struct_info_equal_subsume;
+          Alcotest.test_case "coarse/subst" `Quick test_struct_info_coarse_subst ]
+      );
+      ( "deduce",
+        [ Alcotest.test_case "elementwise" `Quick test_deduce_elementwise;
+          Alcotest.test_case "matmul" `Quick test_deduce_matmul;
+          Alcotest.test_case "figure 3 chain" `Quick test_deduce_figure3;
+          Alcotest.test_case "reductions etc" `Quick test_deduce_reductions_etc;
+          Alcotest.test_case "figure 7 interprocedural" `Quick
+            test_deduce_figure7_interprocedural;
+          Alcotest.test_case "global subgraph call" `Quick
+            test_deduce_global_call ] );
+      ( "builder",
+        [ Alcotest.test_case "mlp + well-formed" `Quick test_builder_and_wf;
+          Alcotest.test_case "call_tir" `Quick test_builder_call_tir ] );
+      ( "well_formed",
+        [ Alcotest.test_case "violations" `Quick test_wf_detects_violations ] );
+      ("printer", [ Alcotest.test_case "smoke" `Quick test_printer_smoke ]) ]

@@ -1,0 +1,198 @@
+(* Schedule transformations must preserve semantics: every transformed
+   kernel is interpreted against the original on random inputs,
+   including property tests over random split/reorder/parallelize
+   sequences and the analysis-based auto schedule (§4.6). *)
+
+let e = Arith.Expr.const
+let f32 = Base.Dtype.F32
+
+let run_f32 kernel inputs out_shape =
+  let out = Base.Ndarray.create f32 out_shape in
+  Tir.Interp.run kernel (inputs @ [ out ]);
+  out
+
+let check_same msg a b =
+  Alcotest.(check bool) msg true (Base.Ndarray.equal_approx ~eps:1e-9 a b)
+
+let matmul_mk () =
+  let n = Arith.Expr.var (Arith.Var.fresh "n") in
+  Tir.Kernels.matmul_weights ~name:"mm" ~m:n ~k:(e 6) ~n:(e 10) f32
+
+let mm_inputs () =
+  ( Base.Ndarray.random_uniform ~seed:1 f32 [| 5; 6 |],
+    Base.Ndarray.random_uniform ~seed:2 f32 [| 6; 10 |] )
+
+let test_split_divisible_and_guarded () =
+  let f = matmul_mk () in
+  let x, w = mm_inputs () in
+  let reference = run_f32 f [ x; w ] [| 5; 10 |] in
+  (* Divisible: split j (extent 10) by 5 — no guard needed. *)
+  let j = List.nth (Tir.Schedule.loop_vars f) 1 in
+  let f2, _, _ = Tir.Schedule.split f ~loop:j ~factor:5 in
+  check_same "divisible split" reference (run_f32 f2 [ x; w ] [| 5; 10 |]);
+  (* Non-divisible: split j by 4 — guard inserted, still correct. *)
+  let f3, _, _ = Tir.Schedule.split f ~loop:j ~factor:4 in
+  check_same "guarded split" reference (run_f32 f3 [ x; w ] [| 5; 10 |]);
+  (* Symbolic extent: split the dynamic i loop. *)
+  let i = List.nth (Tir.Schedule.loop_vars f) 0 in
+  let f4, _, _ = Tir.Schedule.split f ~loop:i ~factor:4 in
+  check_same "symbolic-extent split" reference (run_f32 f4 [ x; w ] [| 5; 10 |])
+
+let test_reorder_tile_unroll () =
+  let f = matmul_mk () in
+  let x, w = mm_inputs () in
+  let reference = run_f32 f [ x; w ] [| 5; 10 |] in
+  (match Tir.Schedule.loop_vars f with
+  | i :: j :: _ ->
+      let fr = Tir.Schedule.reorder f ~outer:i ~inner:j in
+      check_same "reorder i/j" reference (run_f32 fr [ x; w ] [| 5; 10 |]);
+      let ft = Tir.Schedule.tile2 f ~i ~j ~ti:2 ~tj:4 in
+      check_same "tile 2x4" reference (run_f32 ft [ x; w ] [| 5; 10 |]);
+      let fp = Tir.Schedule.parallelize f ~loop:i in
+      check_same "parallel annotation" reference (run_f32 fp [ x; w ] [| 5; 10 |])
+  | _ -> Alcotest.fail "expected loops");
+  (* Unroll the static j loop. *)
+  let j = List.nth (Tir.Schedule.loop_vars f) 1 in
+  let fu = Tir.Schedule.unroll f ~loop:j in
+  check_same "unroll" reference (run_f32 fu [ x; w ] [| 5; 10 |])
+
+let test_schedule_errors () =
+  let f = matmul_mk () in
+  let ghost = Arith.Var.fresh "ghost" in
+  (match Tir.Schedule.split f ~loop:ghost ~factor:2 with
+  | _ -> Alcotest.fail "expected missing-loop error"
+  | exception Tir.Schedule.Schedule_error _ -> ());
+  (match Tir.Schedule.split f ~loop:(List.hd (Tir.Schedule.loop_vars f)) ~factor:0 with
+  | _ -> Alcotest.fail "expected bad factor error"
+  | exception Tir.Schedule.Schedule_error _ -> ());
+  (* reorder of non-adjacent loops (i and k) fails. *)
+  match Tir.Schedule.loop_vars f with
+  | i :: _ :: k :: _ -> (
+      match Tir.Schedule.reorder f ~outer:i ~inner:k with
+      | _ -> Alcotest.fail "expected nesting error"
+      | exception Tir.Schedule.Schedule_error _ -> ())
+  | _ -> Alcotest.fail "expected three loops"
+
+let test_auto_schedule_kinds () =
+  (* Matmul gets tiled + parallelized; elementwise parallelized;
+     opaque untouched — all numerically intact. *)
+  let f = matmul_mk () in
+  let x, w = mm_inputs () in
+  let reference = run_f32 f [ x; w ] [| 5; 10 |] in
+  let fs = Tir.Schedule.auto_schedule f in
+  check_same "auto matmul" reference (run_f32 fs [ x; w ] [| 5; 10 |]);
+  Alcotest.(check bool) "matmul loop count grew (tiled)" true
+    (List.length (Tir.Schedule.loop_vars fs) > List.length (Tir.Schedule.loop_vars f));
+  let ew =
+    Tir.Kernels.unary ~name:"exp"
+      ~op:(fun x -> Tir.Texpr.Unop (Tir.Texpr.Exp, x))
+      [ e 4; e 3 ] f32
+  in
+  let xin = Base.Ndarray.random_uniform ~seed:3 f32 [| 4; 3 |] in
+  let ref_ew = run_f32 ew [ xin ] [| 4; 3 |] in
+  let ews = Tir.Schedule.auto_schedule ew in
+  check_same "auto elementwise" ref_ew (run_f32 ews [ xin ] [| 4; 3 |]);
+  let sm = Tir.Kernels.softmax_last ~name:"sm" [ e 2; e 3 ] f32 in
+  Alcotest.(check bool) "opaque untouched" true
+    (Tir.Schedule.auto_schedule sm == sm)
+
+let test_pipeline_with_schedules () =
+  (* End-to-end: the tiny LLM compiled with schedule_tensorir on must
+     produce the same logits. *)
+  let built = Frontend.Llm.decode Frontend.Configs.tiny ~batch:2 Frontend.Llm.F16 in
+  let run ~schedule =
+    let options =
+      { Relax_passes.Pipeline.default_options with
+        Relax_passes.Pipeline.schedule_tensorir = schedule;
+        upper_bounds = Frontend.Llm.upper_bound_hints built }
+    in
+    let program =
+      Relax_passes.Pipeline.compile ~options ~device:Runtime.Device.rtx4090
+        built.Frontend.Llm.mod_
+    in
+    let vm = Runtime.Vm.create `Numeric program in
+    let args = Frontend.Llm.args_for built ~ctx:4 ~mode:(`Numeric 5) () in
+    match Runtime.Vm.run vm "decode" args with
+    | Runtime.Vm.Tuple_val (l :: _) -> Runtime.Vm.value_tensor l
+    | _ -> Alcotest.fail "expected tuple"
+  in
+  check_same "scheduled pipeline agrees" (run ~schedule:false) (run ~schedule:true)
+
+(* Property: a random sequence of schedule transformations preserves
+   the matmul result. *)
+let prop_random_schedules =
+  QCheck.Test.make ~count:60 ~name:"random schedule sequences preserve semantics"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 4) (pair (int_range 0 2) (int_range 2 5)))
+    (fun ops ->
+      let f0 = matmul_mk () in
+      let x, w = mm_inputs () in
+      let reference = run_f32 f0 [ x; w ] [| 5; 10 |] in
+      let f =
+        List.fold_left
+          (fun f (which, factor) ->
+            let loops = Tir.Schedule.loop_vars f in
+            let loop = List.nth loops (which mod List.length loops) in
+            match which mod 3 with
+            | 0 -> (
+                let f', _, _ = Tir.Schedule.split f ~loop ~factor in
+                f')
+            | 1 -> ( try Tir.Schedule.parallelize f ~loop with _ -> f)
+            | _ -> (
+                (* try reordering this loop with its immediate child *)
+                match Tir.Schedule.loop_vars f with
+                | a :: b :: _ -> (
+                    try Tir.Schedule.reorder f ~outer:a ~inner:b
+                    with Tir.Schedule.Schedule_error _ -> f)
+                | _ -> f))
+          f0 ops
+      in
+      Base.Ndarray.equal_approx ~eps:1e-9 reference (run_f32 f [ x; w ] [| 5; 10 |]))
+
+let test_auto_schedule_all_kernels () =
+  (* auto_schedule across the whole standard-kernel family, checked
+     numerically against the unscheduled originals. *)
+  let n = e 5 in
+  let checks =
+    [ ("unary", Tir.Kernels.unary ~name:"u" ~op:Tir.Kernels.relu [ n; e 3 ] f32,
+       [ [| 5; 3 |] ], [| 5; 3 |]);
+      ("binary",
+       Tir.Kernels.binary ~name:"b" ~op:(fun a c -> Tir.Texpr.(a +. c)) [ n; e 3 ] f32,
+       [ [| 5; 3 |]; [| 5; 3 |] ], [| 5; 3 |]);
+      ("matmul", Tir.Kernels.matmul_weights ~name:"m" ~m:n ~k:(e 3) ~n:(e 4) f32,
+       [ [| 5; 3 |]; [| 3; 4 |] ], [| 5; 4 |]);
+      ("transpose", Tir.Kernels.transpose ~name:"t" [ n; e 3 ] ~perm:[ 1; 0 ] f32,
+       [ [| 5; 3 |] ], [| 3; 5 |]);
+      ("reduce", Tir.Kernels.reduce ~name:"r" ~kind:`Sum [ n; e 3 ] f32,
+       [ [| 5; 3 |] ], [| 5 |]);
+      ("softmax", Tir.Kernels.softmax_last ~name:"s" [ n; e 3 ] f32,
+       [ [| 5; 3 |] ], [| 5; 3 |]) ]
+  in
+  List.iter
+    (fun (name, kernel, in_shapes, out_shape) ->
+      let inputs =
+        List.mapi
+          (fun i shape -> Base.Ndarray.random_uniform ~seed:(i + 1) f32 shape)
+          in_shapes
+      in
+      let out_ref = Base.Ndarray.create f32 out_shape in
+      Tir.Interp.run kernel (inputs @ [ out_ref ]);
+      let scheduled = Tir.Schedule.auto_schedule kernel in
+      let out_sched = Base.Ndarray.create f32 out_shape in
+      Tir.Interp.run scheduled (inputs @ [ out_sched ]);
+      Alcotest.(check bool) name true
+        (Base.Ndarray.equal_approx ~eps:1e-9 out_ref out_sched))
+    checks
+
+let () =
+  Alcotest.run "schedule"
+    [ ( "transforms",
+        [ Alcotest.test_case "split" `Quick test_split_divisible_and_guarded;
+          Alcotest.test_case "reorder/tile/unroll" `Quick test_reorder_tile_unroll;
+          Alcotest.test_case "errors" `Quick test_schedule_errors;
+          Alcotest.test_case "auto schedule" `Quick test_auto_schedule_kinds;
+          Alcotest.test_case "pipeline integration" `Quick
+            test_pipeline_with_schedules;
+          Alcotest.test_case "auto schedule, all kernels" `Quick
+            test_auto_schedule_all_kernels ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_random_schedules ] ) ]

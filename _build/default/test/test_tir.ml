@@ -1,0 +1,481 @@
+(* Tests for the loop-level tensor program substrate: interpreter
+   correctness, Algorithm 1 pattern analysis, cost analysis, workspace
+   lifting and kernel merging. *)
+
+open Base
+
+let e = Arith.Expr.const
+let sym = Arith.Var.fresh
+let f32 = Dtype.F32
+
+let nd_of shape vals = Ndarray.of_float_list f32 shape vals
+let check_nd msg expected actual =
+  Alcotest.(check bool) msg true (Ndarray.equal_approx ~eps:1e-9 expected actual)
+
+(* ---------- interpreter ---------- *)
+
+let test_interp_unary () =
+  let n = sym "n" in
+  let k = Tir.Kernels.unary ~name:"exp" ~op:(fun x -> Tir.Texpr.Unop (Tir.Texpr.Exp, x)) [ Arith.Expr.var n ] f32 in
+  let x = nd_of [| 3 |] [ 0.0; 1.0; 2.0 ] in
+  let y = Ndarray.create f32 [| 3 |] in
+  Tir.Interp.run k [ x; y ];
+  check_nd "exp" (nd_of [| 3 |] [ 1.0; exp 1.0; exp 2.0 ]) y
+
+let test_interp_relu_silu_gelu () =
+  let shape = [ e 4 ] in
+  let run op =
+    let k = Tir.Kernels.unary ~name:"u" ~op shape f32 in
+    let x = nd_of [| 4 |] [ -2.0; -0.5; 0.5; 2.0 ] in
+    let y = Ndarray.create f32 [| 4 |] in
+    Tir.Interp.run k [ x; y ];
+    Ndarray.to_float_list y
+  in
+  Alcotest.(check (list (float 1e-9))) "relu" [ 0.0; 0.0; 0.5; 2.0 ]
+    (run Tir.Kernels.relu);
+  let silu_ref x = x /. (1.0 +. exp (-.x)) in
+  Alcotest.(check (list (float 1e-9))) "silu"
+    (List.map silu_ref [ -2.0; -0.5; 0.5; 2.0 ])
+    (run Tir.Kernels.silu);
+  List.iter2
+    (fun got x ->
+      let expect = 0.5 *. x *. (1.0 +. (2.0 /. sqrt Float.pi) *. 0.0 +. 0.0) in
+      ignore expect;
+      (* gelu reference via erf from the interpreter's own approximation
+         tolerance: compare against the closed form loosely. *)
+      let approx = 0.5 *. x *. (1.0 +. Float.erf (x /. sqrt 2.0)) in
+      Alcotest.(check (float 1e-4)) "gelu" approx got)
+    (run Tir.Kernels.gelu) [ -2.0; -0.5; 0.5; 2.0 ]
+
+let test_interp_matmul () =
+  let n = sym "n" in
+  let k =
+    Tir.Kernels.matmul_weights ~name:"mm" ~m:(Arith.Expr.var n) ~k:(e 2)
+      ~n:(e 2) f32
+  in
+  (* [[1,2],[3,4],[5,6]] x [[1,0],[0,1]] = identity application *)
+  let x = nd_of [| 3; 2 |] [ 1.; 2.; 3.; 4.; 5.; 6. ] in
+  let w = nd_of [| 2; 2 |] [ 1.; 0.; 0.; 1. ] in
+  let y = Ndarray.create f32 [| 3; 2 |] in
+  Tir.Interp.run k [ x; w; y ];
+  check_nd "identity matmul" x y;
+  let w2 = nd_of [| 2; 2 |] [ 1.; 2.; 3.; 4. ] in
+  let y2 = Ndarray.create f32 [| 3; 2 |] in
+  Tir.Interp.run k [ x; w2; y2 ];
+  check_nd "general matmul"
+    (nd_of [| 3; 2 |] [ 7.; 10.; 15.; 22.; 23.; 34. ])
+    y2
+
+let test_interp_batched_matmul () =
+  let k =
+    Tir.Kernels.matmul ~name:"bmm" ~batch:[ e 2 ] ~m:(e 1) ~k:(e 2) ~n:(e 1) f32
+  in
+  let x = nd_of [| 2; 1; 2 |] [ 1.; 2.; 3.; 4. ] in
+  let w = nd_of [| 2; 2; 1 |] [ 1.; 1.; 2.; 2. ] in
+  let y = Ndarray.create f32 [| 2; 1; 1 |] in
+  Tir.Interp.run k [ x; w; y ];
+  check_nd "batched" (nd_of [| 2; 1; 1 |] [ 3.; 14. ]) y
+
+let test_interp_broadcast () =
+  let n = sym "n" in
+  let k =
+    Tir.Kernels.broadcast_binary ~name:"addb"
+      ~op:(fun a b -> Tir.Texpr.(a +. b))
+      ~lhs:[ Arith.Expr.var n; e 2 ]
+      ~rhs:[ e 2 ] f32
+  in
+  let x = nd_of [| 2; 2 |] [ 1.; 2.; 3.; 4. ] in
+  let b = nd_of [| 2 |] [ 10.; 20. ] in
+  let y = Ndarray.create f32 [| 2; 2 |] in
+  Tir.Interp.run k [ x; b; y ];
+  check_nd "broadcast add" (nd_of [| 2; 2 |] [ 11.; 22.; 13.; 24. ]) y
+
+let test_interp_reshape_transpose () =
+  let n = sym "n" in
+  let en = Arith.Expr.var n in
+  let resh =
+    Tir.Kernels.reshape ~name:"r" ~from_:[ en; e 4 ]
+      ~to_:[ Arith.Expr.mul en (e 2); e 2 ]
+      f32
+  in
+  let x = nd_of [| 1; 4 |] [ 1.; 2.; 3.; 4. ] in
+  let y = Ndarray.create f32 [| 2; 2 |] in
+  Tir.Interp.run resh [ x; y ];
+  check_nd "reshape rowmajor" (nd_of [| 2; 2 |] [ 1.; 2.; 3.; 4. ]) y;
+  let tr = Tir.Kernels.transpose ~name:"t" [ e 2; e 3 ] ~perm:[ 1; 0 ] f32 in
+  let x2 = nd_of [| 2; 3 |] [ 1.; 2.; 3.; 4.; 5.; 6. ] in
+  let y2 = Ndarray.create f32 [| 3; 2 |] in
+  Tir.Interp.run tr [ x2; y2 ];
+  check_nd "transpose" (nd_of [| 3; 2 |] [ 1.; 4.; 2.; 5.; 3.; 6. ]) y2
+
+let test_interp_reduce_softmax () =
+  let rsum = Tir.Kernels.reduce ~name:"s" ~kind:`Sum [ e 2; e 3 ] f32 in
+  let x = nd_of [| 2; 3 |] [ 1.; 2.; 3.; 4.; 5.; 6. ] in
+  let y = Ndarray.create f32 [| 2 |] in
+  Tir.Interp.run rsum [ x; y ];
+  check_nd "sum" (nd_of [| 2 |] [ 6.; 15. ]) y;
+  let rmean = Tir.Kernels.reduce ~name:"m" ~kind:`Mean [ e 2; e 3 ] f32 in
+  let ym = Ndarray.create f32 [| 2 |] in
+  Tir.Interp.run rmean [ x; ym ];
+  check_nd "mean" (nd_of [| 2 |] [ 2.; 5. ]) ym;
+  let rmax = Tir.Kernels.reduce ~name:"mx" ~kind:`Max [ e 2; e 3 ] f32 in
+  let ymx = Ndarray.create f32 [| 2 |] in
+  Tir.Interp.run rmax [ x; ymx ];
+  check_nd "max" (nd_of [| 2 |] [ 3.; 6. ]) ymx;
+  let sm = Tir.Kernels.softmax_last ~name:"sm" [ e 1; e 3 ] f32 in
+  let xs = nd_of [| 1; 3 |] [ 1.; 2.; 3. ] in
+  let ys = Ndarray.create f32 [| 1; 3 |] in
+  Tir.Interp.run sm [ xs; ys ];
+  let z = exp 1.0 +. exp 2.0 +. exp 3.0 in
+  List.iter2
+    (fun got expect -> Alcotest.(check (float 1e-9)) "softmax" expect got)
+    (Ndarray.to_float_list ys)
+    [ exp 1.0 /. z; exp 2.0 /. z; exp 3.0 /. z ];
+  Alcotest.(check (float 1e-9)) "softmax sums to 1" 1.0
+    (List.fold_left ( +. ) 0.0 (Ndarray.to_float_list ys))
+
+let test_interp_rms_norm () =
+  let k = Tir.Kernels.rms_norm ~name:"rn" [ e 1; e 2 ] ~eps:0.0 f32 in
+  let x = nd_of [| 1; 2 |] [ 3.; 4. ] in
+  let w = nd_of [| 2 |] [ 1.; 2. ] in
+  let y = Ndarray.create f32 [| 1; 2 |] in
+  Tir.Interp.run k [ x; w; y ];
+  let rms = sqrt ((9. +. 16.) /. 2.) in
+  check_nd "rms_norm" (nd_of [| 1; 2 |] [ 3. /. rms; 8. /. rms ]) y
+
+let test_interp_take () =
+  let k =
+    Tir.Kernels.take_rows ~name:"take" ~rows:(e 3) ~width:(e 2)
+      ~num_indices:(e 2) f32
+  in
+  let table = nd_of [| 3; 2 |] [ 0.; 1.; 10.; 11.; 20.; 21. ] in
+  let idx = Ndarray.of_int_list Dtype.I32 [| 2 |] [ 2; 0 ] in
+  let y = Ndarray.create f32 [| 2; 2 |] in
+  Tir.Interp.run k [ table; idx; y ];
+  check_nd "take rows" (nd_of [| 2; 2 |] [ 20.; 21.; 0.; 1. ]) y
+
+let test_interp_decode_q4 () =
+  let k = Tir.Kernels.decode_q4 ~name:"dq" ~k:(e 1) ~n:(e 32) f32 in
+  (* Pack nibble value 9 in every position: decoded = (9-7)*scale = 2*scale *)
+  let word = 0x99999999 in
+  let wdata = Ndarray.of_int_list Dtype.U32 [| 1; 4 |] [ word; word; word; word ] in
+  let wscale = nd_of [| 1; 1 |] [ 0.5 ] in
+  let w = Ndarray.create f32 [| 1; 32 |] in
+  Tir.Interp.run k [ wdata; wscale; w ];
+  List.iter
+    (fun v -> Alcotest.(check (float 1e-9)) "decoded nibble" 1.0 v)
+    (Ndarray.to_float_list w)
+
+let test_interp_split_k () =
+  let n = sym "n" in
+  let k =
+    Tir.Kernels.split_k_matmul ~name:"mmsk" ~m:(Arith.Expr.var n) ~k:(e 4)
+      ~n:(e 2) ~splits:2 f32
+  in
+  let x = nd_of [| 1; 4 |] [ 1.; 2.; 3.; 4. ] in
+  let w = nd_of [| 4; 2 |] [ 1.; 0.; 0.; 1.; 1.; 0.; 0.; 1. ] in
+  let y = Ndarray.create f32 [| 1; 2 |] in
+  Tir.Interp.run k [ x; w; y ];
+  check_nd "split-k result" (nd_of [| 1; 2 |] [ 4.; 6. ]) y
+
+let test_interp_errors () =
+  let k = Tir.Kernels.unary ~name:"id" ~op:(fun x -> x) [ e 3 ] f32 in
+  let x = nd_of [| 4 |] [ 1.; 2.; 3.; 4. ] in
+  let y = Ndarray.create f32 [| 3 |] in
+  Alcotest.check_raises "static dim mismatch"
+    (Tir.Interp.Runtime_error
+       "id: buffer X dim 0 mismatch (declared 3, got 4)") (fun () ->
+      Tir.Interp.run k [ x; y ]);
+  let n = sym "n" in
+  let k2 =
+    Tir.Kernels.binary ~name:"add" ~op:(fun a b -> Tir.Texpr.(a +. b))
+      [ Arith.Expr.var n ] f32
+  in
+  let a = nd_of [| 2 |] [ 1.; 2. ] and b = nd_of [| 3 |] [ 1.; 2.; 3. ] in
+  let out = Ndarray.create f32 [| 2 |] in
+  (match Tir.Interp.run k2 [ a; b; out ] with
+  | () -> Alcotest.fail "expected inconsistent symbolic binding to raise"
+  | exception Tir.Interp.Runtime_error _ -> ());
+  match Tir.Interp.run k2 [ a ] with
+  | () -> Alcotest.fail "expected arity error"
+  | exception Tir.Interp.Runtime_error _ -> ()
+
+(* ---------- pattern analysis (Algorithm 1) ---------- *)
+
+let classify = Tir.Pattern.classify
+
+let test_patterns () =
+  let n = Arith.Expr.var (sym "n") in
+  let check name expect func =
+    Alcotest.(check string) name
+      (Tir.Pattern.kind_to_string expect)
+      (Tir.Pattern.kind_to_string (classify func))
+  in
+  check "unary exp is elementwise" Tir.Pattern.Element_wise
+    (Tir.Kernels.unary ~name:"exp"
+       ~op:(fun x -> Tir.Texpr.Unop (Tir.Texpr.Exp, x))
+       [ n; e 4 ] f32);
+  check "binary add is elementwise" Tir.Pattern.Element_wise
+    (Tir.Kernels.binary ~name:"add" ~op:(fun a b -> Tir.Texpr.(a +. b)) [ n ] f32);
+  check "broadcast add is elementwise (C=A+B[j] case)" Tir.Pattern.Element_wise
+    (Tir.Kernels.broadcast_binary ~name:"addb"
+       ~op:(fun a b -> Tir.Texpr.(a +. b))
+       ~lhs:[ n; e 4 ] ~rhs:[ e 4 ] f32);
+  check "transpose is injective" Tir.Pattern.Injective
+    (Tir.Kernels.transpose ~name:"t" [ n; e 4 ] ~perm:[ 1; 0 ] f32);
+  check "reshape is injective" Tir.Pattern.Injective
+    (Tir.Kernels.reshape ~name:"r" ~from_:[ n; e 4 ]
+       ~to_:[ Arith.Expr.mul n (e 4) ]
+       f32);
+  check "matmul is output-ewise-fusible" Tir.Pattern.Output_ewise_fusible
+    (Tir.Kernels.matmul_weights ~name:"mm" ~m:n ~k:(e 128) ~n:(e 256) f32);
+  check "sum reduce is reduction" Tir.Pattern.Reduction
+    (Tir.Kernels.reduce ~name:"s" ~kind:`Sum [ n; e 4 ] f32);
+  check "max reduce is reduction" Tir.Pattern.Reduction
+    (Tir.Kernels.reduce ~name:"mx" ~kind:`Max [ n; e 4 ] f32);
+  check "decode_q4 is injective (Figure 9)" Tir.Pattern.Injective
+    (Tir.Kernels.decode_q4 ~name:"dq" ~k:(e 128) ~n:(e 256) f32);
+  check "softmax is opaque" Tir.Pattern.Opaque
+    (Tir.Kernels.softmax_last ~name:"sm" [ n; e 4 ] f32);
+  check "take (gather) is opaque" Tir.Pattern.Opaque
+    (Tir.Kernels.take_rows ~name:"tk" ~rows:(e 10) ~width:(e 4)
+       ~num_indices:n f32);
+  check "split-k with workspace is opaque" Tir.Pattern.Opaque
+    (Tir.Kernels.split_k_matmul ~name:"sk" ~m:n ~k:(e 8) ~n:(e 4) ~splits:2 f32)
+
+let test_pattern_annotate () =
+  let n = Arith.Expr.var (sym "n") in
+  let f =
+    Tir.Kernels.unary ~name:"exp"
+      ~op:(fun x -> Tir.Texpr.Unop (Tir.Texpr.Exp, x))
+      [ n ] f32
+  in
+  let f = Tir.Pattern.annotate f in
+  Alcotest.(check (option string)) "attr recorded" (Some "ElementWise")
+    (Tir.Prim_func.attr f "compute_pattern");
+  Alcotest.(check string) "kind_of reads attr" "ElementWise"
+    (Tir.Pattern.kind_to_string (Tir.Pattern.kind_of f))
+
+(* ---------- cost analysis ---------- *)
+
+let test_cost_matmul () =
+  let nv = sym "n" in
+  let n = Arith.Expr.var nv in
+  let f = Tir.Kernels.matmul_weights ~name:"mm" ~m:n ~k:(e 128) ~n:(e 256) f32 in
+  let cost = Tir.Cost.analyze f in
+  let lookup v = if Arith.Var.equal v nv then 7 else 0 in
+  (* FMA = 2 flops per (i, j, k) plus one init per (i, j). *)
+  Alcotest.(check int) "flops"
+    ((7 * 256 * 128 * 2) + (7 * 256 * 0))
+    (Arith.Expr.eval lookup cost.Tir.Cost.flops);
+  (* footprint: X (7x128) + W (128x256) read; Y (7x256) read+written
+     because accumulation loads it. *)
+  Alcotest.(check int) "bytes read"
+    (((7 * 128) + (128 * 256) + (7 * 256)) * 4)
+    (Arith.Expr.eval lookup cost.Tir.Cost.bytes_read);
+  Alcotest.(check int) "bytes written" (7 * 256 * 4)
+    (Arith.Expr.eval lookup cost.Tir.Cost.bytes_written)
+
+let test_cost_fused_excludes_shared () =
+  (* Fused kernels keep intermediates in Shared scope: they must not
+     count toward global traffic. *)
+  let n = Arith.Expr.var (sym "n") in
+  let dq = Tir.Kernels.decode_q4 ~name:"dq" ~k:(e 128) ~n:(e 256) f32 in
+  let mm = Tir.Kernels.matmul_weights ~name:"mm" ~m:n ~k:(e 128) ~n:(e 256) f32 in
+  let x = Tir.Buffer.create "x" [ n; e 128 ] f32 in
+  let wdata = Tir.Buffer.create "wdata" [ e 128; e 32 ] Dtype.U32 in
+  let wscale = Tir.Buffer.create "wscale" [ e 128; e 8 ] f32 in
+  let w = Tir.Buffer.create "w" [ e 128; e 256 ] f32 in
+  let y = Tir.Buffer.create "y" [ n; e 256 ] f32 in
+  let fused =
+    Tir.Fuse.merge ~name:"fused_decode_q4_mm" ~inputs:[ x; wdata; wscale ]
+      ~outputs:[ y ] ~temps:[ w ]
+      ~calls:
+        [ { Tir.Fuse.callee = dq; buffer_args = [ wdata; wscale; w ]; sym_args = [] };
+          { Tir.Fuse.callee = mm; buffer_args = [ x; w; y ]; sym_args = [] } ]
+      ()
+  in
+  let cost = Tir.Cost.analyze fused in
+  let lookup _ = 4 in
+  let read = Arith.Expr.eval lookup cost.Tir.Cost.bytes_read in
+  (* x + wdata + wscale + y(accum); decoded w (128x256 f32) excluded. *)
+  let expected =
+    (4 * 128 * 4) + (128 * 32 * 4) + (128 * 8 * 4) + (4 * 256 * 4)
+  in
+  Alcotest.(check int) "fused read footprint excludes temp" expected read
+
+(* ---------- workspace lifting ---------- *)
+
+let test_workspace_lift () =
+  let n = Arith.Expr.var (sym "n") in
+  let f = Tir.Kernels.split_k_matmul ~name:"mmsk" ~m:n ~k:(e 4) ~n:(e 2) ~splits:2 f32 in
+  Alcotest.(check int) "one workspace detected" 1
+    (List.length (Tir.Workspace.detect f));
+  match Tir.Workspace.lift f with
+  | None -> Alcotest.fail "expected liftable workspace"
+  | Some (f', ws) ->
+      Alcotest.(check int) "params grew" 4 (List.length f'.Tir.Prim_func.params);
+      Alcotest.(check int) "one lifted" 1 (List.length ws);
+      Alcotest.(check int) "no allocs remain" 0
+        (List.length (Tir.Workspace.detect f'));
+      (* Lifted function computes the same result when the workspace is
+         passed explicitly. *)
+      let x = nd_of [| 1; 4 |] [ 1.; 2.; 3.; 4. ] in
+      let w = nd_of [| 4; 2 |] [ 1.; 0.; 0.; 1.; 1.; 0.; 0.; 1. ] in
+      let y = Ndarray.create f32 [| 1; 2 |] in
+      let wsbuf = Ndarray.create f32 [| 2; 1; 2 |] in
+      Tir.Interp.run f' [ x; w; wsbuf; y ];
+      check_nd "lifted split-k result" (nd_of [| 1; 2 |] [ 4.; 6. ]) y
+
+let test_workspace_none () =
+  let f = Tir.Kernels.unary ~name:"id" ~op:(fun x -> x) [ e 3 ] f32 in
+  Alcotest.(check bool) "no workspace" true (Tir.Workspace.lift f = None)
+
+(* ---------- kernel merging (FuseTensorIR, loop level) ---------- *)
+
+let test_fuse_merge_numeric () =
+  (* fused(decode_q4 -> matmul) must equal running the two kernels. *)
+  let nv = sym "n" in
+  let n = Arith.Expr.var nv in
+  let kdim = e 2 and ndim = e 32 in
+  let dq = Tir.Kernels.decode_q4 ~name:"dq" ~k:kdim ~n:ndim f32 in
+  let mm = Tir.Kernels.matmul_weights ~name:"mm" ~m:n ~k:kdim ~n:ndim f32 in
+  let x_b = Tir.Buffer.create "x" [ n; kdim ] f32 in
+  let wdata_b = Tir.Buffer.create "wdata" [ kdim; e 4 ] Dtype.U32 in
+  let wscale_b = Tir.Buffer.create "wscale" [ kdim; e 1 ] f32 in
+  let w_b = Tir.Buffer.create "w" [ kdim; ndim ] f32 in
+  let y_b = Tir.Buffer.create "y" [ n; ndim ] f32 in
+  let fused =
+    Tir.Fuse.merge ~name:"fused" ~inputs:[ x_b; wdata_b; wscale_b ]
+      ~outputs:[ y_b ] ~temps:[ w_b ]
+      ~calls:
+        [ { Tir.Fuse.callee = dq; buffer_args = [ wdata_b; wscale_b; w_b ]; sym_args = [] };
+          { Tir.Fuse.callee = mm; buffer_args = [ x_b; w_b; y_b ]; sym_args = [] } ]
+      ()
+  in
+  let x = Ndarray.random_uniform ~seed:1 f32 [| 3; 2 |] in
+  let wdata = Ndarray.random_uniform ~seed:2 Dtype.U32 [| 2; 4 |] in
+  let wscale = Ndarray.random_uniform ~seed:3 f32 [| 2; 1 |] in
+  (* Reference: run unfused. *)
+  let w = Ndarray.create f32 [| 2; 32 |] in
+  Tir.Interp.run dq [ wdata; wscale; w ];
+  let y_ref = Ndarray.create f32 [| 3; 32 |] in
+  Tir.Interp.run mm [ x; w; y_ref ];
+  (* Fused. *)
+  let y_fused = Ndarray.create f32 [| 3; 32 |] in
+  Tir.Interp.run fused [ x; wdata; wscale; y_fused ];
+  check_nd "fused equals unfused" y_ref y_fused
+
+let test_fuse_merge_chain () =
+  (* add -> relu chain (Figure 8's fusion example), with a symbolic
+     expression shape (2 * n). *)
+  let nv = sym "n" in
+  let n = Arith.Expr.var nv in
+  let two_n = Arith.Expr.mul n (e 2) in
+  let addk =
+    Tir.Kernels.binary ~name:"add" ~op:(fun a b -> Tir.Texpr.(a +. b))
+      [ Arith.Expr.var (sym "m") ] f32
+  in
+  let reluk = Tir.Kernels.unary ~name:"relu" ~op:Tir.Kernels.relu
+      [ Arith.Expr.var (sym "m2") ] f32
+  in
+  let a_b = Tir.Buffer.create "a" [ two_n ] f32 in
+  let t_b = Tir.Buffer.create "t" [ two_n ] f32 in
+  let y_b = Tir.Buffer.create "y" [ two_n ] f32 in
+  let fused =
+    Tir.Fuse.merge ~name:"fused_add_relu" ~inputs:[ a_b ] ~outputs:[ y_b ]
+      ~temps:[ t_b ]
+      ~calls:
+        [ { Tir.Fuse.callee = addk; buffer_args = [ a_b; a_b; t_b ]; sym_args = [] };
+          { Tir.Fuse.callee = reluk; buffer_args = [ t_b; y_b ]; sym_args = [] } ]
+      ()
+  in
+  (* The fused function needs n as an explicit symbolic parameter since
+     no param dimension is the bare variable n (Figure 8). *)
+  Alcotest.(check int) "extra symbolic parameter" 1
+    (List.length fused.Tir.Prim_func.sym_params);
+  let x = nd_of [| 4 |] [ -1.; 2.; -3.; 4. ] in
+  let y = Ndarray.create f32 [| 4 |] in
+  Tir.Interp.run ~sym_args:[ (nv, 2) ] fused [ x; y ];
+  check_nd "fused add+relu" (nd_of [| 4 |] [ 0.; 4.; 0.; 8. ]) y
+
+let test_fuse_arity_error () =
+  let k = Tir.Kernels.unary ~name:"id" ~op:(fun x -> x) [ e 3 ] f32 in
+  let b = Tir.Buffer.create "b" [ e 3 ] f32 in
+  match
+    Tir.Fuse.merge ~name:"bad" ~inputs:[ b ] ~outputs:[] ~temps:[]
+      ~calls:[ { Tir.Fuse.callee = k; buffer_args = [ b ]; sym_args = [] } ] ()
+  with
+  | _ -> Alcotest.fail "expected arity failure"
+  | exception Tir.Fuse.Fusion_error _ -> ()
+
+(* ---------- prim func validation ---------- *)
+
+let test_prim_func_validation () =
+  let n = Arith.Expr.var (sym "n") in
+  let x = Tir.Buffer.create "x" [ e 4 ] f32 in
+  (* Body mentions a variable not derivable from params. *)
+  let i = sym "i" in
+  let body =
+    Tir.Stmt.for_ i n
+      (Tir.Stmt.Store (x, [ Tir.Texpr.iv i ], Tir.Texpr.f 0.0))
+  in
+  (match Tir.Prim_func.create ~name:"bad" ~params:[ x ] body with
+  | _ -> Alcotest.fail "expected validation failure"
+  | exception Invalid_argument _ -> ());
+  (* Same body is fine when the variable is an explicit sym param. *)
+  match
+    Tir.Prim_func.create
+      ~sym_params:(Arith.Var.Set.elements (Arith.Expr.free_vars n))
+      ~name:"ok" ~params:[ x ] body
+  with
+  | _ -> ()
+  | exception Invalid_argument msg -> Alcotest.fail msg
+
+let test_prim_func_io () =
+  let n = Arith.Expr.var (sym "n") in
+  let f = Tir.Kernels.matmul_weights ~name:"mm" ~m:n ~k:(e 2) ~n:(e 2) f32 in
+  Alcotest.(check int) "two inputs" 2 (List.length (Tir.Prim_func.inputs f));
+  Alcotest.(check int) "one output" 1 (List.length (Tir.Prim_func.outputs f));
+  let renamed = Tir.Prim_func.rename_params f in
+  Alcotest.(check bool) "renamed buffers are fresh" false
+    (Tir.Buffer.equal
+       (List.hd f.Tir.Prim_func.params)
+       (List.hd renamed.Tir.Prim_func.params))
+
+let () =
+  Alcotest.run "tir"
+    [ ( "interp",
+        [ Alcotest.test_case "unary" `Quick test_interp_unary;
+          Alcotest.test_case "activations" `Quick test_interp_relu_silu_gelu;
+          Alcotest.test_case "matmul" `Quick test_interp_matmul;
+          Alcotest.test_case "batched matmul" `Quick test_interp_batched_matmul;
+          Alcotest.test_case "broadcast" `Quick test_interp_broadcast;
+          Alcotest.test_case "reshape/transpose" `Quick
+            test_interp_reshape_transpose;
+          Alcotest.test_case "reduce/softmax" `Quick test_interp_reduce_softmax;
+          Alcotest.test_case "rms_norm" `Quick test_interp_rms_norm;
+          Alcotest.test_case "take" `Quick test_interp_take;
+          Alcotest.test_case "decode_q4" `Quick test_interp_decode_q4;
+          Alcotest.test_case "split-k" `Quick test_interp_split_k;
+          Alcotest.test_case "errors" `Quick test_interp_errors ] );
+      ( "pattern",
+        [ Alcotest.test_case "classification" `Quick test_patterns;
+          Alcotest.test_case "annotate" `Quick test_pattern_annotate ] );
+      ( "cost",
+        [ Alcotest.test_case "matmul" `Quick test_cost_matmul;
+          Alcotest.test_case "fused excludes shared" `Quick
+            test_cost_fused_excludes_shared ] );
+      ( "workspace",
+        [ Alcotest.test_case "lift split-k" `Quick test_workspace_lift;
+          Alcotest.test_case "none to lift" `Quick test_workspace_none ] );
+      ( "fuse",
+        [ Alcotest.test_case "decode+matmul numeric" `Quick
+            test_fuse_merge_numeric;
+          Alcotest.test_case "add+relu chain (Fig 8)" `Quick
+            test_fuse_merge_chain;
+          Alcotest.test_case "arity error" `Quick test_fuse_arity_error ] );
+      ( "prim_func",
+        [ Alcotest.test_case "validation" `Quick test_prim_func_validation;
+          Alcotest.test_case "inputs/outputs/rename" `Quick test_prim_func_io ]
+      ) ]
