@@ -31,6 +31,23 @@ let decode_built cfg ~batch precision =
       Hashtbl.replace decode_builds key b;
       b
 
+(* Profiled timed run: attach a {!Runtime.Profiler} to a fresh VM, run
+   each argument list once, and return the profiler. Benches read
+   simulated time and peak memory from the same counters the test
+   suite asserts on (total_time_us = stats.elapsed_us,
+   peak_live_bytes = Allocator.peak_bytes). *)
+let profiled_runs ?allocator ~device ~program ~entry runs =
+  let p = Runtime.Profiler.create () in
+  let vm =
+    Runtime.Vm.create ?allocator ~trace:(Runtime.Profiler.sink p)
+      (`Timed device) program
+  in
+  List.iter (fun args -> ignore (Runtime.Vm.run vm entry args)) runs;
+  p
+
+let profiled_steps ~device ~program ~entry ~steps args =
+  profiled_runs ~device ~program ~entry (List.init steps (fun _ -> args))
+
 let profile_grid ?(exclude = []) ~device ~cfg ~batches ~ctx () =
   let profiles =
     List.filter
@@ -108,13 +125,9 @@ let fig17 () =
           let program =
             Relax_passes.Pipeline.compile ~options ~device built.Frontend.Llm.mod_
           in
-          let vm = Runtime.Vm.create (`Timed device) program in
           let args = Frontend.Llm.args_for built ~ctx:1024 ~mode:`Shadow () in
-          for _ = 1 to 3 do
-            ignore (Runtime.Vm.run vm "decode" args)
-          done;
-          Printf.printf "  %-10.2f"
-            (ms ((Runtime.Vm.stats vm).Runtime.Vm.elapsed_us /. 3.0)))
+          let p = profiled_steps ~device ~program ~entry:"decode" ~steps:3 args in
+          Printf.printf "  %-10.2f" (ms (Runtime.Profiler.total_time_us p /. 3.0)))
         [ 1; 16; 32; 64 ];
       print_newline ())
     variants
@@ -139,9 +152,11 @@ let table2 () =
     in
     let program = Relax_passes.Pipeline.compile ~options ~device mod_ in
     let alloc = Runtime.Allocator.create (if plan then `Planned else `Pooling) in
-    let vm = Runtime.Vm.create ~allocator:alloc (`Timed device) program in
-    List.iter (fun args -> ignore (Runtime.Vm.run vm entry args)) runs;
-    Runtime.Allocator.peak_bytes alloc
+    let p = profiled_runs ~allocator:alloc ~device ~program ~entry runs in
+    (* The profiler's fold of the trace must agree exactly with the
+       allocator's own accounting. *)
+    assert (Runtime.Profiler.peak_live_bytes p = Runtime.Allocator.peak_bytes alloc);
+    Runtime.Profiler.peak_live_bytes p
   in
   (* Prefill of successive lengths 128..1024 (batch 1). *)
   let pre =
@@ -209,11 +224,11 @@ let table2 () =
       Relax_passes.Pipeline.compile ~options ~device paged.Frontend.Llm.mod_
     in
     let alloc = Runtime.Allocator.create `Planned in
-    let vm = Runtime.Vm.create ~allocator:alloc (`Timed device) program in
-    ignore
-      (Runtime.Vm.run vm "decode"
-         (Frontend.Llm.args_for paged ~ctx:1024 ~mode:`Shadow ()));
-    Runtime.Allocator.peak_bytes alloc
+    let p =
+      profiled_runs ~allocator:alloc ~device ~program ~entry:"decode"
+        [ Frontend.Llm.args_for paged ~ctx:1024 ~mode:`Shadow () ]
+    in
+    Runtime.Profiler.peak_live_bytes p
   in
   Printf.printf "  %-42s %10.1f  (extension; paper-style accounting)\n"
     "Relax w/. planning + in-place KV cache" (mib ppeak)
@@ -374,15 +389,18 @@ let fig9 () =
       let program =
         Relax_passes.Pipeline.compile ~options ~device built.Frontend.Llm.mod_
       in
-      let vm = Runtime.Vm.create (`Timed device) program in
       let args = Frontend.Llm.args_for built ~ctx:1024 ~mode:`Shadow () in
-      for _ = 1 to 3 do
-        ignore (Runtime.Vm.run vm "decode" args)
-      done;
-      let st = Runtime.Vm.stats vm in
+      let p = profiled_steps ~device ~program ~entry:"decode" ~steps:3 args in
+      let kernel_calls =
+        List.fold_left
+          (fun acc (r : Runtime.Profiler.row) ->
+            if r.Runtime.Profiler.kind = `Kernel then acc + r.Runtime.Profiler.calls
+            else acc)
+          0 (Runtime.Profiler.rows p)
+      in
       Printf.printf "  %-28s %8.2f ms/step  (%d launches/step)\n" name
-        (ms (st.Runtime.Vm.elapsed_us /. 3.0))
-        (st.Runtime.Vm.kernel_launches / 3))
+        (ms (Runtime.Profiler.total_time_us p /. 3.0))
+        (kernel_calls / 3))
     [ ("FuseOps + FuseTensorIR", true); ("unfused (decode materialized)", false) ]
 
 (* ---------- Figure 11 ablation: workspace lifting ---------- *)

@@ -21,7 +21,7 @@ let models =
     ("redpajama-3b", Frontend.Configs.redpajama_3b) ]
 
 let run model_name device_name batch ctx quant dump_ir no_fusion no_library
-    no_planning no_capture paged =
+    no_planning no_capture paged trace profile =
   let cfg =
     match List.assoc_opt model_name models with
     | Some cfg -> cfg
@@ -50,6 +50,17 @@ let run model_name device_name batch ctx quant dump_ir no_fusion no_library
         Printf.eprintf "unknown precision %s (f16|q4|q3)\n" other;
         exit 1
   in
+  (* Memory planning sizes storages for the model's declared maximum
+     context; running past it would (correctly) fail the storage-fit
+     check, so clamp the requested context instead. *)
+  let ctx =
+    if ctx > cfg.Frontend.Configs.max_context then begin
+      Printf.eprintf "note: ctx %d exceeds %s's max context, clamping to %d\n"
+        ctx cfg.Frontend.Configs.name cfg.Frontend.Configs.max_context;
+      cfg.Frontend.Configs.max_context
+    end
+    else ctx
+  in
   let built =
     if paged then Frontend.Llm.decode_paged cfg ~batch precision
     else Frontend.Llm.decode cfg ~batch precision
@@ -76,11 +87,38 @@ let run model_name device_name batch ctx quant dump_ir no_fusion no_library
     print_string (Relax_core.Printer.module_to_string lowered)
   end;
   let program = Relax_passes.To_vm.compile lowered in
-  let vm = Runtime.Vm.create (`Timed device) program in
+  let recorder = if trace then Some (Runtime.Trace.recorder ()) else None in
+  let profiler = if profile then Some (Runtime.Profiler.create ()) else None in
+  let sink =
+    match
+      ( Option.map Runtime.Trace.sink recorder,
+        Option.map Runtime.Profiler.sink profiler )
+    with
+    | Some r, Some p -> Some (Runtime.Trace.tee r p)
+    | Some s, None | None, Some s -> Some s
+    | None, None -> None
+  in
+  let vm = Runtime.Vm.create ?trace:sink (`Timed device) program in
   let args = Frontend.Llm.args_for built ~ctx ~mode:`Shadow () in
-  for _ = 1 to 3 do
+  let steps = 3 in
+  for _ = 1 to steps do
     ignore (Runtime.Vm.run vm "decode" args)
   done;
+  (match recorder with
+  | Some r ->
+      Printf.printf "=== trace (%d steps) ===\n" steps;
+      List.iter
+        (fun ev -> print_endline (Runtime.Trace.to_string ev))
+        (Runtime.Trace.events r)
+  | None -> ());
+  (match profiler with
+  | Some p ->
+      Printf.printf "=== profile (%d steps) ===\n" steps;
+      print_string (Runtime.Profiler.report p);
+      Printf.printf "per step: %.4f ms over %d steps\n"
+        (Runtime.Profiler.total_time_us p /. float_of_int steps /. 1e3)
+        (Runtime.Profiler.steps p)
+  | None -> ());
   let st = Runtime.Vm.stats vm in
   let per_step_ms = st.Runtime.Vm.elapsed_us /. 3.0 /. 1000.0 in
   Printf.printf "model            %s (%s, batch %d, context %d)\n"
@@ -118,11 +156,25 @@ let no_planning = Arg.(value & flag & info [ "no-planning" ] ~doc:"Disable memor
 let no_capture = Arg.(value & flag & info [ "no-capture" ] ~doc:"Disable graph capture.")
 let paged = Arg.(value & flag & info [ "paged" ] ~doc:"Use the in-place paged KV cache.")
 
+let trace =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Dump the full VM execution trace (one line per event).")
+
+let profile =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Aggregate the execution trace into a per-kernel profile \
+           (calls, launches, simulated time, flops, bytes, peak memory).")
+
 let cmd =
   Cmd.v
     (Cmd.info "relax_compile" ~doc:"Compile and time a model from the zoo")
     Term.(
       const run $ model $ device $ batch $ ctx $ quant $ dump_ir $ no_fusion
-      $ no_library $ no_planning $ no_capture $ paged)
+      $ no_library $ no_planning $ no_capture $ paged $ trace $ profile)
 
 let () = exit (Cmd.eval cmd)

@@ -4,7 +4,10 @@ module Vm = Runtime.Vm
 type ctx = {
   mutable nregs : int;
   regs : (int, int) Hashtbl.t;  (** Rvar id -> register *)
-  mutable code : Vm.instr list;  (** reversed *)
+  mutable code : (Vm.instr * string option) list;  (** reversed, with provenance *)
+  mutable prov : string option;
+      (** Relax binding name attached to instructions emitted while
+          compiling the current binding (trace attribution) *)
 }
 
 let fresh_reg ctx =
@@ -21,7 +24,26 @@ let reg_of ctx (v : Rvar.t) =
       r
 
 let alias ctx (v : Rvar.t) (r : int) = Hashtbl.replace ctx.regs v.Rvar.id r
-let emit ctx i = ctx.code <- i :: ctx.code
+let emit ctx i = ctx.code <- (i, ctx.prov) :: ctx.code
+
+(* The binding name shown in traces. Explicit-memory form binds kernel
+   and library calls to throwaway "_" variables with the real output
+   passed destination-passing-style: fall back to the last tensor
+   argument's name so trace rows stay attributable. *)
+let binding_prov (v : Rvar.t) (e : Expr.expr) =
+  if Rvar.name v <> "_" then Some (Rvar.name v)
+  else
+    match e with
+    | Expr.Call { args; _ } -> (
+        match
+          List.rev
+            (List.filter_map
+               (function Expr.Var u -> Some (Rvar.name u) | _ -> None)
+               args)
+        with
+        | out :: _ -> Some out
+        | [] -> None)
+    | _ -> None
 
 (* Compile an argument expression to a register. *)
 let rec arg_reg ctx (e : Expr.expr) : int =
@@ -62,6 +84,9 @@ let split_sym_args args =
   go [] (List.rev args)
 
 let rec compile_binding ctx (b : Expr.binding) =
+  (match b with
+  | Expr.Match_cast (v, _, _) -> ctx.prov <- Some (Rvar.name v)
+  | Expr.Bind (v, e) -> ctx.prov <- binding_prov v e);
   match b with
   | Expr.Match_cast (v, e, si) -> (
       let src = arg_reg ctx e in
@@ -160,7 +185,7 @@ let rec compile_binding ctx (b : Expr.binding) =
                   arg_reg ctx body
               | e -> arg_reg ctx e
             in
-            let code = Array.of_list (List.rev ctx.code) in
+            let code = Array.of_list (List.rev_map fst ctx.code) in
             ctx.code <- saved;
             (code, res)
           in
@@ -179,7 +204,7 @@ let rec compile_binding ctx (b : Expr.binding) =
       | _ -> failwith "ToVM: unsupported binding expression")
 
 let compile_func fname (f : Expr.func) : Vm.vm_func =
-  let ctx = { nregs = 0; regs = Hashtbl.create 32; code = [] } in
+  let ctx = { nregs = 0; regs = Hashtbl.create 32; code = []; prov = None } in
   (* Parameters take registers 0..n-1, then compile their annotations
      into shape binding/checking instructions. *)
   List.iter (fun p -> ignore (reg_of ctx p)) f.Expr.params;
@@ -188,22 +213,28 @@ let compile_func fname (f : Expr.func) : Vm.vm_func =
       match Rvar.sinfo p with
       | Struct_info.Tensor { shape = Struct_info.Known dims; _ }
       | Struct_info.Shape (Struct_info.Known dims) ->
+          ctx.prov <- Some (Rvar.name p);
           emit ctx
             (Vm.Match_shape
                { src = reg_of ctx p; dims = Array.of_list dims })
       | _ -> ())
     f.Expr.params;
+  ctx.prov <- None;
   let blocks, result = Expr.body_blocks f in
   List.iter
     (fun (blk : Expr.block) -> List.iter (compile_binding ctx) blk.Expr.bindings)
     blocks;
+  ctx.prov <-
+    (match result with Expr.Var v -> Some (Rvar.name v) | _ -> None);
   let ret = arg_reg ctx result in
   emit ctx (Vm.Ret ret);
+  let code = Array.of_list (List.rev ctx.code) in
   {
     Vm.fname;
     nparams = List.length f.Expr.params;
     nregs = ctx.nregs;
-    instrs = Array.of_list (List.rev ctx.code);
+    instrs = Array.map fst code;
+    prov = Array.map snd code;
   }
 
 let compile mod_ =

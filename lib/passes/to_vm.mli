@@ -5,7 +5,14 @@
     to [Match_shape] instructions that bind the function's symbolic
     variables from runtime shapes and check declared constraints —
     the lightweight boundary checks of §4.1. All annotations are then
-    erased: the emitted program is plain low-level calls. *)
+    erased: the emitted program is plain low-level calls.
+
+    Each instruction additionally carries provenance — the name of the
+    Relax binding it was compiled from (for destination-passing kernel
+    and library calls bound to throwaway variables, the output
+    tensor's name) — so {!Runtime.Trace} events and
+    {!Runtime.Profiler} rows are attributable to source-level
+    operations. *)
 
 val compile : Relax_core.Ir_module.t -> Runtime.Vm.program
 (** @raise Failure on constructs that should have been lowered away

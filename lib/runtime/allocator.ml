@@ -56,6 +56,9 @@ let free t id =
           Hashtbl.remove t.storages id;
           t.live <- t.live - size)
 
+let size_of t id =
+  Option.map (fun { size } -> size) (Hashtbl.find_opt t.storages id)
+
 let live_bytes t = t.live
 let peak_bytes t = t.peak
 let alloc_count t = t.allocs

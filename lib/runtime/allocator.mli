@@ -25,6 +25,10 @@ val free : t -> int -> unit
 (** Release the storage id: [`Pooling] returns the block to the pool
     (still resident); [`Naive]/[`Planned] release the memory. *)
 
+val size_of : t -> int -> int option
+(** Size in bytes of a still-resident storage id ([None] once a
+    [`Naive]/[`Planned] storage has been freed). *)
+
 val live_bytes : t -> int
 (** Currently resident bytes (pool blocks count as resident). *)
 

@@ -1,0 +1,159 @@
+type row = {
+  name : string;
+  kind : [ `Kernel | `Extern ];
+  mutable calls : int;
+  mutable launches : int;
+  mutable time_us : float;
+  mutable flops : float;
+  mutable bytes_moved : float;
+  mutable origin : string option;
+}
+
+type t = {
+  table : (string, row) Hashtbl.t;
+  mutable steps : int;
+  mutable overhead_us : float;
+  mutable captures : int;
+  mutable replays : int;
+  mutable peak_live : int;
+  mutable allocs : int;
+  mutable reuses : int;
+  mutable frees : int;
+  mutable events : int;
+}
+
+let create () =
+  {
+    table = Hashtbl.create 32;
+    steps = 0;
+    overhead_us = 0.0;
+    captures = 0;
+    replays = 0;
+    peak_live = 0;
+    allocs = 0;
+    reuses = 0;
+    frees = 0;
+    events = 0;
+  }
+
+let row t kind name origin =
+  match Hashtbl.find_opt t.table name with
+  | Some r ->
+      if r.origin = None then r.origin <- origin;
+      r
+  | None ->
+      let r =
+        {
+          name;
+          kind;
+          calls = 0;
+          launches = 0;
+          time_us = 0.0;
+          flops = 0.0;
+          bytes_moved = 0.0;
+          origin;
+        }
+      in
+      Hashtbl.replace t.table name r;
+      r
+
+let feed t (ev : Trace.event) =
+  t.events <- t.events + 1;
+  match ev with
+  | Trace.Enter { top; overhead_us; _ } ->
+      if top then t.steps <- t.steps + 1;
+      t.overhead_us <- t.overhead_us +. overhead_us
+  | Trace.Kernel_launch
+      { kernel; prov; replay; flops; bytes_moved; elapsed_us; _ } ->
+      let r = row t `Kernel kernel prov in
+      r.calls <- r.calls + 1;
+      if not replay then r.launches <- r.launches + 1;
+      r.time_us <- r.time_us +. elapsed_us;
+      r.flops <- r.flops +. float_of_int flops;
+      r.bytes_moved <- r.bytes_moved +. float_of_int bytes_moved
+  | Trace.Extern_call { func; prov; replay; flops; bytes_moved; elapsed_us; _ }
+    ->
+      let r = row t `Extern func prov in
+      r.calls <- r.calls + 1;
+      if not replay then r.launches <- r.launches + 1;
+      r.time_us <- r.time_us +. elapsed_us;
+      r.flops <- r.flops +. flops;
+      r.bytes_moved <- r.bytes_moved +. bytes_moved
+  | Trace.Capture_begin _ -> t.captures <- t.captures + 1
+  | Trace.Capture_replay { overhead_us; _ } ->
+      t.replays <- t.replays + 1;
+      t.overhead_us <- t.overhead_us +. overhead_us
+  | Trace.Alloc { reused; live; _ } ->
+      if reused then t.reuses <- t.reuses + 1 else t.allocs <- t.allocs + 1;
+      if live > t.peak_live then t.peak_live <- live
+  | Trace.Free { live; _ } ->
+      t.frees <- t.frees + 1;
+      if live > t.peak_live then t.peak_live <- live
+  | Trace.Exit _ | Trace.Instr_begin _ | Trace.Instr_end _ | Trace.Bind_shape _
+  | Trace.Check_shape _ | Trace.Tensor_in_storage _ | Trace.End_of_life _ ->
+      ()
+
+let sink t : Trace.sink = feed t
+
+let rows t =
+  Hashtbl.fold (fun _ r acc -> r :: acc) t.table []
+  |> List.sort (fun a b ->
+         match compare b.time_us a.time_us with
+         | 0 -> String.compare a.name b.name
+         | c -> c)
+
+let find_row t name = Hashtbl.find_opt t.table name
+
+let call_time_us t =
+  Hashtbl.fold (fun _ r acc -> acc +. r.time_us) t.table 0.0
+
+let total_time_us t = call_time_us t +. t.overhead_us
+let peak_live_bytes t = t.peak_live
+let steps t = t.steps
+let replays t = t.replays
+let event_count t = t.events
+let alloc_count t = t.allocs
+let reuse_count t = t.reuses
+let free_count t = t.frees
+
+let report ?(top = 0) t =
+  let buf = Buffer.create 1024 in
+  let all = rows t in
+  let shown = if top > 0 && List.length all > top then top else List.length all in
+  Buffer.add_string buf
+    (Printf.sprintf "%-44s %-6s %6s %7s %12s %10s %10s  %s\n" "name" "kind"
+       "calls" "launch" "time ms" "GFLOP" "MiB moved" "origin");
+  List.iteri
+    (fun i r ->
+      if i < shown then
+        Buffer.add_string buf
+          (Printf.sprintf "%-44s %-6s %6d %7d %12.4f %10.4f %10.2f  %s\n"
+             r.name
+             (match r.kind with `Kernel -> "kernel" | `Extern -> "lib")
+             r.calls r.launches (r.time_us /. 1e3) (r.flops /. 1e9)
+             (r.bytes_moved /. 1048576.0)
+             (match r.origin with Some p -> p | None -> "-")))
+    all;
+  if shown < List.length all then
+    Buffer.add_string buf
+      (Printf.sprintf "  ... %d more rows\n" (List.length all - shown));
+  let launches = List.fold_left (fun acc r -> acc + r.launches) 0 all in
+  let calls = List.fold_left (fun acc r -> acc + r.calls) 0 all in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "calls: %d (%d launched, %d replayed) across %d kernels/routines; %d \
+        captures, %d replays, %d steps\n"
+       calls launches (calls - launches) (List.length all) t.captures
+       t.replays t.steps);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "time: total %.4f ms = calls %.4f ms + overheads %.4f ms\n"
+       (total_time_us t /. 1e3)
+       (call_time_us t /. 1e3)
+       (t.overhead_us /. 1e3));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "memory: peak live %.2f MiB (%d bytes); %d allocs, %d reused, %d frees\n"
+       (float_of_int t.peak_live /. 1048576.0)
+       t.peak_live t.allocs t.reuses t.frees);
+  Buffer.contents buf

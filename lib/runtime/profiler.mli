@@ -1,0 +1,57 @@
+(** Fold a {!Trace} event stream into per-kernel counters.
+
+    The profiler is a {!Trace.sink}: attach it to a VM via
+    [Vm.create ~trace:(Profiler.sink p)] and every kernel launch,
+    library call, capture replay and allocation is aggregated into a
+    table of per-routine counters (calls, launches that paid overhead,
+    simulated time, flops, bytes moved) plus global memory statistics.
+
+    Invariants the test suite relies on:
+    - {!total_time_us} equals the VM's [stats.elapsed_us] for the same
+      run (every charged microsecond appears in exactly one event);
+    - {!peak_live_bytes} equals [Allocator.peak_bytes] of the VM's
+      allocator (events carry live-bytes-after, so the fold recovers
+      the exact peak);
+    - per-row [calls - launches] counts replayed executions.
+
+    The benchmark harness derives its tables from these counters, so
+    benches and tests assert on the same numbers. *)
+
+type row = {
+  name : string;
+  kind : [ `Kernel | `Extern ];
+  mutable calls : int;  (** total executions, including replays *)
+  mutable launches : int;  (** executions that paid launch overhead *)
+  mutable time_us : float;
+  mutable flops : float;
+  mutable bytes_moved : float;
+  mutable origin : string option;
+      (** provenance: the Relax binding that produced the call *)
+}
+
+type t
+
+val create : unit -> t
+val sink : t -> Trace.sink
+val feed : t -> Trace.event -> unit
+
+val rows : t -> row list
+(** Sorted by simulated time (descending), then name. *)
+
+val find_row : t -> string -> row option
+val call_time_us : t -> float
+val total_time_us : t -> float
+(** Call time plus step and replay overheads: equals the VM's
+    [stats.elapsed_us] over the profiled runs. *)
+
+val peak_live_bytes : t -> int
+val steps : t -> int
+val replays : t -> int
+val event_count : t -> int
+val alloc_count : t -> int
+val reuse_count : t -> int
+val free_count : t -> int
+
+val report : ?top:int -> t -> string
+(** Text table sorted by time; [top] truncates to the first [top]
+    rows. Ends with call/time/memory total lines. *)

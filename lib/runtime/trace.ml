@@ -1,0 +1,127 @@
+type alloc_kind = [ `Storage | `Tensor ]
+
+type event =
+  | Enter of { func : string; top : bool; overhead_us : float }
+  | Exit of { func : string }
+  | Instr_begin of { func : string; pc : int; op : string; prov : string option }
+  | Instr_end of { func : string; pc : int; elapsed_us : float }
+  | Bind_shape of { var : string; value : int }
+  | Check_shape of { expr : string; value : int }
+  | Alloc of {
+      kind : alloc_kind;
+      id : int;
+      bytes : int;
+      reused : bool;
+      live : int;
+    }
+  | Tensor_in_storage of { storage_id : int; bytes : int }
+  | Free of { id : int; bytes : int; live : int }
+  | End_of_life of { id : int; bytes : int }
+  | Kernel_launch of {
+      kernel : string;
+      prov : string option;
+      replay : bool;
+      shapes : int array array;
+      flops : int;
+      bytes_moved : int;
+      elapsed_us : float;
+    }
+  | Extern_call of {
+      func : string;
+      prov : string option;
+      replay : bool;
+      shapes : int array array;
+      flops : float;
+      bytes_moved : float;
+      elapsed_us : float;
+    }
+  | Capture_begin of { capture_id : int; func : string }
+  | Capture_replay of { capture_id : int; func : string; overhead_us : float }
+
+type sink = event -> unit
+
+let shapes_str shapes =
+  shapes |> Array.to_list
+  |> List.map (fun s ->
+         s |> Array.to_list |> List.map string_of_int |> String.concat "x")
+  |> String.concat ","
+
+let prov_str = function None -> "" | Some p -> " @" ^ p
+
+let render ~times ev =
+  let us u = if times then Printf.sprintf " us=%.3f" u else "" in
+  match ev with
+  | Enter { func; top; overhead_us } ->
+      Printf.sprintf "enter %s%s%s" func
+        (if top then " (step)" else "")
+        (us overhead_us)
+  | Exit { func } -> Printf.sprintf "exit %s" func
+  | Instr_begin { func; pc; op; prov } ->
+      Printf.sprintf "instr %s#%d %s%s" func pc op (prov_str prov)
+  | Instr_end { func; pc; elapsed_us } ->
+      Printf.sprintf "end %s#%d%s" func pc (us elapsed_us)
+  | Bind_shape { var; value } -> Printf.sprintf "bind %s=%d" var value
+  | Check_shape { expr; value } -> Printf.sprintf "check %s=%d" expr value
+  | Alloc { kind; id; bytes; reused; live } ->
+      Printf.sprintf "alloc %s#%d %dB%s live=%d"
+        (match kind with `Storage -> "storage" | `Tensor -> "tensor")
+        id bytes
+        (if reused then " reused" else "")
+        live
+  | Tensor_in_storage { storage_id; bytes } ->
+      Printf.sprintf "tensor_in storage#%d %dB" storage_id bytes
+  | Free { id; bytes; live } ->
+      Printf.sprintf "free #%d %dB live=%d" id bytes live
+  | End_of_life { id; bytes } -> Printf.sprintf "eol #%d %dB" id bytes
+  | Kernel_launch { kernel; prov; replay; shapes; flops; bytes_moved; elapsed_us }
+    ->
+      Printf.sprintf "kernel %s%s [%s] flops=%d bytes=%d%s%s" kernel
+        (prov_str prov) (shapes_str shapes) flops bytes_moved
+        (if replay then " replay" else "")
+        (us elapsed_us)
+  | Extern_call { func; prov; replay; shapes; flops; bytes_moved; elapsed_us } ->
+      Printf.sprintf "extern %s%s [%s] flops=%.0f bytes=%.0f%s%s" func
+        (prov_str prov) (shapes_str shapes) flops bytes_moved
+        (if replay then " replay" else "")
+        (us elapsed_us)
+  | Capture_begin { capture_id; func } ->
+      Printf.sprintf "capture #%d %s" capture_id func
+  | Capture_replay { capture_id; func; overhead_us } ->
+      Printf.sprintf "replay #%d %s%s" capture_id func (us overhead_us)
+
+let to_string ev = render ~times:true ev
+let shape_of ev = render ~times:false ev
+
+(* ---------- recording sink ---------- *)
+
+type recorder = { mutable rev_events : event list }
+
+let recorder () = { rev_events = [] }
+let record r ev = r.rev_events <- ev :: r.rev_events
+let sink r = record r
+let events r = List.rev r.rev_events
+let clear r = r.rev_events <- []
+
+let tee a b ev =
+  a ev;
+  b ev
+
+(* ---------- classification helpers (used by tests/tools) ---------- *)
+
+let is_launch ?(include_replays = true) ev =
+  match ev with
+  | Kernel_launch { replay; _ } -> include_replays || not replay
+  | _ -> false
+
+let is_extern ?(include_replays = true) ev =
+  match ev with
+  | Extern_call { replay; _ } -> include_replays || not replay
+  | _ -> false
+
+let elapsed_us_of = function
+  | Enter { overhead_us; _ } | Capture_replay { overhead_us; _ } -> overhead_us
+  | Kernel_launch { elapsed_us; _ } | Extern_call { elapsed_us; _ } ->
+      elapsed_us
+  | Exit _ | Instr_begin _ | Instr_end _ | Bind_shape _ | Check_shape _
+  | Alloc _ | Tensor_in_storage _ | Free _ | End_of_life _ | Capture_begin _ ->
+      0.0

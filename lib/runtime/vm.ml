@@ -30,7 +30,14 @@ type instr =
   | Load_const of { dst : int; tensor : Base.Ndarray.t }
   | Ret of int
 
-type vm_func = { fname : string; nparams : int; nregs : int; instrs : instr array }
+type vm_func = {
+  fname : string;
+  nparams : int;
+  nregs : int;
+  instrs : instr array;
+  prov : string option array;
+      (* originating Relax binding per instruction, for traces *)
+}
 
 type program = {
   funcs : (string * vm_func) list;
@@ -63,6 +70,7 @@ type t = {
   program : program;
   alloc : Allocator.t;
   st : stats;
+  trace : Trace.sink option;
   captured : (int, unit) Hashtbl.t;
   cost_cache : (string, Tir.Cost.t) Hashtbl.t;
   storage_cache : (string * int, int * int) Hashtbl.t;
@@ -70,7 +78,7 @@ type t = {
          allocated once and reused across invocations *)
 }
 
-let create ?allocator mode program =
+let create ?allocator ?trace mode program =
   let alloc =
     match allocator with Some a -> a | None -> Allocator.create `Pooling
   in
@@ -79,10 +87,44 @@ let create ?allocator mode program =
     program;
     alloc;
     st = { elapsed_us = 0.0; kernel_launches = 0; lib_calls = 0; graph_replays = 0 };
+    trace;
     captured = Hashtbl.create 8;
     cost_cache = Hashtbl.create 64;
     storage_cache = Hashtbl.create 32;
   }
+
+let emit t ev = match t.trace with Some sink -> sink ev | None -> ()
+
+(* Allocate and report whether the allocator recycled a pooled block. *)
+let alloc_traced t kind bytes =
+  let before = Allocator.alloc_count t.alloc in
+  let id = Allocator.alloc t.alloc bytes in
+  emit t
+    (Trace.Alloc
+       {
+         kind;
+         id;
+         bytes;
+         reused = Allocator.alloc_count t.alloc = before;
+         live = Allocator.live_bytes t.alloc;
+       });
+  id
+
+let instr_op = function
+  | Match_shape _ -> "match_shape"
+  | Alloc_storage _ -> "alloc_storage"
+  | Alloc_tensor _ -> "alloc_tensor"
+  | Kill _ -> "kill"
+  | Call_kernel _ -> "call_kernel"
+  | Call_extern _ -> "call_extern"
+  | Call_func _ -> "call_func"
+  | Call_captured _ -> "call_captured"
+  | Make_tuple _ -> "make_tuple"
+  | Get_tuple _ -> "get_tuple"
+  | Make_shape _ -> "make_shape"
+  | Cond _ -> "cond"
+  | Load_const _ -> "load_const"
+  | Ret _ -> "ret"
 
 let stats t = t.st
 let allocator t = t.alloc
@@ -132,7 +174,7 @@ let sym_lookup frame (v : Arith.Var.t) =
 let eval_dim frame e = Arith.Expr.eval (sym_lookup frame) e
 
 (* Bind-or-check one declared dimension against an actual extent. *)
-let match_dim frame (declared : Arith.Expr.t) actual =
+let match_dim t frame (declared : Arith.Expr.t) actual =
   match declared with
   | Arith.Expr.Var v -> (
       match Hashtbl.find_opt frame.sym v.Arith.Var.id with
@@ -140,13 +182,22 @@ let match_dim frame (declared : Arith.Expr.t) actual =
           if bound <> actual then
             fail "shape check failed: %s = %d but tensor has extent %d"
               (Arith.Var.name v) bound actual
-      | None -> Hashtbl.replace frame.sym v.Arith.Var.id actual)
+          else
+            emit t
+              (Trace.Check_shape { expr = Arith.Var.name v; value = actual })
+      | None ->
+          Hashtbl.replace frame.sym v.Arith.Var.id actual;
+          emit t (Trace.Bind_shape { var = Arith.Var.name v; value = actual }))
   | _ ->
       let expected = eval_dim frame declared in
       if expected <> actual then
         fail "shape check failed: expected extent %s = %d, got %d"
           (Arith.Expr.to_string declared)
           expected actual
+      else
+        emit t
+          (Trace.Check_shape
+             { expr = Arith.Expr.to_string declared; value = actual })
 
 (* Unify a kernel's declared buffer shapes with actual argument shapes
    to recover its symbolic environment (same discipline as the TIR
@@ -205,10 +256,12 @@ let kernel_cost t name kernel =
       Hashtbl.replace t.cost_cache name c;
       c
 
-(* Charge simulated time for one generated-kernel launch. *)
+(* Charge simulated time for one generated-kernel launch; returns the
+   microseconds charged (0 in numeric mode). *)
 let charge_kernel t ~in_replay name kernel lookup dtype =
+  t.st.kernel_launches <- t.st.kernel_launches + 1;
   match t.mode with
-  | `Numeric -> t.st.kernel_launches <- t.st.kernel_launches + 1
+  | `Numeric -> 0.0
   | `Timed dev ->
       let cost = kernel_cost t name kernel in
       let flops = float_of_int (Arith.Expr.eval lookup cost.Tir.Cost.flops) in
@@ -237,12 +290,12 @@ let charge_kernel t ~in_replay name kernel lookup dtype =
       let time = Float.max compute_us memory_us in
       let overhead = if in_replay then 0.0 else dev.Device.launch_overhead_us in
       t.st.elapsed_us <- t.st.elapsed_us +. time +. overhead;
-      t.st.kernel_launches <- t.st.kernel_launches + 1
+      time +. overhead
 
 let charge_extern t ~in_replay (impl : Library.impl) shapes dtype =
   t.st.lib_calls <- t.st.lib_calls + 1;
   match t.mode with
-  | `Numeric -> ()
+  | `Numeric -> 0.0
   | `Timed dev ->
       let cost = impl.Library.cost_fn shapes dtype in
       let lib_eff =
@@ -257,7 +310,9 @@ let charge_extern t ~in_replay (impl : Library.impl) shapes dtype =
         /. (dev.Device.mem_bw_gbps *. dev.Device.mem_eff *. mem_factor *. 1e3)
       in
       let overhead = if in_replay then 0.0 else dev.Device.launch_overhead_us in
-      t.st.elapsed_us <- t.st.elapsed_us +. Float.max compute_us memory_us +. overhead
+      let charged = Float.max compute_us memory_us +. overhead in
+      t.st.elapsed_us <- t.st.elapsed_us +. charged;
+      charged
 
 let find_func t name =
   match List.assoc_opt name t.program.funcs with
@@ -266,7 +321,8 @@ let find_func t name =
 
 exception Return of value
 
-let rec exec_func t ~in_replay (f : vm_func) (args : value list) : value =
+let rec exec_func t ~in_replay ?(top = false) ?(overhead_us = 0.0)
+    (f : vm_func) (args : value list) : value =
   if List.length args <> f.nparams then
     fail "%s: expected %d arguments, got %d" f.fname f.nparams
       (List.length args);
@@ -278,22 +334,48 @@ let rec exec_func t ~in_replay (f : vm_func) (args : value list) : value =
     }
   in
   List.iteri (fun i v -> frame.regs.(i) <- Some v) args;
-  match
-    Array.iteri
-      (fun pc i -> exec_instr t ~in_replay ~fname:f.fname ~pc frame i)
-      f.instrs
-  with
+  emit t (Trace.Enter { func = f.fname; top; overhead_us });
+  let step pc i =
+    match t.trace with
+    | None -> exec_instr t ~in_replay ~fname:f.fname ~pc ~prov:None frame i
+    | Some sink ->
+        let prov = if pc < Array.length f.prov then f.prov.(pc) else None in
+        sink
+          (Trace.Instr_begin { func = f.fname; pc; op = instr_op i; prov });
+        let t0 = t.st.elapsed_us in
+        exec_instr t ~in_replay ~fname:f.fname ~pc ~prov frame i;
+        sink
+          (Trace.Instr_end
+             { func = f.fname; pc; elapsed_us = t.st.elapsed_us -. t0 })
+  in
+  match Array.iteri step f.instrs with
   | () -> fail "%s: function ended without Ret" f.fname
-  | exception Return v -> v
+  | exception Return v ->
+      (match t.trace with
+      | None -> ()
+      | Some sink ->
+          (* Registers still owning storage at frame exit: their last
+             possible use has passed (trace-only; nothing is freed). *)
+          Array.iter
+            (function
+              | Some id ->
+                  let bytes =
+                    Option.value ~default:0 (Allocator.size_of t.alloc id)
+                  in
+                  sink (Trace.End_of_life { id; bytes })
+              | None -> ())
+            frame.owned;
+          sink (Trace.Exit { func = f.fname }));
+      v
 
-and exec_instr t ~in_replay ~fname ~pc frame (i : instr) : unit =
+and exec_instr t ~in_replay ~fname ~pc ~prov frame (i : instr) : unit =
   match i with
   | Match_shape { src; dims } ->
       let actual = value_shape (reg frame src) in
       if Array.length actual <> Array.length dims then
         fail "shape check failed: rank %d vs declared %d" (Array.length actual)
           (Array.length dims);
-      Array.iteri (fun d declared -> match_dim frame declared actual.(d)) dims
+      Array.iteri (fun d declared -> match_dim t frame declared actual.(d)) dims
   | Alloc_storage { dst; bytes } ->
       (* Planned storages persist across invocations: the static plan
          allocates once; a changed symbolic size forces reallocation. *)
@@ -301,14 +383,31 @@ and exec_instr t ~in_replay ~fname ~pc frame (i : instr) : unit =
       let key = (fname, pc) in
       let id =
         match Hashtbl.find_opt t.storage_cache key with
-        | Some (prev_bytes, prev_id) when prev_bytes = b -> prev_id
-        | Some (_, prev_id) ->
+        | Some (prev_bytes, prev_id) when prev_bytes = b ->
+            emit t
+              (Trace.Alloc
+                 {
+                   kind = `Storage;
+                   id = prev_id;
+                   bytes = b;
+                   reused = true;
+                   live = Allocator.live_bytes t.alloc;
+                 });
+            prev_id
+        | Some (prev_bytes, prev_id) ->
             Allocator.free t.alloc prev_id;
-            let id = Allocator.alloc t.alloc b in
+            emit t
+              (Trace.Free
+                 {
+                   id = prev_id;
+                   bytes = prev_bytes;
+                   live = Allocator.live_bytes t.alloc;
+                 });
+            let id = alloc_traced t `Storage b in
             Hashtbl.replace t.storage_cache key (b, id);
             id
         | None ->
-            let id = Allocator.alloc t.alloc b in
+            let id = alloc_traced t `Storage b in
             Hashtbl.replace t.storage_cache key (b, id);
             id
       in
@@ -322,16 +421,19 @@ and exec_instr t ~in_replay ~fname ~pc frame (i : instr) : unit =
             Array.fold_left ( * ) 1 shape * Base.Dtype.size_in_bytes dtype
           in
           (match reg frame s with
-          | Storage_val { bytes; _ } ->
+          | Storage_val { bytes; id } ->
               if needed > bytes then
                 fail "tensor of %d bytes does not fit storage of %d bytes"
                   needed bytes
+              else
+                emit t
+                  (Trace.Tensor_in_storage { storage_id = id; bytes = needed })
           | _ -> fail "Alloc_tensor: register %d is not a storage" s)
       | None ->
           let bytes =
             Array.fold_left ( * ) 1 shape * Base.Dtype.size_in_bytes dtype
           in
-          frame.owned.(dst) <- Some (Allocator.alloc t.alloc bytes));
+          frame.owned.(dst) <- Some (alloc_traced t `Tensor bytes));
       let v =
         match t.mode with
         | `Numeric -> Tensor (Base.Ndarray.create dtype shape)
@@ -342,7 +444,13 @@ and exec_instr t ~in_replay ~fname ~pc frame (i : instr) : unit =
       Array.iter
         (fun r ->
           (match frame.owned.(r) with
-          | Some id -> Allocator.free t.alloc id
+          | Some id ->
+              let bytes =
+                Option.value ~default:0 (Allocator.size_of t.alloc id)
+              in
+              Allocator.free t.alloc id;
+              emit t
+                (Trace.Free { id; bytes; live = Allocator.live_bytes t.alloc })
           | None -> ());
           frame.owned.(r) <- None)
         regs
@@ -368,7 +476,27 @@ and exec_instr t ~in_replay ~fname ~pc frame (i : instr) : unit =
         | out :: _ -> out.Tir.Buffer.dtype
         | [] -> Base.Dtype.F32
       in
-      charge_kernel t ~in_replay kernel kf lookup dtype;
+      let charged = charge_kernel t ~in_replay kernel kf lookup dtype in
+      (match t.trace with
+      | Some sink ->
+          let cost = kernel_cost t kernel kf in
+          let flops = Arith.Expr.eval lookup cost.Tir.Cost.flops in
+          let bytes_moved =
+            Arith.Expr.eval lookup cost.Tir.Cost.bytes_read
+            + Arith.Expr.eval lookup cost.Tir.Cost.bytes_written
+          in
+          sink
+            (Trace.Kernel_launch
+               {
+                 kernel;
+                 prov;
+                 replay = in_replay;
+                 shapes = Array.of_list shapes;
+                 flops;
+                 bytes_moved;
+                 elapsed_us = charged;
+               })
+      | None -> ());
       (match t.mode with
       | `Numeric ->
           Tir.Interp.run ~sym_args:sym_bindings kf
@@ -383,7 +511,22 @@ and exec_instr t ~in_replay ~fname ~pc frame (i : instr) : unit =
       let arg_vals = Array.map (reg frame) args in
       let shapes = Array.map value_shape arg_vals in
       let dtype = value_dtype arg_vals.(Array.length arg_vals - 1) in
-      charge_extern t ~in_replay impl shapes dtype;
+      let charged = charge_extern t ~in_replay impl shapes dtype in
+      (match t.trace with
+      | Some sink ->
+          let cost = impl.Library.cost_fn shapes dtype in
+          sink
+            (Trace.Extern_call
+               {
+                 func;
+                 prov;
+                 replay = in_replay;
+                 shapes;
+                 flops = cost.Library.flops;
+                 bytes_moved = cost.Library.bytes;
+                 elapsed_us = charged;
+               })
+      | None -> ());
       (match t.mode with
       | `Numeric -> impl.Library.compute (Array.map value_tensor arg_vals)
       | `Timed _ -> ())
@@ -400,13 +543,20 @@ and exec_instr t ~in_replay ~fname ~pc frame (i : instr) : unit =
       let replay = not first in
       if replay then begin
         t.st.graph_replays <- t.st.graph_replays + 1;
-        match t.mode with
-        | `Timed dev ->
-            t.st.elapsed_us <-
-              t.st.elapsed_us +. dev.Device.graph_replay_overhead_us
-        | `Numeric -> ()
+        let overhead_us =
+          match t.mode with
+          | `Timed dev ->
+              t.st.elapsed_us <-
+                t.st.elapsed_us +. dev.Device.graph_replay_overhead_us;
+              dev.Device.graph_replay_overhead_us
+          | `Numeric -> 0.0
+        in
+        emit t (Trace.Capture_replay { capture_id; func; overhead_us })
       end
-      else Hashtbl.replace t.captured capture_id ();
+      else begin
+        Hashtbl.replace t.captured capture_id ();
+        emit t (Trace.Capture_begin { capture_id; func })
+      end;
       let v =
         exec_func t ~in_replay:replay callee
           (Array.to_list (Array.map (reg frame) args))
@@ -437,7 +587,8 @@ and exec_instr t ~in_replay ~fname ~pc frame (i : instr) : unit =
       in
       let code, res = if truthy then (then_code, then_reg) else (else_code, else_reg) in
       Array.iteri
-        (fun pc i -> exec_instr t ~in_replay ~fname ~pc:(-pc - 1) frame i)
+        (fun pc i ->
+          exec_instr t ~in_replay ~fname ~pc:(-pc - 1) ~prov:None frame i)
         code;
       frame.regs.(dst) <- Some (reg frame res)
   | Load_const { dst; tensor } ->
@@ -454,8 +605,11 @@ and exec_instr t ~in_replay ~fname ~pc frame (i : instr) : unit =
 
 let run t name args =
   let f = find_func t name in
-  (match t.mode with
-  | `Timed dev ->
-      t.st.elapsed_us <- t.st.elapsed_us +. dev.Device.step_overhead_us
-  | `Numeric -> ());
-  exec_func t ~in_replay:false f args
+  let overhead_us =
+    match t.mode with
+    | `Timed dev ->
+        t.st.elapsed_us <- t.st.elapsed_us +. dev.Device.step_overhead_us;
+        dev.Device.step_overhead_us
+    | `Numeric -> 0.0
+  in
+  exec_func t ~in_replay:false ~top:true ~overhead_us f args

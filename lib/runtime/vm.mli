@@ -64,7 +64,16 @@ type instr =
   | Load_const of { dst : int; tensor : Base.Ndarray.t }
   | Ret of int
 
-type vm_func = { fname : string; nparams : int; nregs : int; instrs : instr array }
+type vm_func = {
+  fname : string;
+  nparams : int;
+  nregs : int;
+  instrs : instr array;
+  prov : string option array;
+      (** provenance: the originating Relax binding name for each
+          instruction (attached by [To_vm]), used to attribute trace
+          events to source-level operations *)
+}
 
 type program = {
   funcs : (string * vm_func) list;
@@ -92,7 +101,13 @@ type t
 
 exception Vm_error of string
 
-val create : ?allocator:Allocator.t -> mode -> program -> t
+(** [create ?allocator ?trace mode program] builds a VM. [trace]
+    receives a {!Trace.event} for every observable runtime action
+    (instruction begin/end, launches with resolved shapes and costs,
+    allocator traffic, capture/replay, shape bind/check). Attach a
+    {!Profiler} sink to aggregate, or a {!Trace.recorder} to assert on
+    event sequences. No sink: zero tracing overhead. *)
+val create : ?allocator:Allocator.t -> ?trace:Trace.sink -> mode -> program -> t
 val stats : t -> stats
 val allocator : t -> Allocator.t
 val device : t -> Device.t option

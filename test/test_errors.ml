@@ -179,6 +179,7 @@ let test_library_errors () =
               instrs =
                 [| Runtime.Vm.Call_extern { func = "ghost.fn"; args = [| 0 |] };
                    Runtime.Vm.Ret 0 |];
+              prov = [| None; None |];
             } ) ];
       mod_ = Ir_module.empty;
     }

@@ -418,6 +418,164 @@ let test_workspace_lift_e2e () =
   Tir.Interp.run ref_kernel [ x; w; y ];
   check_close "lifted split-k equals in-kernel workspace" y out
 
+(* ---------- pass toggles observed on the execution trace ---------- *)
+
+(* Each toggle in Pipeline.options must move the event stream in its
+   documented direction: dispatch_library adds/removes extern-call
+   events, fusion removes kernel launches, memory planning replaces
+   owned tensor allocations with reused planned storages, graph
+   capture replays instead of re-launching, and workspace lifting
+   adds the workspace to the kernel's calling convention. *)
+
+let trace_mlp ?static_batch ~options ?(runs = 1) n =
+  let mod_, nv = build_mlp ?static_batch () in
+  let options = { options with Relax_passes.Pipeline.upper_bounds = [ (nv, 64) ] } in
+  let program =
+    Relax_passes.Pipeline.compile ~options ~device:Runtime.Device.rtx4090 mod_
+  in
+  let r = Runtime.Trace.recorder () in
+  let vm = Runtime.Vm.create ~trace:(Runtime.Trace.sink r) `Numeric program in
+  let x, w1, w2 = mlp_inputs n in
+  for _ = 1 to runs do
+    ignore
+      (Runtime.Vm.run vm "main"
+         [ Runtime.Vm.tensor x; Runtime.Vm.tensor w1; Runtime.Vm.tensor w2 ])
+  done;
+  Runtime.Trace.events r
+
+let count_ev p evs = List.length (List.filter p evs)
+
+let test_library_toggle_in_trace () =
+  let base = Relax_passes.Pipeline.default_options in
+  let on = trace_mlp ~static_batch:16 ~options:base 16 in
+  let off =
+    trace_mlp ~static_batch:16
+      ~options:{ base with Relax_passes.Pipeline.dispatch_library = false }
+      16
+  in
+  Alcotest.(check bool) "dispatch emits extern-call events" true
+    (count_ev (Runtime.Trace.is_extern ?include_replays:None) on > 0);
+  Alcotest.(check int) "no extern-call events without dispatch" 0
+    (count_ev (Runtime.Trace.is_extern ?include_replays:None) off)
+
+let test_fusion_toggle_in_trace () =
+  let nolib =
+    { Relax_passes.Pipeline.default_options with
+      Relax_passes.Pipeline.dispatch_library = false;
+      graph_capture = false }
+  in
+  let fused = trace_mlp ~options:nolib 4 in
+  let unfused =
+    trace_mlp ~options:{ nolib with Relax_passes.Pipeline.fusion = false } 4
+  in
+  let launches = count_ev (Runtime.Trace.is_launch ?include_replays:None) in
+  Alcotest.(check int) "one launch event per unfused op" 3 (launches unfused);
+  Alcotest.(check int) "fusion removes a launch event" 2 (launches fused)
+
+let test_memory_plan_toggle_in_trace () =
+  let storage_alloc = function
+    | Runtime.Trace.Alloc { kind = `Storage; _ } -> true
+    | _ -> false
+  in
+  let tensor_alloc = function
+    | Runtime.Trace.Alloc { kind = `Tensor; _ } -> true
+    | _ -> false
+  in
+  let unplanned = trace_mlp ~options:Relax_passes.Pipeline.all_off 4 in
+  let planned =
+    trace_mlp
+      ~options:
+        { Relax_passes.Pipeline.all_off with Relax_passes.Pipeline.memory_plan = true }
+      4
+  in
+  Alcotest.(check int) "no planned storage without the pass" 0
+    (count_ev storage_alloc unplanned);
+  Alcotest.(check bool) "intermediates own tensors without the pass" true
+    (count_ev tensor_alloc unplanned > 0);
+  Alcotest.(check bool) "planning allocates storages" true
+    (count_ev storage_alloc planned > 0);
+  Alcotest.(check int) "planning owns no per-call tensors" 0
+    (count_ev tensor_alloc planned)
+
+let test_capture_toggle_in_trace () =
+  let base =
+    { Relax_passes.Pipeline.default_options with
+      Relax_passes.Pipeline.dispatch_library = false }
+  in
+  let replays evs =
+    count_ev
+      (function Runtime.Trace.Capture_replay _ -> true | _ -> false)
+      evs
+  in
+  let on = trace_mlp ~static_batch:8 ~options:base ~runs:3 8 in
+  let off =
+    trace_mlp ~static_batch:8
+      ~options:{ base with Relax_passes.Pipeline.graph_capture = false }
+      ~runs:3 8
+  in
+  Alcotest.(check int) "runs after warmup replay the captured graph" 2
+    (replays on);
+  Alcotest.(check int) "no replay events without capture" 0 (replays off)
+
+let test_workspace_toggle_in_trace () =
+  (* The split-K kernel's workspace either stays kernel-local
+     (invisible to the VM: three buffers in the launch) or is lifted
+     into the calling convention (four buffers, allocated and planned
+     like any intermediate). *)
+  let split_k_shapes ~lift =
+    let nv = Arith.Var.fresh "n" in
+    let en = Arith.Expr.var nv in
+    let b = Builder.create () in
+    let mmsk =
+      Tir.Kernels.split_k_matmul ~name:"mm_split_k" ~m:en ~k:(e 8) ~n:(e 4)
+        ~splits:2 f32
+    in
+    Builder.function_ b ~name:"main"
+      ~params:
+        [ ("x", Struct_info.tensor [ en; e 8 ] f32);
+          ("w", Struct_info.tensor [ e 8; e 4 ] f32) ]
+      (fun params ->
+        match params with
+        | [ x; w ] ->
+            Builder.dataflow b (fun () ->
+                let o =
+                  Builder.emit_call_tir b mmsk
+                    [ Expr.Var x; Expr.Var w ]
+                    ~out:(Struct_info.tensor [ en; e 4 ] f32)
+                    ()
+                in
+                Expr.Var o)
+        | _ -> assert false);
+    let options =
+      {
+        Relax_passes.Pipeline.default_options with
+        Relax_passes.Pipeline.lift_workspace = lift;
+        dispatch_library = false;
+        graph_capture = false;
+        upper_bounds = [ (nv, 8) ];
+      }
+    in
+    let program =
+      Relax_passes.Pipeline.compile ~options ~device:Runtime.Device.rtx4090
+        (Builder.module_ b)
+    in
+    let r = Runtime.Trace.recorder () in
+    let vm = Runtime.Vm.create ~trace:(Runtime.Trace.sink r) `Numeric program in
+    let x = Base.Ndarray.random_uniform ~seed:7 f32 [| 3; 8 |] in
+    let w = Base.Ndarray.random_uniform ~seed:8 f32 [| 8; 4 |] in
+    ignore (Runtime.Vm.run vm "main" [ Runtime.Vm.tensor x; Runtime.Vm.tensor w ]);
+    List.find_map
+      (function
+        | Runtime.Trace.Kernel_launch { kernel = "mm_split_k"; shapes; _ } ->
+            Some (Array.length shapes)
+        | _ -> None)
+      (Runtime.Trace.events r)
+  in
+  Alcotest.(check (option int)) "kernel-local workspace: x, w, out" (Some 3)
+    (split_k_shapes ~lift:false);
+  Alcotest.(check (option int)) "lifted workspace joins the launch" (Some 4)
+    (split_k_shapes ~lift:true)
+
 (* ---------- runtime shape checks ---------- *)
 
 let test_runtime_shape_check () =
@@ -461,6 +619,16 @@ let () =
             test_quantized_fusion_figure9;
           Alcotest.test_case "workspace lifting (Fig 11)" `Quick
             test_workspace_lift_e2e ] );
+      ( "trace_effects",
+        [ Alcotest.test_case "library dispatch toggle" `Quick
+            test_library_toggle_in_trace;
+          Alcotest.test_case "fusion toggle" `Quick test_fusion_toggle_in_trace;
+          Alcotest.test_case "memory plan toggle" `Quick
+            test_memory_plan_toggle_in_trace;
+          Alcotest.test_case "graph capture toggle" `Quick
+            test_capture_toggle_in_trace;
+          Alcotest.test_case "workspace lifting toggle" `Quick
+            test_workspace_toggle_in_trace ] );
       ( "checks",
         [ Alcotest.test_case "runtime shape check" `Quick
             test_runtime_shape_check ] ) ]

@@ -178,6 +178,7 @@ let test_make_shape_and_tuples () =
                    Runtime.Vm.Make_tuple { dst = 2; srcs = [| 0; 1 |] };
                    Runtime.Vm.Get_tuple { dst = 3; src = 2; index = 1 };
                    Runtime.Vm.Ret 3 |];
+              prov = [| None; None; None; None; None |];
             } ) ];
       mod_ = Ir_module.empty;
     }

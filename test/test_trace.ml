@@ -1,0 +1,534 @@
+(* The execution-trace subsystem: golden event streams for a small
+   static module under different pass configurations, and
+   counter-invariant properties connecting the Trace stream, the
+   Profiler fold, the Allocator accounting and the VM's own stats.
+
+   The golden tests pin down three pass-level effects the paper's
+   ablations rely on: fusion removes kernel-launch events, memory
+   planning turns per-call tensor allocations into reused planned
+   storages, and graph capture replays whole regions without fresh
+   launch overhead after warmup. *)
+
+open Relax_core
+
+let e = Arith.Expr.const
+let f32 = Base.Dtype.F32
+
+(* ---------- a tiny static module: add(matmul(matmul(x,w1),w2), c) ---------- *)
+
+let build_two_matmul_add () =
+  let b = Builder.create () in
+  Builder.function_ b ~name:"main"
+    ~params:
+      [ ("x", Struct_info.tensor [ e 2; e 4 ] f32);
+        ("w1", Struct_info.tensor [ e 4; e 4 ] f32);
+        ("w2", Struct_info.tensor [ e 4; e 4 ] f32);
+        ("c", Struct_info.tensor [ e 2; e 4 ] f32) ]
+    (fun params ->
+      match params with
+      | [ x; w1; w2; c ] ->
+          Builder.dataflow b (fun () ->
+              let m1 =
+                Builder.emit b (Expr.call_op "matmul" [ Expr.Var x; Expr.Var w1 ])
+              in
+              let m2 =
+                Builder.emit b
+                  (Expr.call_op "matmul" [ Expr.Var m1; Expr.Var w2 ])
+              in
+              let s =
+                Builder.emit b (Expr.call_op "add" [ Expr.Var m2; Expr.Var c ])
+              in
+              Expr.Var s)
+      | _ -> assert false);
+  Builder.module_ b
+
+let golden_args () =
+  List.map
+    (fun (seed, shape) ->
+      Runtime.Vm.tensor (Base.Ndarray.random_uniform ~seed f32 shape))
+    [ (1, [| 2; 4 |]); (2, [| 4; 4 |]); (3, [| 4; 4 |]); (4, [| 2; 4 |]) ]
+
+(* Compile [mod_] and run [runs] invocations of [entry] with a
+   recorder and a profiler attached; returns (per-run event lists,
+   profiler, vm). *)
+let run_traced ?(mode = (`Numeric : Runtime.Vm.mode)) ?allocator ~options
+    ?(entry = "main") ?(runs = 1) mod_ args =
+  let program =
+    Relax_passes.Pipeline.compile ~options ~device:Runtime.Device.rtx4090 mod_
+  in
+  let r = Runtime.Trace.recorder () in
+  let p = Runtime.Profiler.create () in
+  let sink = Runtime.Trace.tee (Runtime.Trace.sink r) (Runtime.Profiler.sink p) in
+  let vm = Runtime.Vm.create ?allocator ~trace:sink mode program in
+  let streams =
+    List.init runs (fun _ ->
+        Runtime.Trace.clear r;
+        ignore (Runtime.Vm.run vm entry args);
+        Runtime.Trace.events r)
+  in
+  (streams, p, vm)
+
+let check_golden name expected actual_events =
+  let actual = List.map Runtime.Trace.shape_of actual_events in
+  if expected <> actual then begin
+    Printf.printf "--- actual %s trace ---\n" name;
+    List.iter print_endline actual;
+    Printf.printf "--- end ---\n"
+  end;
+  Alcotest.(check (list string)) name expected actual
+
+(* ---------- golden: every optimization off ---------- *)
+
+(* Unoptimized lowering: one owned tensor allocation per intermediate,
+   kernel launches for both matmuls and the add, kills as each
+   intermediate dies (the pooling allocator keeps freed blocks
+   resident, hence the unchanged live counts and the reused pool block
+   for lv2), and an end-of-life for the storage still owned by the
+   result register at frame exit. *)
+let expected_all_off =
+  [ "enter main (step)";
+    "instr main#0 match_shape @x";
+    "check 2=2";
+    "check 4=4";
+    "end main#0";
+    "instr main#1 match_shape @w1";
+    "check 4=4";
+    "check 4=4";
+    "end main#1";
+    "instr main#2 match_shape @w2";
+    "check 4=4";
+    "check 4=4";
+    "end main#2";
+    "instr main#3 match_shape @c";
+    "check 2=2";
+    "check 4=4";
+    "end main#3";
+    "instr main#4 alloc_tensor @lv0";
+    "alloc tensor#0 32B live=32";
+    "end main#4";
+    "instr main#5 call_kernel @lv0";
+    "kernel matmul @lv0 [2x4,4x4,2x4] flops=64 bytes=160";
+    "end main#5";
+    "instr main#6 alloc_tensor @lv1";
+    "alloc tensor#1 32B live=64";
+    "end main#6";
+    "instr main#7 call_kernel @lv1";
+    "kernel matmul_1 @lv1 [2x4,4x4,2x4] flops=64 bytes=160";
+    "end main#7";
+    "instr main#8 kill @lv0";
+    "free #0 32B live=64";
+    "end main#8";
+    "instr main#9 alloc_tensor @lv2";
+    "alloc tensor#0 32B reused live=64";
+    "end main#9";
+    "instr main#10 call_kernel @lv2";
+    "kernel add @lv2 [2x4,2x4,2x4] flops=8 bytes=96";
+    "end main#10";
+    "instr main#11 kill @lv1";
+    "free #1 32B live=64";
+    "end main#11";
+    "instr main#12 ret @lv2";
+    "eol #0 32B";
+    "exit main" ]
+
+let test_golden_all_off () =
+  let streams, _, _ =
+    run_traced ~options:Relax_passes.Pipeline.all_off (build_two_matmul_add ())
+      (golden_args ())
+  in
+  check_golden "all_off" expected_all_off (List.hd streams)
+
+(* ---------- golden: default pipeline, warmup + replay ---------- *)
+
+(* The fully optimized program allocates two planned storages, places
+   every intermediate inside them ([tensor_in]), dispatches both
+   matmuls to cuBLAS, and wraps the whole body in a capture region.
+   The prelude shared by both runs: *)
+let expected_default_prelude reused =
+  let r = if reused then " reused" else "" in
+  let live = if reused then 64 else 32 in
+  [ "enter main (step)";
+    "instr main#0 match_shape @x";
+    "check 2=2";
+    "check 4=4";
+    "end main#0";
+    "instr main#1 match_shape @w1";
+    "check 4=4";
+    "check 4=4";
+    "end main#1";
+    "instr main#2 match_shape @w2";
+    "check 4=4";
+    "check 4=4";
+    "end main#2";
+    "instr main#3 match_shape @c";
+    "check 2=2";
+    "check 4=4";
+    "end main#3";
+    "instr main#4 alloc_storage @storage";
+    Printf.sprintf "alloc storage#0 32B%s live=%d" r live;
+    "end main#4";
+    "instr main#5 alloc_storage @storage";
+    Printf.sprintf "alloc storage#1 32B%s live=64" r;
+    "end main#5";
+    "instr main#6 call_captured @lv2" ]
+
+(* The captured body; on the second run every call is a replay. *)
+let expected_default_body replay =
+  let rp = if replay then " replay" else "" in
+  [ "enter main_cuda_graph_1";
+    "instr main_cuda_graph_1#0 match_shape @x";
+    "check 2=2";
+    "check 4=4";
+    "end main_cuda_graph_1#0";
+    "instr main_cuda_graph_1#1 match_shape @w1";
+    "check 4=4";
+    "check 4=4";
+    "end main_cuda_graph_1#1";
+    "instr main_cuda_graph_1#2 match_shape @w2";
+    "check 4=4";
+    "check 4=4";
+    "end main_cuda_graph_1#2";
+    "instr main_cuda_graph_1#3 match_shape @c";
+    "check 2=2";
+    "check 4=4";
+    "end main_cuda_graph_1#3";
+    "instr main_cuda_graph_1#4 alloc_tensor @lv0";
+    "tensor_in storage#0 32B";
+    "end main_cuda_graph_1#4";
+    "instr main_cuda_graph_1#5 call_extern @lv0";
+    "extern cublas.matmul @lv0 [2x4,4x4,2x4] flops=64 bytes=128" ^ rp;
+    "end main_cuda_graph_1#5";
+    "instr main_cuda_graph_1#6 alloc_tensor @lv1";
+    "tensor_in storage#1 32B";
+    "end main_cuda_graph_1#6";
+    "instr main_cuda_graph_1#7 call_extern @lv1";
+    "extern cublas.matmul @lv1 [2x4,4x4,2x4] flops=64 bytes=128" ^ rp;
+    "end main_cuda_graph_1#7";
+    "instr main_cuda_graph_1#8 alloc_tensor @lv2";
+    "tensor_in storage#0 32B";
+    "end main_cuda_graph_1#8";
+    "instr main_cuda_graph_1#9 call_kernel @lv2";
+    "kernel add @lv2 [2x4,2x4,2x4] flops=8 bytes=96" ^ rp;
+    "end main_cuda_graph_1#9";
+    "instr main_cuda_graph_1#10 ret @lv2";
+    "exit main_cuda_graph_1";
+    "end main#6";
+    "instr main#7 ret @lv2";
+    "exit main" ]
+
+let test_golden_default () =
+  let streams, p, vm =
+    run_traced ~options:Relax_passes.Pipeline.default_options ~runs:2
+      (build_two_matmul_add ()) (golden_args ())
+  in
+  (match streams with
+  | [ run1; run2 ] ->
+      check_golden "default run 1 (capture)"
+        (expected_default_prelude false
+        @ [ "capture #1 main_cuda_graph_1" ]
+        @ expected_default_body false)
+        run1;
+      check_golden "default run 2 (replay)"
+        (expected_default_prelude true
+        @ [ "replay #1 main_cuda_graph_1" ]
+        @ expected_default_body true)
+        run2;
+      (* After warmup nothing pays launch overhead. *)
+      Alcotest.(check int) "no fresh launches in replay" 0
+        (List.length
+           (List.filter
+              (fun ev ->
+                Runtime.Trace.is_launch ~include_replays:false ev
+                || Runtime.Trace.is_extern ~include_replays:false ev)
+              run2))
+  | _ -> Alcotest.fail "expected two runs");
+  (* The profiler fold of the same stream agrees with the VM. *)
+  let st = Runtime.Vm.stats vm in
+  Alcotest.(check int) "replays counted" st.Runtime.Vm.graph_replays
+    (Runtime.Profiler.replays p);
+  Alcotest.(check int) "profiler peak = allocator peak"
+    (Runtime.Allocator.peak_bytes (Runtime.Vm.allocator vm))
+    (Runtime.Profiler.peak_live_bytes p)
+
+(* ---------- pass-level effects on the stream ---------- *)
+
+let count pred evs = List.length (List.filter pred evs)
+
+let test_fusion_removes_launch_events () =
+  let launches fusion =
+    let streams, _, _ =
+      run_traced
+        ~options:{ Relax_passes.Pipeline.all_off with Relax_passes.Pipeline.fusion }
+        (build_two_matmul_add ()) (golden_args ())
+    in
+    count (Runtime.Trace.is_launch ?include_replays:None) (List.hd streams)
+  in
+  Alcotest.(check int) "unfused: one launch per op" 3 (launches false);
+  (* matmul_1 + add fuse into one epilogue kernel. *)
+  Alcotest.(check int) "fused: add folded into matmul" 2 (launches true)
+
+let test_memory_plan_storage_events () =
+  let storage_alloc = function
+    | Runtime.Trace.Alloc { kind = `Storage; _ } -> true
+    | _ -> false
+  in
+  let tensor_alloc = function
+    | Runtime.Trace.Alloc { kind = `Tensor; _ } -> true
+    | _ -> false
+  in
+  let in_storage = function
+    | Runtime.Trace.Tensor_in_storage _ -> true
+    | _ -> false
+  in
+  let unplanned, _, _ =
+    run_traced ~options:Relax_passes.Pipeline.all_off (build_two_matmul_add ())
+      (golden_args ())
+  in
+  let unplanned = List.hd unplanned in
+  Alcotest.(check int) "no planned storage without the pass" 0
+    (count storage_alloc unplanned);
+  Alcotest.(check int) "every intermediate owns a tensor" 3
+    (count tensor_alloc unplanned);
+  let planned, _, _ =
+    run_traced
+      ~options:
+        { Relax_passes.Pipeline.all_off with Relax_passes.Pipeline.memory_plan = true }
+      ~runs:2 (build_two_matmul_add ()) (golden_args ())
+  in
+  (match planned with
+  | [ run1; run2 ] ->
+      Alcotest.(check int) "plan allocates two storages" 2
+        (count storage_alloc run1);
+      Alcotest.(check int) "no unplanned tensor allocations" 0
+        (count tensor_alloc run1);
+      Alcotest.(check int) "three tensors placed in planned storage" 3
+        (count in_storage run1);
+      (* Across invocations the plan reuses its cached storages. *)
+      Alcotest.(check int) "second run reuses every storage" 2
+        (count
+           (function
+             | Runtime.Trace.Alloc { kind = `Storage; reused = true; _ } -> true
+             | _ -> false)
+           run2)
+  | _ -> Alcotest.fail "expected two runs")
+
+(* ---------- counter invariants (qcheck) ---------- *)
+
+(* Random pipeline configurations over the dynamic-batch MLP of
+   test_pipeline: relu(x @ w1) @ w2 with n symbolic, bounded by 64. *)
+let build_mlp () =
+  let nv = Arith.Var.fresh "n" in
+  let en = Arith.Expr.var nv in
+  let b = Builder.create () in
+  Builder.function_ b ~name:"main"
+    ~params:
+      [ ("x", Struct_info.tensor [ en; e 8 ] f32);
+        ("w1", Struct_info.tensor [ e 8; e 16 ] f32);
+        ("w2", Struct_info.tensor [ e 16; e 4 ] f32) ]
+    (fun params ->
+      match params with
+      | [ x; w1; w2 ] ->
+          Builder.dataflow b (fun () ->
+              let h =
+                Builder.emit b (Expr.call_op "matmul" [ Expr.Var x; Expr.Var w1 ])
+              in
+              let a = Builder.emit b (Expr.call_op "relu" [ Expr.Var h ]) in
+              let o =
+                Builder.emit b (Expr.call_op "matmul" [ Expr.Var a; Expr.Var w2 ])
+              in
+              Expr.Var o)
+      | _ -> assert false);
+  (Builder.module_ b, nv)
+
+let gen_config =
+  QCheck.Gen.(
+    map2
+      (fun n (fusion, dispatch_library, memory_plan, graph_capture) ->
+        (n, fusion, dispatch_library, memory_plan, graph_capture))
+      (int_range 1 64)
+      (quad bool bool bool bool))
+
+let print_config (n, f, d, m, g) =
+  Printf.sprintf "n=%d fusion=%b library=%b plan=%b capture=%b" n f d m g
+
+let arb_config = QCheck.make ~print:print_config gen_config
+
+let options_of (_, fusion, dispatch_library, memory_plan, graph_capture) nv =
+  { Relax_passes.Pipeline.all_off with
+    Relax_passes.Pipeline.fusion;
+    dispatch_library;
+    memory_plan;
+    graph_capture;
+    upper_bounds = [ (nv, 64) ] }
+
+let mlp_shapes n = [ [| n; 8 |]; [| 8; 16 |]; [| 16; 4 |] ]
+
+let mlp_args ~mode n =
+  List.mapi
+    (fun i shape ->
+      match mode with
+      | `Shadow -> Runtime.Vm.shadow_of_shape f32 (Array.to_list shape)
+      | `Numeric ->
+          Runtime.Vm.tensor (Base.Ndarray.random_uniform ~seed:(50 + i) f32 shape))
+    (mlp_shapes n)
+
+let run_config ~mode config =
+  let (n, _, _, _, _) = config in
+  let mod_, nv = build_mlp () in
+  let alloc = Runtime.Allocator.create `Pooling in
+  let streams, p, vm =
+    run_traced ~mode ~allocator:alloc ~options:(options_of config nv) ~runs:2
+      mod_
+      (mlp_args
+         ~mode:(match mode with `Numeric -> `Numeric | `Timed _ -> `Shadow)
+         n)
+  in
+  (List.concat streams, p, vm, alloc)
+
+(* Peak memory recovered from the event stream equals the allocator's
+   own high-water mark. *)
+let prop_peak_matches_allocator =
+  QCheck.Test.make ~count:20 ~name:"profiler peak = allocator peak" arb_config
+    (fun config ->
+      let _, p, _, alloc = run_config ~mode:`Numeric config in
+      Runtime.Profiler.peak_live_bytes p = Runtime.Allocator.peak_bytes alloc)
+
+(* Every tensor allocation is closed by a free or an end-of-life
+   marker before its frame exits: the stream leaks nothing. *)
+let prop_tensor_allocs_closed =
+  QCheck.Test.make ~count:20 ~name:"tensor allocations are closed" arb_config
+    (fun config ->
+      let events, _, _, _ = run_config ~mode:`Numeric config in
+      let open_ids = Hashtbl.create 8 in
+      List.iter
+        (fun ev ->
+          match ev with
+          | Runtime.Trace.Alloc { kind = `Tensor; id; _ } ->
+              if Hashtbl.mem open_ids id then
+                QCheck.Test.fail_reportf "tensor #%d allocated twice" id;
+              Hashtbl.replace open_ids id ()
+          | Runtime.Trace.Free { id; _ } | Runtime.Trace.End_of_life { id; _ } ->
+              Hashtbl.remove open_ids id
+          | _ -> ())
+        events;
+      if Hashtbl.length open_ids > 0 then
+        QCheck.Test.fail_reportf "%d tensor allocations never closed"
+          (Hashtbl.length open_ids)
+      else true)
+
+(* Numeric and timed execution of one compiled program produce the
+   same event shapes: the trace is mode-independent up to timing.
+   (One compilation: kernel and capture names are freshened per
+   compile, so each mode must run the same program.) *)
+let prop_modes_agree =
+  QCheck.Test.make ~count:20 ~name:"numeric and timed shapes agree" arb_config
+    (fun config ->
+      let (n, _, _, _, _) = config in
+      let mod_, nv = build_mlp () in
+      let program =
+        Relax_passes.Pipeline.compile ~options:(options_of config nv)
+          ~device:Runtime.Device.rtx4090 mod_
+      in
+      let trace_in mode args =
+        let r = Runtime.Trace.recorder () in
+        let vm =
+          Runtime.Vm.create
+            ~allocator:(Runtime.Allocator.create `Pooling)
+            ~trace:(Runtime.Trace.sink r) mode program
+        in
+        ignore (Runtime.Vm.run vm "main" args);
+        ignore (Runtime.Vm.run vm "main" args);
+        Runtime.Trace.events r
+      in
+      let numeric = trace_in `Numeric (mlp_args ~mode:`Numeric n) in
+      let timed =
+        trace_in (`Timed Runtime.Device.rtx4090) (mlp_args ~mode:`Shadow n)
+      in
+      let ns = List.map Runtime.Trace.shape_of numeric in
+      let ts = List.map Runtime.Trace.shape_of timed in
+      if ns <> ts then begin
+        let rec first_diff i = function
+          | n :: ns', t :: ts' ->
+              if n = t then first_diff (i + 1) (ns', ts') else (i, n, t)
+          | n :: _, [] -> (i, n, "<end>")
+          | [], t :: _ -> (i, "<end>", t)
+          | [], [] -> (i, "<end>", "<end>")
+        in
+        let i, n, t = first_diff 0 (ns, ts) in
+        QCheck.Test.fail_reportf
+          "streams diverge at event %d:\n  numeric: %s\n  timed:   %s" i n t
+      end
+      else true)
+
+(* Every simulated microsecond appears in exactly one event: both the
+   per-event sum and the profiler total reproduce stats.elapsed_us. *)
+let prop_time_accounted =
+  QCheck.Test.make ~count:20 ~name:"trace time = vm time" arb_config
+    (fun config ->
+      let events, p, vm, _ =
+        run_config ~mode:(`Timed Runtime.Device.rtx4090) config
+      in
+      let st = Runtime.Vm.stats vm in
+      let sum =
+        List.fold_left
+          (fun acc ev -> acc +. Runtime.Trace.elapsed_us_of ev)
+          0.0 events
+      in
+      let close a b = Float.abs (a -. b) < 1e-6 *. Float.max 1.0 b in
+      close sum st.Runtime.Vm.elapsed_us
+      && close (Runtime.Profiler.total_time_us p) st.Runtime.Vm.elapsed_us)
+
+(* ---------- profiler report ---------- *)
+
+let test_profiler_report () =
+  let _, p, vm =
+    run_traced ~options:Relax_passes.Pipeline.all_off ~runs:3
+      (build_two_matmul_add ()) (golden_args ())
+  in
+  let row name =
+    match Runtime.Profiler.find_row p name with
+    | Some r -> r
+    | None -> Alcotest.failf "no profiler row for %s" name
+  in
+  Alcotest.(check int) "three add calls" 3 (row "add").Runtime.Profiler.calls;
+  Alcotest.(check (option string)) "provenance recorded" (Some "lv2")
+    (row "add").Runtime.Profiler.origin;
+  Alcotest.(check int) "steps counted" 3 (Runtime.Profiler.steps p);
+  let st = Runtime.Vm.stats vm in
+  Alcotest.(check int) "launches match stats" st.Runtime.Vm.kernel_launches
+    (List.fold_left
+       (fun acc (r : Runtime.Profiler.row) ->
+         if r.Runtime.Profiler.kind = `Kernel then acc + r.Runtime.Profiler.calls
+         else acc)
+       0 (Runtime.Profiler.rows p));
+  let report = Runtime.Profiler.report p in
+  let contains needle =
+    let nl = String.length needle and hl = String.length report in
+    let rec go i = i + nl <= hl && (String.sub report i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " in report") true (contains needle))
+    [ "matmul"; "add"; "peak live" ]
+
+let () =
+  Alcotest.run "trace"
+    [ ( "golden",
+        [ Alcotest.test_case "all optimizations off" `Quick test_golden_all_off;
+          Alcotest.test_case "default pipeline: capture then replay" `Quick
+            test_golden_default ] );
+      ( "pass_effects",
+        [ Alcotest.test_case "fusion removes launch events" `Quick
+            test_fusion_removes_launch_events;
+          Alcotest.test_case "memory plan reuses storages" `Quick
+            test_memory_plan_storage_events ] );
+      ( "invariants",
+        List.map
+          (QCheck_alcotest.to_alcotest ~long:false)
+          [ prop_peak_matches_allocator;
+            prop_tensor_allocs_closed;
+            prop_modes_agree;
+            prop_time_accounted ] );
+      ( "profiler",
+        [ Alcotest.test_case "report and counters" `Quick test_profiler_report ] ) ]
