@@ -592,6 +592,99 @@ let bechamel_section () =
         ols)
     tests
 
+(* ---------- kernel execution: interpreted vs compiled ---------- *)
+
+let kernels_bench () =
+  section "kernel execution: tree-walking interpreter vs compiled closures";
+  let open Bechamel in
+  let open Toolkit in
+  let e = Arith.Expr.const in
+  let f32 = Base.Dtype.F32 in
+  (* ns/run by OLS over monotonic clock, same idiom as `micro`. *)
+  let estimate_ns test =
+    let cfg = Benchmark.cfg ~limit:150 ~quota:(Time.second 0.4) () in
+    let results = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+    let ols =
+      Analyze.all
+        (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:Measure.[| run |])
+        Instance.monotonic_clock results
+    in
+    let est = ref nan in
+    Hashtbl.iter
+      (fun _ r ->
+        match Analyze.OLS.estimates r with Some [ x ] -> est := x | _ -> ())
+      ols;
+    !est
+  in
+  let cases =
+    let matmul s =
+      ( "matmul", Printf.sprintf "%dx%dx%d" s s s,
+        Tir.Kernels.matmul_weights ~name:"mm" ~m:(e s) ~k:(e s) ~n:(e s) f32,
+        [ [| s; s |]; [| s; s |]; [| s; s |] ] )
+    in
+    let softmax r c =
+      ( "softmax", Printf.sprintf "%dx%d" r c,
+        Tir.Kernels.softmax_last ~name:"sm" [ e r; e c ] f32,
+        [ [| r; c |]; [| r; c |] ] )
+    in
+    let layernorm r c =
+      ( "layer_norm", Printf.sprintf "%dx%d" r c,
+        Tir.Kernels.layer_norm ~name:"ln" [ e r; e c ] ~eps:1e-5 f32,
+        [ [| r; c |]; [| c |]; [| c |]; [| r; c |] ] )
+    in
+    [ matmul 16; matmul 48;
+      softmax 16 64; softmax 64 256;
+      layernorm 16 64; layernorm 64 256 ]
+  in
+  let rows =
+    List.map
+      (fun (kernel, size, (f : Tir.Prim_func.t), shapes) ->
+        let n = List.length f.Tir.Prim_func.params in
+        let n_out = f.Tir.Prim_func.num_outputs in
+        let args =
+          List.mapi
+            (fun i ((b : Tir.Buffer.t), shape) ->
+              if i >= n - n_out then Base.Ndarray.create b.Tir.Buffer.dtype shape
+              else
+                Base.Ndarray.random_uniform ~seed:(i + 1) b.Tir.Buffer.dtype
+                  shape)
+            (List.combine f.Tir.Prim_func.params shapes)
+        in
+        let interp_ns =
+          estimate_ns
+            (Test.make
+               ~name:(Printf.sprintf "interp %s %s" kernel size)
+               (Staged.stage (fun () -> Tir.Interp.run f args)))
+        in
+        let compiled = Tir.Compile.compile f shapes in
+        let compiled_ns =
+          estimate_ns
+            (Test.make
+               ~name:(Printf.sprintf "compiled %s %s" kernel size)
+               (Staged.stage (fun () -> compiled args)))
+        in
+        let speedup = interp_ns /. compiled_ns in
+        Printf.printf
+          "  %-10s %-10s interp %12.0f ns/run   compiled %10.0f ns/run   %6.1fx\n"
+          kernel size interp_ns compiled_ns speedup;
+        (kernel, size, interp_ns, compiled_ns, speedup))
+      cases
+  in
+  let oc = open_out "BENCH_kernels.json" in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"tir_kernel_execution\",\n  \"units\": \"ns_per_run\",\n  \"results\": [\n";
+  List.iteri
+    (fun i (kernel, size, interp_ns, compiled_ns, speedup) ->
+      Printf.fprintf oc
+        "    { \"kernel\": %S, \"size\": %S, \"interp_ns\": %.1f, \
+         \"compiled_ns\": %.1f, \"speedup\": %.2f }%s\n"
+        kernel size interp_ns compiled_ns speedup
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_kernels.json\n"
+
 (* ---------- registry ---------- *)
 
 let experiments =
@@ -610,7 +703,9 @@ let experiments =
     ("fig9", "fused quantized decode ablation", fig9);
     ("bucketing", "symbolic shapes vs Nimble-style bucketing", bucketing);
     ("fig11", "workspace lifting ablation", fig11);
-    ("micro", "compiler micro-benchmarks (bechamel)", bechamel_section) ]
+    ("micro", "compiler micro-benchmarks (bechamel)", bechamel_section);
+    ("kernels", "interpreted vs compiled TIR kernels; writes BENCH_kernels.json",
+     kernels_bench) ]
 
 let () =
   let args = Array.to_list Sys.argv in

@@ -43,6 +43,12 @@ let linear_index t idx =
   done;
   !off
 
+let float_data t =
+  match t.data with Float_data a -> Some a | Int_data _ -> None
+
+let int_data t =
+  match t.data with Int_data a -> Some a | Float_data _ -> None
+
 let get_flat_float t i =
   match t.data with Float_data a -> a.(i) | Int_data a -> float_of_int a.(i)
 

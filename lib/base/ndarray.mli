@@ -30,6 +30,16 @@ val set_float : t -> int array -> float -> unit
 val get_int : t -> int array -> int
 val set_int : t -> int array -> int -> unit
 
+val float_data : t -> float array option
+(** The raw backing array of a float-dtype tensor ([None] for integer
+    dtypes). Row-major, aliases the tensor: hot paths (the compiled
+    kernel layer, library routines) index it directly instead of
+    dispatching on dtype per element. *)
+
+val int_data : t -> int array option
+(** The raw backing array of an integer-dtype tensor ([None] for
+    float dtypes). *)
+
 val get_flat_float : t -> int -> float
 val set_flat_float : t -> int -> float -> unit
 val get_flat_int : t -> int -> int

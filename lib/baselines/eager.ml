@@ -15,6 +15,7 @@ type env = {
   mod_ : Ir_module.t;
   vars : (int, Runtime.Vm.value) Hashtbl.t;  (** Rvar id -> value *)
   sym : (int, int) Hashtbl.t;  (** Arith var id -> value *)
+  kcache : Tir.Compile.Cache.t;  (** compiled kernels, per shape sig *)
   st : stats;
   mutable live_bytes : int;
 }
@@ -105,7 +106,8 @@ let run_kernel env (kernel : Tir.Prim_func.t) (args : Runtime.Vm.value list)
   charge env kernel lookup;
   match env.mode with
   | `Numeric ->
-      Tir.Interp.run ~sym_args kernel (List.map Runtime.Vm.value_tensor all)
+      Tir.Compile.Cache.run env.kcache ~sym_args kernel
+        (List.map Runtime.Vm.value_tensor all)
   | `Timed _ -> ()
 
 let eval_dims env dims =
@@ -274,6 +276,7 @@ let run ?(entry = "main") mode mod_ args =
       mod_;
       vars = Hashtbl.create 64;
       sym = Hashtbl.create 16;
+      kcache = Tir.Compile.Cache.create ();
       st = { elapsed_us = 0.0; ops = 0; peak_bytes = 0 };
       live_bytes = 0;
     }

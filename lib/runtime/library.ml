@@ -32,7 +32,7 @@ let shape_bytes (shapes : int array array) (dt : Base.Dtype.t) =
 
 let matmul_compute (args : Base.Ndarray.t array) =
   match args with
-  | [| x; w; y |] ->
+  | [| x; w; y |] -> (
       let xs = x.Base.Ndarray.shape and ws = w.Base.Ndarray.shape in
       let rx = Array.length xs in
       let k = xs.(rx - 1) in
@@ -40,23 +40,47 @@ let matmul_compute (args : Base.Ndarray.t array) =
       let m = xs.(rx - 2) in
       let batch = Array.fold_left ( * ) 1 (Array.sub xs 0 (rx - 2)) in
       let w_batched = Array.length ws > 2 in
-      for b = 0 to batch - 1 do
-        for i = 0 to m - 1 do
-          for j = 0 to n - 1 do
-            let acc = ref 0.0 in
-            for kk = 0 to k - 1 do
-              let xv = Base.Ndarray.get_flat_float x ((((b * m) + i) * k) + kk) in
-              let wv =
-                if w_batched then
-                  Base.Ndarray.get_flat_float w ((((b * k) + kk) * n) + j)
-                else Base.Ndarray.get_flat_float w ((kk * n) + j)
-              in
-              acc := !acc +. (xv *. wv)
-            done;
-            Base.Ndarray.set_flat_float y ((((b * m) + i) * n) + j) !acc
+      match
+        ( Base.Ndarray.float_data x,
+          Base.Ndarray.float_data w,
+          Base.Ndarray.float_data y )
+      with
+      | Some xd, Some wd, Some yd ->
+          (* Raw arrays fetched once: no per-element dtype dispatch. *)
+          for b = 0 to batch - 1 do
+            for i = 0 to m - 1 do
+              let xrow = ((b * m) + i) * k in
+              let wbase = if w_batched then b * k * n else 0 in
+              for j = 0 to n - 1 do
+                let acc = ref 0.0 in
+                for kk = 0 to k - 1 do
+                  acc :=
+                    !acc +. (xd.(xrow + kk) *. wd.(wbase + (kk * n) + j))
+                done;
+                yd.((((b * m) + i) * n) + j) <- !acc
+              done
+            done
           done
-        done
-      done
+      | _ ->
+          for b = 0 to batch - 1 do
+            for i = 0 to m - 1 do
+              for j = 0 to n - 1 do
+                let acc = ref 0.0 in
+                for kk = 0 to k - 1 do
+                  let xv =
+                    Base.Ndarray.get_flat_float x ((((b * m) + i) * k) + kk)
+                  in
+                  let wv =
+                    if w_batched then
+                      Base.Ndarray.get_flat_float w ((((b * k) + kk) * n) + j)
+                    else Base.Ndarray.get_flat_float w ((kk * n) + j)
+                  in
+                  acc := !acc +. (xv *. wv)
+                done;
+                Base.Ndarray.set_flat_float y ((((b * m) + i) * n) + j) !acc
+              done
+            done
+          done)
   | _ -> invalid_arg "library matmul: expected 3 arguments"
 
 let matmul_cost (shapes : int array array) dt =
@@ -78,24 +102,43 @@ let matmul_cost (shapes : int array array) dt =
 
 let rms_norm_compute (args : Base.Ndarray.t array) =
   match args with
-  | [| x; w; y |] ->
+  | [| x; w; y |] -> (
       let xs = x.Base.Ndarray.shape in
       let r = Array.length xs in
       let h = xs.(r - 1) in
       let rows = Base.Ndarray.numel x / h in
-      for row = 0 to rows - 1 do
-        let ss = ref 0.0 in
-        for j = 0 to h - 1 do
-          let v = Base.Ndarray.get_flat_float x ((row * h) + j) in
-          ss := !ss +. (v *. v)
-        done;
-        let inv = 1.0 /. sqrt ((!ss /. float_of_int h) +. 1e-5) in
-        for j = 0 to h - 1 do
-          let v = Base.Ndarray.get_flat_float x ((row * h) + j) in
-          let wv = Base.Ndarray.get_flat_float w j in
-          Base.Ndarray.set_flat_float y ((row * h) + j) (v *. inv *. wv)
-        done
-      done
+      match
+        ( Base.Ndarray.float_data x,
+          Base.Ndarray.float_data w,
+          Base.Ndarray.float_data y )
+      with
+      | Some xd, Some wd, Some yd ->
+          for row = 0 to rows - 1 do
+            let base = row * h in
+            let ss = ref 0.0 in
+            for j = 0 to h - 1 do
+              let v = xd.(base + j) in
+              ss := !ss +. (v *. v)
+            done;
+            let inv = 1.0 /. sqrt ((!ss /. float_of_int h) +. 1e-5) in
+            for j = 0 to h - 1 do
+              yd.(base + j) <- xd.(base + j) *. inv *. wd.(j)
+            done
+          done
+      | _ ->
+          for row = 0 to rows - 1 do
+            let ss = ref 0.0 in
+            for j = 0 to h - 1 do
+              let v = Base.Ndarray.get_flat_float x ((row * h) + j) in
+              ss := !ss +. (v *. v)
+            done;
+            let inv = 1.0 /. sqrt ((!ss /. float_of_int h) +. 1e-5) in
+            for j = 0 to h - 1 do
+              let v = Base.Ndarray.get_flat_float x ((row * h) + j) in
+              let wv = Base.Ndarray.get_flat_float w j in
+              Base.Ndarray.set_flat_float y ((row * h) + j) (v *. inv *. wv)
+            done
+          done)
   | _ -> invalid_arg "library rms_norm: expected 3 arguments"
 
 let rms_norm_cost (shapes : int array array) dt =

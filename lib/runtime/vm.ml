@@ -73,6 +73,9 @@ type t = {
   trace : Trace.sink option;
   captured : (int, unit) Hashtbl.t;
   cost_cache : (string, Tir.Cost.t) Hashtbl.t;
+  kernel_cache : Tir.Compile.Cache.t;
+      (* (kernel name, shape signature) -> compiled closures: a decode
+         loop compiles each kernel once and replays thereafter *)
   storage_cache : (string * int, int * int) Hashtbl.t;
       (* (func, pc) -> (bytes, allocator id): planned storages are
          allocated once and reused across invocations *)
@@ -90,6 +93,7 @@ let create ?allocator ?trace mode program =
     trace;
     captured = Hashtbl.create 8;
     cost_cache = Hashtbl.create 64;
+    kernel_cache = Tir.Compile.Cache.create ();
     storage_cache = Hashtbl.create 32;
   }
 
@@ -127,6 +131,7 @@ let instr_op = function
   | Ret _ -> "ret"
 
 let stats t = t.st
+let kernel_cache t = t.kernel_cache
 let allocator t = t.alloc
 let device t = match t.mode with `Timed d -> Some d | `Numeric -> None
 
@@ -499,7 +504,7 @@ and exec_instr t ~in_replay ~fname ~pc ~prov frame (i : instr) : unit =
       | None -> ());
       (match t.mode with
       | `Numeric ->
-          Tir.Interp.run ~sym_args:sym_bindings kf
+          Tir.Compile.Cache.run t.kernel_cache ~sym_args:sym_bindings kf
             (List.map value_tensor arg_vals)
       | `Timed _ -> ())
   | Call_extern { func; args } ->

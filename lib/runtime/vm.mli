@@ -5,9 +5,10 @@
     external library routine, or a runtime builtin (allocation, shape
     binding, graph capture). The same program executes in two modes:
 
-    - [`Numeric]: tensors carry real data; kernels run through the TIR
-      interpreter and library routines through their OCaml
-      implementations. Used by tests and examples.
+    - [`Numeric]: tensors carry real data; kernels run as compiled
+      OCaml closures ({!Tir.Compile}, cached per shape signature) and
+      library routines through their OCaml implementations. Used by
+      tests and examples.
     - [`Timed device]: tensors are shape-only shadows; each call
       accrues simulated time from the device roofline model plus
       launch overhead. Used by the benchmark harness at paper-scale
@@ -109,6 +110,12 @@ exception Vm_error of string
     event sequences. No sink: zero tracing overhead. *)
 val create : ?allocator:Allocator.t -> ?trace:Trace.sink -> mode -> program -> t
 val stats : t -> stats
+
+val kernel_cache : t -> Tir.Compile.Cache.t
+(** The compiled-kernel cache backing numeric-mode [Call_kernel]:
+    keyed by (kernel name, shape signature), so a decode loop compiles
+    each kernel once and replays closures thereafter. *)
+
 val allocator : t -> Allocator.t
 val device : t -> Device.t option
 

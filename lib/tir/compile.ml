@@ -1,0 +1,593 @@
+(* Compile a tensor program to nested OCaml closures.
+
+   The reference interpreter ({!Interp}) re-traverses the Texpr AST per
+   tensor element, boxing every value in an [I]/[F] variant, resolving
+   loop variables through a hashtable and converting index lists to
+   arrays inside every load and store. This module performs that work
+   once per (kernel, shape signature):
+
+   - symbolic shape variables are resolved to concrete ints at compile
+     time, so extents and strides become constants in the closures;
+   - loop variables live in a flat mutable [int array], indexed by a
+     slot assigned at compile time;
+   - buffer accesses are lowered to precomputed-stride flat indexing
+     directly on the raw [float array]/[int array] storage;
+   - arithmetic dispatches on the int/float kind of each expression
+     once at compile time — the generated closures are monomorphic.
+
+   The compiled path is the numeric hot path (VM numeric mode, eager
+   baseline, constant folding); {!Interp} remains the reference
+   semantics that this module is differential-tested against
+   (test/test_compile.ml). Divergences from the interpreter are
+   limited to invalid programs: per-axis bounds checks collapse into
+   the flat bounds check of OCaml array access, and kind errors (e.g.
+   a float used as an index) are reported at compile time instead of
+   first execution. *)
+
+let fail fmt = Format.kasprintf (fun s -> raise (Interp.Runtime_error s)) fmt
+
+(* Mutable storage for one buffer. Parameter slots are re-pointed at
+   the caller's raw arrays on every invocation; alloc slots get a fresh
+   zeroed array when their [Alloc] scope is entered (matching the
+   interpreter, which creates a fresh Ndarray per execution). *)
+type slot = {
+  mutable fdata : float array;
+  mutable idata : int array;
+  is_float : bool;
+  strides : int array;
+  shape : int array;
+}
+
+type ctx = {
+  ivars : int array;  (* loop variable values, by compile-time slot *)
+  var_slot : (int, int) Hashtbl.t;  (* loop var id -> ivars index *)
+  sym : (int, int) Hashtbl.t;  (* symbolic shape var id -> constant *)
+  bufs : (int, slot) Hashtbl.t;  (* buffer id -> storage slot *)
+}
+
+let strides_of (shape : int array) =
+  let rank = Array.length shape in
+  let strides = Array.make rank 1 in
+  for d = rank - 2 downto 0 do
+    strides.(d) <- strides.(d + 1) * shape.(d + 1)
+  done;
+  strides
+
+let rec collect_loop_vars acc (s : Stmt.t) =
+  match s with
+  | Stmt.Seq ss -> List.fold_left collect_loop_vars acc ss
+  | Stmt.For r -> collect_loop_vars (r.var :: acc) r.body
+  | Stmt.If (_, t, e) -> (
+      let acc = collect_loop_vars acc t in
+      match e with Some e -> collect_loop_vars acc e | None -> acc)
+  | Stmt.Alloc (_, body) -> collect_loop_vars acc body
+  | Stmt.Store _ | Stmt.Assert _ | Stmt.Evaluate _ -> acc
+
+(* ---------- index (Arith.Expr) compilation ---------- *)
+
+let rec comp_arith ctx (e : Arith.Expr.t) : unit -> int =
+  (* Fold to a constant when every variable is a resolved shape var. *)
+  match
+    Arith.Expr.eval_opt (fun v -> Hashtbl.find_opt ctx.sym v.Arith.Var.id) e
+  with
+  | Some c -> fun () -> c
+  | None -> comp_arith_dyn ctx e
+
+and comp_arith_dyn ctx (e : Arith.Expr.t) : unit -> int =
+  match e with
+  | Arith.Expr.Const c -> fun () -> c
+  | Arith.Expr.Var v -> (
+      match Hashtbl.find_opt ctx.sym v.Arith.Var.id with
+      | Some c -> fun () -> c
+      | None -> (
+          match Hashtbl.find_opt ctx.var_slot v.Arith.Var.id with
+          | Some s ->
+              let iv = ctx.ivars in
+              fun () -> Array.unsafe_get iv s
+          | None -> fail "unbound symbolic variable %s" (Arith.Var.name v)))
+  | Arith.Expr.Add (a, b) ->
+      let a = comp_arith ctx a and b = comp_arith ctx b in
+      fun () -> a () + b ()
+  | Arith.Expr.Sub (a, b) ->
+      let a = comp_arith ctx a and b = comp_arith ctx b in
+      fun () -> a () - b ()
+  | Arith.Expr.Mul (a, b) ->
+      let a = comp_arith ctx a and b = comp_arith ctx b in
+      fun () -> a () * b ()
+  | Arith.Expr.Floor_div (a, b) ->
+      let a = comp_arith ctx a and b = comp_arith ctx b in
+      fun () ->
+        let d = b () in
+        if d = 0 then raise Division_by_zero else Arith.Expr.fdiv (a ()) d
+  | Arith.Expr.Floor_mod (a, b) ->
+      let a = comp_arith ctx a and b = comp_arith ctx b in
+      fun () ->
+        let d = b () in
+        if d = 0 then raise Division_by_zero else Arith.Expr.fmod (a ()) d
+  | Arith.Expr.Min (a, b) ->
+      let a = comp_arith ctx a and b = comp_arith ctx b in
+      fun () -> min (a ()) (b ())
+  | Arith.Expr.Max (a, b) ->
+      let a = comp_arith ctx a and b = comp_arith ctx b in
+      fun () -> max (a ()) (b ())
+
+(* ---------- expression compilation ---------- *)
+
+(* An expression compiles to a closure of its statically known kind;
+   the kind mirrors exactly what the interpreter's boxed values would
+   carry at runtime. *)
+type code = I of (unit -> int) | F of (unit -> float)
+
+let fcode = function
+  | F f -> f
+  | I f -> fun () -> float_of_int (f ())
+
+let icode what = function
+  | I f -> f
+  | F _ -> fail "%s: expected an integer expression, got float" what
+
+let truth_code = function
+  | I f -> fun () -> f () <> 0
+  | F f -> fun () -> f () <> 0.0
+
+let slot_of ctx (b : Buffer.t) =
+  match Hashtbl.find_opt ctx.bufs b.Buffer.id with
+  | Some s -> s
+  | None -> fail "unbound buffer %s" b.Buffer.name
+
+let comp_flat (s : slot) (idxs : (unit -> int) list) : unit -> int =
+  let codes = Array.of_list idxs in
+  let strides = s.strides in
+  if Array.length codes <> Array.length strides then
+    fail "rank mismatch: %d indices for rank-%d buffer" (Array.length codes)
+      (Array.length strides);
+  match codes with
+  | [||] -> fun () -> 0
+  | [| i0 |] -> i0
+  | [| i0; i1 |] ->
+      let s0 = strides.(0) in
+      fun () -> (i0 () * s0) + i1 ()
+  | [| i0; i1; i2 |] ->
+      let s0 = strides.(0) and s1 = strides.(1) in
+      fun () -> (i0 () * s0) + (i1 () * s1) + i2 ()
+  | [| i0; i1; i2; i3 |] ->
+      let s0 = strides.(0) and s1 = strides.(1) and s2 = strides.(2) in
+      fun () -> (i0 () * s0) + (i1 () * s1) + (i2 () * s2) + i3 ()
+  | codes ->
+      fun () ->
+        let acc = ref 0 in
+        Array.iteri (fun d c -> acc := !acc + (c () * strides.(d))) codes;
+        !acc
+
+let rec comp_expr ctx (e : Texpr.t) : code =
+  match e with
+  | Texpr.Imm_int c -> I (fun () -> c)
+  | Texpr.Imm_float x -> F (fun () -> x)
+  | Texpr.Idx ie -> I (comp_arith ctx ie)
+  | Texpr.Load (b, idxs) ->
+      let s = slot_of ctx b in
+      let idx_codes =
+        List.map (fun i -> icode "load index" (comp_expr ctx i)) idxs
+      in
+      let flat = comp_flat s idx_codes in
+      if s.is_float then F (fun () -> s.fdata.(flat ()))
+      else I (fun () -> s.idata.(flat ()))
+  | Texpr.Binop (op, a, b) -> comp_binop ctx op a b
+  | Texpr.Unop (op, a) -> comp_unop op (comp_expr ctx a)
+  | Texpr.Cast (dt, a) -> (
+      let c = comp_expr ctx a in
+      if Base.Dtype.is_float dt then F (fcode c)
+      else match c with I _ as c -> c | F f -> I (fun () -> int_of_float (f ())))
+  | Texpr.Select (c, a, b) -> (
+      let t = truth_code (comp_expr ctx c) in
+      match (comp_expr ctx a, comp_expr ctx b) with
+      | I x, I y -> I (fun () -> if t () then x () else y ())
+      | x, y ->
+          let x = fcode x and y = fcode y in
+          F (fun () -> if t () then x () else y ()))
+
+and comp_binop ctx op ea eb : code =
+  let ca = comp_expr ctx ea and cb = comp_expr ctx eb in
+  let int2 f =
+    match (ca, cb) with
+    | I x, I y -> Some (f x y)
+    | _ -> None
+  in
+  let arith fi ff =
+    match int2 fi with
+    | Some c -> c
+    | None ->
+        let x = fcode ca and y = fcode cb in
+        F (ff x y)
+  in
+  let cmp fi ff =
+    match (ca, cb) with
+    | I x, I y -> I (fun () -> if fi (x ()) (y ()) then 1 else 0)
+    | _ ->
+        let x = fcode ca and y = fcode cb in
+        I (fun () -> if ff (x ()) (y ()) then 1 else 0)
+  in
+  let bitop what f =
+    let x = icode what ca and y = icode what cb in
+    I (fun () -> f (x ()) (y ()))
+  in
+  match op with
+  | Texpr.Add -> arith (fun x y -> I (fun () -> x () + y ())) (fun x y () -> x () +. y ())
+  | Texpr.Sub -> arith (fun x y -> I (fun () -> x () - y ())) (fun x y () -> x () -. y ())
+  | Texpr.Mul -> arith (fun x y -> I (fun () -> x () * y ())) (fun x y () -> x () *. y ())
+  | Texpr.Div ->
+      arith
+        (fun x y ->
+          I
+            (fun () ->
+              let xv = x () and yv = y () in
+              if yv = 0 then fail "integer division by zero" else xv / yv))
+        (fun x y () -> x () /. y ())
+  | Texpr.Floor_div ->
+      arith
+        (fun x y ->
+          I
+            (fun () ->
+              let xv = x () and yv = y () in
+              if yv = 0 then fail "floordiv by zero"
+              else Arith.Expr.fdiv xv yv))
+        (* floor on doubles, without the interpreter's historical
+           truncation through int (fixed in both paths). *)
+        (fun x y () -> floor (x () /. y ()))
+  | Texpr.Floor_mod ->
+      arith
+        (fun x y ->
+          I
+            (fun () ->
+              let xv = x () and yv = y () in
+              if yv = 0 then fail "floormod by zero"
+              else Arith.Expr.fmod xv yv))
+        (fun x y () -> Float.rem (x ()) (y ()))
+  | Texpr.Min ->
+      arith
+        (fun x y -> I (fun () -> min (x ()) (y ())))
+        (fun x y () -> Float.min (x ()) (y ()))
+  | Texpr.Max ->
+      arith
+        (fun x y -> I (fun () -> max (x ()) (y ())))
+        (fun x y () -> Float.max (x ()) (y ()))
+  | Texpr.Pow ->
+      let x = fcode ca and y = fcode cb in
+      F (fun () -> Float.pow (x ()) (y ()))
+  | Texpr.Bit_and -> bitop "bit_and" ( land )
+  | Texpr.Bit_or -> bitop "bit_or" ( lor )
+  | Texpr.Bit_xor -> bitop "bit_xor" ( lxor )
+  | Texpr.Shift_left -> bitop "shift_left" ( lsl )
+  | Texpr.Shift_right -> bitop "shift_right" ( asr )
+  | Texpr.Eq -> cmp ( = ) ( = )
+  | Texpr.Ne -> cmp ( <> ) ( <> )
+  | Texpr.Lt -> cmp ( < ) ( < )
+  | Texpr.Le -> cmp ( <= ) ( <= )
+  | Texpr.Gt -> cmp ( > ) ( > )
+  | Texpr.Ge -> cmp ( >= ) ( >= )
+  | Texpr.And ->
+      (* The interpreter evaluates both operands before testing truth;
+         keep that (no short-circuit) so failure behavior matches. *)
+      let x = truth_code ca and y = truth_code cb in
+      I
+        (fun () ->
+          let xv = x () in
+          let yv = y () in
+          if xv && yv then 1 else 0)
+  | Texpr.Or ->
+      let x = truth_code ca and y = truth_code cb in
+      I
+        (fun () ->
+          let xv = x () in
+          let yv = y () in
+          if xv || yv then 1 else 0)
+
+and comp_unop op c : code =
+  let f1 g = let x = fcode c in F (fun () -> g (x ())) in
+  match op with
+  | Texpr.Neg -> (
+      match c with
+      | I x -> I (fun () -> -x ())
+      | F x -> F (fun () -> -.x ()))
+  | Texpr.Exp -> f1 exp
+  | Texpr.Log -> f1 log
+  | Texpr.Sqrt -> f1 sqrt
+  | Texpr.Rsqrt -> f1 (fun x -> 1.0 /. sqrt x)
+  | Texpr.Tanh -> f1 tanh
+  | Texpr.Sigmoid -> f1 (fun x -> 1.0 /. (1.0 +. exp (-.x)))
+  | Texpr.Erf -> f1 Interp.erf
+  | Texpr.Abs -> (
+      match c with
+      | I x -> I (fun () -> abs (x ()))
+      | F x -> F (fun () -> abs_float (x ())))
+  | Texpr.Not ->
+      let t = truth_code c in
+      I (fun () -> if t () then 0 else 1)
+  | Texpr.Cos -> f1 cos
+  | Texpr.Sin -> f1 sin
+
+(* ---------- statement compilation ---------- *)
+
+let rec comp_stmt ctx (s : Stmt.t) : unit -> unit =
+  match s with
+  | Stmt.Seq ss -> (
+      match Array.of_list (List.map (comp_stmt ctx) ss) with
+      | [||] -> fun () -> ()
+      | [| a |] -> a
+      | [| a; b |] ->
+          fun () ->
+            a ();
+            b ()
+      | [| a; b; c |] ->
+          fun () ->
+            a ();
+            b ();
+            c ()
+      | cs -> fun () -> Array.iter (fun f -> f ()) cs)
+  | Stmt.For { var; extent; kind = _; body } ->
+      let ext = comp_arith ctx extent in
+      let slot =
+        match Hashtbl.find_opt ctx.var_slot var.Arith.Var.id with
+        | Some s -> s
+        | None -> fail "loop variable %s has no slot" (Arith.Var.name var)
+      in
+      let body = comp_stmt ctx body in
+      let iv = ctx.ivars in
+      fun () ->
+        let n = ext () in
+        for i = 0 to n - 1 do
+          Array.unsafe_set iv slot i;
+          body ()
+        done
+  | Stmt.Store (b, idxs, v) ->
+      let s = slot_of ctx b in
+      let idx_codes =
+        List.map (fun i -> icode "store index" (comp_expr ctx i)) idxs
+      in
+      let flat = comp_flat s idx_codes in
+      if s.is_float then
+        let v = fcode (comp_expr ctx v) in
+        fun () ->
+          let i = flat () in
+          let x = v () in
+          s.fdata.(i) <- x
+      else
+        let v = icode "store value" (comp_expr ctx v) in
+        fun () ->
+          let i = flat () in
+          let x = v () in
+          s.idata.(i) <- x
+  | Stmt.If (c, t, e) -> (
+      let c = truth_code (comp_expr ctx c) in
+      let t = comp_stmt ctx t in
+      match e with
+      | Some e ->
+          let e = comp_stmt ctx e in
+          fun () -> if c () then t () else e ()
+      | None -> fun () -> if c () then t ())
+  | Stmt.Alloc (b, body) ->
+      (* Alloc shapes may reference symbolic shape variables (resolved
+         at compile time) but not loop variables. *)
+      let shape =
+        Array.of_list
+          (List.map
+             (fun dim ->
+               match
+                 Arith.Expr.eval_opt
+                   (fun v -> Hashtbl.find_opt ctx.sym v.Arith.Var.id)
+                   dim
+               with
+               | Some c -> c
+               | None ->
+                   fail "alloc of %s: dimension %s is not shape-static"
+                     b.Buffer.name (Arith.Expr.to_string dim))
+             b.Buffer.shape)
+      in
+      let numel = Array.fold_left ( * ) 1 shape in
+      let s =
+        {
+          fdata = [||];
+          idata = [||];
+          is_float = Base.Dtype.is_float b.Buffer.dtype;
+          strides = strides_of shape;
+          shape;
+        }
+      in
+      Hashtbl.replace ctx.bufs b.Buffer.id s;
+      let body = comp_stmt ctx body in
+      if s.is_float then (fun () ->
+        s.fdata <- Array.make numel 0.0;
+        body ();
+        s.fdata <- [||])
+      else fun () ->
+        s.idata <- Array.make numel 0;
+        body ();
+        s.idata <- [||]
+  | Stmt.Assert (c, msg) ->
+      let c = truth_code (comp_expr ctx c) in
+      fun () -> if not (c ()) then fail "assertion failed: %s" msg
+  | Stmt.Evaluate e -> (
+      match comp_expr ctx e with
+      | I f -> fun () -> ignore (f ())
+      | F f -> fun () -> ignore (f ()))
+
+(* ---------- shape unification (same discipline as Interp) ---------- *)
+
+let unify_shapes sym (f : Prim_func.t) (arg_shapes : int array list) =
+  let deferred = ref [] in
+  List.iter2
+    (fun (b : Buffer.t) (actual : int array) ->
+      let declared = b.Buffer.shape in
+      if List.length declared <> Array.length actual then
+        fail "%s: buffer %s rank mismatch (declared %d, got %d)"
+          f.Prim_func.name b.Buffer.name (List.length declared)
+          (Array.length actual);
+      List.iteri
+        (fun d dim ->
+          match dim with
+          | Arith.Expr.Const c ->
+              if c <> actual.(d) then
+                fail "%s: buffer %s dim %d mismatch (declared %d, got %d)"
+                  f.Prim_func.name b.Buffer.name d c actual.(d)
+          | Arith.Expr.Var v -> (
+              match Hashtbl.find_opt sym v.Arith.Var.id with
+              | Some bound ->
+                  if bound <> actual.(d) then
+                    fail
+                      "%s: symbolic variable %s bound inconsistently (%d vs %d)"
+                      f.Prim_func.name (Arith.Var.name v) bound actual.(d)
+              | None -> Hashtbl.replace sym v.Arith.Var.id actual.(d))
+          | Arith.Expr.Add _ | Arith.Expr.Sub _ | Arith.Expr.Mul _
+          | Arith.Expr.Floor_div _ | Arith.Expr.Floor_mod _ | Arith.Expr.Min _
+          | Arith.Expr.Max _ ->
+              deferred := (b.Buffer.name, d, dim, actual.(d)) :: !deferred)
+        declared)
+    f.Prim_func.params arg_shapes;
+  List.iter
+    (fun (bname, d, dim, actual) ->
+      let lookup (v : Arith.Var.t) =
+        match Hashtbl.find_opt sym v.Arith.Var.id with
+        | Some x -> x
+        | None -> fail "unbound symbolic variable %s" (Arith.Var.name v)
+      in
+      let v = Arith.Expr.eval lookup dim in
+      if v <> actual then
+        fail "%s: buffer %s dim %d: %s = %d but argument has %d"
+          f.Prim_func.name bname d (Arith.Expr.to_string dim) v actual)
+    !deferred
+
+(* ---------- entry points ---------- *)
+
+type compiled = Base.Ndarray.t list -> unit
+
+let compile ?(sym_args = []) (f : Prim_func.t) (arg_shapes : int array list) :
+    compiled =
+  if List.length arg_shapes <> List.length f.Prim_func.params then
+    fail "%s: expected %d buffer arguments, got %d" f.Prim_func.name
+      (List.length f.Prim_func.params)
+      (List.length arg_shapes);
+  let sym = Hashtbl.create 16 in
+  List.iter
+    (fun ((v : Arith.Var.t), x) -> Hashtbl.replace sym v.Arith.Var.id x)
+    sym_args;
+  unify_shapes sym f arg_shapes;
+  let loop_vars = collect_loop_vars [] f.Prim_func.body in
+  let var_slot = Hashtbl.create 16 in
+  List.iter
+    (fun (v : Arith.Var.t) ->
+      if not (Hashtbl.mem var_slot v.Arith.Var.id) then
+        Hashtbl.replace var_slot v.Arith.Var.id (Hashtbl.length var_slot))
+    loop_vars;
+  let ctx =
+    {
+      ivars = Array.make (max 1 (Hashtbl.length var_slot)) 0;
+      var_slot;
+      sym;
+      bufs = Hashtbl.create 16;
+    }
+  in
+  let param_slots =
+    List.map2
+      (fun (b : Buffer.t) shape ->
+        let s =
+          {
+            fdata = [||];
+            idata = [||];
+            is_float = Base.Dtype.is_float b.Buffer.dtype;
+            strides = strides_of shape;
+            shape;
+          }
+        in
+        Hashtbl.replace ctx.bufs b.Buffer.id s;
+        s)
+      f.Prim_func.params arg_shapes
+  in
+  let body = comp_stmt ctx f.Prim_func.body in
+  let name = f.Prim_func.name in
+  let nparams = List.length param_slots in
+  fun args ->
+    if List.length args <> nparams then
+      fail "%s: expected %d buffer arguments, got %d" name nparams
+        (List.length args);
+    List.iter2
+      (fun (s : slot) (nd : Base.Ndarray.t) ->
+        if nd.Base.Ndarray.shape <> s.shape then
+          fail "%s: argument shape changed since compilation" name;
+        match nd.Base.Ndarray.data with
+        | Base.Ndarray.Float_data a when s.is_float -> s.fdata <- a
+        | Base.Ndarray.Int_data a when not s.is_float -> s.idata <- a
+        | Base.Ndarray.Float_data _ | Base.Ndarray.Int_data _ ->
+            fail "%s: argument storage kind does not match declared dtype" name)
+      param_slots args;
+    body ()
+
+let run ?sym_args (f : Prim_func.t) (args : Base.Ndarray.t list) =
+  let c =
+    compile ?sym_args f (List.map (fun nd -> nd.Base.Ndarray.shape) args)
+  in
+  c args
+
+(* ---------- compiled-kernel cache ---------- *)
+
+module Cache = struct
+  type entry = { func : Prim_func.t; table : (string, compiled) Hashtbl.t }
+
+  type t = {
+    entries : (string, entry) Hashtbl.t;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create () = { entries = Hashtbl.create 32; hits = 0; misses = 0 }
+  let hits t = t.hits
+  let misses t = t.misses
+
+  let compiled_count t =
+    Hashtbl.fold (fun _ e acc -> acc + Hashtbl.length e.table) t.entries 0
+
+  let sig_key (shapes : int array list) (sym_args : (Arith.Var.t * int) list) =
+    let b = Stdlib.Buffer.create 32 in
+    List.iter
+      (fun s ->
+        Stdlib.Buffer.add_char b '[';
+        Array.iter
+          (fun d ->
+            Stdlib.Buffer.add_string b (string_of_int d);
+            Stdlib.Buffer.add_char b 'x')
+          s;
+        Stdlib.Buffer.add_char b ']')
+      shapes;
+    List.iter
+      (fun (_, x) ->
+        Stdlib.Buffer.add_char b '/';
+        Stdlib.Buffer.add_string b (string_of_int x))
+      sym_args;
+    Stdlib.Buffer.contents b
+
+  let run t ?(sym_args = []) (f : Prim_func.t) (args : Base.Ndarray.t list) =
+    let shapes = List.map (fun nd -> nd.Base.Ndarray.shape) args in
+    let entry =
+      (* Keyed by name, validated by physical identity: a same-named
+         but distinct prim func (e.g. rebuilt by a legalizer) replaces
+         the entry rather than reusing stale code. *)
+      match Hashtbl.find_opt t.entries f.Prim_func.name with
+      | Some e when e.func == f -> e
+      | Some _ | None ->
+          let e = { func = f; table = Hashtbl.create 4 } in
+          Hashtbl.replace t.entries f.Prim_func.name e;
+          e
+    in
+    let key = sig_key shapes sym_args in
+    let compiled_f =
+      match Hashtbl.find_opt entry.table key with
+      | Some c ->
+          t.hits <- t.hits + 1;
+          c
+      | None ->
+          t.misses <- t.misses + 1;
+          let c = compile ~sym_args f shapes in
+          Hashtbl.replace entry.table key c;
+          c
+    in
+    compiled_f args
+end

@@ -1,0 +1,67 @@
+(** Compile tensor programs to cached OCaml closures (the numeric hot
+    path).
+
+    {!Interp} executes a prim func by walking the AST per tensor
+    element with boxed values and hashtable variable lookups. This
+    module instead translates the body once per (kernel, shape
+    signature) into nested closures: symbolic shape variables become
+    compile-time constants, loop variables live in a flat mutable
+    [int array], and buffer accesses become precomputed-stride flat
+    indexing on raw [float array]/[int array] storage with arithmetic
+    dispatched on int/float kind at compile time.
+
+    The VM's numeric mode, the eager baseline and constant folding all
+    execute kernels through this module; {!Interp} remains the
+    reference semantics, and test/test_compile.ml differential-tests
+    the two paths for bit-identical outputs over every registered
+    kernel and schedule-transformed variants. *)
+
+type compiled = Base.Ndarray.t list -> unit
+(** A bound kernel: call with arguments whose shapes match the
+    signature it was compiled for (outputs mutated in place, as with
+    {!Interp.run}). *)
+
+val compile :
+  ?sym_args:(Arith.Var.t * int) list ->
+  Prim_func.t ->
+  int array list ->
+  compiled
+(** [compile f arg_shapes] specializes [f] to the given concrete
+    argument shapes. Symbolic variables are bound by unifying declared
+    parameter shapes with [arg_shapes] (plus explicit [sym_args]),
+    exactly as {!Interp.run} does.
+    @raise Interp.Runtime_error on rank/shape inconsistencies or
+    ill-kinded expressions (e.g. a float used as an index). *)
+
+val run :
+  ?sym_args:(Arith.Var.t * int) list ->
+  Prim_func.t ->
+  Base.Ndarray.t list ->
+  unit
+(** Compile-and-execute once (drop-in replacement for
+    {!Interp.run}). Use {!Cache.run} on repeated execution paths. *)
+
+(** Memoizes compiled kernels by (kernel name, shape signature,
+    symbolic arguments). Entries are validated by physical identity of
+    the prim func, so a same-named but rebuilt kernel recompiles
+    rather than reusing stale code. *)
+module Cache : sig
+  type t
+
+  val create : unit -> t
+
+  val run :
+    t ->
+    ?sym_args:(Arith.Var.t * int) list ->
+    Prim_func.t ->
+    Base.Ndarray.t list ->
+    unit
+  (** Execute through the cache: compile on first sight of a
+      (kernel, shape signature), replay the stored closure after. *)
+
+  val hits : t -> int
+  val misses : t -> int
+
+  val compiled_count : t -> int
+  (** Number of distinct (kernel, shape signature) entries compiled. *)
+end

@@ -77,7 +77,7 @@ and eval_binop env op ea eb =
   | Texpr.Div, _, _ -> F (to_f a /. to_f b)
   | Texpr.Floor_div, I x, I y ->
       if y = 0 then fail "floordiv by zero" else I (Arith.Expr.fdiv x y)
-  | Texpr.Floor_div, _, _ -> F (Float.of_int (int_of_float (floor (to_f a /. to_f b))))
+  | Texpr.Floor_div, _, _ -> F (floor (to_f a /. to_f b))
   | Texpr.Floor_mod, I x, I y ->
       if y = 0 then fail "floormod by zero" else I (Arith.Expr.fmod x y)
   | Texpr.Floor_mod, _, _ -> F (Float.rem (to_f a) (to_f b))
@@ -90,7 +90,7 @@ and eval_binop env op ea eb =
   | Texpr.Bit_or, _, _ -> I (to_i a lor to_i b)
   | Texpr.Bit_xor, _, _ -> I (to_i a lxor to_i b)
   | Texpr.Shift_left, _, _ -> I (to_i a lsl to_i b)
-  | Texpr.Shift_right, _, _ -> I (to_i a lsr to_i b)
+  | Texpr.Shift_right, _, _ -> I (to_i a asr to_i b)
   | Texpr.Eq, I x, I y -> bool_ (x = y)
   | Texpr.Eq, _, _ -> bool_ (to_f a = to_f b)
   | Texpr.Ne, I x, I y -> bool_ (x <> y)

@@ -28,3 +28,8 @@ val run :
 
 val eval_shape : (Arith.Var.t -> int) -> Arith.Expr.t list -> int array
 (** Evaluate a symbolic shape under a variable environment. *)
+
+val erf : float -> float
+(** The error-function approximation used by [Texpr.Erf]
+    (Abramowitz & Stegun 7.1.26). Shared with {!Compile} so the two
+    execution paths are bit-identical. *)

@@ -1,0 +1,391 @@
+(* Differential suite for the compiled kernel layer (Tir.Compile).
+
+   Every kernel family in Tir.Kernels, plus schedule-transformed
+   variants, runs under fixed and random shapes/inputs through both
+   Tir.Interp.run (the reference semantics) and the compiled-closure
+   path; outputs must be bit-identical. Also covers the compiled-kernel
+   cache (VM and standalone), the Floor_div/Shift_right semantics
+   fixes, and the @perf-smoke timing sanity check (compiled must not be
+   slower than interpreted on the matmul micro case). *)
+
+let e = Arith.Expr.const
+let sym = Arith.Var.fresh
+let f32 = Base.Dtype.F32
+
+let bits_equal_exn msg (a : Base.Ndarray.t) (b : Base.Ndarray.t) =
+  if a.Base.Ndarray.shape <> b.Base.Ndarray.shape then
+    Alcotest.failf "%s: shapes differ" msg;
+  match (a.Base.Ndarray.data, b.Base.Ndarray.data) with
+  | Base.Ndarray.Float_data x, Base.Ndarray.Float_data y ->
+      Array.iteri
+        (fun i v ->
+          if Int64.bits_of_float v <> Int64.bits_of_float y.(i) then
+            Alcotest.failf "%s: element %d differs: %h vs %h" msg i v y.(i))
+        x
+  | Base.Ndarray.Int_data x, Base.Ndarray.Int_data y ->
+      Array.iteri
+        (fun i v ->
+          if v <> y.(i) then
+            Alcotest.failf "%s: element %d differs: %d vs %d" msg i v y.(i))
+        x
+  | _ -> Alcotest.failf "%s: storage kinds differ" msg
+
+(* Run [k] through the interpreter and the compiled path on identical
+   inputs (same seeds, separate arrays); all buffers — inputs included,
+   to catch clobbering — must come out bit-identical. *)
+let differential ?(sym_args = []) ?(seed = 0) msg (k : Tir.Prim_func.t)
+    (shapes : int array list) =
+  let n = List.length k.Tir.Prim_func.params in
+  let n_out = k.Tir.Prim_func.num_outputs in
+  let mk () =
+    List.mapi
+      (fun i ((b : Tir.Buffer.t), shape) ->
+        if i >= n - n_out then Base.Ndarray.create b.Tir.Buffer.dtype shape
+        else
+          Base.Ndarray.random_uniform
+            ~seed:((31 * i) + (7 * seed) + 3)
+            b.Tir.Buffer.dtype shape)
+      (List.combine k.Tir.Prim_func.params shapes)
+  in
+  let ref_args = mk () and cmp_args = mk () in
+  Tir.Interp.run ~sym_args k ref_args;
+  Tir.Compile.run ~sym_args k cmp_args;
+  List.iteri
+    (fun i (r, c) -> bits_equal_exn (Printf.sprintf "%s[arg %d]" msg i) r c)
+    (List.combine ref_args cmp_args)
+
+(* ---------- every kernel family, fixed shapes ---------- *)
+
+let va () = Arith.Expr.var (sym "a")
+let vb () = Arith.Expr.var (sym "b")
+
+let test_elementwise () =
+  differential "exp"
+    (Tir.Kernels.unary ~name:"exp"
+       ~op:(fun x -> Tir.Texpr.Unop (Tir.Texpr.Exp, x))
+       [ va () ] f32)
+    [ [| 7 |]; [| 7 |] ];
+  List.iter
+    (fun (name, op) ->
+      differential name
+        (Tir.Kernels.unary ~name ~op [ va (); vb () ] f32)
+        [ [| 3; 5 |]; [| 3; 5 |] ])
+    [ ("relu", Tir.Kernels.relu);
+      ("silu", Tir.Kernels.silu);
+      ("gelu", Tir.Kernels.gelu);
+      ("sigmoid", fun x -> Tir.Texpr.Unop (Tir.Texpr.Sigmoid, x));
+      ("tanh", fun x -> Tir.Texpr.Unop (Tir.Texpr.Tanh, x));
+      ("neg", fun x -> Tir.Texpr.Unop (Tir.Texpr.Neg, x)) ];
+  differential "add"
+    (Tir.Kernels.binary ~name:"add"
+       ~op:(fun a b -> Tir.Texpr.(a +. b))
+       [ va (); vb () ] f32)
+    [ [| 4; 3 |]; [| 4; 3 |]; [| 4; 3 |] ];
+  let a = va () and b = vb () in
+  differential "broadcast_mul"
+    (Tir.Kernels.broadcast_binary ~name:"bmul"
+       ~op:(fun x y -> Tir.Texpr.(x *. y))
+       ~lhs:[ a; b ] ~rhs:[ b ] f32)
+    [ [| 4; 5 |]; [| 5 |]; [| 4; 5 |] ];
+  differential "cast_f2i"
+    (Tir.Kernels.cast_kernel ~name:"c1" [ va () ] ~from_:f32
+       ~to_:Base.Dtype.I32)
+    [ [| 6 |]; [| 6 |] ];
+  differential "cast_i2f"
+    (Tir.Kernels.cast_kernel ~name:"c2" [ va () ] ~from_:Base.Dtype.I32
+       ~to_:f32)
+    [ [| 6 |]; [| 6 |] ]
+
+let test_matmul_family () =
+  differential "matmul_weights"
+    (Tir.Kernels.matmul_weights ~name:"mm" ~m:(va ()) ~k:(e 6) ~n:(e 4) f32)
+    [ [| 5; 6 |]; [| 6; 4 |]; [| 5; 4 |] ];
+  differential "batched_matmul"
+    (Tir.Kernels.matmul ~name:"bmm" ~batch:[ e 2 ] ~m:(va ()) ~k:(e 3)
+       ~n:(e 2) f32)
+    [ [| 2; 4; 3 |]; [| 2; 3; 2 |]; [| 2; 4; 2 |] ];
+  differential "split_k_matmul"
+    (Tir.Kernels.split_k_matmul ~name:"mmsk" ~m:(e 4) ~k:(e 8) ~n:(e 3)
+       ~splits:2 f32)
+    [ [| 4; 8 |]; [| 8; 3 |]; [| 4; 3 |] ]
+
+let test_layout_kernels () =
+  differential "transpose2"
+    (Tir.Kernels.transpose ~name:"t2" [ va (); vb () ] ~perm:[ 1; 0 ] f32)
+    [ [| 3; 4 |]; [| 4; 3 |] ];
+  differential "transpose3"
+    (Tir.Kernels.transpose ~name:"t3" [ e 2; e 3; e 4 ] ~perm:[ 2; 0; 1 ] f32)
+    [ [| 2; 3; 4 |]; [| 4; 2; 3 |] ];
+  differential "reshape"
+    (Tir.Kernels.reshape ~name:"rs" ~from_:[ e 6; e 4 ] ~to_:[ e 2; e 3; e 4 ]
+       f32)
+    [ [| 6; 4 |]; [| 2; 3; 4 |] ];
+  differential "take_rows"
+    (Tir.Kernels.take_rows ~name:"tk" ~rows:(e 16) ~width:(e 3)
+       ~num_indices:(va ()) f32)
+    [ [| 16; 3 |]; [| 5 |]; [| 5; 3 |] ]
+
+let test_reduction_kernels () =
+  List.iter
+    (fun (name, kind) ->
+      differential name
+        (Tir.Kernels.reduce ~name ~kind [ va (); vb () ] f32)
+        [ [| 4; 6 |]; [| 4 |] ])
+    [ ("rsum", `Sum); ("rmean", `Mean); ("rmax", `Max) ];
+  differential "softmax"
+    (Tir.Kernels.softmax_last ~name:"sm" [ va (); vb () ] f32)
+    [ [| 3; 7 |]; [| 3; 7 |] ];
+  differential "rms_norm"
+    (Tir.Kernels.rms_norm ~name:"rn" [ va (); vb () ] ~eps:1e-5 f32)
+    [ [| 3; 8 |]; [| 8 |]; [| 3; 8 |] ];
+  differential "layer_norm"
+    (Tir.Kernels.layer_norm ~name:"ln" [ va (); vb () ] ~eps:1e-5 f32)
+    [ [| 3; 8 |]; [| 8 |]; [| 8 |]; [| 3; 8 |] ]
+
+let test_quant_kernels () =
+  differential "decode_q4"
+    (Tir.Kernels.decode_q4 ~name:"q4" ~k:(e 4) ~n:(e 16) f32)
+    [ [| 4; 2 |]; [| 4; 1 |]; [| 4; 16 |] ];
+  differential "decode_q3"
+    (Tir.Kernels.decode_q3 ~name:"q3" ~k:(e 4) ~n:(e 20) f32)
+    [ [| 4; 2 |]; [| 4; 1 |]; [| 4; 20 |] ]
+
+(* ---------- schedule-transformed variants ---------- *)
+
+let test_scheduled_variants () =
+  let mk () =
+    Tir.Kernels.matmul_weights ~name:"mm" ~m:(Arith.Expr.var (sym "n"))
+      ~k:(e 6) ~n:(e 10) f32
+  in
+  let shapes = [ [| 5; 6 |]; [| 6; 10 |]; [| 5; 10 |] ] in
+  let check name f = differential name f shapes in
+  let f = mk () in
+  (match Tir.Schedule.loop_vars f with
+  | i :: j :: _ ->
+      let fd, _, _ = Tir.Schedule.split f ~loop:j ~factor:5 in
+      check "split divisible" fd;
+      let fg, _, _ = Tir.Schedule.split f ~loop:j ~factor:4 in
+      check "split guarded" fg;
+      let fs, _, _ = Tir.Schedule.split f ~loop:i ~factor:4 in
+      check "split symbolic extent" fs;
+      check "reorder" (Tir.Schedule.reorder f ~outer:i ~inner:j);
+      check "tile 2x4" (Tir.Schedule.tile2 f ~i ~j ~ti:2 ~tj:4);
+      check "parallelize" (Tir.Schedule.parallelize f ~loop:i);
+      check "unroll" (Tir.Schedule.unroll f ~loop:j)
+  | _ -> Alcotest.fail "expected at least two loops");
+  check "auto_schedule" (Tir.Schedule.auto_schedule (mk ()))
+
+(* ---------- qcheck: random shapes through both paths ---------- *)
+
+let prop_random_shapes =
+  QCheck.Test.make ~count:60 ~name:"compiled matches interp on random shapes"
+    QCheck.(
+      quad (int_range 1 8) (int_range 1 8) (int_range 1 8) (int_range 0 1000))
+    (fun (a, b, c, seed) ->
+      differential ~seed "rand matmul"
+        (Tir.Kernels.matmul_weights ~name:"mm" ~m:(va ()) ~k:(e b) ~n:(e c)
+           f32)
+        [ [| a; b |]; [| b; c |]; [| a; c |] ];
+      differential ~seed "rand gelu"
+        (Tir.Kernels.unary ~name:"g" ~op:Tir.Kernels.gelu [ va (); vb () ] f32)
+        [ [| a; b |]; [| a; b |] ];
+      differential ~seed "rand softmax"
+        (Tir.Kernels.softmax_last ~name:"sm" [ va (); vb () ] f32)
+        [ [| a; c |]; [| a; c |] ];
+      differential ~seed "rand layer_norm"
+        (Tir.Kernels.layer_norm ~name:"ln" [ va (); vb () ] ~eps:1e-5 f32)
+        [ [| a; b |]; [| b |]; [| b |]; [| a; b |] ];
+      differential ~seed "rand reduce"
+        (Tir.Kernels.reduce ~name:"r" ~kind:`Sum [ va (); vb () ] f32)
+        [ [| c; a |]; [| c |] ];
+      true)
+
+let prop_random_schedules =
+  QCheck.Test.make ~count:40
+    ~name:"compiled matches interp under random split factors"
+    QCheck.(triple (int_range 1 8) (int_range 2 5) (int_range 2 5))
+    (fun (m, fi, fj) ->
+      let f =
+        Tir.Kernels.matmul_weights ~name:"mm" ~m:(Arith.Expr.var (sym "n"))
+          ~k:(e 6) ~n:(e 10) f32
+      in
+      let shapes = [ [| m; 6 |]; [| 6; 10 |]; [| m; 10 |] ] in
+      (match Tir.Schedule.loop_vars f with
+      | i :: j :: _ ->
+          let f', _, _ = Tir.Schedule.split f ~loop:i ~factor:fi in
+          let f', _, _ = Tir.Schedule.split f' ~loop:j ~factor:fj in
+          differential ~seed:m "rand schedule" f' shapes
+      | _ -> Alcotest.fail "expected loops");
+      true)
+
+(* ---------- semantics fixes (regression) ---------- *)
+
+let test_floor_div_float () =
+  (* floor must stay in double precision: truncating through a native
+     int corrupts magnitudes beyond 2^62. *)
+  let k =
+    Tir.Kernels.unary ~name:"fd"
+      ~op:(fun x -> Tir.Texpr.Binop (Tir.Texpr.Floor_div, x, Tir.Texpr.f 2.0))
+      [ e 4 ] f32
+  in
+  let x = Base.Ndarray.of_float_list f32 [| 4 |] [ 1e19; -7.5; 7.5; -1e19 ] in
+  let expect = [ 5e18; -4.0; 3.0; -5e18 ] in
+  let y_i = Base.Ndarray.create f32 [| 4 |] in
+  Tir.Interp.run k [ x; y_i ];
+  Alcotest.(check (list (float 0.0))) "interp floor_div" expect
+    (Base.Ndarray.to_float_list y_i);
+  let y_c = Base.Ndarray.create f32 [| 4 |] in
+  Tir.Compile.run k [ x; y_c ];
+  Alcotest.(check (list (float 0.0))) "compiled floor_div" expect
+    (Base.Ndarray.to_float_list y_c)
+
+let test_shift_right_arithmetic () =
+  (* >> on signed ints must be an arithmetic shift: negative operands
+     keep their sign instead of turning into huge positives (lsr). *)
+  let i32 = Base.Dtype.I32 in
+  let x = Tir.Buffer.create "X" [ e 4 ] i32 in
+  let y = Tir.Buffer.create "Y" [ e 4 ] i32 in
+  let body =
+    Tir.Stmt.grid
+      [ ("i", e 4) ]
+      (fun idx ->
+        Tir.Stmt.Store
+          ( y,
+            List.map Tir.Texpr.idx idx,
+            Tir.Texpr.Binop
+              (Tir.Texpr.Shift_right, Tir.Texpr.load x idx, Tir.Texpr.i 1) ))
+  in
+  let k = Tir.Prim_func.create ~name:"shr" ~params:[ x; y ] body in
+  let input = Base.Ndarray.of_int_list i32 [| 4 |] [ -8; -1; 8; 3 ] in
+  let expect = [ -4; -1; 4; 1 ] in
+  let ints nd = List.map int_of_float (Base.Ndarray.to_float_list nd) in
+  let y_i = Base.Ndarray.create i32 [| 4 |] in
+  Tir.Interp.run k [ input; y_i ];
+  Alcotest.(check (list int)) "interp asr" expect (ints y_i);
+  let y_c = Base.Ndarray.create i32 [| 4 |] in
+  Tir.Compile.run k [ input; y_c ];
+  Alcotest.(check (list int)) "compiled asr" expect (ints y_c)
+
+(* ---------- cache behavior ---------- *)
+
+let test_cache_keying () =
+  let n = sym "n" in
+  let k =
+    Tir.Kernels.unary ~name:"relu" ~op:Tir.Kernels.relu
+      [ Arith.Expr.var n ] f32
+  in
+  let cache = Tir.Compile.Cache.create () in
+  let run len =
+    let x = Base.Ndarray.random_uniform ~seed:len f32 [| len |] in
+    let y = Base.Ndarray.create f32 [| len |] in
+    Tir.Compile.Cache.run cache k [ x; y ]
+  in
+  run 4;
+  run 4;
+  run 8;
+  Alcotest.(check int) "two shape signatures compiled" 2
+    (Tir.Compile.Cache.compiled_count cache);
+  Alcotest.(check int) "one replay hit" 1 (Tir.Compile.Cache.hits cache);
+  Alcotest.(check int) "two misses" 2 (Tir.Compile.Cache.misses cache);
+  (* A distinct same-named kernel must not reuse stale code. *)
+  let k2 =
+    Tir.Kernels.unary ~name:"relu"
+      ~op:(fun x -> Tir.Texpr.Unop (Tir.Texpr.Neg, x))
+      [ Arith.Expr.var (sym "n") ]
+      f32
+  in
+  let x = Base.Ndarray.of_float_list f32 [| 4 |] [ 1.0; -2.0; 3.0; -4.0 ] in
+  let y = Base.Ndarray.create f32 [| 4 |] in
+  Tir.Compile.Cache.run cache k2 [ x; y ];
+  Alcotest.(check (list (float 0.0))) "replaced entry recompiles"
+    [ -1.0; 2.0; -3.0; 4.0 ]
+    (Base.Ndarray.to_float_list y)
+
+let test_vm_kernel_cache () =
+  let open Relax_core in
+  let b = Builder.create () in
+  Builder.function_ b ~name:"main"
+    ~params:[ ("x", Struct_info.tensor [ e 4; e 4 ] f32) ]
+    (fun params ->
+      match params with
+      | [ x ] ->
+          Builder.dataflow b (fun () ->
+              let o1 = Builder.emit b (Expr.call_op "relu" [ Expr.Var x ]) in
+              let o2 = Builder.emit b (Expr.call_op "gelu" [ Expr.Var o1 ]) in
+              Expr.Var o2)
+      | _ -> assert false);
+  let mod_ = Builder.module_ b in
+  let program =
+    Relax_passes.Pipeline.compile ~device:Runtime.Device.rtx4090 mod_
+  in
+  let vm = Runtime.Vm.create `Numeric program in
+  let x = Base.Ndarray.random_uniform ~seed:5 f32 [| 4; 4 |] in
+  let r1 =
+    Runtime.Vm.value_tensor (Runtime.Vm.run vm "main" [ Runtime.Vm.tensor x ])
+  in
+  let cache = Runtime.Vm.kernel_cache vm in
+  let m1 = Tir.Compile.Cache.misses cache in
+  Alcotest.(check bool) "first run compiles kernels" true (m1 > 0);
+  let r2 =
+    Runtime.Vm.value_tensor (Runtime.Vm.run vm "main" [ Runtime.Vm.tensor x ])
+  in
+  Alcotest.(check int) "replay compiles nothing new" m1
+    (Tir.Compile.Cache.misses cache);
+  Alcotest.(check bool) "replay hits the cache" true
+    (Tir.Compile.Cache.hits cache >= m1);
+  bits_equal_exn "replay result" r1 r2
+
+(* ---------- @perf-smoke: compiled must not lose to the walker ---------- *)
+
+let test_perf_smoke () =
+  let s = 48 in
+  let k = Tir.Kernels.matmul_weights ~name:"mm" ~m:(e s) ~k:(e s) ~n:(e s) f32 in
+  let x = Base.Ndarray.random_uniform ~seed:1 f32 [| s; s |] in
+  let w = Base.Ndarray.random_uniform ~seed:2 f32 [| s; s |] in
+  let y = Base.Ndarray.create f32 [| s; s |] in
+  let args = [ x; w; y ] in
+  let reps = 5 in
+  let time f =
+    f ();
+    (* warm *)
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    Sys.time () -. t0
+  in
+  let interp_s = time (fun () -> Tir.Interp.run k args) in
+  let cache = Tir.Compile.Cache.create () in
+  let compiled_s = time (fun () -> Tir.Compile.Cache.run cache k args) in
+  Printf.printf
+    "perf-smoke matmul %dx%dx%d: interp %.2f ms/run, compiled %.2f ms/run \
+     (%.1fx)\n"
+    s s s
+    (interp_s *. 1000.0 /. float_of_int reps)
+    (compiled_s *. 1000.0 /. float_of_int reps)
+    (interp_s /. Float.max compiled_s 1e-9);
+  Alcotest.(check bool) "compiled <= interpreted" true
+    (compiled_s <= interp_s)
+
+let () =
+  Alcotest.run "compile"
+    [ ( "differential",
+        [ Alcotest.test_case "elementwise" `Quick test_elementwise;
+          Alcotest.test_case "matmul family" `Quick test_matmul_family;
+          Alcotest.test_case "layout kernels" `Quick test_layout_kernels;
+          Alcotest.test_case "reductions" `Quick test_reduction_kernels;
+          Alcotest.test_case "quantized decode" `Quick test_quant_kernels;
+          Alcotest.test_case "scheduled variants" `Quick
+            test_scheduled_variants ] );
+      ( "random",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_random_shapes; prop_random_schedules ] );
+      ( "semantics",
+        [ Alcotest.test_case "floor_div float" `Quick test_floor_div_float;
+          Alcotest.test_case "shift_right arithmetic" `Quick
+            test_shift_right_arithmetic ] );
+      ( "cache",
+        [ Alcotest.test_case "shape-signature keying" `Quick test_cache_keying;
+          Alcotest.test_case "vm kernel cache" `Quick test_vm_kernel_cache ] );
+      ("perf_smoke", [ Alcotest.test_case "matmul" `Quick test_perf_smoke ])
+    ]
