@@ -5,6 +5,7 @@
    Run everything:        dune exec bench/main.exe
    One experiment:        dune exec bench/main.exe -- --only fig14
    List experiments:      dune exec bench/main.exe -- --list
+   JSON output dir:       dune exec bench/main.exe -- --only kernels --out results/
 
    Absolute numbers come from the roofline device models (DESIGN.md
    §1); the claims under reproduction are the *shapes*: who wins,
@@ -16,6 +17,16 @@ let section title =
 
 let tok_per_s us = 1_000_000.0 /. us
 let ms us = us /. 1000.0
+
+(* Experiments that emit machine-readable JSON (kernels, serving)
+   write into this directory; --out DIR redirects them, creating DIR
+   if needed. *)
+let out_dir = ref "."
+
+let out_file name =
+  if !out_dir <> "." && not (Sys.file_exists !out_dir) then
+    Sys.mkdir !out_dir 0o755;
+  Filename.concat !out_dir name
 
 (* ---------- shared measurement helpers ---------- *)
 
@@ -566,7 +577,7 @@ let bechamel_section () =
         built.Frontend.Llm.mod_
     in
     let vm = Runtime.Vm.create `Numeric program in
-    let args = Frontend.Llm.args_for built ~ctx:4 ~mode:(`Numeric 1) () in
+    let args = Frontend.Llm.args_for built ~ctx:4 ~seed:1 ~mode:`Numeric () in
     Test.make ~name:"vm.numeric tiny-llm decode step"
       (Staged.stage (fun () -> ignore (Runtime.Vm.run vm "decode" args)))
   in
@@ -670,7 +681,8 @@ let kernels_bench () =
         (kernel, size, interp_ns, compiled_ns, speedup))
       cases
   in
-  let oc = open_out "BENCH_kernels.json" in
+  let path = out_file "BENCH_kernels.json" in
+  let oc = open_out path in
   Printf.fprintf oc
     "{\n  \"benchmark\": \"tir_kernel_execution\",\n  \"units\": \"ns_per_run\",\n  \"results\": [\n";
   List.iteri
@@ -683,7 +695,132 @@ let kernels_bench () =
     rows;
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
-  Printf.printf "  wrote BENCH_kernels.json\n"
+  Printf.printf "  wrote %s\n" path
+
+(* ---------- serving: continuous vs static batching ---------- *)
+
+let serving () =
+  section "serving: continuous vs static batching, Llama3-8B on RTX 4090";
+  (* Throughput-vs-request-rate curves for the serving engine
+     (lib/serve): iteration-level continuous batching against a
+     static-cohort baseline, at two batch limits each. One model
+     (compiled programs + memoized step costs) is shared across the
+     whole sweep, so each grid point is pure discrete-event
+     simulation after the per-bucket warm-ups. The claim under
+     reproduction: at low rates the policies tie (arrival-bound),
+     while at high rates continuous batching keeps the batch full and
+     dominates static on throughput and time-to-first-token. *)
+  let device = Runtime.Device.rtx4090 in
+  let cfg = Frontend.Configs.llama3_8b in
+  let model =
+    Serve.Scheduler.model ~cfg ~precision:Frontend.Llm.F16 ~device
+  in
+  let rates = [ 1.0; 2.0; 5.0; 10.0; 20.0 ] in
+  let variants =
+    [ (Serve.Scheduler.Continuous, 8); (Serve.Scheduler.Continuous, 32);
+      (Serve.Scheduler.Static, 8); (Serve.Scheduler.Static, 32) ]
+  in
+  let policy_name = function
+    | Serve.Scheduler.Continuous -> "continuous"
+    | Serve.Scheduler.Static -> "static"
+  in
+  let workload rate =
+    Serve.Workload.generate ~seed:42 ~rate_per_s:rate ~num_requests:60
+      ~max_total:cfg.Frontend.Configs.max_context
+      ~prompt:(Serve.Workload.Uniform (64, 192))
+      ~output:(Serve.Workload.Uniform (32, 96)) ()
+  in
+  let curves =
+    List.map
+      (fun (policy, max_batch) ->
+        Printf.printf "\n--- %s, max batch %d ---\n" (policy_name policy)
+          max_batch;
+        Printf.printf "%-12s %12s %14s %14s %12s\n" "req/s" "tokens/s"
+          "TTFT p50 (ms)" "e2e p95 (ms)" "occupancy";
+        let points =
+          List.map
+            (fun rate ->
+              let opts =
+                { Serve.Scheduler.default_opts with
+                  Serve.Scheduler.policy;
+                  max_batch;
+                  block_size = 16 }
+              in
+              let r = Serve.Scheduler.run model opts (workload rate) in
+              let s = r.Serve.Scheduler.summary in
+              Printf.printf "%-12.1f %12.1f %14.1f %14.1f %12.2f\n" rate
+                s.Serve.Metrics.tokens_per_s
+                (ms s.Serve.Metrics.ttft_us.Serve.Metrics.p50)
+                (ms s.Serve.Metrics.e2e_us.Serve.Metrics.p95)
+                s.Serve.Metrics.occupancy;
+              (rate, s))
+            rates
+        in
+        (policy, max_batch, points))
+      variants
+  in
+  (* The headline crossover: at the highest request rate, continuous
+     batching must beat the static cohort baseline at the same batch
+     limit. *)
+  let at policy mb =
+    let _, _, points =
+      List.find (fun (p, b, _) -> p = policy && b = mb) curves
+    in
+    snd (List.nth points (List.length points - 1))
+  in
+  let top_rate = List.nth rates (List.length rates - 1) in
+  List.iter
+    (fun mb ->
+      let c = at Serve.Scheduler.Continuous mb in
+      let s = at Serve.Scheduler.Static mb in
+      Printf.printf
+        "\nat %.0f req/s, max batch %d: continuous %.1f tok/s vs static %.1f \
+         tok/s (%.2fx)%s\n"
+        top_rate mb c.Serve.Metrics.tokens_per_s s.Serve.Metrics.tokens_per_s
+        (c.Serve.Metrics.tokens_per_s /. s.Serve.Metrics.tokens_per_s)
+        (if c.Serve.Metrics.tokens_per_s > s.Serve.Metrics.tokens_per_s then ""
+         else "  ** EXPECTED CONTINUOUS TO WIN **"))
+    [ 8; 32 ];
+  let path = out_file "BENCH_serving.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"serving_continuous_batching\",\n\
+    \  \"model\": %S,\n\
+    \  \"device\": %S,\n\
+    \  \"precision\": \"F16\",\n\
+    \  \"workload\": { \"seed\": 42, \"num_requests\": 60, \"prompt\": [64, \
+     192], \"output\": [32, 96] },\n\
+    \  \"curves\": [\n"
+    cfg.Frontend.Configs.name device.Runtime.Device.name;
+  List.iteri
+    (fun ci (policy, max_batch, points) ->
+      Printf.fprintf oc
+        "    { \"policy\": %S, \"max_batch\": %d, \"points\": [\n"
+        (policy_name policy) max_batch;
+      List.iteri
+        (fun pi (rate, (s : Serve.Metrics.summary)) ->
+          Printf.fprintf oc
+            "      { \"rate_per_s\": %.1f, \"tokens_per_s\": %.1f, \
+             \"ttft_p50_ms\": %.2f, \"ttft_p95_ms\": %.2f, \
+             \"per_token_p50_ms\": %.3f, \"e2e_p95_ms\": %.2f, \
+             \"occupancy\": %.3f, \"preemptions\": %d, \"completed\": %d }%s\n"
+            rate s.Serve.Metrics.tokens_per_s
+            (ms s.Serve.Metrics.ttft_us.Serve.Metrics.p50)
+            (ms s.Serve.Metrics.ttft_us.Serve.Metrics.p95)
+            (ms s.Serve.Metrics.per_token_us.Serve.Metrics.p50)
+            (ms s.Serve.Metrics.e2e_us.Serve.Metrics.p95)
+            s.Serve.Metrics.occupancy s.Serve.Metrics.preemptions
+            s.Serve.Metrics.completed
+            (if pi = List.length points - 1 then "" else ","))
+        points;
+      Printf.fprintf oc "    ] }%s\n"
+        (if ci = List.length curves - 1 then "" else ",")
+    )
+    curves;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\n  wrote %s\n" path
 
 (* ---------- registry ---------- *)
 
@@ -705,17 +842,38 @@ let experiments =
     ("fig11", "workspace lifting ablation", fig11);
     ("micro", "compiler micro-benchmarks (bechamel)", bechamel_section);
     ("kernels", "interpreted vs compiled TIR kernels; writes BENCH_kernels.json",
-     kernels_bench) ]
+     kernels_bench);
+    ("serving",
+     "continuous vs static batching serving sweep; writes BENCH_serving.json",
+     serving) ]
+
+let usage () =
+  prerr_endline
+    "usage: bench [--list] [--only EXPERIMENT] [--out DIR]\n\
+    \  --list        list experiments and exit\n\
+    \  --only ID     run one experiment instead of all\n\
+    \  --out DIR     write JSON outputs under DIR (created if missing)";
+  exit 1
 
 let () =
-  let args = Array.to_list Sys.argv in
-  match args with
-  | _ :: "--list" :: _ ->
-      List.iter (fun (id, title, _) -> Printf.printf "%-8s %s\n" id title) experiments
-  | _ :: "--only" :: id :: _ -> (
-      match List.find_opt (fun (i, _, _) -> i = id) experiments with
-      | Some (_, _, run) -> run ()
-      | None ->
-          Printf.eprintf "unknown experiment %s (try --list)\n" id;
-          exit 1)
-  | _ -> List.iter (fun (_, _, run) -> run ()) experiments
+  let only = ref None in
+  let list = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--list" :: rest -> list := true; parse rest
+    | "--only" :: id :: rest -> only := Some id; parse rest
+    | "--out" :: dir :: rest -> out_dir := dir; parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !list then
+    List.iter (fun (id, title, _) -> Printf.printf "%-8s %s\n" id title) experiments
+  else
+    match !only with
+    | Some id -> (
+        match List.find_opt (fun (i, _, _) -> i = id) experiments with
+        | Some (_, _, run) -> run ()
+        | None ->
+            Printf.eprintf "unknown experiment %s (try --list)\n" id;
+            exit 1)
+    | None -> List.iter (fun (_, _, run) -> run ()) experiments

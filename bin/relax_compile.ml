@@ -8,7 +8,9 @@
      dune exec bin/relax_compile.exe -- --model llama3-8b \
          --device "NVIDIA RTX 4090" --batch 1 --ctx 1024
      dune exec bin/relax_compile.exe -- --model llama3-8b --quant q4 \
-         --device "Jetson Orin" --no-fusion *)
+         --device "Jetson Orin" --no-fusion
+     dune exec bin/relax_compile.exe -- --serve --model llama3-8b \
+         --batch 16 --rate 10 --requests 40 *)
 
 let models =
   [ ("tiny", Frontend.Configs.tiny);
@@ -20,8 +22,77 @@ let models =
     ("phi3-mini", Frontend.Configs.phi3_mini);
     ("redpajama-3b", Frontend.Configs.redpajama_3b) ]
 
+(* --serve: drive the continuous-batching serving engine (lib/serve)
+   instead of timing a lone decode step. [batch] becomes the scheduler's
+   max batch; the workload is a seeded Poisson stream sized to the
+   model's max context. *)
+let run_serve cfg (device : Runtime.Device.t) precision ~max_batch ~rate
+    ~requests ~policy_name ~seed ~trace ~profile =
+  let policy =
+    match policy_name with
+    | "continuous" -> Serve.Scheduler.Continuous
+    | "static" -> Serve.Scheduler.Static
+    | other ->
+        Printf.eprintf "unknown policy %s (continuous|static)\n" other;
+        exit 1
+  in
+  let mmax = cfg.Frontend.Configs.max_context in
+  let workload =
+    Serve.Workload.generate ~seed ~rate_per_s:rate ~num_requests:requests
+      ~max_total:mmax
+      ~prompt:(Serve.Workload.Uniform (max 1 (mmax / 8), max 2 (mmax / 4)))
+      ~output:(Serve.Workload.Uniform (1, max 1 (mmax / 8)))
+      ()
+  in
+  let model = Serve.Scheduler.model ~cfg ~precision ~device in
+  let opts =
+    { Serve.Scheduler.default_opts with Serve.Scheduler.policy; max_batch }
+  in
+  let recorder = if trace then Some (Runtime.Trace.recorder ()) else None in
+  let profiler = if profile then Some (Runtime.Profiler.create ()) else None in
+  let sink =
+    match
+      ( Option.map Runtime.Trace.sink recorder,
+        Option.map Runtime.Profiler.sink profiler )
+    with
+    | Some r, Some p -> Some (Runtime.Trace.tee r p)
+    | Some s, None | None, Some s -> Some s
+    | None, None -> None
+  in
+  let r = Serve.Scheduler.run ?trace:sink model opts workload in
+  (match recorder with
+  | Some rec_ ->
+      print_endline "=== serving trace ===";
+      List.iter
+        (fun ev ->
+          match ev with
+          | Runtime.Trace.Serve _ ->
+              print_endline (Runtime.Trace.to_string ev)
+          | _ -> ())
+        (Runtime.Trace.events rec_)
+  | None -> ());
+  (match profiler with
+  | Some p ->
+      print_endline "=== serving profile ===";
+      print_string (Runtime.Profiler.report p)
+  | None -> ());
+  Printf.printf "model            %s (%s)\n" cfg.Frontend.Configs.name
+    (match precision with
+    | Frontend.Llm.F16 -> "f16"
+    | Frontend.Llm.Q4 -> "q4"
+    | Frontend.Llm.Q3 -> "q3");
+  Printf.printf "device           %s\n" device.Runtime.Device.name;
+  Printf.printf "policy           %s, max batch %d, block size %d tokens\n"
+    policy_name max_batch opts.Serve.Scheduler.block_size;
+  Printf.printf "workload         %d requests at %.1f req/s (seed %d)\n"
+    requests rate seed;
+  Printf.printf "KV blocks        %d x %d bytes\n"
+    (Serve.Block_manager.total_blocks r.Serve.Scheduler.blocks)
+    (Serve.Block_manager.block_bytes r.Serve.Scheduler.blocks);
+  print_string (Serve.Metrics.to_string r.Serve.Scheduler.summary)
+
 let run model_name device_name batch ctx quant dump_ir no_fusion no_library
-    no_planning no_capture paged trace profile =
+    no_planning no_capture paged trace profile serve rate requests policy seed =
   let cfg =
     match List.assoc_opt model_name models with
     | Some cfg -> cfg
@@ -50,6 +121,11 @@ let run model_name device_name batch ctx quant dump_ir no_fusion no_library
         Printf.eprintf "unknown precision %s (f16|q4|q3)\n" other;
         exit 1
   in
+  if serve then begin
+    run_serve cfg device precision ~max_batch:batch ~rate ~requests
+      ~policy_name:policy ~seed ~trace ~profile;
+    exit 0
+  end;
   (* Memory planning sizes storages for the model's declared maximum
      context; running past it would (correctly) fail the storage-fit
      check, so clamp the requested context instead. *)
@@ -170,11 +246,40 @@ let profile =
           "Aggregate the execution trace into a per-kernel profile \
            (calls, launches, simulated time, flops, bytes, peak memory).")
 
+let serve =
+  Arg.(
+    value & flag
+    & info [ "serve" ]
+        ~doc:
+          "Run the continuous-batching serving engine on a seeded Poisson \
+           request stream instead of timing a single decode step. \
+           $(b,--batch) sets the scheduler's max batch; combine with \
+           $(b,--rate), $(b,--requests), $(b,--policy) and $(b,--seed).")
+
+let rate =
+  Arg.(
+    value & opt float 5.0
+    & info [ "rate" ] ~doc:"Serving: request arrival rate, req/s.")
+
+let requests =
+  Arg.(
+    value & opt int 20
+    & info [ "requests" ] ~doc:"Serving: number of requests to serve.")
+
+let policy =
+  Arg.(
+    value & opt string "continuous"
+    & info [ "policy" ] ~doc:"Serving: continuous or static batching.")
+
+let seed =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Serving: workload seed.")
+
 let cmd =
   Cmd.v
     (Cmd.info "relax_compile" ~doc:"Compile and time a model from the zoo")
     Term.(
       const run $ model $ device $ batch $ ctx $ quant $ dump_ir $ no_fusion
-      $ no_library $ no_planning $ no_capture $ paged $ trace $ profile)
+      $ no_library $ no_planning $ no_capture $ paged $ trace $ profile
+      $ serve $ rate $ requests $ policy $ seed)
 
 let () = exit (Cmd.eval cmd)

@@ -41,4 +41,29 @@ let () =
         (st.Runtime.Vm.kernel_launches / 3)
         (st.Runtime.Vm.lib_calls / 3)
         (if st.Runtime.Vm.graph_replays > 0 then "captured" else "-"))
-    Runtime.Device.all_presets
+    Runtime.Device.all_presets;
+  (* Numeric runs are reproducible under an explicit seed: the same
+     seed yields bit-identical weights and logits, a different seed
+     does not — the property serving smoke tests rely on. *)
+  let tiny = Frontend.Llm.decode Frontend.Configs.tiny ~batch:1 Frontend.Llm.F16 in
+  let program =
+    Relax_passes.Pipeline.compile
+      ~options:
+        { Relax_passes.Pipeline.default_options with
+          Relax_passes.Pipeline.upper_bounds = Frontend.Llm.upper_bound_hints tiny }
+      ~device:Runtime.Device.rtx4090 tiny.Frontend.Llm.mod_
+  in
+  let logits_with seed =
+    let vm = Runtime.Vm.create `Numeric program in
+    let args = Frontend.Llm.args_for tiny ~ctx:4 ~seed ~mode:`Numeric () in
+    match Runtime.Vm.run vm "decode" args with
+    | Runtime.Vm.Tuple_val (l :: _) | l -> Runtime.Vm.value_tensor l
+  in
+  Printf.printf
+    "\nnumeric reproducibility (tiny, ctx=4): seed 7 twice %s, seed 7 vs 8 %s\n"
+    (if Base.Ndarray.equal_approx (logits_with 7) (logits_with 7) then
+       "identical"
+     else "DIFFER")
+    (if Base.Ndarray.equal_approx (logits_with 7) (logits_with 8) then
+       "identical"
+     else "differ")

@@ -685,7 +685,7 @@ let prefill ?(return_caches = true) (cfg : Configs.t) precision =
 
 (* ---------- runtime argument construction ---------- *)
 
-let args_for built ~ctx ?batch ~mode () =
+let args_for built ~ctx ?batch ?(seed = 0) ~mode () =
   let lookup v =
     if Arith.Var.equal v built.ctx_var then ctx
     else
@@ -708,7 +708,7 @@ let args_for built ~ctx ?batch ~mode () =
           let shape = List.map (E.eval lookup) dims in
           match mode with
           | `Shadow -> Runtime.Vm.shadow_of_shape dtype shape
-          | `Numeric seed ->
+          | `Numeric ->
               Runtime.Vm.tensor
                 (Base.Ndarray.random_uniform ~seed:(seed + i) dtype
                    (Array.of_list shape)))

@@ -57,12 +57,19 @@ val args_for :
   built ->
   ctx:int ->
   ?batch:int ->
-  mode:[ `Shadow | `Numeric of int ] ->
+  ?seed:int ->
+  mode:[ `Shadow | `Numeric ] ->
   unit ->
   Runtime.Vm.value list
 (** Concrete VM arguments for context/sequence length [ctx] (and
     [batch] when compiled with a symbolic batch): shape-only shadows
-    for timed runs, seeded random tensors for numeric runs. *)
+    for timed runs, seeded random tensors for numeric runs. [seed]
+    (default 0) makes numeric runs reproducible: the i-th parameter is
+    drawn with seed [seed + i], so the same [seed] on the same build
+    always yields identical tensors. (Across different builds the
+    parameter indices differ — to share weights between e.g. [prefill]
+    and [decode_paged], extract the weight suffix from one call's
+    result and splice it into the other's arguments.) *)
 
 val upper_bound_hints : built -> (Arith.Var.t * int) list
 (** [ctx_var] (and the symbolic batch, if any) bounded by the model's

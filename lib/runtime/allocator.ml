@@ -60,6 +60,14 @@ let size_of t id =
   Option.map (fun { size } -> size) (Hashtbl.find_opt t.storages id)
 
 let live_bytes t = t.live
+
+let pool_free_bytes t =
+  List.fold_left (fun acc (size, _) -> acc + size) 0 t.free_pool
+
+let fragmentation t =
+  if t.live = 0 then 0.0
+  else float_of_int (pool_free_bytes t) /. float_of_int t.live
+
 let peak_bytes t = t.peak
 let alloc_count t = t.allocs
 

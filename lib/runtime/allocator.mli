@@ -32,6 +32,19 @@ val size_of : t -> int -> int option
 val live_bytes : t -> int
 (** Currently resident bytes (pool blocks count as resident). *)
 
+val pool_free_bytes : t -> int
+(** Bytes resident in the [`Pooling] free pool — allocated from the
+    device but not currently backing any live storage. 0 for
+    [`Planned]/[`Naive]. Admission controllers (the serving engine's
+    block manager) read this to decide whether a new request's cache
+    blocks fit without growing the pool. *)
+
+val fragmentation : t -> float
+(** Idle fraction of resident pool memory:
+    [pool_free_bytes / live_bytes] (0.0 when nothing is resident).
+    High values mean the pool holds blocks whose exact sizes no longer
+    match demand — the paper's "without planning" growth pathology. *)
+
 val peak_bytes : t -> int
 val alloc_count : t -> int
 (** Number of fresh (non-recycled) allocations performed. *)

@@ -9,6 +9,14 @@ type row = {
   mutable origin : string option;
 }
 
+type serve_counts = {
+  arrivals : int;
+  prefills : int;
+  decode_steps : int;
+  preempts : int;
+  finishes : int;
+}
+
 type t = {
   table : (string, row) Hashtbl.t;
   mutable steps : int;
@@ -20,7 +28,11 @@ type t = {
   mutable reuses : int;
   mutable frees : int;
   mutable events : int;
+  mutable serve : serve_counts;
 }
+
+let zero_serve =
+  { arrivals = 0; prefills = 0; decode_steps = 0; preempts = 0; finishes = 0 }
 
 let create () =
   {
@@ -34,6 +46,7 @@ let create () =
     reuses = 0;
     frees = 0;
     events = 0;
+    serve = zero_serve;
   }
 
 let row t kind name origin =
@@ -89,6 +102,15 @@ let feed t (ev : Trace.event) =
   | Trace.Free { live; _ } ->
       t.frees <- t.frees + 1;
       if live > t.peak_live then t.peak_live <- live
+  | Trace.Serve { tag; _ } ->
+      let s = t.serve in
+      t.serve <-
+        (match tag with
+        | `Request_arrive -> { s with arrivals = s.arrivals + 1 }
+        | `Prefill -> { s with prefills = s.prefills + 1 }
+        | `Decode_step -> { s with decode_steps = s.decode_steps + 1 }
+        | `Preempt -> { s with preempts = s.preempts + 1 }
+        | `Finish -> { s with finishes = s.finishes + 1 })
   | Trace.Exit _ | Trace.Instr_begin _ | Trace.Instr_end _ | Trace.Bind_shape _
   | Trace.Check_shape _ | Trace.Tensor_in_storage _ | Trace.End_of_life _ ->
       ()
@@ -115,6 +137,7 @@ let event_count t = t.events
 let alloc_count t = t.allocs
 let reuse_count t = t.reuses
 let free_count t = t.frees
+let serve_counts t = t.serve
 
 let report ?(top = 0) t =
   let buf = Buffer.create 1024 in
@@ -156,4 +179,11 @@ let report ?(top = 0) t =
        "memory: peak live %.2f MiB (%d bytes); %d allocs, %d reused, %d frees\n"
        (float_of_int t.peak_live /. 1048576.0)
        t.peak_live t.allocs t.reuses t.frees);
+  let s = t.serve in
+  if s.arrivals + s.prefills + s.decode_steps + s.preempts + s.finishes > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "serving: %d arrivals, %d prefills, %d decode steps, %d preemptions, \
+          %d finished\n"
+         s.arrivals s.prefills s.decode_steps s.preempts s.finishes);
   Buffer.contents buf

@@ -29,6 +29,16 @@ type row = {
       (** provenance: the Relax binding that produced the call *)
 }
 
+type serve_counts = {
+  arrivals : int;
+  prefills : int;
+  decode_steps : int;
+  preempts : int;
+  finishes : int;
+}
+(** Counts of {!Trace.Serve} events by tag (all zero unless a serving
+    engine fed its events into this profiler). *)
+
 type t
 
 val create : unit -> t
@@ -51,6 +61,7 @@ val event_count : t -> int
 val alloc_count : t -> int
 val reuse_count : t -> int
 val free_count : t -> int
+val serve_counts : t -> serve_counts
 
 val report : ?top:int -> t -> string
 (** Text table sorted by time; [top] truncates to the first [top]

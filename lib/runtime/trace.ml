@@ -37,8 +37,24 @@ type event =
     }
   | Capture_begin of { capture_id : int; func : string }
   | Capture_replay of { capture_id : int; func : string; overhead_us : float }
+  | Serve of {
+      tag : serve_tag;
+      id : int;
+      t_us : float;
+      batch : int;
+      tokens : int;
+    }
+
+and serve_tag = [ `Request_arrive | `Prefill | `Decode_step | `Preempt | `Finish ]
 
 type sink = event -> unit
+
+let serve_tag_name = function
+  | `Request_arrive -> "arrive"
+  | `Prefill -> "prefill"
+  | `Decode_step -> "decode_step"
+  | `Preempt -> "preempt"
+  | `Finish -> "finish"
 
 let shapes_str shapes =
   shapes |> Array.to_list
@@ -88,6 +104,11 @@ let render ~times ev =
       Printf.sprintf "capture #%d %s" capture_id func
   | Capture_replay { capture_id; func; overhead_us } ->
       Printf.sprintf "replay #%d %s%s" capture_id func (us overhead_us)
+  | Serve { tag; id; t_us; batch; tokens } ->
+      Printf.sprintf "serve %s%s b=%d tokens=%d%s" (serve_tag_name tag)
+        (if id >= 0 then Printf.sprintf " #%d" id else "")
+        batch tokens
+        (if times then Printf.sprintf " t=%.3f" t_us else "")
 
 let to_string ev = render ~times:true ev
 let shape_of ev = render ~times:false ev
@@ -123,5 +144,8 @@ let elapsed_us_of = function
   | Kernel_launch { elapsed_us; _ } | Extern_call { elapsed_us; _ } ->
       elapsed_us
   | Exit _ | Instr_begin _ | Instr_end _ | Bind_shape _ | Check_shape _
-  | Alloc _ | Tensor_in_storage _ | Free _ | End_of_life _ | Capture_begin _ ->
+  | Alloc _ | Tensor_in_storage _ | Free _ | End_of_life _ | Capture_begin _
+  | Serve _ ->
+      (* Serving events are markers on the engine's simulated clock; the
+         time they bracket is charged by the underlying VM runs. *)
       0.0

@@ -86,8 +86,30 @@ type event =
       (** First execution of a capture region: records the graph. *)
   | Capture_replay of { capture_id : int; func : string; overhead_us : float }
       (** Subsequent execution: replays at one fixed overhead. *)
+  | Serve of {
+      tag : serve_tag;
+      id : int;
+      t_us : float;
+      batch : int;
+      tokens : int;
+    }
+      (** A serving-engine scheduling decision (emitted by
+          [Serve.Scheduler], never by the VM itself). [id] is the
+          request id ([-1] for batch-level events), [t_us] the
+          engine's simulated clock at emission, [batch] the live batch
+          size and [tokens] the tokens processed by the event (prompt
+          length for [`Prefill], batch-wide tokens for [`Decode_step],
+          generated count for [`Finish]). [t_us] is a clock reading,
+          not a duration — {!elapsed_us_of} is 0 so profiler time
+          invariants over VM streams are unaffected. *)
+
+and serve_tag = [ `Request_arrive | `Prefill | `Decode_step | `Preempt | `Finish ]
 
 type sink = event -> unit
+
+val serve_tag_name : serve_tag -> string
+(** Short stable name ("arrive", "prefill", "decode_step", "preempt",
+    "finish") used by renderings and the profiler report. *)
 
 val to_string : event -> string
 (** One-line rendering including timing fields. *)

@@ -1,0 +1,85 @@
+type t = {
+  alloc : Runtime.Allocator.t;
+  block_size : int;
+  block_bytes : int;
+  total_blocks : int;
+  mutable used : int;
+  held : (int, int list) Hashtbl.t;  (** request id -> storage ids *)
+}
+
+let default_budget (cfg : Frontend.Configs.t) ~precision
+    (device : Runtime.Device.t) =
+  let weights =
+    Frontend.Configs.param_bytes cfg
+      ~quant_bits:(Frontend.Llm.bits_of_precision precision)
+  in
+  int_of_float ((device.Runtime.Device.vram_gb *. 1e9 *. 0.9) -. weights)
+
+let create ?kv_budget_bytes ~(cfg : Frontend.Configs.t) ~precision ~block_size
+    ~device alloc =
+  if block_size <= 0 then invalid_arg "Block_manager.create: block_size <= 0";
+  let block_bytes =
+    2 * cfg.Frontend.Configs.layers * cfg.Frontend.Configs.kv_heads
+    * cfg.Frontend.Configs.head_dim * block_size
+    * Base.Dtype.size_in_bytes Base.Dtype.F16
+  in
+  let budget =
+    match kv_budget_bytes with
+    | Some b -> b
+    | None -> default_budget cfg ~precision device
+  in
+  let total_blocks = budget / block_bytes in
+  if total_blocks <= 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Block_manager.create: budget %d B fits no %d B block (weights \
+          exceed VRAM?)"
+         budget block_bytes);
+  {
+    alloc;
+    block_size;
+    block_bytes;
+    total_blocks;
+    used = 0;
+    held = Hashtbl.create 64;
+  }
+
+let block_size t = t.block_size
+let block_bytes t = t.block_bytes
+let total_blocks t = t.total_blocks
+let used_blocks t = t.used
+let free_blocks t = t.total_blocks - t.used
+let blocks_for t tokens = (tokens + t.block_size - 1) / t.block_size
+
+let holds t ~request_id =
+  match Hashtbl.find_opt t.held request_id with
+  | None -> 0
+  | Some ids -> List.length ids
+
+let grow t ~request_id ~tokens =
+  let want = blocks_for t tokens in
+  let have = holds t ~request_id in
+  let delta = want - have in
+  if delta <= 0 then true
+  else if delta > free_blocks t then false
+  else begin
+    let fresh =
+      List.init delta (fun _ -> Runtime.Allocator.alloc t.alloc t.block_bytes)
+    in
+    let prev =
+      Option.value ~default:[] (Hashtbl.find_opt t.held request_id)
+    in
+    Hashtbl.replace t.held request_id (fresh @ prev);
+    t.used <- t.used + delta;
+    true
+  end
+
+let release t ~request_id =
+  match Hashtbl.find_opt t.held request_id with
+  | None -> ()
+  | Some ids ->
+      List.iter (Runtime.Allocator.free t.alloc) ids;
+      Hashtbl.remove t.held request_id;
+      t.used <- t.used - List.length ids
+
+let allocator t = t.alloc

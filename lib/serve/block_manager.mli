@@ -1,0 +1,51 @@
+(** Paged KV-cache block accounting (the vLLM-style allocator the
+    paper's serving evaluation assumes).
+
+    Each request's KV cache is stored in fixed-size blocks of
+    [block_size] token positions; a block holds K and V for every
+    layer and kv-head of the model. Blocks are drawn from a
+    [`Pooling] {!Runtime.Allocator}, so freed blocks stay resident
+    and are recycled exactly — {!Runtime.Allocator.pool_free_bytes}
+    exposes the recyclable pool the admission check consults.
+
+    The block budget defaults to the device's VRAM minus the model's
+    weight footprint (with 10% headroom for activations), matching
+    how serving systems size their cache pools. *)
+
+type t
+
+val create :
+  ?kv_budget_bytes:int ->
+  cfg:Frontend.Configs.t ->
+  precision:Frontend.Llm.precision ->
+  block_size:int ->
+  device:Runtime.Device.t ->
+  Runtime.Allocator.t ->
+  t
+(** The allocator should be [`Pooling]; [kv_budget_bytes] overrides
+    the VRAM-derived default (useful for tests).
+    @raise Invalid_argument if the budget fits no block at all. *)
+
+val block_size : t -> int
+val block_bytes : t -> int
+(** 2 (K,V) x layers x kv_heads x head_dim x block_size x f16. *)
+
+val total_blocks : t -> int
+val free_blocks : t -> int
+val used_blocks : t -> int
+val blocks_for : t -> int -> int
+(** Blocks needed to hold [tokens] cache positions. *)
+
+val holds : t -> request_id:int -> int
+(** Blocks currently held by a request (0 if none). *)
+
+val grow : t -> request_id:int -> tokens:int -> bool
+(** Ensure the request holds enough blocks for [tokens] positions,
+    allocating the delta. Returns [false] (and allocates nothing) if
+    the free pool cannot cover it — the caller preempts or defers. *)
+
+val release : t -> request_id:int -> unit
+(** Free all of a request's blocks back to the pool (preemption or
+    completion). No-op if it holds none. *)
+
+val allocator : t -> Runtime.Allocator.t

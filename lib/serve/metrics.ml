@@ -1,0 +1,78 @@
+type request_metrics = {
+  id : int;
+  arrival_us : float;
+  first_token_us : float;
+  finish_us : float;
+  prompt_len : int;
+  tokens : int;
+  preemptions : int;
+}
+
+type pct = { p50 : float; p95 : float; p99 : float }
+
+type summary = {
+  completed : int;
+  makespan_us : float;
+  tokens_per_s : float;
+  ttft_us : pct;
+  per_token_us : pct;
+  e2e_us : pct;
+  occupancy : float;
+  preemptions : int;
+}
+
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> 0.0
+  | sorted ->
+      let n = List.length sorted in
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+      List.nth sorted (max 0 (min (n - 1) (rank - 1)))
+
+let pct_of xs =
+  {
+    p50 = percentile 50.0 xs;
+    p95 = percentile 95.0 xs;
+    p99 = percentile 99.0 xs;
+  }
+
+let summarize ~makespan_us ~occupancy rs =
+  let tokens = List.fold_left (fun acc r -> acc + r.tokens) 0 rs in
+  let ttft = List.map (fun r -> r.first_token_us -. r.arrival_us) rs in
+  let e2e = List.map (fun r -> r.finish_us -. r.arrival_us) rs in
+  let per_tok =
+    List.map
+      (fun r ->
+        (r.finish_us -. r.first_token_us) /. float_of_int (max 1 (r.tokens - 1)))
+      rs
+  in
+  {
+    completed = List.length rs;
+    makespan_us;
+    tokens_per_s =
+      (if makespan_us > 0.0 then float_of_int tokens /. (makespan_us /. 1e6)
+       else 0.0);
+    ttft_us = pct_of ttft;
+    per_token_us = pct_of per_tok;
+    e2e_us = pct_of e2e;
+    occupancy;
+    preemptions =
+      List.fold_left (fun acc (r : request_metrics) -> acc + r.preemptions) 0 rs;
+  }
+
+let to_string s =
+  let ms v = v /. 1e3 in
+  String.concat "\n"
+    [
+      Printf.sprintf "completed:   %d requests in %.1f ms (%d preemptions)"
+        s.completed (ms s.makespan_us) s.preemptions;
+      Printf.sprintf "throughput:  %.1f output tokens/s, decode occupancy %.0f%%"
+        s.tokens_per_s (s.occupancy *. 100.0);
+      Printf.sprintf "ttft ms:     p50 %.1f  p95 %.1f  p99 %.1f"
+        (ms s.ttft_us.p50) (ms s.ttft_us.p95) (ms s.ttft_us.p99);
+      Printf.sprintf "per-tok ms:  p50 %.1f  p95 %.1f  p99 %.1f"
+        (ms s.per_token_us.p50) (ms s.per_token_us.p95)
+        (ms s.per_token_us.p99);
+      Printf.sprintf "e2e ms:      p50 %.1f  p95 %.1f  p99 %.1f"
+        (ms s.e2e_us.p50) (ms s.e2e_us.p95) (ms s.e2e_us.p99);
+    ]

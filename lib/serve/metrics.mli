@@ -1,0 +1,40 @@
+(** Serving quality metrics: the numbers the paper's serving
+    evaluation reports (per-request TTFT, per-output-token latency,
+    end-to-end latency with tail percentiles; aggregate tokens/sec and
+    batch occupancy). *)
+
+type request_metrics = {
+  id : int;
+  arrival_us : float;
+  first_token_us : float;  (** absolute clock at first output token *)
+  finish_us : float;
+  prompt_len : int;
+  tokens : int;  (** output tokens generated *)
+  preemptions : int;
+}
+
+type pct = { p50 : float; p95 : float; p99 : float }
+
+type summary = {
+  completed : int;
+  makespan_us : float;
+  tokens_per_s : float;  (** output tokens / makespan *)
+  ttft_us : pct;  (** first_token - arrival *)
+  per_token_us : pct;
+      (** (e2e - ttft) / (tokens - 1) per request; requests with one
+          output token contribute their TTFT-to-finish gap (0). *)
+  e2e_us : pct;
+  occupancy : float;
+      (** time-weighted decode batch utilization: sum(live * dt) /
+          (max_batch * sum(dt)) over decode steps, in [0, 1] *)
+  preemptions : int;
+}
+
+val percentile : float -> float list -> float
+(** Nearest-rank percentile, [p] in [0, 100]; 0.0 on the empty list. *)
+
+val summarize :
+  makespan_us:float -> occupancy:float -> request_metrics list -> summary
+
+val to_string : summary -> string
+(** Multi-line human-readable report (printed by [--serve]). *)

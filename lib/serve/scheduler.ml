@@ -1,0 +1,510 @@
+type policy = Continuous | Static
+
+type opts = {
+  max_batch : int;
+  block_size : int;
+  policy : policy;
+  kv_budget_bytes : int option;
+}
+
+let default_opts =
+  { max_batch = 8; block_size = 16; policy = Continuous; kv_budget_bytes = None }
+
+type exec = [ `Sim | `Numeric of int ]
+
+(* ---------- cost model: timed VMs, memoized per rounded shape ---------- *)
+
+type entry = {
+  vm : Runtime.Vm.t;
+  built : Frontend.Llm.built;
+  costs : (int, float) Hashtbl.t;  (** rounded ctx -> elapsed_us *)
+}
+
+type model = {
+  cfg : Frontend.Configs.t;
+  precision : Frontend.Llm.precision;
+  device : Runtime.Device.t;
+  decode_entries : (int, entry) Hashtbl.t;  (** batch bucket -> entry *)
+  mutable prefill_entry : entry option;
+  mutable numeric_decode : (Frontend.Llm.built * Runtime.Vm.program) option;
+  mutable numeric_prefill : (Frontend.Llm.built * Runtime.Vm.program) option;
+}
+
+let model ~cfg ~precision ~device =
+  {
+    cfg;
+    precision;
+    device;
+    decode_entries = Hashtbl.create 8;
+    prefill_entry = None;
+    numeric_decode = None;
+    numeric_prefill = None;
+  }
+
+let compile built device =
+  Relax_passes.Pipeline.compile
+    ~options:
+      { Relax_passes.Pipeline.default_options with
+        Relax_passes.Pipeline.upper_bounds = Frontend.Llm.upper_bound_hints built }
+    ~device built.Frontend.Llm.mod_
+
+let warmup vm (built : Frontend.Llm.built) =
+  (* First run pays per-kernel launch overheads and records the
+     captured graph; memoized costs below are steady-state replays. *)
+  ignore
+    (Runtime.Vm.run vm built.Frontend.Llm.entry
+       (Frontend.Llm.args_for built ~ctx:1 ~mode:`Shadow ()))
+
+let decode_entry m bucket =
+  match Hashtbl.find_opt m.decode_entries bucket with
+  | Some e -> e
+  | None ->
+      let built = Frontend.Llm.decode_paged m.cfg ~batch:bucket m.precision in
+      let vm = Runtime.Vm.create (`Timed m.device) (compile built m.device) in
+      warmup vm built;
+      let e = { vm; built; costs = Hashtbl.create 32 } in
+      Hashtbl.add m.decode_entries bucket e;
+      e
+
+let prefill_entry m =
+  match m.prefill_entry with
+  | Some e -> e
+  | None ->
+      let built = Frontend.Llm.prefill ~return_caches:false m.cfg m.precision in
+      let vm = Runtime.Vm.create (`Timed m.device) (compile built m.device) in
+      warmup vm built;
+      let e = { vm; built; costs = Hashtbl.create 32 } in
+      m.prefill_entry <- Some e;
+      e
+
+let cost_of (e : entry) ctx =
+  match Hashtbl.find_opt e.costs ctx with
+  | Some c -> c
+  | None ->
+      let st = Runtime.Vm.stats e.vm in
+      let before = st.Runtime.Vm.elapsed_us in
+      ignore
+        (Runtime.Vm.run e.vm e.built.Frontend.Llm.entry
+           (Frontend.Llm.args_for e.built ~ctx ~mode:`Shadow ()));
+      let c = st.Runtime.Vm.elapsed_us -. before in
+      Hashtbl.add e.costs ctx c;
+      c
+
+(* Smallest power-of-two batch >= live, capped at max_batch: one
+   compiled program per bucket instead of one per batch size. *)
+let bucket_for ~max_batch live =
+  let rec go b = if b >= live then b else go (2 * b) in
+  min (go 1) max_batch
+
+let round_up n step = (n + step - 1) / step * step
+
+(* ---------- per-request runtime state ---------- *)
+
+type rstate = {
+  req : Workload.request;
+  mutable cache_len : int;  (** KV positions filled (0 = never prefilled) *)
+  mutable generated : int;
+  mutable first_token_us : float;
+  mutable preempt_count : int;
+  (* numeric-mode state *)
+  mutable history : int list;  (** prompt tokens then generated tokens *)
+  mutable ncaches : Runtime.Vm.value list;  (** persistent paged caches *)
+  mutable last_logits : Base.Ndarray.t option;
+}
+
+(* ---------- numeric execution (tiny configs) ---------- *)
+
+type numeric = {
+  dec_vm : Runtime.Vm.t;
+  dec_built : Frontend.Llm.built;
+  pre_vm : Runtime.Vm.t;
+  pre_built : Frontend.Llm.built;
+  weights : Runtime.Vm.value list;  (** embedding :: layer weights... *)
+  seed : int;
+}
+
+let numeric_ctx m seed =
+  let dec_built, dec_prog =
+    match m.numeric_decode with
+    | Some p -> p
+    | None ->
+        let built = Frontend.Llm.decode_paged m.cfg ~batch:1 m.precision in
+        let p = (built, compile built m.device) in
+        m.numeric_decode <- Some p;
+        p
+  in
+  let pre_built, pre_prog =
+    match m.numeric_prefill with
+    | Some p -> p
+    | None ->
+        let built = Frontend.Llm.prefill ~return_caches:true m.cfg m.precision in
+        let p = (built, compile built m.device) in
+        m.numeric_prefill <- Some p;
+        p
+  in
+  (* decode_paged params are ids, cur_len, caches..., embedding,
+     weights...; the tail from the embedding onward is exactly
+     prefill's tail, so both programs share one weight set. *)
+  let template = Frontend.Llm.args_for dec_built ~ctx:0 ~seed ~mode:`Numeric () in
+  let weights =
+    List.filteri (fun i _ -> i >= 2 + (2 * m.cfg.Frontend.Configs.layers)) template
+  in
+  {
+    dec_vm = Runtime.Vm.create `Numeric dec_prog;
+    dec_built;
+    pre_vm = Runtime.Vm.create `Numeric pre_prog;
+    pre_built;
+    weights;
+    seed;
+  }
+
+let prompt_tokens (nx : numeric) vocab (req : Workload.request) =
+  let st = Random.State.make [| nx.seed; req.Workload.id |] in
+  List.init req.Workload.prompt_len (fun _ -> Random.State.int st vocab)
+
+let argmax_token logits =
+  let n = Base.Ndarray.numel logits in
+  let best = ref 0 and best_v = ref neg_infinity in
+  for i = 0 to n - 1 do
+    let v = Base.Ndarray.get_flat_float logits i in
+    if v > !best_v then begin
+      best_v := v;
+      best := i
+    end
+  done;
+  !best
+
+let fresh_caches (cfg : Frontend.Configs.t) =
+  List.init
+    (2 * cfg.Frontend.Configs.layers)
+    (fun _ ->
+      Runtime.Vm.tensor
+        (Base.Ndarray.create Base.Dtype.F16
+           [|
+             1;
+             cfg.Frontend.Configs.kv_heads;
+             cfg.Frontend.Configs.max_context;
+             cfg.Frontend.Configs.head_dim;
+           |]))
+
+(* Run prefill over [tokens] and write the returned (1,kv,n,d) caches
+   into the request's persistent (1,kv,mmax,d) paged tensors. *)
+let numeric_prefill_run nx (cfg : Frontend.Configs.t) (r : rstate) tokens =
+  if r.ncaches = [] then r.ncaches <- fresh_caches cfg;
+  let n = List.length tokens in
+  let ids =
+    Runtime.Vm.tensor (Base.Ndarray.of_int_list Base.Dtype.I32 [| n |] tokens)
+  in
+  match Runtime.Vm.run nx.pre_vm nx.pre_built.Frontend.Llm.entry (ids :: nx.weights) with
+  | Runtime.Vm.Tuple_val (logits :: caches) ->
+      List.iter2
+        (fun fresh persistent ->
+          let src = Runtime.Vm.value_tensor fresh in
+          let dst = Runtime.Vm.value_tensor persistent in
+          let kv = cfg.Frontend.Configs.kv_heads
+          and d = cfg.Frontend.Configs.head_dim in
+          for h = 0 to kv - 1 do
+            for p = 0 to n - 1 do
+              for x = 0 to d - 1 do
+                Base.Ndarray.set_float dst [| 0; h; p; x |]
+                  (Base.Ndarray.get_float src [| 0; h; p; x |])
+              done
+            done
+          done)
+        caches r.ncaches;
+      Runtime.Vm.value_tensor logits
+  | _ -> failwith "Serve: prefill did not return (logits, caches...)"
+
+let numeric_decode_run nx (r : rstate) =
+  let last = List.nth r.history (List.length r.history - 1) in
+  let ids =
+    Runtime.Vm.tensor (Base.Ndarray.of_int_list Base.Dtype.I32 [| 1 |] [ last ])
+  in
+  let args =
+    (ids :: Runtime.Vm.Shape_val [| r.cache_len |] :: r.ncaches) @ nx.weights
+  in
+  let out = Runtime.Vm.run nx.dec_vm nx.dec_built.Frontend.Llm.entry args in
+  match out with
+  | Runtime.Vm.Tuple_val (l :: _) -> Runtime.Vm.value_tensor l
+  | v -> Runtime.Vm.value_tensor v
+
+(* ---------- the serving loop ---------- *)
+
+type result = {
+  completed : Metrics.request_metrics list;
+  summary : Metrics.summary;
+  logits : (int * Base.Ndarray.t) list;
+  clock_us : float;
+  blocks : Block_manager.t;
+}
+
+let run ?trace ?(exec = `Sim) m opts workload =
+  if opts.max_batch < 1 then invalid_arg "Scheduler.run: max_batch < 1";
+  let cfg = m.cfg in
+  let mmax = cfg.Frontend.Configs.max_context in
+  List.iter
+    (fun (r : Workload.request) ->
+      if r.Workload.prompt_len + r.Workload.output_len > mmax then
+        invalid_arg
+          (Printf.sprintf "Serve: request %d needs %d tokens > max_context %d"
+             r.Workload.id
+             (r.Workload.prompt_len + r.Workload.output_len)
+             mmax))
+    workload;
+  let nx = match exec with `Sim -> None | `Numeric seed -> Some (numeric_ctx m seed) in
+  let alloc = Runtime.Allocator.create `Pooling in
+  let bm =
+    Block_manager.create ?kv_budget_bytes:opts.kv_budget_bytes ~cfg
+      ~precision:m.precision ~block_size:opts.block_size ~device:m.device alloc
+  in
+  let emit tag ~id ~t_us ~batch ~tokens =
+    match trace with
+    | None -> ()
+    | Some sink -> sink (Runtime.Trace.Serve { tag; id; t_us; batch; tokens })
+  in
+  let clock = ref 0.0 in
+  let arrivals = ref workload in
+  let waiting = ref [] in
+  let running = ref [] in
+  let completed = ref [] in
+  let logits_out = ref [] in
+  let cohort = ref 0 in
+  let busy = ref 0.0 and decode_time = ref 0.0 in
+  let decode_cost ~live ~ctx =
+    let bucket = bucket_for ~max_batch:opts.max_batch live in
+    let ctx' = min (max 1 (round_up ctx opts.block_size)) (mmax - 1) in
+    cost_of (decode_entry m bucket) ctx'
+  in
+  let prefill_cost n =
+    let ctx' = min (max 1 (round_up n opts.block_size)) mmax in
+    cost_of (prefill_entry m) ctx'
+  in
+  let deliver () =
+    let rec go () =
+      match !arrivals with
+      | (r : Workload.request) :: rest when r.Workload.arrival_us <= !clock ->
+          arrivals := rest;
+          waiting :=
+            !waiting
+            @ [
+                {
+                  req = r;
+                  cache_len = 0;
+                  generated = 0;
+                  first_token_us = 0.0;
+                  preempt_count = 0;
+                  history = [];
+                  ncaches = [];
+                  last_logits = None;
+                };
+              ];
+          emit `Request_arrive ~id:r.Workload.id ~t_us:r.Workload.arrival_us
+            ~batch:(List.length !running) ~tokens:r.Workload.prompt_len;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let finish (r : rstate) =
+    Block_manager.release bm ~request_id:r.req.Workload.id;
+    emit `Finish ~id:r.req.Workload.id ~t_us:!clock
+      ~batch:(List.length !running) ~tokens:r.generated;
+    (match r.last_logits with
+    | Some l -> logits_out := (r.req.Workload.id, l) :: !logits_out
+    | None -> ());
+    completed :=
+      {
+        Metrics.id = r.req.Workload.id;
+        arrival_us = r.req.Workload.arrival_us;
+        first_token_us = r.first_token_us;
+        finish_us = !clock;
+        prompt_len = r.req.Workload.prompt_len;
+        tokens = r.generated;
+        preemptions = r.preempt_count;
+      }
+      :: !completed
+  in
+  (* Admit one request from the head of the waiting queue: charge its
+     (re-)prefill, produce the first token if fresh. Returns false if
+     its blocks don't fit (admission control; no preemption here). *)
+  let admit_head () =
+    match !waiting with
+    | [] -> false
+    | r :: rest ->
+        let target =
+          if r.cache_len = 0 then r.req.Workload.prompt_len else r.cache_len
+        in
+        if not (Block_manager.grow bm ~request_id:r.req.Workload.id ~tokens:target)
+        then false
+        else begin
+          waiting := rest;
+          clock := !clock +. prefill_cost target;
+          emit `Prefill ~id:r.req.Workload.id ~t_us:!clock
+            ~batch:(List.length !running + 1) ~tokens:target;
+          if r.cache_len = 0 then begin
+            (* Fresh: prefill over the prompt yields the first token. *)
+            (match nx with
+            | None -> ()
+            | Some nx ->
+                let toks = prompt_tokens nx cfg.Frontend.Configs.vocab r.req in
+                let logits = numeric_prefill_run nx cfg r toks in
+                r.last_logits <- Some logits;
+                r.history <- toks @ [ argmax_token logits ]);
+            r.cache_len <- target;
+            r.generated <- 1;
+            r.first_token_us <- !clock;
+            if r.generated >= r.req.Workload.output_len then finish r
+            else running := !running @ [ r ]
+          end
+          else begin
+            (* Preempted earlier: re-prefill the cached positions
+               (recompute); the pending last token is consumed by the
+               next decode step, so [generated] does not advance. *)
+            (match nx with
+            | None -> ()
+            | Some nx ->
+                ignore
+                  (numeric_prefill_run nx cfg r
+                     (List.filteri (fun i _ -> i < r.cache_len) r.history)));
+            running := !running @ [ r ]
+          end;
+          true
+        end
+  in
+  (* Returns true if at least one request was admitted this round
+     (admitted requests may finish instantly on single-token outputs,
+     so progress is not the same as a non-empty running batch). *)
+  let admit () =
+    let admitted = ref 0 in
+    (match opts.policy with
+    | Continuous ->
+        let continue_ = ref true in
+        while
+          !continue_ && List.length !running < opts.max_batch && !waiting <> []
+        do
+          continue_ := admit_head ();
+          if !continue_ then incr admitted
+        done
+    | Static ->
+        (* Cohorts only form when the machine is idle, and only at
+           full width (or from the final stragglers once the stream
+           has ended) — the static baseline's inefficiency. *)
+        if
+          !running = []
+          && (List.length !waiting >= opts.max_batch || !arrivals = [])
+          && !waiting <> []
+        then begin
+          while !admitted < opts.max_batch && !waiting <> [] && admit_head () do
+            incr admitted
+          done;
+          cohort := List.length !running
+        end);
+    !admitted > 0
+  in
+  (* Grow [r]'s cache for the next decode write; on block exhaustion,
+     preempt from the tail of the running batch (latest admitted
+     first — FCFS priority). Returns false if [r] preempted itself. *)
+  let rec ensure_capacity (r : rstate) =
+    if Block_manager.grow bm ~request_id:r.req.Workload.id ~tokens:(r.cache_len + 1)
+    then true
+    else
+      match List.rev !running with
+      | [] -> failwith "Serve: empty batch cannot grow"
+      | victim :: _ ->
+          if victim == r && List.length !running = 1 then
+            failwith
+              (Printf.sprintf
+                 "Serve: request %d alone exceeds the KV budget (%d blocks)"
+                 r.req.Workload.id (Block_manager.total_blocks bm));
+          Block_manager.release bm ~request_id:victim.req.Workload.id;
+          victim.preempt_count <- victim.preempt_count + 1;
+          running := List.filter (fun x -> x != victim) !running;
+          waiting := victim :: !waiting;
+          emit `Preempt ~id:victim.req.Workload.id ~t_us:!clock
+            ~batch:(List.length !running) ~tokens:victim.cache_len;
+          if victim == r then false else ensure_capacity r
+  in
+  let decode_step () =
+    (* Capacity first: every survivor must fit its next KV write.
+       Skip requests a previous iteration already preempted — they
+       must not grow blocks from the waiting queue. *)
+    List.iter
+      (fun r -> if List.memq r !running then ignore (ensure_capacity r))
+      !running;
+    let live = !running in
+    let nlive = List.length live in
+    if nlive > 0 then begin
+      let cost_batch =
+        match opts.policy with
+        | Continuous -> nlive
+        | Static -> max nlive !cohort  (* fixed cohort width until drained *)
+      in
+      let ctx = List.fold_left (fun acc r -> max acc r.cache_len) 0 live in
+      let dt = decode_cost ~live:cost_batch ~ctx in
+      clock := !clock +. dt;
+      busy := !busy +. (float_of_int nlive *. dt);
+      decode_time := !decode_time +. dt;
+      emit `Decode_step ~id:(-1) ~t_us:!clock ~batch:nlive ~tokens:nlive;
+      List.iter
+        (fun r ->
+          (match nx with
+          | None -> ()
+          | Some nx ->
+              let logits = numeric_decode_run nx r in
+              r.last_logits <- Some logits;
+              r.history <- r.history @ [ argmax_token logits ]);
+          r.cache_len <- r.cache_len + 1;
+          r.generated <- r.generated + 1;
+          if r.generated >= r.req.Workload.output_len then begin
+            running := List.filter (fun x -> x != r) !running;
+            finish r
+          end)
+        live
+    end
+  in
+  let rec loop () =
+    deliver ();
+    if !running = [] && !waiting = [] then
+      match !arrivals with
+      | [] -> ()
+      | (r : Workload.request) :: _ ->
+          clock := max !clock r.Workload.arrival_us;
+          loop ()
+    else begin
+      let progressed = admit () in
+      if !running <> [] then begin
+        decode_step ();
+        loop ()
+      end
+      else if progressed || !waiting = [] then
+        (* Everything admitted finished at its prefill (single-token
+           outputs); form the next batch or wait for an arrival. *)
+        loop ()
+      else
+        match (!arrivals, opts.policy) with
+        | r :: _, Static ->
+            (* waiting for the cohort to fill *)
+            clock := max !clock r.Workload.arrival_us;
+            loop ()
+        | _ :: _, Continuous | [], _ ->
+            (* With an idle machine every block is free, so a failed
+               admission can never succeed later. *)
+            failwith
+              "Serve: waiting request cannot be admitted on an idle machine \
+               (KV budget too small for its prompt)"
+    end
+  in
+  loop ();
+  let completed = List.rev !completed in
+  let occupancy =
+    if !decode_time > 0.0 then
+      !busy /. (float_of_int opts.max_batch *. !decode_time)
+    else 0.0
+  in
+  {
+    completed;
+    summary = Metrics.summarize ~makespan_us:!clock ~occupancy completed;
+    logits = List.rev !logits_out;
+    clock_us = !clock;
+    blocks = bm;
+  }

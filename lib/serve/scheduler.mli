@@ -1,0 +1,74 @@
+(** Iteration-level continuous batching over compiled [prefill] /
+    [decode_paged] programs — the serving loop of the paper's
+    evaluation, as a discrete-event simulation.
+
+    Time advances by the cost of each prefill or batched decode step,
+    measured by running the compiled programs on a [`Timed] VM (the
+    same roofline substitution the benchmark harness uses; costs are
+    memoized per batch-size bucket and block-rounded context length,
+    after a warm-up run so graph-capture replay costs are
+    steady-state). Scheduling is FCFS: waiting requests are admitted
+    into the running batch whenever a slot and enough KV blocks are
+    free ([Continuous]), or only in fixed cohorts that drain
+    completely before the next forms ([Static] — the baseline the
+    continuous policy dominates at high request rates). When a
+    decode step cannot grow a request's KV cache, the most recently
+    admitted request is preempted: its blocks are freed and it is
+    re-prefilled over its accumulated tokens on re-admission
+    (vLLM-style recompute preemption).
+
+    [`Numeric] execution additionally runs real token generation
+    (greedy argmax over the model's logits, with prompt/weight
+    tensors derived from an explicit seed) through batch-1 numeric
+    VMs while the clock still advances from the timed costs — so
+    scheduling decisions are identical to [`Sim] by construction,
+    which the test suite checks. *)
+
+type policy = Continuous | Static
+
+type opts = {
+  max_batch : int;  (** decode batch slots *)
+  block_size : int;  (** KV block granularity, tokens *)
+  policy : policy;
+  kv_budget_bytes : int option;
+      (** override the VRAM-derived KV budget (tests force preemption
+          with tiny budgets) *)
+}
+
+val default_opts : opts
+(** Continuous, max_batch 8, block_size 16, VRAM-derived budget. *)
+
+type model
+(** Compiled programs + memoized step costs for one (config,
+    precision, device) triple. Sharing one model across [run] calls
+    reuses compilations and cost tables. *)
+
+val model :
+  cfg:Frontend.Configs.t ->
+  precision:Frontend.Llm.precision ->
+  device:Runtime.Device.t ->
+  model
+
+type exec =
+  [ `Sim  (** timed costs only; no tensor data *)
+  | `Numeric of int  (** seed: also generate real tokens (tiny configs) *)
+  ]
+
+type result = {
+  completed : Metrics.request_metrics list;  (** in completion order *)
+  summary : Metrics.summary;
+  logits : (int * Base.Ndarray.t) list;
+      (** numeric mode: each request's final logits *)
+  clock_us : float;  (** simulated makespan *)
+  blocks : Block_manager.t;
+      (** the run's block manager, post-drain (tests assert
+          [used_blocks = 0] and inspect the allocator pool) *)
+}
+
+val run :
+  ?trace:Runtime.Trace.sink -> ?exec:exec -> model -> opts -> Workload.t -> result
+(** Serve the workload to completion. [trace] receives the
+    {!Runtime.Trace.Serve} event stream ([Request_arrive] / [Prefill]
+    / [Decode_step] / [Preempt] / [Finish]).
+    @raise Failure if a single request's KV cache exceeds the whole
+    budget (it could never be scheduled). *)

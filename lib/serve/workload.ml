@@ -1,0 +1,37 @@
+type request = {
+  id : int;
+  arrival_us : float;
+  prompt_len : int;
+  output_len : int;
+}
+
+type dist = Fixed of int | Uniform of int * int
+
+type t = request list
+
+let sample st = function
+  | Fixed n -> n
+  | Uniform (lo, hi) ->
+      if hi <= lo then lo else lo + Random.State.int st (hi - lo + 1)
+
+let generate ~seed ~rate_per_s ~num_requests ?max_total ~prompt ~output () =
+  if rate_per_s <= 0.0 then invalid_arg "Workload.generate: rate must be > 0";
+  let st = Random.State.make [| seed |] in
+  let clock = ref 0.0 in
+  List.init num_requests (fun id ->
+      (* Exponential inter-arrival: -ln(1-u)/rate, in microseconds. *)
+      let u = Random.State.float st 1.0 in
+      clock := !clock +. (-.log (1.0 -. u) /. rate_per_s *. 1e6);
+      let p = max 1 (sample st prompt) in
+      let o = max 1 (sample st output) in
+      let p, o =
+        match max_total with
+        | None -> (p, o)
+        | Some m ->
+            let p = min p (max 1 (m - 1)) in
+            (p, min o (max 1 (m - p)))
+      in
+      { id; arrival_us = !clock; prompt_len = p; output_len = o })
+
+let total_output_tokens t =
+  List.fold_left (fun acc r -> acc + r.output_len) 0 t

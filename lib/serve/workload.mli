@@ -1,0 +1,36 @@
+(** Reproducible request streams for the serving engine.
+
+    Arrivals follow a Poisson process (exponential inter-arrival
+    times) and prompt/output lengths are drawn from configurable
+    distributions, all from one explicitly seeded PRNG — the same seed
+    always yields the same workload, which the golden serving tests
+    and the benchmark sweep rely on. *)
+
+type request = {
+  id : int;  (** 0-based arrival order *)
+  arrival_us : float;
+  prompt_len : int;
+  output_len : int;  (** tokens to generate, >= 1 *)
+}
+
+type dist =
+  | Fixed of int
+  | Uniform of int * int  (** inclusive bounds *)
+
+type t = request list
+(** Sorted by [arrival_us]; ids are assigned in arrival order. *)
+
+val generate :
+  seed:int ->
+  rate_per_s:float ->
+  num_requests:int ->
+  ?max_total:int ->
+  prompt:dist ->
+  output:dist ->
+  unit ->
+  t
+(** [max_total] clamps each request so
+    [prompt_len + output_len <= max_total] (pass the model's
+    [max_context]); lengths are clamped to at least 1. *)
+
+val total_output_tokens : t -> int

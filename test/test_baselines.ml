@@ -53,7 +53,7 @@ let test_eager_llm_decode () =
   (* Eager tree-walking over the full tiny-LLM decode step, against the
      compiled pipeline. *)
   let built = Frontend.Llm.decode Frontend.Configs.tiny ~batch:1 Frontend.Llm.F16 in
-  let args = Frontend.Llm.args_for built ~ctx:3 ~mode:(`Numeric 42) () in
+  let args = Frontend.Llm.args_for built ~ctx:3 ~seed:42 ~mode:`Numeric () in
   let eager_out, stats =
     Baselines.Eager.run ~entry:"decode" `Numeric built.Frontend.Llm.mod_ args
   in

@@ -20,7 +20,7 @@ let logits_of value =
 let run_numeric ?options ~device built ~ctx =
   let program = compile_built ?options ~device built in
   let vm = Runtime.Vm.create `Numeric program in
-  let args = Frontend.Llm.args_for built ~ctx ~mode:(`Numeric 100) () in
+  let args = Frontend.Llm.args_for built ~ctx ~seed:100 ~mode:`Numeric () in
   (Runtime.Vm.run vm built.Frontend.Llm.entry args, vm)
 
 let test_tiny_decode_configs_agree () =
@@ -112,7 +112,7 @@ let test_prefill_then_decode_consistency () =
   let pre_prog = compile_built ~device:Runtime.Device.rtx4090 pre in
   let dec_prog = compile_built ~device:Runtime.Device.rtx4090 dec in
   let pre_vm = Runtime.Vm.create `Numeric pre_prog in
-  let pre_args = Frontend.Llm.args_for pre ~ctx:4 ~mode:(`Numeric 7) () in
+  let pre_args = Frontend.Llm.args_for pre ~ctx:4 ~seed:7 ~mode:`Numeric () in
   let pre_out = Runtime.Vm.run pre_vm pre.Frontend.Llm.entry pre_args in
   let caches =
     match pre_out with
@@ -120,7 +120,7 @@ let test_prefill_then_decode_consistency () =
     | _ -> Alcotest.fail "expected tuple"
   in
   let dec_vm = Runtime.Vm.create `Numeric dec_prog in
-  let dec_args_template = Frontend.Llm.args_for dec ~ctx:4 ~mode:(`Numeric 7) () in
+  let dec_args_template = Frontend.Llm.args_for dec ~ctx:4 ~seed:7 ~mode:`Numeric () in
   (* Replace the cache placeholders (positions 1..2*layers) with the
      prefill outputs. *)
   let dec_args =
@@ -144,7 +144,7 @@ let test_qkv_bias_config () =
   let v, _ = run_numeric ~device:Runtime.Device.rtx4090 built ~ctx:3 in
   let l1 = logits_of v in
   (* Same seeds but with one bias zeroed-out differs from random bias. *)
-  let args = Frontend.Llm.args_for built ~ctx:3 ~mode:(`Numeric 100) () in
+  let args = Frontend.Llm.args_for built ~ctx:3 ~seed:100 ~mode:`Numeric () in
   let args_zeroed =
     List.mapi
       (fun i a ->

@@ -35,7 +35,7 @@ let test_paged_matches_functional () =
      weight section follows ids + caches); the paged template shares
      ordering for ids/embedding/weights but differs in cache params. *)
   let layers = cfg.Frontend.Configs.layers in
-  let f_template = Frontend.Llm.args_for functional ~ctx:0 ~mode:(`Numeric 33) () in
+  let f_template = Frontend.Llm.args_for functional ~ctx:0 ~seed:33 ~mode:`Numeric () in
   let ids = List.nth f_template 0 in
   let weights = List.filteri (fun i _ -> i > 2 * layers) f_template in
   let mmax = cfg.Frontend.Configs.max_context in

@@ -34,6 +34,39 @@ let test_allocator_kinds () =
     (Runtime.Allocator.live_bytes p);
   Alcotest.(check int) "two fresh allocations" 2 (Runtime.Allocator.alloc_count p)
 
+(* Pool introspection: the serving engine's admission control reads
+   the recyclable pool; fragmentation is the idle fraction. *)
+let test_allocator_pool_introspection () =
+  let p = Runtime.Allocator.create `Pooling in
+  Alcotest.(check int) "empty pool" 0 (Runtime.Allocator.pool_free_bytes p);
+  Alcotest.(check (float 0.0)) "empty fragmentation" 0.0
+    (Runtime.Allocator.fragmentation p);
+  let b1 = Runtime.Allocator.alloc p 100 in
+  let b2 = Runtime.Allocator.alloc p 300 in
+  Alcotest.(check int) "nothing freed yet" 0
+    (Runtime.Allocator.pool_free_bytes p);
+  Runtime.Allocator.free p b1;
+  Alcotest.(check int) "freed block pools" 100
+    (Runtime.Allocator.pool_free_bytes p);
+  Alcotest.(check (float 1e-9)) "quarter idle" 0.25
+    (Runtime.Allocator.fragmentation p);
+  Runtime.Allocator.free p b2;
+  Alcotest.(check int) "both pooled" 400 (Runtime.Allocator.pool_free_bytes p);
+  Alcotest.(check (float 1e-9)) "fully idle" 1.0
+    (Runtime.Allocator.fragmentation p);
+  let b1' = Runtime.Allocator.alloc p 100 in
+  Alcotest.(check int) "reuse drains the pool" 300
+    (Runtime.Allocator.pool_free_bytes p);
+  ignore b1';
+  (* Non-pooling kinds never report pool residue. *)
+  List.iter
+    (fun kind ->
+      let a = Runtime.Allocator.create kind in
+      let id = Runtime.Allocator.alloc a 64 in
+      Runtime.Allocator.free a id;
+      Alcotest.(check int) "no pool" 0 (Runtime.Allocator.pool_free_bytes a))
+    [ `Naive; `Planned ]
+
 (* ---------- device roofline ---------- *)
 
 let test_device_roofline () =
@@ -229,7 +262,9 @@ let test_renormalize_tightens () =
 let () =
   Alcotest.run "runtime"
     [ ( "allocator",
-        [ Alcotest.test_case "kinds" `Quick test_allocator_kinds ] );
+        [ Alcotest.test_case "kinds" `Quick test_allocator_kinds;
+          Alcotest.test_case "pool introspection" `Quick
+            test_allocator_pool_introspection ] );
       ( "device",
         [ Alcotest.test_case "roofline" `Quick test_device_roofline ] );
       ( "library",

@@ -111,7 +111,7 @@ let test_pipeline_with_schedules () =
         built.Frontend.Llm.mod_
     in
     let vm = Runtime.Vm.create `Numeric program in
-    let args = Frontend.Llm.args_for built ~ctx:4 ~mode:(`Numeric 5) () in
+    let args = Frontend.Llm.args_for built ~ctx:4 ~seed:5 ~mode:`Numeric () in
     match Runtime.Vm.run vm "decode" args with
     | Runtime.Vm.Tuple_val (l :: _) -> Runtime.Vm.value_tensor l
     | _ -> Alcotest.fail "expected tuple"

@@ -1,0 +1,338 @@
+(* The serving engine: a golden deterministic run on the tiny config
+   (fixed seed -> exact completion order, token counts and preemption
+   tally), qcheck scheduling invariants (every request finishes under
+   FCFS, block accounting drains to zero, preempted requests complete,
+   numeric and timed execution make identical scheduling decisions),
+   and a numeric smoke run producing finite logits. *)
+
+let tiny = Frontend.Configs.tiny
+let device = Runtime.Device.rtx4090
+
+(* One model shared by every test: compilations and memoized step
+   costs are reused, and memoized costs are deterministic (each entry
+   is warmed once at creation), so sharing cannot change results. *)
+let model =
+  lazy (Serve.Scheduler.model ~cfg:tiny ~precision:Frontend.Llm.F16 ~device)
+
+let opts ?(max_batch = 2) ?(block_size = 4) ?(policy = Serve.Scheduler.Continuous)
+    ?budget_blocks () =
+  (* tiny block @ size 4: 2 (K,V) x 2 layers x 2 kv_heads x 4 head_dim
+     x 4 positions x 2 B = 512 B *)
+  let block_bytes =
+    2 * tiny.Frontend.Configs.layers * tiny.Frontend.Configs.kv_heads
+    * tiny.Frontend.Configs.head_dim * block_size * 2
+  in
+  {
+    Serve.Scheduler.max_batch;
+    block_size;
+    policy;
+    kv_budget_bytes = Option.map (fun b -> b * block_bytes) budget_blocks;
+  }
+
+let workload ?(seed = 7) ?(rate = 50_000.0) ?(n = 6) () =
+  Serve.Workload.generate ~seed ~rate_per_s:rate ~num_requests:n
+    ~max_total:tiny.Frontend.Configs.max_context
+    ~prompt:(Serve.Workload.Uniform (2, 6))
+    ~output:(Serve.Workload.Uniform (1, 4))
+    ()
+
+(* ---------- golden deterministic run ---------- *)
+
+let test_golden () =
+  let res =
+    Serve.Scheduler.run (Lazy.force model)
+      (opts ~max_batch:2 ~budget_blocks:4 ())
+      (workload ())
+  in
+  let actual =
+    List.map
+      (fun (m : Serve.Metrics.request_metrics) ->
+        Printf.sprintf "#%d tokens=%d preempted=%d" m.Serve.Metrics.id
+          m.Serve.Metrics.tokens m.Serve.Metrics.preemptions)
+      res.Serve.Scheduler.completed
+  in
+  let expected =
+    [
+      "#0 tokens=1 preempted=0";
+      "#1 tokens=1 preempted=0";
+      "#2 tokens=4 preempted=0";
+      "#3 tokens=4 preempted=0";
+      "#4 tokens=2 preempted=0";
+      "#5 tokens=1 preempted=0";
+    ]
+  in
+  if expected <> actual then begin
+    print_endline "--- actual serving completion log ---";
+    List.iter print_endline actual;
+    Printf.printf "--- end (clock %.3f us) ---\n" res.Serve.Scheduler.clock_us
+  end;
+  Alcotest.(check (list string)) "completion log" expected actual;
+  (* The workload's output lengths are honoured exactly. *)
+  List.iter
+    (fun (r : Serve.Workload.request) ->
+      let m =
+        List.find
+          (fun (m : Serve.Metrics.request_metrics) ->
+            m.Serve.Metrics.id = r.Serve.Workload.id)
+          res.Serve.Scheduler.completed
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "request %d token count" r.Serve.Workload.id)
+        r.Serve.Workload.output_len m.Serve.Metrics.tokens)
+    (workload ())
+
+(* Rerunning on the shared (already warm) model is bit-identical:
+   memoized costs don't drift across runs. *)
+let test_deterministic_rerun () =
+  let go () =
+    let res =
+      Serve.Scheduler.run (Lazy.force model)
+        (opts ~max_batch:2 ~budget_blocks:4 ())
+        (workload ())
+    in
+    ( List.map
+        (fun (m : Serve.Metrics.request_metrics) -> m.Serve.Metrics.id)
+        res.Serve.Scheduler.completed,
+      res.Serve.Scheduler.clock_us )
+  in
+  let o1, c1 = go () and o2, c2 = go () in
+  Alcotest.(check (list int)) "same order" o1 o2;
+  Alcotest.(check (float 0.0)) "same clock" c1 c2
+
+(* ---------- qcheck invariants ---------- *)
+
+type scenario = {
+  wseed : int;
+  n : int;
+  rate : float;
+  max_batch : int;
+  budget_blocks : int;
+  policy : Serve.Scheduler.policy;
+}
+
+let print_scenario s =
+  Printf.sprintf "{seed=%d n=%d rate=%.0f mb=%d blocks=%d %s}" s.wseed s.n
+    s.rate s.max_batch s.budget_blocks
+    (match s.policy with
+    | Serve.Scheduler.Continuous -> "continuous"
+    | Serve.Scheduler.Static -> "static")
+
+let gen_scenario =
+  QCheck.Gen.(
+    let* wseed = int_range 0 1000 in
+    let* n = int_range 1 10 in
+    let* rate = oneofl [ 10_000.0; 50_000.0; 200_000.0 ] in
+    let* max_batch = int_range 1 4 in
+    (* >= 4 blocks: the largest request (prompt 6 + output 4 + one
+       write slot) must fit alone, or the run legitimately fails. *)
+    let* budget_blocks = int_range 4 8 in
+    let* policy =
+      oneofl [ Serve.Scheduler.Continuous; Serve.Scheduler.Static ]
+    in
+    return { wseed; n; rate; max_batch; budget_blocks; policy })
+
+let arb_scenario = QCheck.make ~print:print_scenario gen_scenario
+
+let run_scenario ?exec s =
+  Serve.Scheduler.run ?exec (Lazy.force model)
+    (opts ~max_batch:s.max_batch ~policy:s.policy ~budget_blocks:s.budget_blocks
+       ())
+    (workload ~seed:s.wseed ~rate:s.rate ~n:s.n ())
+
+let test_no_starvation =
+  QCheck.Test.make ~count:30 ~name:"every request finishes, FCFS first tokens"
+    arb_scenario (fun s ->
+      let res = run_scenario s in
+      let ids =
+        List.sort compare
+          (List.map
+             (fun (m : Serve.Metrics.request_metrics) -> m.Serve.Metrics.id)
+             res.Serve.Scheduler.completed)
+      in
+      if ids <> List.init s.n (fun i -> i) then
+        QCheck.Test.fail_reportf "completed ids %s"
+          (String.concat "," (List.map string_of_int ids));
+      (* FCFS: first tokens are produced in arrival (= id) order. *)
+      (match s.policy with
+      | Serve.Scheduler.Continuous ->
+          let by_id =
+            List.sort
+              (fun (a : Serve.Metrics.request_metrics) b ->
+                compare a.Serve.Metrics.id b.Serve.Metrics.id)
+              res.Serve.Scheduler.completed
+          in
+          let rec mono = function
+            | (a : Serve.Metrics.request_metrics)
+              :: (b : Serve.Metrics.request_metrics) :: rest ->
+                if a.Serve.Metrics.first_token_us > b.Serve.Metrics.first_token_us
+                then
+                  QCheck.Test.fail_reportf
+                    "request %d got its first token before request %d"
+                    b.Serve.Metrics.id a.Serve.Metrics.id;
+                mono (b :: rest)
+            | _ -> ()
+          in
+          mono by_id
+      | Serve.Scheduler.Static -> ());
+      true)
+
+let test_blocks_drain =
+  QCheck.Test.make ~count:30 ~name:"block accounting drains to zero"
+    arb_scenario (fun s ->
+      let res = run_scenario s in
+      let bm = res.Serve.Scheduler.blocks in
+      if Serve.Block_manager.used_blocks bm <> 0 then
+        QCheck.Test.fail_reportf "%d blocks still held after drain"
+          (Serve.Block_manager.used_blocks bm);
+      (* Everything ever allocated sits in the pooling free pool. *)
+      let alloc = Serve.Block_manager.allocator bm in
+      Runtime.Allocator.pool_free_bytes alloc
+      = Runtime.Allocator.live_bytes alloc
+      && (Runtime.Allocator.live_bytes alloc = 0
+         || Runtime.Allocator.fragmentation alloc = 1.0))
+
+let test_preempted_finish () =
+  (* Two simultaneous requests each growing to 12 tokens (3 blocks)
+     cannot share a 4-block budget: the later-admitted one must be
+     preempted, re-prefilled, and still complete in full. *)
+  let w =
+    [
+      { Serve.Workload.id = 0; arrival_us = 0.0; prompt_len = 6; output_len = 6 };
+      { Serve.Workload.id = 1; arrival_us = 1.0; prompt_len = 6; output_len = 6 };
+    ]
+  in
+  let res =
+    Serve.Scheduler.run (Lazy.force model) (opts ~max_batch:2 ~budget_blocks:4 ()) w
+  in
+  Alcotest.(check bool) "preemption exercised" true
+    (res.Serve.Scheduler.summary.Serve.Metrics.preemptions > 0);
+  Alcotest.(check int) "all complete" 2
+    (List.length res.Serve.Scheduler.completed);
+  List.iter
+    (fun (r : Serve.Workload.request) ->
+      let m =
+        List.find
+          (fun (m : Serve.Metrics.request_metrics) ->
+            m.Serve.Metrics.id = r.Serve.Workload.id)
+          res.Serve.Scheduler.completed
+      in
+      Alcotest.(check int) "full output" r.Serve.Workload.output_len
+        m.Serve.Metrics.tokens)
+    w
+
+let test_numeric_matches_timed =
+  QCheck.Test.make ~count:5 ~name:"numeric and timed agree on scheduling"
+    arb_scenario (fun s ->
+      let s = { s with n = min s.n 5 } in
+      let sim = run_scenario s in
+      let num = run_scenario ~exec:(`Numeric 3) s in
+      let order r =
+        List.map
+          (fun (m : Serve.Metrics.request_metrics) ->
+            (m.Serve.Metrics.id, m.Serve.Metrics.tokens))
+          r.Serve.Scheduler.completed
+      in
+      if order sim <> order num then
+        QCheck.Test.fail_reportf "completion orders differ";
+      if sim.Serve.Scheduler.clock_us <> num.Serve.Scheduler.clock_us then
+        QCheck.Test.fail_reportf "clocks differ: %.3f vs %.3f"
+          sim.Serve.Scheduler.clock_us num.Serve.Scheduler.clock_us;
+      true)
+
+(* ---------- numeric smoke ---------- *)
+
+let test_numeric_smoke () =
+  let w = workload ~seed:5 ~rate:100_000.0 ~n:4 () in
+  let res =
+    Serve.Scheduler.run ~exec:(`Numeric 21) (Lazy.force model)
+      (opts ~max_batch:2 ~budget_blocks:4 ())
+      w
+  in
+  Alcotest.(check int) "one logits tensor per request" 4
+    (List.length res.Serve.Scheduler.logits);
+  List.iter
+    (fun (id, logits) ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "request %d logits shape" id)
+        [ 1; tiny.Frontend.Configs.vocab ]
+        (Array.to_list logits.Base.Ndarray.shape);
+      for i = 0 to Base.Ndarray.numel logits - 1 do
+        let v = Base.Ndarray.get_flat_float logits i in
+        if not (Float.is_finite v) then
+          Alcotest.failf "request %d logit %d not finite: %f" id i v
+      done)
+    res.Serve.Scheduler.logits
+
+(* ---------- serving events fold into the profiler ---------- *)
+
+let test_trace_profiler_fold () =
+  let p = Runtime.Profiler.create () in
+  let res =
+    Serve.Scheduler.run ~trace:(Runtime.Profiler.sink p) (Lazy.force model)
+      (opts ~max_batch:2 ~budget_blocks:4 ())
+      (workload ())
+  in
+  let c = Runtime.Profiler.serve_counts p in
+  Alcotest.(check int) "arrivals" 6 c.Runtime.Profiler.arrivals;
+  Alcotest.(check int) "finishes" 6 c.Runtime.Profiler.finishes;
+  Alcotest.(check int) "preempts" res.Serve.Scheduler.summary.Serve.Metrics.preemptions
+    c.Runtime.Profiler.preempts;
+  Alcotest.(check bool) "prefills >= arrivals (re-prefill on resume)" true
+    (c.Runtime.Profiler.prefills >= c.Runtime.Profiler.arrivals);
+  Alcotest.(check bool) "decode steps happened" true
+    (c.Runtime.Profiler.decode_steps > 0);
+  Alcotest.(check bool) "report mentions serving" true
+    (let report = Runtime.Profiler.report p in
+     let rec contains i =
+       i + 8 <= String.length report
+       && (String.sub report i 8 = "serving:" || contains (i + 1))
+     in
+     contains 0)
+
+(* ---------- workload generator ---------- *)
+
+let test_workload_reproducible () =
+  let w1 = workload () and w2 = workload () in
+  Alcotest.(check bool) "same seed, same stream" true (w1 = w2);
+  let w3 = workload ~seed:8 () in
+  Alcotest.(check bool) "different seed, different stream" true (w1 <> w3);
+  (* arrivals sorted, lengths within bounds *)
+  let rec sorted = function
+    | (a : Serve.Workload.request) :: (b : Serve.Workload.request) :: rest ->
+        a.Serve.Workload.arrival_us <= b.Serve.Workload.arrival_us
+        && sorted (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "arrivals sorted" true (sorted w1);
+  List.iter
+    (fun (r : Serve.Workload.request) ->
+      Alcotest.(check bool) "within max_total" true
+        (r.Serve.Workload.prompt_len + r.Serve.Workload.output_len
+        <= tiny.Frontend.Configs.max_context))
+    w1
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "deterministic completion log" `Quick test_golden;
+          Alcotest.test_case "rerun is bit-identical" `Quick
+            test_deterministic_rerun;
+          Alcotest.test_case "workload reproducible" `Quick
+            test_workload_reproducible;
+        ] );
+      ( "invariants",
+        List.map QCheck_alcotest.to_alcotest
+          [ test_no_starvation; test_blocks_drain; test_numeric_matches_timed ]
+        @ [
+            Alcotest.test_case "preempted requests finish" `Quick
+              test_preempted_finish;
+          ] );
+      ( "numeric",
+        [
+          Alcotest.test_case "finite logits smoke" `Quick test_numeric_smoke;
+          Alcotest.test_case "events fold into profiler" `Quick
+            test_trace_profiler_fold;
+        ] );
+    ]
