@@ -22,19 +22,44 @@ let models =
     ("phi3-mini", Frontend.Configs.phi3_mini);
     ("redpajama-3b", Frontend.Configs.redpajama_3b) ]
 
+(* Invalid or contradictory command lines: short message + usage on
+   stderr, exit 2 (runtime failures exit 1, success 0). *)
+let usage_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "relax_compile: %s\n" msg;
+      Printf.eprintf
+        "usage: relax_compile [--model NAME] [--device NAME] [--batch N] \
+         [--ctx N] [--quant f16|q4|q3]\n\
+        \       [--dump-ir] [--no-fusion] [--no-library] [--no-planning] \
+         [--no-capture] [--paged]\n\
+        \       [--trace] [--profile]\n\
+        \       [--serve [--rate R] [--requests N] [--policy \
+         continuous|static] [--seed N]\n\
+        \                [--admission fcfs|deadline] [--deadline-ms MS] \
+         [--retries N]\n\
+        \                [--faults P] [--fault-seed N]]\n";
+      exit 2)
+    fmt
+
 (* --serve: drive the continuous-batching serving engine (lib/serve)
    instead of timing a lone decode step. [batch] becomes the scheduler's
    max batch; the workload is a seeded Poisson stream sized to the
    model's max context. *)
 let run_serve cfg (device : Runtime.Device.t) precision ~max_batch ~rate
-    ~requests ~policy_name ~seed ~trace ~profile =
+    ~requests ~policy_name ~seed ~admission_name ~deadline_ms ~retries
+    ~faults_p ~fault_seed ~trace ~profile =
   let policy =
     match policy_name with
     | "continuous" -> Serve.Scheduler.Continuous
     | "static" -> Serve.Scheduler.Static
-    | other ->
-        Printf.eprintf "unknown policy %s (continuous|static)\n" other;
-        exit 1
+    | other -> usage_error "unknown policy %s (continuous|static)" other
+  in
+  let admission =
+    match admission_name with
+    | "fcfs" -> Serve.Scheduler.Fcfs
+    | "deadline" | "deadline-aware" -> Serve.Scheduler.Deadline_aware
+    | other -> usage_error "unknown admission %s (fcfs|deadline)" other
   in
   let mmax = cfg.Frontend.Configs.max_context in
   let workload =
@@ -44,9 +69,35 @@ let run_serve cfg (device : Runtime.Device.t) precision ~max_batch ~rate
       ~output:(Serve.Workload.Uniform (1, max 1 (mmax / 8)))
       ()
   in
+  let workload =
+    match deadline_ms with
+    | Some ms -> Serve.Workload.with_deadline ~slack_us:(ms *. 1000.0) workload
+    | None -> workload
+  in
   let model = Serve.Scheduler.model ~cfg ~precision ~device in
+  (* Same fault mix as the chaos benchmark: transient launch failures
+     and stalls at the headline rate, allocation spikes at half of
+     it, silent output corruption an order of magnitude rarer. *)
+  let faults =
+    if faults_p > 0.0 then
+      Some
+        { Runtime.Fault.disabled with
+          Runtime.Fault.seed = fault_seed;
+          kernel_fail_p = faults_p;
+          stall_p = faults_p;
+          oom_p = 0.5 *. faults_p;
+          nan_p = 0.1 *. faults_p;
+        }
+    else None
+  in
   let opts =
-    { Serve.Scheduler.default_opts with Serve.Scheduler.policy; max_batch }
+    { Serve.Scheduler.default_opts with
+      Serve.Scheduler.policy;
+      max_batch;
+      admission;
+      retry = { Serve.Scheduler.default_retry with max_attempts = retries };
+      faults;
+    }
   in
   let recorder = if trace then Some (Runtime.Trace.recorder ()) else None in
   let profiler = if profile then Some (Runtime.Profiler.create ()) else None in
@@ -59,7 +110,14 @@ let run_serve cfg (device : Runtime.Device.t) precision ~max_batch ~rate
     | Some s, None | None, Some s -> Some s
     | None, None -> None
   in
-  let r = Serve.Scheduler.run ?trace:sink model opts workload in
+  let r =
+    try Serve.Scheduler.run ?trace:sink model opts workload with
+    | Runtime.Fault.Error (cls, msg) ->
+        Printf.eprintf "serving failed [%s]: %s\n"
+          (Runtime.Fault.error_class_name cls)
+          msg;
+        exit 1
+  in
   (match recorder with
   | Some rec_ ->
       print_endline "=== serving trace ===";
@@ -84,6 +142,23 @@ let run_serve cfg (device : Runtime.Device.t) precision ~max_batch ~rate
   Printf.printf "device           %s\n" device.Runtime.Device.name;
   Printf.printf "policy           %s, max batch %d, block size %d tokens\n"
     policy_name max_batch opts.Serve.Scheduler.block_size;
+  (match admission with
+  | Serve.Scheduler.Deadline_aware ->
+      Printf.printf "admission        deadline-aware%s, %d attempts/request\n"
+        (match deadline_ms with
+        | Some ms -> Printf.sprintf " (slack %.0f ms)" ms
+        | None -> "")
+        retries
+  | Serve.Scheduler.Fcfs -> ());
+  (match faults with
+  | Some c ->
+      Printf.printf
+        "faults           seed %d: kernel %.3f, stall %.3f (x%.1f), oom \
+         %.3f, nan %.3f\n"
+        c.Runtime.Fault.seed c.Runtime.Fault.kernel_fail_p
+        c.Runtime.Fault.stall_p c.Runtime.Fault.stall_factor
+        c.Runtime.Fault.oom_p c.Runtime.Fault.nan_p
+  | None -> ());
   Printf.printf "workload         %d requests at %.1f req/s (seed %d)\n"
     requests rate seed;
   Printf.printf "KV blocks        %d x %d bytes\n"
@@ -92,38 +167,75 @@ let run_serve cfg (device : Runtime.Device.t) precision ~max_batch ~rate
   print_string (Serve.Metrics.to_string r.Serve.Scheduler.summary)
 
 let run model_name device_name batch ctx quant dump_ir no_fusion no_library
-    no_planning no_capture paged trace profile serve rate requests policy seed =
+    no_planning no_capture paged trace profile serve rate requests policy seed
+    admission deadline_ms retries faults fault_seed =
   let cfg =
     match List.assoc_opt model_name models with
     | Some cfg -> cfg
     | None ->
-        Printf.eprintf "unknown model %s; available: %s\n" model_name
-          (String.concat ", " (List.map fst models));
-        exit 1
+        usage_error "unknown model %s; available: %s" model_name
+          (String.concat ", " (List.map fst models))
   in
   let device =
     match Runtime.Device.find device_name with
     | Some d -> d
     | None ->
-        Printf.eprintf "unknown device %s; available: %s\n" device_name
+        usage_error "unknown device %s; available: %s" device_name
           (String.concat ", "
              (List.map
                 (fun (d : Runtime.Device.t) -> d.Runtime.Device.name)
-                Runtime.Device.all_presets));
-        exit 1
+                Runtime.Device.all_presets))
   in
   let precision =
     match quant with
     | "f16" -> Frontend.Llm.F16
     | "q4" -> Frontend.Llm.Q4
     | "q3" -> Frontend.Llm.Q3
-    | other ->
-        Printf.eprintf "unknown precision %s (f16|q4|q3)\n" other;
-        exit 1
+    | other -> usage_error "unknown precision %s (f16|q4|q3)" other
   in
+  if batch < 1 then usage_error "--batch must be >= 1 (got %d)" batch;
+  if ctx < 1 then usage_error "--ctx must be >= 1 (got %d)" ctx;
+  (* Serving knobs are meaningless on the compile-and-time path:
+     reject them instead of silently ignoring them. *)
+  if not serve then begin
+    let requires name present =
+      if present then usage_error "--%s requires --serve" name
+    in
+    requires "rate" (rate <> None);
+    requires "requests" (requests <> None);
+    requires "policy" (policy <> None);
+    requires "seed" (seed <> None);
+    requires "admission" (admission <> None);
+    requires "deadline-ms" (deadline_ms <> None);
+    requires "retries" (retries <> None);
+    requires "faults" (faults <> None);
+    requires "fault-seed" (fault_seed <> None)
+  end;
   if serve then begin
+    if dump_ir then usage_error "--dump-ir cannot be combined with --serve";
+    if paged then
+      usage_error "--paged is implied by --serve (serving is always paged)";
+    let rate = Option.value rate ~default:5.0 in
+    let requests = Option.value requests ~default:20 in
+    let policy_name = Option.value policy ~default:"continuous" in
+    let seed = Option.value seed ~default:42 in
+    let admission_name = Option.value admission ~default:"fcfs" in
+    let retries = Option.value retries ~default:3 in
+    let faults_p = Option.value faults ~default:0.0 in
+    let fault_seed = Option.value fault_seed ~default:0 in
+    if rate <= 0.0 then usage_error "--rate must be > 0 (got %g)" rate;
+    if requests < 1 then
+      usage_error "--requests must be >= 1 (got %d)" requests;
+    if retries < 1 then usage_error "--retries must be >= 1 (got %d)" retries;
+    if faults_p < 0.0 || faults_p > 1.0 then
+      usage_error "--faults must be a probability in [0, 1] (got %g)" faults_p;
+    (match deadline_ms with
+    | Some ms when ms <= 0.0 ->
+        usage_error "--deadline-ms must be > 0 (got %g)" ms
+    | _ -> ());
     run_serve cfg device precision ~max_batch:batch ~rate ~requests
-      ~policy_name:policy ~seed ~trace ~profile;
+      ~policy_name ~seed ~admission_name ~deadline_ms ~retries ~faults_p
+      ~fault_seed ~trace ~profile;
     exit 0
   end;
   (* Memory planning sizes storages for the model's declared maximum
@@ -258,21 +370,77 @@ let serve =
 
 let rate =
   Arg.(
-    value & opt float 5.0
-    & info [ "rate" ] ~doc:"Serving: request arrival rate, req/s.")
+    value
+    & opt (some float) None
+    & info [ "rate" ] ~doc:"Serving: request arrival rate, req/s (default 5).")
 
 let requests =
   Arg.(
-    value & opt int 20
-    & info [ "requests" ] ~doc:"Serving: number of requests to serve.")
+    value
+    & opt (some int) None
+    & info [ "requests" ]
+        ~doc:"Serving: number of requests to serve (default 20).")
 
 let policy =
   Arg.(
-    value & opt string "continuous"
-    & info [ "policy" ] ~doc:"Serving: continuous or static batching.")
+    value
+    & opt (some string) None
+    & info [ "policy" ]
+        ~doc:"Serving: continuous or static batching (default continuous).")
 
 let seed =
-  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Serving: workload seed.")
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~doc:"Serving: workload seed (default 42).")
+
+let admission =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "admission" ]
+        ~doc:
+          "Serving: admission policy, $(b,fcfs) (default) or $(b,deadline) \
+           (shed requests whose deadline has passed or is infeasible under \
+           the cost model).")
+
+let deadline_ms =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ]
+        ~doc:
+          "Serving: give every request a deadline this many milliseconds \
+           after its arrival. Without it requests have no SLO and \
+           $(b,--admission) deadline never sheds.")
+
+let retries =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "retries" ]
+        ~doc:
+          "Serving: per-request attempt budget across transient faults and \
+           corrupt tokens (default 3).")
+
+let faults =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "faults" ]
+        ~doc:
+          "Serving: arm seeded fault injection. P is the per-event \
+           probability of transient kernel failures and device stalls; \
+           allocation spikes fire at P/2 and output corruption at P/10.")
+
+let fault_seed =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fault-seed" ]
+        ~doc:
+          "Serving: fault injector seed (default 0); same seed, same fault \
+           schedule.")
 
 let cmd =
   Cmd.v
@@ -280,6 +448,7 @@ let cmd =
     Term.(
       const run $ model $ device $ batch $ ctx $ quant $ dump_ir $ no_fusion
       $ no_library $ no_planning $ no_capture $ paged $ trace $ profile
-      $ serve $ rate $ requests $ policy $ seed)
+      $ serve $ rate $ requests $ policy $ seed $ admission $ deadline_ms
+      $ retries $ faults $ fault_seed)
 
 let () = exit (Cmd.eval cmd)

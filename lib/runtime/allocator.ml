@@ -10,9 +10,10 @@ type t = {
   mutable live : int;
   mutable peak : int;
   mutable allocs : int;
+  fault : Fault.t option;
 }
 
-let create akind =
+let create ?fault akind =
   {
     akind;
     storages = Hashtbl.create 64;
@@ -21,6 +22,7 @@ let create akind =
     live = 0;
     peak = 0;
     allocs = 0;
+    fault;
   }
 
 let kind t = t.akind
@@ -35,6 +37,14 @@ let fresh_alloc t bytes =
   id
 
 let alloc t bytes =
+  (match t.fault with
+  | Some inj -> (
+      match Fault.alloc_oom inj ~site:"alloc" with
+      | Some _ ->
+          Fault.errorf Fault.Resource_exhausted
+            "injected allocator OOM (%d bytes requested, %d live)" bytes t.live
+      | None -> ())
+  | None -> ());
   match t.akind with
   | `Planned | `Naive -> fresh_alloc t bytes
   | `Pooling -> (

@@ -1,0 +1,106 @@
+(* Seeded fault injection + the typed failure taxonomy.
+
+   A single injector owns one PRNG stream; every consulting component
+   (Vm, Allocator, the serving scheduler) draws from it in program
+   order, so a (config, program) pair fully determines the fault
+   schedule. Draws with probability 0 skip the PRNG entirely: a config
+   with one knob turned leaves the other kinds' schedules unchanged,
+   and an all-zero config is indistinguishable from no injector. *)
+
+type config = {
+  seed : int;
+  kernel_fail_p : float;
+  stall_p : float;
+  stall_factor : float;
+  oom_p : float;
+  nan_p : float;
+}
+
+let disabled =
+  {
+    seed = 0;
+    kernel_fail_p = 0.0;
+    stall_p = 0.0;
+    stall_factor = 4.0;
+    oom_p = 0.0;
+    nan_p = 0.0;
+  }
+
+let enabled c =
+  c.kernel_fail_p > 0.0 || c.stall_p > 0.0 || c.oom_p > 0.0 || c.nan_p > 0.0
+
+type kind = Kernel_failure | Device_stall | Alloc_oom | Nan_corruption
+
+let kind_name = function
+  | Kernel_failure -> "kernel_failure"
+  | Device_stall -> "device_stall"
+  | Alloc_oom -> "alloc_oom"
+  | Nan_corruption -> "nan_corruption"
+
+let all_kinds = [ Kernel_failure; Device_stall; Alloc_oom; Nan_corruption ]
+
+let kind_index = function
+  | Kernel_failure -> 0
+  | Device_stall -> 1
+  | Alloc_oom -> 2
+  | Nan_corruption -> 3
+
+type event = { seq : int; site : string; kind : kind }
+
+type t = {
+  config : config;
+  st : Random.State.t;
+  mutable seq : int;
+  counts : int array;
+}
+
+let create config =
+  {
+    config;
+    st = Random.State.make [| config.seed |];
+    seq = 0;
+    counts = Array.make 4 0;
+  }
+
+let config t = t.config
+
+let draw t p kind site =
+  if p <= 0.0 then None
+  else if Random.State.float t.st 1.0 < p then begin
+    let ev = { seq = t.seq; site; kind } in
+    t.seq <- t.seq + 1;
+    t.counts.(kind_index kind) <- t.counts.(kind_index kind) + 1;
+    Some ev
+  end
+  else None
+
+let kernel_failure t ~site = draw t t.config.kernel_fail_p Kernel_failure site
+
+let device_stall t ~site =
+  match draw t t.config.stall_p Device_stall site with
+  | Some ev -> Some (ev, t.config.stall_factor)
+  | None -> None
+
+let alloc_oom t ~site = draw t t.config.oom_p Alloc_oom site
+let nan_corruption t ~site = draw t t.config.nan_p Nan_corruption site
+let injected_total t = t.seq
+let injected t kind = t.counts.(kind_index kind)
+
+type error_class = Transient | Fatal | Resource_exhausted | Corrupt_output
+
+exception Error of error_class * string
+
+let error_class_name = function
+  | Transient -> "transient"
+  | Fatal -> "fatal"
+  | Resource_exhausted -> "resource_exhausted"
+  | Corrupt_output -> "corrupt_output"
+
+let errorf cls fmt =
+  Format.kasprintf (fun s -> raise (Error (cls, s))) fmt
+
+let () =
+  Printexc.register_printer (function
+    | Error (cls, msg) ->
+        Some (Printf.sprintf "Fault.Error(%s, %s)" (error_class_name cls) msg)
+    | _ -> None)

@@ -1,0 +1,108 @@
+(** Deterministic fault injection and the typed failure taxonomy.
+
+    The paper's deployment story spans phones, browsers and discrete
+    GPUs — environments where kernels sporadically fail, devices
+    stall, allocations spike past the budget and vendor libraries
+    corrupt outputs. This module gives those failures first-class,
+    *testable* semantics: an injector is a seeded PRNG (never
+    [Random.self_init]) consulted at well-defined injection points by
+    the {!Vm} (kernel launches, extern calls, device timing), the
+    {!Allocator} (allocation) and, at step granularity, the serving
+    scheduler. Every fired injection is a typed {!event} with a
+    stream-wide sequence number; the consulting component records it
+    through {!Trace.Fault_injected}, so chaos runs are replayable and
+    two runs with the same seed produce identical fault schedules.
+
+    All probabilities default to 0; a draw with probability 0 does
+    not consume PRNG state, so enabling one fault kind leaves the
+    schedules of the others untouched and a config with every
+    probability 0 is byte-identical to no injector at all. *)
+
+type config = {
+  seed : int;  (** PRNG seed; same seed = same fault schedule *)
+  kernel_fail_p : float;
+      (** per-launch probability of a transient kernel failure
+          (raises {!Error}[ (Transient, _)] at the consulting site) *)
+  stall_p : float;
+      (** per-step probability of a device stall: the step's
+          simulated time is multiplied by [stall_factor] *)
+  stall_factor : float;  (** latency multiplier while stalled, > 1 *)
+  oom_p : float;
+      (** per-allocation probability of an OOM spike (raises
+          {!Error}[ (Resource_exhausted, _)] from {!Allocator.alloc},
+          or fails a KV-block grow in the scheduler) *)
+  nan_p : float;
+      (** per-extern-call probability of NaN output corruption
+          ({!Library.poison} on the output tensor in numeric mode;
+          [Corrupt_output] retry at the serving layer) *)
+}
+
+val disabled : config
+(** Seed 0, every probability 0.0, stall factor 4.0. *)
+
+val enabled : config -> bool
+(** Any probability strictly positive. *)
+
+type kind = Kernel_failure | Device_stall | Alloc_oom | Nan_corruption
+
+val kind_name : kind -> string
+(** Stable short names: "kernel_failure", "device_stall",
+    "alloc_oom", "nan_corruption". *)
+
+val all_kinds : kind list
+
+type event = {
+  seq : int;  (** 0-based injection sequence number within this injector *)
+  site : string;  (** where it fired (kernel name, "prefill", "alloc", ...) *)
+  kind : kind;
+}
+
+type t
+(** A live injector: config + seeded PRNG + injection counters. *)
+
+val create : config -> t
+val config : t -> config
+
+(** {1 Draws}
+
+    Each draw consults the PRNG iff the corresponding probability is
+    positive, and returns [Some event] when the fault fires (also
+    bumping the injector's counters). Callers are responsible for
+    recording the event (e.g. through {!Trace.Fault_injected}) and
+    acting on it. *)
+
+val kernel_failure : t -> site:string -> event option
+val device_stall : t -> site:string -> (event * float) option
+(** The float is the configured [stall_factor] to apply. *)
+
+val alloc_oom : t -> site:string -> event option
+val nan_corruption : t -> site:string -> event option
+
+val injected_total : t -> int
+(** Number of events fired so far (= next event's [seq]). *)
+
+val injected : t -> kind -> int
+
+(** {1 Typed failure taxonomy}
+
+    The serving and VM layers raise {!Error} instead of stringly
+    [Failure]/[Invalid_argument] so callers can make policy
+    decisions: retry transients with backoff, shed on resource
+    exhaustion, regenerate corrupt output, and only propagate
+    fatals. {!Vm.Vm_error} remains for VM-internal programming
+    errors (shape-check failures, missing functions). *)
+
+type error_class =
+  | Transient  (** retry with backoff may succeed (kernel blip) *)
+  | Fatal  (** programming or configuration error; do not retry *)
+  | Resource_exhausted
+      (** memory/budget exceeded; shed load or wait for capacity *)
+  | Corrupt_output  (** result data is wrong; discard and recompute *)
+
+exception Error of error_class * string
+
+val error_class_name : error_class -> string
+(** "transient", "fatal", "resource_exhausted", "corrupt_output". *)
+
+val errorf : error_class -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [errorf cls fmt ...] raises {!Error}[ (cls, msg)]. *)

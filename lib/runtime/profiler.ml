@@ -15,6 +15,11 @@ type serve_counts = {
   decode_steps : int;
   preempts : int;
   finishes : int;
+  sheds : int;
+  timeouts : int;
+  retries : int;
+  aborts : int;
+  degrades : int;
 }
 
 type t = {
@@ -29,10 +34,22 @@ type t = {
   mutable frees : int;
   mutable events : int;
   mutable serve : serve_counts;
+  faults : int array;  (* indexed like Fault.all_kinds *)
 }
 
 let zero_serve =
-  { arrivals = 0; prefills = 0; decode_steps = 0; preempts = 0; finishes = 0 }
+  {
+    arrivals = 0;
+    prefills = 0;
+    decode_steps = 0;
+    preempts = 0;
+    finishes = 0;
+    sheds = 0;
+    timeouts = 0;
+    retries = 0;
+    aborts = 0;
+    degrades = 0;
+  }
 
 let create () =
   {
@@ -47,7 +64,14 @@ let create () =
     frees = 0;
     events = 0;
     serve = zero_serve;
+    faults = Array.make (List.length Fault.all_kinds) 0;
   }
+
+let kind_idx = function
+  | Fault.Kernel_failure -> 0
+  | Fault.Device_stall -> 1
+  | Fault.Alloc_oom -> 2
+  | Fault.Nan_corruption -> 3
 
 let row t kind name origin =
   match Hashtbl.find_opt t.table name with
@@ -110,7 +134,14 @@ let feed t (ev : Trace.event) =
         | `Prefill -> { s with prefills = s.prefills + 1 }
         | `Decode_step -> { s with decode_steps = s.decode_steps + 1 }
         | `Preempt -> { s with preempts = s.preempts + 1 }
-        | `Finish -> { s with finishes = s.finishes + 1 })
+        | `Finish -> { s with finishes = s.finishes + 1 }
+        | `Shed -> { s with sheds = s.sheds + 1 }
+        | `Timeout -> { s with sheds = s.sheds + 1; timeouts = s.timeouts + 1 }
+        | `Retry -> { s with retries = s.retries + 1 }
+        | `Abort -> { s with aborts = s.aborts + 1 }
+        | `Degrade -> { s with degrades = s.degrades + 1 })
+  | Trace.Fault_injected { Fault.kind; _ } ->
+      t.faults.(kind_idx kind) <- t.faults.(kind_idx kind) + 1
   | Trace.Exit _ | Trace.Instr_begin _ | Trace.Instr_end _ | Trace.Bind_shape _
   | Trace.Check_shape _ | Trace.Tensor_in_storage _ | Trace.End_of_life _ ->
       ()
@@ -138,6 +169,8 @@ let alloc_count t = t.allocs
 let reuse_count t = t.reuses
 let free_count t = t.frees
 let serve_counts t = t.serve
+let fault_count t kind = t.faults.(kind_idx kind)
+let faults_injected t = Array.fold_left ( + ) 0 t.faults
 
 let report ?(top = 0) t =
   let buf = Buffer.create 1024 in
@@ -186,4 +219,21 @@ let report ?(top = 0) t =
          "serving: %d arrivals, %d prefills, %d decode steps, %d preemptions, \
           %d finished\n"
          s.arrivals s.prefills s.decode_steps s.preempts s.finishes);
+  if s.sheds + s.retries + s.aborts + s.degrades > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "resilience: %d shed (%d timed out), %d retries, %d aborted, %d \
+          degrades\n"
+         s.sheds s.timeouts s.retries s.aborts s.degrades);
+  if faults_injected t > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "faults: %d injected (%s)\n" (faults_injected t)
+         (String.concat ", "
+            (List.filter_map
+               (fun k ->
+                 let n = fault_count t k in
+                 if n > 0 then
+                   Some (Printf.sprintf "%d %s" n (Fault.kind_name k))
+                 else None)
+               Fault.all_kinds)));
   Buffer.contents buf

@@ -35,6 +35,11 @@ type serve_counts = {
   decode_steps : int;
   preempts : int;
   finishes : int;
+  sheds : int;  (** [`Shed] + [`Timeout] (timeouts are sheds too) *)
+  timeouts : int;
+  retries : int;
+  aborts : int;
+  degrades : int;
 }
 (** Counts of {!Trace.Serve} events by tag (all zero unless a serving
     engine fed its events into this profiler). *)
@@ -62,6 +67,12 @@ val alloc_count : t -> int
 val reuse_count : t -> int
 val free_count : t -> int
 val serve_counts : t -> serve_counts
+
+val fault_count : t -> Fault.kind -> int
+(** {!Trace.Fault_injected} events seen, by fault kind. *)
+
+val faults_injected : t -> int
+(** Total {!Trace.Fault_injected} events seen. *)
 
 val report : ?top:int -> t -> string
 (** Text table sorted by time; [top] truncates to the first [top]

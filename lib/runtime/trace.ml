@@ -44,8 +44,19 @@ type event =
       batch : int;
       tokens : int;
     }
+  | Fault_injected of Fault.event
 
-and serve_tag = [ `Request_arrive | `Prefill | `Decode_step | `Preempt | `Finish ]
+and serve_tag =
+  [ `Request_arrive
+  | `Prefill
+  | `Decode_step
+  | `Preempt
+  | `Finish
+  | `Shed
+  | `Timeout
+  | `Retry
+  | `Abort
+  | `Degrade ]
 
 type sink = event -> unit
 
@@ -55,6 +66,11 @@ let serve_tag_name = function
   | `Decode_step -> "decode_step"
   | `Preempt -> "preempt"
   | `Finish -> "finish"
+  | `Shed -> "shed"
+  | `Timeout -> "timeout"
+  | `Retry -> "retry"
+  | `Abort -> "abort"
+  | `Degrade -> "degrade"
 
 let shapes_str shapes =
   shapes |> Array.to_list
@@ -109,6 +125,8 @@ let render ~times ev =
         (if id >= 0 then Printf.sprintf " #%d" id else "")
         batch tokens
         (if times then Printf.sprintf " t=%.3f" t_us else "")
+  | Fault_injected { Fault.seq; site; kind } ->
+      Printf.sprintf "fault #%d %s @%s" seq (Fault.kind_name kind) site
 
 let to_string ev = render ~times:true ev
 let shape_of ev = render ~times:false ev
@@ -145,7 +163,10 @@ let elapsed_us_of = function
       elapsed_us
   | Exit _ | Instr_begin _ | Instr_end _ | Bind_shape _ | Check_shape _
   | Alloc _ | Tensor_in_storage _ | Free _ | End_of_life _ | Capture_begin _
-  | Serve _ ->
-      (* Serving events are markers on the engine's simulated clock; the
-         time they bracket is charged by the underlying VM runs. *)
+  | Serve _ | Fault_injected _ ->
+      (* Serving/fault events are markers on the engine's simulated
+         clock; the time they bracket (or inflate) is charged by the
+         underlying VM runs. *)
       0.0
+
+let is_fault = function Fault_injected _ -> true | _ -> false

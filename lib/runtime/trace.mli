@@ -101,15 +101,40 @@ type event =
           length for [`Prefill], batch-wide tokens for [`Decode_step],
           generated count for [`Finish]). [t_us] is a clock reading,
           not a duration — {!elapsed_us_of} is 0 so profiler time
-          invariants over VM streams are unaffected. *)
+          invariants over VM streams are unaffected.
 
-and serve_tag = [ `Request_arrive | `Prefill | `Decode_step | `Preempt | `Finish ]
+          Resilience tags: [`Shed] (admission control rejected the
+          request; [tokens] = prompt length), [`Timeout] (shed because
+          its deadline already passed), [`Retry] (a transient fault or
+          corrupt token costs the request one attempt; [tokens] =
+          attempts consumed so far), [`Abort] (retry budget exhausted
+          or request infeasible for the KV budget), [`Degrade]
+          (persistent device stall shrank the effective batch; [batch]
+          = new effective max batch, [id] = -1). *)
+  | Fault_injected of Fault.event
+      (** A {!Fault} injector fired at this point of the stream. The
+          event precedes the consequence it causes (failed launch,
+          inflated charge, OOM, corrupt output, …). Never emitted when
+          injection is off. *)
+
+and serve_tag =
+  [ `Request_arrive
+  | `Prefill
+  | `Decode_step
+  | `Preempt
+  | `Finish
+  | `Shed
+  | `Timeout
+  | `Retry
+  | `Abort
+  | `Degrade ]
 
 type sink = event -> unit
 
 val serve_tag_name : serve_tag -> string
 (** Short stable name ("arrive", "prefill", "decode_step", "preempt",
-    "finish") used by renderings and the profiler report. *)
+    "finish", "shed", "timeout", "retry", "abort", "degrade") used by
+    renderings and the profiler report. *)
 
 val to_string : event -> string
 (** One-line rendering including timing fields. *)
@@ -138,6 +163,7 @@ val is_launch : ?include_replays:bool -> event -> bool
     launches that paid per-launch overhead (default [true]). *)
 
 val is_extern : ?include_replays:bool -> event -> bool
+val is_fault : event -> bool
 val elapsed_us_of : event -> float
 (** Simulated time charged by the event ([Instr_end] excluded to
     avoid double counting its children). Summing over a stream

@@ -71,6 +71,7 @@ type t = {
   alloc : Allocator.t;
   st : stats;
   trace : Trace.sink option;
+  fault : Fault.t option;
   captured : (int, unit) Hashtbl.t;
   cost_cache : (string, Tir.Cost.t) Hashtbl.t;
   kernel_cache : Tir.Compile.Cache.t;
@@ -81,7 +82,7 @@ type t = {
          allocated once and reused across invocations *)
 }
 
-let create ?allocator ?trace mode program =
+let create ?allocator ?trace ?fault mode program =
   let alloc =
     match allocator with Some a -> a | None -> Allocator.create `Pooling
   in
@@ -91,6 +92,7 @@ let create ?allocator ?trace mode program =
     alloc;
     st = { elapsed_us = 0.0; kernel_launches = 0; lib_calls = 0; graph_replays = 0 };
     trace;
+    fault;
     captured = Hashtbl.create 8;
     cost_cache = Hashtbl.create 64;
     kernel_cache = Tir.Compile.Cache.create ();
@@ -293,6 +295,18 @@ let charge_kernel t ~in_replay name kernel lookup dtype =
         /. (dev.Device.mem_bw_gbps *. dev.Device.mem_eff *. 1e3)
       in
       let time = Float.max compute_us memory_us in
+      let time =
+        (* Injected device stall: this launch runs [stall_factor]x
+           slower on the simulated clock. *)
+        match t.fault with
+        | Some inj -> (
+            match Fault.device_stall inj ~site:name with
+            | Some (ev, factor) ->
+                emit t (Trace.Fault_injected ev);
+                time *. factor
+            | None -> time)
+        | None -> time
+      in
       let overhead = if in_replay then 0.0 else dev.Device.launch_overhead_us in
       t.st.elapsed_us <- t.st.elapsed_us +. time +. overhead;
       time +. overhead
@@ -314,8 +328,19 @@ let charge_extern t ~in_replay (impl : Library.impl) shapes dtype =
         cost.Library.bytes
         /. (dev.Device.mem_bw_gbps *. dev.Device.mem_eff *. mem_factor *. 1e3)
       in
+      let time = Float.max compute_us memory_us in
+      let time =
+        match t.fault with
+        | Some inj -> (
+            match Fault.device_stall inj ~site:impl.Library.name with
+            | Some (ev, factor) ->
+                emit t (Trace.Fault_injected ev);
+                time *. factor
+            | None -> time)
+        | None -> time
+      in
       let overhead = if in_replay then 0.0 else dev.Device.launch_overhead_us in
-      let charged = Float.max compute_us memory_us +. overhead in
+      let charged = time +. overhead in
       t.st.elapsed_us <- t.st.elapsed_us +. charged;
       charged
 
@@ -481,6 +506,21 @@ and exec_instr t ~in_replay ~fname ~pc ~prov frame (i : instr) : unit =
         | out :: _ -> out.Tir.Buffer.dtype
         | [] -> Base.Dtype.F32
       in
+      (* Injected transient kernel failure: the launch never happens —
+         no time is charged, no trace launch event is emitted — and
+         the typed error surfaces to the caller's retry policy. *)
+      (match t.fault with
+      | Some inj -> (
+          match Fault.kernel_failure inj ~site:kernel with
+          | Some ev ->
+              emit t (Trace.Fault_injected ev);
+              raise
+                (Fault.Error
+                   ( Fault.Transient,
+                     Printf.sprintf "injected transient failure in kernel %s"
+                       kernel ))
+          | None -> ())
+      | None -> ());
       let charged = charge_kernel t ~in_replay kernel kf lookup dtype in
       (match t.trace with
       | Some sink ->
@@ -534,7 +574,21 @@ and exec_instr t ~in_replay ~fname ~pc ~prov frame (i : instr) : unit =
       | None -> ());
       (match t.mode with
       | `Numeric -> impl.Library.compute (Array.map value_tensor arg_vals)
-      | `Timed _ -> ())
+      | `Timed _ -> ());
+      (* Injected library corruption: the routine "succeeded" but its
+         output (destination-passing: last argument) carries NaN. *)
+      (match t.fault with
+      | Some inj -> (
+          match Fault.nan_corruption inj ~site:func with
+          | Some ev ->
+              emit t (Trace.Fault_injected ev);
+              (match t.mode with
+              | `Numeric ->
+                  Library.poison
+                    (value_tensor arg_vals.(Array.length arg_vals - 1))
+              | `Timed _ -> ())
+          | None -> ())
+      | None -> ())
   | Call_func { dst; func; args } ->
       let callee = find_func t func in
       let v =

@@ -6,19 +6,29 @@ type request_metrics = {
   prompt_len : int;
   tokens : int;
   preemptions : int;
+  retries : int;
+  deadline_us : float option;
 }
 
 type pct = { p50 : float; p95 : float; p99 : float }
 
 type summary = {
   completed : int;
+  submitted : int;
   makespan_us : float;
   tokens_per_s : float;
+  goodput_tokens_per_s : float;
+  slo_attainment : float;
   ttft_us : pct;
   per_token_us : pct;
   e2e_us : pct;
   occupancy : float;
   preemptions : int;
+  retries : int;
+  shed : int;
+  timeouts : int;
+  aborted : int;
+  faults : int;
 }
 
 let percentile p xs =
@@ -36,7 +46,11 @@ let pct_of xs =
     p99 = percentile 99.0 xs;
   }
 
-let summarize ~makespan_us ~occupancy rs =
+let met_deadline r =
+  match r.deadline_us with None -> true | Some d -> r.finish_us <= d
+
+let summarize ~makespan_us ~occupancy ?submitted ?(shed = 0) ?(timeouts = 0)
+    ?(aborted = 0) ?(faults = 0) rs =
   let tokens = List.fold_left (fun acc r -> acc + r.tokens) 0 rs in
   let ttft = List.map (fun r -> r.first_token_us -. r.arrival_us) rs in
   let e2e = List.map (fun r -> r.finish_us -. r.arrival_us) rs in
@@ -46,23 +60,42 @@ let summarize ~makespan_us ~occupancy rs =
         (r.finish_us -. r.first_token_us) /. float_of_int (max 1 (r.tokens - 1)))
       rs
   in
+  let submitted =
+    match submitted with Some n -> n | None -> List.length rs + shed + aborted
+  in
+  let met = List.filter met_deadline rs in
+  let good_tokens =
+    List.fold_left (fun acc r -> acc + r.tokens) 0 met
+  in
+  let per_s n =
+    if makespan_us > 0.0 then float_of_int n /. (makespan_us /. 1e6) else 0.0
+  in
   {
     completed = List.length rs;
+    submitted;
     makespan_us;
-    tokens_per_s =
-      (if makespan_us > 0.0 then float_of_int tokens /. (makespan_us /. 1e6)
-       else 0.0);
+    tokens_per_s = per_s tokens;
+    goodput_tokens_per_s = per_s good_tokens;
+    slo_attainment =
+      (if submitted > 0 then float_of_int (List.length met) /. float_of_int submitted
+       else 1.0);
     ttft_us = pct_of ttft;
     per_token_us = pct_of per_tok;
     e2e_us = pct_of e2e;
     occupancy;
     preemptions =
       List.fold_left (fun acc (r : request_metrics) -> acc + r.preemptions) 0 rs;
+    retries =
+      List.fold_left (fun acc (r : request_metrics) -> acc + r.retries) 0 rs;
+    shed;
+    timeouts;
+    aborted;
+    faults;
   }
 
 let to_string s =
   let ms v = v /. 1e3 in
-  String.concat "\n"
+  let base =
     [
       Printf.sprintf "completed:   %d requests in %.1f ms (%d preemptions)"
         s.completed (ms s.makespan_us) s.preemptions;
@@ -76,3 +109,23 @@ let to_string s =
       Printf.sprintf "e2e ms:      p50 %.1f  p95 %.1f  p99 %.1f"
         (ms s.e2e_us.p50) (ms s.e2e_us.p95) (ms s.e2e_us.p99);
     ]
+  in
+  (* Resilience lines only when something resilience-related happened,
+     so fault-free reports are byte-identical to the pre-fault engine. *)
+  let resilience =
+    if s.shed + s.aborted + s.retries + s.faults > 0 || s.slo_attainment < 1.0
+    then
+      [
+        Printf.sprintf
+          "resilience:  %d/%d submitted met SLO (%.0f%%), %d shed (%d timed \
+           out), %d aborted, %d retries, %d faults"
+          (int_of_float (s.slo_attainment *. float_of_int s.submitted +. 0.5))
+          s.submitted
+          (s.slo_attainment *. 100.0)
+          s.shed s.timeouts s.aborted s.retries s.faults;
+        Printf.sprintf "goodput:     %.1f deadline-met output tokens/s"
+          s.goodput_tokens_per_s;
+      ]
+    else []
+  in
+  String.concat "\n" (base @ resilience)

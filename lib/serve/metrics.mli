@@ -1,7 +1,9 @@
 (** Serving quality metrics: the numbers the paper's serving
     evaluation reports (per-request TTFT, per-output-token latency,
     end-to-end latency with tail percentiles; aggregate tokens/sec and
-    batch occupancy). *)
+    batch occupancy), plus the resilience counters the chaos
+    experiment sweeps (goodput, SLO attainment, shed/timeout/
+    retry/abort/fault counts). *)
 
 type request_metrics = {
   id : int;
@@ -11,14 +13,26 @@ type request_metrics = {
   prompt_len : int;
   tokens : int;  (** output tokens generated *)
   preemptions : int;
+  retries : int;  (** attempts consumed by transient faults / corrupt tokens *)
+  deadline_us : float option;  (** the request's SLO deadline, if any *)
 }
 
 type pct = { p50 : float; p95 : float; p99 : float }
 
 type summary = {
   completed : int;
+  submitted : int;
+      (** requests offered to the engine: completed + shed + aborted *)
   makespan_us : float;
   tokens_per_s : float;  (** output tokens / makespan *)
+  goodput_tokens_per_s : float;
+      (** output tokens of deadline-meeting completions / makespan —
+          tokens delivered too late (or to deadline-less requests,
+          which always count) don't inflate it *)
+  slo_attainment : float;
+      (** deadline-meeting completions / submitted, in [0, 1];
+          deadline-less completions count as met, shed/aborted
+          requests count as missed; 1.0 when nothing was submitted *)
   ttft_us : pct;  (** first_token - arrival *)
   per_token_us : pct;
       (** (e2e - ttft) / (tokens - 1) per request; requests with one
@@ -28,13 +42,33 @@ type summary = {
       (** time-weighted decode batch utilization: sum(live * dt) /
           (max_batch * sum(dt)) over decode steps, in [0, 1] *)
   preemptions : int;
+  retries : int;  (** summed over completed requests *)
+  shed : int;  (** rejected by admission control (includes timeouts) *)
+  timeouts : int;  (** subset of [shed]: deadline already passed *)
+  aborted : int;  (** gave up mid-flight: retry budget or infeasible *)
+  faults : int;  (** fault events injected during the run *)
 }
 
 val percentile : float -> float list -> float
-(** Nearest-rank percentile, [p] in [0, 100]; 0.0 on the empty list. *)
+(** Nearest-rank percentile, [p] in [0, 100]; 0.0 on the empty list.
+    [p = 0] returns the minimum, [p = 100] the maximum. *)
 
 val summarize :
-  makespan_us:float -> occupancy:float -> request_metrics list -> summary
+  makespan_us:float ->
+  occupancy:float ->
+  ?submitted:int ->
+  ?shed:int ->
+  ?timeouts:int ->
+  ?aborted:int ->
+  ?faults:int ->
+  request_metrics list ->
+  summary
+(** The optional resilience counters default to 0 ([submitted]
+    defaults to [completed + shed + aborted]), so fault-free callers
+    get the same summary as the pre-fault engine. *)
 
 val to_string : summary -> string
-(** Multi-line human-readable report (printed by [--serve]). *)
+(** Multi-line human-readable report (printed by [--serve]). The
+    resilience/goodput lines appear only when something
+    resilience-related happened (shed/abort/retry/fault > 0 or
+    SLO attainment < 100%). *)

@@ -1,14 +1,34 @@
 type policy = Continuous | Static
+type admission = Fcfs | Deadline_aware
+
+type retry = {
+  max_attempts : int;
+  backoff_us : float;
+  backoff_mult : float;
+}
+
+let default_retry = { max_attempts = 3; backoff_us = 500.0; backoff_mult = 2.0 }
 
 type opts = {
   max_batch : int;
   block_size : int;
   policy : policy;
   kv_budget_bytes : int option;
+  admission : admission;
+  retry : retry;
+  faults : Runtime.Fault.config option;
 }
 
 let default_opts =
-  { max_batch = 8; block_size = 16; policy = Continuous; kv_budget_bytes = None }
+  {
+    max_batch = 8;
+    block_size = 16;
+    policy = Continuous;
+    kv_budget_bytes = None;
+    admission = Fcfs;
+    retry = default_retry;
+    faults = None;
+  }
 
 type exec = [ `Sim | `Numeric of int ]
 
@@ -106,6 +126,8 @@ type rstate = {
   mutable generated : int;
   mutable first_token_us : float;
   mutable preempt_count : int;
+  mutable attempts : int;  (** retries consumed (transient/corrupt faults) *)
+  mutable retry_at : float;  (** backoff: not eligible for admission before *)
   (* numeric-mode state *)
   mutable history : int list;  (** prompt tokens then generated tokens *)
   mutable ncaches : Runtime.Vm.value list;  (** persistent paged caches *)
@@ -213,7 +235,9 @@ let numeric_prefill_run nx (cfg : Frontend.Configs.t) (r : rstate) tokens =
           done)
         caches r.ncaches;
       Runtime.Vm.value_tensor logits
-  | _ -> failwith "Serve: prefill did not return (logits, caches...)"
+  | _ ->
+      Runtime.Fault.errorf Runtime.Fault.Fatal
+        "Serve: prefill did not return (logits, caches...)"
 
 let numeric_decode_run nx (r : rstate) =
   let last = List.nth r.history (List.length r.history - 1) in
@@ -236,20 +260,38 @@ type result = {
   logits : (int * Base.Ndarray.t) list;
   clock_us : float;
   blocks : Block_manager.t;
+  shed : int list;
+  aborted : int list;
 }
 
+(* Effective-batch degradation thresholds: halve after this many
+   consecutive stalled decode steps, double back after this many
+   consecutive clean ones. *)
+let degrade_after = 3
+let recover_after = 8
+
+(* Deadline-feasibility headroom: a request is admitted only if its
+   estimated remaining service time fits in this fraction's inverse of
+   the time to its deadline. The estimate assumes an uncontended
+   machine and mean fault behavior; the 40% margin absorbs queueing
+   delay after admission and stall variance — without it requests are
+   admitted with exactly zero slack and mostly miss. *)
+let feasibility_headroom = 1.4
+
 let run ?trace ?(exec = `Sim) m opts workload =
-  if opts.max_batch < 1 then invalid_arg "Scheduler.run: max_batch < 1";
+  if opts.max_batch < 1 then
+    Runtime.Fault.errorf Runtime.Fault.Fatal "Scheduler.run: max_batch < 1";
+  if opts.retry.max_attempts < 1 then
+    Runtime.Fault.errorf Runtime.Fault.Fatal "Scheduler.run: max_attempts < 1";
   let cfg = m.cfg in
   let mmax = cfg.Frontend.Configs.max_context in
   List.iter
     (fun (r : Workload.request) ->
       if r.Workload.prompt_len + r.Workload.output_len > mmax then
-        invalid_arg
-          (Printf.sprintf "Serve: request %d needs %d tokens > max_context %d"
-             r.Workload.id
-             (r.Workload.prompt_len + r.Workload.output_len)
-             mmax))
+        Runtime.Fault.errorf Runtime.Fault.Fatal
+          "Serve: request %d needs %d tokens > max_context %d" r.Workload.id
+          (r.Workload.prompt_len + r.Workload.output_len)
+          mmax)
     workload;
   let nx = match exec with `Sim -> None | `Numeric seed -> Some (numeric_ctx m seed) in
   let alloc = Runtime.Allocator.create `Pooling in
@@ -268,8 +310,92 @@ let run ?trace ?(exec = `Sim) m opts workload =
   let running = ref [] in
   let completed = ref [] in
   let logits_out = ref [] in
+  let shed_ids = ref [] in
+  let aborted_ids = ref [] in
+  let timeouts = ref 0 in
   let cohort = ref 0 in
   let busy = ref 0.0 and decode_time = ref 0.0 in
+  (* ---- fault injection: one seeded injector for the whole run. All
+     draws happen at discrete-event boundaries in an execution-mode-
+     independent order, so `Sim and `Numeric schedule identically even
+     under faults (the numeric VMs themselves are never armed). ---- *)
+  let inj = Option.map Runtime.Fault.create opts.faults in
+  let fault_ev ev =
+    match trace with
+    | Some sink -> sink (Runtime.Trace.Fault_injected ev)
+    | None -> ()
+  in
+  let draw_kernel_fail site =
+    match inj with
+    | None -> false
+    | Some i -> (
+        match Runtime.Fault.kernel_failure i ~site with
+        | Some ev ->
+            fault_ev ev;
+            true
+        | None -> false)
+  in
+  let stall_mult site =
+    match inj with
+    | None -> 1.0
+    | Some i -> (
+        match Runtime.Fault.device_stall i ~site with
+        | Some (ev, factor) ->
+            fault_ev ev;
+            factor
+        | None -> 1.0)
+  in
+  let draw_oom site =
+    match inj with
+    | None -> false
+    | Some i -> (
+        match Runtime.Fault.alloc_oom i ~site with
+        | Some ev ->
+            fault_ev ev;
+            true
+        | None -> false)
+  in
+  let draw_nan site =
+    match inj with
+    | None -> false
+    | Some i -> (
+        match Runtime.Fault.nan_corruption i ~site with
+        | Some ev ->
+            fault_ev ev;
+            true
+        | None -> false)
+  in
+  (* Injected OOM makes a grow fail exactly as block exhaustion does:
+     the caller's admission-control / preemption path handles it. *)
+  let try_grow ~site ~request_id ~tokens =
+    if draw_oom site then false
+    else Block_manager.grow bm ~request_id ~tokens
+  in
+  (* ---- graceful degradation: persistent device stall shrinks the
+     effective batch (admission width), sustained clean steps restore
+     it. Running requests are never evicted by a shrink. ---- *)
+  let eff_batch = ref opts.max_batch in
+  let stall_streak = ref 0 and clean_streak = ref 0 in
+  let note_stall stalled =
+    if stalled then begin
+      clean_streak := 0;
+      incr stall_streak;
+      if !stall_streak >= degrade_after && !eff_batch > 1 then begin
+        eff_batch := max 1 (!eff_batch / 2);
+        stall_streak := 0;
+        emit `Degrade ~id:(-1) ~t_us:!clock ~batch:!eff_batch ~tokens:0
+      end
+    end
+    else begin
+      stall_streak := 0;
+      incr clean_streak;
+      if !clean_streak >= recover_after && !eff_batch < opts.max_batch then begin
+        eff_batch := min opts.max_batch (!eff_batch * 2);
+        clean_streak := 0;
+        emit `Degrade ~id:(-1) ~t_us:!clock ~batch:!eff_batch ~tokens:1
+      end
+    end
+  in
   let decode_cost ~live ~ctx =
     let bucket = bucket_for ~max_batch:opts.max_batch live in
     let ctx' = min (max 1 (round_up ctx opts.block_size)) (mmax - 1) in
@@ -293,6 +419,8 @@ let run ?trace ?(exec = `Sim) m opts workload =
                   generated = 0;
                   first_token_us = 0.0;
                   preempt_count = 0;
+                  attempts = 0;
+                  retry_at = 0.0;
                   history = [];
                   ncaches = [];
                   last_logits = None;
@@ -321,69 +449,244 @@ let run ?trace ?(exec = `Sim) m opts workload =
         prompt_len = r.req.Workload.prompt_len;
         tokens = r.generated;
         preemptions = r.preempt_count;
+        retries = r.attempts;
+        deadline_us = r.req.Workload.deadline_us;
       }
       :: !completed
   in
-  (* Admit one request from the head of the waiting queue: charge its
-     (re-)prefill, produce the first token if fresh. Returns false if
-     its blocks don't fit (admission control; no preemption here). *)
-  let admit_head () =
-    match !waiting with
-    | [] -> false
-    | r :: rest ->
+  let abort (r : rstate) =
+    Block_manager.release bm ~request_id:r.req.Workload.id;
+    aborted_ids := r.req.Workload.id :: !aborted_ids;
+    emit `Abort ~id:r.req.Workload.id ~t_us:!clock
+      ~batch:(List.length !running) ~tokens:r.generated
+  in
+  let shed_req (r : rstate) ~timeout =
+    shed_ids := r.req.Workload.id :: !shed_ids;
+    if timeout then incr timeouts;
+    emit
+      (if timeout then `Timeout else `Shed)
+      ~id:r.req.Workload.id ~t_us:!clock ~batch:(List.length !running)
+      ~tokens:r.req.Workload.prompt_len
+  in
+  (* Expected slowdown of the degraded machine, from the armed fault
+     config: stalls inflate the average step by stall_p * (factor - 1)
+     and transient launch failures waste a 1 / (1 - p) fraction of
+     steps. Deadline feasibility charges it so admission control sheds
+     against the capacity the machine actually has — estimating with
+     healthy costs under a high fault rate admits doomed requests and
+     goodput falls off a cliff instead of degrading. *)
+  let fault_slowdown =
+    match opts.faults with
+    | None -> 1.0
+    | Some c ->
+        (1.0
+        +. (max 0.0 c.Runtime.Fault.stall_p
+           *. max 0.0 (c.Runtime.Fault.stall_factor -. 1.0)))
+        /. (1.0 -. min 0.9 (max 0.0 c.Runtime.Fault.kernel_fail_p))
+  in
+  (* Deadline feasibility: prefill plus every remaining token at the
+     would-be batch's step cost must land before the deadline. Uses
+     the same memoized cost model the engine charges from, so the
+     estimate is exact for an uncontended machine and optimistic
+     under contention — a deliberately mild shedding bound. *)
+  let feasible (r : rstate) d =
+    let target =
+      if r.cache_len = 0 then r.req.Workload.prompt_len else r.cache_len
+    in
+    let remaining = max 0 (r.req.Workload.output_len - max 1 r.generated) in
+    let step =
+      decode_cost
+        ~live:(min opts.max_batch (List.length !running + 1))
+        ~ctx:(r.req.Workload.prompt_len + r.req.Workload.output_len - 1)
+    in
+    !clock
+    +. ((prefill_cost target +. (float_of_int remaining *. step))
+       *. fault_slowdown *. feasibility_headroom)
+    <= d
+  in
+  (* Admission-queue policy pass: drop requests that can never be
+     scheduled (KV-infeasible — typed abort instead of the engine
+     wedging later), and under [Deadline_aware] shed requests whose
+     deadline has passed or is unreachable. Returns #removed. *)
+  let prune_waiting () =
+    let pruned = ref 0 in
+    waiting :=
+      List.filter
+        (fun (r : rstate) ->
+          let need =
+            max r.req.Workload.prompt_len
+              (r.req.Workload.prompt_len + r.req.Workload.output_len - 1)
+          in
+          if Block_manager.blocks_for bm need > Block_manager.total_blocks bm
+          then begin
+            abort r;
+            incr pruned;
+            false
+          end
+          else
+            match (opts.admission, r.req.Workload.deadline_us) with
+            | Deadline_aware, Some d when d <= !clock ->
+                shed_req r ~timeout:true;
+                incr pruned;
+                false
+            | Deadline_aware, Some d when not (feasible r d) ->
+                shed_req r ~timeout:false;
+                incr pruned;
+                false
+            | _ -> true)
+        !waiting;
+    !pruned
+  in
+  (* Deadline enforcement on the running batch: a request whose
+     deadline has passed — or whose remaining decode provably cannot
+     land before it even at uncontended mean-fault speed (no
+     headroom: only certain losses are reaped) — is abandoned,
+     releasing its slot and KV blocks for work that can still meet
+     its SLO. Under FCFS the baseline runs everything to completion,
+     doomed or not. *)
+  let reap_running () =
+    match opts.admission with
+    | Fcfs -> 0
+    | Deadline_aware ->
+        let reaped = ref 0 in
+        List.iter
+          (fun (r : rstate) ->
+            match r.req.Workload.deadline_us with
+            | Some d ->
+                let remaining =
+                  max 0 (r.req.Workload.output_len - r.generated)
+                in
+                let step =
+                  decode_cost
+                    ~live:(min opts.max_batch (List.length !running))
+                    ~ctx:(r.req.Workload.prompt_len + r.req.Workload.output_len - 1)
+                in
+                if
+                  d <= !clock
+                  || !clock +. (float_of_int remaining *. step *. fault_slowdown)
+                     > d
+                then begin
+                  Block_manager.release bm ~request_id:r.req.Workload.id;
+                  running := List.filter (fun x -> x != r) !running;
+                  incr reaped;
+                  shed_req r ~timeout:true
+                end
+            | None -> ())
+          !running;
+        !reaped
+  in
+  (* First waiting request whose backoff has expired, split out of the
+     queue. With no faults every request is always eligible, so this
+     is exactly the FCFS head. *)
+  let split_eligible () =
+    let rec go prefix = function
+      | [] -> None
+      | (r : rstate) :: rest when r.retry_at <= !clock ->
+          Some (List.rev prefix, r, rest)
+      | r :: rest -> go (r :: prefix) rest
+    in
+    go [] !waiting
+  in
+  (* Admit one eligible request: charge its (re-)prefill, produce the
+     first token if fresh. [`Blocked]: no eligible request or its
+     blocks don't fit (admission control; no preemption here).
+     [`Failed_attempt]: an injected transient fault wasted the prefill
+     — the request backed off (or aborted), but time advanced. *)
+  let admit_one () =
+    match split_eligible () with
+    | None -> `Blocked
+    | Some (prefix, r, rest) ->
         let target =
           if r.cache_len = 0 then r.req.Workload.prompt_len else r.cache_len
         in
-        if not (Block_manager.grow bm ~request_id:r.req.Workload.id ~tokens:target)
-        then false
+        if
+          not
+            (try_grow ~site:"kv-admit" ~request_id:r.req.Workload.id
+               ~tokens:target)
+        then `Blocked
         else begin
-          waiting := rest;
-          clock := !clock +. prefill_cost target;
-          emit `Prefill ~id:r.req.Workload.id ~t_us:!clock
-            ~batch:(List.length !running + 1) ~tokens:target;
-          if r.cache_len = 0 then begin
-            (* Fresh: prefill over the prompt yields the first token. *)
-            (match nx with
-            | None -> ()
-            | Some nx ->
-                let toks = prompt_tokens nx cfg.Frontend.Configs.vocab r.req in
-                let logits = numeric_prefill_run nx cfg r toks in
-                r.last_logits <- Some logits;
-                r.history <- toks @ [ argmax_token logits ]);
-            r.cache_len <- target;
-            r.generated <- 1;
-            r.first_token_us <- !clock;
-            if r.generated >= r.req.Workload.output_len then finish r
-            else running := !running @ [ r ]
+          let dt = prefill_cost target *. stall_mult "prefill" in
+          clock := !clock +. dt;
+          if draw_kernel_fail "prefill" then begin
+            (* Transient prefill failure: the time is wasted, the
+               blocks are released between attempts, and the request
+               re-queues with exponential backoff — or aborts once its
+               attempt budget is spent. *)
+            Block_manager.release bm ~request_id:r.req.Workload.id;
+            r.attempts <- r.attempts + 1;
+            emit `Retry ~id:r.req.Workload.id ~t_us:!clock
+              ~batch:(List.length !running) ~tokens:r.attempts;
+            if r.attempts >= opts.retry.max_attempts then begin
+              waiting := prefix @ rest;
+              abort r
+            end
+            else begin
+              r.retry_at <-
+                !clock
+                +. opts.retry.backoff_us
+                   *. (opts.retry.backoff_mult
+                      ** float_of_int (r.attempts - 1));
+              waiting := prefix @ (r :: rest)
+            end;
+            `Failed_attempt
           end
           else begin
-            (* Preempted earlier: re-prefill the cached positions
-               (recompute); the pending last token is consumed by the
-               next decode step, so [generated] does not advance. *)
-            (match nx with
-            | None -> ()
-            | Some nx ->
-                ignore
-                  (numeric_prefill_run nx cfg r
-                     (List.filteri (fun i _ -> i < r.cache_len) r.history)));
-            running := !running @ [ r ]
-          end;
-          true
+            waiting := prefix @ rest;
+            emit `Prefill ~id:r.req.Workload.id ~t_us:!clock
+              ~batch:(List.length !running + 1) ~tokens:target;
+            if r.cache_len = 0 then begin
+              (* Fresh: prefill over the prompt yields the first token. *)
+              (match nx with
+              | None -> ()
+              | Some nx ->
+                  let toks = prompt_tokens nx cfg.Frontend.Configs.vocab r.req in
+                  let logits = numeric_prefill_run nx cfg r toks in
+                  r.last_logits <- Some logits;
+                  r.history <- toks @ [ argmax_token logits ]);
+              r.cache_len <- target;
+              r.generated <- 1;
+              r.first_token_us <- !clock;
+              if r.generated >= r.req.Workload.output_len then finish r
+              else running := !running @ [ r ]
+            end
+            else begin
+              (* Preempted earlier: re-prefill the cached positions
+                 (recompute); the pending last token is consumed by the
+                 next decode step, so [generated] does not advance. *)
+              (match nx with
+              | None -> ()
+              | Some nx ->
+                  ignore
+                    (numeric_prefill_run nx cfg r
+                       (List.filteri (fun i _ -> i < r.cache_len) r.history)));
+              running := !running @ [ r ]
+            end;
+            `Admitted
+          end
         end
   in
-  (* Returns true if at least one request was admitted this round
-     (admitted requests may finish instantly on single-token outputs,
-     so progress is not the same as a non-empty running batch). *)
+  (* Returns true if this round made progress: admitted a request,
+     consumed a (failed) attempt, or pruned the queue. Admitted
+     requests may finish instantly on single-token outputs, so
+     progress is not the same as a non-empty running batch. *)
   let admit () =
+    let reaped = reap_running () in
+    let pruned = prune_waiting () in
     let admitted = ref 0 in
+    let failed = ref false in
+    let has_eligible () =
+      List.exists (fun (r : rstate) -> r.retry_at <= !clock) !waiting
+    in
     (match opts.policy with
     | Continuous ->
         let continue_ = ref true in
         while
-          !continue_ && List.length !running < opts.max_batch && !waiting <> []
+          !continue_ && List.length !running < !eff_batch && has_eligible ()
         do
-          continue_ := admit_head ();
-          if !continue_ then incr admitted
+          match admit_one () with
+          | `Admitted -> incr admitted
+          | `Failed_attempt -> failed := true
+          | `Blocked -> continue_ := false
         done
     | Static ->
         (* Cohorts only form when the machine is idle, and only at
@@ -391,31 +694,41 @@ let run ?trace ?(exec = `Sim) m opts workload =
            has ended) — the static baseline's inefficiency. *)
         if
           !running = []
-          && (List.length !waiting >= opts.max_batch || !arrivals = [])
+          && (List.length !waiting >= !eff_batch || !arrivals = [])
           && !waiting <> []
         then begin
-          while !admitted < opts.max_batch && !waiting <> [] && admit_head () do
-            incr admitted
+          let continue_ = ref true in
+          while !continue_ && !admitted < !eff_batch && has_eligible () do
+            match admit_one () with
+            | `Admitted -> incr admitted
+            | `Failed_attempt -> failed := true
+            | `Blocked -> continue_ := false
           done;
           cohort := List.length !running
         end);
-    !admitted > 0
+    !admitted > 0 || !failed || pruned > 0 || reaped > 0
   in
   (* Grow [r]'s cache for the next decode write; on block exhaustion,
      preempt from the tail of the running batch (latest admitted
-     first — FCFS priority). Returns false if [r] preempted itself. *)
+     first — FCFS priority). Returns false if [r] preempted itself.
+     With injection armed a lone request may self-preempt on a
+     transient OOM and re-prefill later; without it, a lone request
+     that cannot grow is a genuine budget overrun. *)
   let rec ensure_capacity (r : rstate) =
-    if Block_manager.grow bm ~request_id:r.req.Workload.id ~tokens:(r.cache_len + 1)
+    if
+      try_grow ~site:"kv-grow" ~request_id:r.req.Workload.id
+        ~tokens:(r.cache_len + 1)
     then true
     else
       match List.rev !running with
-      | [] -> failwith "Serve: empty batch cannot grow"
+      | [] ->
+          Runtime.Fault.errorf Runtime.Fault.Fatal
+            "Serve: empty batch cannot grow"
       | victim :: _ ->
-          if victim == r && List.length !running = 1 then
-            failwith
-              (Printf.sprintf
-                 "Serve: request %d alone exceeds the KV budget (%d blocks)"
-                 r.req.Workload.id (Block_manager.total_blocks bm));
+          if victim == r && List.length !running = 1 && Option.is_none inj then
+            Runtime.Fault.errorf Runtime.Fault.Resource_exhausted
+              "Serve: request %d alone exceeds the KV budget (%d blocks)"
+              r.req.Workload.id (Block_manager.total_blocks bm);
           Block_manager.release bm ~request_id:victim.req.Workload.id;
           victim.preempt_count <- victim.preempt_count + 1;
           running := List.filter (fun x -> x != victim) !running;
@@ -440,26 +753,53 @@ let run ?trace ?(exec = `Sim) m opts workload =
         | Static -> max nlive !cohort  (* fixed cohort width until drained *)
       in
       let ctx = List.fold_left (fun acc r -> max acc r.cache_len) 0 live in
-      let dt = decode_cost ~live:cost_batch ~ctx in
+      let base_dt = decode_cost ~live:cost_batch ~ctx in
+      let mult = stall_mult "decode" in
+      let dt = base_dt *. mult in
       clock := !clock +. dt;
-      busy := !busy +. (float_of_int nlive *. dt);
-      decode_time := !decode_time +. dt;
-      emit `Decode_step ~id:(-1) ~t_us:!clock ~batch:nlive ~tokens:nlive;
-      List.iter
-        (fun r ->
-          (match nx with
-          | None -> ()
-          | Some nx ->
-              let logits = numeric_decode_run nx r in
-              r.last_logits <- Some logits;
-              r.history <- r.history @ [ argmax_token logits ]);
-          r.cache_len <- r.cache_len + 1;
-          r.generated <- r.generated + 1;
-          if r.generated >= r.req.Workload.output_len then begin
-            running := List.filter (fun x -> x != r) !running;
-            finish r
-          end)
-        live
+      if draw_kernel_fail "decode" then begin
+        (* Whole-step transient failure: the step's time is wasted and
+           no tokens advance; the next loop iteration retries. Charged
+           to decode time (the machine was busy) but not to useful
+           occupancy. *)
+        decode_time := !decode_time +. dt;
+        emit `Retry ~id:(-1) ~t_us:!clock ~batch:nlive ~tokens:0;
+        note_stall (mult > 1.0)
+      end
+      else begin
+        busy := !busy +. (float_of_int nlive *. dt);
+        decode_time := !decode_time +. dt;
+        emit `Decode_step ~id:(-1) ~t_us:!clock ~batch:nlive ~tokens:nlive;
+        note_stall (mult > 1.0);
+        List.iter
+          (fun r ->
+            if draw_nan "decode" then begin
+              (* Corrupt output for this request's token: discard it
+                 and spend an attempt; the next step regenerates. *)
+              r.attempts <- r.attempts + 1;
+              emit `Retry ~id:r.req.Workload.id ~t_us:!clock
+                ~batch:(List.length !running) ~tokens:r.attempts;
+              if r.attempts >= opts.retry.max_attempts then begin
+                running := List.filter (fun x -> x != r) !running;
+                abort r
+              end
+            end
+            else begin
+              (match nx with
+              | None -> ()
+              | Some nx ->
+                  let logits = numeric_decode_run nx r in
+                  r.last_logits <- Some logits;
+                  r.history <- r.history @ [ argmax_token logits ]);
+              r.cache_len <- r.cache_len + 1;
+              r.generated <- r.generated + 1;
+              if r.generated >= r.req.Workload.output_len then begin
+                running := List.filter (fun x -> x != r) !running;
+                finish r
+              end
+            end)
+          live
+      end
     end
   in
   let rec loop () =
@@ -482,16 +822,40 @@ let run ?trace ?(exec = `Sim) m opts workload =
         loop ()
       else
         match (!arrivals, opts.policy) with
-        | r :: _, Static ->
+        | (r : Workload.request) :: _, Static ->
             (* waiting for the cohort to fill *)
             clock := max !clock r.Workload.arrival_us;
             loop ()
-        | _ :: _, Continuous | [], _ ->
-            (* With an idle machine every block is free, so a failed
-               admission can never succeed later. *)
-            failwith
-              "Serve: waiting request cannot be admitted on an idle machine \
-               (KV budget too small for its prompt)"
+        | _ ->
+            (* Idle machine, nothing admissible. With faults armed (or
+               requests backing off) this is transient: jump to the
+               next retry/arrival time and try again. Without, every
+               block is free, so a failed admission can never succeed
+               later — a genuine budget overrun. *)
+            let next_retry =
+              List.fold_left
+                (fun acc (r : rstate) ->
+                  if r.retry_at > !clock then Float.min acc r.retry_at else acc)
+                Float.infinity !waiting
+            in
+            let next_arrival =
+              match !arrivals with
+              | (a : Workload.request) :: _ -> a.Workload.arrival_us
+              | [] -> Float.infinity
+            in
+            if Option.is_some inj || next_retry < Float.infinity then begin
+              let next = Float.min next_retry next_arrival in
+              let next =
+                if next > !clock && next < Float.infinity then next
+                else !clock +. opts.retry.backoff_us
+              in
+              clock := next;
+              loop ()
+            end
+            else
+              Runtime.Fault.errorf Runtime.Fault.Resource_exhausted
+                "Serve: waiting request cannot be admitted on an idle machine \
+                 (KV budget too small for its prompt)"
     end
   in
   loop ();
@@ -501,10 +865,21 @@ let run ?trace ?(exec = `Sim) m opts workload =
       !busy /. (float_of_int opts.max_batch *. !decode_time)
     else 0.0
   in
+  let faults =
+    match inj with Some i -> Runtime.Fault.injected_total i | None -> 0
+  in
   {
     completed;
-    summary = Metrics.summarize ~makespan_us:!clock ~occupancy completed;
+    summary =
+      Metrics.summarize ~makespan_us:!clock ~occupancy
+        ~submitted:(List.length workload)
+        ~shed:(List.length !shed_ids)
+        ~timeouts:!timeouts
+        ~aborted:(List.length !aborted_ids)
+        ~faults completed;
     logits = List.rev !logits_out;
     clock_us = !clock;
     blocks = bm;
+    shed = List.rev !shed_ids;
+    aborted = List.rev !aborted_ids;
   }

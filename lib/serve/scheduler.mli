@@ -22,9 +22,53 @@
     tensors derived from an explicit seed) through batch-1 numeric
     VMs while the clock still advances from the timed costs — so
     scheduling decisions are identical to [`Sim] by construction,
-    which the test suite checks. *)
+    which the test suite checks.
+
+    {2 Resilience}
+
+    [opts.faults] arms a seeded {!Runtime.Fault} injector drawn at
+    discrete-event boundaries (never inside the memoized cost VMs, so
+    [`Sim] and [`Numeric] still schedule identically): a prefill or
+    decode step may fail transiently (time wasted, no tokens), stall
+    (time inflated), a KV-block grow may hit an injected OOM (handled
+    by the normal admission-control / preemption path), and a decoded
+    token may come back corrupt (discarded). Transient/corrupt
+    failures cost the request one attempt from [opts.retry]'s budget
+    with exponential backoff between admission attempts (blocks are
+    released while backing off); exhausting the budget aborts the
+    request. Persistent stalls shrink the effective admission batch
+    (halve after 3 consecutive stalled steps, restore after 8 clean
+    ones). With [opts.faults = None] every fault path is skipped
+    outright and traces/metrics are byte-identical to the fault-free
+    engine.
+
+    [opts.admission = Deadline_aware] adds load shedding: before each
+    admission round, waiting requests whose deadline has passed
+    ([`Timeout]) or provably cannot be met under the cost model
+    ([`Shed]) are rejected, protecting the SLO of the rest — the
+    chaos benchmark shows this beating FCFS under overload. Requests
+    whose KV need exceeds the whole budget are aborted (typed) at the
+    same point under either admission policy. *)
 
 type policy = Continuous | Static
+
+type admission =
+  | Fcfs  (** admit strictly in arrival order; never reject *)
+  | Deadline_aware
+      (** FCFS order, but shed waiting requests whose
+          [Workload.deadline_us] has passed or is infeasible under
+          the cost model *)
+
+type retry = {
+  max_attempts : int;
+      (** per-request attempt budget across transient faults and
+          corrupt tokens; >= 1. The request aborts when spent. *)
+  backoff_us : float;  (** first backoff delay after a failed attempt *)
+  backoff_mult : float;  (** exponential growth per further attempt *)
+}
+
+val default_retry : retry
+(** 3 attempts, 500 us initial backoff, doubling. *)
 
 type opts = {
   max_batch : int;  (** decode batch slots *)
@@ -33,10 +77,18 @@ type opts = {
   kv_budget_bytes : int option;
       (** override the VRAM-derived KV budget (tests force preemption
           with tiny budgets) *)
+  admission : admission;
+  retry : retry;
+  faults : Runtime.Fault.config option;
+      (** [None]: no injector, zero-cost, byte-identical to the
+          fault-free engine. [Some c]: seeded injection; note that a
+          config with [oom_p = 1.0] can livelock admission (every
+          grow fails forever) — chaos probabilities should be < 1. *)
 }
 
 val default_opts : opts
-(** Continuous, max_batch 8, block_size 16, VRAM-derived budget. *)
+(** Continuous, max_batch 8, block_size 16, VRAM-derived budget,
+    FCFS admission, {!default_retry}, no faults. *)
 
 type model
 (** Compiled programs + memoized step costs for one (config,
@@ -63,12 +115,34 @@ type result = {
   blocks : Block_manager.t;
       (** the run's block manager, post-drain (tests assert
           [used_blocks = 0] and inspect the allocator pool) *)
+  shed : int list;
+      (** ids rejected by admission control or abandoned mid-flight
+          once provably unable to meet their deadline, in shed order
+          (includes timeouts) *)
+  aborted : int list;
+      (** ids aborted mid-flight (retry budget spent, or KV-infeasible),
+          in abort order. Every submitted id lands in exactly one of
+          [completed] / [shed] / [aborted]. *)
 }
 
 val run :
   ?trace:Runtime.Trace.sink -> ?exec:exec -> model -> opts -> Workload.t -> result
 (** Serve the workload to completion. [trace] receives the
     {!Runtime.Trace.Serve} event stream ([Request_arrive] / [Prefill]
-    / [Decode_step] / [Preempt] / [Finish]).
-    @raise Failure if a single request's KV cache exceeds the whole
-    budget (it could never be scheduled). *)
+    / [Decode_step] / [Preempt] / [Finish], plus [Shed] / [Timeout] /
+    [Retry] / [Abort] / [Degrade] on the resilience paths) and
+    {!Runtime.Trace.Fault_injected} markers when injection is armed.
+
+    Raising conditions (all {!Runtime.Fault.Error}):
+    - [(Fatal, _)]: caller errors — [max_batch < 1],
+      [retry.max_attempts < 1], a request whose
+      [prompt_len + output_len] exceeds the model's max context — or
+      a broken prefill program shape.
+    - [(Resource_exhausted, _)]: without injection, a waiting request
+      that can never be admitted (its prompt alone exceeds the KV
+      budget on an idle machine) or a lone running request that
+      cannot grow. With injection armed these become self-preemption
+      / typed aborts instead of raises.
+
+    [Invalid_argument] propagates from {!Block_manager.create} when
+    the KV budget fits no block at all. *)

@@ -3,6 +3,7 @@ type request = {
   arrival_us : float;
   prompt_len : int;
   output_len : int;
+  deadline_us : float option;
 }
 
 type dist = Fixed of int | Uniform of int * int
@@ -14,7 +15,8 @@ let sample st = function
   | Uniform (lo, hi) ->
       if hi <= lo then lo else lo + Random.State.int st (hi - lo + 1)
 
-let generate ~seed ~rate_per_s ~num_requests ?max_total ~prompt ~output () =
+let generate ~seed ~rate_per_s ~num_requests ?max_total ?deadline_slack ~prompt
+    ~output () =
   if rate_per_s <= 0.0 then invalid_arg "Workload.generate: rate must be > 0";
   let st = Random.State.make [| seed |] in
   let clock = ref 0.0 in
@@ -31,7 +33,17 @@ let generate ~seed ~rate_per_s ~num_requests ?max_total ~prompt ~output () =
             let p = min p (max 1 (m - 1)) in
             (p, min o (max 1 (m - p)))
       in
-      { id; arrival_us = !clock; prompt_len = p; output_len = o })
+      (* Deadline slack is drawn only when requested, so deadline-free
+         workloads consume exactly the same PRNG stream as before. *)
+      let deadline_us =
+        match deadline_slack with
+        | None -> None
+        | Some d -> Some (!clock +. float_of_int (max 1 (sample st d)))
+      in
+      { id; arrival_us = !clock; prompt_len = p; output_len = o; deadline_us })
+
+let with_deadline ~slack_us t =
+  List.map (fun r -> { r with deadline_us = Some (r.arrival_us +. slack_us) }) t
 
 let total_output_tokens t =
   List.fold_left (fun acc r -> acc + r.output_len) 0 t

@@ -11,6 +11,11 @@ type request = {
   arrival_us : float;
   prompt_len : int;
   output_len : int;  (** tokens to generate, >= 1 *)
+  deadline_us : float option;
+      (** absolute SLO deadline on the engine clock: the request
+          should finish by this time. [None] = best-effort (always
+          counts as meeting its SLO). Deadline-aware schedulers shed
+          requests that cannot meet it. *)
 }
 
 type dist =
@@ -25,12 +30,25 @@ val generate :
   rate_per_s:float ->
   num_requests:int ->
   ?max_total:int ->
+  ?deadline_slack:dist ->
   prompt:dist ->
   output:dist ->
   unit ->
   t
 (** [max_total] clamps each request so
     [prompt_len + output_len <= max_total] (pass the model's
-    [max_context]); lengths are clamped to at least 1. *)
+    [max_context]); lengths are clamped to at least 1.
+
+    [deadline_slack] draws a per-request slack in microseconds
+    (clamped to >= 1) and sets [deadline_us = arrival_us + slack].
+    Omitted: deadlines are [None] and the PRNG stream is identical to
+    pre-deadline workloads (the slack draw is skipped entirely), so
+    seeded workloads reproduce bit-for-bit.
+
+    @raise Invalid_argument when [rate_per_s <= 0]. *)
+
+val with_deadline : slack_us:float -> t -> t
+(** Stamp every request with [deadline_us = arrival_us + slack_us].
+    Purely a map — no PRNG involved. *)
 
 val total_output_tokens : t -> int

@@ -1,0 +1,665 @@
+(* Fault injection and resilience: determinism of the seeded injector,
+   the typed failure taxonomy at each VM/allocator injection point,
+   chaos invariants of the resilient scheduler (conservation of
+   requests across completed/shed/aborted, block drain, retry bounds,
+   seed-identical traces, Sim/Numeric agreement under faults), and
+   qcheck edge cases for the serving metrics. *)
+
+open Relax_core
+
+let e = Arith.Expr.const
+let f32 = Base.Dtype.F32
+let tiny = Frontend.Configs.tiny
+let device = Runtime.Device.rtx4090
+
+(* ---------- Fault module: seeded determinism ---------- *)
+
+let some_config =
+  {
+    Runtime.Fault.disabled with
+    Runtime.Fault.seed = 11;
+    kernel_fail_p = 0.3;
+    stall_p = 0.2;
+    oom_p = 0.1;
+    nan_p = 0.05;
+  }
+
+let test_injector_deterministic () =
+  let draw_all i =
+    List.init 50 (fun k ->
+        let site = Printf.sprintf "s%d" k in
+        ( Option.is_some (Runtime.Fault.kernel_failure i ~site),
+          Option.is_some (Runtime.Fault.device_stall i ~site),
+          Option.is_some (Runtime.Fault.alloc_oom i ~site),
+          Option.is_some (Runtime.Fault.nan_corruption i ~site) ))
+  in
+  let a = draw_all (Runtime.Fault.create some_config) in
+  let b = draw_all (Runtime.Fault.create some_config) in
+  Alcotest.(check bool) "same seed, same schedule" true (a = b);
+  let c =
+    draw_all (Runtime.Fault.create { some_config with Runtime.Fault.seed = 12 })
+  in
+  Alcotest.(check bool) "different seed, different schedule" true (a <> c)
+
+(* A probability-0 draw must not consume PRNG state: interleaving dead
+   draws leaves the live kind's schedule untouched. *)
+let test_zero_prob_draws_free () =
+  let cfg =
+    {
+      Runtime.Fault.disabled with
+      Runtime.Fault.seed = 5;
+      kernel_fail_p = 0.5;
+    }
+  in
+  let plain =
+    let i = Runtime.Fault.create cfg in
+    List.init 40 (fun _ ->
+        Option.is_some (Runtime.Fault.kernel_failure i ~site:"k"))
+  in
+  let interleaved =
+    let i = Runtime.Fault.create cfg in
+    List.init 40 (fun _ ->
+        ignore (Runtime.Fault.nan_corruption i ~site:"n");
+        ignore (Runtime.Fault.alloc_oom i ~site:"o");
+        Option.is_some (Runtime.Fault.kernel_failure i ~site:"k"))
+  in
+  Alcotest.(check bool) "dead draws don't perturb the stream" true
+    (plain = interleaved)
+
+let test_counters () =
+  let i =
+    Runtime.Fault.create
+      { Runtime.Fault.disabled with Runtime.Fault.seed = 3; kernel_fail_p = 1.0 }
+  in
+  for _ = 1 to 5 do
+    ignore (Runtime.Fault.kernel_failure i ~site:"k")
+  done;
+  Alcotest.(check int) "fired count" 5
+    (Runtime.Fault.injected i Runtime.Fault.Kernel_failure);
+  Alcotest.(check int) "total" 5 (Runtime.Fault.injected_total i);
+  Alcotest.(check int) "other kinds untouched" 0
+    (Runtime.Fault.injected i Runtime.Fault.Device_stall)
+
+(* ---------- VM injection points ---------- *)
+
+let build_two_matmul_add () =
+  let b = Builder.create () in
+  Builder.function_ b ~name:"main"
+    ~params:
+      [
+        ("x", Struct_info.tensor [ e 2; e 4 ] f32);
+        ("w1", Struct_info.tensor [ e 4; e 4 ] f32);
+        ("w2", Struct_info.tensor [ e 4; e 4 ] f32);
+        ("c", Struct_info.tensor [ e 2; e 4 ] f32);
+      ]
+    (fun params ->
+      match params with
+      | [ x; w1; w2; c ] ->
+          Builder.dataflow b (fun () ->
+              let m1 =
+                Builder.emit b (Expr.call_op "matmul" [ Expr.Var x; Expr.Var w1 ])
+              in
+              let m2 =
+                Builder.emit b (Expr.call_op "matmul" [ Expr.Var m1; Expr.Var w2 ])
+              in
+              let s =
+                Builder.emit b (Expr.call_op "add" [ Expr.Var m2; Expr.Var c ])
+              in
+              Expr.Var s)
+      | _ -> assert false);
+  Builder.module_ b
+
+let compile_module ?(dispatch_library = false) mod_ =
+  Relax_passes.Pipeline.compile
+    ~options:
+      {
+        Relax_passes.Pipeline.default_options with
+        Relax_passes.Pipeline.dispatch_library;
+      }
+    ~device mod_
+
+let args () =
+  List.map
+    (fun (seed, shape) ->
+      Runtime.Vm.tensor (Base.Ndarray.random_uniform ~seed f32 shape))
+    [ (1, [| 2; 4 |]); (2, [| 4; 4 |]); (3, [| 4; 4 |]); (4, [| 2; 4 |]) ]
+
+let fault_of cfg = Runtime.Fault.create cfg
+
+let test_vm_kernel_failure () =
+  let program = compile_module (build_two_matmul_add ()) in
+  let r = Runtime.Trace.recorder () in
+  let vm =
+    Runtime.Vm.create ~trace:(Runtime.Trace.sink r)
+      ~fault:
+        (fault_of
+           {
+             Runtime.Fault.disabled with
+             Runtime.Fault.seed = 1;
+             kernel_fail_p = 1.0;
+           })
+      (`Timed device) program
+  in
+  (match Runtime.Vm.run vm "main" (args ()) with
+  | _ -> Alcotest.fail "expected an injected kernel failure"
+  | exception Runtime.Fault.Error (Runtime.Fault.Transient, _) -> ());
+  Alcotest.(check bool) "fault event recorded" true
+    (List.exists Runtime.Trace.is_fault (Runtime.Trace.events r))
+
+let test_vm_device_stall () =
+  let program = compile_module (build_two_matmul_add ()) in
+  let clean = Runtime.Vm.create (`Timed device) program in
+  ignore (Runtime.Vm.run clean "main" (args ()));
+  let stalled =
+    Runtime.Vm.create
+      ~fault:
+        (fault_of
+           { Runtime.Fault.disabled with Runtime.Fault.seed = 1; stall_p = 1.0 })
+      (`Timed device) program
+  in
+  ignore (Runtime.Vm.run stalled "main" (args ()));
+  let c = (Runtime.Vm.stats clean).Runtime.Vm.elapsed_us in
+  let s = (Runtime.Vm.stats stalled).Runtime.Vm.elapsed_us in
+  Alcotest.(check bool)
+    (Printf.sprintf "stalled run slower (%.3f vs %.3f us)" s c)
+    true (s > c)
+
+let test_vm_nan_corruption () =
+  (* Library dispatch on: the matmuls run as extern calls whose output
+     the injector poisons; the NaN then propagates to the result. *)
+  let program =
+    compile_module ~dispatch_library:true (build_two_matmul_add ())
+  in
+  let vm =
+    Runtime.Vm.create
+      ~fault:
+        (fault_of
+           { Runtime.Fault.disabled with Runtime.Fault.seed = 1; nan_p = 1.0 })
+      `Numeric program
+  in
+  let out = Runtime.Vm.value_tensor (Runtime.Vm.run vm "main" (args ())) in
+  let has_nan = ref false in
+  for i = 0 to Base.Ndarray.numel out - 1 do
+    if Float.is_nan (Base.Ndarray.get_flat_float out i) then has_nan := true
+  done;
+  Alcotest.(check bool) "output corrupted with NaN" true !has_nan;
+  (* And a clean VM on the same program stays finite. *)
+  let clean = Runtime.Vm.create `Numeric program in
+  let out = Runtime.Vm.value_tensor (Runtime.Vm.run clean "main" (args ())) in
+  for i = 0 to Base.Ndarray.numel out - 1 do
+    if not (Float.is_finite (Base.Ndarray.get_flat_float out i)) then
+      Alcotest.failf "clean run produced non-finite output at %d" i
+  done
+
+let test_allocator_oom () =
+  let alloc =
+    Runtime.Allocator.create
+      ~fault:
+        (fault_of
+           { Runtime.Fault.disabled with Runtime.Fault.seed = 1; oom_p = 1.0 })
+      `Pooling
+  in
+  (match Runtime.Allocator.alloc alloc 1024 with
+  | _ -> Alcotest.fail "expected an injected OOM"
+  | exception Runtime.Fault.Error (Runtime.Fault.Resource_exhausted, _) -> ());
+  Alcotest.(check int) "no bytes leaked by the refused alloc" 0
+    (Runtime.Allocator.live_bytes alloc)
+
+(* All-zero config behaves exactly like no injector at all. *)
+let test_zero_config_is_free () =
+  let program = compile_module (build_two_matmul_add ()) in
+  let run fault =
+    let vm = Runtime.Vm.create ?fault (`Timed device) program in
+    ignore (Runtime.Vm.run vm "main" (args ()));
+    (Runtime.Vm.stats vm).Runtime.Vm.elapsed_us
+  in
+  Alcotest.(check (float 0.0))
+    "all-zero injector is byte-identical"
+    (run None)
+    (run (Some (fault_of Runtime.Fault.disabled)))
+
+(* ---------- scheduler chaos invariants ---------- *)
+
+let model =
+  lazy (Serve.Scheduler.model ~cfg:tiny ~precision:Frontend.Llm.F16 ~device)
+
+let opts ?(max_batch = 2) ?(block_size = 4) ?(policy = Serve.Scheduler.Continuous)
+    ?(admission = Serve.Scheduler.Fcfs) ?retry ?faults ?budget_blocks () =
+  let block_bytes =
+    2 * tiny.Frontend.Configs.layers * tiny.Frontend.Configs.kv_heads
+    * tiny.Frontend.Configs.head_dim * block_size * 2
+  in
+  {
+    Serve.Scheduler.max_batch;
+    block_size;
+    policy;
+    admission;
+    retry = Option.value retry ~default:Serve.Scheduler.default_retry;
+    faults;
+    kv_budget_bytes = Option.map (fun b -> b * block_bytes) budget_blocks;
+  }
+
+let workload ?(seed = 7) ?(rate = 50_000.0) ?(n = 6) ?deadline_slack_us () =
+  let w =
+    Serve.Workload.generate ~seed ~rate_per_s:rate ~num_requests:n
+      ~max_total:tiny.Frontend.Configs.max_context
+      ~prompt:(Serve.Workload.Uniform (2, 6))
+      ~output:(Serve.Workload.Uniform (1, 4))
+      ()
+  in
+  match deadline_slack_us with
+  | Some slack_us -> Serve.Workload.with_deadline ~slack_us w
+  | None -> w
+
+type chaos_scenario = {
+  wseed : int;
+  fseed : int;
+  n : int;
+  rate : float;
+  max_batch : int;
+  budget_blocks : int;
+  fault_rate : float;
+  admission : Serve.Scheduler.admission;
+  deadline_slack_us : float option;
+}
+
+let print_chaos s =
+  Printf.sprintf "{w=%d f=%d n=%d rate=%.0f mb=%d blocks=%d p=%.2f %s slack=%s}"
+    s.wseed s.fseed s.n s.rate s.max_batch s.budget_blocks s.fault_rate
+    (match s.admission with
+    | Serve.Scheduler.Fcfs -> "fcfs"
+    | Serve.Scheduler.Deadline_aware -> "deadline")
+    (match s.deadline_slack_us with
+    | Some v -> Printf.sprintf "%.0f" v
+    | None -> "none")
+
+let gen_chaos =
+  QCheck.Gen.(
+    let* wseed = int_range 0 500 in
+    let* fseed = int_range 0 500 in
+    let* n = int_range 1 8 in
+    let* rate = oneofl [ 10_000.0; 50_000.0; 200_000.0 ] in
+    let* max_batch = int_range 1 4 in
+    let* budget_blocks = int_range 4 8 in
+    (* < 1.0 everywhere: oom_p = 1.0 would livelock admission (every
+       grow fails forever), documented in scheduler.mli. *)
+    let* fault_rate = oneofl [ 0.0; 0.05; 0.2; 0.5 ] in
+    let* admission =
+      oneofl [ Serve.Scheduler.Fcfs; Serve.Scheduler.Deadline_aware ]
+    in
+    let* deadline_slack_us = oneofl [ None; Some 500.0; Some 5_000.0 ] in
+    return
+      {
+        wseed;
+        fseed;
+        n;
+        rate;
+        max_batch;
+        budget_blocks;
+        fault_rate;
+        admission;
+        deadline_slack_us;
+      })
+
+let arb_chaos = QCheck.make ~print:print_chaos gen_chaos
+
+let chaos_faults s =
+  if s.fault_rate > 0.0 then
+    Some
+      {
+        Runtime.Fault.disabled with
+        Runtime.Fault.seed = s.fseed;
+        kernel_fail_p = s.fault_rate;
+        stall_p = s.fault_rate;
+        oom_p = 0.5 *. s.fault_rate;
+        nan_p = 0.2 *. s.fault_rate;
+      }
+  else None
+
+let run_chaos ?exec ?trace s =
+  Serve.Scheduler.run ?exec ?trace (Lazy.force model)
+    (opts ~max_batch:s.max_batch ~budget_blocks:s.budget_blocks
+       ~admission:s.admission ?faults:(chaos_faults s) ())
+    (workload ~seed:s.wseed ~rate:s.rate ~n:s.n ?deadline_slack_us:s.deadline_slack_us
+       ())
+
+(* Every submitted id lands in exactly one of completed/shed/aborted. *)
+let test_conservation =
+  QCheck.Test.make ~count:60 ~name:"completed + shed + aborted = submitted"
+    arb_chaos (fun s ->
+      let res = run_chaos s in
+      let completed =
+        List.map
+          (fun (m : Serve.Metrics.request_metrics) -> m.Serve.Metrics.id)
+          res.Serve.Scheduler.completed
+      in
+      let all =
+        List.sort compare
+          (completed @ res.Serve.Scheduler.shed @ res.Serve.Scheduler.aborted)
+      in
+      if all <> List.init s.n (fun i -> i) then
+        QCheck.Test.fail_reportf
+          "ids not a partition: completed=%s shed=%s aborted=%s"
+          (String.concat "," (List.map string_of_int completed))
+          (String.concat ","
+             (List.map string_of_int res.Serve.Scheduler.shed))
+          (String.concat ","
+             (List.map string_of_int res.Serve.Scheduler.aborted));
+      let sum = res.Serve.Scheduler.summary in
+      sum.Serve.Metrics.completed + sum.Serve.Metrics.shed
+      + sum.Serve.Metrics.aborted
+      = sum.Serve.Metrics.submitted
+      && sum.Serve.Metrics.timeouts <= sum.Serve.Metrics.shed)
+
+let test_chaos_blocks_drain =
+  QCheck.Test.make ~count:60 ~name:"block manager drains to zero under chaos"
+    arb_chaos (fun s ->
+      let res = run_chaos s in
+      let bm = res.Serve.Scheduler.blocks in
+      if Serve.Block_manager.used_blocks bm <> 0 then
+        QCheck.Test.fail_reportf "%d blocks still held"
+          (Serve.Block_manager.used_blocks bm);
+      true)
+
+let test_retry_bound =
+  QCheck.Test.make ~count:60 ~name:"retries never exceed the attempt budget"
+    arb_chaos (fun s ->
+      let retry =
+        { Serve.Scheduler.default_retry with max_attempts = 1 + (s.wseed mod 4) }
+      in
+      let res =
+        Serve.Scheduler.run (Lazy.force model)
+          (opts ~max_batch:s.max_batch ~budget_blocks:s.budget_blocks
+             ~admission:s.admission ~retry ?faults:(chaos_faults s) ())
+          (workload ~seed:s.wseed ~rate:s.rate ~n:s.n
+             ?deadline_slack_us:s.deadline_slack_us ())
+      in
+      List.for_all
+        (fun (m : Serve.Metrics.request_metrics) ->
+          m.Serve.Metrics.retries <= retry.Serve.Scheduler.max_attempts)
+        res.Serve.Scheduler.completed)
+
+let trace_strings f =
+  let r = Runtime.Trace.recorder () in
+  let res = f (Runtime.Trace.sink r) in
+  (res, List.map Runtime.Trace.to_string (Runtime.Trace.events r))
+
+let test_seed_identical_traces =
+  QCheck.Test.make ~count:25 ~name:"identical seeds give identical traces"
+    arb_chaos (fun s ->
+      let _, t1 = trace_strings (fun sink -> run_chaos ~trace:sink s) in
+      let _, t2 = trace_strings (fun sink -> run_chaos ~trace:sink s) in
+      if t1 <> t2 then QCheck.Test.fail_reportf "traces diverged";
+      true)
+
+(* faults = None and faults = Some all-zero must be byte-identical. *)
+let test_none_vs_zero =
+  QCheck.Test.make ~count:15 ~name:"all-zero fault config is zero-cost"
+    arb_chaos (fun s ->
+      let s = { s with fault_rate = 0.0 } in
+      let run faults sink =
+        Serve.Scheduler.run ~trace:sink (Lazy.force model)
+          (opts ~max_batch:s.max_batch ~budget_blocks:s.budget_blocks
+             ~admission:s.admission ?faults ())
+          (workload ~seed:s.wseed ~rate:s.rate ~n:s.n
+             ?deadline_slack_us:s.deadline_slack_us ())
+      in
+      let r1, t1 = trace_strings (run None) in
+      let r2, t2 =
+        trace_strings
+          (run
+             (Some
+                { Runtime.Fault.disabled with Runtime.Fault.seed = s.fseed }))
+      in
+      t1 = t2
+      && r1.Serve.Scheduler.clock_us = r2.Serve.Scheduler.clock_us
+      && r1.Serve.Scheduler.summary = r2.Serve.Scheduler.summary)
+
+let test_numeric_matches_sim_under_faults =
+  QCheck.Test.make ~count:5
+    ~name:"numeric and timed agree on scheduling under faults" arb_chaos
+    (fun s ->
+      let s = { s with n = min s.n 5 } in
+      let sim = run_chaos s in
+      let num = run_chaos ~exec:(`Numeric 3) s in
+      let shape (r : Serve.Scheduler.result) =
+        ( List.map
+            (fun (m : Serve.Metrics.request_metrics) ->
+              (m.Serve.Metrics.id, m.Serve.Metrics.tokens))
+            r.Serve.Scheduler.completed,
+          r.Serve.Scheduler.shed,
+          r.Serve.Scheduler.aborted )
+      in
+      if shape sim <> shape num then
+        QCheck.Test.fail_reportf "scheduling diverged between Sim and Numeric";
+      if sim.Serve.Scheduler.clock_us <> num.Serve.Scheduler.clock_us then
+        QCheck.Test.fail_reportf "clocks differ: %.3f vs %.3f"
+          sim.Serve.Scheduler.clock_us num.Serve.Scheduler.clock_us;
+      true)
+
+(* ---------- deadline shedding and graceful degradation ---------- *)
+
+let test_deadline_shedding () =
+  (* 8 near-simultaneous requests, tight deadlines, batch 1: the tail
+     of the queue cannot meet its slack, so deadline-aware admission
+     sheds it, and every shed is accounted as shed or timeout. *)
+  let w = workload ~seed:3 ~rate:1_000_000.0 ~n:8 ~deadline_slack_us:300.0 () in
+  let run admission =
+    Serve.Scheduler.run (Lazy.force model)
+      (opts ~max_batch:1 ~budget_blocks:8 ~admission ())
+      w
+  in
+  let da = run Serve.Scheduler.Deadline_aware in
+  let fc = run Serve.Scheduler.Fcfs in
+  Alcotest.(check bool) "deadline-aware sheds under overload" true
+    (da.Serve.Scheduler.summary.Serve.Metrics.shed > 0);
+  Alcotest.(check int) "fcfs never sheds" 0
+    fc.Serve.Scheduler.summary.Serve.Metrics.shed;
+  Alcotest.(check bool) "deadline-aware SLO >= fcfs SLO" true
+    (da.Serve.Scheduler.summary.Serve.Metrics.slo_attainment
+    >= fc.Serve.Scheduler.summary.Serve.Metrics.slo_attainment);
+  (* Shedding is deterministic: same workload, same shed set. *)
+  let da2 = run Serve.Scheduler.Deadline_aware in
+  Alcotest.(check (list int))
+    "shed set reproducible" da.Serve.Scheduler.shed da2.Serve.Scheduler.shed
+
+let test_degradation_under_stall () =
+  (* Every decode step stalls: after [degrade_after] consecutive
+     stalled steps the effective batch halves, visible through the
+     profiler's degrade counter. *)
+  let p = Runtime.Profiler.create () in
+  let res =
+    Serve.Scheduler.run ~trace:(Runtime.Profiler.sink p) (Lazy.force model)
+      (opts ~max_batch:4 ~budget_blocks:8
+         ~faults:
+           {
+             Runtime.Fault.disabled with
+             Runtime.Fault.seed = 2;
+             stall_p = 1.0;
+           }
+         ())
+      (workload ~seed:9 ~rate:200_000.0 ~n:8 ())
+  in
+  let c = Runtime.Profiler.serve_counts p in
+  Alcotest.(check bool) "degrade events fired" true
+    (c.Runtime.Profiler.degrades > 0);
+  Alcotest.(check bool) "stall faults counted" true
+    (Runtime.Profiler.fault_count p Runtime.Fault.Device_stall > 0);
+  (* Degradation slows, it must not drop work. *)
+  Alcotest.(check int) "all requests still complete" 8
+    (List.length res.Serve.Scheduler.completed)
+
+(* ---------- typed errors ---------- *)
+
+let test_typed_errors () =
+  let check_fatal name f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected Fault.Error Fatal" name
+    | exception Runtime.Fault.Error (Runtime.Fault.Fatal, _) -> ()
+  in
+  check_fatal "max_batch < 1" (fun () ->
+      Serve.Scheduler.run (Lazy.force model) (opts ~max_batch:0 ()) (workload ()));
+  check_fatal "max_attempts < 1" (fun () ->
+      Serve.Scheduler.run (Lazy.force model)
+        (opts
+           ~retry:{ Serve.Scheduler.default_retry with max_attempts = 0 }
+           ())
+        (workload ()));
+  check_fatal "request exceeds max context" (fun () ->
+      Serve.Scheduler.run (Lazy.force model) (opts ())
+        [
+          {
+            Serve.Workload.id = 0;
+            arrival_us = 0.0;
+            prompt_len = tiny.Frontend.Configs.max_context;
+            output_len = tiny.Frontend.Configs.max_context;
+            deadline_us = None;
+          };
+        ]);
+  (* The taxonomy has a stable printed form. *)
+  Alcotest.(check string) "error class names" "transient/fatal/resource_exhausted/corrupt_output"
+    (String.concat "/"
+       (List.map Runtime.Fault.error_class_name
+          [
+            Runtime.Fault.Transient;
+            Runtime.Fault.Fatal;
+            Runtime.Fault.Resource_exhausted;
+            Runtime.Fault.Corrupt_output;
+          ]))
+
+(* ---------- metrics edge cases ---------- *)
+
+let test_percentile_edges =
+  QCheck.Test.make ~count:200 ~name:"percentile: min/max/empty/singleton"
+    QCheck.(pair (list (float_bound_inclusive 1000.0)) (float_bound_inclusive 100.0))
+    (fun (xs, p) ->
+      let p = Float.abs p in
+      match xs with
+      | [] -> Serve.Metrics.percentile p [] = 0.0
+      | xs ->
+          let mn = List.fold_left Float.min Float.infinity xs in
+          let mx = List.fold_left Float.max Float.neg_infinity xs in
+          let v = Serve.Metrics.percentile p xs in
+          Serve.Metrics.percentile 0.0 xs = mn
+          && Serve.Metrics.percentile 100.0 xs = mx
+          && v >= mn && v <= mx
+          && (match xs with [ x ] -> v = x | _ -> true))
+
+let req ~id ~arrival ~first ~finish ~tokens ?deadline () =
+  {
+    Serve.Metrics.id;
+    arrival_us = arrival;
+    first_token_us = first;
+    finish_us = finish;
+    prompt_len = 4;
+    tokens;
+    preemptions = 0;
+    retries = 0;
+    deadline_us = deadline;
+  }
+
+let test_summarize_edges () =
+  (* Empty run: no completions, nothing divides by zero. *)
+  let s = Serve.Metrics.summarize ~makespan_us:0.0 ~occupancy:0.0 [] in
+  Alcotest.(check int) "empty: completed" 0 s.Serve.Metrics.completed;
+  Alcotest.(check (float 0.0)) "empty: tokens/s" 0.0 s.Serve.Metrics.tokens_per_s;
+  Alcotest.(check (float 0.0)) "empty: slo = 1 (vacuous)" 1.0
+    s.Serve.Metrics.slo_attainment;
+  Alcotest.(check (float 0.0)) "empty: ttft p99" 0.0
+    s.Serve.Metrics.ttft_us.Serve.Metrics.p99;
+  (* One single-token request: the per-token latency contribution is
+     its (zero) ttft-to-finish gap, not a division by zero. *)
+  let one =
+    Serve.Metrics.summarize ~makespan_us:100.0 ~occupancy:1.0
+      [ req ~id:0 ~arrival:0.0 ~first:40.0 ~finish:40.0 ~tokens:1 () ]
+  in
+  Alcotest.(check (float 0.0)) "one token: per-token p50" 0.0
+    one.Serve.Metrics.per_token_us.Serve.Metrics.p50;
+  Alcotest.(check (float 0.0)) "one token: ttft p50" 40.0
+    one.Serve.Metrics.ttft_us.Serve.Metrics.p50;
+  Alcotest.(check int) "submitted defaults to completed" 1
+    one.Serve.Metrics.submitted;
+  (* Deadlines: met iff finish <= deadline; shed/aborted count against
+     SLO through [submitted]; goodput only counts deadline-met tokens. *)
+  let s =
+    Serve.Metrics.summarize ~makespan_us:1e6 ~occupancy:1.0 ~shed:1 ~aborted:1
+      [
+        req ~id:0 ~arrival:0.0 ~first:10.0 ~finish:50.0 ~tokens:10
+          ~deadline:60.0 ();
+        req ~id:1 ~arrival:0.0 ~first:10.0 ~finish:50.0 ~tokens:20
+          ~deadline:40.0 ();
+      ]
+  in
+  Alcotest.(check int) "submitted = completed + shed + aborted" 4
+    s.Serve.Metrics.submitted;
+  Alcotest.(check (float 1e-9)) "slo = met / submitted" 0.25
+    s.Serve.Metrics.slo_attainment;
+  Alcotest.(check (float 1e-9)) "goodput counts only met tokens" 10.0
+    s.Serve.Metrics.goodput_tokens_per_s
+
+let test_summarize_submitted_default =
+  QCheck.Test.make ~count:100
+    ~name:"summarize: submitted defaults to completed + shed + aborted"
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun (n, shed, aborted) ->
+      let rs =
+        List.init n (fun i ->
+            req ~id:i ~arrival:0.0 ~first:1.0 ~finish:2.0 ~tokens:1 ())
+      in
+      let s =
+        Serve.Metrics.summarize ~makespan_us:10.0 ~occupancy:0.5 ~shed ~aborted
+          rs
+      in
+      s.Serve.Metrics.submitted = n + shed + aborted
+      && s.Serve.Metrics.completed = n)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "injector",
+        [
+          Alcotest.test_case "seeded determinism" `Quick
+            test_injector_deterministic;
+          Alcotest.test_case "zero-probability draws are free" `Quick
+            test_zero_prob_draws_free;
+          Alcotest.test_case "counters" `Quick test_counters;
+        ] );
+      ( "vm",
+        [
+          Alcotest.test_case "kernel failure raises Transient" `Quick
+            test_vm_kernel_failure;
+          Alcotest.test_case "device stall inflates time" `Quick
+            test_vm_device_stall;
+          Alcotest.test_case "extern NaN corruption" `Quick
+            test_vm_nan_corruption;
+          Alcotest.test_case "allocator OOM raises Resource_exhausted" `Quick
+            test_allocator_oom;
+          Alcotest.test_case "all-zero config is free" `Quick
+            test_zero_config_is_free;
+        ] );
+      ( "chaos",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            test_conservation;
+            test_chaos_blocks_drain;
+            test_retry_bound;
+            test_seed_identical_traces;
+            test_none_vs_zero;
+            test_numeric_matches_sim_under_faults;
+          ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "deadline-aware sheds; fcfs does not" `Quick
+            test_deadline_shedding;
+          Alcotest.test_case "stall degrades the effective batch" `Quick
+            test_degradation_under_stall;
+          Alcotest.test_case "typed error taxonomy" `Quick test_typed_errors;
+        ] );
+      ( "metrics",
+        List.map QCheck_alcotest.to_alcotest
+          [ test_percentile_edges; test_summarize_submitted_default ]
+        @ [
+            Alcotest.test_case "summarize edge cases" `Quick
+              test_summarize_edges;
+          ] );
+    ]

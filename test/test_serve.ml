@@ -23,6 +23,7 @@ let opts ?(max_batch = 2) ?(block_size = 4) ?(policy = Serve.Scheduler.Continuou
     * tiny.Frontend.Configs.head_dim * block_size * 2
   in
   {
+    Serve.Scheduler.default_opts with
     Serve.Scheduler.max_batch;
     block_size;
     policy;
@@ -197,8 +198,20 @@ let test_preempted_finish () =
      preempted, re-prefilled, and still complete in full. *)
   let w =
     [
-      { Serve.Workload.id = 0; arrival_us = 0.0; prompt_len = 6; output_len = 6 };
-      { Serve.Workload.id = 1; arrival_us = 1.0; prompt_len = 6; output_len = 6 };
+      {
+        Serve.Workload.id = 0;
+        arrival_us = 0.0;
+        prompt_len = 6;
+        output_len = 6;
+        deadline_us = None;
+      };
+      {
+        Serve.Workload.id = 1;
+        arrival_us = 1.0;
+        prompt_len = 6;
+        output_len = 6;
+        deadline_us = None;
+      };
     ]
   in
   let res =
