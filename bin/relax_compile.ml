@@ -10,7 +10,8 @@
      dune exec bin/relax_compile.exe -- --model llama3-8b --quant q4 \
          --device "Jetson Orin" --no-fusion
      dune exec bin/relax_compile.exe -- --serve --model llama3-8b \
-         --batch 16 --rate 10 --requests 40 *)
+         --batch 16 --rate 10 --requests 40
+     dune exec bin/relax_compile.exe -- --model tiny --lint --verify-passes *)
 
 let models =
   [ ("tiny", Frontend.Configs.tiny);
@@ -33,7 +34,7 @@ let usage_error fmt =
          [--ctx N] [--quant f16|q4|q3]\n\
         \       [--dump-ir] [--no-fusion] [--no-library] [--no-planning] \
          [--no-capture] [--paged]\n\
-        \       [--trace] [--profile]\n\
+        \       [--trace] [--profile] [--lint] [--verify-passes] [--json]\n\
         \       [--serve [--rate R] [--requests N] [--policy \
          continuous|static] [--seed N]\n\
         \                [--admission fcfs|deadline] [--deadline-ms MS] \
@@ -167,8 +168,8 @@ let run_serve cfg (device : Runtime.Device.t) precision ~max_batch ~rate
   print_string (Serve.Metrics.to_string r.Serve.Scheduler.summary)
 
 let run model_name device_name batch ctx quant dump_ir no_fusion no_library
-    no_planning no_capture paged trace profile serve rate requests policy seed
-    admission deadline_ms retries faults fault_seed =
+    no_planning no_capture paged trace profile lint verify_passes json serve
+    rate requests policy seed admission deadline_ms retries faults fault_seed =
   let cfg =
     match List.assoc_opt model_name models with
     | Some cfg -> cfg
@@ -211,8 +212,12 @@ let run model_name device_name batch ctx quant dump_ir no_fusion no_library
     requires "faults" (faults <> None);
     requires "fault-seed" (fault_seed <> None)
   end;
+  if json && not (lint || verify_passes) then
+    usage_error "--json requires --lint or --verify-passes";
   if serve then begin
     if dump_ir then usage_error "--dump-ir cannot be combined with --serve";
+    if lint || verify_passes then
+      usage_error "--lint/--verify-passes cannot be combined with --serve";
     if paged then
       usage_error "--paged is implied by --serve (serving is always paged)";
     let rate = Option.value rate ~default:5.0 in
@@ -273,6 +278,42 @@ let run model_name device_name batch ctx quant dump_ir no_fusion no_library
   if dump_ir then begin
     print_endline "=== IR after lowering ===";
     print_string (Relax_core.Printer.module_to_string lowered)
+  end;
+  (* Static verification modes: print diagnostics and exit instead of
+     timing a decode step. Exit 1 iff any diagnostic is an Error;
+     warnings (unprovable bounds, data-dependent indices) pass. *)
+  if lint || verify_passes then begin
+    let bounds = options.Relax_passes.Pipeline.upper_bounds in
+    let failed = ref false in
+    let emit title diags =
+      if json then print_endline (Analysis.Diag.render_json diags)
+      else if diags = [] then Printf.printf "%s: clean\n" title
+      else begin
+        Printf.printf "%s:\n" title;
+        print_endline (Analysis.Diag.render diags)
+      end;
+      if Analysis.Diag.errors diags <> [] then failed := true
+    in
+    if lint then
+      emit
+        (Printf.sprintf "lint (%s lowered for %s)" cfg.Frontend.Configs.name
+           device.Runtime.Device.name)
+        (Relax_passes.Verify.check_module ~bounds lowered);
+    if verify_passes then begin
+      let input_diags =
+        Relax_passes.Verify.check_module ~bounds built.Frontend.Llm.mod_
+      in
+      (if Analysis.Diag.errors input_diags <> [] then
+         emit "verify-passes (errors pre-existing in the input module)"
+           (Analysis.Diag.errors input_diags));
+      let _, stage_diags =
+        Relax_passes.Pipeline.lower_with_diags ~options ~device
+          built.Frontend.Llm.mod_
+      in
+      emit "verify-passes (diagnostics introduced by pipeline stages)"
+        stage_diags
+    end;
+    exit (if !failed then 1 else 0)
   end;
   let program = Relax_passes.To_vm.compile lowered in
   let recorder = if trace then Some (Runtime.Trace.recorder ()) else None in
@@ -357,6 +398,35 @@ let profile =
         ~doc:
           "Aggregate the execution trace into a per-kernel profile \
            (calls, launches, simulated time, flops, bytes, peak memory).")
+
+let lint =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:
+          "Run the static verifier on the lowered module (graph-level \
+           well-formedness, TIR memory safety, parallel-race detection) \
+           instead of timing it. Prints diagnostics and exits 1 if any \
+           has severity error, 0 otherwise. The model's declared shape \
+           bounds (e.g. max context) feed the prover.")
+
+let verify_passes =
+  Arg.(
+    value & flag
+    & info [ "verify-passes" ]
+        ~doc:
+          "Re-run the static verifier after every pipeline stage and \
+           report the diagnostics each stage introduced, attributed to \
+           that stage. Exits 1 if any stage introduces an error (or the \
+           input module already has one).")
+
+let json =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "With $(b,--lint)/$(b,--verify-passes): print diagnostics as a \
+           JSON array instead of pretty text.")
 
 let serve =
   Arg.(
@@ -448,7 +518,7 @@ let cmd =
     Term.(
       const run $ model $ device $ batch $ ctx $ quant $ dump_ir $ no_fusion
       $ no_library $ no_planning $ no_capture $ paged $ trace $ profile
-      $ serve $ rate $ requests $ policy $ seed $ admission $ deadline_ms
-      $ retries $ faults $ fault_seed)
+      $ lint $ verify_passes $ json $ serve $ rate $ requests $ policy $ seed
+      $ admission $ deadline_ms $ retries $ faults $ fault_seed)
 
 let () = exit (Cmd.eval cmd)

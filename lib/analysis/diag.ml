@@ -1,0 +1,93 @@
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  code : string;
+  func : string;
+  path : string list;
+  message : string;
+  pass : string option;
+  key : string;
+}
+
+let make severity ~code ~func ?(path = []) ?key message =
+  let key = match key with Some k -> k | None -> code ^ "|" ^ message in
+  { severity; code; func; path; message; pass = None; key }
+
+let error ~code ~func ?path ?key message =
+  make Error ~code ~func ?path ?key message
+
+let warning ~code ~func ?path ?key message =
+  make Warning ~code ~func ?path ?key message
+
+let with_pass t pass = { t with pass = Some pass }
+let is_error t = t.severity = Error
+let errors ts = List.filter is_error ts
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let to_string t =
+  Printf.sprintf "%s[%s] %s%s: %s%s"
+    (severity_to_string t.severity)
+    t.code t.func
+    (match t.path with [] -> "" | p -> " @ " ^ String.concat "/" p)
+    t.message
+    (match t.pass with
+    | Some p -> Printf.sprintf " (introduced by %s)" p
+    | None -> "")
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let q s = "\"" ^ json_escape s ^ "\"" in
+  Printf.sprintf
+    "{\"severity\": %s, \"code\": %s, \"func\": %s, \"path\": [%s], \
+     \"message\": %s, \"pass\": %s}"
+    (q (severity_to_string t.severity))
+    (q t.code) (q t.func)
+    (String.concat ", " (List.map q t.path))
+    (q t.message)
+    (match t.pass with Some p -> q p | None -> "null")
+
+let sorted ts =
+  List.stable_sort
+    (fun a b ->
+      compare
+        (match a.severity with Error -> 0 | Warning -> 1)
+        (match b.severity with Error -> 0 | Warning -> 1))
+    ts
+
+let render ts = String.concat "\n" (List.map to_string (sorted ts))
+
+let render_json ts =
+  "[" ^ String.concat ",\n " (List.map to_json (sorted ts)) ^ "]"
+
+let dedup ts =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun t ->
+      if Hashtbl.mem seen t.key then false
+      else (
+        Hashtbl.add seen t.key ();
+        true))
+    ts
+
+let tally ts =
+  List.fold_left
+    (fun acc t ->
+      match List.assoc_opt t.key acc with
+      | Some n -> (t.key, n + 1) :: List.remove_assoc t.key acc
+      | None -> (t.key, 1) :: acc)
+    [] ts

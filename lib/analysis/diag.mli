@@ -1,0 +1,66 @@
+(** Structured compiler diagnostics.
+
+    Every static analysis in this library — and the graph-level
+    {!Relax_core.Well_formed} checker — reports through this one type,
+    so drivers can render uniformly (pretty text for humans, JSON for
+    tooling), count severities, and attribute diagnostics to the
+    compiler pass that introduced them. *)
+
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  code : string;  (** stable diagnostic class, e.g. ["oob-store"] *)
+  func : string;  (** enclosing function or kernel name *)
+  path : string list;
+      (** location inside the function: loop vars, statement kind *)
+  message : string;
+  pass : string option;  (** provenance: the pass that introduced it *)
+  key : string;
+      (** stable identity used to diff diagnostics across passes; by
+          construction independent of kernel renaming, so fusion
+          producing [fused_foo] does not re-count [foo]'s findings *)
+}
+
+val make :
+  severity ->
+  code:string ->
+  func:string ->
+  ?path:string list ->
+  ?key:string ->
+  string ->
+  t
+(** [make sev ~code ~func msg]. [key] defaults to [code ^ "|" ^ msg]. *)
+
+val error :
+  code:string -> func:string -> ?path:string list -> ?key:string -> string -> t
+
+val warning :
+  code:string -> func:string -> ?path:string list -> ?key:string -> string -> t
+
+val with_pass : t -> string -> t
+val is_error : t -> bool
+val errors : t list -> t list
+val severity_to_string : severity -> string
+
+val to_string : t -> string
+(** One-line pretty rendering:
+    [error[oob-store] softmax @ i0/store Y: message (introduced by X)]. *)
+
+val to_json : t -> string
+(** Machine-readable rendering as a single JSON object. *)
+
+val render : t list -> string
+(** Pretty rendering of a list, one diagnostic per line, errors
+    first. *)
+
+val render_json : t list -> string
+(** JSON array of {!to_json} objects. *)
+
+val dedup : t list -> t list
+(** Drop diagnostics whose {!field-key} already appeared earlier in
+    the list (within-function noise reduction; keys are not unique
+    across functions). *)
+
+val tally : t list -> (string * int) list
+(** Occurrence count per {!field-key}, for cross-pass diffing. *)

@@ -1,0 +1,93 @@
+module E = Arith.Expr
+module T = Tir.Texpr
+
+let is_pow2_mask m = m >= 0 && (m + 1) land m = 0
+
+let rec to_expr (e : T.t) : E.t option =
+  match e with
+  | T.Imm_int c -> Some (E.const c)
+  | T.Idx e -> Some e
+  | T.Binop (op, a, b) -> (
+      match (to_expr a, to_expr b) with
+      | Some a, Some b -> (
+          match op with
+          | T.Add -> Some (E.add a b)
+          | T.Sub -> Some (E.sub a b)
+          | T.Mul -> Some (E.mul a b)
+          | T.Floor_div -> Some (E.floor_div a b)
+          | T.Floor_mod -> Some (E.floor_mod a b)
+          | T.Min -> Some (E.min_ a b)
+          | T.Max -> Some (E.max_ a b)
+          | T.Shift_left -> (
+              match E.as_const b with
+              | Some k when k >= 0 && k < 62 ->
+                  Some (E.mul a (E.const (1 lsl k)))
+              | _ -> None)
+          | T.Shift_right -> (
+              (* Arithmetic shift right is floor division by 2^k. *)
+              match E.as_const b with
+              | Some k when k >= 0 && k < 62 ->
+                  Some (E.floor_div a (E.const (1 lsl k)))
+              | _ -> None)
+          | T.Bit_and -> (
+              (* x & (2^k - 1) = x mod 2^k in two's complement. *)
+              match (E.as_const a, E.as_const b) with
+              | _, Some m when is_pow2_mask m ->
+                  Some (E.floor_mod a (E.const (m + 1)))
+              | Some m, _ when is_pow2_mask m ->
+                  Some (E.floor_mod b (E.const (m + 1)))
+              | _ -> None)
+          | T.Div | T.Pow | T.Bit_or | T.Bit_xor | T.Eq | T.Ne | T.Lt
+          | T.Le | T.Gt | T.Ge | T.And | T.Or ->
+              None)
+      | _ -> None)
+  | T.Imm_float _ | T.Load _ | T.Unop _ | T.Cast _ | T.Select _ -> None
+
+type hyp = Le of E.t * E.t
+
+let one = E.const 1
+
+let rec hyps_of_cond (c : T.t) : hyp list =
+  match c with
+  | T.Binop (T.And, a, b) -> hyps_of_cond a @ hyps_of_cond b
+  | T.Binop (cmp, a, b) -> (
+      match (to_expr a, to_expr b) with
+      | Some a, Some b -> (
+          match cmp with
+          | T.Lt -> [ Le (E.add a one, b) ]
+          | T.Le -> [ Le (a, b) ]
+          | T.Gt -> [ Le (E.add b one, a) ]
+          | T.Ge -> [ Le (b, a) ]
+          | T.Eq -> [ Le (a, b); Le (b, a) ]
+          | _ -> [])
+      | _ -> [])
+  | _ -> []
+
+let rec neg_hyps_of_cond (c : T.t) : hyp list =
+  match c with
+  (* not (a || b) = (not a) && (not b) *)
+  | T.Binop (T.Or, a, b) -> neg_hyps_of_cond a @ neg_hyps_of_cond b
+  | T.Binop (cmp, a, b) -> (
+      match (to_expr a, to_expr b) with
+      | Some a, Some b -> (
+          match cmp with
+          | T.Lt -> [ Le (b, a) ]
+          | T.Le -> [ Le (E.add b one, a) ]
+          | T.Gt -> [ Le (a, b) ]
+          | T.Ge -> [ Le (E.add a one, b) ]
+          | T.Ne -> [ Le (a, b); Le (b, a) ]
+          | T.Eq -> (
+              (* a <> b is not a linear fact in general, but the
+                 parity idiom [x mod c <> 0] implies [x mod c >= 1]
+                 because floor-mod by a positive constant is
+                 nonnegative. *)
+              match (a, b) with
+              | E.Floor_mod (_, E.Const c), E.Const 0 when c > 0 ->
+                  [ Le (one, a) ]
+              | E.Const 0, E.Floor_mod (_, E.Const c) when c > 0 ->
+                  [ Le (one, b) ]
+              | _ -> [])
+          | _ -> [])
+      | _ -> [])
+  | T.Unop (T.Not, c) -> hyps_of_cond c
+  | _ -> []

@@ -1,0 +1,25 @@
+(** Lowering of scalar tensor-program expressions ({!Tir.Texpr}) into
+    the symbolic integer algebra ({!Arith.Expr}) that the provers
+    understand, plus extraction of linear hypotheses from branch
+    guards. Shared by the memory-safety and race analyses. *)
+
+val to_expr : Tir.Texpr.t -> Arith.Expr.t option
+(** [Some e] when the scalar expression is a pure integer index
+    computation: immediates, [Idx], the integer-algebra binops, and
+    power-of-two shift/mask tricks ([x >> k] = [x / 2^k],
+    [x & (2^k - 1)] = [x mod 2^k]). [None] for anything involving
+    floats, loads (data-dependent indices), casts or comparisons. *)
+
+type hyp = Le of Arith.Expr.t * Arith.Expr.t
+(** A proved-on-this-path fact [lhs <= rhs]. *)
+
+val hyps_of_cond : Tir.Texpr.t -> hyp list
+(** Hypotheses that hold inside the then-branch of a guard: a
+    conjunction of integer comparisons becomes a list of [Le] facts
+    (equalities contribute both directions); unconvertible conjuncts
+    contribute nothing. *)
+
+val neg_hyps_of_cond : Tir.Texpr.t -> hyp list
+(** Hypotheses that hold when the guard is {e false} (the else
+    branch): negated comparisons, plus the parity idiom
+    [x mod c <> 0  ==>  x mod c >= 1]. *)

@@ -1,0 +1,113 @@
+module E = Arith.Expr
+module SB = Arith.Sym_bounds
+
+type ctx = {
+  az : Arith.Analyzer.t;
+  senv : SB.t Arith.Var.Map.t;
+  hyps : Lin.hyp list;
+}
+
+let create ?(bounds = []) (f : Tir.Prim_func.t) =
+  let az = Arith.Analyzer.create () in
+  Arith.Var.Set.iter
+    (fun v ->
+      match List.assoc_opt v bounds with
+      | Some hi -> Arith.Analyzer.bind_upper_bound az v ~hi
+      | None -> Arith.Analyzer.bind_at_least az v ~lo:1)
+    (Tir.Prim_func.free_sym_vars f);
+  { az; senv = Arith.Var.Map.empty; hyps = [] }
+
+let eval ctx e =
+  SB.eval
+    ~env:(fun v -> Arith.Var.Map.find_opt v ctx.senv)
+    ~nonneg:(fun e ->
+      Arith.Analyzer.prove_nonneg ctx.az (Arith.Simplify.simplify e))
+    (Arith.Simplify.simplify e)
+
+let bind_range ctx v ~lo ~hi ~exact =
+  { ctx with senv = Arith.Var.Map.add v (SB.range ~var:v ~lo ~hi ~exact) ctx.senv }
+
+let bind_loop ctx v ~extent =
+  let ext = eval ctx extent in
+  let nonempty =
+    match ext.SB.lo with
+    | Some l ->
+        Arith.Analyzer.prove_nonneg ctx.az
+          (Arith.Simplify.simplify (E.sub l (E.const 1)))
+    | None -> false
+  in
+  let iv =
+    {
+      SB.lo = Some (E.const 0);
+      hi = Option.map (fun h -> Arith.Simplify.simplify (E.sub h (E.const 1))) ext.SB.hi;
+      exact = ext.SB.exact;
+      vars = Arith.Var.Set.singleton v;
+    }
+  in
+  ({ ctx with senv = Arith.Var.Map.add v iv ctx.senv }, nonempty)
+
+(* Guard facts about [v mod c] tighten [v]'s own interval — the RoPE
+   even/odd-lane idiom. [v mod c = 0] rounds both endpoints to
+   multiples of [c]; [v mod c >= k] (constant endpoints only) moves
+   them to the nearest value with a compatible residue. *)
+let refine ctx hyps =
+  let tighten v f =
+    match Arith.Var.Map.find_opt v ctx.senv with
+    | Some iv -> { ctx with senv = Arith.Var.Map.add v (f iv) ctx.senv }
+    | None -> ctx
+  in
+  List.fold_left
+    (fun ctx (Lin.Le (l, r)) ->
+      match (l, r) with
+      | E.Floor_mod (E.Var v, E.Const c), E.Const 0 when c > 0 ->
+          let down h =
+            Arith.Simplify.simplify
+              (E.mul (E.floor_div h (E.const c)) (E.const c))
+          in
+          let up l0 =
+            Arith.Simplify.simplify
+              (E.sub (E.const 0)
+                 (E.mul
+                    (E.floor_div (E.sub (E.const 0) l0) (E.const c))
+                    (E.const c)))
+          in
+          tighten v (fun iv ->
+              { iv with SB.lo = Option.map up iv.SB.lo;
+                hi = Option.map down iv.SB.hi })
+      | E.Const k, E.Floor_mod (E.Var v, E.Const c) when k >= 1 && k < c ->
+          tighten v (fun iv ->
+              let lo =
+                match iv.SB.lo with
+                | Some (E.Const l0) ->
+                    let r = E.fmod l0 c in
+                    Some (E.const (if r >= k then l0 else l0 + k - r))
+                | other -> other
+              in
+              let hi =
+                match iv.SB.hi with
+                | Some (E.Const h0) ->
+                    let r = E.fmod h0 c in
+                    Some (E.const (if r >= k then h0 else (E.fdiv h0 c * c) - 1))
+                | other -> other
+              in
+              { iv with SB.lo; hi })
+      | _ -> ctx)
+    ctx hyps
+
+(* Interval proof of [d >= 0]. *)
+let box_nonneg ctx d =
+  match (eval ctx d).SB.lo with
+  | Some l -> Arith.Analyzer.prove_nonneg ctx.az (Arith.Simplify.simplify l)
+  | None -> false
+
+let prove_le ctx a b =
+  let d = Arith.Simplify.simplify (E.sub b a) in
+  box_nonneg ctx d
+  || List.exists
+       (fun (Lin.Le (l, r)) ->
+         (* d >= (r - l) + (d - (r - l)) and r - l >= 0, so d >= 0
+            follows from an interval proof of d - r + l >= 0. *)
+         box_nonneg ctx (Arith.Simplify.simplify (E.add d (E.sub l r))))
+       ctx.hyps
+
+let prove_nonneg ctx e = prove_le ctx (E.const 0) e

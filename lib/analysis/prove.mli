@@ -1,0 +1,49 @@
+(** Proving context shared by the TIR analyses.
+
+    Wraps an {!Arith.Analyzer} (integer intervals for the kernel's
+    free shape variables: every extent is at least 1, with upper
+    bounds from user annotations), a symbolic environment mapping
+    in-scope loop variables to their iteration ranges, and the linear
+    hypotheses contributed by enclosing guards. *)
+
+type ctx = {
+  az : Arith.Analyzer.t;
+  senv : Arith.Sym_bounds.t Arith.Var.Map.t;
+  hyps : Lin.hyp list;
+}
+
+val create : ?bounds:(Arith.Var.t * int) list -> Tir.Prim_func.t -> ctx
+(** Fresh context for a kernel: binds every free symbolic variable of
+    the function to [\[1, hi\]] ([hi] from [bounds] when annotated,
+    unbounded otherwise). The [>= 1] convention mirrors the rest of
+    the compiler: extents of instantiated kernels are nonzero. *)
+
+val bind_loop : ctx -> Arith.Var.t -> extent:Arith.Expr.t -> ctx * bool
+(** Enter a loop: binds the variable to [\[0, extent - 1\]] (extent
+    bounds evaluated through the current environment, so nested
+    data-dependent extents stay sound). The boolean is [true] when the
+    loop provably executes at least once. *)
+
+val bind_range :
+  ctx -> Arith.Var.t -> lo:Arith.Expr.t -> hi:Arith.Expr.t -> exact:bool -> ctx
+(** Bind an arbitrary symbolic range (used by the race analysis for
+    renamed per-iteration variables). *)
+
+val refine : ctx -> Lin.hyp list -> ctx
+(** Strengthen bound-variable intervals from guard facts about
+    residues: [v mod c = 0] rounds the interval endpoints of [v] to
+    multiples of [c]; [v mod c >= k] (with constant endpoints) moves
+    them to the nearest compatible residue. Facts that do not match
+    these shapes are ignored (they still participate as {!prove_le}
+    hypotheses). *)
+
+val eval : ctx -> Arith.Expr.t -> Arith.Sym_bounds.t
+(** Symbolic interval of an expression (simplified first). *)
+
+val prove_le : ctx -> Arith.Expr.t -> Arith.Expr.t -> bool
+(** [prove_le ctx a b] — sound semi-decision of [a <= b]: first by
+    interval evaluation of [b - a], then modulo one guard hypothesis
+    ([a <= b] follows from [l <= r] when [b - a >= r - l] is provable
+    by intervals). *)
+
+val prove_nonneg : ctx -> Arith.Expr.t -> bool

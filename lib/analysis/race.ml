@@ -1,0 +1,214 @@
+module E = Arith.Expr
+module SB = Arith.Sym_bounds
+module S = Tir.Stmt
+module T = Tir.Texpr
+
+type akind = Write | Read
+
+type acc = {
+  kind : akind;
+  buf : Tir.Buffer.t;
+  idxs : E.t option list;
+  inner : (Arith.Var.t * E.t) list;  (* loops between the parallel loop and the access *)
+  guarded : bool;
+  reachable : bool;
+}
+
+let simp = Arith.Simplify.simplify
+
+let check ?(bounds = []) ?func (f : Tir.Prim_func.t) : Diag.t list =
+  let fname = match func with Some n -> n | None -> f.Tir.Prim_func.name in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+
+  let check_parallel ctx ~reachable ~path pvar extent body =
+    let at_least_2 =
+      match (Prove.eval ctx extent).SB.lo with
+      | Some l ->
+          Arith.Analyzer.prove_nonneg ctx.Prove.az (simp (E.sub l (E.const 2)))
+      | None -> false
+    in
+    let path = path @ [ Arith.Var.name pvar ] in
+    (* Collect all accesses under the loop, tracking the serial loops
+       between the parallel loop and each access. Buffers allocated
+       inside the body are iteration-private: no cross-iteration race
+       is possible on them. *)
+    let accs = ref [] in
+    let private_bufs = ref [] in
+    let add kind buf idxs ~inner ~guarded ~reachable =
+      accs :=
+        { kind; buf; idxs = List.map Lin.to_expr idxs; inner; guarded; reachable }
+        :: !accs
+    in
+    let add_loads e ~inner ~guarded ~reachable =
+      List.iter
+        (fun (b, tidxs) -> add Read b tidxs ~inner ~guarded ~reachable)
+        (T.loads e)
+    in
+    let rec collect cctx ~inner ~guarded ~reachable s =
+      match s with
+      | S.Seq ss -> List.iter (collect cctx ~inner ~guarded ~reachable) ss
+      | S.For { var; extent; kind = _; body } ->
+          let cctx, nonempty = Prove.bind_loop cctx var ~extent in
+          collect cctx
+            ~inner:(inner @ [ (var, extent) ])
+            ~guarded
+            ~reachable:(reachable && nonempty)
+            body
+      | S.Alloc (b, body) ->
+          private_bufs := b.Tir.Buffer.id :: !private_bufs;
+          collect cctx ~inner ~guarded ~reachable body
+      | S.Store (b, idxs, v) ->
+          add Write b idxs ~inner ~guarded ~reachable;
+          List.iter (add_loads ~inner ~guarded ~reachable) idxs;
+          add_loads v ~inner ~guarded ~reachable
+      | S.If (c, then_, else_) ->
+          add_loads c ~inner ~guarded ~reachable;
+          collect cctx ~inner ~guarded:true ~reachable then_;
+          Option.iter (collect cctx ~inner ~guarded:true ~reachable) else_
+      | S.Assert (c, _) | S.Evaluate c -> add_loads c ~inner ~guarded ~reachable
+    in
+    let pctx, _ = Prove.bind_loop ctx pvar ~extent in
+    collect pctx ~inner:[] ~guarded:false ~reachable:true body;
+    let accs = Array.of_list (List.rev !accs) in
+
+    (* Two fresh copies of the parallel iteration, [v1 <> v2]. *)
+    let v1 = Arith.Var.fresh (Arith.Var.name pvar ^ "'") in
+    let v2 = Arith.Var.fresh (Arith.Var.name pvar ^ "''") in
+    let pair_ctx =
+      let c, _ = Prove.bind_loop ctx v1 ~extent in
+      let c, _ = Prove.bind_loop c v2 ~extent in
+      c
+    in
+    (* Renaming of one access's iteration: the parallel var becomes
+       [pcopy] and every inner serial loop var gets a fresh copy bound
+       to the same (renamed) extent. *)
+    let rename_iteration ctx0 pcopy (a : acc) =
+      let sub = ref (Arith.Var.Map.singleton pvar (E.var pcopy)) in
+      let ctx = ref ctx0 in
+      List.iter
+        (fun (v, ext) ->
+          let v' = Arith.Var.fresh (Arith.Var.name v ^ "'") in
+          let c, _ = Prove.bind_loop !ctx v' ~extent:(E.subst !sub ext) in
+          ctx := c;
+          sub := Arith.Var.Map.add v (E.var v') !sub)
+        a.inner;
+      (!ctx, !sub)
+    in
+    (* diff = c*(v1 - v2) + r with |c| >= 1 and |r| <= |c| - 1 means
+       distinct iterations cannot produce diff = 0. *)
+    let disjoint_with ctx c r =
+      Prove.prove_le ctx (E.const 1) c
+      && Prove.prove_le ctx r (simp (E.sub c (E.const 1)))
+      && Prove.prove_le ctx (simp (E.sub (E.const 1) c)) r
+    in
+    let dim_disjoint ctx ia ib =
+      let diff = simp (E.sub ia ib) in
+      let coeff v =
+        simp (E.sub (E.subst (Arith.Var.Map.singleton v (E.add (E.var v) (E.const 1))) diff) diff)
+      in
+      let c1 = coeff v1 and c2 = coeff v2 in
+      let clean e =
+        let fv = E.free_vars e in
+        not (Arith.Var.Set.mem v1 fv) && not (Arith.Var.Set.mem v2 fv)
+      in
+      clean c1 && clean c2
+      && Arith.Simplify.prove_equal (E.add c1 c2) (E.const 0)
+      &&
+      let r = simp (E.sub diff (E.add (E.mul c1 (E.var v1)) (E.mul c2 (E.var v2)))) in
+      clean r
+      && (disjoint_with ctx c1 r
+         || disjoint_with ctx (simp (E.sub (E.const 0) c1)) (simp (E.sub (E.const 0) r)))
+    in
+    let check_pair (a : acc) (b : acc) =
+      let kinds = if a.kind = Write && b.kind = Write then `Ww else `Rw in
+      let code_err = match kinds with `Ww -> "race-ww" | `Rw -> "race-rw" in
+      let bname = a.buf.Tir.Buffer.name in
+      let warn reason =
+        emit
+          (Diag.warning ~code:"race-unproved" ~func:fname ~path
+             ~key:(Printf.sprintf "race-unproved|%s|%s" bname
+                     (match kinds with `Ww -> "ww" | `Rw -> "rw"))
+             (Printf.sprintf
+                "cannot prove %s accesses to buffer %s disjoint across \
+                 iterations of parallel loop %s%s"
+                (match kinds with `Ww -> "write/write" | `Rw -> "write/read")
+                bname (Arith.Var.name pvar) reason))
+      in
+      let all_idx =
+        List.for_all Option.is_some a.idxs && List.for_all Option.is_some b.idxs
+      in
+      if (not all_idx) || List.length a.idxs <> List.length b.idxs then
+        warn " (data-dependent or mismatched indices)"
+      else
+        let ia = List.map Option.get a.idxs and ib = List.map Option.get b.idxs in
+        let ctx, sub_a = rename_iteration pair_ctx v1 a in
+        let ctx, sub_b = rename_iteration ctx v2 b in
+        let disjoint =
+          List.exists2
+            (fun ea eb -> dim_disjoint ctx (E.subst sub_a ea) (E.subst sub_b eb))
+            ia ib
+        in
+        if disjoint then ()
+        else
+          (* Definite race: with shared inner positions, every
+             dimension's indices are provably equal irrespective of the
+             parallel iteration. *)
+          let sub1 = Arith.Var.Map.singleton pvar (E.var v1)
+          and sub2 = Arith.Var.Map.singleton pvar (E.var v2) in
+          let definite =
+            List.for_all2
+              (fun ea eb ->
+                Arith.Simplify.prove_equal (E.subst sub1 ea) (E.subst sub2 eb))
+              ia ib
+            && at_least_2 && reachable && a.reachable && b.reachable
+            && (not a.guarded) && not b.guarded
+          in
+          if definite then
+            emit
+              (Diag.error ~code:code_err ~func:fname ~path
+                 ~key:(Printf.sprintf "%s|%s" code_err bname)
+                 (Printf.sprintf
+                    "%s race: two distinct iterations of parallel loop %s %s \
+                     buffer %s at the same indices"
+                    (match kinds with `Ww -> "write/write" | `Rw -> "write/read")
+                    (Arith.Var.name pvar)
+                    (match kinds with
+                    | `Ww -> "both write"
+                    | `Rw -> "write and read")
+                    bname))
+          else warn ""
+    in
+    let n = Array.length accs in
+    for i = 0 to n - 1 do
+      for j = i to n - 1 do
+        let a = accs.(i) and b = accs.(j) in
+        if
+          (a.kind = Write || b.kind = Write)
+          && Tir.Buffer.equal a.buf b.buf
+          && not (List.mem a.buf.Tir.Buffer.id !private_bufs)
+        then check_pair a b
+      done
+    done
+  in
+  let rec walk ctx ~reachable ~path (s : S.t) =
+    match s with
+    | S.Seq ss -> List.iter (walk ctx ~reachable ~path) ss
+    | S.For { var; extent; kind; body } ->
+        if kind = S.Parallel then check_parallel ctx ~reachable ~path var extent body;
+        let ctx, nonempty = Prove.bind_loop ctx var ~extent in
+        walk ctx
+          ~reachable:(reachable && nonempty)
+          ~path:(path @ [ Arith.Var.name var ])
+          body
+    | S.Alloc (_, body) -> walk ctx ~reachable ~path body
+    | S.If (_, then_, else_) ->
+        (* A guard may keep the loop from running: suppress definite
+           errors underneath by marking the region unreachable. *)
+        walk ctx ~reachable:false ~path:(path @ [ "if" ]) then_;
+        Option.iter (walk ctx ~reachable:false ~path:(path @ [ "else" ])) else_
+    | S.Store _ | S.Assert _ | S.Evaluate _ -> ()
+  in
+  let ctx = Prove.create ~bounds f in
+  walk ctx ~reachable:true ~path:[] f.Tir.Prim_func.body;
+  Diag.dedup (List.rev !diags)

@@ -1,0 +1,29 @@
+(** Parallel-race detection for loop-level tensor programs.
+
+    For every [Parallel] loop, considers each pair of accesses to the
+    same buffer inside the loop body (write/write and write/read) and
+    asks whether two {e symbolically distinct} iterations [i <> i']
+    can touch the same element:
+
+    - {e proved disjoint} — some dimension's index difference is
+      affine in the two iteration copies, [c*(i - i') + r] with
+      provable [|r| <= |c| - 1] and [|c| >= 1], so distinct iterations
+      can never alias. This covers both the plain [Y\[i\]] pattern
+      ([c = 1, r = 0]) and tiled [Y\[io*32 + ii\]] stores
+      ([c = 32, r = ii - ii' in \[-31, 31\]]). No diagnostic.
+    - {e definite race} — every dimension's indices are provably equal
+      irrespective of the parallel iteration (the classic unguarded
+      reduction [Y\[0\] += ...]), the loop provably runs at least two
+      iterations, and the access is reachable and unguarded. Error
+      [race-ww] / [race-rw].
+    - otherwise a {e Warning} [race-unproved].
+
+    Serial loops nested inside the parallel loop are renamed per
+    iteration (different iterations may be at different inner
+    positions); loops enclosing the parallel loop are shared. *)
+
+val check :
+  ?bounds:(Arith.Var.t * int) list ->
+  ?func:string ->
+  Tir.Prim_func.t ->
+  Diag.t list

@@ -1,0 +1,213 @@
+module E = Arith.Expr
+module SB = Arith.Sym_bounds
+module S = Tir.Stmt
+module T = Tir.Texpr
+
+type kind = Kstore | Kload
+
+type tri = True | False | Unknown
+
+let rec cond_status ctx (c : T.t) : tri =
+  match c with
+  | T.Imm_int n -> if n <> 0 then True else False
+  | T.Unop (T.Not, c) -> (
+      match cond_status ctx c with
+      | True -> False
+      | False -> True
+      | Unknown -> Unknown)
+  | T.Binop (T.And, a, b) -> (
+      match (cond_status ctx a, cond_status ctx b) with
+      | True, True -> True
+      | False, _ | _, False -> False
+      | _ -> Unknown)
+  | T.Binop (T.Or, a, b) -> (
+      match (cond_status ctx a, cond_status ctx b) with
+      | False, False -> False
+      | True, _ | _, True -> True
+      | _ -> Unknown)
+  | T.Binop (((T.Eq | T.Ne | T.Lt | T.Le | T.Gt | T.Ge) as cmp), a, b) -> (
+      match (Lin.to_expr a, Lin.to_expr b) with
+      | Some a, Some b -> (
+          let le x y = Prove.prove_le ctx x y in
+          let lt x y = le (E.add x (E.const 1)) y in
+          match cmp with
+          | T.Lt -> if lt a b then True else if le b a then False else Unknown
+          | T.Le -> if le a b then True else if lt b a then False else Unknown
+          | T.Gt -> if lt b a then True else if le a b then False else Unknown
+          | T.Ge -> if le b a then True else if lt a b then False else Unknown
+          | T.Eq ->
+              if le a b && le b a then True
+              else if lt a b || lt b a then False
+              else Unknown
+          | T.Ne ->
+              if lt a b || lt b a then True
+              else if le a b && le b a then False
+              else Unknown
+          | _ -> Unknown)
+      | _ -> Unknown)
+  | _ -> Unknown
+
+let check ?(bounds = []) ?func (f : Tir.Prim_func.t) : Diag.t list =
+  let fname = match func with Some n -> n | None -> f.Tir.Prim_func.name in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let dim_key code (b : Tir.Buffer.t) i =
+    Printf.sprintf "%s|%s|%d" code b.Tir.Buffer.name i
+  in
+  let check_access ctx ~path ~guarded ~reachable kind (b : Tir.Buffer.t) idxs =
+    let shape = b.Tir.Buffer.shape in
+    if List.length idxs <> List.length shape then
+      emit
+        (Diag.error ~code:"rank-mismatch" ~func:fname ~path
+           ~key:(Printf.sprintf "rank-mismatch|%s" b.Tir.Buffer.name)
+           (Printf.sprintf "buffer %s has rank %d but is accessed with %d indices"
+              b.Tir.Buffer.name (List.length shape) (List.length idxs)))
+    else
+      List.iteri
+        (fun i (idx, dim) ->
+          match Lin.to_expr idx with
+          | None ->
+              emit
+                (Diag.warning ~code:"dyn-index" ~func:fname ~path
+                   ~key:(dim_key "dyn-index" b i)
+                   (Printf.sprintf
+                      "index %d of buffer %s is data-dependent (%s); bounds \
+                       cannot be checked statically"
+                      i b.Tir.Buffer.name (T.to_string idx)))
+          | Some e ->
+              let hi_ok =
+                Prove.prove_le ctx e
+                  (Arith.Simplify.simplify (E.sub dim (E.const 1)))
+              in
+              let lo_ok = Prove.prove_nonneg ctx e in
+              if not (hi_ok && lo_ok) then (
+                let iv = Prove.eval ctx e in
+                let oob_hi =
+                  match iv.SB.hi with
+                  | Some h -> Prove.prove_le ctx dim h
+                  | None -> false
+                in
+                let oob_lo =
+                  match iv.SB.lo with
+                  | Some l -> Prove.prove_le ctx l (E.const (-1))
+                  | None -> false
+                in
+                let acc, code_oob, code_unproved =
+                  match kind with
+                  | Kstore -> ("store to", "oob-store", "unproved-store")
+                  | Kload -> ("load from", "oob-load", "unproved-load")
+                in
+                if reachable && (not guarded) && iv.SB.exact && (oob_hi || oob_lo)
+                then
+                  emit
+                    (Diag.error ~code:code_oob ~func:fname ~path
+                       ~key:(dim_key code_oob b i)
+                       (Printf.sprintf
+                          "%s buffer %s is out of bounds: index %d is %s with \
+                           range [%s, %s] but the extent is %s"
+                          acc b.Tir.Buffer.name i (E.to_string e)
+                          (match iv.SB.lo with
+                          | Some l -> E.to_string l
+                          | None -> "-inf")
+                          (match iv.SB.hi with
+                          | Some h -> E.to_string h
+                          | None -> "+inf")
+                          (E.to_string dim)))
+                else
+                  emit
+                    (Diag.warning ~code:code_unproved ~func:fname ~path
+                       ~key:(dim_key code_unproved b i)
+                       (Printf.sprintf
+                          "cannot prove %s buffer %s in bounds: index %d is %s \
+                           against extent %s%s"
+                          acc b.Tir.Buffer.name i (E.to_string e)
+                          (E.to_string dim)
+                          (if not lo_ok && hi_ok then
+                             " (lower bound unproved)"
+                           else "")))))
+        (List.combine idxs shape)
+  in
+  (* Structural walk over value expressions: a [Select] guards its
+     branches the way an [If] statement does (the RoPE kernels load
+     the partner lane [dd +/- 1] under an even/odd-lane select), so
+     branch hypotheses and residue refinements apply before the
+     branch's loads are checked. *)
+  let then_ctx ctx c =
+    let hyps = Lin.hyps_of_cond c in
+    Prove.refine { ctx with Prove.hyps = hyps @ ctx.Prove.hyps } hyps
+  in
+  let else_ctx ctx c =
+    let hyps = Lin.neg_hyps_of_cond c in
+    Prove.refine { ctx with Prove.hyps = hyps @ ctx.Prove.hyps } hyps
+  in
+  let rec check_loads ctx ~path ~guarded ~reachable (e : T.t) =
+    match e with
+    | T.Load (b, idxs) ->
+        check_access ctx ~path ~guarded ~reachable Kload b idxs;
+        List.iter (check_loads ctx ~path ~guarded ~reachable) idxs
+    | T.Select (c, a, b) ->
+        check_loads ctx ~path ~guarded ~reachable c;
+        check_loads (then_ctx ctx c) ~path ~guarded:true ~reachable a;
+        check_loads (else_ctx ctx c) ~path ~guarded:true ~reachable b
+    | T.Binop (_, a, b) ->
+        check_loads ctx ~path ~guarded ~reachable a;
+        check_loads ctx ~path ~guarded ~reachable b
+    | T.Unop (_, a) | T.Cast (_, a) ->
+        check_loads ctx ~path ~guarded ~reachable a
+    | T.Imm_int _ | T.Imm_float _ | T.Idx _ -> ()
+  in
+  let rec walk ctx ~path ~guarded ~reachable (s : S.t) =
+    match s with
+    | S.Seq ss -> List.iter (walk ctx ~path ~guarded ~reachable) ss
+    | S.For { var; extent; kind = _; body } ->
+        let ctx, nonempty = Prove.bind_loop ctx var ~extent in
+        walk ctx
+          ~path:(path @ [ Arith.Var.name var ])
+          ~guarded
+          ~reachable:(reachable && nonempty)
+          body
+    | S.Alloc (_, body) -> walk ctx ~path ~guarded ~reachable body
+    | S.Store (b, idxs, v) ->
+        let path = path @ [ "store " ^ b.Tir.Buffer.name ] in
+        check_access ctx ~path ~guarded ~reachable Kstore b idxs;
+        List.iter (check_loads ctx ~path ~guarded ~reachable) idxs;
+        check_loads ctx ~path ~guarded ~reachable v
+    | S.If (c, then_, else_) ->
+        check_loads ctx ~path:(path @ [ "if" ]) ~guarded ~reachable c;
+        walk (then_ctx ctx c) ~path:(path @ [ "if" ]) ~guarded:true ~reachable
+          then_;
+        Option.iter
+          (walk (else_ctx ctx c)
+             ~path:(path @ [ "else" ])
+             ~guarded:true ~reachable)
+          else_
+    | S.Assert (c, msg) -> (
+        let path = path @ [ "assert" ] in
+        check_loads ctx ~path ~guarded ~reachable c;
+        match cond_status ctx c with
+        | True -> ()
+        | False when reachable && not guarded ->
+            emit
+              (Diag.error ~code:"assert-violated" ~func:fname ~path
+                 ~key:("assert-violated|" ^ msg)
+                 (Printf.sprintf
+                    "assertion %S is provably false: %s never holds" msg
+                    (T.to_string c)))
+        | False ->
+            emit
+              (Diag.warning ~code:"assert-unproved" ~func:fname ~path
+                 ~key:("assert-unproved|" ^ msg)
+                 (Printf.sprintf
+                    "assertion %S is false on a possibly-unreachable path: %s"
+                    msg (T.to_string c)))
+        | Unknown ->
+            emit
+              (Diag.warning ~code:"assert-unproved" ~func:fname ~path
+                 ~key:("assert-unproved|" ^ msg)
+                 (Printf.sprintf "cannot prove assertion %S: %s" msg
+                    (T.to_string c))))
+    | S.Evaluate e -> check_loads ctx ~path ~guarded ~reachable e
+  in
+  let ctx = Prove.create ~bounds f in
+  walk ctx ~path:[] ~guarded:false ~reachable:true f.Tir.Prim_func.body;
+  Diag.dedup (List.rev !diags)

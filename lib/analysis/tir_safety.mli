@@ -1,0 +1,30 @@
+(** TIR memory-safety analysis.
+
+    Walks a loop-level tensor program and classifies every buffer
+    access (stores and loads, including data-dependent gathers) as
+    proved in-bounds (no diagnostic), proved out-of-bounds
+    ({e Error}), or unprovable ({e Warning}). Loop variables range
+    over [\[0, extent - 1\]]; free shape variables are assumed [>= 1]
+    with optional annotated upper bounds. Branch guards contribute
+    hypotheses on the then-path, so bound-checked accesses discharge.
+
+    [Assert] statements are checked the same way: a condition proved
+    false in a reachable, unguarded context is an {e Error}
+    ([assert-violated]); an unprovable one is a {e Warning}
+    ([assert-unproved]); a proved-redundant one is silent.
+
+    Diagnostic codes: [oob-store], [oob-load], [unproved-store],
+    [unproved-load], [dyn-index], [rank-mismatch], [assert-violated],
+    [assert-unproved]. An {e Error} is only emitted when the access is
+    provably executed: the enclosing loops are provably nonempty, no
+    guard encloses it, and the index interval is exact (its endpoints
+    are attained). *)
+
+val check :
+  ?bounds:(Arith.Var.t * int) list ->
+  ?func:string ->
+  Tir.Prim_func.t ->
+  Diag.t list
+(** [bounds] gives annotated upper bounds for symbolic shape
+    variables; [func] overrides the function name used in
+    diagnostics (defaults to the prim func's own name). *)

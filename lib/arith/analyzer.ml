@@ -7,6 +7,9 @@ let bind_range t v ~lo ~hi =
 
 let bind_upper_bound t v ~hi = bind_range t v ~lo:1 ~hi
 
+let bind_interval t v iv = t.ranges <- Var.Map.add v iv t.ranges
+let bind_at_least t v ~lo = bind_interval t v (Bounds.at_least lo)
+
 let interval_of t v =
   match Var.Map.find_opt v t.ranges with
   | Some i -> i
@@ -15,6 +18,7 @@ let interval_of t v =
 let env t v = interval_of t v
 let prove_equal _t a b = Simplify.prove_equal a b
 let prove_leq t a b = Bounds.prove_leq (env t) a b
+let prove_lt t a b = Bounds.prove_leq (env t) (Expr.Add (a, Expr.Const 1)) b
 let prove_nonneg t e = Bounds.prove_nonneg (env t) e
 let upper_bound t e = Bounds.upper_bound (env t) e
 let lower_bound t e = Bounds.lower_bound (env t) e

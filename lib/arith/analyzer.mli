@@ -17,10 +17,21 @@ val bind_upper_bound : t -> Var.t -> hi:int -> unit
 (** Declare [1 <= v <= hi] — the common shape-variable case: extents
     are at least one. *)
 
+val bind_interval : t -> Var.t -> Bounds.interval -> unit
+(** Declare an arbitrary (possibly half-open) interval for [v]. *)
+
+val bind_at_least : t -> Var.t -> lo:int -> unit
+(** Declare [lo <= v] with no upper bound. *)
+
 val interval_of : t -> Var.t -> Bounds.interval
 
 val prove_equal : t -> Expr.t -> Expr.t -> bool
 val prove_leq : t -> Expr.t -> Expr.t -> bool
+
+val prove_lt : t -> Expr.t -> Expr.t -> bool
+(** [prove_lt t a b] proves the strict inequality [a < b] (integers:
+    [a + 1 <= b]). *)
+
 val prove_nonneg : t -> Expr.t -> bool
 
 val upper_bound : t -> Expr.t -> int option

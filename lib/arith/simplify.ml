@@ -142,6 +142,22 @@ let rec to_poly (e : Expr.t) : poly =
 
 and norm e = poly_to_expr (to_poly e)
 
+(* Normalize the constant term of the dividend to [0, c): since
+   floor((p + k*c + r)/c) = k + floor((p + r)/c) for any integer k,
+   canonicalizing the offset makes e.g. (n-1)/8 and (n+7)/8 comparable
+   atoms: (n-1)/8 = (n+7)/8 - 1. Returns the extracted integer part
+   and the residual polynomial whose constant term lies in [0, c). *)
+and extract_const_offset c (r : poly) : int * poly =
+  let t = try Poly.find [] r with Not_found -> 0 in
+  let k = Expr.fdiv t c in
+  if k = 0 then (0, r)
+  else
+    let r' =
+      let rem = t - (k * c) in
+      if rem = 0 then Poly.remove [] r else Poly.add [] rem r
+    in
+    (k, r')
+
 and div_poly (pa : poly) (nb : Expr.t) : poly =
   match nb with
   | Expr.Const 0 -> Poly.singleton [ A_div (poly_to_expr pa, nb) ] 1
@@ -156,7 +172,10 @@ and div_poly (pa : poly) (nb : Expr.t) : poly =
         let rc = try Poly.find [] r with Not_found -> 0 in
         poly_add q (poly_const (Expr.fdiv rc c))
       else
-        poly_add q (Poly.singleton [ A_div (poly_to_expr r, Expr.Const c) ] 1)
+        let k, r = extract_const_offset c r in
+        poly_add q
+          (poly_add (poly_const k)
+             (Poly.singleton [ A_div (poly_to_expr r, Expr.Const c) ] 1))
   | _ ->
       let na = poly_to_expr pa in
       if Expr.equal_syntactic na nb then poly_const 1
@@ -173,7 +192,11 @@ and mod_poly (pa : poly) (nb : Expr.t) : poly =
       else if Poly.for_all (fun m _ -> m = []) r then
         let rc = try Poly.find [] r with Not_found -> 0 in
         poly_const (Expr.fmod rc c)
-      else Poly.singleton [ A_mod (poly_to_expr r, Expr.Const c) ] 1
+      else
+        (* (p + t) mod c = (p + t mod c) mod c — canonicalize the
+           constant offset the same way as floordiv. *)
+        let _, r = extract_const_offset c r in
+        Poly.singleton [ A_mod (poly_to_expr r, Expr.Const c) ] 1
   | _ ->
       let na = poly_to_expr pa in
       if Expr.equal_syntactic na nb then poly_const 0

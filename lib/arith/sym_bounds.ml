@@ -1,0 +1,172 @@
+type t = {
+  lo : Expr.t option;
+  hi : Expr.t option;
+  exact : bool;
+  vars : Var.Set.t;
+}
+
+let exactly e =
+  { lo = Some e; hi = Some e; exact = true; vars = Expr.free_vars e }
+
+let range ~var ~lo ~hi ~exact =
+  { lo = Some lo; hi = Some hi; exact; vars = Var.Set.singleton var }
+
+let unbounded vars = { lo = None; hi = None; exact = false; vars }
+
+let disjoint a b = Var.Set.is_empty (Var.Set.inter a.vars b.vars)
+
+let map2 f a b = match (a, b) with Some x, Some y -> Some (f x y) | _ -> None
+
+let add_t a b =
+  {
+    lo = map2 Expr.add a.lo b.lo;
+    hi = map2 Expr.add a.hi b.hi;
+    exact = a.exact && b.exact && disjoint a b;
+    vars = Var.Set.union a.vars b.vars;
+  }
+
+let sub_t a b =
+  {
+    lo = map2 Expr.sub a.lo b.hi;
+    hi = map2 Expr.sub a.hi b.lo;
+    exact = a.exact && b.exact && disjoint a b;
+    vars = Var.Set.union a.vars b.vars;
+  }
+
+let scale_t a c =
+  let k = Expr.const c in
+  let m e = Expr.mul e k in
+  if c >= 0 then
+    { a with lo = Option.map m a.lo; hi = Option.map m a.hi }
+  else
+    { a with lo = Option.map m a.hi; hi = Option.map m a.lo }
+
+(* min/max of optional bounds where [None] is the corresponding
+   infinity: for a lower bound of min, None on either side poisons;
+   for the upper bound of min, None on one side defers to the other. *)
+let opt_min_poison a b = map2 Expr.min_ a b
+
+let opt_min_defer a b =
+  match (a, b) with
+  | Some x, Some y -> Some (Expr.min_ x y)
+  | (Some _ as s), None | None, (Some _ as s) -> s
+  | None, None -> None
+
+let opt_max_poison a b = map2 Expr.max_ a b
+
+let opt_max_defer a b =
+  match (a, b) with
+  | Some x, Some y -> Some (Expr.max_ x y)
+  | (Some _ as s), None | None, (Some _ as s) -> s
+  | None, None -> None
+
+let rec eval ~env ~nonneg (e : Expr.t) : t =
+  let vars_of e = Expr.free_vars e in
+  let proves_nonneg = function Some l -> nonneg l | None -> false in
+  match e with
+  | Expr.Const _ -> exactly e
+  | Expr.Var v -> (
+      match env v with
+      | Some iv -> { iv with vars = Var.Set.singleton v }
+      | None -> exactly e)
+  | Expr.Add (a, b) -> add_t (eval ~env ~nonneg a) (eval ~env ~nonneg b)
+  | Expr.Sub (a, b) -> sub_t (eval ~env ~nonneg a) (eval ~env ~nonneg b)
+  | Expr.Mul (a, b) -> (
+      let ia = eval ~env ~nonneg a and ib = eval ~env ~nonneg b in
+      match (Expr.as_const a, Expr.as_const b) with
+      | _, Some c -> scale_t ia c
+      | Some c, _ -> scale_t ib c
+      | None, None ->
+          (* General product: only when both factors are provably
+             nonnegative is the product monotone in each. *)
+          if proves_nonneg ia.lo && proves_nonneg ib.lo then
+            {
+              lo = map2 Expr.mul ia.lo ib.lo;
+              hi = map2 Expr.mul ia.hi ib.hi;
+              exact = ia.exact && ib.exact && disjoint ia ib;
+              vars = Var.Set.union ia.vars ib.vars;
+            }
+          else unbounded (vars_of e))
+  | Expr.Floor_div (a, b) -> (
+      let ia = eval ~env ~nonneg a in
+      match Expr.as_const b with
+      | Some c when c > 0 ->
+          let d e = Expr.floor_div e (Expr.const c) in
+          (* floor is monotone nondecreasing, so endpoints map to
+             endpoints and attained endpoints stay attained. *)
+          { ia with lo = Option.map d ia.lo; hi = Option.map d ia.hi }
+      | Some c when c < 0 ->
+          let d e = Expr.floor_div e (Expr.const c) in
+          {
+            ia with
+            lo = Option.map d ia.hi;
+            hi = Option.map d ia.lo;
+          }
+      | _ ->
+          let ib = eval ~env ~nonneg b in
+          (* Symbolic divisor: a/b in [0, a_hi] when a >= 0 and b >= 1
+             (and more tightly a/b <= a_hi / b_lo). *)
+          let divisor_pos =
+            match ib.lo with
+            | Some l -> nonneg (Expr.sub l (Expr.const 1))
+            | None -> false
+          in
+          if divisor_pos && proves_nonneg ia.lo then
+            {
+              lo = Some (Expr.const 0);
+              hi =
+                (match (ia.hi, ib.lo) with
+                | Some h, Some l -> Some (Expr.floor_div h l)
+                | _ -> None);
+              exact = false;
+              vars = vars_of e;
+            }
+          else unbounded (vars_of e))
+  | Expr.Floor_mod (a, b) -> (
+      let divisor_pos iv =
+        match iv.lo with
+        | Some l -> nonneg (Expr.sub l (Expr.const 1))
+        | None -> false
+      in
+      let ia = eval ~env ~nonneg a and ib = eval ~env ~nonneg b in
+      match Expr.as_const b with
+      | Some c when c > 0 ->
+          (* x mod c in [0, c-1]; additionally <= x_hi when x >= 0. *)
+          let hi0 = Expr.const (c - 1) in
+          let hi =
+            if proves_nonneg ia.lo then
+              match ia.hi with
+              | Some h -> Some (Expr.min_ hi0 h)
+              | None -> Some hi0
+            else Some hi0
+          in
+          { lo = Some (Expr.const 0); hi; exact = false; vars = vars_of e }
+      | _ ->
+          if divisor_pos ib then
+            let hi_from_b =
+              Option.map (fun h -> Expr.sub h (Expr.const 1)) ib.hi
+            in
+            let hi =
+              if proves_nonneg ia.lo then opt_min_defer hi_from_b ia.hi
+              else hi_from_b
+            in
+            { lo = Some (Expr.const 0); hi; exact = false; vars = vars_of e }
+          else unbounded (vars_of e))
+  | Expr.Min (a, b) ->
+      let ia = eval ~env ~nonneg a and ib = eval ~env ~nonneg b in
+      let total iv = iv.lo <> None && iv.hi <> None in
+      {
+        lo = opt_min_poison ia.lo ib.lo;
+        hi = opt_min_defer ia.hi ib.hi;
+        exact = ia.exact && ib.exact && disjoint ia ib && total ia && total ib;
+        vars = Var.Set.union ia.vars ib.vars;
+      }
+  | Expr.Max (a, b) ->
+      let ia = eval ~env ~nonneg a and ib = eval ~env ~nonneg b in
+      let total iv = iv.lo <> None && iv.hi <> None in
+      {
+        lo = opt_max_defer ia.lo ib.lo;
+        hi = opt_max_poison ia.hi ib.hi;
+        exact = ia.exact && ib.exact && disjoint ia ib && total ia && total ib;
+        vars = Var.Set.union ia.vars ib.vars;
+      }

@@ -1,0 +1,45 @@
+(** Symbolic interval analysis: bounds that are themselves expressions.
+
+    {!Bounds} computes integer intervals, which is enough for memory
+    planning against user-annotated constants but cannot prove that a
+    loop index [i] with extent [n] stays below a buffer dimension [n]:
+    both sides are unbounded integers. This module evaluates an
+    expression to a pair of {e symbolic} bounds — expressions over the
+    remaining free variables — by substituting each bound variable's
+    range endpoints through monotone operations. The static verifier
+    ({!Analysis}) then discharges [hi <= dim - 1] with the canonical
+    simplifier and the integer interval prover.
+
+    Soundness: the true value always lies in [[lo, hi]] whenever every
+    environment entry is itself a sound range. [exact] additionally
+    records that both endpoints are {e attained} by some assignment in
+    the box domain (each variable ranging independently over its
+    interval) — the property needed to report a definite out-of-bounds
+    access rather than an unprovable one. Exactness is only claimed
+    for expressions built from monotone operations over variable-
+    disjoint operands. *)
+
+type t = {
+  lo : Expr.t option;  (** [None] = unbounded below *)
+  hi : Expr.t option;  (** [None] = unbounded above *)
+  exact : bool;  (** both endpoints attained over the box domain *)
+  vars : Var.Set.t;  (** free variables of the {e source} expression *)
+}
+
+val exactly : Expr.t -> t
+(** The expression itself as a degenerate interval (used for free
+    variables that are their own best bound). *)
+
+val range : var:Var.t -> lo:Expr.t -> hi:Expr.t -> exact:bool -> t
+(** Interval for a bound variable, e.g. a loop index in
+    [[0, extent - 1]]. *)
+
+val eval : env:(Var.t -> t option) -> nonneg:(Expr.t -> bool) -> Expr.t -> t
+(** Symbolic interval of the expression. [env] maps bound variables to
+    their ranges ([None] = the variable is free and bounds itself);
+    range endpoints must not mention bound variables (substitute
+    ranges transitively when nesting). [nonneg] is a sound
+    semi-decision procedure for [e >= 0] over the free variables, used
+    to pick monotonicity cases for multiplication, division and
+    modulo. The input should be pre-simplified so that repeated
+    additive occurrences of a variable are collapsed. *)

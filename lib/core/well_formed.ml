@@ -1,18 +1,19 @@
-type violation = { func : string; message : string }
+type violation = Analysis.Diag.t
 
 let check_func mod_ fname (f : Expr.func) : violation list =
   let violations = ref [] in
-  let report fmt =
+  let report ~code fmt =
     Format.kasprintf
-      (fun message -> violations := { func = fname; message } :: !violations)
+      (fun message ->
+        violations := Analysis.Diag.error ~code ~func:fname message :: !violations)
       fmt
   in
-  let defined = ref (Rvar.Set.of_list f.Expr.params) in
-  let check_leaf_defined (e : Expr.expr) =
+  let check_leaf_defined defined (e : Expr.expr) =
     Rvar.Set.iter
       (fun v ->
-        if not (Rvar.Set.mem v !defined) then
-          report "variable %s used before definition" (Rvar.name v))
+        if not (Rvar.Set.mem v defined) then
+          report ~code:"undef-var" "variable %s used before definition"
+            (Rvar.name v))
       (Expr.free_vars e)
   in
   let check_call_tir (e : Expr.expr) =
@@ -23,7 +24,7 @@ let check_func mod_ fname (f : Expr.func) : violation list =
             let expected_bufs = List.length tf.Tir.Prim_func.params in
             let workspace_like = expected_bufs - List.length args - 1 in
             if workspace_like < 0 then
-              report
+              report ~code:"call-tir-arity"
                 "call_tir %s: %d tensor arguments for a kernel with %d \
                  buffer parameters"
                 name (List.length args) expected_bufs;
@@ -31,28 +32,38 @@ let check_func mod_ fname (f : Expr.func) : violation list =
               List.length sym_args
               <> List.length tf.Tir.Prim_func.sym_params
             then
-              report
+              report ~code:"call-tir-arity"
                 "call_tir %s: %d symbolic arguments but kernel declares %d"
                 name (List.length sym_args)
                 (List.length tf.Tir.Prim_func.sym_params);
             (match out with
             | Struct_info.Tensor _ | Struct_info.Tuple _ -> ()
             | si ->
-                report "call_tir %s: output annotation %s is not a tensor"
-                  name (Struct_info.to_string si))
+                report ~code:"call-tir-out"
+                  "call_tir %s: output annotation %s is not a tensor" name
+                  (Struct_info.to_string si))
         | Some (Ir_module.Relax_func _) ->
-            report "call_tir target %s is a graph-level function" name
-        | None -> report "call_tir target %s not found in module" name)
+            report ~code:"call-tir-target"
+              "call_tir target %s is a graph-level function" name
+        | None ->
+            report ~code:"call-tir-target"
+              "call_tir target %s not found in module" name)
     | None -> ()
   in
-  let check_binding in_dataflow (b : Expr.binding) =
+  (* The defined set is threaded functionally so that [If] branch
+     bodies check under a branch-local scope: bindings inside a branch
+     do not leak into the other branch or the continuation. *)
+  let rec check_binding in_dataflow defined (b : Expr.binding) =
     let e = Expr.bound_expr b in
-    check_leaf_defined e;
+    check_leaf_defined defined e;
     check_call_tir e;
     (match e with
-    | Expr.If _ when in_dataflow ->
-        report "control flow (If) inside a dataflow block"
-    | Expr.Seq _ -> report "nested Seq in ANF binding"
+    | Expr.If { cond = _; then_; else_ } ->
+        if in_dataflow then
+          report ~code:"dataflow-if" "control flow (If) inside a dataflow block";
+        ignore (check_body defined then_);
+        ignore (check_body defined else_)
+    | Expr.Seq _ -> report ~code:"nested-seq" "nested Seq in ANF binding"
     | _ -> ());
     (match b with
     | Expr.Bind (v, e) -> (
@@ -65,16 +76,18 @@ let check_func mod_ fname (f : Expr.func) : violation list =
                 || Struct_info.subsumes recorded deduced
                 || Struct_info.subsumes deduced recorded)
             then
-              report
+              report ~code:"annot-mismatch"
                 "binding %s: recorded annotation %s is inconsistent with \
                  deduced %s"
                 (Rvar.name v)
                 (Struct_info.to_string recorded)
                 (Struct_info.to_string deduced)
-        | exception Deduce.Error msg -> report "deduction failed: %s" msg)
+        | exception Deduce.Error msg ->
+            report ~code:"deduce-fail" "deduction failed: %s" msg)
     | Expr.Match_cast (v, e, si) -> (
         if not (Struct_info.equal (Rvar.sinfo v) si) then
-          report "match_cast %s: variable annotation differs from cast target"
+          report ~code:"match-cast"
+            "match_cast %s: variable annotation differs from cast target"
             (Rvar.name v);
         (* The cast may refine or (rarely) coarsen; it must at least be
            rank-compatible when both sides know the rank. *)
@@ -82,23 +95,38 @@ let check_func mod_ fname (f : Expr.func) : violation list =
         | deduced -> (
             match (Struct_info.ndim deduced, Struct_info.ndim si) with
             | Some a, Some b when a <> b ->
-                report "match_cast %s: rank %d value cast to rank %d"
-                  (Rvar.name v) a b
+                report ~code:"match-cast"
+                  "match_cast %s: rank %d value cast to rank %d" (Rvar.name v)
+                  a b
             | _, _ -> ())
-        | exception Deduce.Error msg -> report "deduction failed: %s" msg));
-    defined := Rvar.Set.add (Expr.binding_var b) !defined
+        | exception Deduce.Error msg ->
+            report ~code:"deduce-fail" "deduction failed: %s" msg));
+    let v = Expr.binding_var b in
+    if Rvar.Set.mem v defined then
+      report ~code:"rebinding" "variable %s is bound more than once"
+        (Rvar.name v);
+    Rvar.Set.add v defined
+  and check_body defined (body : Expr.expr) =
+    match body with
+    | Expr.Seq { blocks; body } ->
+        let defined =
+          List.fold_left
+            (fun defined (block : Expr.block) ->
+              List.fold_left
+                (fun defined b -> check_binding block.Expr.dataflow defined b)
+                defined block.Expr.bindings)
+            defined blocks
+        in
+        check_leaf_defined defined body;
+        defined
+    | body ->
+        check_leaf_defined defined body;
+        defined
   in
-  (match f.Expr.body with
-  | Expr.Seq { blocks; body } ->
-      List.iter
-        (fun (block : Expr.block) ->
-          List.iter (check_binding block.Expr.dataflow) block.Expr.bindings)
-        blocks;
-      check_leaf_defined body
-  | body -> check_leaf_defined body);
+  ignore (check_body (Rvar.Set.of_list f.Expr.params) f.Expr.body);
   let leftover = Expr.free_sym_vars_of_func f in
   if not (Arith.Var.Set.is_empty leftover) then
-    report "unbound symbolic variable(s): %s"
+    report ~code:"unbound-sym" "unbound symbolic variable(s): %s"
       (String.concat ", "
          (List.map Arith.Var.name (Arith.Var.Set.elements leftover)));
   List.rev !violations
@@ -115,5 +143,7 @@ let assert_well_formed mod_ =
       failwith
         (String.concat "\n"
            (List.map
-              (fun v -> Printf.sprintf "[%s] %s" v.func v.message)
+              (fun (v : violation) ->
+                Printf.sprintf "[%s] %s" v.Analysis.Diag.func
+                  v.Analysis.Diag.message)
               violations))

@@ -1,13 +1,23 @@
 (** Structural well-formedness checking of cross-level modules.
 
-    Invoked by tests and (in debug pipelines) between passes. Checks:
-    ANF discipline, def-before-use of graph variables, purity of
-    dataflow blocks (no control flow inside), consistency of recorded
-    annotations with fresh forward deduction, [call_tir] callee
-    existence and arity against the tensor program's signature, and
-    closedness of symbolic variables. *)
+    Invoked by tests and (with [~verify:true]) between compiler
+    passes. Checks: ANF discipline, def-before-use of graph variables
+    (including inside [If] branch bodies, which check under a
+    branch-local scope), single-assignment (no variable bound twice),
+    purity of dataflow blocks (no control flow inside), consistency of
+    recorded annotations with fresh forward deduction, [call_tir]
+    callee existence and arity against the tensor program's signature,
+    and closedness of symbolic variables.
 
-type violation = { func : string; message : string }
+    Violations are reported as structured diagnostics
+    ({!Analysis.Diag.t}, always severity [Error]) so the same
+    rendering and per-pass attribution machinery serves both IR
+    levels. *)
+
+type violation = Analysis.Diag.t
+
+val check_func : Ir_module.t -> string -> Expr.func -> violation list
+(** Check one graph-level function ([string] is its module name). *)
 
 val check_module : Ir_module.t -> violation list
 (** Empty list iff the module is well-formed. *)

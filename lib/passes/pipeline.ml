@@ -33,9 +33,14 @@ let all_off =
     upper_bounds = [];
   }
 
-let lower ?(options = default_options) ~(device : Runtime.Device.t) mod_ =
-  let mod_ = Normalize.run mod_ in
-  let mod_ =
+type stage = {
+  stage_name : string;
+  run : Relax_core.Ir_module.t -> Relax_core.Ir_module.t;
+}
+
+let stages ~(options : options) ~(device : Runtime.Device.t) : stage list =
+  let on flag name run = if flag then [ { stage_name = name; run } ] else [] in
+  let dispatch =
     match
       (options.dispatch_library && Runtime.Device.has_library device,
        Runtime.Library.vendor_prefix device.Runtime.Device.backend)
@@ -49,34 +54,93 @@ let lower ?(options = default_options) ~(device : Runtime.Device.t) mod_ =
               Dispatch_library.default_patterns
           else Dispatch_library.default_patterns
         in
-        Dispatch_library.run ~patterns ~vendor mod_
-    | _, _ -> mod_
+        [ { stage_name = "dispatch-library";
+            run = Dispatch_library.run ~patterns ~vendor } ]
+    | _, _ -> []
   in
-  let mod_ = Legalize.run mod_ in
-  let mod_ = Annotate.run mod_ in
-  let mod_ =
-    if options.fusion then Fuse_tensorir.run (Fuse_ops.run mod_) else mod_
-  in
-  let mod_ = Dce.prune_unused_tir (Dce.run mod_) in
-  let mod_ =
-    if options.schedule_tensorir then
-      Relax_core.Ir_module.map_tir (fun _ f -> Tir.Schedule.auto_schedule f) mod_
-    else mod_
-  in
+  [ { stage_name = "normalize"; run = Normalize.run } ]
+  @ dispatch
+  @ [ { stage_name = "legalize"; run = Legalize.run };
+      { stage_name = "annotate"; run = Annotate.run } ]
+  @ on options.fusion "fuse"
+      (fun mod_ -> Fuse_tensorir.run (Fuse_ops.run mod_))
+  @ [ { stage_name = "dce";
+        run = (fun mod_ -> Dce.prune_unused_tir (Dce.run mod_)) } ]
+  @ on options.schedule_tensorir "schedule-tensorir"
+      (Relax_core.Ir_module.map_tir (fun _ f -> Tir.Schedule.auto_schedule f))
   (* Deduction runs between passes (§4.1): tighten annotations that
      transformations left coarser than a fresh forward deduction. *)
-  let mod_ = Renormalize.run mod_ in
-  let mod_ = if options.lift_workspace then Lift_workspace.run mod_ else mod_ in
-  let mod_ = Explicit_memory.run mod_ in
-  let mod_ =
-    if options.memory_plan then Memory_plan.run ~bounds:options.upper_bounds mod_
-    else mod_
-  in
-  let mod_ =
-    if options.graph_capture && device.Runtime.Device.supports_graph_capture
-    then Graph_capture.run mod_
-    else mod_
-  in
-  mod_
+  @ [ { stage_name = "renormalize"; run = Renormalize.run } ]
+  @ on options.lift_workspace "lift-workspace" Lift_workspace.run
+  @ [ { stage_name = "explicit-memory"; run = Explicit_memory.run } ]
+  @ on options.memory_plan "memory-plan"
+      (Memory_plan.run ~bounds:options.upper_bounds)
+  @ on
+      (options.graph_capture && device.Runtime.Device.supports_graph_capture)
+      "graph-capture" Graph_capture.run
 
-let compile ?options ~device mod_ = To_vm.compile (lower ?options ~device mod_)
+let rec take n = function
+  | x :: rest when n > 0 -> x :: take (n - 1) rest
+  | _ -> []
+
+(* Diagnostics introduced by a stage: keys whose occurrence count grew
+   relative to the stage's input. Keys are designed to survive kernel
+   renaming (they carry the diagnostic code, buffer and dimension, not
+   the function name), so fusion re-counting an inherited finding does
+   not re-attribute it. *)
+let fresh_against prev_tally diags =
+  List.concat_map
+    (fun (key, n) ->
+      let before =
+        match List.assoc_opt key prev_tally with Some k -> k | None -> 0
+      in
+      if n > before then
+        take (n - before)
+          (List.filter (fun d -> d.Analysis.Diag.key = key) diags)
+      else [])
+    (Analysis.Diag.tally diags)
+
+let lower_with_diags ?(options = default_options) ~(device : Runtime.Device.t)
+    mod_ =
+  let bounds = options.upper_bounds in
+  let prev = ref (Analysis.Diag.tally (Verify.check_module ~bounds mod_)) in
+  List.fold_left
+    (fun (mod_, acc) stage ->
+      let mod_ = stage.run mod_ in
+      let diags = Verify.check_module ~bounds mod_ in
+      let fresh =
+        List.map
+          (fun d -> Analysis.Diag.with_pass d stage.stage_name)
+          (fresh_against !prev diags)
+      in
+      prev := Analysis.Diag.tally diags;
+      (mod_, acc @ fresh))
+    (mod_, []) (stages ~options ~device)
+
+let lower ?(options = default_options) ?(verify = false)
+    ~(device : Runtime.Device.t) mod_ =
+  if not verify then
+    List.fold_left
+      (fun mod_ stage -> stage.run mod_)
+      mod_
+      (stages ~options ~device)
+  else begin
+    (match
+       Analysis.Diag.errors
+         (Verify.check_module ~bounds:options.upper_bounds mod_)
+     with
+    | [] -> ()
+    | errs ->
+        failwith
+          ("pipeline verification failed on the input module:\n"
+          ^ Analysis.Diag.render errs));
+    let mod_, diags = lower_with_diags ~options ~device mod_ in
+    match Analysis.Diag.errors diags with
+    | [] -> mod_
+    | errs ->
+        failwith
+          ("pipeline verification failed:\n" ^ Analysis.Diag.render errs)
+  end
+
+let compile ?options ?verify ~device mod_ =
+  To_vm.compile (lower ?options ?verify ~device mod_)

@@ -32,17 +32,43 @@ val default_options : options
 
 val all_off : options
 
+type stage = {
+  stage_name : string;
+  run : Relax_core.Ir_module.t -> Relax_core.Ir_module.t;
+}
+
+val stages : options:options -> device:Runtime.Device.t -> stage list
+(** The concrete stage list for one configuration, in execution
+    order. Disabled or device-inapplicable stages are absent. *)
+
 val compile :
   ?options:options ->
+  ?verify:bool ->
   device:Runtime.Device.t ->
   Relax_core.Ir_module.t ->
   Runtime.Vm.program
 (** Library dispatch only fires on devices with a vendor library;
-    graph capture only on devices supporting it. *)
+    graph capture only on devices supporting it. With [~verify:true]
+    the static verifier ({!Verify.check_module}) runs after every
+    stage and compilation fails (raising [Failure]) if any stage
+    introduces an [Error]-severity diagnostic. *)
 
 val lower :
   ?options:options ->
+  ?verify:bool ->
   device:Runtime.Device.t ->
   Relax_core.Ir_module.t ->
   Relax_core.Ir_module.t
 (** The IR-to-IR part of {!compile}, for inspection and tests. *)
+
+val lower_with_diags :
+  ?options:options ->
+  device:Runtime.Device.t ->
+  Relax_core.Ir_module.t ->
+  Relax_core.Ir_module.t * Analysis.Diag.t list
+(** Per-pass verification: runs the pipeline, re-checking the whole
+    module after every stage, and returns the diagnostics each stage
+    {e introduced} (keys absent from — or counted fewer times in —
+    the stage's input), attributed to that stage via
+    {!Analysis.Diag.with_pass}. Diagnostics already present in the
+    input module are attributed to no pass and not returned. *)

@@ -1,0 +1,17 @@
+let check_module ?(bounds = []) (mod_ : Relax_core.Ir_module.t) :
+    Analysis.Diag.t list =
+  let wf = Relax_core.Well_formed.check_module mod_ in
+  let tir =
+    List.concat_map
+      (fun (name, tf) ->
+        Analysis.Tir_safety.check ~bounds ~func:name tf
+        @ Analysis.Race.check ~bounds ~func:name tf)
+      (Relax_core.Ir_module.tir_funcs mod_)
+  in
+  wf @ tir
+
+let assert_clean ?bounds mod_ =
+  let diags = check_module ?bounds mod_ in
+  match Analysis.Diag.errors diags with
+  | [] -> ()
+  | _ -> failwith (Analysis.Diag.render diags)

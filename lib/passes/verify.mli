@@ -1,0 +1,22 @@
+(** Whole-module static verification.
+
+    Runs every analysis over a cross-level module: graph-level
+    structural well-formedness ({!Relax_core.Well_formed}) plus, for
+    each loop-level tensor program, memory safety
+    ({!Analysis.Tir_safety}) and parallel-race detection
+    ({!Analysis.Race}). Used standalone by the [--lint] driver and
+    between stages by {!Pipeline} when per-pass verification is
+    requested. *)
+
+val check_module :
+  ?bounds:(Arith.Var.t * int) list ->
+  Relax_core.Ir_module.t ->
+  Analysis.Diag.t list
+(** [bounds] are user-annotated upper bounds for symbolic shape
+    variables (same convention as {!Pipeline.options.upper_bounds});
+    unannotated variables are only assumed [>= 1]. *)
+
+val assert_clean :
+  ?bounds:(Arith.Var.t * int) list -> Relax_core.Ir_module.t -> unit
+(** @raise Failure rendering all diagnostics if any has severity
+    [Error]. Warnings are tolerated. *)
