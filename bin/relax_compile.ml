@@ -39,7 +39,7 @@ let usage_error fmt =
          continuous|static] [--seed N]\n\
         \                [--admission fcfs|deadline] [--deadline-ms MS] \
          [--retries N]\n\
-        \                [--faults P] [--fault-seed N]]\n";
+        \                [--faults P] [--fault-seed N] [--kv-share]]\n";
       exit 2)
     fmt
 
@@ -49,7 +49,7 @@ let usage_error fmt =
    model's max context. *)
 let run_serve cfg (device : Runtime.Device.t) precision ~max_batch ~rate
     ~requests ~policy_name ~seed ~admission_name ~deadline_ms ~retries
-    ~faults_p ~fault_seed ~trace ~profile =
+    ~faults_p ~fault_seed ~kv_share ~trace ~profile =
   let policy =
     match policy_name with
     | "continuous" -> Serve.Scheduler.Continuous
@@ -64,11 +64,26 @@ let run_serve cfg (device : Runtime.Device.t) precision ~max_batch ~rate
   in
   let mmax = cfg.Frontend.Configs.max_context in
   let workload =
-    Serve.Workload.generate ~seed ~rate_per_s:rate ~num_requests:requests
-      ~max_total:mmax
-      ~prompt:(Serve.Workload.Uniform (max 1 (mmax / 8), max 2 (mmax / 4)))
-      ~output:(Serve.Workload.Uniform (1, max 1 (mmax / 8)))
-      ()
+    if kv_share then
+      (* Prefix sharing needs requests with explicit token ids and
+         overlapping prompts, so --kv-share swaps the plain Poisson
+         stream for multi-turn chat sessions over one shared system
+         prompt ([rate] becomes the session arrival rate; [requests]
+         is split into ~4-turn sessions). *)
+      Serve.Workload.multi_turn_chat ~seed ~rate_per_s:rate
+        ~sessions:(max 1 ((requests + 3) / 4))
+        ~turns:(min 4 requests) ~vocab:cfg.Frontend.Configs.vocab
+        ~system_len:(max 4 (mmax / 8))
+        ~max_total:mmax
+        ~turn_user:(Serve.Workload.Uniform (max 1 (mmax / 32), max 2 (mmax / 16)))
+        ~output:(Serve.Workload.Uniform (1, max 1 (mmax / 16)))
+        ()
+    else
+      Serve.Workload.generate ~seed ~rate_per_s:rate ~num_requests:requests
+        ~max_total:mmax
+        ~prompt:(Serve.Workload.Uniform (max 1 (mmax / 8), max 2 (mmax / 4)))
+        ~output:(Serve.Workload.Uniform (1, max 1 (mmax / 8)))
+        ()
   in
   let workload =
     match deadline_ms with
@@ -98,6 +113,7 @@ let run_serve cfg (device : Runtime.Device.t) precision ~max_batch ~rate
       admission;
       retry = { Serve.Scheduler.default_retry with max_attempts = retries };
       faults;
+      kv_share;
     }
   in
   let recorder = if trace then Some (Runtime.Trace.recorder ()) else None in
@@ -160,8 +176,14 @@ let run_serve cfg (device : Runtime.Device.t) precision ~max_batch ~rate
         c.Runtime.Fault.stall_p c.Runtime.Fault.stall_factor
         c.Runtime.Fault.oom_p c.Runtime.Fault.nan_p
   | None -> ());
-  Printf.printf "workload         %d requests at %.1f req/s (seed %d)\n"
-    requests rate seed;
+  if kv_share then
+    Printf.printf
+      "workload         %d chat requests, sessions at %.1f/s (seed %d), \
+       shared system prompt\n"
+      (List.length workload) rate seed
+  else
+    Printf.printf "workload         %d requests at %.1f req/s (seed %d)\n"
+      requests rate seed;
   Printf.printf "KV blocks        %d x %d bytes\n"
     (Serve.Block_manager.total_blocks r.Serve.Scheduler.blocks)
     (Serve.Block_manager.block_bytes r.Serve.Scheduler.blocks);
@@ -169,7 +191,8 @@ let run_serve cfg (device : Runtime.Device.t) precision ~max_batch ~rate
 
 let run model_name device_name batch ctx quant dump_ir no_fusion no_library
     no_planning no_capture paged trace profile lint verify_passes json serve
-    rate requests policy seed admission deadline_ms retries faults fault_seed =
+    rate requests policy seed admission deadline_ms retries faults fault_seed
+    kv_share =
   let cfg =
     match List.assoc_opt model_name models with
     | Some cfg -> cfg
@@ -210,7 +233,8 @@ let run model_name device_name batch ctx quant dump_ir no_fusion no_library
     requires "deadline-ms" (deadline_ms <> None);
     requires "retries" (retries <> None);
     requires "faults" (faults <> None);
-    requires "fault-seed" (fault_seed <> None)
+    requires "fault-seed" (fault_seed <> None);
+    requires "kv-share" kv_share
   end;
   if json && not (lint || verify_passes) then
     usage_error "--json requires --lint or --verify-passes";
@@ -240,7 +264,7 @@ let run model_name device_name batch ctx quant dump_ir no_fusion no_library
     | _ -> ());
     run_serve cfg device precision ~max_batch:batch ~rate ~requests
       ~policy_name ~seed ~admission_name ~deadline_ms ~retries ~faults_p
-      ~fault_seed ~trace ~profile;
+      ~fault_seed ~kv_share ~trace ~profile;
     exit 0
   end;
   (* Memory planning sizes storages for the model's declared maximum
@@ -512,6 +536,19 @@ let fault_seed =
           "Serving: fault injector seed (default 0); same seed, same fault \
            schedule.")
 
+let kv_share =
+  Arg.(
+    value & flag
+    & info [ "kv-share" ]
+        ~doc:
+          "Serving: enable cross-request KV prefix sharing (refcounted \
+           blocks, prefix cache, copy-on-write forking) and switch the \
+           workload to multi-turn chat sessions over a shared system \
+           prompt so prefixes actually overlap. $(b,--rate) becomes the \
+           session arrival rate and $(b,--requests) is split into \
+           four-turn sessions. The metrics report gains prefix hit rate, \
+           shared/COW block counts and KV bytes per token.")
+
 let cmd =
   Cmd.v
     (Cmd.info "relax_compile" ~doc:"Compile and time a model from the zoo")
@@ -519,6 +556,6 @@ let cmd =
       const run $ model $ device $ batch $ ctx $ quant $ dump_ir $ no_fusion
       $ no_library $ no_planning $ no_capture $ paged $ trace $ profile
       $ lint $ verify_passes $ json $ serve $ rate $ requests $ policy $ seed
-      $ admission $ deadline_ms $ retries $ faults $ fault_seed)
+      $ admission $ deadline_ms $ retries $ faults $ fault_seed $ kv_share)
 
 let () = exit (Cmd.eval cmd)

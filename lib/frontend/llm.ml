@@ -383,13 +383,22 @@ let decode_paged (cfg : Configs.t) ~batch precision =
   in
   let len_i = declare decl "cur_len" (Struct_info.shape [ m ]) in
   let cache_is =
+    (* Sequenced lets: a tuple of two [declare] calls would evaluate
+       right-to-left and register v_cache before k_cache, silently
+       crossing the positional (k, v, k, v, ...) argument convention
+       every caller of this program relies on. *)
     List.init cfg.Configs.layers (fun l ->
-        ( declare decl
+        let ksi =
+          declare decl
             (Printf.sprintf "k_cache_%d" l)
-            (Struct_info.tensor [ bb; c kv; mmax; c d ] dt),
+            (Struct_info.tensor [ bb; c kv; mmax; c d ] dt)
+        in
+        let vsi =
           declare decl
             (Printf.sprintf "v_cache_%d" l)
-            (Struct_info.tensor [ bb; c kv; mmax; c d ] dt) ))
+            (Struct_info.tensor [ bb; c kv; mmax; c d ] dt)
+        in
+        (ksi, vsi))
   in
   let emb_i =
     declare decl "embedding" (Struct_info.tensor [ c cfg.Configs.vocab; c h ] dt)

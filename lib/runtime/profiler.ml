@@ -20,6 +20,9 @@ type serve_counts = {
   retries : int;
   aborts : int;
   degrades : int;
+  prefix_hits : int;
+  cow_copies : int;
+  kv_evictions : int;
 }
 
 type t = {
@@ -49,6 +52,9 @@ let zero_serve =
     retries = 0;
     aborts = 0;
     degrades = 0;
+    prefix_hits = 0;
+    cow_copies = 0;
+    kv_evictions = 0;
   }
 
 let create () =
@@ -139,7 +145,10 @@ let feed t (ev : Trace.event) =
         | `Timeout -> { s with sheds = s.sheds + 1; timeouts = s.timeouts + 1 }
         | `Retry -> { s with retries = s.retries + 1 }
         | `Abort -> { s with aborts = s.aborts + 1 }
-        | `Degrade -> { s with degrades = s.degrades + 1 })
+        | `Degrade -> { s with degrades = s.degrades + 1 }
+        | `Prefix_hit -> { s with prefix_hits = s.prefix_hits + 1 }
+        | `Cow_copy -> { s with cow_copies = s.cow_copies + 1 }
+        | `Evict -> { s with kv_evictions = s.kv_evictions + 1 })
   | Trace.Fault_injected { Fault.kind; _ } ->
       t.faults.(kind_idx kind) <- t.faults.(kind_idx kind) + 1
   | Trace.Exit _ | Trace.Instr_begin _ | Trace.Instr_end _ | Trace.Bind_shape _
@@ -225,6 +234,11 @@ let report ?(top = 0) t =
          "resilience: %d shed (%d timed out), %d retries, %d aborted, %d \
           degrades\n"
          s.sheds s.timeouts s.retries s.aborts s.degrades);
+  if s.prefix_hits + s.cow_copies + s.kv_evictions > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "kv sharing: %d prefix hits, %d cow copies, %d evictions\n"
+         s.prefix_hits s.cow_copies s.kv_evictions);
   if faults_injected t > 0 then
     Buffer.add_string buf
       (Printf.sprintf "faults: %d injected (%s)\n" (faults_injected t)

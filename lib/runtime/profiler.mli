@@ -40,6 +40,9 @@ type serve_counts = {
   retries : int;
   aborts : int;
   degrades : int;
+  prefix_hits : int;  (** [`Prefix_hit]: admissions served from the prefix cache *)
+  cow_copies : int;  (** [`Cow_copy]: writes into shared blocks that copied *)
+  kv_evictions : int;  (** [`Evict]: cached refcount-0 blocks reclaimed *)
 }
 (** Counts of {!Trace.Serve} events by tag (all zero unless a serving
     engine fed its events into this profiler). *)

@@ -56,7 +56,10 @@ and serve_tag =
   | `Timeout
   | `Retry
   | `Abort
-  | `Degrade ]
+  | `Degrade
+  | `Prefix_hit
+  | `Cow_copy
+  | `Evict ]
 
 type sink = event -> unit
 
@@ -71,6 +74,9 @@ let serve_tag_name = function
   | `Retry -> "retry"
   | `Abort -> "abort"
   | `Degrade -> "degrade"
+  | `Prefix_hit -> "prefix_hit"
+  | `Cow_copy -> "cow_copy"
+  | `Evict -> "evict"
 
 let shapes_str shapes =
   shapes |> Array.to_list

@@ -110,7 +110,14 @@ type event =
           attempts consumed so far), [`Abort] (retry budget exhausted
           or request infeasible for the KV budget), [`Degrade]
           (persistent device stall shrank the effective batch; [batch]
-          = new effective max batch, [id] = -1). *)
+          = new effective max batch, [id] = -1).
+
+          KV prefix-sharing tags: [`Prefix_hit] (admission served
+          [tokens] prompt tokens from the shared prefix cache),
+          [`Cow_copy] (a write into a shared block copy-on-wrote;
+          [tokens] = copies made), [`Evict] (cached refcount-0 blocks
+          reclaimed under pool pressure; [tokens] = blocks evicted,
+          [id] = -1). Never emitted when sharing is off. *)
   | Fault_injected of Fault.event
       (** A {!Fault} injector fired at this point of the stream. The
           event precedes the consequence it causes (failed launch,
@@ -127,14 +134,18 @@ and serve_tag =
   | `Timeout
   | `Retry
   | `Abort
-  | `Degrade ]
+  | `Degrade
+  | `Prefix_hit
+  | `Cow_copy
+  | `Evict ]
 
 type sink = event -> unit
 
 val serve_tag_name : serve_tag -> string
 (** Short stable name ("arrive", "prefill", "decode_step", "preempt",
-    "finish", "shed", "timeout", "retry", "abort", "degrade") used by
-    renderings and the profiler report. *)
+    "finish", "shed", "timeout", "retry", "abort", "degrade",
+    "prefix_hit", "cow_copy", "evict") used by renderings and the
+    profiler report. *)
 
 val to_string : event -> string
 (** One-line rendering including timing fields. *)

@@ -1,10 +1,53 @@
+(* Refcounted paged KV blocks with a token-keyed prefix tree and
+   copy-on-write forking (vLLM paging + SGLang/RadixAttention-style
+   prefix reuse), behind the same admission-control surface the
+   scheduler always used. With [sharing = false] the manager behaves
+   exactly like the pre-sharing block accountant: every block has
+   refcount 1, nothing is cached across requests, release frees. *)
+
+type block = {
+  storage : int;  (** allocator storage id *)
+  mutable refs : int;
+  mutable node : node option;
+      (** back-pointer into the prefix tree when this block caches a
+          full block of prompt tokens *)
+}
+
+(* One tree node = one full block of token ids. A path from the root
+   spells a token prefix in block_size chunks. Children are keyed by
+   their own chunk. *)
+and node = {
+  ntokens : int array;  (** exactly block_size token ids *)
+  nblock : block;
+  nparent : node option;
+  nchildren : (int array, node) Hashtbl.t;
+  mutable nlast_use : int;  (** LRU stamp; larger = more recent *)
+}
+
+type stats = {
+  cow_copies : int;
+  hit_tokens : int;
+  lookup_tokens : int;
+  evictions : int;
+}
+
 type t = {
   alloc : Runtime.Allocator.t;
   block_size : int;
   block_bytes : int;
   total_blocks : int;
-  mutable used : int;
-  held : (int, int list) Hashtbl.t;  (** request id -> storage ids *)
+  sharing : bool;
+  mutable used : int;  (** physically resident blocks (refs > 0 or cached) *)
+  mutable reclaimable : int;  (** cached tree blocks with refs = 0 *)
+  held : (int, block list) Hashtbl.t;
+      (** request id -> blocks in position order (block i covers token
+          positions [i*block_size, (i+1)*block_size)) *)
+  root : (int array, node) Hashtbl.t;
+  mutable stamp : int;
+  mutable cow_copies : int;
+  mutable hit_tokens : int;
+  mutable lookup_tokens : int;
+  mutable evictions : int;
 }
 
 let default_budget (cfg : Frontend.Configs.t) ~precision
@@ -15,9 +58,12 @@ let default_budget (cfg : Frontend.Configs.t) ~precision
   in
   int_of_float ((device.Runtime.Device.vram_gb *. 1e9 *. 0.9) -. weights)
 
-let create ?kv_budget_bytes ~(cfg : Frontend.Configs.t) ~precision ~block_size
-    ~device alloc =
-  if block_size <= 0 then invalid_arg "Block_manager.create: block_size <= 0";
+let create ?kv_budget_bytes ?(sharing = false) ~(cfg : Frontend.Configs.t)
+    ~precision ~block_size ~device alloc =
+  if block_size <= 0 then
+    invalid_arg
+      (Printf.sprintf "Block_manager.create: block_size must be >= 1 (got %d)"
+         block_size);
   let block_bytes =
     2 * cfg.Frontend.Configs.layers * cfg.Frontend.Configs.kv_heads
     * cfg.Frontend.Configs.head_dim * block_size
@@ -32,54 +78,378 @@ let create ?kv_budget_bytes ~(cfg : Frontend.Configs.t) ~precision ~block_size
   if total_blocks <= 0 then
     invalid_arg
       (Printf.sprintf
-         "Block_manager.create: budget %d B fits no %d B block (weights \
-          exceed VRAM?)"
-         budget block_bytes);
+         "Block_manager.create: one %d-token KV block needs %d B but only %d \
+          B of budget is available (%d B short%s)"
+         block_size block_bytes (max 0 budget)
+         (block_bytes - budget)
+         (if budget < 0 then "; model weights alone exceed device VRAM"
+          else ""));
   {
     alloc;
     block_size;
     block_bytes;
     total_blocks;
+    sharing;
     used = 0;
+    reclaimable = 0;
     held = Hashtbl.create 64;
+    root = Hashtbl.create 64;
+    stamp = 0;
+    cow_copies = 0;
+    hit_tokens = 0;
+    lookup_tokens = 0;
+    evictions = 0;
   }
 
 let block_size t = t.block_size
 let block_bytes t = t.block_bytes
 let total_blocks t = t.total_blocks
 let used_blocks t = t.used
+let cached_blocks t = t.reclaimable
 let free_blocks t = t.total_blocks - t.used
+let available_blocks t = t.total_blocks - t.used + t.reclaimable
+let sharing t = t.sharing
 let blocks_for t tokens = (tokens + t.block_size - 1) / t.block_size
+
+let stats t =
+  {
+    cow_copies = t.cow_copies;
+    hit_tokens = t.hit_tokens;
+    lookup_tokens = t.lookup_tokens;
+    evictions = t.evictions;
+  }
 
 let holds t ~request_id =
   match Hashtbl.find_opt t.held request_id with
   | None -> 0
-  | Some ids -> List.length ids
+  | Some bs -> List.length bs
+
+let logical_blocks t =
+  Hashtbl.fold (fun _ bs acc -> acc + List.length bs) t.held 0
+
+let touch t node =
+  t.stamp <- t.stamp + 1;
+  node.nlast_use <- t.stamp
+
+(* ---------- eviction ---------- *)
+
+let rec all_nodes_of node acc =
+  Hashtbl.fold (fun _ c acc -> all_nodes_of c acc) node.nchildren (node :: acc)
+
+let all_nodes t =
+  Hashtbl.fold (fun _ n acc -> all_nodes_of n acc) t.root []
+
+let detach t node =
+  (match node.nparent with
+  | Some p -> Hashtbl.remove p.nchildren node.ntokens
+  | None -> Hashtbl.remove t.root node.ntokens);
+  node.nblock.node <- None
+
+(* Evict the least-recently-used cached leaf: a tree node whose block
+   has refcount 0 and no children. Because every request that
+   references a block also references its whole prefix path, a
+   refcount-0 node's descendants are all refcount 0, so whenever
+   [reclaimable > 0] such a leaf exists. *)
+let evict_one t =
+  let best = ref None in
+  List.iter
+    (fun n ->
+      if n.nblock.refs = 0 && Hashtbl.length n.nchildren = 0 then
+        match !best with
+        | Some b when b.nlast_use <= n.nlast_use -> ()
+        | _ -> best := Some n)
+    (all_nodes t);
+  match !best with
+  | None -> false
+  | Some n ->
+      detach t n;
+      Runtime.Allocator.free t.alloc n.nblock.storage;
+      t.used <- t.used - 1;
+      t.reclaimable <- t.reclaimable - 1;
+      t.evictions <- t.evictions + 1;
+      true
+
+(* Allocate one fresh private block, evicting cached blocks (LRU
+   leaves first) when the pool is pressed. None = genuinely full. *)
+let alloc_block t =
+  if t.used >= t.total_blocks && not (evict_one t) then None
+  else begin
+    let storage = Runtime.Allocator.alloc t.alloc t.block_bytes in
+    t.used <- t.used + 1;
+    Some { storage; refs = 1; node = None }
+  end
+
+let rec alloc_blocks t n acc =
+  if n = 0 then Some (List.rev acc)
+  else
+    match alloc_block t with
+    | None ->
+        (* Roll back: the caller sees an all-or-nothing failure. *)
+        List.iter
+          (fun b ->
+            Runtime.Allocator.free t.alloc b.storage;
+            t.used <- t.used - 1)
+          acc;
+        None
+    | Some b -> alloc_blocks t (n - 1) (b :: acc)
+
+(* ---------- refcount transitions ---------- *)
+
+let ref_block t b =
+  if b.refs = 0 && b.node <> None then t.reclaimable <- t.reclaimable - 1;
+  b.refs <- b.refs + 1
+
+let unref_block t b =
+  b.refs <- b.refs - 1;
+  if b.refs = 0 then
+    if b.node <> None then t.reclaimable <- t.reclaimable + 1
+    else begin
+      Runtime.Allocator.free t.alloc b.storage;
+      t.used <- t.used - 1
+    end
+
+(* ---------- prefix tree ---------- *)
+
+let chunk prompt i bs = Array.sub prompt (i * bs) bs
+
+(* Longest cached prefix of [prompt], in whole blocks, capped at
+   [max_blocks]. Only full blocks participate: a prefix that ends
+   mid-block must not share that block, because decode (or a longer
+   prompt) will write into it. *)
+let match_prefix t prompt ~max_blocks =
+  let bs = t.block_size in
+  let full = min max_blocks (Array.length prompt / bs) in
+  let rec go i table acc =
+    if i >= full then List.rev acc
+    else
+      match Hashtbl.find_opt table (chunk prompt i bs) with
+      | None -> List.rev acc
+      | Some n ->
+          touch t n;
+          go (i + 1) n.nchildren (n :: acc)
+  in
+  go 0 t.root []
+
+(* Insert [blocks] (the request's blocks, position order) for the full
+   prompt blocks not already in the tree, hanging them off the matched
+   path. Skips insertion when an equal chunk already exists (a race
+   between two admissions of the same prompt — the later one keeps its
+   private block un-cached rather than aliasing). *)
+let insert_prefix t prompt blocks ~matched =
+  let bs = t.block_size in
+  let full = Array.length prompt / bs in
+  let parent = ref None in
+  let table = ref t.root in
+  List.iteri
+    (fun i b ->
+      if i < full then
+        if i < matched then begin
+          match Hashtbl.find_opt !table (chunk prompt i bs) with
+          | Some n ->
+              parent := Some n;
+              table := n.nchildren
+          | None -> ()
+        end
+        else if b.node = None && not (Hashtbl.mem !table (chunk prompt i bs))
+        then begin
+          let n =
+            {
+              ntokens = chunk prompt i bs;
+              nblock = b;
+              nparent = !parent;
+              nchildren = Hashtbl.create 4;
+              nlast_use = 0;
+            }
+          in
+          touch t n;
+          b.node <- Some n;
+          Hashtbl.replace !table n.ntokens n;
+          parent := Some n;
+          table := n.nchildren
+        end)
+    blocks
+
+(* ---------- the scheduler-facing operations ---------- *)
+
+let acquire t ~request_id ~prompt ~tokens =
+  let want = blocks_for t tokens in
+  let have = holds t ~request_id in
+  if have > 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Block_manager.acquire: request %d already holds %d blocks"
+         request_id have);
+  if want = 0 then `Ok 0
+  else if not t.sharing || Array.length prompt < t.block_size then begin
+    (* No sharing possible: want fresh private blocks. *)
+    if want > available_blocks t then `No_space
+    else
+      match alloc_blocks t want [] with
+      | None -> `No_space
+      | Some bs ->
+          Hashtbl.replace t.held request_id bs;
+          if t.sharing then begin
+            t.lookup_tokens <- t.lookup_tokens + Array.length prompt;
+            insert_prefix t prompt bs ~matched:0
+          end;
+          `Ok 0
+  end
+  else begin
+    let matched = match_prefix t prompt ~max_blocks:want in
+    let m = List.length matched in
+    (* Take the shared refs first so eviction for the fresh suffix can
+       never reclaim the blocks we just matched. *)
+    List.iter (fun n -> ref_block t n.nblock) matched;
+    let need = want - m in
+    if need > available_blocks t then begin
+      List.iter (fun n -> unref_block t n.nblock) matched;
+      `No_space
+    end
+    else
+      match alloc_blocks t need [] with
+      | None ->
+          List.iter (fun n -> unref_block t n.nblock) matched;
+          `No_space
+      | Some fresh ->
+          let bs = List.map (fun n -> n.nblock) matched @ fresh in
+          Hashtbl.replace t.held request_id bs;
+          t.lookup_tokens <- t.lookup_tokens + Array.length prompt;
+          t.hit_tokens <- t.hit_tokens + (m * t.block_size);
+          insert_prefix t prompt bs ~matched:m;
+          `Ok (m * t.block_size)
+  end
 
 let grow t ~request_id ~tokens =
   let want = blocks_for t tokens in
-  let have = holds t ~request_id in
-  let delta = want - have in
-  if delta <= 0 then true
-  else if delta > free_blocks t then false
-  else begin
-    let fresh =
-      List.init delta (fun _ -> Runtime.Allocator.alloc t.alloc t.block_bytes)
-    in
-    let prev =
-      Option.value ~default:[] (Hashtbl.find_opt t.held request_id)
-    in
-    Hashtbl.replace t.held request_id (fresh @ prev);
-    t.used <- t.used + delta;
-    true
+  let have_list =
+    Option.value ~default:[] (Hashtbl.find_opt t.held request_id)
+  in
+  let have = List.length have_list in
+  if want > have then begin
+    (* The written position lands in a fresh private block. *)
+    let delta = want - have in
+    if delta > available_blocks t then false
+    else
+      match alloc_blocks t delta [] with
+      | None -> false
+      | Some fresh ->
+          Hashtbl.replace t.held request_id (have_list @ fresh);
+          true
   end
+  else if tokens = 0 then true
+  else begin
+    (* Growing within already-held blocks: the write position may sit
+       in a block shared with another holder (a forked sibling or the
+       prefix cache) — copy on write, charged to this request. *)
+    let idx = (tokens - 1) / t.block_size in
+    match List.nth_opt have_list idx with
+    | None -> true
+    | Some b when b.refs <= 1 && b.node = None -> true
+    | Some b -> (
+        (* refs > 1, or refs = 1 but cached in the tree (a future
+           match could alias it): give the writer a private copy. *)
+        match alloc_block t with
+        | None -> false
+        | Some fresh ->
+            Hashtbl.replace t.held request_id
+              (List.mapi
+                 (fun i b' -> if i = idx then fresh else b')
+                 have_list);
+            unref_block t b;
+            t.cow_copies <- t.cow_copies + 1;
+            true)
+  end
+
+let fork t ~parent ~child =
+  match Hashtbl.find_opt t.held parent with
+  | None | Some [] -> false
+  | Some pblocks ->
+      if holds t ~request_id:child > 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Block_manager.fork: child %d already holds blocks" child);
+      if t.sharing then begin
+        List.iter (fun b -> ref_block t b) pblocks;
+        Hashtbl.replace t.held child pblocks;
+        true
+      end
+      else begin
+        let n = List.length pblocks in
+        if n > available_blocks t then false
+        else
+          match alloc_blocks t n [] with
+          | None -> false
+          | Some fresh ->
+              Hashtbl.replace t.held child fresh;
+              true
+      end
 
 let release t ~request_id =
   match Hashtbl.find_opt t.held request_id with
   | None -> ()
-  | Some ids ->
-      List.iter (Runtime.Allocator.free t.alloc) ids;
+  | Some bs ->
       Hashtbl.remove t.held request_id;
-      t.used <- t.used - List.length ids
+      List.iter (fun b -> unref_block t b) bs
+
+let drop_cache t =
+  List.iter
+    (fun n ->
+      n.nblock.node <- None;
+      if n.nblock.refs = 0 then begin
+        Runtime.Allocator.free t.alloc n.nblock.storage;
+        t.used <- t.used - 1;
+        t.reclaimable <- t.reclaimable - 1
+      end)
+    (all_nodes t);
+  Hashtbl.reset t.root
+
+(* ---------- self-audit (the refcount-invariant test suite) ---------- *)
+
+let check_invariants t =
+  let err fmt = Printf.ksprintf (fun m -> Some m) fmt in
+  (* Census of every distinct resident block: held by requests and/or
+     cached in the tree. *)
+  let seen : (int, block) Hashtbl.t = Hashtbl.create 64 in
+  let see b = Hashtbl.replace seen b.storage b in
+  Hashtbl.iter (fun _ bs -> List.iter see bs) t.held;
+  List.iter (fun n -> see n.nblock) (all_nodes t);
+  let distinct = Hashtbl.length seen in
+  let held_entries =
+    Hashtbl.fold (fun _ bs acc -> acc + List.length bs) t.held 0
+  in
+  let ref_sum = Hashtbl.fold (fun _ b acc -> acc + b.refs) seen 0 in
+  let cached0 =
+    Hashtbl.fold
+      (fun _ b acc -> if b.refs = 0 && b.node <> None then acc + 1 else acc)
+      seen 0
+  in
+  let orphans =
+    Hashtbl.fold
+      (fun _ b acc -> if b.refs = 0 && b.node = None then acc + 1 else acc)
+      seen 0
+  in
+  if orphans > 0 then
+    err "%d resident blocks have refcount 0 but are not cached (leak)" orphans
+  else if ref_sum <> held_entries then
+    err "refcount sum %d <> live block references %d" ref_sum held_entries
+  else if distinct <> t.used then
+    err "census found %d resident blocks but used = %d" distinct t.used
+  else if cached0 <> t.reclaimable then
+    err "%d cached refcount-0 blocks but reclaimable = %d" cached0
+      t.reclaimable
+  else if t.used > t.total_blocks then
+    err "used %d exceeds total %d" t.used t.total_blocks
+  else begin
+    (* Allocator accounting: exactly the resident blocks back live
+       storage; everything else ever allocated sits in the pool. *)
+    let backing =
+      Runtime.Allocator.live_bytes t.alloc
+      - Runtime.Allocator.pool_free_bytes t.alloc
+    in
+    if backing <> t.used * t.block_bytes then
+      err "allocator backs %d B but %d resident blocks need %d B" backing
+        t.used (t.used * t.block_bytes)
+    else None
+  end
 
 let allocator t = t.alloc

@@ -1,12 +1,30 @@
-(** Paged KV-cache block accounting (the vLLM-style allocator the
-    paper's serving evaluation assumes).
+(** Paged KV-cache block accounting with cross-request prefix sharing
+    (the vLLM-style allocator the paper's serving evaluation assumes,
+    extended with SGLang/RadixAttention-style prefix reuse).
 
     Each request's KV cache is stored in fixed-size blocks of
     [block_size] token positions; a block holds K and V for every
     layer and kv-head of the model. Blocks are drawn from a
     [`Pooling] {!Runtime.Allocator}, so freed blocks stay resident
-    and are recycled exactly — {!Runtime.Allocator.pool_free_bytes}
-    exposes the recyclable pool the admission check consults.
+    and are recycled exactly.
+
+    With [sharing = true] every block is {b refcounted} and full
+    blocks of prompt tokens are cached in a {b prefix tree} keyed on
+    token ids: {!acquire} matches a new request's prompt against the
+    tree and shares the longest cached prefix (in whole blocks — a
+    prefix that ends mid-block never shares that block, because it
+    will be written), charging the request only for the unshared
+    suffix. Finished or preempted requests {!release} their
+    {e references}; blocks whose refcount drops to 0 but that cache a
+    prompt prefix stay resident and evictable, and are reclaimed
+    LRU-leaf-first when the pool is pressed. {!fork} lets a request
+    share another's entire cache (best-of-n sampling); a write into a
+    block with refcount > 1 triggers {b copy-on-write} inside {!grow},
+    charged to the writer.
+
+    With [sharing = false] (the default) behavior is exactly the
+    pre-sharing accountant: every block private, nothing cached,
+    {!release} frees, {!fork} copies.
 
     The block budget defaults to the device's VRAM minus the model's
     weight footprint (with 10% headroom for activations), matching
@@ -16,36 +34,116 @@ type t
 
 val create :
   ?kv_budget_bytes:int ->
+  ?sharing:bool ->
   cfg:Frontend.Configs.t ->
   precision:Frontend.Llm.precision ->
   block_size:int ->
   device:Runtime.Device.t ->
   Runtime.Allocator.t ->
   t
-(** The allocator should be [`Pooling]; [kv_budget_bytes] overrides
-    the VRAM-derived default (useful for tests).
-    @raise Invalid_argument if the budget fits no block at all. *)
+(** The allocator should be [`Pooling] and exclusively owned by this
+    manager; [kv_budget_bytes] overrides the VRAM-derived default
+    (useful for tests). [sharing] defaults to [false].
+    @raise Invalid_argument if the budget fits no block at all; the
+    message reports the per-block byte requirement against the
+    available budget. *)
 
 val block_size : t -> int
 val block_bytes : t -> int
 (** 2 (K,V) x layers x kv_heads x head_dim x block_size x f16. *)
 
 val total_blocks : t -> int
-val free_blocks : t -> int
+
 val used_blocks : t -> int
+(** Physically resident blocks: referenced by at least one request,
+    or cached (refcount 0) in the prefix tree. *)
+
+val cached_blocks : t -> int
+(** Resident blocks with refcount 0 held only by the prefix tree —
+    reclaimable on demand. Always 0 when sharing is off. *)
+
+val free_blocks : t -> int
+(** [total_blocks - used_blocks]: physically free right now. *)
+
+val available_blocks : t -> int
+(** [free_blocks + cached_blocks]: what an allocation can actually
+    obtain, counting evictable cache. *)
+
+val logical_blocks : t -> int
+(** Sum of per-request holdings (shared blocks counted once per
+    holder). [logical - used_referenced] is the sharing saving;
+    {e KV-bytes-per-token} divides physical bytes by logical
+    token-capacity. *)
+
+val sharing : t -> bool
 val blocks_for : t -> int -> int
 (** Blocks needed to hold [tokens] cache positions. *)
 
 val holds : t -> request_id:int -> int
-(** Blocks currently held by a request (0 if none). *)
+(** Blocks currently held (referenced) by a request (0 if none). *)
+
+type stats = {
+  cow_copies : int;  (** private copies made by writes to shared blocks *)
+  hit_tokens : int;  (** prompt tokens served from the prefix cache *)
+  lookup_tokens : int;  (** prompt tokens presented to {!acquire} *)
+  evictions : int;  (** cached blocks reclaimed under pressure *)
+}
+
+val stats : t -> stats
+(** Monotone counters since [create]. *)
+
+val acquire :
+  t -> request_id:int -> prompt:int array -> tokens:int -> [ `Ok of int | `No_space ]
+(** Admission: give the request blocks for [tokens] cache positions,
+    sharing the longest prefix of [prompt] (token ids) cached in the
+    tree and allocating the rest fresh; the request's full prompt
+    blocks are then inserted into the tree for later arrivals.
+    Returns [`Ok matched_tokens] (0 when sharing is off, the prompt
+    is shorter than a block, or nothing matched). [`No_space]: the
+    unshared suffix does not fit even after evicting reclaimable
+    cache — nothing is allocated or referenced.
+
+    The request must hold nothing (fresh admission, or re-admission
+    after a {!release}-ing preemption).
+    @raise Invalid_argument if it already holds blocks. *)
 
 val grow : t -> request_id:int -> tokens:int -> bool
 (** Ensure the request holds enough blocks for [tokens] positions,
-    allocating the delta. Returns [false] (and allocates nothing) if
-    the free pool cannot cover it — the caller preempts or defers. *)
+    allocating the delta; when position [tokens - 1] falls in a block
+    shared with another holder (or cached in the tree), the request
+    gets a private copy-on-write copy charged to its own budget.
+    Returns [false] (and changes nothing) if the pool — including
+    evictable cache — cannot cover it: the caller preempts or
+    defers. *)
+
+val fork : t -> parent:int -> child:int -> bool
+(** Share (sharing on: refcount, O(1) memory) or duplicate (sharing
+    off: fresh blocks) the parent's entire current holding into the
+    child — best-of-n / beam forking of decode state. The child's
+    first divergent write copy-on-writes the shared tail block.
+    Returns [false] if the parent holds nothing or (sharing off) the
+    copy does not fit.
+    @raise Invalid_argument if the child already holds blocks. *)
 
 val release : t -> request_id:int -> unit
-(** Free all of a request's blocks back to the pool (preemption or
-    completion). No-op if it holds none. *)
+(** Drop all of a request's {e references} (preemption or
+    completion). Unshared, uncached blocks return to the pool; blocks
+    still referenced elsewhere live on; cached prompt blocks whose
+    refcount drops to 0 stay resident in the prefix tree for future
+    sharing. No-op if it holds none. *)
+
+val drop_cache : t -> unit
+(** Evict the whole prefix tree: refcount-0 cached blocks are freed,
+    still-referenced blocks stay with their holders but are no longer
+    shareable. After releasing every request and dropping the cache,
+    [used_blocks = 0]. *)
+
+val check_invariants : t -> string option
+(** Structural self-audit: the sum of refcounts equals the number of
+    live per-request block references, the resident-block census
+    equals [used_blocks], refcount-0 blocks are exactly the cached
+    ones ([cached_blocks], no leaks), and allocator live-minus-pool
+    bytes back exactly the resident blocks. [None] = all invariants
+    hold; [Some msg] describes the first violation. *)
 
 val allocator : t -> Runtime.Allocator.t

@@ -29,6 +29,9 @@ type summary = {
   timeouts : int;
   aborted : int;
   faults : int;
+  prefix_hit_rate : float;
+  cow_copies : int;
+  kv_bytes_per_token : float;
 }
 
 let percentile p xs =
@@ -50,7 +53,8 @@ let met_deadline r =
   match r.deadline_us with None -> true | Some d -> r.finish_us <= d
 
 let summarize ~makespan_us ~occupancy ?submitted ?(shed = 0) ?(timeouts = 0)
-    ?(aborted = 0) ?(faults = 0) rs =
+    ?(aborted = 0) ?(faults = 0) ?(prefix_hit_rate = 0.0) ?(cow_copies = 0)
+    ?(kv_bytes_per_token = 0.0) rs =
   let tokens = List.fold_left (fun acc r -> acc + r.tokens) 0 rs in
   let ttft = List.map (fun r -> r.first_token_us -. r.arrival_us) rs in
   let e2e = List.map (fun r -> r.finish_us -. r.arrival_us) rs in
@@ -91,6 +95,9 @@ let summarize ~makespan_us ~occupancy ?submitted ?(shed = 0) ?(timeouts = 0)
     timeouts;
     aborted;
     faults;
+    prefix_hit_rate;
+    cow_copies;
+    kv_bytes_per_token;
   }
 
 let to_string s =
@@ -128,4 +135,17 @@ let to_string s =
       ]
     else []
   in
-  String.concat "\n" (base @ resilience)
+  (* Sharing line only when the prefix cache actually did something,
+     so sharing-off reports are byte-identical to the old engine. *)
+  let sharing =
+    if s.cow_copies > 0 || s.prefix_hit_rate > 0.0 then
+      [
+        Printf.sprintf
+          "kv sharing:  %.0f%% prompt tokens from cache, %d cow copies, %.1f \
+           KV bytes/token"
+          (s.prefix_hit_rate *. 100.0)
+          s.cow_copies s.kv_bytes_per_token;
+      ]
+    else []
+  in
+  String.concat "\n" (base @ resilience @ sharing)

@@ -47,6 +47,17 @@ type summary = {
   timeouts : int;  (** subset of [shed]: deadline already passed *)
   aborted : int;  (** gave up mid-flight: retry budget or infeasible *)
   faults : int;  (** fault events injected during the run *)
+  prefix_hit_rate : float;
+      (** prompt tokens served from the shared prefix cache / total
+          prompt tokens looked up, in [0, 1]; 0 when sharing is off *)
+  cow_copies : int;  (** copy-on-write block copies made by shared writers *)
+  kv_bytes_per_token : float;
+      (** time-averaged physical KV bytes per logical cached token:
+          integral of resident block bytes over the run divided by the
+          integral of logical (per-request) cached tokens. Equals
+          bytes-per-token of one block exactly when nothing is shared;
+          sharing pushes it below that. 0 when the engine didn't
+          measure it. *)
 }
 
 val percentile : float -> float list -> float
@@ -61,14 +72,19 @@ val summarize :
   ?timeouts:int ->
   ?aborted:int ->
   ?faults:int ->
+  ?prefix_hit_rate:float ->
+  ?cow_copies:int ->
+  ?kv_bytes_per_token:float ->
   request_metrics list ->
   summary
 (** The optional resilience counters default to 0 ([submitted]
     defaults to [completed + shed + aborted]), so fault-free callers
-    get the same summary as the pre-fault engine. *)
+    get the same summary as the pre-fault engine. The sharing fields
+    likewise default to 0, matching a sharing-off run. *)
 
 val to_string : summary -> string
 (** Multi-line human-readable report (printed by [--serve]). The
     resilience/goodput lines appear only when something
     resilience-related happened (shed/abort/retry/fault > 0 or
-    SLO attainment < 100%). *)
+    SLO attainment < 100%); the kv-sharing line only when the prefix
+    cache hit or copy-on-wrote at least once. *)

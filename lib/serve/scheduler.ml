@@ -17,6 +17,7 @@ type opts = {
   admission : admission;
   retry : retry;
   faults : Runtime.Fault.config option;
+  kv_share : bool;
 }
 
 let default_opts =
@@ -28,6 +29,7 @@ let default_opts =
     admission = Fcfs;
     retry = default_retry;
     faults = None;
+    kv_share = false;
   }
 
 type exec = [ `Sim | `Numeric of int ]
@@ -180,9 +182,18 @@ let numeric_ctx m seed =
     seed;
   }
 
+(* Numeric prompt ids. A request carrying explicit [prompt_tokens]
+   (the shared-prefix workload generators) feeds exactly those ids
+   (mod vocab), so requests with equal prompts produce equal KV and
+   equal greedy continuations — the property that makes accounting-
+   level prefix sharing sound. Requests without ids keep the legacy
+   seed-derived stream bit-for-bit. *)
 let prompt_tokens (nx : numeric) vocab (req : Workload.request) =
-  let st = Random.State.make [| nx.seed; req.Workload.id |] in
-  List.init req.Workload.prompt_len (fun _ -> Random.State.int st vocab)
+  match req.Workload.prompt_tokens with
+  | Some toks -> List.map (fun t -> ((t mod vocab) + vocab) mod vocab) toks
+  | None ->
+      let st = Random.State.make [| nx.seed; req.Workload.id |] in
+      List.init req.Workload.prompt_len (fun _ -> Random.State.int st vocab)
 
 let argmax_token logits =
   let n = Base.Ndarray.numel logits in
@@ -258,6 +269,7 @@ type result = {
   completed : Metrics.request_metrics list;
   summary : Metrics.summary;
   logits : (int * Base.Ndarray.t) list;
+  token_streams : (int * int list) list;
   clock_us : float;
   blocks : Block_manager.t;
   shed : int list;
@@ -296,8 +308,9 @@ let run ?trace ?(exec = `Sim) m opts workload =
   let nx = match exec with `Sim -> None | `Numeric seed -> Some (numeric_ctx m seed) in
   let alloc = Runtime.Allocator.create `Pooling in
   let bm =
-    Block_manager.create ?kv_budget_bytes:opts.kv_budget_bytes ~cfg
-      ~precision:m.precision ~block_size:opts.block_size ~device:m.device alloc
+    Block_manager.create ?kv_budget_bytes:opts.kv_budget_bytes
+      ~sharing:opts.kv_share ~cfg ~precision:m.precision
+      ~block_size:opts.block_size ~device:m.device alloc
   in
   let emit tag ~id ~t_us ~batch ~tokens =
     match trace with
@@ -305,11 +318,34 @@ let run ?trace ?(exec = `Sim) m opts workload =
     | Some sink -> sink (Runtime.Trace.Serve { tag; id; t_us; batch; tokens })
   in
   let clock = ref 0.0 in
+  (* KV-bytes-per-token integrals: referenced physical blocks (used
+     minus reclaimable refcount-0 cache — the cache is free headroom,
+     not a holding cost) and logical per-request holdings, each
+     integrated over simulated time. Every clock advance goes through
+     [advance_to] so the integrals cover the whole run. With sharing
+     off, cached is always 0 and every logical block has its own
+     physical block, so the ratio is exactly block_bytes/block_size. *)
+  let kv_phys_block_us = ref 0.0 and kv_logical_block_us = ref 0.0 in
+  let advance_to t =
+    let dt = t -. !clock in
+    if dt > 0.0 then begin
+      kv_phys_block_us :=
+        !kv_phys_block_us
+        +. (float_of_int
+              (Block_manager.used_blocks bm - Block_manager.cached_blocks bm)
+           *. dt);
+      kv_logical_block_us :=
+        !kv_logical_block_us
+        +. (float_of_int (Block_manager.logical_blocks bm) *. dt);
+      clock := t
+    end
+  in
   let arrivals = ref workload in
   let waiting = ref [] in
   let running = ref [] in
   let completed = ref [] in
   let logits_out = ref [] in
+  let streams_out = ref [] in
   let shed_ids = ref [] in
   let aborted_ids = ref [] in
   let timeouts = ref 0 in
@@ -365,11 +401,47 @@ let run ?trace ?(exec = `Sim) m opts workload =
             true
         | None -> false)
   in
+  (* Copy-on-write and eviction happen inside the block manager; the
+     trace stream recovers them by diffing its monotone counters
+     around each call. *)
+  let diff_block_events ~id before =
+    let after = Block_manager.stats bm in
+    if after.Block_manager.cow_copies > before.Block_manager.cow_copies then
+      emit `Cow_copy ~id ~t_us:!clock ~batch:(List.length !running)
+        ~tokens:(after.Block_manager.cow_copies - before.Block_manager.cow_copies);
+    if after.Block_manager.evictions > before.Block_manager.evictions then
+      emit `Evict ~id:(-1) ~t_us:!clock ~batch:(List.length !running)
+        ~tokens:(after.Block_manager.evictions - before.Block_manager.evictions)
+  in
   (* Injected OOM makes a grow fail exactly as block exhaustion does:
      the caller's admission-control / preemption path handles it. *)
   let try_grow ~site ~request_id ~tokens =
     if draw_oom site then false
-    else Block_manager.grow bm ~request_id ~tokens
+    else begin
+      let before = Block_manager.stats bm in
+      let ok = Block_manager.grow bm ~request_id ~tokens in
+      diff_block_events ~id:request_id before;
+      ok
+    end
+  in
+  (* Token ids the prefix tree matches on: only requests that carry
+     explicit prompt tokens can share. *)
+  let prompt_arr (req : Workload.request) =
+    match req.Workload.prompt_tokens with
+    | Some toks -> Array.of_list toks
+    | None -> [||]
+  in
+  let try_acquire ~site (r : rstate) ~tokens =
+    if draw_oom site then `No_space
+    else begin
+      let before = Block_manager.stats bm in
+      let res =
+        Block_manager.acquire bm ~request_id:r.req.Workload.id
+          ~prompt:(prompt_arr r.req) ~tokens
+      in
+      diff_block_events ~id:r.req.Workload.id before;
+      res
+    end
   in
   (* ---- graceful degradation: persistent device stall shrinks the
      effective batch (admission width), sustained clean steps restore
@@ -440,6 +512,8 @@ let run ?trace ?(exec = `Sim) m opts workload =
     (match r.last_logits with
     | Some l -> logits_out := (r.req.Workload.id, l) :: !logits_out
     | None -> ());
+    if r.history <> [] then
+      streams_out := (r.req.Workload.id, r.history) :: !streams_out;
     completed :=
       {
         Metrics.id = r.req.Workload.id;
@@ -587,6 +661,29 @@ let run ?trace ?(exec = `Sim) m opts workload =
     in
     go [] !waiting
   in
+  (* Best-of-n forking: a child whose parent is still decoding shares
+     (sharing on, O(1) memory) or duplicates (sharing off) the
+     parent's whole KV and inherits its decode state — no prefill
+     runs and no time is charged, so sharing on and off schedule
+     identically whenever both paths fit. A child whose parent is
+     already gone (or whose copy does not fit) falls back to a normal
+     prefill of its own prompt; greedy decoding makes either path
+     produce a prefix of the same continuation. *)
+  let try_fork (r : rstate) =
+    match r.req.Workload.fork_of with
+    | Some pid when r.cache_len = 0 -> (
+        match
+          List.find_opt (fun (p : rstate) -> p.req.Workload.id = pid) !running
+        with
+        | Some p
+          when p.cache_len > 0 && Block_manager.holds bm ~request_id:pid > 0 ->
+            if draw_oom "kv-admit" then `Oom
+            else if Block_manager.fork bm ~parent:pid ~child:r.req.Workload.id
+            then `Forked p
+            else `Fresh (* sharing off and the copy doesn't fit *)
+        | _ -> `Fresh)
+    | _ -> `Fresh
+  in
   (* Admit one eligible request: charge its (re-)prefill, produce the
      first token if fresh. [`Blocked]: no eligible request or its
      blocks don't fit (admission control; no preemption here).
@@ -595,18 +692,45 @@ let run ?trace ?(exec = `Sim) m opts workload =
   let admit_one () =
     match split_eligible () with
     | None -> `Blocked
-    | Some (prefix, r, rest) ->
+    | Some (prefix, r, rest) -> (
+        match try_fork r with
+        | `Oom -> `Blocked
+        | `Forked p ->
+            waiting := prefix @ rest;
+            r.cache_len <- p.cache_len;
+            r.generated <- 1;
+            r.first_token_us <- !clock;
+            r.history <- p.history;
+            r.last_logits <- p.last_logits;
+            (match nx with
+            | None -> ()
+            | Some _ ->
+                (* Private numeric caches: sharing is block accounting,
+                   the tiny-model tensors stay per-request. *)
+                r.ncaches <-
+                  List.map
+                    (fun v ->
+                      Runtime.Vm.tensor
+                        (Base.Ndarray.copy (Runtime.Vm.value_tensor v)))
+                    p.ncaches);
+            if opts.kv_share then
+              emit `Prefix_hit ~id:r.req.Workload.id ~t_us:!clock
+                ~batch:(List.length !running) ~tokens:r.cache_len;
+            if r.generated >= r.req.Workload.output_len then finish r
+            else running := !running @ [ r ];
+            `Admitted
+        | `Fresh ->
         let target =
           if r.cache_len = 0 then r.req.Workload.prompt_len else r.cache_len
         in
-        if
-          not
-            (try_grow ~site:"kv-admit" ~request_id:r.req.Workload.id
-               ~tokens:target)
-        then `Blocked
-        else begin
+        match try_acquire ~site:"kv-admit" r ~tokens:target with
+        | `No_space -> `Blocked
+        | `Ok matched ->
+          if matched > 0 then
+            emit `Prefix_hit ~id:r.req.Workload.id ~t_us:!clock
+              ~batch:(List.length !running) ~tokens:matched;
           let dt = prefill_cost target *. stall_mult "prefill" in
-          clock := !clock +. dt;
+          advance_to (!clock +. dt);
           if draw_kernel_fail "prefill" then begin
             (* Transient prefill failure: the time is wasted, the
                blocks are released between attempts, and the request
@@ -662,8 +786,7 @@ let run ?trace ?(exec = `Sim) m opts workload =
               running := !running @ [ r ]
             end;
             `Admitted
-          end
-        end
+          end)
   in
   (* Returns true if this round made progress: admitted a request,
      consumed a (failed) attempt, or pruned the queue. Admitted
@@ -756,7 +879,7 @@ let run ?trace ?(exec = `Sim) m opts workload =
       let base_dt = decode_cost ~live:cost_batch ~ctx in
       let mult = stall_mult "decode" in
       let dt = base_dt *. mult in
-      clock := !clock +. dt;
+      advance_to (!clock +. dt);
       if draw_kernel_fail "decode" then begin
         (* Whole-step transient failure: the step's time is wasted and
            no tokens advance; the next loop iteration retries. Charged
@@ -808,7 +931,7 @@ let run ?trace ?(exec = `Sim) m opts workload =
       match !arrivals with
       | [] -> ()
       | (r : Workload.request) :: _ ->
-          clock := max !clock r.Workload.arrival_us;
+          advance_to (max !clock r.Workload.arrival_us);
           loop ()
     else begin
       let progressed = admit () in
@@ -824,7 +947,7 @@ let run ?trace ?(exec = `Sim) m opts workload =
         match (!arrivals, opts.policy) with
         | (r : Workload.request) :: _, Static ->
             (* waiting for the cohort to fill *)
-            clock := max !clock r.Workload.arrival_us;
+            advance_to (max !clock r.Workload.arrival_us);
             loop ()
         | _ ->
             (* Idle machine, nothing admissible. With faults armed (or
@@ -849,7 +972,7 @@ let run ?trace ?(exec = `Sim) m opts workload =
                 if next > !clock && next < Float.infinity then next
                 else !clock +. opts.retry.backoff_us
               in
-              clock := next;
+              advance_to next;
               loop ()
             end
             else
@@ -868,6 +991,20 @@ let run ?trace ?(exec = `Sim) m opts workload =
   let faults =
     match inj with Some i -> Runtime.Fault.injected_total i | None -> 0
   in
+  let bstats = Block_manager.stats bm in
+  let prefix_hit_rate =
+    if bstats.Block_manager.lookup_tokens > 0 then
+      float_of_int bstats.Block_manager.hit_tokens
+      /. float_of_int bstats.Block_manager.lookup_tokens
+    else 0.0
+  in
+  let kv_bytes_per_token =
+    if !kv_logical_block_us > 0.0 then
+      !kv_phys_block_us
+      *. float_of_int (Block_manager.block_bytes bm)
+      /. (!kv_logical_block_us *. float_of_int opts.block_size)
+    else 0.0
+  in
   {
     completed;
     summary =
@@ -876,8 +1013,11 @@ let run ?trace ?(exec = `Sim) m opts workload =
         ~shed:(List.length !shed_ids)
         ~timeouts:!timeouts
         ~aborted:(List.length !aborted_ids)
-        ~faults completed;
+        ~faults ~prefix_hit_rate
+        ~cow_copies:bstats.Block_manager.cow_copies ~kv_bytes_per_token
+        completed;
     logits = List.rev !logits_out;
+    token_streams = List.rev !streams_out;
     clock_us = !clock;
     blocks = bm;
     shed = List.rev !shed_ids;

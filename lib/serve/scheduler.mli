@@ -48,7 +48,30 @@
     ([`Shed]) are rejected, protecting the SLO of the rest — the
     chaos benchmark shows this beating FCFS under overload. Requests
     whose KV need exceeds the whole budget are aborted (typed) at the
-    same point under either admission policy. *)
+    same point under either admission policy.
+
+    {2 KV prefix sharing}
+
+    [opts.kv_share = true] turns on {!Block_manager} prefix sharing:
+    admission matches a request's [Workload.prompt_tokens] against the
+    cross-request prefix tree and charges only the unshared suffix of
+    blocks ([`Prefix_hit]); decode writes into shared blocks copy on
+    write ([`Cow_copy]); cached refcount-0 blocks are evicted LRU
+    under pool pressure ([`Evict]); and a [Workload.fork_of] child
+    whose parent is still decoding inherits the parent's blocks and
+    decode state outright instead of prefilling. Sharing is {e block
+    accounting only}: the full prefill cost is still charged (and in
+    numeric mode the prefill still runs, over per-request tensors), so
+    with a budget generous enough that neither run sheds or preempts,
+    sharing on and off make identical scheduling decisions — the
+    differential test suite asserts token streams, finish order and
+    the final clock coincide. Under a tight budget sharing admits
+    requests the baseline must reject, so only per-request token
+    streams remain comparable. What sharing buys is memory:
+    [summary.kv_bytes_per_token] (physical block bytes integrated
+    over time, per logical cached token) drops below the
+    one-block-per-holder baseline, and the freed blocks become
+    admission headroom. *)
 
 type policy = Continuous | Static
 
@@ -84,11 +107,15 @@ type opts = {
           fault-free engine. [Some c]: seeded injection; note that a
           config with [oom_p = 1.0] can livelock admission (every
           grow fails forever) — chaos probabilities should be < 1. *)
+  kv_share : bool;
+      (** cross-request KV prefix sharing with copy-on-write blocks
+          (see above). [false]: the block manager is the pre-sharing
+          private-block accountant, byte-identical behavior. *)
 }
 
 val default_opts : opts
 (** Continuous, max_batch 8, block_size 16, VRAM-derived budget,
-    FCFS admission, {!default_retry}, no faults. *)
+    FCFS admission, {!default_retry}, no faults, no sharing. *)
 
 type model
 (** Compiled programs + memoized step costs for one (config,
@@ -111,6 +138,11 @@ type result = {
   summary : Metrics.summary;
   logits : (int * Base.Ndarray.t) list;
       (** numeric mode: each request's final logits *)
+  token_streams : (int * int list) list;
+      (** numeric mode: each completed request's full token history
+          (prompt ids then generated ids), in completion order — what
+          the sharing-on/off differential tests compare. Empty in
+          [`Sim] runs. *)
   clock_us : float;  (** simulated makespan *)
   blocks : Block_manager.t;
       (** the run's block manager, post-drain (tests assert
@@ -130,7 +162,8 @@ val run :
 (** Serve the workload to completion. [trace] receives the
     {!Runtime.Trace.Serve} event stream ([Request_arrive] / [Prefill]
     / [Decode_step] / [Preempt] / [Finish], plus [Shed] / [Timeout] /
-    [Retry] / [Abort] / [Degrade] on the resilience paths) and
+    [Retry] / [Abort] / [Degrade] on the resilience paths, plus
+    [Prefix_hit] / [Cow_copy] / [Evict] when [kv_share] is on) and
     {!Runtime.Trace.Fault_injected} markers when injection is armed.
 
     Raising conditions (all {!Runtime.Fault.Error}):

@@ -4,6 +4,8 @@ type request = {
   prompt_len : int;
   output_len : int;
   deadline_us : float option;
+  prompt_tokens : int list option;
+  fork_of : int option;
 }
 
 type dist = Fixed of int | Uniform of int * int
@@ -40,10 +42,221 @@ let generate ~seed ~rate_per_s ~num_requests ?max_total ?deadline_slack ~prompt
         | None -> None
         | Some d -> Some (!clock +. float_of_int (max 1 (sample st d)))
       in
-      { id; arrival_us = !clock; prompt_len = p; output_len = o; deadline_us })
+      {
+        id;
+        arrival_us = !clock;
+        prompt_len = p;
+        output_len = o;
+        deadline_us;
+        prompt_tokens = None;
+        fork_of = None;
+      })
 
 let with_deadline ~slack_us t =
   List.map (fun r -> { r with deadline_us = Some (r.arrival_us +. slack_us) }) t
 
 let total_output_tokens t =
   List.fold_left (fun acc r -> acc + r.output_len) 0 t
+
+(* ---------- shared-prefix scenario generators ---------- *)
+
+(* Re-id a generated batch in arrival order (the scheduler and the
+   FCFS tests rely on id = arrival rank), remapping fork parents
+   through the renumbering. Stable sort keeps generation order for
+   simultaneous arrivals, so a fork child can never be renumbered
+   ahead of its parent. *)
+let finalize reqs =
+  let sorted =
+    List.stable_sort (fun a b -> compare a.arrival_us b.arrival_us) reqs
+  in
+  let remap = Hashtbl.create (List.length sorted) in
+  List.iteri (fun i r -> Hashtbl.replace remap r.id i) sorted;
+  List.mapi
+    (fun i r ->
+      {
+        r with
+        id = i;
+        fork_of = Option.map (fun p -> Hashtbl.find remap p) r.fork_of;
+      })
+    sorted
+
+let exp_gap st rate_per_s =
+  let u = Random.State.float st 1.0 in
+  -.log (1.0 -. u) /. rate_per_s *. 1e6
+
+let draw_tokens st vocab n = List.init n (fun _ -> Random.State.int st vocab)
+
+let deadline_of st deadline_slack arrival =
+  match deadline_slack with
+  | None -> None
+  | Some d -> Some (arrival +. float_of_int (max 1 (sample st d)))
+
+let multi_turn_chat ~seed ~rate_per_s ~sessions ~turns ?(vocab = 256)
+    ?(system_len = 32) ?(think_time_us = 200_000.0) ?max_total ?deadline_slack
+    ~turn_user ~output () =
+  if rate_per_s <= 0.0 then
+    invalid_arg "Workload.multi_turn_chat: rate must be > 0";
+  if sessions < 1 || turns < 1 then
+    invalid_arg "Workload.multi_turn_chat: sessions and turns must be >= 1";
+  if vocab < 1 then invalid_arg "Workload.multi_turn_chat: vocab must be >= 1";
+  let st = Random.State.make [| seed; 0x6d74 |] in
+  (* One system prompt shared verbatim by every session: the
+     cross-request prefix the sharing cache exists for. *)
+  let system = draw_tokens st vocab system_len in
+  let clock = ref 0.0 in
+  let reqs = ref [] in
+  let next_id = ref 0 in
+  for _ = 1 to sessions do
+    clock := !clock +. exp_gap st rate_per_s;
+    let t = ref !clock in
+    let history = ref system in
+    (try
+       for _ = 1 to turns do
+         let user = draw_tokens st vocab (max 1 (sample st turn_user)) in
+         let prompt = !history @ user in
+         let o = max 1 (sample st output) in
+         let plen = List.length prompt in
+         (match max_total with
+         | Some m when plen + o > m -> raise Exit  (* session outgrew ctx *)
+         | _ -> ());
+         reqs :=
+           {
+             id = !next_id;
+             arrival_us = !t;
+             prompt_len = plen;
+             output_len = o;
+             deadline_us = deadline_of st deadline_slack !t;
+             prompt_tokens = Some prompt;
+             fork_of = None;
+           }
+           :: !reqs;
+         incr next_id;
+         (* The next turn's prompt embeds a synthetic assistant reply
+            of the same length the engine will generate, so successive
+            turns share a strictly growing prefix. *)
+         history := prompt @ draw_tokens st vocab o;
+         t := !t +. exp_gap st (1e6 /. think_time_us)
+       done
+     with Exit -> ())
+  done;
+  finalize !reqs
+
+let bursty ~seed ~base_rate_per_s ~burst_rate_per_s ~period_s ~duty
+    ~num_requests ?(vocab = 256) ?(shared_prefix_len = 0) ?max_total
+    ?deadline_slack ~prompt ~output () =
+  if base_rate_per_s <= 0.0 || burst_rate_per_s <= 0.0 then
+    invalid_arg "Workload.bursty: rates must be > 0";
+  if period_s <= 0.0 || duty <= 0.0 || duty >= 1.0 then
+    invalid_arg "Workload.bursty: need period > 0 and duty in (0, 1)";
+  let st = Random.State.make [| seed; 0x6275 |] in
+  let shared =
+    if shared_prefix_len > 0 then draw_tokens st vocab shared_prefix_len
+    else []
+  in
+  let period_us = period_s *. 1e6 in
+  let burst_us = duty *. period_us in
+  (* Piecewise-constant Poisson process: each period opens with a
+     burst phase at [burst_rate], then relaxes to [base_rate]. The
+     exponential is memoryless, so a draw that crosses a phase
+     boundary is simply restarted at the boundary with the new rate. *)
+  let clock = ref 0.0 in
+  let next_arrival () =
+    let rec go () =
+      let phase = Float.rem !clock period_us in
+      let in_burst = phase < burst_us in
+      let rate = if in_burst then burst_rate_per_s else base_rate_per_s in
+      let boundary =
+        !clock -. phase +. (if in_burst then burst_us else period_us)
+      in
+      let dt = exp_gap st rate in
+      if !clock +. dt > boundary then begin
+        clock := boundary;
+        go ()
+      end
+      else clock := !clock +. dt
+    in
+    go ()
+  in
+  List.init num_requests (fun id ->
+      next_arrival ();
+      let p = max 1 (sample st prompt) in
+      let o = max 1 (sample st output) in
+      let p, o =
+        match max_total with
+        | None -> (p, o)
+        | Some m ->
+            let p = min p (max 1 (m - 1)) in
+            (p, min o (max 1 (m - p)))
+      in
+      let suffix = draw_tokens st vocab (max 0 (p - List.length shared)) in
+      let tokens = List.filteri (fun i _ -> i < p) shared @ suffix in
+      {
+        id;
+        arrival_us = !clock;
+        prompt_len = p;
+        output_len = o;
+        deadline_us = deadline_of st deadline_slack !clock;
+        prompt_tokens = Some tokens;
+        fork_of = None;
+      })
+
+let best_of_n ~seed ~rate_per_s ~groups ~n ?(vocab = 256)
+    ?(fork_delay_us = 1_000.0) ?max_total ?deadline_slack ~prompt ~output () =
+  if rate_per_s <= 0.0 then invalid_arg "Workload.best_of_n: rate must be > 0";
+  if groups < 1 || n < 1 then
+    invalid_arg "Workload.best_of_n: groups and n must be >= 1";
+  let st = Random.State.make [| seed; 0x626f |] in
+  let clock = ref 0.0 in
+  let reqs = ref [] in
+  let next_id = ref 0 in
+  for _ = 1 to groups do
+    clock := !clock +. exp_gap st rate_per_s;
+    let p = max 1 (sample st prompt) in
+    let o = max 1 (sample st output) in
+    let p, o =
+      match max_total with
+      | None -> (p, o)
+      | Some m ->
+          let p = min p (max 1 (m - 1)) in
+          (p, min o (max 1 (m - p)))
+    in
+    let tokens = draw_tokens st vocab p in
+    let parent_id = !next_id in
+    reqs :=
+      {
+        id = parent_id;
+        arrival_us = !clock;
+        prompt_len = p;
+        output_len = o;
+        deadline_us = deadline_of st deadline_slack !clock;
+        prompt_tokens = Some tokens;
+        fork_of = None;
+      }
+      :: !reqs;
+    incr next_id;
+    (* n-1 samples fork the parent's decode state mid-stream; each
+       staggers a little further into the parent's generation. If the
+       parent has already finished (or was never admitted) when a
+       child reaches admission, the child falls back to prefilling the
+       same prompt — either way the token content is shared. *)
+    for k = 1 to n - 1 do
+      let at = !clock +. (float_of_int k *. fork_delay_us) in
+      let o_child = max 1 (sample st output) in
+      let o_child =
+        match max_total with Some m -> min o_child (max 1 (m - p)) | None -> o_child
+      in
+      reqs :=
+        {
+          id = !next_id;
+          arrival_us = at;
+          prompt_len = p;
+          output_len = o_child;
+          deadline_us = deadline_of st deadline_slack at;
+          prompt_tokens = Some tokens;
+          fork_of = Some parent_id;
+        }
+        :: !reqs;
+      incr next_id
+    done
+  done;
+  finalize !reqs

@@ -4,7 +4,16 @@
     times) and prompt/output lengths are drawn from configurable
     distributions, all from one explicitly seeded PRNG — the same seed
     always yields the same workload, which the golden serving tests
-    and the benchmark sweep rely on. *)
+    and the benchmark sweep rely on.
+
+    Beyond the plain Poisson stream ({!generate}), three scenario
+    generators exercise cross-request KV prefix sharing: multi-turn
+    chat over a shared system prompt ({!multi_turn_chat}), bursty
+    diurnal arrivals with an optional shared prefix ({!bursty}), and
+    best-of-n sampling that forks a parent's decode state mid-stream
+    ({!best_of_n}). These attach explicit [prompt_tokens], which is
+    what the block manager's prefix tree matches on — requests without
+    token ids never share. *)
 
 type request = {
   id : int;  (** 0-based arrival order *)
@@ -16,6 +25,19 @@ type request = {
           should finish by this time. [None] = best-effort (always
           counts as meeting its SLO). Deadline-aware schedulers shed
           requests that cannot meet it. *)
+  prompt_tokens : int list option;
+      (** explicit prompt token ids (length = [prompt_len]). [Some]:
+          the prefix cache can match and cache this prompt; numeric
+          execution feeds exactly these ids (mod vocab). [None]: the
+          request never participates in sharing and numeric mode
+          derives ids from the run seed as before. *)
+  fork_of : int option;
+      (** [Some p]: this request is a best-of-n sample forking request
+          [p]'s decode state. If [p] still holds its KV when this
+          request is admitted, admission shares (or, sharing off,
+          copies) [p]'s blocks and inherits its stream instead of
+          prefilling; otherwise it falls back to a normal prefill of
+          its own [prompt_tokens]. *)
 }
 
 type dist =
@@ -43,9 +65,86 @@ val generate :
     (clamped to >= 1) and sets [deadline_us = arrival_us + slack].
     Omitted: deadlines are [None] and the PRNG stream is identical to
     pre-deadline workloads (the slack draw is skipped entirely), so
-    seeded workloads reproduce bit-for-bit.
+    seeded workloads reproduce bit-for-bit. [prompt_tokens] and
+    [fork_of] are always [None] here.
 
     @raise Invalid_argument when [rate_per_s <= 0]. *)
+
+val multi_turn_chat :
+  seed:int ->
+  rate_per_s:float ->
+  sessions:int ->
+  turns:int ->
+  ?vocab:int ->
+  ?system_len:int ->
+  ?think_time_us:float ->
+  ?max_total:int ->
+  ?deadline_slack:dist ->
+  turn_user:dist ->
+  output:dist ->
+  unit ->
+  t
+(** Chat sessions over one {e shared} system prompt of [system_len]
+    tokens (default 32, drawn once — identical across all sessions).
+    Sessions start as a Poisson process at [rate_per_s]; each runs
+    [turns] turns whose prompts accumulate the whole conversation:
+    turn k's prompt is the previous prompt plus a synthetic assistant
+    reply (as long as the engine will actually generate) plus a fresh
+    user message of [turn_user] tokens. Successive turns of a session
+    therefore share a strictly growing prefix, and all sessions share
+    the system prompt. Turn arrivals are spaced by exponential think
+    times with mean [think_time_us] (default 200 ms). Sessions stop
+    early once a turn would exceed [max_total]. Token ids are drawn
+    uniformly from [vocab] (default 256).
+
+    @raise Invalid_argument on non-positive rate/sessions/turns/vocab. *)
+
+val bursty :
+  seed:int ->
+  base_rate_per_s:float ->
+  burst_rate_per_s:float ->
+  period_s:float ->
+  duty:float ->
+  num_requests:int ->
+  ?vocab:int ->
+  ?shared_prefix_len:int ->
+  ?max_total:int ->
+  ?deadline_slack:dist ->
+  prompt:dist ->
+  output:dist ->
+  unit ->
+  t
+(** Diurnal traffic: a piecewise-constant Poisson process that opens
+    each [period_s]-second period with a burst phase lasting
+    [duty] of the period at [burst_rate_per_s], then relaxes to
+    [base_rate_per_s]. Every request carries explicit prompt tokens;
+    the first [shared_prefix_len] of them (default 0 = disjoint
+    prompts) are one shared prefix drawn once, modelling a common
+    template under load spikes.
+
+    @raise Invalid_argument on non-positive rates, period <= 0, or
+    duty outside (0, 1). *)
+
+val best_of_n :
+  seed:int ->
+  rate_per_s:float ->
+  groups:int ->
+  n:int ->
+  ?vocab:int ->
+  ?fork_delay_us:float ->
+  ?max_total:int ->
+  ?deadline_slack:dist ->
+  prompt:dist ->
+  output:dist ->
+  unit ->
+  t
+(** [groups] parent requests arriving Poisson at [rate_per_s], each
+    followed by [n - 1] samples with [fork_of = Some parent] arriving
+    [fork_delay_us] apart (default 1 ms — mid-stream of the parent's
+    decode at typical step costs). Samples carry the parent's prompt
+    tokens for the fallback path.
+
+    @raise Invalid_argument on non-positive rate/groups/n. *)
 
 val with_deadline : slack_us:float -> t -> t
 (** Stamp every request with [deadline_us = arrival_us + slack_us].

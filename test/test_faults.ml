@@ -237,6 +237,7 @@ let opts ?(max_batch = 2) ?(block_size = 4) ?(policy = Serve.Scheduler.Continuou
     retry = Option.value retry ~default:Serve.Scheduler.default_retry;
     faults;
     kv_budget_bytes = Option.map (fun b -> b * block_bytes) budget_blocks;
+    kv_share = false;
   }
 
 let workload ?(seed = 7) ?(rate = 50_000.0) ?(n = 6) ?deadline_slack_us () =
@@ -514,6 +515,8 @@ let test_typed_errors () =
             prompt_len = tiny.Frontend.Configs.max_context;
             output_len = tiny.Frontend.Configs.max_context;
             deadline_us = None;
+            prompt_tokens = None;
+            fork_of = None;
           };
         ]);
   (* The taxonomy has a stable printed form. *)

@@ -15,9 +15,9 @@ let model =
   lazy (Serve.Scheduler.model ~cfg:tiny ~precision:Frontend.Llm.F16 ~device)
 
 let opts ?(max_batch = 2) ?(block_size = 4) ?(policy = Serve.Scheduler.Continuous)
-    ?budget_blocks () =
+    ?budget_blocks ?(kv_share = false) ?faults () =
   (* tiny block @ size 4: 2 (K,V) x 2 layers x 2 kv_heads x 4 head_dim
-     x 4 positions x 2 B = 512 B *)
+     x 4 positions x 2 B = 256 B *)
   let block_bytes =
     2 * tiny.Frontend.Configs.layers * tiny.Frontend.Configs.kv_heads
     * tiny.Frontend.Configs.head_dim * block_size * 2
@@ -28,6 +28,8 @@ let opts ?(max_batch = 2) ?(block_size = 4) ?(policy = Serve.Scheduler.Continuou
     block_size;
     policy;
     kv_budget_bytes = Option.map (fun b -> b * block_bytes) budget_blocks;
+    kv_share;
+    faults;
   }
 
 let workload ?(seed = 7) ?(rate = 50_000.0) ?(n = 6) () =
@@ -204,6 +206,8 @@ let test_preempted_finish () =
         prompt_len = 6;
         output_len = 6;
         deadline_us = None;
+        prompt_tokens = None;
+        fork_of = None;
       };
       {
         Serve.Workload.id = 1;
@@ -211,6 +215,8 @@ let test_preempted_finish () =
         prompt_len = 6;
         output_len = 6;
         deadline_us = None;
+        prompt_tokens = None;
+        fork_of = None;
       };
     ]
   in
@@ -324,6 +330,251 @@ let test_workload_reproducible () =
         <= tiny.Frontend.Configs.max_context))
     w1
 
+(* ---------- KV prefix sharing: the differential suite ----------
+
+   Sharing is block accounting only (full prefill cost is still
+   charged, numeric tensors stay per-request), so with a budget
+   generous enough that neither run hits [`No_space], kv_share on and
+   off must make bit-identical scheduling decisions — and in every
+   case, a request's generated tokens are determined by its prompt
+   alone (greedy decoding over deterministic weights), so token
+   streams must agree wherever both runs complete a request, across
+   seeds, fault injection and preemption pressure. *)
+
+type share_scenario = {
+  sseed : int;
+  skind : int;  (* 0 = multi-turn chat, 1 = best-of-n, 2 = bursty *)
+  stight : bool;  (* 4-block budget (preemption pressure) vs 64 *)
+  schaos : bool;  (* seeded fault injection *)
+}
+
+let print_share s =
+  Printf.sprintf "{seed=%d %s %s%s}" s.sseed
+    (match s.skind with 0 -> "chat" | 1 -> "best-of-n" | _ -> "bursty")
+    (if s.stight then "tight" else "generous")
+    (if s.schaos then " chaos" else "")
+
+let gen_share =
+  QCheck.Gen.(
+    let* sseed = int_range 0 500 in
+    let* skind = int_range 0 2 in
+    let* stight = bool in
+    let* schaos = bool in
+    return { sseed; skind; stight; schaos })
+
+let arb_share = QCheck.make ~print:print_share gen_share
+
+(* tiny max_context is 16, so prompts are kept small; block size 4
+   means the 4-token chat system prompt is exactly one shareable
+   block. *)
+let share_workload s =
+  match s.skind with
+  | 0 ->
+      Serve.Workload.multi_turn_chat ~seed:s.sseed ~rate_per_s:50_000.0
+        ~sessions:3 ~turns:3 ~vocab:32 ~system_len:4 ~think_time_us:100.0
+        ~max_total:tiny.Frontend.Configs.max_context
+        ~turn_user:(Serve.Workload.Uniform (1, 2))
+        ~output:(Serve.Workload.Uniform (1, 2))
+        ()
+  | 1 ->
+      Serve.Workload.best_of_n ~seed:s.sseed ~rate_per_s:20_000.0 ~groups:2
+        ~n:3 ~vocab:32 ~fork_delay_us:40.0
+        ~max_total:tiny.Frontend.Configs.max_context
+        ~prompt:(Serve.Workload.Uniform (4, 8))
+        ~output:(Serve.Workload.Uniform (2, 5))
+        ()
+  | _ ->
+      Serve.Workload.bursty ~seed:s.sseed ~base_rate_per_s:10_000.0
+        ~burst_rate_per_s:100_000.0 ~period_s:0.001 ~duty:0.3 ~num_requests:8
+        ~vocab:32 ~shared_prefix_len:6
+        ~max_total:tiny.Frontend.Configs.max_context
+        ~prompt:(Serve.Workload.Uniform (4, 10))
+        ~output:(Serve.Workload.Uniform (1, 3))
+        ()
+
+let chaos_cfg seed =
+  {
+    Runtime.Fault.seed;
+    kernel_fail_p = 0.05;
+    stall_p = 0.05;
+    stall_factor = 3.0;
+    oom_p = 0.03;
+    nan_p = 0.05;
+  }
+
+let run_share ?exec s ~share =
+  Serve.Scheduler.run ?exec (Lazy.force model)
+    (opts ~max_batch:2
+       ~budget_blocks:(if s.stight then 4 else 64)
+       ~kv_share:share
+       ?faults:(if s.schaos then Some (chaos_cfg (s.sseed + 17)) else None)
+       ())
+    (share_workload s)
+
+let completion_sig r =
+  List.map
+    (fun (m : Serve.Metrics.request_metrics) ->
+      (m.Serve.Metrics.id, m.Serve.Metrics.tokens, m.Serve.Metrics.preemptions))
+    r.Serve.Scheduler.completed
+
+(* With a generous budget the block manager never says [`No_space] in
+   either run, so sharing cannot change any decision: completion order,
+   token counts, preemptions, sheds, aborts and the final clock are
+   bit-identical — fault injection included, because every fault draw
+   happens at the same event boundary in both runs. *)
+let test_share_transparent =
+  QCheck.Test.make ~count:60
+    ~name:"sharing on/off schedule identically (generous budget)" arb_share
+    (fun s0 ->
+      let s = { s0 with stight = false } in
+      let on = run_share s ~share:true and off = run_share s ~share:false in
+      if completion_sig on <> completion_sig off then
+        QCheck.Test.fail_reportf "completion logs differ";
+      if on.Serve.Scheduler.clock_us <> off.Serve.Scheduler.clock_us then
+        QCheck.Test.fail_reportf "clocks differ: %.3f vs %.3f"
+          on.Serve.Scheduler.clock_us off.Serve.Scheduler.clock_us;
+      on.Serve.Scheduler.shed = off.Serve.Scheduler.shed
+      && on.Serve.Scheduler.aborted = off.Serve.Scheduler.aborted)
+
+let rec is_prefix a b =
+  match (a, b) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: a', y :: b' -> x = y && is_prefix a' b'
+
+let stream_compatible a b = is_prefix a b || is_prefix b a
+
+(* Token-stream identity under any budget: for every request completed
+   by both runs, the streams are bit-identical — except best-of-n
+   children, where one run may fork mid-stream and the other prefill
+   from scratch, so the streams are prefixes of the same greedy
+   continuation rather than equal in length. *)
+let test_share_streams =
+  QCheck.Test.make ~count:48
+    ~name:"token streams agree with sharing on vs off" arb_share (fun s ->
+      let on = run_share ~exec:(`Numeric 11) s ~share:true in
+      let off = run_share ~exec:(`Numeric 11) s ~share:false in
+      let w = share_workload s in
+      List.iter
+        (fun (id, h_on) ->
+          match List.assoc_opt id off.Serve.Scheduler.token_streams with
+          | None -> ()
+          | Some h_off ->
+              let forked =
+                (List.find
+                   (fun (r : Serve.Workload.request) -> r.Serve.Workload.id = id)
+                   w)
+                  .Serve.Workload.fork_of
+                <> None
+              in
+              if forked then begin
+                if not (stream_compatible h_on h_off) then
+                  QCheck.Test.fail_reportf
+                    "fork child %d: streams diverge (not prefix-compatible)" id
+              end
+              else if h_on <> h_off then
+                QCheck.Test.fail_reportf "request %d: streams differ" id)
+        on.Serve.Scheduler.token_streams;
+      (* Generous budget: the full stream lists (finish order included)
+         coincide. *)
+      if
+        (not s.stight)
+        && on.Serve.Scheduler.token_streams
+           <> off.Serve.Scheduler.token_streams
+      then QCheck.Test.fail_reportf "generous budget: stream lists differ";
+      true)
+
+(* Sharing decisions (tree matches, forks, evictions) depend only on
+   workload data and block state, never on tensor values — so timed
+   and numeric execution still agree with kv_share on, tight budgets
+   and chaos included. *)
+let test_share_modes_agree =
+  QCheck.Test.make ~count:6 ~name:"numeric and timed agree under sharing"
+    arb_share (fun s ->
+      let sim = run_share s ~share:true in
+      let num = run_share ~exec:(`Numeric 3) s ~share:true in
+      if completion_sig sim <> completion_sig num then
+        QCheck.Test.fail_reportf "completion logs differ";
+      sim.Serve.Scheduler.clock_us = num.Serve.Scheduler.clock_us)
+
+let test_share_saves_memory () =
+  let s = { sseed = 3; skind = 0; stight = false; schaos = false } in
+  let on = run_share s ~share:true and off = run_share s ~share:false in
+  let son = on.Serve.Scheduler.summary and soff = off.Serve.Scheduler.summary in
+  Alcotest.(check bool) "prefix cache hit" true
+    (son.Serve.Metrics.prefix_hit_rate > 0.0);
+  (* Without sharing every logical block is its own physical block. *)
+  Alcotest.(check (float 1e-9)) "baseline bytes/token = one block per holder"
+    (256.0 /. 4.0) soff.Serve.Metrics.kv_bytes_per_token;
+  Alcotest.(check bool)
+    (Printf.sprintf "sharing cuts KV bytes/token (%.2f < %.2f)"
+       son.Serve.Metrics.kv_bytes_per_token soff.Serve.Metrics.kv_bytes_per_token)
+    true
+    (son.Serve.Metrics.kv_bytes_per_token
+    < soff.Serve.Metrics.kv_bytes_per_token);
+  Alcotest.(check int) "baseline has no hits" 0
+    (int_of_float (soff.Serve.Metrics.prefix_hit_rate *. 1000.0));
+  (* Post-run block state: every reference dropped, cache resident but
+     reclaimable, audit clean, full drain via drop_cache. *)
+  let bm = on.Serve.Scheduler.blocks in
+  (match Serve.Block_manager.check_invariants bm with
+  | None -> ()
+  | Some m -> Alcotest.failf "invariant violated after run: %s" m);
+  Alcotest.(check int) "only cache resident after drain"
+    (Serve.Block_manager.cached_blocks bm)
+    (Serve.Block_manager.used_blocks bm);
+  Serve.Block_manager.drop_cache bm;
+  Alcotest.(check int) "drop_cache drains to zero" 0
+    (Serve.Block_manager.used_blocks bm)
+
+let test_fork_inherits_and_cows () =
+  (* A best-of-n child admitted while its parent decodes: it inherits
+     the parent's stream without a prefill, and the first write into
+     the shared partial tail block copy-on-writes. *)
+  let toks = [ 1; 2; 3; 4; 5; 6 ] in
+  let w =
+    [
+      {
+        Serve.Workload.id = 0;
+        arrival_us = 0.0;
+        prompt_len = 6;
+        output_len = 6;
+        deadline_us = None;
+        prompt_tokens = Some toks;
+        fork_of = None;
+      };
+      {
+        Serve.Workload.id = 1;
+        arrival_us = 1.0;
+        prompt_len = 6;
+        output_len = 4;
+        deadline_us = None;
+        prompt_tokens = Some toks;
+        fork_of = Some 0;
+      };
+    ]
+  in
+  let run share =
+    Serve.Scheduler.run ~exec:(`Numeric 9) (Lazy.force model)
+      (opts ~max_batch:2 ~budget_blocks:16 ~kv_share:share ())
+      w
+  in
+  let on = run true and off = run false in
+  Alcotest.(check int) "both complete (sharing on)" 2
+    (List.length on.Serve.Scheduler.completed);
+  Alcotest.(check bool) "fork write copy-on-writes" true
+    (on.Serve.Scheduler.summary.Serve.Metrics.cow_copies >= 1);
+  Alcotest.(check int) "no COW without sharing" 0
+    off.Serve.Scheduler.summary.Serve.Metrics.cow_copies;
+  let stream r id = List.assoc id r.Serve.Scheduler.token_streams in
+  (* Child and parent decode the same greedy continuation; the child
+     forked mid-stream so its history is a prefix of the parent's. *)
+  Alcotest.(check bool) "child stream is a prefix of parent's" true
+    (is_prefix (stream on 1) (stream on 0));
+  (* The generous budget forks in both runs: identical streams. *)
+  Alcotest.(check bool) "on/off streams identical" true
+    (on.Serve.Scheduler.token_streams = off.Serve.Scheduler.token_streams)
+
 let () =
   Alcotest.run "serve"
     [
@@ -348,4 +599,13 @@ let () =
           Alcotest.test_case "events fold into profiler" `Quick
             test_trace_profiler_fold;
         ] );
+      ( "kv_sharing",
+        List.map QCheck_alcotest.to_alcotest
+          [ test_share_transparent; test_share_streams; test_share_modes_agree ]
+        @ [
+            Alcotest.test_case "sharing saves memory" `Quick
+              test_share_saves_memory;
+            Alcotest.test_case "fork inherits stream and COWs" `Quick
+              test_fork_inherits_and_cows;
+          ] );
     ]
