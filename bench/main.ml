@@ -606,7 +606,9 @@ let bechamel_section () =
 (* ---------- kernel execution: interpreted vs compiled ---------- *)
 
 let kernels_bench () =
-  section "kernel execution: tree-walking interpreter vs compiled closures";
+  section
+    "kernel execution: interpreter vs compiled closures vs imp register \
+     machine";
   let open Bechamel in
   let open Toolkit in
   let e = Arith.Expr.const in
@@ -643,10 +645,12 @@ let kernels_bench () =
         Tir.Kernels.layer_norm ~name:"ln" [ e r; e c ] ~eps:1e-5 f32,
         [ [| r; c |]; [| c |]; [| c |]; [| r; c |] ] )
     in
-    [ matmul 16; matmul 48;
-      softmax 16 64; softmax 64 256;
-      layernorm 16 64; layernorm 64 256 ]
+    [ matmul 16; matmul 48; matmul 128;
+      softmax 64 256; softmax 256 1024;
+      layernorm 64 256; layernorm 256 1024 ]
   in
+  Printf.printf "  %-10s %-12s %12s %12s %12s %12s %8s %6s\n" "kernel" "size"
+    "interp ns" "closure ns" "imp ns" "imp-chk ns" "vs clos" "elide";
   let rows =
     List.map
       (fun (kernel, size, (f : Tir.Prim_func.t), shapes) ->
@@ -667,18 +671,43 @@ let kernels_bench () =
                ~name:(Printf.sprintf "interp %s %s" kernel size)
                (Staged.stage (fun () -> Tir.Interp.run f args)))
         in
-        let compiled = Tir.Compile.compile f shapes in
-        let compiled_ns =
+        let closure = Tir.Compile.compile f shapes in
+        let closure_ns =
           estimate_ns
             (Test.make
-               ~name:(Printf.sprintf "compiled %s %s" kernel size)
-               (Staged.stage (fun () -> compiled args)))
+               ~name:(Printf.sprintf "closure %s %s" kernel size)
+               (Staged.stage (fun () -> closure args)))
         in
-        let speedup = interp_ns /. compiled_ns in
-        Printf.printf
-          "  %-10s %-10s interp %12.0f ns/run   compiled %10.0f ns/run   %6.1fx\n"
-          kernel size interp_ns compiled_ns speedup;
-        (kernel, size, interp_ns, compiled_ns, speedup))
+        (* The imp backend elides bounds checks exactly when the static
+           verifier proves the kernel in-bounds — the same contract the
+           VM's kernel cache applies. The checked column runs the same
+           imp program with bounds checks forced on, isolating what the
+           proof buys. *)
+        let elide = Analysis.Proof.memory_safe f in
+        let imp = Tir.Imp_compile.compile ~elide_bounds:elide f shapes in
+        let imp_ns =
+          estimate_ns
+            (Test.make
+               ~name:(Printf.sprintf "imp %s %s" kernel size)
+               (Staged.stage (fun () -> imp args)))
+        in
+        let imp_checked =
+          Tir.Imp_compile.compile ~elide_bounds:false f shapes
+        in
+        let imp_checked_ns =
+          estimate_ns
+            (Test.make
+               ~name:(Printf.sprintf "imp-checked %s %s" kernel size)
+               (Staged.stage (fun () -> imp_checked args)))
+        in
+        let speedup = interp_ns /. closure_ns in
+        let speedup_vs_closure = closure_ns /. imp_ns in
+        Printf.printf "  %-10s %-12s %12.0f %12.0f %12.0f %12.0f %7.1fx %6s\n"
+          kernel size interp_ns closure_ns imp_ns imp_checked_ns
+          speedup_vs_closure
+          (if elide then "on" else "off");
+        ( kernel, size, interp_ns, closure_ns, imp_ns, imp_checked_ns, speedup,
+          speedup_vs_closure, elide ))
       cases
   in
   let path = out_file "BENCH_kernels.json" in
@@ -686,11 +715,16 @@ let kernels_bench () =
   Printf.fprintf oc
     "{\n  \"benchmark\": \"tir_kernel_execution\",\n  \"units\": \"ns_per_run\",\n  \"results\": [\n";
   List.iteri
-    (fun i (kernel, size, interp_ns, compiled_ns, speedup) ->
+    (fun i
+         ( kernel, size, interp_ns, closure_ns, imp_ns, imp_checked_ns,
+           speedup, speedup_vs_closure, elide ) ->
       Printf.fprintf oc
         "    { \"kernel\": %S, \"size\": %S, \"interp_ns\": %.1f, \
-         \"compiled_ns\": %.1f, \"speedup\": %.2f }%s\n"
-        kernel size interp_ns compiled_ns speedup
+         \"closure_ns\": %.1f, \"imp_ns\": %.1f, \"imp_checked_ns\": %.1f, \
+         \"speedup\": %.2f, \"speedup_vs_closure\": %.2f, \
+         \"elide_bounds\": %b }%s\n"
+        kernel size interp_ns closure_ns imp_ns imp_checked_ns speedup
+        speedup_vs_closure elide
         (if i = List.length rows - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ]\n}\n";
@@ -1172,7 +1206,9 @@ let experiments =
     ("bucketing", "symbolic shapes vs Nimble-style bucketing", bucketing);
     ("fig11", "workspace lifting ablation", fig11);
     ("micro", "compiler micro-benchmarks (bechamel)", bechamel_section);
-    ("kernels", "interpreted vs compiled TIR kernels; writes BENCH_kernels.json",
+    ("kernels",
+     "TIR kernels: interp vs closure vs imp backends; writes \
+      BENCH_kernels.json",
      kernels_bench);
     ("serving",
      "continuous vs static batching serving sweep; writes BENCH_serving.json",

@@ -34,7 +34,8 @@ let usage_error fmt =
          [--ctx N] [--quant f16|q4|q3]\n\
         \       [--dump-ir] [--no-fusion] [--no-library] [--no-planning] \
          [--no-capture] [--paged]\n\
-        \       [--trace] [--profile] [--lint] [--verify-passes] [--json]\n\
+        \       [--backend interp|closure|imp] [--trace] [--profile] \
+         [--lint] [--verify-passes] [--json]\n\
         \       [--serve [--rate R] [--requests N] [--policy \
          continuous|static] [--seed N]\n\
         \                [--admission fcfs|deadline] [--deadline-ms MS] \
@@ -189,10 +190,10 @@ let run_serve cfg (device : Runtime.Device.t) precision ~max_batch ~rate
     (Serve.Block_manager.block_bytes r.Serve.Scheduler.blocks);
   print_string (Serve.Metrics.to_string r.Serve.Scheduler.summary)
 
-let run model_name device_name batch ctx quant dump_ir no_fusion no_library
-    no_planning no_capture paged trace profile lint verify_passes json serve
-    rate requests policy seed admission deadline_ms retries faults fault_seed
-    kv_share =
+let run model_name device_name batch ctx quant backend_name dump_ir no_fusion
+    no_library no_planning no_capture paged trace profile lint verify_passes
+    json serve rate requests policy seed admission deadline_ms retries faults
+    fault_seed kv_share =
   let cfg =
     match List.assoc_opt model_name models with
     | Some cfg -> cfg
@@ -217,6 +218,15 @@ let run model_name device_name batch ctx quant dump_ir no_fusion no_library
     | "q3" -> Frontend.Llm.Q3
     | other -> usage_error "unknown precision %s (f16|q4|q3)" other
   in
+  let backend =
+    match backend_name with
+    | None -> Tir.Exec.default
+    | Some name -> (
+        match Tir.Exec.backend_of_string name with
+        | Some b -> b
+        | None ->
+            usage_error "unknown backend %s (interp|closure|imp)" name)
+  in
   if batch < 1 then usage_error "--batch must be >= 1 (got %d)" batch;
   if ctx < 1 then usage_error "--ctx must be >= 1 (got %d)" ctx;
   (* Serving knobs are meaningless on the compile-and-time path:
@@ -235,7 +245,11 @@ let run model_name device_name batch ctx quant dump_ir no_fusion no_library
     requires "faults" (faults <> None);
     requires "fault-seed" (fault_seed <> None);
     requires "kv-share" kv_share
-  end;
+  end
+  else if backend_name <> None then
+    (* Serving builds its VMs internally on the default backend; a
+       selector that silently did nothing would be misleading. *)
+    usage_error "--backend cannot be combined with --serve";
   if json && not (lint || verify_passes) then
     usage_error "--json requires --lint or --verify-passes";
   if serve then begin
@@ -351,7 +365,7 @@ let run model_name device_name batch ctx quant dump_ir no_fusion no_library
     | Some s, None | None, Some s -> Some s
     | None, None -> None
   in
-  let vm = Runtime.Vm.create ?trace:sink (`Timed device) program in
+  let vm = Runtime.Vm.create ?trace:sink ~backend (`Timed device) program in
   let args = Frontend.Llm.args_for built ~ctx ~mode:`Shadow () in
   let steps = 3 in
   for _ = 1 to steps do
@@ -401,6 +415,19 @@ let ctx = Arg.(value & opt int 1024 & info [ "ctx" ] ~doc:"Context length.")
 
 let quant =
   Arg.(value & opt string "f16" & info [ "quant"; "q" ] ~doc:"f16, q4 or q3.")
+
+let backend =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "backend" ]
+        ~doc:
+          "Kernel execution backend: $(b,interp) (reference tree \
+           walker), $(b,closure) (compiled OCaml closures) or $(b,imp) \
+           (flat imperative register machine with proof-elided bounds \
+           checks; the default). All three are bit-identical on valid \
+           kernels; the choice shows up in $(b,--profile)'s backend \
+           column and per-backend time split.")
 
 let dump_ir = Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the IR.")
 let no_fusion = Arg.(value & flag & info [ "no-fusion" ] ~doc:"Disable FuseOps.")
@@ -553,9 +580,10 @@ let cmd =
   Cmd.v
     (Cmd.info "relax_compile" ~doc:"Compile and time a model from the zoo")
     Term.(
-      const run $ model $ device $ batch $ ctx $ quant $ dump_ir $ no_fusion
-      $ no_library $ no_planning $ no_capture $ paged $ trace $ profile
-      $ lint $ verify_passes $ json $ serve $ rate $ requests $ policy $ seed
-      $ admission $ deadline_ms $ retries $ faults $ fault_seed $ kv_share)
+      const run $ model $ device $ batch $ ctx $ quant $ backend $ dump_ir
+      $ no_fusion $ no_library $ no_planning $ no_capture $ paged $ trace
+      $ profile $ lint $ verify_passes $ json $ serve $ rate $ requests
+      $ policy $ seed $ admission $ deadline_ms $ retries $ faults
+      $ fault_seed $ kv_share)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,49 @@
+(* Proof queries for backends: is a kernel proved memory-safe?
+
+   This is the bridge that makes the static verifier load-bearing for
+   performance (DESIGN.md §12): Tir.Imp_compile elides runtime bounds
+   checks exactly when every access of the kernel is proved in-bounds
+   here. The criterion is strict — any bounds-related diagnostic,
+   error or warning, keeps the kernel on checked access:
+
+   - [oob-store]/[oob-load]: proved out of bounds (would fault);
+   - [unproved-store]/[unproved-load]: the analysis could not
+     discharge the access, so it may be out of bounds at runtime;
+   - [dyn-index]: a data-dependent index the analysis cannot see
+     through;
+   - [rank-mismatch]: the access shape itself is malformed.
+
+   Assertion diagnostics ([assert-violated]/[assert-unproved]) do not
+   block elision: asserts keep their own runtime check in every
+   backend regardless of bounds elision. *)
+
+let blocking_codes =
+  [
+    "oob-store";
+    "oob-load";
+    "unproved-store";
+    "unproved-load";
+    "dyn-index";
+    "rank-mismatch";
+  ]
+
+let memory_safe ?bounds (f : Tir.Prim_func.t) =
+  let diags = Tir_safety.check ?bounds f in
+  not
+    (List.exists
+       (fun (d : Diag.t) -> List.mem d.Diag.code blocking_codes)
+       diags)
+
+(* A memoizing prover for kernel caches: keyed by kernel name,
+   validated by physical identity (same discipline as the caches
+   themselves), so serving loops pay the analysis once per kernel
+   rather than once per compile. *)
+let prover () =
+  let memo : (string, Tir.Prim_func.t * bool) Hashtbl.t = Hashtbl.create 32 in
+  fun (f : Tir.Prim_func.t) ->
+    match Hashtbl.find_opt memo f.Tir.Prim_func.name with
+    | Some (f', safe) when f' == f -> safe
+    | _ ->
+        let safe = memory_safe f in
+        Hashtbl.replace memo f.Tir.Prim_func.name (f, safe);
+        safe

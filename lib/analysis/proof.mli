@@ -1,0 +1,16 @@
+(** Proof queries for backends (the bounds-elision contract).
+
+    {!Tir.Imp_compile} may drop runtime bounds checks only for kernels
+    this module vouches for; see DESIGN.md §12. *)
+
+val memory_safe : ?bounds:(Arith.Var.t * int) list -> Tir.Prim_func.t -> bool
+(** [true] iff {!Tir_safety.check} emits no bounds-related diagnostic
+    (neither proved-out-of-bounds nor unprovable): every store and
+    load of the kernel is statically proved in-bounds for all shapes,
+    so runtime checks are redundant. Assertion diagnostics do not
+    affect the result — asserts always keep their runtime check. *)
+
+val prover : unit -> Tir.Prim_func.t -> bool
+(** A memoizing [memory_safe] for kernel caches: results are cached
+    per kernel name and revalidated by physical identity, so repeated
+    compiles of the same kernel pay the analysis once. *)

@@ -15,7 +15,7 @@ type env = {
   mod_ : Ir_module.t;
   vars : (int, Runtime.Vm.value) Hashtbl.t;  (** Rvar id -> value *)
   sym : (int, int) Hashtbl.t;  (** Arith var id -> value *)
-  kcache : Tir.Compile.Cache.t;  (** compiled kernels, per shape sig *)
+  kcache : Tir.Exec.Cache.t;  (** compiled kernels, per backend + shape sig *)
   st : stats;
   mutable live_bytes : int;
 }
@@ -106,7 +106,7 @@ let run_kernel env (kernel : Tir.Prim_func.t) (args : Runtime.Vm.value list)
   charge env kernel lookup;
   match env.mode with
   | `Numeric ->
-      Tir.Compile.Cache.run env.kcache ~sym_args kernel
+      Tir.Exec.Cache.run env.kcache ~sym_args kernel
         (List.map Runtime.Vm.value_tensor all)
   | `Timed _ -> ()
 
@@ -264,7 +264,7 @@ and eval_call env (c : Expr.call) : Runtime.Vm.value =
                   out))
       | _ -> fail "Eager: unsupported callee")
 
-let run ?(entry = "main") mode mod_ args =
+let run ?(entry = "main") ?(backend = Tir.Exec.default) mode mod_ args =
   let f =
     match Ir_module.find_func mod_ entry with
     | Some f -> f
@@ -276,7 +276,7 @@ let run ?(entry = "main") mode mod_ args =
       mod_;
       vars = Hashtbl.create 64;
       sym = Hashtbl.create 16;
-      kcache = Tir.Compile.Cache.create ();
+      kcache = Tir.Exec.Cache.create ~prove:(Analysis.Proof.prover ()) backend;
       st = { elapsed_us = 0.0; ops = 0; peak_bytes = 0 };
       live_bytes = 0;
     }

@@ -22,11 +22,14 @@ val host_overhead_us : float
 
 val run :
   ?entry:string ->
+  ?backend:Tir.Exec.backend ->
   mode ->
   Relax_core.Ir_module.t ->
   Runtime.Vm.value list ->
   Runtime.Vm.value * stats
-(** Execute the entry function ([main] by default) eagerly.
+(** Execute the entry function ([main] by default) eagerly;
+    [backend] picks the kernel execution backend (default imp, with
+    proof-elided bounds checks — see {!Tir.Exec}).
     Cross-level calls ([call_tir]) are executed directly; graph
     operators are legalized per call. Tuple results are supported.
     @raise Failure on unsupported constructs. *)

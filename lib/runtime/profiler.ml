@@ -7,6 +7,7 @@ type row = {
   mutable flops : float;
   mutable bytes_moved : float;
   mutable origin : string option;
+  mutable backend : string;  (* "-" until a Kernel_launch stamps it *)
 }
 
 type serve_counts = {
@@ -38,6 +39,8 @@ type t = {
   mutable events : int;
   mutable serve : serve_counts;
   faults : int array;  (* indexed like Fault.all_kinds *)
+  backends : (string, int * float) Hashtbl.t;
+      (* execution backend -> (kernel calls, time_us) *)
 }
 
 let zero_serve =
@@ -71,6 +74,7 @@ let create () =
     events = 0;
     serve = zero_serve;
     faults = Array.make (List.length Fault.all_kinds) 0;
+    backends = Hashtbl.create 4;
   }
 
 let kind_idx = function
@@ -95,6 +99,7 @@ let row t kind name origin =
           flops = 0.0;
           bytes_moved = 0.0;
           origin;
+          backend = "-";
         }
       in
       Hashtbl.replace t.table name r;
@@ -107,13 +112,18 @@ let feed t (ev : Trace.event) =
       if top then t.steps <- t.steps + 1;
       t.overhead_us <- t.overhead_us +. overhead_us
   | Trace.Kernel_launch
-      { kernel; prov; replay; flops; bytes_moved; elapsed_us; _ } ->
+      { kernel; prov; replay; flops; bytes_moved; elapsed_us; backend; _ } ->
       let r = row t `Kernel kernel prov in
       r.calls <- r.calls + 1;
       if not replay then r.launches <- r.launches + 1;
       r.time_us <- r.time_us +. elapsed_us;
       r.flops <- r.flops +. float_of_int flops;
-      r.bytes_moved <- r.bytes_moved +. float_of_int bytes_moved
+      r.bytes_moved <- r.bytes_moved +. float_of_int bytes_moved;
+      r.backend <- backend;
+      let calls, us =
+        Option.value (Hashtbl.find_opt t.backends backend) ~default:(0, 0.0)
+      in
+      Hashtbl.replace t.backends backend (calls + 1, us +. elapsed_us)
   | Trace.Extern_call { func; prov; replay; flops; bytes_moved; elapsed_us; _ }
     ->
       let r = row t `Extern func prov in
@@ -178,6 +188,11 @@ let alloc_count t = t.allocs
 let reuse_count t = t.reuses
 let free_count t = t.frees
 let serve_counts t = t.serve
+
+let backend_split t =
+  Hashtbl.fold (fun name (calls, us) acc -> (name, calls, us) :: acc)
+    t.backends []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
 let fault_count t kind = t.faults.(kind_idx kind)
 let faults_injected t = Array.fold_left ( + ) 0 t.faults
 
@@ -186,16 +201,16 @@ let report ?(top = 0) t =
   let all = rows t in
   let shown = if top > 0 && List.length all > top then top else List.length all in
   Buffer.add_string buf
-    (Printf.sprintf "%-44s %-6s %6s %7s %12s %10s %10s  %s\n" "name" "kind"
-       "calls" "launch" "time ms" "GFLOP" "MiB moved" "origin");
+    (Printf.sprintf "%-44s %-6s %-8s %6s %7s %12s %10s %10s  %s\n" "name"
+       "kind" "backend" "calls" "launch" "time ms" "GFLOP" "MiB moved" "origin");
   List.iteri
     (fun i r ->
       if i < shown then
         Buffer.add_string buf
-          (Printf.sprintf "%-44s %-6s %6d %7d %12.4f %10.4f %10.2f  %s\n"
+          (Printf.sprintf "%-44s %-6s %-8s %6d %7d %12.4f %10.4f %10.2f  %s\n"
              r.name
              (match r.kind with `Kernel -> "kernel" | `Extern -> "lib")
-             r.calls r.launches (r.time_us /. 1e3) (r.flops /. 1e9)
+             r.backend r.calls r.launches (r.time_us /. 1e3) (r.flops /. 1e9)
              (r.bytes_moved /. 1048576.0)
              (match r.origin with Some p -> p | None -> "-")))
     all;
@@ -216,6 +231,16 @@ let report ?(top = 0) t =
        (total_time_us t /. 1e3)
        (call_time_us t /. 1e3)
        (t.overhead_us /. 1e3));
+  (match backend_split t with
+  | [] -> ()
+  | split ->
+      Buffer.add_string buf
+        (Printf.sprintf "backends: %s\n"
+           (String.concat ", "
+              (List.map
+                 (fun (name, calls, us) ->
+                   Printf.sprintf "%s %d calls %.4f ms" name calls (us /. 1e3))
+                 split))));
   Buffer.add_string buf
     (Printf.sprintf
        "memory: peak live %.2f MiB (%d bytes); %d allocs, %d reused, %d frees\n"

@@ -27,6 +27,10 @@ type row = {
   mutable bytes_moved : float;
   mutable origin : string option;
       (** provenance: the Relax binding that produced the call *)
+  mutable backend : string;
+      (** execution backend that ran the kernel ("interp" | "closure"
+          | "imp", see {!Tir.Exec}); ["-"] for library routines and
+          rows that have not seen a launch *)
 }
 
 type serve_counts = {
@@ -70,6 +74,12 @@ val alloc_count : t -> int
 val reuse_count : t -> int
 val free_count : t -> int
 val serve_counts : t -> serve_counts
+
+val backend_split : t -> (string * int * float) list
+(** Kernel time attributed per execution backend:
+    [(backend, calls, time_us)] sorted by backend name. Empty until a
+    kernel launch is profiled. The [--profile] report renders this as
+    a "backends:" line. *)
 
 val fault_count : t -> Fault.kind -> int
 (** {!Trace.Fault_injected} events seen, by fault kind. *)

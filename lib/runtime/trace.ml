@@ -25,6 +25,9 @@ type event =
       flops : int;
       bytes_moved : int;
       elapsed_us : float;
+      backend : string;
+          (* which execution backend ran (or, in timed mode, would
+             run) the kernel: "interp" | "closure" | "imp" *)
     }
   | Extern_call of {
       func : string;
@@ -111,8 +114,10 @@ let render ~times ev =
   | Free { id; bytes; live } ->
       Printf.sprintf "free #%d %dB live=%d" id bytes live
   | End_of_life { id; bytes } -> Printf.sprintf "eol #%d %dB" id bytes
-  | Kernel_launch { kernel; prov; replay; shapes; flops; bytes_moved; elapsed_us }
-    ->
+  (* [backend] is deliberately not rendered: golden traces pin this
+     format, and backend attribution belongs to the profiler. *)
+  | Kernel_launch
+      { kernel; prov; replay; shapes; flops; bytes_moved; elapsed_us; _ } ->
       Printf.sprintf "kernel %s%s [%s] flops=%d bytes=%d%s%s" kernel
         (prov_str prov) (shapes_str shapes) flops bytes_moved
         (if replay then " replay" else "")

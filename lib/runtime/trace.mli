@@ -68,11 +68,16 @@ type event =
       flops : int;
       bytes_moved : int;
       elapsed_us : float;
+      backend : string;
     }
       (** A generated-kernel call with fully resolved argument shapes
           and roofline cost. [replay]: executed inside a captured
           graph replay (no per-launch overhead was charged).
-          [elapsed_us] includes launch overhead when charged. *)
+          [elapsed_us] includes launch overhead when charged.
+          [backend] names the execution backend that ran (numeric
+          mode) or would run (timed mode) the kernel — see
+          {!Tir.Exec}; it is surfaced by the profiler's per-backend
+          split, not by {!render}. *)
   | Extern_call of {
       func : string;
       prov : string option;

@@ -74,15 +74,19 @@ type t = {
   fault : Fault.t option;
   captured : (int, unit) Hashtbl.t;
   cost_cache : (string, Tir.Cost.t) Hashtbl.t;
-  kernel_cache : Tir.Compile.Cache.t;
-      (* (kernel name, shape signature) -> compiled closures: a decode
-         loop compiles each kernel once and replays thereafter *)
+  kernel_cache : Tir.Exec.Cache.t;
+      (* (kernel name, backend-prefixed shape signature) -> compiled
+         kernels: a decode loop compiles each kernel once and replays
+         thereafter. The backend (interp/closure/imp) is fixed at VM
+         creation; the imp backend elides bounds checks for kernels
+         Analysis.Tir_safety proves memory-safe. *)
   storage_cache : (string * int, int * int) Hashtbl.t;
       (* (func, pc) -> (bytes, allocator id): planned storages are
          allocated once and reused across invocations *)
 }
 
-let create ?allocator ?trace ?fault mode program =
+let create ?allocator ?trace ?fault ?(backend = Tir.Exec.default) mode program
+    =
   let alloc =
     match allocator with Some a -> a | None -> Allocator.create `Pooling
   in
@@ -95,7 +99,7 @@ let create ?allocator ?trace ?fault mode program =
     fault;
     captured = Hashtbl.create 8;
     cost_cache = Hashtbl.create 64;
-    kernel_cache = Tir.Compile.Cache.create ();
+    kernel_cache = Tir.Exec.Cache.create ~prove:(Analysis.Proof.prover ()) backend;
     storage_cache = Hashtbl.create 32;
   }
 
@@ -540,11 +544,14 @@ and exec_instr t ~in_replay ~fname ~pc ~prov frame (i : instr) : unit =
                  flops;
                  bytes_moved;
                  elapsed_us = charged;
+                 backend =
+                   Tir.Exec.backend_name
+                     (Tir.Exec.Cache.backend t.kernel_cache);
                })
       | None -> ());
       (match t.mode with
       | `Numeric ->
-          Tir.Compile.Cache.run t.kernel_cache ~sym_args:sym_bindings kf
+          Tir.Exec.Cache.run t.kernel_cache ~sym_args:sym_bindings kf
             (List.map value_tensor arg_vals)
       | `Timed _ -> ())
   | Call_extern { func; args } ->

@@ -121,20 +121,28 @@ exception Vm_error of string
       "succeeds", as a misbehaving vendor routine would).
     The injector does not cover allocation — arm the {!Allocator}
     itself for OOM spikes. No injector (or all-zero probabilities):
-    behavior is byte-identical to a fault-free VM. *)
+    behavior is byte-identical to a fault-free VM.
+
+    [backend] selects the kernel execution backend
+    (interp/closure/imp; default {!Tir.Exec.default}, i.e. imp). All
+    backends are bit-identical on valid kernels; imp additionally
+    elides bounds checks for kernels [Analysis.Tir_safety] proves
+    memory-safe. *)
 val create :
   ?allocator:Allocator.t ->
   ?trace:Trace.sink ->
   ?fault:Fault.t ->
+  ?backend:Tir.Exec.backend ->
   mode ->
   program ->
   t
 val stats : t -> stats
 
-val kernel_cache : t -> Tir.Compile.Cache.t
+val kernel_cache : t -> Tir.Exec.Cache.t
 (** The compiled-kernel cache backing numeric-mode [Call_kernel]:
-    keyed by (kernel name, shape signature), so a decode loop compiles
-    each kernel once and replays closures thereafter. *)
+    keyed by (kernel name, backend-prefixed shape signature), so a
+    decode loop compiles each kernel once and replays thereafter, and
+    caches of different backends never alias. *)
 
 val allocator : t -> Allocator.t
 val device : t -> Device.t option

@@ -41,6 +41,13 @@ val run :
 (** Compile-and-execute once (drop-in replacement for
     {!Interp.run}). Use {!Cache.run} on repeated execution paths. *)
 
+val unify_shapes : (int, int) Hashtbl.t -> Prim_func.t -> int array list -> unit
+(** Bind symbolic shape variables (var id -> concrete value) by
+    unifying declared parameter shapes against concrete argument
+    shapes, failing on any inconsistency. Shared with {!Imp_compile}
+    so both backends resolve signatures identically.
+    @raise Interp.Runtime_error on rank or dimension mismatch. *)
+
 (** Memoizes compiled kernels by (kernel name, shape signature,
     symbolic arguments). Entries are validated by physical identity of
     the prim func, so a same-named but rebuilt kernel recompiles

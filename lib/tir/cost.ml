@@ -2,32 +2,63 @@ type t = {
   flops : Arith.Expr.t;
   bytes_read : Arith.Expr.t;
   bytes_written : Arith.Expr.t;
+  transcendentals : Arith.Expr.t;
 }
 
-(* Arithmetic work: flops of each store/evaluate, multiplied by the
-   extents of enclosing loops. Both branches of an [If] are counted —
-   a small overestimate for init guards, dominated by the loop body. *)
-let rec flops_of_stmt (s : Stmt.t) : Arith.Expr.t =
+(* Arithmetic work: per-expression op counts of each store/evaluate,
+   multiplied by the extents of enclosing loops. Both branches of an
+   [If] are counted — a small overestimate for init guards, dominated
+   by the loop body. Parameterized over the per-expression counter so
+   flops and transcendental-call counts share one walk structure. *)
+let rec ops_of_stmt count (s : Stmt.t) : Arith.Expr.t =
   match s with
   | Stmt.Seq ss ->
       List.fold_left
-        (fun acc s -> Arith.Expr.add acc (flops_of_stmt s))
+        (fun acc s -> Arith.Expr.add acc (ops_of_stmt count s))
         (Arith.Expr.const 0) ss
-  | Stmt.For { extent; body; _ } -> Arith.Expr.mul extent (flops_of_stmt body)
+  | Stmt.For { extent; body; _ } ->
+      Arith.Expr.mul extent (ops_of_stmt count body)
   | Stmt.Store (_, idxs, v) ->
       Arith.Expr.const
-        (Texpr.count_flops v
-        + List.fold_left (fun acc i -> acc + Texpr.count_flops i) 0 idxs)
+        (count v + List.fold_left (fun acc i -> acc + count i) 0 idxs)
   | Stmt.If (c, t, e) ->
       Arith.Expr.add
-        (Arith.Expr.const (Texpr.count_flops c))
-        (Arith.Expr.add (flops_of_stmt t)
+        (Arith.Expr.const (count c))
+        (Arith.Expr.add (ops_of_stmt count t)
            (match e with
-           | Some e -> flops_of_stmt e
+           | Some e -> ops_of_stmt count e
            | None -> Arith.Expr.const 0))
-  | Stmt.Alloc (_, body) -> flops_of_stmt body
+  | Stmt.Alloc (_, body) -> ops_of_stmt count body
   | Stmt.Assert _ -> Arith.Expr.const 0
-  | Stmt.Evaluate e -> Arith.Expr.const (Texpr.count_flops e)
+  | Stmt.Evaluate e -> Arith.Expr.const (count e)
+
+let flops_of_stmt = ops_of_stmt Texpr.count_flops
+
+(* Transcendental library calls (exp, log, tanh, ... and pow): an
+   order of magnitude slower than an add or multiply in the fused imp
+   loops, so the time model charges them separately. Sqrt/rsqrt/abs
+   are hardware-cheap and excluded. *)
+let rec count_transcendentals (e : Texpr.t) : int =
+  match e with
+  | Texpr.Imm_int _ | Texpr.Imm_float _ | Texpr.Idx _ -> 0
+  | Texpr.Load (_, idxs) ->
+      List.fold_left (fun acc i -> acc + count_transcendentals i) 0 idxs
+  | Texpr.Binop (op, a, b) ->
+      (match op with Texpr.Pow -> 1 | _ -> 0)
+      + count_transcendentals a + count_transcendentals b
+  | Texpr.Unop (op, a) ->
+      (match op with
+      | Texpr.Exp | Texpr.Log | Texpr.Tanh | Texpr.Sigmoid | Texpr.Erf
+      | Texpr.Cos | Texpr.Sin ->
+          1
+      | Texpr.Neg | Texpr.Abs | Texpr.Not | Texpr.Sqrt | Texpr.Rsqrt -> 0)
+      + count_transcendentals a
+  | Texpr.Cast (_, a) -> count_transcendentals a
+  | Texpr.Select (c, a, b) ->
+      count_transcendentals c + count_transcendentals a
+      + count_transcendentals b
+
+let trans_of_stmt = ops_of_stmt count_transcendentals
 
 let is_global (b : Buffer.t) =
   match b.Buffer.scope with
@@ -89,9 +120,77 @@ let analyze (f : Prim_func.t) : t =
     flops = Arith.Simplify.simplify (flops_of_stmt body);
     bytes_read = Arith.Simplify.simplify (traffic reads);
     bytes_written = Arith.Simplify.simplify (traffic writes);
+    transcendentals = Arith.Simplify.simplify (trans_of_stmt body);
   }
 
 let total_bytes t = Arith.Expr.add t.bytes_read t.bytes_written
+
+(* Per-flop costs of the imp backend's loop forms, calibrated against
+   BENCH_kernels.json on the development machine. The discriminator is
+   the same one {!Imp_compile} uses: an innermost loop whose body is a
+   single store fuses into a native trip loop — cheapest when it is a
+   reduction (the accumulator lives in a register, matmul's hot loop),
+   a little more per element for streaming maps (a load/store pair per
+   element) — while any other statement pays per-instruction
+   register-machine dispatch. Transcendental library calls carry a
+   flat surcharge regardless of loop shape. The absolute numbers only
+   need to be right relative to each other: schedule rankings compare
+   estimates against estimates. *)
+let imp_reduction_ns_per_flop = 1.2
+let imp_map_ns_per_flop = 1.5
+let imp_dispatch_ns_per_flop = 3.0
+let imp_transcendental_ns = 8.0
+
+let est_imp_ns (f : Prim_func.t) lookup : float =
+  let ev e = float_of_int (Arith.Expr.eval lookup e) in
+  let rec single_store = function
+    | Stmt.Store (b, idxs, v) -> Some (b, idxs, v)
+    | Stmt.Seq [ s ] -> single_store s
+    | _ -> None
+  in
+  let store_cost ~fused (b : Buffer.t) idxs v =
+    let flops =
+      float_of_int
+        (Texpr.count_flops v
+        + List.fold_left (fun acc i -> acc + Texpr.count_flops i) 0 idxs)
+    in
+    let trans = float_of_int (count_transcendentals v) in
+    let self_load =
+      List.exists
+        (fun ((b' : Buffer.t), li) -> b'.Buffer.id = b.Buffer.id && li = idxs)
+        (Texpr.loads v)
+    in
+    let rate =
+      if not fused then imp_dispatch_ns_per_flop
+      else if self_load then imp_reduction_ns_per_flop
+      else imp_map_ns_per_flop
+    in
+    (* a data-movement store (zero flops) still costs one element step *)
+    let units = Float.max flops 1.0 in
+    ((units -. trans) *. rate) +. (trans *. imp_transcendental_ns)
+  in
+  let rec walk mult (s : Stmt.t) : float =
+    match s with
+    | Stmt.Seq ss -> List.fold_left (fun acc s -> acc +. walk mult s) 0.0 ss
+    | Stmt.For { extent; body; _ } -> (
+        let n = Float.max (ev extent) 0.0 in
+        match single_store body with
+        | Some (b, idxs, v) -> mult *. n *. store_cost ~fused:true b idxs v
+        | None -> walk (mult *. n) body)
+    | Stmt.Store (b, idxs, v) -> mult *. store_cost ~fused:false b idxs v
+    | Stmt.If (c, t, e) ->
+        (mult *. float_of_int (Texpr.count_flops c)
+        *. imp_dispatch_ns_per_flop)
+        +. walk mult t
+        +. (match e with Some e -> walk mult e | None -> 0.0)
+    | Stmt.Alloc (_, body) -> walk mult body
+    | Stmt.Assert _ -> 0.0
+    | Stmt.Evaluate e ->
+        mult
+        *. float_of_int (Texpr.count_flops e)
+        *. imp_dispatch_ns_per_flop
+  in
+  walk 1.0 f.Prim_func.body
 
 let eval lookup t ~flops ~bytes =
   flops := !flops + Arith.Expr.eval lookup t.flops;

@@ -16,6 +16,10 @@ type t = {
   flops : Arith.Expr.t;  (** arithmetic ops over the full loop nest *)
   bytes_read : Arith.Expr.t;  (** global footprint loaded *)
   bytes_written : Arith.Expr.t;  (** global footprint stored *)
+  transcendentals : Arith.Expr.t;
+      (** transcendental library calls (exp, log, tanh, pow, ...) over
+          the full loop nest — a subset of [flops], charged at a
+          higher per-op rate by {!est_imp_ns} *)
 }
 
 val analyze : Prim_func.t -> t
@@ -25,3 +29,16 @@ val total_bytes : t -> Arith.Expr.t
 val eval :
   (Arith.Var.t -> int) -> t -> flops:int ref -> bytes:int ref -> unit
 (** Evaluate and accumulate into the two counters. *)
+
+val est_imp_ns : Prim_func.t -> (Arith.Var.t -> int) -> float
+(** Estimated execution time (nanoseconds) of the program on the imp
+    register-machine backend for the given shape assignment. The model
+    mirrors how {!Imp_compile} lowers each loop: an innermost
+    single-store loop fuses into a native trip loop — priced at the
+    reduction rate when the store accumulates into itself (matmul's
+    FMA loop) and at the slightly higher streaming-map rate otherwise
+    — while statements outside fusable loops pay per-instruction
+    dispatch; transcendental calls carry a flat surcharge either way.
+    Calibrated against BENCH_kernels.json so {!Schedule.auto_schedule}
+    rankings agree with measured imp-backend times; only the relative
+    ordering of estimates is meaningful. *)

@@ -1,0 +1,125 @@
+(* Kernel execution backends and the backend-aware kernel cache.
+
+   Three ways to execute a prim func, all bit-identical on valid
+   programs (differential-tested in test/test_compile.ml):
+
+   - [Interp]: the reference tree-walking interpreter (no caching
+     benefit beyond skipping re-unification; kept for semantics);
+   - [Closure]: {!Compile}'s nested-closure backend;
+   - [Imp]: {!Imp_compile}'s flat imperative register machine, the
+     default. When a [prove] callback is installed (the VM injects
+     [Analysis.Proof.prover], keeping this library independent of the
+     analysis layer) and it vouches for a kernel, the imp backend
+     elides runtime bounds checks (DESIGN.md §12).
+
+   The cache is keyed by kernel name + backend-prefixed shape
+   signature, so caches of different backends never alias — a
+   [--backend] switch can never replay code compiled for another
+   backend (test/test_compile.ml:backend cache keying). *)
+
+type backend = Interp | Closure | Imp
+
+let default = Imp
+let all = [ Interp; Closure; Imp ]
+
+let backend_name = function
+  | Interp -> "interp"
+  | Closure -> "closure"
+  | Imp -> "imp"
+
+let backend_of_string = function
+  | "interp" -> Some Interp
+  | "closure" -> Some Closure
+  | "imp" -> Some Imp
+  | _ -> None
+
+module Cache = struct
+  type runner = Base.Ndarray.t list -> unit
+
+  type entry = {
+    func : Prim_func.t;
+    elide : bool;  (* Imp only: bounds checks elided for this kernel *)
+    table : (string, runner) Hashtbl.t;
+  }
+
+  type t = {
+    backend : backend;
+    prove : Prim_func.t -> bool;
+    entries : (string, entry) Hashtbl.t;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let no_proof _ = false
+
+  let create ?(prove = no_proof) backend =
+    { backend; prove; entries = Hashtbl.create 32; hits = 0; misses = 0 }
+
+  let backend t = t.backend
+  let hits t = t.hits
+  let misses t = t.misses
+
+  let compiled_count t =
+    Hashtbl.fold (fun _ e acc -> acc + Hashtbl.length e.table) t.entries 0
+
+  let elision_of t name =
+    Option.map (fun e -> e.elide) (Hashtbl.find_opt t.entries name)
+
+  (* Same shape-signature format as {!Compile.Cache}, prefixed with
+     the backend so keys from different backends never collide. *)
+  let sig_key backend (shapes : int array list)
+      (sym_args : (Arith.Var.t * int) list) =
+    let b = Stdlib.Buffer.create 32 in
+    Stdlib.Buffer.add_string b (backend_name backend);
+    Stdlib.Buffer.add_char b ':';
+    List.iter
+      (fun s ->
+        Stdlib.Buffer.add_char b '[';
+        Array.iter
+          (fun d ->
+            Stdlib.Buffer.add_string b (string_of_int d);
+            Stdlib.Buffer.add_char b 'x')
+          s;
+        Stdlib.Buffer.add_char b ']')
+      shapes;
+    List.iter
+      (fun (_, x) ->
+        Stdlib.Buffer.add_char b '/';
+        Stdlib.Buffer.add_string b (string_of_int x))
+      sym_args;
+    Stdlib.Buffer.contents b
+
+  let compile_for t (e : entry) ~sym_args shapes : runner =
+    match t.backend with
+    | Interp -> fun args -> Interp.run ~sym_args e.func args
+    | Closure -> Compile.compile ~sym_args e.func shapes
+    | Imp -> Imp_compile.compile ~sym_args ~elide_bounds:e.elide e.func shapes
+
+  let run t ?(sym_args = []) (f : Prim_func.t) (args : Base.Ndarray.t list) =
+    let shapes = List.map (fun nd -> nd.Base.Ndarray.shape) args in
+    let entry =
+      (* Keyed by name, validated by physical identity, like
+         {!Compile.Cache}: a rebuilt same-named kernel recompiles (and
+         re-proves) rather than reusing stale code. *)
+      match Hashtbl.find_opt t.entries f.Prim_func.name with
+      | Some e when e.func == f -> e
+      | Some _ | None ->
+          let elide = t.backend = Imp && t.prove f in
+          let e = { func = f; elide; table = Hashtbl.create 4 } in
+          Hashtbl.replace t.entries f.Prim_func.name e;
+          e
+    in
+    let key = sig_key t.backend shapes sym_args in
+    let runner =
+      match Hashtbl.find_opt entry.table key with
+      | Some r ->
+          t.hits <- t.hits + 1;
+          r
+      | None ->
+          t.misses <- t.misses + 1;
+          let r = compile_for t entry ~sym_args shapes in
+          Hashtbl.replace entry.table key r;
+          r
+    in
+    runner args
+end

@@ -1,0 +1,47 @@
+(** Kernel execution backends and the backend-aware kernel cache.
+
+    The [--backend interp|closure|imp] selector surfaces here: the VM
+    and the eager baseline execute every kernel through {!Cache.run}
+    with the backend chosen at creation. All three backends are
+    bit-identical on valid programs; [Imp] (the default) additionally
+    elides proved-redundant bounds checks when a prover is installed
+    (see {!Imp_compile} and DESIGN.md §12). *)
+
+type backend = Interp | Closure | Imp
+
+val default : backend
+(** [Imp]. *)
+
+val all : backend list
+val backend_name : backend -> string
+val backend_of_string : string -> backend option
+
+module Cache : sig
+  type t
+
+  val create : ?prove:(Prim_func.t -> bool) -> backend -> t
+  (** [prove f] decides bounds-check elision for the [Imp] backend
+      (default: never elide). The VM installs
+      [Analysis.Proof.prover]; the callback is consulted once per
+      kernel (per physical identity), not per signature. *)
+
+  val run :
+    t ->
+    ?sym_args:(Arith.Var.t * int) list ->
+    Prim_func.t ->
+    Base.Ndarray.t list ->
+    unit
+  (** Execute through the cache: compile on first sight of a
+      (kernel, backend-prefixed shape signature), replay after. *)
+
+  val backend : t -> backend
+  val hits : t -> int
+  val misses : t -> int
+
+  val compiled_count : t -> int
+  (** Number of distinct (kernel, shape signature) entries compiled. *)
+
+  val elision_of : t -> string -> bool option
+  (** Whether bounds checks were elided for the named kernel; [None]
+      if the kernel has not been seen. *)
+end

@@ -30,9 +30,10 @@ let bits_equal_exn msg (a : Base.Ndarray.t) (b : Base.Ndarray.t) =
         x
   | _ -> Alcotest.failf "%s: storage kinds differ" msg
 
-(* Run [k] through the interpreter and the compiled path on identical
-   inputs (same seeds, separate arrays); all buffers — inputs included,
-   to catch clobbering — must come out bit-identical. *)
+(* Run [k] through the interpreter, the compiled-closure path and the
+   imp backend (both checked and bounds-elided) on identical inputs
+   (same seeds, separate arrays); all buffers — inputs included, to
+   catch clobbering — must come out bit-identical across all four. *)
 let differential ?(sym_args = []) ?(seed = 0) msg (k : Tir.Prim_func.t)
     (shapes : int array list) =
   let n = List.length k.Tir.Prim_func.params in
@@ -47,12 +48,19 @@ let differential ?(sym_args = []) ?(seed = 0) msg (k : Tir.Prim_func.t)
             b.Tir.Buffer.dtype shape)
       (List.combine k.Tir.Prim_func.params shapes)
   in
-  let ref_args = mk () and cmp_args = mk () in
+  let ref_args = mk () in
   Tir.Interp.run ~sym_args k ref_args;
-  Tir.Compile.run ~sym_args k cmp_args;
-  List.iteri
-    (fun i (r, c) -> bits_equal_exn (Printf.sprintf "%s[arg %d]" msg i) r c)
-    (List.combine ref_args cmp_args)
+  let check tag run =
+    let cmp_args = mk () in
+    run cmp_args;
+    List.iteri
+      (fun i (r, c) ->
+        bits_equal_exn (Printf.sprintf "%s[%s arg %d]" msg tag i) r c)
+      (List.combine ref_args cmp_args)
+  in
+  check "closure" (Tir.Compile.run ~sym_args k);
+  check "imp" (Tir.Imp_compile.run ~sym_args ~elide_bounds:false k);
+  check "imp-elide" (Tir.Imp_compile.run ~sym_args ~elide_bounds:true k)
 
 (* ---------- every kernel family, fixed shapes ---------- *)
 
@@ -324,16 +332,141 @@ let test_vm_kernel_cache () =
     Runtime.Vm.value_tensor (Runtime.Vm.run vm "main" [ Runtime.Vm.tensor x ])
   in
   let cache = Runtime.Vm.kernel_cache vm in
-  let m1 = Tir.Compile.Cache.misses cache in
+  let m1 = Tir.Exec.Cache.misses cache in
   Alcotest.(check bool) "first run compiles kernels" true (m1 > 0);
   let r2 =
     Runtime.Vm.value_tensor (Runtime.Vm.run vm "main" [ Runtime.Vm.tensor x ])
   in
   Alcotest.(check int) "replay compiles nothing new" m1
-    (Tir.Compile.Cache.misses cache);
+    (Tir.Exec.Cache.misses cache);
   Alcotest.(check bool) "replay hits the cache" true
-    (Tir.Compile.Cache.hits cache >= m1);
+    (Tir.Exec.Cache.hits cache >= m1);
   bits_equal_exn "replay result" r1 r2
+
+(* ---------- proof-elision goldens ---------- *)
+
+(* A static matmul is exactly what the verifier proves clean: the imp
+   lowering must emit only unsafe accesses under elision, and the
+   backend cache must record the elision decision. *)
+let test_elision_proved () =
+  let k =
+    Tir.Kernels.matmul_weights ~name:"mm_static" ~m:(e 4) ~k:(e 4) ~n:(e 4) f32
+  in
+  let shapes = [ [| 4; 4 |]; [| 4; 4 |]; [| 4; 4 |] ] in
+  Alcotest.(check bool) "verifier proves static matmul" true
+    (Analysis.Proof.memory_safe k);
+  let p = Tir.Imp_compile.lower ~elide_bounds:true k shapes in
+  let unsafe, checked = Tir.Imp.count_mem p in
+  Alcotest.(check int) "no checked accesses remain" 0 checked;
+  Alcotest.(check bool) "unsafe accesses present" true (unsafe > 0);
+  let cache =
+    Tir.Exec.Cache.create ~prove:(Analysis.Proof.prover ()) Tir.Exec.Imp
+  in
+  let args =
+    [ Base.Ndarray.random_uniform ~seed:1 f32 [| 4; 4 |];
+      Base.Ndarray.random_uniform ~seed:2 f32 [| 4; 4 |];
+      Base.Ndarray.create f32 [| 4; 4 |] ]
+  in
+  Tir.Exec.Cache.run cache k args;
+  Alcotest.(check (option bool)) "cache elided the proved kernel"
+    (Some true)
+    (Tir.Exec.Cache.elision_of cache "mm_static")
+
+(* The gather kernel loads through a data-dependent row index the
+   verifier cannot bound, so even with the prover installed it must
+   stay on checked access. *)
+let test_elision_unproved () =
+  let k =
+    Tir.Kernels.take_rows ~name:"tk_dyn" ~rows:(e 16) ~width:(e 3)
+      ~num_indices:(e 5) f32
+  in
+  let shapes = [ [| 16; 3 |]; [| 5 |]; [| 5; 3 |] ] in
+  Alcotest.(check bool) "verifier cannot prove the gather" false
+    (Analysis.Proof.memory_safe k);
+  let cache =
+    Tir.Exec.Cache.create ~prove:(Analysis.Proof.prover ()) Tir.Exec.Imp
+  in
+  let idxs =
+    Base.Ndarray.of_float_list Base.Dtype.I32 [| 5 |]
+      [ 3.0; 0.0; 15.0; 7.0; 1.0 ]
+  in
+  let args =
+    [ Base.Ndarray.random_uniform ~seed:3 f32 [| 16; 3 |];
+      idxs;
+      Base.Ndarray.create f32 [| 5; 3 |] ]
+  in
+  Tir.Exec.Cache.run cache k args;
+  Alcotest.(check (option bool)) "cache kept checked access" (Some false)
+    (Tir.Exec.Cache.elision_of cache "tk_dyn");
+  let p = Tir.Imp_compile.lower ~elide_bounds:false k shapes in
+  let unsafe, checked = Tir.Imp.count_mem p in
+  Alcotest.(check int) "no unsafe accesses" 0 unsafe;
+  Alcotest.(check bool) "checked accesses present" true (checked > 0)
+
+(* ---------- backend selection round-trip ---------- *)
+
+(* The --backend selector must round-trip through the VM's kernel
+   cache: each backend compiles its own entries (backend-prefixed
+   signature keys, so caches never replay another backend's code),
+   replays hit only its own entries, and all backends agree
+   bit-identically. *)
+let test_backend_roundtrip () =
+  let open Relax_core in
+  let build_program () =
+    let b = Builder.create () in
+    Builder.function_ b ~name:"main"
+      ~params:[ ("x", Struct_info.tensor [ e 4; e 4 ] f32) ]
+      (fun params ->
+        match params with
+        | [ x ] ->
+            Builder.dataflow b (fun () ->
+                let o1 =
+                  Builder.emit b (Expr.call_op "relu" [ Expr.Var x ])
+                in
+                let o2 =
+                  Builder.emit b (Expr.call_op "gelu" [ Expr.Var o1 ])
+                in
+                Expr.Var o2)
+        | _ -> assert false);
+    Relax_passes.Pipeline.compile ~device:Runtime.Device.rtx4090
+      (Builder.module_ b)
+  in
+  let program = build_program () in
+  let x = Base.Ndarray.random_uniform ~seed:11 f32 [| 4; 4 |] in
+  let results =
+    List.map
+      (fun backend ->
+        let name = Tir.Exec.backend_name backend in
+        Alcotest.(check bool)
+          (name ^ " name round-trips") true
+          (Tir.Exec.backend_of_string name = Some backend);
+        let vm = Runtime.Vm.create ~backend `Numeric program in
+        let cache = Runtime.Vm.kernel_cache vm in
+        Alcotest.(check string)
+          (name ^ " cache carries the backend") name
+          (Tir.Exec.backend_name (Tir.Exec.Cache.backend cache));
+        let r1 =
+          Runtime.Vm.value_tensor
+            (Runtime.Vm.run vm "main" [ Runtime.Vm.tensor x ])
+        in
+        let m1 = Tir.Exec.Cache.misses cache in
+        Alcotest.(check bool)
+          (name ^ " compiles fresh entries (no cross-backend reuse)")
+          true (m1 > 0);
+        let _ = Runtime.Vm.run vm "main" [ Runtime.Vm.tensor x ] in
+        Alcotest.(check int)
+          (name ^ " replay stays within its backend") m1
+          (Tir.Exec.Cache.misses cache);
+        (name, r1))
+      Tir.Exec.all
+  in
+  match results with
+  | (_, ref_r) :: rest ->
+      List.iter
+        (fun (name, r) ->
+          bits_equal_exn ("backend " ^ name ^ " agrees with interp") ref_r r)
+        rest
+  | [] -> Alcotest.fail "no backends"
 
 (* ---------- @perf-smoke: compiled must not lose to the walker ---------- *)
 
@@ -387,5 +520,12 @@ let () =
       ( "cache",
         [ Alcotest.test_case "shape-signature keying" `Quick test_cache_keying;
           Alcotest.test_case "vm kernel cache" `Quick test_vm_kernel_cache ] );
+      ( "elision",
+        [ Alcotest.test_case "proved kernel elides" `Quick test_elision_proved;
+          Alcotest.test_case "unproved kernel stays checked" `Quick
+            test_elision_unproved ] );
+      ( "backend",
+        [ Alcotest.test_case "selector round-trips through caches" `Quick
+            test_backend_roundtrip ] );
       ("perf_smoke", [ Alcotest.test_case "matmul" `Quick test_perf_smoke ])
     ]

@@ -304,6 +304,50 @@ let test_cost_fused_excludes_shared () =
   in
   Alcotest.(check int) "fused read footprint excludes temp" expected read
 
+let test_cost_imp_time_model () =
+  (* The imp-backend time model must rank the bench kernels the way
+     BENCH_kernels.json measures them at the large sizes: softmax
+     (transcendental-bound) > matmul (FMA-bound) > layer_norm (cheap
+     streaming passes), with distinct per-element rates for reduction
+     vs map patterns. *)
+  let lookup _ = 0 in
+  let est f = Tir.Cost.est_imp_ns f lookup in
+  let mm =
+    Tir.Kernels.matmul_weights ~name:"mm" ~m:(e 128) ~k:(e 128) ~n:(e 128) f32
+  in
+  let sm = Tir.Kernels.softmax_last ~name:"sm" [ e 256; e 1024 ] f32 in
+  let ln =
+    Tir.Kernels.layer_norm ~name:"ln" [ e 256; e 1024 ] ~eps:1e-5 f32
+  in
+  let mm_ns = est mm and sm_ns = est sm and ln_ns = est ln in
+  Alcotest.(check bool) "softmax slowest (transcendentals)" true
+    (sm_ns > mm_ns);
+  Alcotest.(check bool) "layer_norm cheapest" true (ln_ns < mm_ns);
+  (* transcendental accounting: softmax evaluates exp twice per
+     element (sum and normalize passes) *)
+  let sm_cost = Tir.Cost.analyze sm in
+  Alcotest.(check int) "softmax transcendental count" (2 * 256 * 1024)
+    (Arith.Expr.eval lookup sm_cost.Tir.Cost.transcendentals);
+  let mm_cost = Tir.Cost.analyze mm in
+  Alcotest.(check int) "matmul has no transcendentals" 0
+    (Arith.Expr.eval lookup mm_cost.Tir.Cost.transcendentals);
+  (* reduction vs map rate: identical flop counts must not cost the
+     same when one program FMA-fuses and the other streams *)
+  let red =
+    Tir.Kernels.reduce ~name:"r" ~kind:`Sum [ e 64; e 64 ] f32
+  in
+  let ew =
+    Tir.Kernels.binary ~name:"addk"
+      ~op:(fun a b -> Tir.Texpr.(a +. b))
+      [ e 64; e 64 ] f32
+  in
+  let red_cost = Tir.Cost.analyze red and ew_cost = Tir.Cost.analyze ew in
+  let red_flops = Arith.Expr.eval lookup red_cost.Tir.Cost.flops in
+  let ew_flops = Arith.Expr.eval lookup ew_cost.Tir.Cost.flops in
+  Alcotest.(check int) "same flop count" red_flops ew_flops;
+  Alcotest.(check bool) "reduction flops priced below map flops" true
+    (est red < est ew)
+
 (* ---------- workspace lifting ---------- *)
 
 let test_workspace_lift () =
@@ -465,7 +509,9 @@ let () =
       ( "cost",
         [ Alcotest.test_case "matmul" `Quick test_cost_matmul;
           Alcotest.test_case "fused excludes shared" `Quick
-            test_cost_fused_excludes_shared ] );
+            test_cost_fused_excludes_shared;
+          Alcotest.test_case "imp time model ranking" `Quick
+            test_cost_imp_time_model ] );
       ( "workspace",
         [ Alcotest.test_case "lift split-k" `Quick test_workspace_lift;
           Alcotest.test_case "none to lift" `Quick test_workspace_none ] );
