@@ -1187,6 +1187,204 @@ let kvshare () =
   close_out oc;
   Printf.printf "\n  wrote %s\n" path
 
+(* ---------- cluster: replicated serving + tensor parallelism ---------- *)
+
+let cluster () =
+  section "cluster: replicated serving and tensor parallelism, Llama3-8B";
+  let device = Runtime.Device.rtx4090 in
+  let cfg = Frontend.Configs.llama3_8b in
+  let model = Serve.Scheduler.model ~cfg ~precision:Frontend.Llm.F16 ~device in
+  let sched =
+    { Serve.Scheduler.default_opts with Serve.Scheduler.max_batch = 16 }
+  in
+  (* Replica scaling: a 20 req/s Poisson stream of long generations
+     saturates a single engine (its makespan runs far past the last
+     arrival), so adding replicas converts queueing delay directly
+     into throughput until the offered load is absorbed. *)
+  let rate = 20.0 in
+  let w =
+    Serve.Workload.generate ~seed:42 ~rate_per_s:rate ~num_requests:96
+      ~max_total:cfg.Frontend.Configs.max_context
+      ~prompt:(Serve.Workload.Uniform (32, 128))
+      ~output:(Serve.Workload.Uniform (192, 320))
+      ()
+  in
+  Printf.printf "\n--- replica scaling, %.0f req/s, round-robin ---\n" rate;
+  Printf.printf "%-9s %10s %10s %12s %12s %8s\n" "replicas" "tokens/s"
+    "goodput" "TTFT p50" "makespan" "speedup";
+  let scaling =
+    List.map
+      (fun m ->
+        let opts =
+          { Dist.Cluster.default_opts with
+            Dist.Cluster.replicas = m;
+            route = Dist.Cluster.Round_robin;
+            sched }
+        in
+        let r = Dist.Cluster.run ~model opts w in
+        (m, r.Dist.Cluster.summary))
+      [ 1; 2; 4; 8 ]
+  in
+  let base_tps = (snd (List.hd scaling)).Serve.Metrics.tokens_per_s in
+  List.iter
+    (fun (m, (s : Serve.Metrics.summary)) ->
+      Printf.printf "%-9d %10.1f %10.1f %10.1fms %10.1fms %7.2fx\n" m
+        s.Serve.Metrics.tokens_per_s s.Serve.Metrics.goodput_tokens_per_s
+        (ms s.Serve.Metrics.ttft_us.Serve.Metrics.p50)
+        (ms s.Serve.Metrics.makespan_us)
+        (s.Serve.Metrics.tokens_per_s /. base_tps))
+    scaling;
+  let tps_of m = (List.assoc m scaling).Serve.Metrics.tokens_per_s in
+  Printf.printf "\n1 -> 4 replicas: %.2fx throughput%s\n"
+    (tps_of 4 /. tps_of 1)
+    (if tps_of 4 /. tps_of 1 >= 2.5 then ""
+     else "  ** EXPECTED >= 2.5x SCALING **");
+  (* Routing policies on a prefix-heavy chat workload: with KV prefix
+     sharing and the prefill discount on, landing a session's turns on
+     the replica that already caches their shared prefix (affinity)
+     should beat spreading them blindly (round-robin) on TTFT. The
+     affinity window must reach past the shared system prompt, or
+     every session hashes to the same replica. *)
+  let replicas = 4 in
+  let chat =
+    Serve.Workload.multi_turn_chat ~seed:7 ~rate_per_s:40.0 ~sessions:16
+      ~turns:4 ~vocab:cfg.Frontend.Configs.vocab ~system_len:48
+      ~think_time_us:150_000.0 ~max_total:cfg.Frontend.Configs.max_context
+      ~turn_user:(Serve.Workload.Uniform (16, 48))
+      ~output:(Serve.Workload.Uniform (32, 96))
+      ()
+  in
+  let chat_sched =
+    { sched with
+      Serve.Scheduler.kv_share = true;
+      Serve.Scheduler.prefix_prefill_discount = true }
+  in
+  Printf.printf
+    "\n--- routing, %d replicas, multi-turn chat, kv_share + prefill discount \
+     ---\n"
+    replicas;
+  Printf.printf "%-16s %12s %12s %10s %10s\n" "route" "TTFT p50" "TTFT p95"
+    "hit rate" "tokens/s";
+  let routing =
+    List.map
+      (fun route ->
+        let opts =
+          { Dist.Cluster.default_opts with
+            Dist.Cluster.replicas;
+            route;
+            affinity_window = 128;
+            sched = chat_sched }
+        in
+        let r = Dist.Cluster.run ~model opts chat in
+        let s = r.Dist.Cluster.summary in
+        Printf.printf "%-16s %10.1fms %10.1fms %9.0f%% %10.1f\n"
+          (Dist.Cluster.route_name route)
+          (ms s.Serve.Metrics.ttft_us.Serve.Metrics.p50)
+          (ms s.Serve.Metrics.ttft_us.Serve.Metrics.p95)
+          (s.Serve.Metrics.prefix_hit_rate *. 100.0)
+          s.Serve.Metrics.tokens_per_s;
+        (route, s))
+      [ Dist.Cluster.Round_robin; Least_loaded; Power_of_two; Prefix_affinity ]
+  in
+  let ttft_of route =
+    (List.assoc route routing).Serve.Metrics.ttft_us.Serve.Metrics.p50
+  in
+  Printf.printf "\naffinity vs round-robin TTFT p50: %.1fms vs %.1fms%s\n"
+    (ms (ttft_of Dist.Cluster.Prefix_affinity))
+    (ms (ttft_of Dist.Cluster.Round_robin))
+    (if ttft_of Dist.Cluster.Prefix_affinity < ttft_of Dist.Cluster.Round_robin
+     then ""
+     else "  ** EXPECTED AFFINITY TO WIN TTFT **");
+  (* TP sweep: one timed decode step per degree. Per-shard compute
+     shrinks ~1/tp while every extra shard adds all-gathers charged
+     from the PCIe link, so the modeled speedup peaks and then decays
+     — the crossover where collective cost overtakes the compute
+     saving. *)
+  let ctx = 1024 in
+  Printf.printf "\n--- tensor-parallel decode step, ctx %d, %s over %s ---\n"
+    ctx device.Runtime.Device.name
+    device.Runtime.Device.link.Runtime.Device.link_name;
+  Printf.printf "%-4s %12s %12s %10s %6s %9s %9s\n" "tp" "parallel" "serial"
+    "comm" "coll" "comm frac" "speedup";
+  let sweep =
+    List.map
+      (fun tp ->
+        let r = Dist.Tp.step_report cfg ~batch:1 ~tp ~ctx ~device () in
+        r)
+      [ 1; 2; 4; 8 ]
+  in
+  let base_us = (List.hd sweep).Dist.Tp.parallel_us in
+  List.iter
+    (fun (r : Dist.Tp.step_report) ->
+      Printf.printf "%-4d %10.1fus %10.1fus %8.1fus %6d %8.0f%% %8.2fx\n"
+        r.Dist.Tp.tp r.Dist.Tp.parallel_us r.Dist.Tp.serial_us
+        r.Dist.Tp.comm_us r.Dist.Tp.collectives
+        (100.0 *. r.Dist.Tp.comm_us /. r.Dist.Tp.parallel_us)
+        (base_us /. r.Dist.Tp.parallel_us))
+    sweep;
+  let path = out_file "BENCH_cluster.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"cluster\",\n\
+    \  \"model\": %S,\n\
+    \  \"device\": %S,\n\
+    \  \"precision\": \"F16\",\n\
+    \  \"interconnect\": %S,\n\
+    \  \"replica_scaling\": { \"rate_req_per_s\": %.1f, \"route\": \
+     \"round-robin\", \"points\": [\n"
+    cfg.Frontend.Configs.name device.Runtime.Device.name
+    device.Runtime.Device.link.Runtime.Device.link_name rate;
+  List.iteri
+    (fun i (m, (s : Serve.Metrics.summary)) ->
+      Printf.fprintf oc
+        "    { \"replicas\": %d, \"tokens_per_s\": %.1f, \
+         \"goodput_tokens_per_s\": %.1f, \"ttft_p50_ms\": %.2f, \
+         \"makespan_ms\": %.1f, \"completed\": %d, \"speedup_vs_1\": %.3f }%s\n"
+        m s.Serve.Metrics.tokens_per_s s.Serve.Metrics.goodput_tokens_per_s
+        (ms s.Serve.Metrics.ttft_us.Serve.Metrics.p50)
+        (ms s.Serve.Metrics.makespan_us)
+        s.Serve.Metrics.completed
+        (s.Serve.Metrics.tokens_per_s /. base_tps)
+        (if i = List.length scaling - 1 then "" else ","))
+    scaling;
+  Printf.fprintf oc
+    "  ] },\n\
+    \  \"routing\": { \"replicas\": %d, \"workload\": \"multi_turn_chat\", \
+     \"kv_share\": true, \"prefix_prefill_discount\": true, \
+     \"affinity_window\": 128, \"points\": [\n"
+    replicas;
+  List.iteri
+    (fun i (route, (s : Serve.Metrics.summary)) ->
+      Printf.fprintf oc
+        "    { \"route\": %S, \"ttft_p50_ms\": %.2f, \"ttft_p95_ms\": %.2f, \
+         \"prefix_hit_rate\": %.3f, \"tokens_per_s\": %.1f, \"completed\": \
+         %d }%s\n"
+        (Dist.Cluster.route_name route)
+        (ms s.Serve.Metrics.ttft_us.Serve.Metrics.p50)
+        (ms s.Serve.Metrics.ttft_us.Serve.Metrics.p95)
+        s.Serve.Metrics.prefix_hit_rate s.Serve.Metrics.tokens_per_s
+        s.Serve.Metrics.completed
+        (if i = List.length routing - 1 then "" else ","))
+    routing;
+  Printf.fprintf oc
+    "  ] },\n\
+    \  \"tp_sweep\": { \"ctx\": %d, \"strategy\": \"gather\", \"points\": [\n"
+    ctx;
+  List.iteri
+    (fun i (r : Dist.Tp.step_report) ->
+      Printf.fprintf oc
+        "    { \"tp\": %d, \"parallel_us\": %.1f, \"serial_us\": %.1f, \
+         \"comm_us\": %.1f, \"collectives\": %d, \"speedup_vs_tp1\": %.3f }%s\n"
+        r.Dist.Tp.tp r.Dist.Tp.parallel_us r.Dist.Tp.serial_us
+        r.Dist.Tp.comm_us r.Dist.Tp.collectives
+        (base_us /. r.Dist.Tp.parallel_us)
+        (if i = List.length sweep - 1 then "" else ","))
+    sweep;
+  Printf.fprintf oc "  ] }\n}\n";
+  close_out oc;
+  Printf.printf "\n  wrote %s\n" path
+
 (* ---------- registry ---------- *)
 
 let experiments =
@@ -1218,7 +1416,11 @@ let experiments =
      chaos);
     ("kvshare",
      "cross-request KV prefix sharing on vs off; writes BENCH_kvshare.json",
-     kvshare) ]
+     kvshare);
+    ("cluster",
+     "replica scaling, routing policies and TP sweep; writes \
+      BENCH_cluster.json",
+     cluster) ]
 
 let usage () =
   prerr_endline

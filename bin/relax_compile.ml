@@ -16,6 +16,7 @@
 let models =
   [ ("tiny", Frontend.Configs.tiny);
     ("tiny-q", Frontend.Configs.tiny_q);
+    ("tiny-tp", Frontend.Configs.tiny_tp);
     ("llama3-8b", Frontend.Configs.llama3_8b);
     ("llama2-7b", Frontend.Configs.llama2_7b);
     ("gemma-7b", Frontend.Configs.gemma_7b);
@@ -36,21 +37,62 @@ let usage_error fmt =
          [--no-capture] [--paged]\n\
         \       [--backend interp|closure|imp] [--trace] [--profile] \
          [--lint] [--verify-passes] [--json]\n\
+        \       [--tp N]\n\
         \       [--serve [--rate R] [--requests N] [--policy \
          continuous|static] [--seed N]\n\
         \                [--admission fcfs|deadline] [--deadline-ms MS] \
          [--retries N]\n\
-        \                [--faults P] [--fault-seed N] [--kv-share]]\n";
+        \                [--faults P] [--fault-seed N] [--kv-share]\n\
+        \                [--replicas M] [--route \
+         round-robin|least-loaded|power-of-two|prefix-affinity]]\n";
       exit 2)
     fmt
+
+(* --tp: time one tensor-parallel decode step instead of the single-
+   device path. The model is sharded over N simulated GPUs (lib/dist);
+   the report splits time per device and charges the ccl.* collectives
+   from the device's interconnect link. *)
+let run_tp cfg (device : Runtime.Device.t) ~batch ~ctx ~tp ~profile =
+  let ctx = min ctx cfg.Frontend.Configs.max_context in
+  let rep = Dist.Tp.step_report cfg ~batch ~tp ~ctx ~device () in
+  if profile then begin
+    let { Dist.Tp.sh; prog } = Dist.Tp.compile_decode cfg ~batch ~tp ~device in
+    let built = sh.Frontend.Llm.sbuilt in
+    let p = Runtime.Profiler.create () in
+    let vm =
+      Runtime.Vm.create ~trace:(Runtime.Profiler.sink p) (`Timed device) prog
+    in
+    let args = Frontend.Llm.args_for built ~ctx ~mode:`Shadow () in
+    let steps = 3 in
+    for _ = 1 to steps do
+      ignore (Runtime.Vm.run vm built.Frontend.Llm.entry args)
+    done;
+    Printf.printf "=== tensor-parallel profile (%d steps) ===\n" steps;
+    print_string (Runtime.Profiler.report p)
+  end;
+  let link = device.Runtime.Device.link in
+  Printf.printf "model            %s (f16, batch %d, context %d)\n"
+    cfg.Frontend.Configs.name batch ctx;
+  Printf.printf "device           %d x %s\n" tp device.Runtime.Device.name;
+  Printf.printf "interconnect     %s: %.0f GB/s, %.1f us latency (%s)\n"
+    link.Runtime.Device.link_name link.Runtime.Device.link_bw_gbps
+    link.Runtime.Device.link_latency_us
+    (match link.Runtime.Device.topology with
+    | Runtime.Device.Ring -> "ring"
+    | Runtime.Device.Fully_connected -> "fully connected");
+  print_endline (Dist.Tp.report_to_string rep);
+  Printf.printf "speedup          %.2fx over one device serializing all \
+                 shards\n"
+    (rep.Dist.Tp.serial_us /. rep.Dist.Tp.parallel_us)
 
 (* --serve: drive the continuous-batching serving engine (lib/serve)
    instead of timing a lone decode step. [batch] becomes the scheduler's
    max batch; the workload is a seeded Poisson stream sized to the
-   model's max context. *)
+   model's max context. With --replicas M > 1 the stream is routed
+   across M independent engine replicas (lib/dist). *)
 let run_serve cfg (device : Runtime.Device.t) precision ~max_batch ~rate
     ~requests ~policy_name ~seed ~admission_name ~deadline_ms ~retries
-    ~faults_p ~fault_seed ~kv_share ~trace ~profile =
+    ~faults_p ~fault_seed ~kv_share ~replicas ~route ~trace ~profile =
   let policy =
     match policy_name with
     | "continuous" -> Serve.Scheduler.Continuous
@@ -117,6 +159,40 @@ let run_serve cfg (device : Runtime.Device.t) precision ~max_batch ~rate
       kv_share;
     }
   in
+  (* Replicated cluster: route the stream across M independent engine
+     replicas and fold their metrics. --trace/--profile are
+     single-engine affairs and were rejected up front. *)
+  if replicas > 1 then begin
+    let copts =
+      { Dist.Cluster.default_opts with
+        Dist.Cluster.replicas;
+        route;
+        affinity_window = max 64 (mmax / 4);
+        sched = opts;
+      }
+    in
+    let r =
+      try Dist.Cluster.run ~model copts workload with
+      | Runtime.Fault.Error (cls, msg) ->
+          Printf.eprintf "serving failed [%s]: %s\n"
+            (Runtime.Fault.error_class_name cls)
+            msg;
+          exit 1
+    in
+    Printf.printf "model            %s (%s)\n" cfg.Frontend.Configs.name
+      (match precision with
+      | Frontend.Llm.F16 -> "f16"
+      | Frontend.Llm.Q4 -> "q4"
+      | Frontend.Llm.Q3 -> "q3");
+    Printf.printf "device           %d x %s\n" replicas
+      device.Runtime.Device.name;
+    Printf.printf "policy           %s, max batch %d per replica\n"
+      policy_name max_batch;
+    Printf.printf "workload         %d requests at %.1f req/s (seed %d)\n"
+      (List.length workload) rate seed;
+    print_string (Dist.Cluster.to_string copts r);
+    exit 0
+  end;
   let recorder = if trace then Some (Runtime.Trace.recorder ()) else None in
   let profiler = if profile then Some (Runtime.Profiler.create ()) else None in
   let sink =
@@ -193,7 +269,7 @@ let run_serve cfg (device : Runtime.Device.t) precision ~max_batch ~rate
 let run model_name device_name batch ctx quant backend_name dump_ir no_fusion
     no_library no_planning no_capture paged trace profile lint verify_passes
     json serve rate requests policy seed admission deadline_ms retries faults
-    fault_seed kv_share =
+    fault_seed kv_share tp replicas route_name =
   let cfg =
     match List.assoc_opt model_name models with
     | Some cfg -> cfg
@@ -244,7 +320,9 @@ let run model_name device_name batch ctx quant backend_name dump_ir no_fusion
     requires "retries" (retries <> None);
     requires "faults" (faults <> None);
     requires "fault-seed" (fault_seed <> None);
-    requires "kv-share" kv_share
+    requires "kv-share" kv_share;
+    requires "replicas" (replicas <> None);
+    requires "route" (route_name <> None)
   end
   else if backend_name <> None then
     (* Serving builds its VMs internally on the default backend; a
@@ -252,6 +330,48 @@ let run model_name device_name batch ctx quant backend_name dump_ir no_fusion
     usage_error "--backend cannot be combined with --serve";
   if json && not (lint || verify_passes) then
     usage_error "--json requires --lint or --verify-passes";
+  (* --tp: tensor-parallel step timing, its own path. *)
+  (match tp with
+  | Some tp ->
+      if tp < 1 then usage_error "--tp must be >= 1 (got %d)" tp;
+      if serve then
+        usage_error
+          "--tp cannot be combined with --serve (replication across engines \
+           is --replicas)";
+      if precision <> Frontend.Llm.F16 then
+        usage_error "--tp requires f16 (sharded builders are f16-only)";
+      if not (Frontend.Llm.tp_supported cfg ~tp) then
+        usage_error
+          "%s does not shard at tp=%d (heads, kv_heads, inter, vocab and \
+           hidden must all be divisible by tp; qkv biases unsupported)"
+          cfg.Frontend.Configs.name tp;
+      List.iter
+        (fun (flag, on) ->
+          if on then usage_error "--%s cannot be combined with --tp" flag)
+        [ ("dump-ir", dump_ir); ("lint", lint); ("verify-passes", verify_passes);
+          ("paged", paged); ("trace", trace);
+          ("backend", backend_name <> None) ];
+      run_tp cfg device ~batch ~ctx ~tp ~profile;
+      exit 0
+  | None -> ());
+  let replicas_n = Option.value replicas ~default:1 in
+  if replicas_n < 1 then
+    usage_error "--replicas must be >= 1 (got %d)" replicas_n;
+  let route =
+    match route_name with
+    | None -> Dist.Cluster.Round_robin
+    | Some name -> (
+        if replicas = None then usage_error "--route requires --replicas";
+        match Dist.Cluster.route_of_string name with
+        | Some r -> r
+        | None ->
+            usage_error
+              "unknown route %s \
+               (round-robin|least-loaded|power-of-two|prefix-affinity)"
+              name)
+  in
+  if replicas_n > 1 && (trace || profile) then
+    usage_error "--trace/--profile cannot be combined with --replicas";
   if serve then begin
     if dump_ir then usage_error "--dump-ir cannot be combined with --serve";
     if lint || verify_passes then
@@ -278,7 +398,7 @@ let run model_name device_name batch ctx quant backend_name dump_ir no_fusion
     | _ -> ());
     run_serve cfg device precision ~max_batch:batch ~rate ~requests
       ~policy_name ~seed ~admission_name ~deadline_ms ~retries ~faults_p
-      ~fault_seed ~kv_share ~trace ~profile;
+      ~fault_seed ~kv_share ~replicas:replicas_n ~route ~trace ~profile;
     exit 0
   end;
   (* Memory planning sizes storages for the model's declared maximum
@@ -576,6 +696,41 @@ let kv_share =
            four-turn sessions. The metrics report gains prefix hit rate, \
            shared/COW block counts and KV bytes per token.")
 
+let tp =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tp" ]
+        ~doc:
+          "Shard the model tensor-parallel over N simulated devices \
+           (column/row-split matmuls, head-parallel attention, explicit \
+           all-gather/all-reduce charged from the device interconnect) and \
+           time one decode step, reporting per-device and communication \
+           time. Requires f16 and a model whose heads/kv_heads/inter/vocab/\
+           hidden all divide by N. Cannot be combined with $(b,--serve).")
+
+let replicas =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "replicas" ]
+        ~doc:
+          "Serving: spread the request stream across M independent engine \
+           replicas (each with its own scheduler and KV blocks) and fold \
+           their metrics. Requires $(b,--serve).")
+
+let route =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "route" ]
+        ~doc:
+          "Serving: cluster routing policy, one of $(b,round-robin) \
+           (default), $(b,least-loaded), $(b,power-of-two), \
+           $(b,prefix-affinity) (hash the prompt prefix so sessions stick \
+           to a replica's KV cache; pair with $(b,--kv-share)). Requires \
+           $(b,--replicas).")
+
 let cmd =
   Cmd.v
     (Cmd.info "relax_compile" ~doc:"Compile and time a model from the zoo")
@@ -584,6 +739,6 @@ let cmd =
       $ no_fusion $ no_library $ no_planning $ no_capture $ paged $ trace
       $ profile $ lint $ verify_passes $ json $ serve $ rate $ requests
       $ policy $ seed $ admission $ deadline_ms $ retries $ faults
-      $ fault_seed $ kv_share)
+      $ fault_seed $ kv_share $ tp $ replicas $ route)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,189 @@
+(* Replicated serving cluster: a router spreads one request stream
+   across M independent Serve.Scheduler replicas, then each replica
+   runs to completion on its own engine (own block manager, own
+   clock). Dispatch is decided up front from per-replica backlog
+   estimates (Scheduler.estimate_request_us), so it is deterministic
+   and cheap — the golden routing tests pin the exact sequence. *)
+
+module Scheduler = Serve.Scheduler
+module Workload = Serve.Workload
+module Metrics = Serve.Metrics
+
+type route = Round_robin | Least_loaded | Power_of_two | Prefix_affinity
+
+let route_name = function
+  | Round_robin -> "round-robin"
+  | Least_loaded -> "least-loaded"
+  | Power_of_two -> "power-of-two"
+  | Prefix_affinity -> "prefix-affinity"
+
+let route_of_string = function
+  | "round-robin" | "rr" -> Some Round_robin
+  | "least-loaded" | "ll" -> Some Least_loaded
+  | "power-of-two" | "p2c" -> Some Power_of_two
+  | "prefix-affinity" | "affinity" -> Some Prefix_affinity
+  | _ -> None
+
+type opts = {
+  replicas : int;
+  route : route;
+  affinity_window : int;
+  route_seed : int;
+  sched : Scheduler.opts;
+}
+
+let default_opts =
+  {
+    replicas = 2;
+    route = Round_robin;
+    affinity_window = 64;
+    route_seed = 0;
+    sched = Scheduler.default_opts;
+  }
+
+(* 32-bit FNV-1a over token ids (4 little-endian bytes each). Not
+   Hashtbl.hash: the routing goldens must not move across OCaml
+   versions. *)
+let fnv1a tokens =
+  let h = ref 0x811c9dc5 in
+  List.iter
+    (fun tok ->
+      let tok = tok land 0xffffffff in
+      for b = 0 to 3 do
+        h := !h lxor ((tok lsr (8 * b)) land 0xff);
+        h := !h * 0x01000193 land 0xffffffff
+      done)
+    tokens;
+  !h
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let dispatch ~model opts (w : Workload.t) =
+  if opts.replicas < 1 then invalid_arg "Dist.Cluster: replicas < 1";
+  let m = opts.replicas in
+  (* Estimated absolute time each replica's queue drains. Backlog at a
+     request's arrival is max(0, busy_until - arrival): the same
+     single-queue estimate for every policy, so policies differ only
+     in how they use it. *)
+  let busy_until = Array.make m 0.0 in
+  let rr = ref 0 in
+  let assigned = Hashtbl.create 64 in
+  let rng = Random.State.make [| opts.route_seed |] in
+  let round_robin () =
+    let k = !rr mod m in
+    incr rr;
+    k
+  in
+  let backlog k (r : Workload.request) =
+    Float.max 0.0 (busy_until.(k) -. r.Workload.arrival_us)
+  in
+  let least_loaded r =
+    let best = ref 0 in
+    for k = 1 to m - 1 do
+      if backlog k r < backlog !best r then best := k
+    done;
+    !best
+  in
+  List.map
+    (fun (r : Workload.request) ->
+      let pick =
+        match r.Workload.fork_of with
+        | Some p when Hashtbl.mem assigned p ->
+            (* Forks must land where their parent's KV lives. *)
+            Hashtbl.find assigned p
+        | _ -> (
+            match opts.route with
+            | Round_robin -> round_robin ()
+            | Least_loaded -> least_loaded r
+            | Power_of_two ->
+                if m = 1 then 0
+                else begin
+                  let a = Random.State.int rng m in
+                  let b = (a + 1 + Random.State.int rng (m - 1)) mod m in
+                  if backlog a r <= backlog b r then a else b
+                end
+            | Prefix_affinity -> (
+                match r.Workload.prompt_tokens with
+                | Some toks when toks <> [] ->
+                    fnv1a (take opts.affinity_window toks) mod m
+                | _ -> round_robin ()))
+      in
+      Hashtbl.replace assigned r.Workload.id pick;
+      let est =
+        Scheduler.estimate_request_us model
+          ~block_size:opts.sched.Scheduler.block_size r
+      in
+      busy_until.(pick) <-
+        Float.max busy_until.(pick) r.Workload.arrival_us +. est;
+      (r.Workload.id, pick))
+    w
+
+type result = {
+  dispatch : (int * int) list;
+  replica_results : Scheduler.result array;
+  summary : Metrics.summary;
+}
+
+let run ?exec ~model opts (w : Workload.t) =
+  let disp = dispatch ~model opts w in
+  let where = Hashtbl.create 64 in
+  List.iter (fun (id, k) -> Hashtbl.replace where id k) disp;
+  let subs = Array.make opts.replicas [] in
+  List.iter
+    (fun (r : Workload.request) ->
+      let k = Hashtbl.find where r.Workload.id in
+      subs.(k) <- r :: subs.(k))
+    w;
+  let replica_results =
+    Array.map (fun sub -> Scheduler.run ?exec model opts.sched (List.rev sub))
+      subs
+  in
+  let fold f init = Array.fold_left f init replica_results in
+  let makespan =
+    fold (fun acc r -> Float.max acc r.Scheduler.clock_us) 0.0
+  in
+  let sum_clock = fold (fun acc r -> acc +. r.Scheduler.clock_us) 0.0 in
+  (* Time-weighted over replica activity; a replica that never ran
+     contributes nothing. *)
+  let weighted f =
+    if sum_clock > 0.0 then
+      fold (fun acc r -> acc +. (f r.Scheduler.summary *. r.Scheduler.clock_us))
+        0.0
+      /. sum_clock
+    else 0.0
+  in
+  let sum_i f = fold (fun acc r -> acc + f r.Scheduler.summary) 0 in
+  let completed =
+    List.concat (Array.to_list (Array.map (fun r -> r.Scheduler.completed) replica_results))
+  in
+  let summary =
+    Metrics.summarize ~makespan_us:makespan
+      ~occupancy:(weighted (fun s -> s.Metrics.occupancy))
+      ~submitted:(List.length w)
+      ~shed:(sum_i (fun s -> s.Metrics.shed))
+      ~timeouts:(sum_i (fun s -> s.Metrics.timeouts))
+      ~aborted:(sum_i (fun s -> s.Metrics.aborted))
+      ~faults:(sum_i (fun s -> s.Metrics.faults))
+      ~prefix_hit_rate:(weighted (fun s -> s.Metrics.prefix_hit_rate))
+      ~cow_copies:(sum_i (fun s -> s.Metrics.cow_copies))
+      ~kv_bytes_per_token:(weighted (fun s -> s.Metrics.kv_bytes_per_token))
+      completed
+  in
+  { dispatch = disp; replica_results; summary }
+
+let to_string opts (r : result) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "cluster: %d replicas, %s routing\n" opts.replicas
+       (route_name opts.route));
+  Array.iteri
+    (fun k (rr : Scheduler.result) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "  replica %d: %d completed, %.1f ms busy, %.1f tok/s\n" k
+           rr.Scheduler.summary.Metrics.completed
+           (rr.Scheduler.clock_us /. 1000.0)
+           rr.Scheduler.summary.Metrics.tokens_per_s))
+    r.replica_results;
+  Buffer.add_string b (Metrics.to_string r.summary);
+  Buffer.contents b

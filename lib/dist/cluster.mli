@@ -1,0 +1,84 @@
+(** Replicated serving cluster: a deterministic router over M
+    independent {!Serve.Scheduler} replicas.
+
+    Dispatch happens in two phases. First the router walks the
+    workload in arrival order and assigns every request to a replica,
+    maintaining a per-replica backlog estimate from
+    {!Serve.Scheduler.estimate_request_us} (a single-queue drain
+    estimate — no engine runs during routing, so the dispatch
+    sequence is a pure function of workload, policy and seed, which
+    the golden tests pin). Then each replica serves its sub-stream to
+    completion with its own engine — own block manager, own clock,
+    own metrics — and the per-replica summaries fold into one cluster
+    summary whose makespan is the slowest replica's clock.
+
+    Best-of-n forks always follow their parent's replica under every
+    policy: a fork only shares KV with a parent on the same engine. *)
+
+type route =
+  | Round_robin  (** arrival order modulo M *)
+  | Least_loaded  (** smallest estimated backlog at arrival; ties
+                      break to the lowest replica index *)
+  | Power_of_two
+      (** sample two distinct replicas from the seeded router PRNG,
+          take the less loaded (ties keep the first draw) *)
+  | Prefix_affinity
+      (** FNV-1a hash of the first [affinity_window] prompt tokens
+          modulo M, so requests sharing a prompt prefix land on the
+          same replica and hit its KV prefix cache; requests without
+          [prompt_tokens] fall back to round-robin *)
+
+val route_name : route -> string
+val route_of_string : string -> route option
+(** Accepts the [route_name] forms plus the short aliases
+    [rr]/[ll]/[p2c]/[affinity]. *)
+
+type opts = {
+  replicas : int;
+  route : route;
+  affinity_window : int;
+      (** prompt-prefix length hashed by {!Prefix_affinity}; must
+          exceed the shared system-prompt length for chat workloads
+          to spread across replicas at all *)
+  route_seed : int;  (** PRNG seed for {!Power_of_two} *)
+  sched : Serve.Scheduler.opts;  (** per-replica engine options *)
+}
+
+val default_opts : opts
+(** 2 replicas, round-robin, 64-token affinity window, seed 0,
+    {!Serve.Scheduler.default_opts} engines. *)
+
+val fnv1a : int list -> int
+(** 32-bit FNV-1a over token ids (4 little-endian bytes each) —
+    stable across OCaml versions, unlike [Hashtbl.hash]. *)
+
+val dispatch :
+  model:Serve.Scheduler.model ->
+  opts ->
+  Serve.Workload.t ->
+  (int * int) list
+(** The routing phase alone: [(request id, replica)] in arrival
+    order. Runs nothing beyond the shared cost-model VMs. *)
+
+type result = {
+  dispatch : (int * int) list;
+  replica_results : Serve.Scheduler.result array;
+  summary : Serve.Metrics.summary;
+      (** cluster fold: makespan = slowest replica, counters summed,
+          rates time-weighted by replica activity, percentiles over
+          the merged per-request metrics *)
+}
+
+val run :
+  ?exec:Serve.Scheduler.exec ->
+  model:Serve.Scheduler.model ->
+  opts ->
+  Serve.Workload.t ->
+  result
+(** Route, then serve every replica's sub-stream to completion.
+    Replicas share [model] (compilations and memoized step costs are
+    reused; all run-time state is per-{!Serve.Scheduler.run}), so a
+    cluster run costs M engine loops, not M compilations. *)
+
+val to_string : opts -> result -> string
+(** Per-replica load lines followed by the cluster summary. *)

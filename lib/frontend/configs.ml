@@ -141,6 +141,11 @@ let tiny =
 
 let tiny_gqa = { tiny with name = "tiny-gqa"; heads = 4; kv_heads = 2; hidden = 16; head_dim = 4 }
 
+(* Like [tiny] but with head/inter/vocab counts divisible by 4 so the
+   tensor-parallel sharding tests can exercise TP degrees 2 and 4. *)
+let tiny_tp =
+  { tiny with name = "tiny-tp"; hidden = 16; heads = 4; kv_heads = 4 }
+
 let tiny_q =
   {
     name = "tiny-q";

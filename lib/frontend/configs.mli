@@ -46,6 +46,10 @@ val tiny : t
 val tiny_gqa : t
 (** tiny with kv_heads < heads *)
 
+val tiny_tp : t
+(** tiny with heads/inter/vocab divisible by 4, for tensor-parallel
+    sharding at TP degrees 2 and 4 *)
+
 val tiny_q : t
 (** tiny but wide enough (hidden 64) for 4-bit packing tests *)
 

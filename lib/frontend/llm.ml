@@ -692,6 +692,713 @@ let prefill ?(return_caches = true) (cfg : Configs.t) precision =
     precision;
   }
 
+(* ---------- tensor-parallel sharded builders (DESIGN.md §13) ---------- *)
+
+(* One Relax module, unrolled over [tp] shards: shard s's weights are
+   contiguous column (or row) slices of the full model's matrices and
+   its bindings are named "g<s>:...", which To_vm threads through as
+   provenance so the profiler can attribute work per simulated device.
+   Explicit ccl.* collectives stitch the shards back together; they
+   are charged from the device interconnect (Device.link).
+
+   The default Gather strategy only ever concatenates shard outputs
+   (all-gather), so results are bit-identical to the unsharded model:
+   every dot product is computed whole on exactly one shard, in the
+   same order as the full model. The Megatron-style Reduce strategy
+   row-splits the second matmul of each pair and all-reduces partial
+   sums — fewer wire bytes, but the k-fold summation reassociates the
+   reduction, so it is deterministic without being bit-identical to
+   TP=1. *)
+
+type tp_strategy = Gather | Reduce
+
+type shard_src =
+  | Sh_input of string
+  | Sh_replicated of string
+  | Sh_sliced of { src : string; axis : int; shard : int; tp : int }
+
+type sharded = { sbuilt : built; srcs : shard_src list; tp : int }
+
+let tp_supported (cfg : Configs.t) ~tp =
+  tp >= 1
+  && cfg.Configs.heads mod tp = 0
+  && cfg.Configs.kv_heads mod tp = 0
+  && cfg.Configs.inter mod tp = 0
+  && cfg.Configs.vocab mod tp = 0
+  && cfg.Configs.hidden mod tp = 0
+  && not cfg.Configs.qkv_bias
+
+let check_tp fn (cfg : Configs.t) ~tp =
+  if not (tp_supported cfg ~tp) then
+    invalid_arg
+      (Printf.sprintf
+         "Llm.%s: %s does not shard at tp=%d (heads/kv_heads/inter/vocab/hidden \
+          must divide, qkv_bias unsupported)"
+         fn cfg.Configs.name tp)
+
+(* TP=1 degenerates to the unsharded builder: every weight maps to the
+   full-model parameter of the same name. *)
+let trivial_srcs (b : built) =
+  let prefixed pre nm =
+    String.length nm >= String.length pre
+    && String.sub nm 0 (String.length pre) = pre
+  in
+  List.map
+    (fun (nm, _) ->
+      if
+        nm = "ids" || nm = "cur_len" || prefixed "k_cache" nm
+        || prefixed "v_cache" nm
+      then Sh_input nm
+      else Sh_replicated nm)
+    b.params
+
+(* Declaration wrapper threading a shard-source alongside each param. *)
+type tp_decl = { d : decl; mutable rev_srcs : shard_src list }
+
+let tdeclare td src name sinfo =
+  let i = declare td.d name sinfo in
+  td.rev_srcs <- src :: td.rev_srcs;
+  i
+
+let tp_norm td (cfg : Configs.t) name =
+  let h = cfg.Configs.hidden in
+  match cfg.Configs.norm with
+  | Configs.Rms ->
+      `Rms (tdeclare td (Sh_replicated name) name (Struct_info.tensor [ c h ] dt))
+  | Configs.Layer ->
+      `Layer
+        ( tdeclare td
+            (Sh_replicated (name ^ "_g"))
+            (name ^ "_g")
+            (Struct_info.tensor [ c h ] dt),
+          tdeclare td
+            (Sh_replicated (name ^ "_b"))
+            (name ^ "_b")
+            (Struct_info.tensor [ c h ] dt) )
+
+(* A shard's slice of the full-model matrix [src]: contiguous block
+   [shard] of [tp] along [axis], declared as an own parameter. *)
+let tp_mat td ~src ~axis ~shard ~tp ~k ~n =
+  tdeclare td
+    (Sh_sliced { src; axis; shard; tp })
+    (Printf.sprintf "g%d:%s" shard src)
+    (Struct_info.tensor [ c k; c n ] dt)
+
+type tp_layer = {
+  t_attn_norm : [ `Rms of int | `Layer of int * int ];
+  t_wq : int list;
+  t_wk : int list;
+  t_wv : int list;
+  t_wo : int list;
+  t_ffn_norm : [ `Rms of int | `Layer of int * int ];
+  t_w_gate : int list option;
+  t_w_up : int list;
+  t_w_down : int list;
+}
+
+let tp_declare_layer td (cfg : Configs.t) ~tp ~strategy l =
+  let h = cfg.Configs.hidden in
+  let d = cfg.Configs.head_dim in
+  let hs = cfg.Configs.heads / tp and kvs = cfg.Configs.kv_heads / tp in
+  let is_ = cfg.Configs.inter / tp and os = h / tp in
+  let pre name = Printf.sprintf "l%d_%s" l name in
+  let attn_norm = tp_norm td cfg (pre "attn_norm") in
+  let wq =
+    List.init tp (fun s ->
+        tp_mat td ~src:(pre "wq") ~axis:1 ~shard:s ~tp ~k:h ~n:(hs * d))
+  in
+  let wk =
+    List.init tp (fun s ->
+        tp_mat td ~src:(pre "wk") ~axis:1 ~shard:s ~tp ~k:h ~n:(kvs * d))
+  in
+  let wv =
+    List.init tp (fun s ->
+        tp_mat td ~src:(pre "wv") ~axis:1 ~shard:s ~tp ~k:h ~n:(kvs * d))
+  in
+  let wo =
+    match strategy with
+    | Gather ->
+        List.init tp (fun s ->
+            tp_mat td ~src:(pre "wo") ~axis:1 ~shard:s ~tp
+              ~k:(cfg.Configs.heads * d) ~n:os)
+    | Reduce ->
+        List.init tp (fun s ->
+            tp_mat td ~src:(pre "wo") ~axis:0 ~shard:s ~tp ~k:(hs * d) ~n:h)
+  in
+  let ffn_norm = tp_norm td cfg (pre "ffn_norm") in
+  let w_gate =
+    match cfg.Configs.mlp with
+    | Configs.Gated ->
+        Some
+          (List.init tp (fun s ->
+               tp_mat td ~src:(pre "w_gate") ~axis:1 ~shard:s ~tp ~k:h ~n:is_))
+    | Configs.Plain -> None
+  in
+  let w_up =
+    List.init tp (fun s ->
+        tp_mat td ~src:(pre "w_up") ~axis:1 ~shard:s ~tp ~k:h ~n:is_)
+  in
+  let w_down =
+    match strategy with
+    | Gather ->
+        List.init tp (fun s ->
+            tp_mat td ~src:(pre "w_down") ~axis:1 ~shard:s ~tp
+              ~k:cfg.Configs.inter ~n:os)
+    | Reduce ->
+        List.init tp (fun s ->
+            tp_mat td ~src:(pre "w_down") ~axis:0 ~shard:s ~tp ~k:is_ ~n:h)
+  in
+  {
+    t_attn_norm = attn_norm;
+    t_wq = wq;
+    t_wk = wk;
+    t_wv = wv;
+    t_wo = wo;
+    t_ffn_norm = ffn_norm;
+    t_w_gate = w_gate;
+    t_w_up = w_up;
+    t_w_down = w_down;
+  }
+
+let gname s fmt = Printf.ksprintf (fun t -> Printf.sprintf "g%d:%s" s t) fmt
+
+(* Shard-parallel MLP + output projection shared by decode_paged_tp and
+   prefill_tp.  [rows] is the leading (token) extent of the activation,
+   [x] the normed input; returns the layer's (rows, hidden) output. *)
+let tp_mlp b (cfg : Configs.t) ~tp ~strategy ~l ~rows p lw x =
+  let h = cfg.Configs.hidden in
+  let parts =
+    List.init tp (fun s ->
+        let u =
+          Builder.emit b
+            ~name:(gname s "l%d_w_up" l)
+            (Expr.call_op "matmul" [ x; p (List.nth lw.t_w_up s) ])
+        in
+        match lw.t_w_gate with
+        | Some gates ->
+            let g =
+              Builder.emit b
+                ~name:(gname s "l%d_w_gate" l)
+                (Expr.call_op "matmul" [ x; p (List.nth gates s) ])
+            in
+            let a =
+              Builder.emit b
+                ~name:(gname s "l%d_act" l)
+                (Expr.call_op
+                   (match cfg.Configs.act with
+                   | Configs.Silu -> "silu"
+                   | Configs.Gelu -> "gelu")
+                   [ Expr.Var g ])
+            in
+            Builder.emit b
+              ~name:(gname s "l%d_mul" l)
+              (Expr.call_op "multiply" [ Expr.Var a; Expr.Var u ])
+        | None ->
+            Builder.emit b
+              ~name:(gname s "l%d_act" l)
+              (Expr.call_op
+                 (match cfg.Configs.act with
+                 | Configs.Silu -> "silu"
+                 | Configs.Gelu -> "gelu")
+                 [ Expr.Var u ]))
+  in
+  match strategy with
+  | Gather ->
+      let full =
+        Builder.emit_call_dps_library b "ccl.all_gather"
+          (List.map (fun v -> Expr.Var v) parts)
+          ~out:(Struct_info.tensor [ rows; c cfg.Configs.inter ] dt)
+          ~name:(Printf.sprintf "l%d_mlp_ag" l)
+          ()
+      in
+      let outs =
+        List.init tp (fun s ->
+            Builder.emit b
+              ~name:(gname s "l%d_w_down" l)
+              (Expr.call_op "matmul"
+                 [ Expr.Var full; p (List.nth lw.t_w_down s) ]))
+      in
+      Builder.emit_call_dps_library b "ccl.all_gather"
+        (List.map (fun v -> Expr.Var v) outs)
+        ~out:(Struct_info.tensor [ rows; c h ] dt)
+        ~name:(Printf.sprintf "l%d_down_ag" l)
+        ()
+  | Reduce ->
+      let outs =
+        List.mapi
+          (fun s part ->
+            Builder.emit b
+              ~name:(gname s "l%d_w_down" l)
+              (Expr.call_op "matmul"
+                 [ Expr.Var part; p (List.nth lw.t_w_down s) ]))
+          parts
+      in
+      Builder.emit_call_dps_library b "ccl.all_reduce"
+        (List.map (fun v -> Expr.Var v) outs)
+        ~out:(Struct_info.tensor [ rows; c h ] dt)
+        ~name:(Printf.sprintf "l%d_down_ar" l)
+        ()
+
+(* Output projection: Gather re-gathers the per-head attention output
+   then column-splits wo; Reduce feeds each shard's own heads through
+   its row slice and all-reduces the partials. *)
+let tp_wo b (cfg : Configs.t) ~tp ~strategy ~l ~rows p lw at2s =
+  let h = cfg.Configs.hidden in
+  let qd = cfg.Configs.heads * cfg.Configs.head_dim in
+  match strategy with
+  | Gather ->
+      let full =
+        Builder.emit_call_dps_library b "ccl.all_gather"
+          (List.map (fun v -> Expr.Var v) at2s)
+          ~out:(Struct_info.tensor [ rows; c qd ] dt)
+          ~name:(Printf.sprintf "l%d_attn_ag" l)
+          ()
+      in
+      let outs =
+        List.init tp (fun s ->
+            Builder.emit b
+              ~name:(gname s "l%d_wo" l)
+              (Expr.call_op "matmul" [ Expr.Var full; p (List.nth lw.t_wo s) ]))
+      in
+      Builder.emit_call_dps_library b "ccl.all_gather"
+        (List.map (fun v -> Expr.Var v) outs)
+        ~out:(Struct_info.tensor [ rows; c h ] dt)
+        ~name:(Printf.sprintf "l%d_wo_ag" l)
+        ()
+  | Reduce ->
+      let outs =
+        List.mapi
+          (fun s at2 ->
+            Builder.emit b
+              ~name:(gname s "l%d_wo" l)
+              (Expr.call_op "matmul" [ Expr.Var at2; p (List.nth lw.t_wo s) ]))
+          at2s
+      in
+      Builder.emit_call_dps_library b "ccl.all_reduce"
+        (List.map (fun v -> Expr.Var v) outs)
+        ~out:(Struct_info.tensor [ rows; c h ] dt)
+        ~name:(Printf.sprintf "l%d_wo_ar" l)
+        ()
+
+let decode_paged_tp ?(strategy = Gather) (cfg : Configs.t) ~batch ~tp () =
+  check_tp "decode_paged_tp" cfg ~tp;
+  if tp = 1 then
+    let b = decode_paged cfg ~batch F16 in
+    { sbuilt = b; srcs = trivial_srcs b; tp = 1 }
+  else begin
+    let m_var = Arith.Var.fresh "m" in
+    let m = E.var m_var in
+    let bb = c batch in
+    let h = cfg.Configs.hidden in
+    let heads = cfg.Configs.heads and kv = cfg.Configs.kv_heads in
+    let d = cfg.Configs.head_dim in
+    let hs = heads / tp and kvs = kv / tp in
+    let vs = cfg.Configs.vocab / tp in
+    let mmax = c cfg.Configs.max_context in
+    let td = { d = { specs = [] }; rev_srcs = [] } in
+    let ids_i =
+      tdeclare td (Sh_input "ids") "ids"
+        (Struct_info.Tensor { shape = Known [ bb ]; dtype = Some Base.Dtype.I32 })
+    in
+    let len_i =
+      tdeclare td (Sh_input "cur_len") "cur_len" (Struct_info.shape [ m ])
+    in
+    let cache_is =
+      List.init cfg.Configs.layers (fun l ->
+          List.init tp (fun s ->
+              let kn = Printf.sprintf "k_cache_%d_g%d" l s in
+              let ksi =
+                tdeclare td (Sh_input kn) kn
+                  (Struct_info.tensor [ bb; c kvs; mmax; c d ] dt)
+              in
+              let vn = Printf.sprintf "v_cache_%d_g%d" l s in
+              let vsi =
+                tdeclare td (Sh_input vn) vn
+                  (Struct_info.tensor [ bb; c kvs; mmax; c d ] dt)
+              in
+              (ksi, vsi)))
+    in
+    let emb_i =
+      tdeclare td (Sh_replicated "embedding") "embedding"
+        (Struct_info.tensor [ c cfg.Configs.vocab; c h ] dt)
+    in
+    let layer_ws =
+      List.init cfg.Configs.layers (tp_declare_layer td cfg ~tp ~strategy)
+    in
+    let final_norm = tp_norm td cfg "final_norm" in
+    let lm_head =
+      List.init tp (fun s ->
+          tp_mat td ~src:"lm_head" ~axis:1 ~shard:s ~tp ~k:h ~n:vs)
+    in
+    let rope_q =
+      Attention.rope_decode ~name:"rope_q" ~batch:bb ~heads:hs ~head_dim:d
+        ~pos:(Arith.Var.fresh "pos") dt
+    in
+    let rope_k =
+      Attention.rope_decode ~name:"rope_k" ~batch:bb ~heads:kvs ~head_dim:d
+        ~pos:(Arith.Var.fresh "pos") dt
+    in
+    let write_kernel =
+      Attention.kv_write ~name:"kv_write" ~batch:bb ~kv_heads:kvs ~head_dim:d
+        ~max_ctx:mmax ~pos:(Arith.Var.fresh "wpos") dt
+    in
+    let attn_kernel =
+      Attention.decode_paged ~name:"attention_paged" ~batch:bb ~heads:hs
+        ~kv_heads:kvs ~head_dim:d ~max_ctx:mmax ~len:(Arith.Var.fresh "alen") dt
+    in
+    let b = Builder.create () in
+    Builder.function_ b ~name:"decode" ~params:td.d.specs (fun params ->
+        Builder.dataflow b (fun () ->
+            let p i = Expr.Var (List.nth params i) in
+            ignore (p len_i);
+            let x =
+              ref (Builder.emit b (Expr.call_op "take" [ p emb_i; p ids_i ]))
+            in
+            List.iteri
+              (fun l lw ->
+                let caches = List.nth cache_is l in
+                let hin = apply_norm b params lw.t_attn_norm (Expr.Var !x) in
+                let at2s =
+                  List.init tp (fun s ->
+                      let ksi, vsi = List.nth caches s in
+                      let q =
+                        Builder.emit b
+                          ~name:(gname s "l%d_wq" l)
+                          (Expr.call_op "matmul"
+                             [ Expr.Var hin; p (List.nth lw.t_wq s) ])
+                      in
+                      let k =
+                        Builder.emit b
+                          ~name:(gname s "l%d_wk" l)
+                          (Expr.call_op "matmul"
+                             [ Expr.Var hin; p (List.nth lw.t_wk s) ])
+                      in
+                      let v =
+                        Builder.emit b
+                          ~name:(gname s "l%d_wv" l)
+                          (Expr.call_op "matmul"
+                             [ Expr.Var hin; p (List.nth lw.t_wv s) ])
+                      in
+                      let q4 =
+                        Builder.emit b
+                          ~name:(gname s "l%d_q4" l)
+                          (Expr.call_op "reshape"
+                             [
+                               Expr.Var q;
+                               Expr.Shape_expr [ bb; c hs; c 1; c d ];
+                             ])
+                      in
+                      let k4 =
+                        Builder.emit b
+                          ~name:(gname s "l%d_k4" l)
+                          (Expr.call_op "reshape"
+                             [
+                               Expr.Var k;
+                               Expr.Shape_expr [ bb; c kvs; c 1; c d ];
+                             ])
+                      in
+                      let v4 =
+                        Builder.emit b
+                          ~name:(gname s "l%d_v4" l)
+                          (Expr.call_op "reshape"
+                             [
+                               Expr.Var v;
+                               Expr.Shape_expr [ bb; c kvs; c 1; c d ];
+                             ])
+                      in
+                      let qr =
+                        Builder.emit_call_tir b rope_q [ Expr.Var q4 ]
+                          ~out:(Struct_info.tensor [ bb; c hs; c 1; c d ] dt)
+                          ~sym_args:[ m ]
+                          ~name:(gname s "l%d_rope_q" l)
+                          ()
+                      in
+                      let kr =
+                        Builder.emit_call_tir b rope_k [ Expr.Var k4 ]
+                          ~out:(Struct_info.tensor [ bb; c kvs; c 1; c d ] dt)
+                          ~sym_args:[ m ]
+                          ~name:(gname s "l%d_rope_k" l)
+                          ()
+                      in
+                      let kc =
+                        Builder.emit_call_tir_inplace b write_kernel
+                          [ Expr.Var kr; p ksi ]
+                          ~out_index:1
+                          ~out:(Struct_info.tensor [ bb; c kvs; mmax; c d ] dt)
+                          ~sym_args:[ m ]
+                          ~name:(gname s "l%d_kv_write_k" l)
+                          ()
+                      in
+                      let vc =
+                        Builder.emit_call_tir_inplace b write_kernel
+                          [ Expr.Var v4; p vsi ]
+                          ~out_index:1
+                          ~out:(Struct_info.tensor [ bb; c kvs; mmax; c d ] dt)
+                          ~sym_args:[ m ]
+                          ~name:(gname s "l%d_kv_write_v" l)
+                          ()
+                      in
+                      let at =
+                        Builder.emit_call_tir b attn_kernel
+                          [ Expr.Var qr; Expr.Var kc; Expr.Var vc ]
+                          ~out:(Struct_info.tensor [ bb; c hs; c 1; c d ] dt)
+                          ~sym_args:[ E.add m (c 1) ]
+                          ~name:(gname s "l%d_attn" l)
+                          ()
+                      in
+                      Builder.emit b
+                        ~name:(gname s "l%d_attn_flat" l)
+                        (Expr.call_op "reshape"
+                           [
+                             Expr.Var at; Expr.Shape_expr [ bb; c (hs * d) ];
+                           ]))
+                in
+                let o = tp_wo b cfg ~tp ~strategy ~l ~rows:bb p lw at2s in
+                let x1 =
+                  Builder.emit b
+                    (Expr.call_op "add" [ Expr.Var !x; Expr.Var o ])
+                in
+                let h2 = apply_norm b params lw.t_ffn_norm (Expr.Var x1) in
+                let dn =
+                  tp_mlp b cfg ~tp ~strategy ~l ~rows:bb p lw (Expr.Var h2)
+                in
+                let x2 =
+                  Builder.emit b
+                    (Expr.call_op "add" [ Expr.Var x1; Expr.Var dn ])
+                in
+                x := x2)
+              layer_ws;
+            let xf = apply_norm b params final_norm (Expr.Var !x) in
+            let lparts =
+              List.init tp (fun s ->
+                  Builder.emit b ~name:(gname s "lm_head")
+                    (Expr.call_op "matmul"
+                       [ Expr.Var xf; p (List.nth lm_head s) ]))
+            in
+            let logits =
+              Builder.emit_call_dps_library b "ccl.all_gather"
+                (List.map (fun v -> Expr.Var v) lparts)
+                ~out:(Struct_info.tensor [ bb; c cfg.Configs.vocab ] dt)
+                ~name:"lm_head_ag" ()
+            in
+            Expr.Var logits));
+    {
+      sbuilt =
+        {
+          mod_ = Builder.module_ b;
+          entry = "decode";
+          ctx_var = m_var;
+          batch_var = None;
+          params = td.d.specs;
+          config = cfg;
+          batch;
+          precision = F16;
+        };
+      srcs = List.rev td.rev_srcs;
+      tp;
+    }
+  end
+
+let prefill_tp ?(strategy = Gather) ?(return_caches = true) (cfg : Configs.t)
+    ~tp () =
+  check_tp "prefill_tp" cfg ~tp;
+  if tp = 1 then
+    let b = prefill ~return_caches cfg F16 in
+    { sbuilt = b; srcs = trivial_srcs b; tp = 1 }
+  else begin
+    let n_var = Arith.Var.fresh "n" in
+    let n = E.var n_var in
+    let h = cfg.Configs.hidden in
+    let heads = cfg.Configs.heads and kv = cfg.Configs.kv_heads in
+    let d = cfg.Configs.head_dim in
+    let hs = heads / tp and kvs = kv / tp in
+    let vs = cfg.Configs.vocab / tp in
+    let td = { d = { specs = [] }; rev_srcs = [] } in
+    let ids_i =
+      tdeclare td (Sh_input "ids") "ids"
+        (Struct_info.Tensor { shape = Known [ n ]; dtype = Some Base.Dtype.I32 })
+    in
+    let emb_i =
+      tdeclare td (Sh_replicated "embedding") "embedding"
+        (Struct_info.tensor [ c cfg.Configs.vocab; c h ] dt)
+    in
+    let layer_ws =
+      List.init cfg.Configs.layers (tp_declare_layer td cfg ~tp ~strategy)
+    in
+    let final_norm = tp_norm td cfg "final_norm" in
+    let lm_head =
+      List.init tp (fun s ->
+          tp_mat td ~src:"lm_head" ~axis:1 ~shard:s ~tp ~k:h ~n:vs)
+    in
+    let rope_q =
+      Attention.rope_prefill ~name:"rope_prefill_q" ~heads:hs ~head_dim:d ~n dt
+    in
+    let rope_k =
+      Attention.rope_prefill ~name:"rope_prefill_k" ~heads:kvs ~head_dim:d ~n dt
+    in
+    let attn_kernel =
+      Attention.prefill ~name:"attention_prefill" ~heads:hs ~kv_heads:kvs
+        ~head_dim:d
+        ~n:(E.var (Arith.Var.fresh "na"))
+        dt
+    in
+    let lrk = last_row_kernel ~n:(E.var (Arith.Var.fresh "nl")) ~width:(c h) dt in
+    let b = Builder.create () in
+    (* (n, count*d) -> (count, n, d) *)
+    let to_heads ~nm v ~count =
+      let r3 =
+        Builder.emit b
+          (Expr.call_op "reshape"
+             [ Expr.Var v; Expr.Shape_expr [ n; c count; c d ] ])
+      in
+      Builder.emit b ~name:nm
+        (Expr.call_op "permute_dims"
+           [ Expr.Var r3; Expr.Shape_expr [ c 1; c 0; c 2 ] ])
+    in
+    Builder.function_ b ~name:"prefill" ~params:td.d.specs (fun params ->
+        Builder.dataflow b (fun () ->
+            let p i = Expr.Var (List.nth params i) in
+            let x =
+              ref (Builder.emit b (Expr.call_op "take" [ p emb_i; p ids_i ]))
+            in
+            let caches = ref [] in
+            List.iteri
+              (fun l lw ->
+                let hin = apply_norm b params lw.t_attn_norm (Expr.Var !x) in
+                let at2s_and_kv =
+                  List.init tp (fun s ->
+                      let q =
+                        Builder.emit b
+                          ~name:(gname s "l%d_wq" l)
+                          (Expr.call_op "matmul"
+                             [ Expr.Var hin; p (List.nth lw.t_wq s) ])
+                      in
+                      let k =
+                        Builder.emit b
+                          ~name:(gname s "l%d_wk" l)
+                          (Expr.call_op "matmul"
+                             [ Expr.Var hin; p (List.nth lw.t_wk s) ])
+                      in
+                      let v =
+                        Builder.emit b
+                          ~name:(gname s "l%d_wv" l)
+                          (Expr.call_op "matmul"
+                             [ Expr.Var hin; p (List.nth lw.t_wv s) ])
+                      in
+                      let qh = to_heads ~nm:(gname s "l%d_qh" l) q ~count:hs in
+                      let kh = to_heads ~nm:(gname s "l%d_kh" l) k ~count:kvs in
+                      let vh = to_heads ~nm:(gname s "l%d_vh" l) v ~count:kvs in
+                      let qr =
+                        Builder.emit_call_tir b rope_q [ Expr.Var qh ]
+                          ~out:(Struct_info.tensor [ c hs; n; c d ] dt)
+                          ~name:(gname s "l%d_rope_q" l)
+                          ()
+                      in
+                      let kr =
+                        Builder.emit_call_tir b rope_k [ Expr.Var kh ]
+                          ~out:(Struct_info.tensor [ c kvs; n; c d ] dt)
+                          ~name:(gname s "l%d_rope_k" l)
+                          ()
+                      in
+                      let at =
+                        Builder.emit_call_tir b attn_kernel
+                          [ Expr.Var qr; Expr.Var kr; Expr.Var vh ]
+                          ~out:(Struct_info.tensor [ c hs; n; c d ] dt)
+                          ~name:(gname s "l%d_attn" l)
+                          ()
+                      in
+                      let atp =
+                        Builder.emit b
+                          ~name:(gname s "l%d_attn_t" l)
+                          (Expr.call_op "permute_dims"
+                             [ Expr.Var at; Expr.Shape_expr [ c 1; c 0; c 2 ] ])
+                      in
+                      let at2 =
+                        Builder.emit b
+                          ~name:(gname s "l%d_attn_flat" l)
+                          (Expr.call_op "reshape"
+                             [ Expr.Var atp; Expr.Shape_expr [ n; c (hs * d) ] ])
+                      in
+                      let kc =
+                        Builder.emit b
+                          ~name:(gname s "l%d_kc" l)
+                          (Expr.call_op "reshape"
+                             [
+                               Expr.Var kr;
+                               Expr.Shape_expr [ c 1; c kvs; n; c d ];
+                             ])
+                      in
+                      let vc =
+                        Builder.emit b
+                          ~name:(gname s "l%d_vc" l)
+                          (Expr.call_op "reshape"
+                             [
+                               Expr.Var vh;
+                               Expr.Shape_expr [ c 1; c kvs; n; c d ];
+                             ])
+                      in
+                      (at2, (kc, vc)))
+                in
+                let at2s = List.map fst at2s_and_kv in
+                let o = tp_wo b cfg ~tp ~strategy ~l ~rows:n p lw at2s in
+                let x1 =
+                  Builder.emit b
+                    (Expr.call_op "add" [ Expr.Var !x; Expr.Var o ])
+                in
+                let h2 = apply_norm b params lw.t_ffn_norm (Expr.Var x1) in
+                let dn =
+                  tp_mlp b cfg ~tp ~strategy ~l ~rows:n p lw (Expr.Var h2)
+                in
+                let x2 =
+                  Builder.emit b
+                    (Expr.call_op "add" [ Expr.Var x1; Expr.Var dn ])
+                in
+                x := x2;
+                caches :=
+                  !caches
+                  @ List.concat_map
+                      (fun (_, (kc, vc)) -> [ kc; vc ])
+                      at2s_and_kv)
+              layer_ws;
+            let last =
+              Builder.emit_call_tir b lrk [ Expr.Var !x ]
+                ~out:(Struct_info.tensor [ c 1; c h ] dt)
+                ()
+            in
+            let xf = apply_norm b params final_norm (Expr.Var last) in
+            let lparts =
+              List.init tp (fun s ->
+                  Builder.emit b ~name:(gname s "lm_head")
+                    (Expr.call_op "matmul"
+                       [ Expr.Var xf; p (List.nth lm_head s) ]))
+            in
+            let logits =
+              Builder.emit_call_dps_library b "ccl.all_gather"
+                (List.map (fun v -> Expr.Var v) lparts)
+                ~out:(Struct_info.tensor [ c 1; c cfg.Configs.vocab ] dt)
+                ~name:"lm_head_ag" ()
+            in
+            if return_caches then
+              Expr.Tuple
+                (Expr.Var logits :: List.map (fun v -> Expr.Var v) !caches)
+            else Expr.Var logits));
+    {
+      sbuilt =
+        {
+          mod_ = Builder.module_ b;
+          entry = "prefill";
+          ctx_var = n_var;
+          batch_var = None;
+          params = td.d.specs;
+          config = cfg;
+          batch = 1;
+          precision = F16;
+        };
+      srcs = List.rev td.rev_srcs;
+      tp;
+    }
+  end
+
 (* ---------- runtime argument construction ---------- *)
 
 let args_for built ~ctx ?batch ?(seed = 0) ~mode () =

@@ -53,6 +53,63 @@ val decode_paged : Configs.t -> batch:int -> precision -> built
 
 val prefill : ?return_caches:bool -> Configs.t -> precision -> built
 
+(** {1 Tensor-parallel sharded builders (DESIGN.md §13)}
+
+    One Relax module unrolled over [tp] simulated devices: shard [s]'s
+    weights are contiguous column/row slices of the full model's
+    matrices (head-parallel attention, column-parallel MLP), its
+    bindings are named ["g<s>:…"] (surfaced as per-device provenance
+    by {!Runtime.Profiler.device_split}), and explicit [ccl.*]
+    collectives — charged from {!Runtime.Device.link} — stitch shard
+    outputs back together. F16 only. *)
+
+type tp_strategy =
+  | Gather
+      (** all-gather column-split outputs everywhere: every dot
+          product is computed whole on exactly one shard, so results
+          are bit-identical to TP=1 *)
+  | Reduce
+      (** Megatron-style: row-split the second matmul of each pair and
+          all-reduce partial sums (deterministic fixed-order left fold,
+          but a different association than TP=1 — not bit-identical) *)
+
+(** Where each sharded parameter's value comes from, in terms of the
+    full (TP=1) model's parameter names: *)
+type shard_src =
+  | Sh_input of string  (** runtime input: ids, cur_len, KV caches *)
+  | Sh_replicated of string  (** full parameter, copied to every device *)
+  | Sh_sliced of { src : string; axis : int; shard : int; tp : int }
+      (** contiguous block [shard] of [tp] along [axis] of full
+          parameter [src] *)
+
+type sharded = {
+  sbuilt : built;
+  srcs : shard_src list;  (** aligned with [sbuilt.params] *)
+  tp : int;
+}
+
+val tp_supported : Configs.t -> tp:int -> bool
+(** heads, kv_heads, inter, vocab and hidden all divisible by [tp];
+    no qkv biases. *)
+
+val decode_paged_tp :
+  ?strategy:tp_strategy -> Configs.t -> batch:int -> tp:int -> unit -> sharded
+(** Sharded {!decode_paged}: per-shard KV caches
+    ["k_cache_<l>_g<s>"]/["v_cache_<l>_g<s>"] (kv_heads/tp heads each)
+    in layer-major, shard-minor order. [tp = 1] degenerates to the
+    unsharded builder. @raise Invalid_argument when unsupported. *)
+
+val prefill_tp :
+  ?strategy:tp_strategy ->
+  ?return_caches:bool ->
+  Configs.t ->
+  tp:int ->
+  unit ->
+  sharded
+(** Sharded {!prefill}: returned caches are per shard,
+    [(1, kv_heads/tp, n, head_dim)] each, in the same layer-major,
+    shard-minor order as {!decode_paged_tp}'s cache parameters. *)
+
 val args_for :
   built ->
   ctx:int ->

@@ -1,5 +1,48 @@
 type backend = Cuda | Rocm | Metal | Vulkan | Opencl | Webgpu | Cpu
 
+type topology = Ring | Fully_connected
+
+type link = {
+  link_name : string;
+  link_bw_gbps : float;
+  link_latency_us : float;
+  topology : topology;
+}
+
+(* Interconnect presets.  Bandwidths are per-direction effective rates;
+   latency is the per-hop software+wire cost of one transfer. *)
+let pcie_gen4 =
+  {
+    link_name = "pcie-gen4-x16";
+    link_bw_gbps = 32.0;
+    link_latency_us = 5.0;
+    topology = Ring;
+  }
+
+let pcie_gen3 =
+  {
+    link_name = "pcie-gen3-x8";
+    link_bw_gbps = 8.0;
+    link_latency_us = 8.0;
+    topology = Ring;
+  }
+
+let nvlink =
+  {
+    link_name = "nvlink4";
+    link_bw_gbps = 450.0;
+    link_latency_us = 1.8;
+    topology = Fully_connected;
+  }
+
+let unified_memory =
+  {
+    link_name = "unified-memory";
+    link_bw_gbps = 200.0;
+    link_latency_us = 1.0;
+    topology = Fully_connected;
+  }
+
 type t = {
   name : string;
   backend : backend;
@@ -16,7 +59,46 @@ type t = {
   mem_eff : float;
   step_overhead_us : float;
   gen_gemm_traffic : float;
+  link : link;
 }
+
+(* Ring collective costs over [world] peers connected by [link].
+
+   All-reduce (ring algorithm): each peer sends 2(w-1)/w of the tensor
+   over the wire (reduce-scatter + all-gather phases), in 2(w-1)
+   sequential hop steps.  All-gather: (w-1)/w of the full tensor, w-1
+   hops.  A fully connected fabric (NVLink/unified memory) pays the
+   same bandwidth term but only a constant number of latency hops.
+   [bytes] is the size of the full (unsharded) tensor. *)
+let hop_count topology ~world ~phases =
+  match topology with
+  | Ring -> phases * (world - 1)
+  | Fully_connected -> phases
+
+let all_reduce_us link ~world ~bytes =
+  if world <= 1 then 0.0
+  else
+    let w = float_of_int world in
+    (2.0 *. (w -. 1.0) /. w) *. bytes /. (link.link_bw_gbps *. 1e3)
+    +. float_of_int (hop_count link.topology ~world ~phases:2)
+       *. link.link_latency_us
+
+let all_gather_us link ~world ~bytes =
+  if world <= 1 then 0.0
+  else
+    let w = float_of_int world in
+    ((w -. 1.0) /. w) *. bytes /. (link.link_bw_gbps *. 1e3)
+    +. float_of_int (hop_count link.topology ~world ~phases:1)
+       *. link.link_latency_us
+
+(* Wire traffic actually carried by the link (the bandwidth term's
+   numerator), for trace/profiler accounting. *)
+let collective_wire_bytes ~op ~world ~bytes =
+  if world <= 1 then 0.0
+  else
+    let w = float_of_int world in
+    let frac = (w -. 1.0) /. w in
+    match op with `All_reduce -> 2.0 *. frac *. bytes | `All_gather -> frac *. bytes
 
 let peak_gflops t (dt : Base.Dtype.t) =
   match dt with
@@ -50,6 +132,7 @@ let rtx4090 =
     mem_eff = 0.85;
     step_overhead_us = 0.0;
     gen_gemm_traffic = 1.6;
+    link = pcie_gen4;
   }
 
 let rx7900xtx =
@@ -69,6 +152,7 @@ let rx7900xtx =
     mem_eff = 0.78;
     step_overhead_us = 0.0;
     gen_gemm_traffic = 1.65;
+    link = pcie_gen4;
   }
 
 let m2_ultra =
@@ -88,6 +172,7 @@ let m2_ultra =
     mem_eff = 0.80;
     step_overhead_us = 0.0;
     gen_gemm_traffic = 1.5;
+    link = unified_memory;
   }
 
 let iphone14pro =
@@ -107,6 +192,7 @@ let iphone14pro =
     mem_eff = 0.52;
     step_overhead_us = 0.0;
     gen_gemm_traffic = 1.5;
+    link = unified_memory;
   }
 
 let samsung_s23 =
@@ -126,6 +212,7 @@ let samsung_s23 =
     mem_eff = 0.60;
     step_overhead_us = 0.0;
     gen_gemm_traffic = 1.5;
+    link = unified_memory;
   }
 
 let samsung_s24 =
@@ -145,6 +232,7 @@ let samsung_s24 =
     mem_eff = 0.62;
     step_overhead_us = 0.0;
     gen_gemm_traffic = 1.5;
+    link = unified_memory;
   }
 
 let samsung_s24_cpu =
@@ -164,6 +252,7 @@ let samsung_s24_cpu =
     mem_eff = 0.33;
     step_overhead_us = 0.0;  (* CPU cores cannot saturate the LPDDR bus *)
     gen_gemm_traffic = 1.5;
+    link = unified_memory;
   }
 
 let orange_pi5 =
@@ -183,6 +272,7 @@ let orange_pi5 =
     mem_eff = 0.75;
     step_overhead_us = 0.0;
     gen_gemm_traffic = 1.5;
+    link = pcie_gen3;
   }
 
 let steam_deck =
@@ -202,6 +292,7 @@ let steam_deck =
     mem_eff = 0.78;
     step_overhead_us = 0.0;
     gen_gemm_traffic = 1.5;
+    link = unified_memory;
   }
 
 let jetson_orin =
@@ -221,6 +312,7 @@ let jetson_orin =
     mem_eff = 0.85;
     step_overhead_us = 0.0;
     gen_gemm_traffic = 1.5;
+    link = pcie_gen4;
   }
 
 let webgpu_m3_max =
@@ -240,6 +332,7 @@ let webgpu_m3_max =
     mem_eff = 0.50;
     step_overhead_us = 2_000.0;  (* per-token JS + command submission *)
     gen_gemm_traffic = 1.5;
+    link = unified_memory;
   }
 
 let all_presets =

@@ -15,6 +15,39 @@
 
 type backend = Cuda | Rocm | Metal | Vulkan | Opencl | Webgpu | Cpu
 
+type topology = Ring | Fully_connected
+
+type link = {
+  link_name : string;
+  link_bw_gbps : float;  (** per-direction effective link bandwidth *)
+  link_latency_us : float;  (** per-hop transfer latency *)
+  topology : topology;
+}
+(** Inter-device interconnect description, used to charge collective
+    communication when a model is tensor-parallel sharded across
+    simulated devices (DESIGN.md §13). *)
+
+val pcie_gen4 : link
+val pcie_gen3 : link
+val nvlink : link
+val unified_memory : link
+
+val all_reduce_us : link -> world:int -> bytes:float -> float
+(** Ring all-reduce latency for a full tensor of [bytes] across
+    [world] peers: [2(w−1)/w · bytes/bw] plus per-hop latencies
+    ([2(w−1)] hops on a ring, 2 on a fully connected fabric).
+    Zero when [world <= 1]. *)
+
+val all_gather_us : link -> world:int -> bytes:float -> float
+(** Ring all-gather latency: [(w−1)/w · bytes/bw] plus [w−1] hop
+    latencies (1 on a fully connected fabric). [bytes] is the size of
+    the full gathered tensor. Zero when [world <= 1]. *)
+
+val collective_wire_bytes :
+  op:[ `All_reduce | `All_gather ] -> world:int -> bytes:float -> float
+(** Bytes the link actually carries for a collective over a full
+    tensor of [bytes] (the bandwidth term's numerator). *)
+
 type t = {
   name : string;
   backend : backend;
@@ -38,6 +71,9 @@ type t = {
           re-reads operands that a vendor library's blocked kernels
           stream once — the gap partial library lowering closes
           (§4.6, Figure 17) *)
+  link : link;
+      (** interconnect between peer instances of this device when
+          sharded tensor-parallel *)
 }
 
 val peak_gflops : t -> Base.Dtype.t -> float

@@ -156,6 +156,100 @@ let rms_norm_cost (shapes : int array array) dt =
       }
   | _ -> invalid_arg "library rms_norm cost: expected 3 shapes"
 
+(* ---------- collectives: (x_0, ..., x_{w-1}, y) ---------- *)
+
+let is_collective name =
+  String.length name > 4 && String.sub name 0 4 = "ccl."
+
+(* All-gather over the last axis: shard s of shape (..., c) lands at
+   columns [s*c, (s+1)*c) of y (..., w*c).  Shards are concatenated,
+   never summed, so the result is bit-identical to the unsharded
+   computation that produced the full tensor. *)
+let all_gather_compute (args : Base.Ndarray.t array) =
+  let w = Array.length args - 1 in
+  if w < 1 then invalid_arg "ccl.all_gather: expected >= 2 arguments";
+  let y = args.(w) in
+  let xs = args.(0).Base.Ndarray.shape in
+  let c = xs.(Array.length xs - 1) in
+  let rows = Base.Ndarray.numel args.(0) / max 1 c in
+  let wc = w * c in
+  for s = 0 to w - 1 do
+    let x = args.(s) in
+    match (Base.Ndarray.float_data x, Base.Ndarray.float_data y) with
+    | Some xd, Some yd ->
+        for r = 0 to rows - 1 do
+          Array.blit xd (r * c) yd ((r * wc) + (s * c)) c
+        done
+    | _ ->
+        for r = 0 to rows - 1 do
+          for j = 0 to c - 1 do
+            Base.Ndarray.set_flat_float y
+              ((r * wc) + (s * c) + j)
+              (Base.Ndarray.get_flat_float x ((r * c) + j))
+          done
+        done
+  done
+
+(* All-reduce: y = sum over shards, accumulated as a left fold in
+   shard order 0..w-1.  The order is fixed so every run of the same
+   sharded module produces the same floats — but the association
+   differs from the unsharded single-sum, so reduce-strategy sharding
+   is deterministic without being bit-identical to TP=1. *)
+let all_reduce_compute (args : Base.Ndarray.t array) =
+  let w = Array.length args - 1 in
+  if w < 1 then invalid_arg "ccl.all_reduce: expected >= 2 arguments";
+  let y = args.(w) in
+  let n = Base.Ndarray.numel y in
+  let all_raw =
+    Array.for_all (fun a -> Base.Ndarray.float_data a <> None) args
+  in
+  if all_raw then begin
+    let yd = Option.get (Base.Ndarray.float_data y) in
+    let xd0 = Option.get (Base.Ndarray.float_data args.(0)) in
+    Array.blit xd0 0 yd 0 n;
+    for s = 1 to w - 1 do
+      let xd = Option.get (Base.Ndarray.float_data args.(s)) in
+      for i = 0 to n - 1 do
+        yd.(i) <- yd.(i) +. xd.(i)
+      done
+    done
+  end
+  else
+    for i = 0 to n - 1 do
+      let acc = ref (Base.Ndarray.get_flat_float args.(0) i) in
+      for s = 1 to w - 1 do
+        acc := !acc +. Base.Ndarray.get_flat_float args.(s) i
+      done;
+      Base.Ndarray.set_flat_float y i !acc
+    done
+
+(* Cost from the library's point of view: the VM charges collectives
+   from the device link model, not from this roofline cost, but the
+   fields still feed flop accounting. *)
+let collective_cost ~reduce (shapes : int array array) dt =
+  let w = Array.length shapes - 1 in
+  let out = shapes.(w) in
+  let n = Array.fold_left ( * ) 1 out in
+  {
+    flops = (if reduce then float_of_int ((w - 1) * n) else 0.0);
+    bytes = float_of_int (n * Base.Dtype.size_in_bytes dt);
+    small_batch = false;
+  }
+
+let () =
+  register
+    {
+      name = "ccl.all_gather";
+      compute = all_gather_compute;
+      cost_fn = collective_cost ~reduce:false;
+    };
+  register
+    {
+      name = "ccl.all_reduce";
+      compute = all_reduce_compute;
+      cost_fn = collective_cost ~reduce:true;
+    }
+
 let () =
   List.iter
     (fun vendor ->

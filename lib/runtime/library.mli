@@ -43,3 +43,22 @@ val vendor_prefix : Device.backend -> string option
 (** The library namespace available on a backend ([cublas] for CUDA,
     [rocblas] for ROCm, [mps] for Metal); [None] for backends without
     vendor libraries (Vulkan, OpenCL, WebGPU, CPU). *)
+
+(** {1 Collectives}
+
+    Cross-device collective routines for tensor-parallel sharded
+    modules (DESIGN.md §13), registered as [ccl.all_gather] and
+    [ccl.all_reduce]. Calling convention: arguments are the per-shard
+    inputs [x_0 … x_{w-1}] in shard order followed by the output [y]
+    (world size = argument count − 1). The VM charges their time from
+    {!Device.link} instead of the memory roofline and emits
+    {!Trace.Collective} events.
+
+    [ccl.all_gather] concatenates shards along the last axis —
+    bit-identical to the unsharded tensor the shards were sliced from.
+    [ccl.all_reduce] sums shards as a left fold in shard order 0…w−1 —
+    deterministic across runs, but a different association than an
+    unsharded single sum. *)
+
+val is_collective : string -> bool
+(** True for routines in the [ccl.] namespace. *)

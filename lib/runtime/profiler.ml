@@ -1,6 +1,6 @@
 type row = {
   name : string;
-  kind : [ `Kernel | `Extern ];
+  kind : [ `Kernel | `Extern | `Comm ];
   mutable calls : int;
   mutable launches : int;
   mutable time_us : float;
@@ -41,7 +41,28 @@ type t = {
   faults : int array;  (* indexed like Fault.all_kinds *)
   backends : (string, int * float) Hashtbl.t;
       (* execution backend -> (kernel calls, time_us) *)
+  devices : (string, int * float) Hashtbl.t;
+      (* device tag ("g0".."g<tp-1>" from sharded provenance, "shared"
+         for replicated work, "link" for collectives) -> (calls, time_us) *)
 }
+
+(* Sharded modules name per-shard bindings "g<k>:...", which To_vm
+   threads through as provenance.  Everything else is replicated work
+   that runs on every device. *)
+let device_tag_of_prov prov =
+  match prov with
+  | Some p -> (
+      let n = String.length p in
+      if n >= 3 && p.[0] = 'g' then
+        match String.index_opt p ':' with
+        | Some j when j >= 2 ->
+            let num = String.sub p 1 (j - 1) in
+            if String.for_all (fun c -> c >= '0' && c <= '9') num then
+              Some ("g" ^ num)
+            else None
+        | _ -> None
+      else None)
+  | None -> None
 
 let zero_serve =
   {
@@ -75,7 +96,14 @@ let create () =
     serve = zero_serve;
     faults = Array.make (List.length Fault.all_kinds) 0;
     backends = Hashtbl.create 4;
+    devices = Hashtbl.create 4;
   }
+
+let bump_device t tag elapsed_us =
+  let calls, us =
+    Option.value (Hashtbl.find_opt t.devices tag) ~default:(0, 0.0)
+  in
+  Hashtbl.replace t.devices tag (calls + 1, us +. elapsed_us)
 
 let kind_idx = function
   | Fault.Kernel_failure -> 0
@@ -123,7 +151,10 @@ let feed t (ev : Trace.event) =
       let calls, us =
         Option.value (Hashtbl.find_opt t.backends backend) ~default:(0, 0.0)
       in
-      Hashtbl.replace t.backends backend (calls + 1, us +. elapsed_us)
+      Hashtbl.replace t.backends backend (calls + 1, us +. elapsed_us);
+      bump_device t
+        (Option.value (device_tag_of_prov prov) ~default:"shared")
+        elapsed_us
   | Trace.Extern_call { func; prov; replay; flops; bytes_moved; elapsed_us; _ }
     ->
       let r = row t `Extern func prov in
@@ -131,7 +162,17 @@ let feed t (ev : Trace.event) =
       if not replay then r.launches <- r.launches + 1;
       r.time_us <- r.time_us +. elapsed_us;
       r.flops <- r.flops +. flops;
-      r.bytes_moved <- r.bytes_moved +. bytes_moved
+      r.bytes_moved <- r.bytes_moved +. bytes_moved;
+      bump_device t
+        (Option.value (device_tag_of_prov prov) ~default:"shared")
+        elapsed_us
+  | Trace.Collective { op; prov; replay; bytes_wire; elapsed_us; _ } ->
+      let r = row t `Comm op prov in
+      r.calls <- r.calls + 1;
+      if not replay then r.launches <- r.launches + 1;
+      r.time_us <- r.time_us +. elapsed_us;
+      r.bytes_moved <- r.bytes_moved +. bytes_wire;
+      bump_device t "link" elapsed_us
   | Trace.Capture_begin _ -> t.captures <- t.captures + 1
   | Trace.Capture_replay { overhead_us; _ } ->
       t.replays <- t.replays + 1;
@@ -193,6 +234,39 @@ let backend_split t =
   Hashtbl.fold (fun name (calls, us) acc -> (name, calls, us) :: acc)
     t.backends []
   |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let comm_time_us t =
+  Hashtbl.fold
+    (fun _ r acc -> match r.kind with `Comm -> acc +. r.time_us | _ -> acc)
+    t.table 0.0
+
+let collective_count t =
+  Hashtbl.fold
+    (fun _ r acc -> match r.kind with `Comm -> acc + r.calls | _ -> acc)
+    t.table 0
+
+(* Per-device attribution, only meaningful for sharded modules: empty
+   unless some provenance carried a "g<k>:" shard tag. *)
+let device_split t =
+  let tagged =
+    Hashtbl.fold (fun tag _ acc -> acc || (tag <> "shared" && tag <> "link"))
+      t.devices false
+  in
+  if not tagged then []
+  else
+    Hashtbl.fold (fun tag (calls, us) acc -> (tag, calls, us) :: acc)
+      t.devices []
+    |> List.sort (fun (a, _, _) (b, _, _) ->
+           (* g0 < g1 < ... < g10 (numeric), then "link", then "shared" *)
+           let key s =
+             if String.length s > 1 && s.[0] = 'g' then
+               match int_of_string_opt (String.sub s 1 (String.length s - 1))
+               with
+               | Some n -> (0, n, s)
+               | None -> (1, 0, s)
+             else (1, 0, s)
+           in
+           compare (key a) (key b))
 let fault_count t kind = t.faults.(kind_idx kind)
 let faults_injected t = Array.fold_left ( + ) 0 t.faults
 
@@ -209,7 +283,10 @@ let report ?(top = 0) t =
         Buffer.add_string buf
           (Printf.sprintf "%-44s %-6s %-8s %6d %7d %12.4f %10.4f %10.2f  %s\n"
              r.name
-             (match r.kind with `Kernel -> "kernel" | `Extern -> "lib")
+             (match r.kind with
+             | `Kernel -> "kernel"
+             | `Extern -> "lib"
+             | `Comm -> "comm")
              r.backend r.calls r.launches (r.time_us /. 1e3) (r.flops /. 1e9)
              (r.bytes_moved /. 1048576.0)
              (match r.origin with Some p -> p | None -> "-")))
@@ -241,6 +318,20 @@ let report ?(top = 0) t =
                  (fun (name, calls, us) ->
                    Printf.sprintf "%s %d calls %.4f ms" name calls (us /. 1e3))
                  split))));
+  (match device_split t with
+  | [] -> ()
+  | split ->
+      Buffer.add_string buf
+        (Printf.sprintf "devices: %s\n"
+           (String.concat ", "
+              (List.map
+                 (fun (tag, calls, us) ->
+                   Printf.sprintf "%s %d calls %.4f ms" tag calls (us /. 1e3))
+                 split)));
+      if collective_count t > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "comm: %d collectives %.4f ms\n" (collective_count t)
+             (comm_time_us t /. 1e3)));
   Buffer.add_string buf
     (Printf.sprintf
        "memory: peak live %.2f MiB (%d bytes); %d allocs, %d reused, %d frees\n"

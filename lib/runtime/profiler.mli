@@ -19,7 +19,7 @@
 
 type row = {
   name : string;
-  kind : [ `Kernel | `Extern ];
+  kind : [ `Kernel | `Extern | `Comm ];
   mutable calls : int;  (** total executions, including replays *)
   mutable launches : int;  (** executions that paid launch overhead *)
   mutable time_us : float;
@@ -80,6 +80,20 @@ val backend_split : t -> (string * int * float) list
     [(backend, calls, time_us)] sorted by backend name. Empty until a
     kernel launch is profiled. The [--profile] report renders this as
     a "backends:" line. *)
+
+val comm_time_us : t -> float
+(** Simulated time spent in collectives ([`Comm] rows). *)
+
+val collective_count : t -> int
+(** Total collective executions, including replays. *)
+
+val device_split : t -> (string * int * float) list
+(** Per-device attribution [(tag, calls, time_us)] for tensor-parallel
+    sharded modules: shard tags ["g0"…"g<tp-1>"] (parsed from
+    ["g<k>:"]-prefixed provenance), ["shared"] for replicated work that
+    runs on every device, ["link"] for collectives. Empty unless some
+    event carried a shard tag, so single-device runs are unaffected.
+    The [--profile] report renders this as a "devices:" line. *)
 
 val fault_count : t -> Fault.kind -> int
 (** {!Trace.Fault_injected} events seen, by fault kind. *)

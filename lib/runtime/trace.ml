@@ -38,6 +38,15 @@ type event =
       bytes_moved : float;
       elapsed_us : float;
     }
+  | Collective of {
+      op : string;  (* "ccl.all_reduce" | "ccl.all_gather" *)
+      prov : string option;
+      replay : bool;
+      world : int;
+      shapes : int array array;
+      bytes_wire : float;  (* bytes the interconnect actually carried *)
+      elapsed_us : float;
+    }
   | Capture_begin of { capture_id : int; func : string }
   | Capture_replay of { capture_id : int; func : string; overhead_us : float }
   | Serve of {
@@ -127,6 +136,11 @@ let render ~times ev =
         (prov_str prov) (shapes_str shapes) flops bytes_moved
         (if replay then " replay" else "")
         (us elapsed_us)
+  | Collective { op; prov; replay; world; shapes; bytes_wire; elapsed_us } ->
+      Printf.sprintf "collective %s%s [%s] world=%d wire=%.0f%s%s" op
+        (prov_str prov) (shapes_str shapes) world bytes_wire
+        (if replay then " replay" else "")
+        (us elapsed_us)
   | Capture_begin { capture_id; func } ->
       Printf.sprintf "capture #%d %s" capture_id func
   | Capture_replay { capture_id; func; overhead_us } ->
@@ -170,7 +184,9 @@ let is_extern ?(include_replays = true) ev =
 
 let elapsed_us_of = function
   | Enter { overhead_us; _ } | Capture_replay { overhead_us; _ } -> overhead_us
-  | Kernel_launch { elapsed_us; _ } | Extern_call { elapsed_us; _ } ->
+  | Kernel_launch { elapsed_us; _ }
+  | Extern_call { elapsed_us; _ }
+  | Collective { elapsed_us; _ } ->
       elapsed_us
   | Exit _ | Instr_begin _ | Instr_end _ | Bind_shape _ | Check_shape _
   | Alloc _ | Tensor_in_storage _ | Free _ | End_of_life _ | Capture_begin _
@@ -179,5 +195,10 @@ let elapsed_us_of = function
          clock; the time they bracket (or inflate) is charged by the
          underlying VM runs. *)
       0.0
+
+let is_collective ?(include_replays = true) ev =
+  match ev with
+  | Collective { replay; _ } -> include_replays || not replay
+  | _ -> false
 
 let is_fault = function Fault_injected _ -> true | _ -> false

@@ -87,6 +87,21 @@ type event =
       bytes_moved : float;
       elapsed_us : float;
     }  (** A vendor-library call (partial library lowering, §4.6). *)
+  | Collective of {
+      op : string;
+      prov : string option;
+      replay : bool;
+      world : int;
+      shapes : int array array;
+      bytes_wire : float;
+      elapsed_us : float;
+    }
+      (** A cross-device collective ("ccl.all_reduce" /
+          "ccl.all_gather") over [world] shards of a tensor-parallel
+          module (DESIGN.md §13). Charged from the device's
+          {!Device.link} rather than its memory roofline; [bytes_wire]
+          is the traffic the interconnect actually carried
+          ({!Device.collective_wire_bytes}). *)
   | Capture_begin of { capture_id : int; func : string }
       (** First execution of a capture region: records the graph. *)
   | Capture_replay of { capture_id : int; func : string; overhead_us : float }
@@ -179,6 +194,7 @@ val is_launch : ?include_replays:bool -> event -> bool
     launches that paid per-launch overhead (default [true]). *)
 
 val is_extern : ?include_replays:bool -> event -> bool
+val is_collective : ?include_replays:bool -> event -> bool
 val is_fault : event -> bool
 val elapsed_us_of : event -> float
 (** Simulated time charged by the event ([Instr_end] excluded to

@@ -58,6 +58,7 @@ type stats = {
   mutable elapsed_us : float;
   mutable kernel_launches : int;
   mutable lib_calls : int;
+  mutable collective_calls : int;
   mutable graph_replays : int;
 }
 
@@ -94,7 +95,14 @@ let create ?allocator ?trace ?fault ?(backend = Tir.Exec.default) mode program
     mode;
     program;
     alloc;
-    st = { elapsed_us = 0.0; kernel_launches = 0; lib_calls = 0; graph_replays = 0 };
+    st =
+      {
+        elapsed_us = 0.0;
+        kernel_launches = 0;
+        lib_calls = 0;
+        collective_calls = 0;
+        graph_replays = 0;
+      };
     trace;
     fault;
     captured = Hashtbl.create 8;
@@ -348,6 +356,43 @@ let charge_extern t ~in_replay (impl : Library.impl) shapes dtype =
       t.st.elapsed_us <- t.st.elapsed_us +. charged;
       charged
 
+(* Charge a ccl.* collective from the device interconnect link model
+   rather than the memory roofline: ring all-reduce moves 2(w-1)/w of
+   the tensor, all-gather (w-1)/w, plus per-hop latencies
+   (Device.all_reduce_us / all_gather_us).  Returns (charged, wire
+   bytes). *)
+let charge_collective t ~in_replay func ~world ~bytes =
+  t.st.collective_calls <- t.st.collective_calls + 1;
+  let op =
+    if func = "ccl.all_reduce" then `All_reduce
+    else if func = "ccl.all_gather" then `All_gather
+    else fail "unknown collective %s" func
+  in
+  let wire = Device.collective_wire_bytes ~op ~world ~bytes in
+  match t.mode with
+  | `Numeric -> (0.0, wire)
+  | `Timed dev ->
+      let link = dev.Device.link in
+      let time =
+        match op with
+        | `All_reduce -> Device.all_reduce_us link ~world ~bytes
+        | `All_gather -> Device.all_gather_us link ~world ~bytes
+      in
+      let time =
+        match t.fault with
+        | Some inj -> (
+            match Fault.device_stall inj ~site:func with
+            | Some (ev, factor) ->
+                emit t (Trace.Fault_injected ev);
+                time *. factor
+            | None -> time)
+        | None -> time
+      in
+      let overhead = if in_replay then 0.0 else dev.Device.launch_overhead_us in
+      let charged = time +. overhead in
+      t.st.elapsed_us <- t.st.elapsed_us +. charged;
+      (charged, wire)
+
 let find_func t name =
   match List.assoc_opt name t.program.funcs with
   | Some f -> f
@@ -563,22 +608,51 @@ and exec_instr t ~in_replay ~fname ~pc ~prov frame (i : instr) : unit =
       let arg_vals = Array.map (reg frame) args in
       let shapes = Array.map value_shape arg_vals in
       let dtype = value_dtype arg_vals.(Array.length arg_vals - 1) in
-      let charged = charge_extern t ~in_replay impl shapes dtype in
-      (match t.trace with
-      | Some sink ->
-          let cost = impl.Library.cost_fn shapes dtype in
-          sink
-            (Trace.Extern_call
-               {
-                 func;
-                 prov;
-                 replay = in_replay;
-                 shapes;
-                 flops = cost.Library.flops;
-                 bytes_moved = cost.Library.bytes;
-                 elapsed_us = charged;
-               })
-      | None -> ());
+      if Library.is_collective func then begin
+        (* Shard inputs x_0..x_{w-1} then output: world = nargs - 1.
+           [bytes] is the full (unsharded) tensor: the output. *)
+        let world = Array.length arg_vals - 1 in
+        let out_shape = shapes.(Array.length shapes - 1) in
+        let bytes =
+          float_of_int
+            (Array.fold_left ( * ) 1 out_shape * Base.Dtype.size_in_bytes dtype)
+        in
+        let charged, wire =
+          charge_collective t ~in_replay func ~world ~bytes
+        in
+        match t.trace with
+        | Some sink ->
+            sink
+              (Trace.Collective
+                 {
+                   op = func;
+                   prov;
+                   replay = in_replay;
+                   world;
+                   shapes;
+                   bytes_wire = wire;
+                   elapsed_us = charged;
+                 })
+        | None -> ()
+      end
+      else begin
+        let charged = charge_extern t ~in_replay impl shapes dtype in
+        match t.trace with
+        | Some sink ->
+            let cost = impl.Library.cost_fn shapes dtype in
+            sink
+              (Trace.Extern_call
+                 {
+                   func;
+                   prov;
+                   replay = in_replay;
+                   shapes;
+                   flops = cost.Library.flops;
+                   bytes_moved = cost.Library.bytes;
+                   elapsed_us = charged;
+                 })
+        | None -> ()
+      end;
       (match t.mode with
       | `Numeric -> impl.Library.compute (Array.map value_tensor arg_vals)
       | `Timed _ -> ());

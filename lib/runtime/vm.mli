@@ -95,6 +95,7 @@ type stats = {
   mutable elapsed_us : float;
   mutable kernel_launches : int;
   mutable lib_calls : int;
+  mutable collective_calls : int;
   mutable graph_replays : int;
 }
 

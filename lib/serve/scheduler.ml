@@ -18,6 +18,7 @@ type opts = {
   retry : retry;
   faults : Runtime.Fault.config option;
   kv_share : bool;
+  prefix_prefill_discount : bool;
 }
 
 let default_opts =
@@ -30,6 +31,7 @@ let default_opts =
     retry = default_retry;
     faults = None;
     kv_share = false;
+    prefix_prefill_discount = false;
   }
 
 type exec = [ `Sim | `Numeric of int ]
@@ -119,6 +121,27 @@ let bucket_for ~max_batch live =
   min (go 1) max_batch
 
 let round_up n step = (n + step - 1) / step * step
+
+(* Uncontended service-time estimate for one request: its prefill plus
+   every output token at the batch-1 decode cost, from the same
+   memoized timed VMs [run] charges from. The cluster router uses this
+   to keep per-replica backlog estimates without running anything. *)
+let estimate_request_us m ~block_size (req : Workload.request) =
+  let mmax = m.cfg.Frontend.Configs.max_context in
+  let pre_ctx =
+    min (max 1 (round_up req.Workload.prompt_len block_size)) mmax
+  in
+  let pre = cost_of (prefill_entry m) pre_ctx in
+  let dec_ctx =
+    min
+      (max 1
+         (round_up
+            (req.Workload.prompt_len + req.Workload.output_len - 1)
+            block_size))
+      (mmax - 1)
+  in
+  let step = cost_of (decode_entry m 1) dec_ctx in
+  pre +. (float_of_int (max 0 (req.Workload.output_len - 1)) *. step)
 
 (* ---------- per-request runtime state ---------- *)
 
@@ -729,7 +752,16 @@ let run ?trace ?(exec = `Sim) m opts workload =
           if matched > 0 then
             emit `Prefix_hit ~id:r.req.Workload.id ~t_us:!clock
               ~batch:(List.length !running) ~tokens:matched;
-          let dt = prefill_cost target *. stall_mult "prefill" in
+          (* With the discount on, a prefix hit charges prefill only
+             for the unshared suffix — the cached positions' KV is
+             already resident. Off (default), the full cost is charged
+             and sharing stays block accounting only. *)
+          let charged_target =
+            if opts.prefix_prefill_discount && matched > 0 then
+              max 1 (target - matched)
+            else target
+          in
+          let dt = prefill_cost charged_target *. stall_mult "prefill" in
           advance_to (!clock +. dt);
           if draw_kernel_fail "prefill" then begin
             (* Transient prefill failure: the time is wasted, the

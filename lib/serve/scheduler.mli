@@ -111,11 +111,21 @@ type opts = {
       (** cross-request KV prefix sharing with copy-on-write blocks
           (see above). [false]: the block manager is the pre-sharing
           private-block accountant, byte-identical behavior. *)
+  prefix_prefill_discount : bool;
+      (** extend sharing from block accounting to time: a prefix hit
+          of [matched] tokens charges prefill only for the unshared
+          suffix ([max 1 (target - matched)] tokens), modeling a
+          runtime that skips recomputation of cached KV. Numeric
+          execution still prefills the full prompt (per-request
+          tensors), so token streams are unchanged; only the clock —
+          and therefore scheduling under load — differs. [false]
+          (default): byte-identical to the accounting-only engine. *)
 }
 
 val default_opts : opts
 (** Continuous, max_batch 8, block_size 16, VRAM-derived budget,
-    FCFS admission, {!default_retry}, no faults, no sharing. *)
+    FCFS admission, {!default_retry}, no faults, no sharing, no
+    prefill discount. *)
 
 type model
 (** Compiled programs + memoized step costs for one (config,
@@ -127,6 +137,13 @@ val model :
   precision:Frontend.Llm.precision ->
   device:Runtime.Device.t ->
   model
+
+val estimate_request_us : model -> block_size:int -> Workload.request -> float
+(** Uncontended service-time estimate: prefill of the (block-rounded)
+    prompt plus [output_len - 1] decode steps at the batch-1 cost,
+    from the same memoized timed VMs {!run} charges from. The cluster
+    router ({!Dist.Cluster}) keeps per-replica backlog estimates with
+    this; it runs nothing beyond the shared cost-model VMs. *)
 
 type exec =
   [ `Sim  (** timed costs only; no tensor data *)

@@ -1,0 +1,478 @@
+(* lib/dist: tensor-parallel sharding and the replicated serving
+   cluster. The sharding half pins the interconnect cost model and
+   proves TP=1/2/4 bit-identity of the Gather strategy (goldens plus
+   a qcheck differential through the full pipeline and the imp
+   backend); the cluster half pins each routing policy's dispatch
+   sequence under a fixed seed and the fold of per-replica metrics. *)
+
+let tiny = Frontend.Configs.tiny
+let tiny_tp = Frontend.Configs.tiny_tp
+let device = Runtime.Device.rtx4090
+
+(* ---------- interconnect cost model goldens ---------- *)
+
+let test_ring_collective_costs () =
+  let open Runtime.Device in
+  let link = pcie_gen4 in
+  (* ring all-reduce, world 4, 1 MB: 2(w-1)/w * bytes/bw + 2(w-1) hops *)
+  Alcotest.(check (float 1e-9)) "ring all-reduce"
+    (2.0 *. 0.75 *. 1e6 /. 32e3 +. (6.0 *. 5.0))
+    (all_reduce_us link ~world:4 ~bytes:1e6);
+  Alcotest.(check (float 1e-9)) "ring all-gather"
+    (0.75 *. 1e6 /. 32e3 +. (3.0 *. 5.0))
+    (all_gather_us link ~world:4 ~bytes:1e6);
+  (* fully-connected topology pays phases, not hops *)
+  Alcotest.(check (float 1e-9)) "fc all-reduce latency term"
+    (2.0 *. 0.875 *. 1e6 /. 450e3 +. (2.0 *. 1.8))
+    (all_reduce_us nvlink ~world:8 ~bytes:1e6);
+  (* world 1: nothing crosses the wire *)
+  Alcotest.(check (float 1e-9)) "world 1 all-reduce" 0.0
+    (all_reduce_us link ~world:1 ~bytes:1e9);
+  Alcotest.(check (float 1e-9)) "world 1 all-gather" 0.0
+    (all_gather_us link ~world:1 ~bytes:1e9);
+  Alcotest.(check (float 1e-9)) "all-reduce wire bytes" 1500.0
+    (collective_wire_bytes ~op:`All_reduce ~world:4 ~bytes:1000.0);
+  Alcotest.(check (float 1e-9)) "all-gather wire bytes" 750.0
+    (collective_wire_bytes ~op:`All_gather ~world:4 ~bytes:1000.0);
+  Alcotest.(check (float 1e-9)) "world 1 wire bytes" 0.0
+    (collective_wire_bytes ~op:`All_reduce ~world:1 ~bytes:1000.0)
+
+(* ---------- TP differential: bit-identity across degrees ---------- *)
+
+let prompt = [ 3; 14; 7; 25 ]
+
+let test_tp_decode_bit_identical () =
+  let run tp = Dist.Tp.generate tiny_tp ~tp ~seed:5 ~prompt ~gen:6 () in
+  let toks1, logits1 = run 1 in
+  List.iter
+    (fun tp ->
+      let toks, logits = run tp in
+      Alcotest.(check (list int))
+        (Printf.sprintf "tp=%d greedy tokens" tp)
+        toks1 toks;
+      Alcotest.(check bool)
+        (Printf.sprintf "tp=%d final logits bit-identical" tp)
+        true
+        (Dist.Tp.bit_equal logits1 logits))
+    [ 2; 4 ]
+
+let test_tp_reduce_strategy_close () =
+  (* Megatron-style all-reduce reassociates the partial sums: same
+     greedy tokens, logits equal to rounding (not bitwise). *)
+  let toks1, logits1 = Dist.Tp.generate tiny_tp ~tp:1 ~seed:5 ~prompt ~gen:4 () in
+  let toks2, logits2 =
+    Dist.Tp.generate ~strategy:Frontend.Llm.Reduce tiny_tp ~tp:2 ~seed:5
+      ~prompt ~gen:4 ()
+  in
+  Alcotest.(check (list int)) "reduce-strategy tokens" toks1 toks2;
+  Alcotest.(check bool) "reduce-strategy logits approx" true
+    (Base.Ndarray.equal_approx ~eps:1e-9 logits1 logits2)
+
+(* tiny shards at tp=2 as well (heads 2, hidden 8): the differential
+   must hold beyond the purpose-built config. *)
+let test_tp_tiny_gqa_free () =
+  let toks1, logits1 = Dist.Tp.generate tiny ~tp:1 ~seed:9 ~prompt ~gen:3 () in
+  let toks2, logits2 = Dist.Tp.generate tiny ~tp:2 ~seed:9 ~prompt ~gen:3 () in
+  Alcotest.(check (list int)) "tiny tp=2 tokens" toks1 toks2;
+  Alcotest.(check bool) "tiny tp=2 logits" true
+    (Dist.Tp.bit_equal logits1 logits2)
+
+let print_case (seed, tp, toks, gen) =
+  Printf.sprintf "seed=%d tp=%d prompt=[%s] gen=%d" seed tp
+    (String.concat ";" (List.map string_of_int toks))
+    gen
+
+let gen_case =
+  QCheck.Gen.(
+    let* seed = int_range 0 1000 in
+    let* tp = oneofl [ 2; 4 ] in
+    let* toks = list_size (int_range 1 6) (int_range 0 31) in
+    let* gen = int_range 1 4 in
+    return (seed, tp, toks, gen))
+
+(* Through the whole stack: pipeline (fusion, scheduling, memory
+   planning, graph capture) and the imp execution backend on both
+   sides. *)
+let test_tp_differential_qcheck =
+  QCheck.Test.make ~count:8 ~name:"TP differential: random prompts and seeds"
+    (QCheck.make ~print:print_case gen_case) (fun (seed, tp, toks, gen) ->
+      let t1, l1 = Dist.Tp.generate tiny_tp ~tp:1 ~seed ~prompt:toks ~gen () in
+      let t2, l2 = Dist.Tp.generate tiny_tp ~tp ~seed ~prompt:toks ~gen () in
+      t1 = t2 && Dist.Tp.bit_equal l1 l2)
+
+let test_tp_prefill_matches_full () =
+  (* Sharded prefill agrees with the unsharded one bit-for-bit, and
+     each shard's returned KV cache is exactly its head-range slice
+     of the full cache. Both sides draw weights from the same seeded
+     decode_paged template (full_weights keys the very same list by
+     name), so they compare like against like. *)
+  let layers = tiny_tp.Frontend.Configs.layers in
+  let dec = Frontend.Llm.decode_paged tiny_tp ~batch:1 Frontend.Llm.F16 in
+  let template = Frontend.Llm.args_for dec ~ctx:0 ~seed:21 ~mode:`Numeric () in
+  let full_w = List.filteri (fun i _ -> i >= 2 + (2 * layers)) template in
+  let compile built =
+    Relax_passes.Pipeline.compile
+      ~options:
+        { Relax_passes.Pipeline.default_options with
+          Relax_passes.Pipeline.upper_bounds =
+            Frontend.Llm.upper_bound_hints built }
+      ~device built.Frontend.Llm.mod_
+  in
+  let pre = Frontend.Llm.prefill ~return_caches:true tiny_tp Frontend.Llm.F16 in
+  let fvm = Runtime.Vm.create `Numeric (compile pre) in
+  let toks = [ 8; 22; 29; 2; 27; 18 ] in
+  let n = List.length toks in
+  let ids () =
+    Runtime.Vm.tensor (Base.Ndarray.of_int_list Base.Dtype.I32 [| n |] toks)
+  in
+  let f_logits, f_caches =
+    match Runtime.Vm.run fvm "prefill" (ids () :: full_w) with
+    | Runtime.Vm.Tuple_val (l :: caches) ->
+        (Runtime.Vm.value_tensor l, List.map Runtime.Vm.value_tensor caches)
+    | _ -> Alcotest.fail "prefill: expected (logits, caches...)"
+  in
+  let tp = 2 in
+  let { Dist.Tp.sh; prog } = Dist.Tp.compile_prefill tiny_tp ~tp ~device in
+  let svm = Runtime.Vm.create `Numeric prog in
+  let sargs =
+    Dist.Tp.shard_args sh
+      ~full:(Dist.Tp.full_weights tiny_tp ~seed:21)
+      ~input:(fun nm ->
+        Alcotest.(check string) "only ids is an input" "ids" nm;
+        ids ())
+  in
+  let s_logits, s_caches =
+    match Runtime.Vm.run svm sh.Frontend.Llm.sbuilt.Frontend.Llm.entry sargs with
+    | Runtime.Vm.Tuple_val (l :: caches) ->
+        (Runtime.Vm.value_tensor l, List.map Runtime.Vm.value_tensor caches)
+    | _ -> Alcotest.fail "prefill_tp: expected (logits, caches...)"
+  in
+  Alcotest.(check bool) "prefill logits bit-identical" true
+    (Dist.Tp.bit_equal f_logits s_logits);
+  let kvs = tiny_tp.Frontend.Configs.kv_heads / tp in
+  let d = tiny_tp.Frontend.Configs.head_dim in
+  Alcotest.(check int) "cache count: layer-major, shard-minor, (k,v)"
+    (2 * tp * tiny_tp.Frontend.Configs.layers)
+    (List.length s_caches);
+  List.iteri
+    (fun i shard_cache ->
+      (* caches come layer-major, shard-minor, (k,v) innermost *)
+      let l = i / (tp * 2) in
+      let s = i mod (tp * 2) / 2 in
+      let kv = i mod 2 in
+      let full_cache = List.nth f_caches ((l * 2) + kv) in
+      for h = 0 to kvs - 1 do
+        for p = 0 to n - 1 do
+          for x = 0 to d - 1 do
+            Alcotest.(check (float 0.0))
+              (Printf.sprintf "cache l=%d s=%d kv=%d [%d,%d,%d]" l s kv h p x)
+              (Base.Ndarray.get_float full_cache
+                 [| 0; (s * kvs) + h; p; x |])
+              (Base.Ndarray.get_float shard_cache [| 0; h; p; x |])
+          done
+        done
+      done)
+    s_caches
+
+let test_tp_sharded_module_verifies () =
+  (* The static verifier (memory safety + race detection) must pass
+     the sharded module after every pipeline stage. *)
+  List.iter
+    (fun tp ->
+      let c = Dist.Tp.compile_decode ~verify:true tiny_tp ~batch:1 ~tp ~device in
+      let diags =
+        Relax_passes.Verify.check_module
+          ~bounds:(Frontend.Llm.upper_bound_hints c.Dist.Tp.sh.Frontend.Llm.sbuilt)
+          c.Dist.Tp.sh.Frontend.Llm.sbuilt.Frontend.Llm.mod_
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "tp=%d sharded module race/safety errors" tp)
+        []
+        (List.map
+           (fun (d : Analysis.Diag.t) -> d.Analysis.Diag.message)
+           (Analysis.Diag.errors diags)))
+    [ 2; 4 ]
+
+let test_tp_step_report () =
+  let r = Dist.Tp.step_report tiny_tp ~batch:1 ~tp:2 ~ctx:8 ~device () in
+  (* 2 layers x (attn_ag, wo_ag, mlp_ag, down_ag) + lm_head_ag *)
+  Alcotest.(check int) "collective count" 9 r.Dist.Tp.collectives;
+  Alcotest.(check bool) "comm time positive" true (r.Dist.Tp.comm_us > 0.0);
+  Alcotest.(check bool) "parallel <= serial" true
+    (r.Dist.Tp.parallel_us <= r.Dist.Tp.serial_us);
+  let tags = List.map fst r.Dist.Tp.per_device_us in
+  Alcotest.(check (list string)) "device split tags"
+    [ "g0"; "g1"; "link"; "shared" ] tags;
+  let reduce =
+    Dist.Tp.step_report ~strategy:Frontend.Llm.Reduce tiny_tp ~batch:1 ~tp:2
+      ~ctx:8 ~device ()
+  in
+  (* Reduce halves the per-layer collectives: 2 x (wo_ar, down_ar) + lm_head_ag *)
+  Alcotest.(check int) "reduce collective count" 5 reduce.Dist.Tp.collectives
+
+(* ---------- cluster routing goldens ---------- *)
+
+let req ?tokens ?fork id arrival =
+  let prompt_len = match tokens with Some t -> List.length t | None -> 4 in
+  {
+    Serve.Workload.id;
+    arrival_us = arrival;
+    prompt_len;
+    output_len = 2;
+    deadline_us = None;
+    prompt_tokens = tokens;
+    fork_of = fork;
+  }
+
+let model = lazy (Serve.Scheduler.model ~cfg:tiny ~precision:Frontend.Llm.F16 ~device)
+
+let copts ?(replicas = 3) route =
+  { Dist.Cluster.default_opts with Dist.Cluster.replicas; route }
+
+let dispatch ?replicas route w =
+  Dist.Cluster.dispatch ~model:(Lazy.force model) (copts ?replicas route) w
+
+let test_route_round_robin () =
+  let w = List.init 7 (fun i -> req i (float_of_int i *. 100.0)) in
+  Alcotest.(check (list (pair int int)))
+    "round-robin golden"
+    [ (0, 0); (1, 1); (2, 2); (3, 0); (4, 1); (5, 2); (6, 0) ]
+    (dispatch Dist.Cluster.Round_robin w)
+
+let test_route_least_loaded () =
+  (* Simultaneous equal requests spread like round-robin (ties break
+     to the lowest index); a late arrival after the backlog drains
+     still lands on replica 0. *)
+  let w = List.init 6 (fun i -> req i 0.0) @ [ req 6 1e9 ] in
+  Alcotest.(check (list (pair int int)))
+    "least-loaded golden"
+    [ (0, 0); (1, 1); (2, 2); (3, 0); (4, 1); (5, 2); (6, 0) ]
+    (dispatch Dist.Cluster.Least_loaded w)
+
+let test_route_power_of_two () =
+  let w = List.init 8 (fun i -> req i (float_of_int i *. 50.0)) in
+  let d = dispatch Dist.Cluster.Power_of_two w in
+  (* Pinned dispatch under route_seed 0: two seeded draws per request,
+     less-loaded of the pair wins (ties keep the first draw). *)
+  Alcotest.(check (list (pair int int)))
+    "power-of-two golden"
+    [ (0, 0); (1, 1); (2, 2); (3, 0); (4, 2); (5, 1); (6, 2); (7, 0) ]
+    d;
+  Alcotest.(check (list (pair int int)))
+    "power-of-two deterministic" d
+    (dispatch Dist.Cluster.Power_of_two w);
+  List.iter
+    (fun (_, k) ->
+      Alcotest.(check bool) "replica in range" true (k >= 0 && k < 3))
+    d;
+  (* ...and never piles everything on one replica over 8 requests. *)
+  Alcotest.(check bool) "spreads over >= 2 replicas" true
+    (List.length (List.sort_uniq compare (List.map snd d)) >= 2)
+
+let test_route_prefix_affinity () =
+  let sys = [ 1; 2; 3; 4 ] in
+  let session s = sys @ [ 100 + s; 200 + s ] in
+  let w =
+    [
+      req ~tokens:(session 0) 0 0.0;
+      req ~tokens:(session 1) 1 10.0;
+      req ~tokens:(session 0) 2 20.0;  (* same prompt as request 0 *)
+      req ~tokens:(session 2) 3 30.0;
+      req ~tokens:(session 1) 4 40.0;  (* same prompt as request 1 *)
+      req 5 50.0;  (* no tokens: round-robin fallback *)
+    ]
+  in
+  let d = dispatch Dist.Cluster.Prefix_affinity w in
+  let at i = List.assoc i d in
+  Alcotest.(check int) "same prompt, same replica (session 0)" (at 0) (at 2);
+  Alcotest.(check int) "same prompt, same replica (session 1)" (at 1) (at 4);
+  let expected s =
+    Dist.Cluster.fnv1a (session s) mod 3
+  in
+  List.iter
+    (fun (rid, s) ->
+      Alcotest.(check int)
+        (Printf.sprintf "request %d hashes to its session replica" rid)
+        (expected s) (at rid))
+    [ (0, 0); (1, 1); (2, 0); (3, 2); (4, 1) ];
+  Alcotest.(check int) "tokenless fallback is round-robin slot 0" 0 (at 5)
+
+let test_route_forks_follow_parent () =
+  let w =
+    [
+      req ~tokens:[ 1; 2; 3; 4 ] 0 0.0;
+      req 1 10.0;
+      req ~fork:0 ~tokens:[ 1; 2; 3; 4 ] 2 20.0;
+      req ~fork:0 ~tokens:[ 1; 2; 3; 4 ] 3 30.0;
+    ]
+  in
+  List.iter
+    (fun route ->
+      let d = dispatch route w in
+      let at i = List.assoc i d in
+      Alcotest.(check int)
+        (Dist.Cluster.route_name route ^ ": fork 2 follows parent")
+        (at 0) (at 2);
+      Alcotest.(check int)
+        (Dist.Cluster.route_name route ^ ": fork 3 follows parent")
+        (at 0) (at 3))
+    [ Dist.Cluster.Round_robin; Least_loaded; Power_of_two; Prefix_affinity ]
+
+let test_fnv1a_stable () =
+  (* Pinned values: the routing goldens must not move across OCaml
+     versions or refactors of the hash. *)
+  Alcotest.(check int) "fnv1a []" 0x811c9dc5 (Dist.Cluster.fnv1a []);
+  Alcotest.(check int) "fnv1a [0]" 0x4b95f515 (Dist.Cluster.fnv1a [ 0 ]);
+  Alcotest.(check int) "fnv1a [1;2;3]" 0x794671b5 (Dist.Cluster.fnv1a [ 1; 2; 3 ]);
+  Alcotest.(check bool) "order matters" true
+    (Dist.Cluster.fnv1a [ 1; 2 ] <> Dist.Cluster.fnv1a [ 2; 1 ])
+
+(* ---------- cluster execution ---------- *)
+
+let poisson ?(seed = 7) ?(rate = 400.0) n =
+  Serve.Workload.generate ~seed ~rate_per_s:rate ~num_requests:n
+    ~max_total:tiny.Frontend.Configs.max_context
+    ~prompt:(Serve.Workload.Uniform (2, 6))
+    ~output:(Serve.Workload.Uniform (2, 5))
+    ()
+
+let test_cluster_partitions_and_folds () =
+  let w = poisson 14 in
+  let opts = copts ~replicas:2 Dist.Cluster.Round_robin in
+  let r = Dist.Cluster.run ~model:(Lazy.force model) opts w in
+  let all_ids =
+    List.concat_map
+      (fun (rr : Serve.Scheduler.result) ->
+        List.map (fun (m : Serve.Metrics.request_metrics) -> m.Serve.Metrics.id)
+          rr.Serve.Scheduler.completed)
+      (Array.to_list r.Dist.Cluster.replica_results)
+  in
+  Alcotest.(check (list int)) "every request completes exactly once"
+    (List.init 14 Fun.id)
+    (List.sort compare all_ids);
+  Alcotest.(check int) "summary.completed" 14
+    r.Dist.Cluster.summary.Serve.Metrics.completed;
+  Alcotest.(check int) "summary.submitted" 14
+    r.Dist.Cluster.summary.Serve.Metrics.submitted;
+  let max_clock =
+    Array.fold_left
+      (fun acc (rr : Serve.Scheduler.result) ->
+        Float.max acc rr.Serve.Scheduler.clock_us)
+      0.0 r.Dist.Cluster.replica_results
+  in
+  Alcotest.(check (float 1e-9)) "makespan = slowest replica" max_clock
+    r.Dist.Cluster.summary.Serve.Metrics.makespan_us
+
+let test_cluster_of_one_is_the_engine () =
+  let w = poisson 10 in
+  let m = Lazy.force model in
+  let single = Serve.Scheduler.run m Serve.Scheduler.default_opts w in
+  let r =
+    Dist.Cluster.run ~model:m
+      (copts ~replicas:1 Dist.Cluster.Least_loaded)
+      w
+  in
+  Alcotest.(check (float 1e-9)) "same makespan"
+    single.Serve.Scheduler.clock_us
+    r.Dist.Cluster.summary.Serve.Metrics.makespan_us;
+  Alcotest.(check bool) "same summary" true
+    (single.Serve.Scheduler.summary = r.Dist.Cluster.summary)
+
+let test_two_schedulers_side_by_side () =
+  (* No residual state across engine instances: a run's result is
+     byte-identical whether it runs alone or interleaved with another
+     scheduler on a different seed. *)
+  let m1 = Serve.Scheduler.model ~cfg:tiny ~precision:Frontend.Llm.F16 ~device in
+  let m2 = Serve.Scheduler.model ~cfg:tiny ~precision:Frontend.Llm.F16 ~device in
+  let w1 = poisson ~seed:3 10 and w2 = poisson ~seed:99 ~rate:80.0 12 in
+  let alone = Serve.Scheduler.run m1 Serve.Scheduler.default_opts w1 in
+  let _other = Serve.Scheduler.run m2 Serve.Scheduler.default_opts w2 in
+  let interleaved = Serve.Scheduler.run m1 Serve.Scheduler.default_opts w1 in
+  Alcotest.(check bool) "summaries identical" true
+    (alone.Serve.Scheduler.summary = interleaved.Serve.Scheduler.summary);
+  Alcotest.(check (float 0.0)) "clocks identical"
+    alone.Serve.Scheduler.clock_us interleaved.Serve.Scheduler.clock_us;
+  (* Numeric mode too: token streams must not depend on the other
+     engine's PRNG or caches. *)
+  let a = Serve.Scheduler.run ~exec:(`Numeric 5) m1 Serve.Scheduler.default_opts w1 in
+  let _b = Serve.Scheduler.run ~exec:(`Numeric 6) m2 Serve.Scheduler.default_opts w2 in
+  let c = Serve.Scheduler.run ~exec:(`Numeric 5) m1 Serve.Scheduler.default_opts w1 in
+  Alcotest.(check bool) "token streams identical" true
+    (a.Serve.Scheduler.token_streams = c.Serve.Scheduler.token_streams)
+
+let chat ~seed =
+  Serve.Workload.multi_turn_chat ~seed ~rate_per_s:200.0 ~sessions:4 ~turns:3
+    ~vocab:tiny.Frontend.Configs.vocab ~system_len:8
+    ~max_total:tiny.Frontend.Configs.max_context
+    ~turn_user:(Serve.Workload.Uniform (1, 2))
+    ~output:(Serve.Workload.Uniform (1, 2))
+    ()
+
+let test_prefill_discount () =
+  let m = Lazy.force model in
+  let w = chat ~seed:11 in
+  (* tiny's whole context is one default-size block; shrink blocks so
+     the shared system prompt actually spans sharable whole blocks. *)
+  let base =
+    { Serve.Scheduler.default_opts with
+      Serve.Scheduler.kv_share = true;
+      Serve.Scheduler.block_size = 4 }
+  in
+  let off = Serve.Scheduler.run m base w in
+  let on =
+    Serve.Scheduler.run m
+      { base with Serve.Scheduler.prefix_prefill_discount = true }
+      w
+  in
+  Alcotest.(check bool) "prefix cache actually hit" true
+    (off.Serve.Scheduler.summary.Serve.Metrics.prefix_hit_rate > 0.0);
+  Alcotest.(check bool) "discount never slows the run" true
+    (on.Serve.Scheduler.clock_us <= off.Serve.Scheduler.clock_us);
+  (* Numeric: the discount only changes time, never tokens. *)
+  let off_n = Serve.Scheduler.run ~exec:(`Numeric 2) m base w in
+  let on_n =
+    Serve.Scheduler.run ~exec:(`Numeric 2) m
+      { base with Serve.Scheduler.prefix_prefill_discount = true }
+      w
+  in
+  Alcotest.(check bool) "token streams unchanged" true
+    (List.sort compare off_n.Serve.Scheduler.token_streams
+    = List.sort compare on_n.Serve.Scheduler.token_streams)
+
+let () =
+  Alcotest.run "dist"
+    [ ( "interconnect",
+        [ Alcotest.test_case "ring collective cost goldens" `Quick
+            test_ring_collective_costs ] );
+      ( "tensor_parallel",
+        [ Alcotest.test_case "TP=1/2/4 bit-identical" `Quick
+            test_tp_decode_bit_identical;
+          Alcotest.test_case "reduce strategy: same tokens" `Quick
+            test_tp_reduce_strategy_close;
+          Alcotest.test_case "tiny shards at tp=2" `Quick test_tp_tiny_gqa_free;
+          QCheck_alcotest.to_alcotest test_tp_differential_qcheck;
+          Alcotest.test_case "prefill_tp matches full prefill" `Quick
+            test_tp_prefill_matches_full;
+          Alcotest.test_case "sharded modules verify race-free" `Quick
+            test_tp_sharded_module_verifies;
+          Alcotest.test_case "step report device/comm split" `Quick
+            test_tp_step_report ] );
+      ( "routing",
+        [ Alcotest.test_case "round-robin golden" `Quick test_route_round_robin;
+          Alcotest.test_case "least-loaded golden" `Quick
+            test_route_least_loaded;
+          Alcotest.test_case "power-of-two deterministic" `Quick
+            test_route_power_of_two;
+          Alcotest.test_case "prefix affinity" `Quick test_route_prefix_affinity;
+          Alcotest.test_case "forks follow parent" `Quick
+            test_route_forks_follow_parent;
+          Alcotest.test_case "fnv1a pinned" `Quick test_fnv1a_stable ] );
+      ( "cluster",
+        [ Alcotest.test_case "partition and fold" `Quick
+            test_cluster_partitions_and_folds;
+          Alcotest.test_case "cluster of one = the engine" `Quick
+            test_cluster_of_one_is_the_engine;
+          Alcotest.test_case "two schedulers side by side" `Quick
+            test_two_schedulers_side_by_side;
+          Alcotest.test_case "prefix prefill discount" `Quick
+            test_prefill_discount ] ) ]
