@@ -1249,7 +1249,7 @@ let cluster () =
   let chat =
     Serve.Workload.multi_turn_chat ~seed:7 ~rate_per_s:40.0 ~sessions:16
       ~turns:4 ~vocab:cfg.Frontend.Configs.vocab ~system_len:48
-      ~think_time_us:150_000.0 ~max_total:cfg.Frontend.Configs.max_context
+      ~think_time_us:120_000.0 ~max_total:cfg.Frontend.Configs.max_context
       ~turn_user:(Serve.Workload.Uniform (16, 48))
       ~output:(Serve.Workload.Uniform (32, 96))
       ()
@@ -1385,6 +1385,222 @@ let cluster () =
   close_out oc;
   Printf.printf "\n  wrote %s\n" path
 
+(* ---------- failover: cluster fault tolerance ---------- *)
+
+(* Kill the cluster's hottest replica for the middle third of a
+   prefix-affinity chat run and compare three routings of the same
+   workload: fault-free, health-blind (the naive baseline: the dead
+   replica's queue strands until its engine restarts) and health-aware
+   failover (drained requests re-admit on surviving replicas with KV
+   recomputed).
+
+   Prefix affinity is the interesting victim: it deliberately
+   concentrates sessions onto replicas for KV locality (the cluster
+   bench shows it winning TTFT), and that concentration is exactly
+   what makes a health-blind crash catastrophic — the hot replica
+   carries far more than its 1/M fair share, so when it dies the
+   naive router keeps feeding the black hole and the goodput cliff is
+   much deeper than 1/M. Health-aware routing turns the cliff into a
+   dip: the fallback walk re-spreads the hot replica's sessions over
+   the survivors deterministically. *)
+
+let failover () =
+  section "failover: crash the hot replica mid-run, Llama3-8B, 4 replicas";
+  let device = Runtime.Device.rtx4090 in
+  let cfg = Frontend.Configs.llama3_8b in
+  let model = Serve.Scheduler.model ~cfg ~precision:Frontend.Llm.F16 ~device in
+  let replicas = 4 in
+  let sched =
+    { Serve.Scheduler.default_opts with Serve.Scheduler.max_batch = 16 }
+  in
+  (* ~120 requests at ~20 req/s: 8 chat sessions of 15 turns whose
+     prompts share a growing prefix, so affinity pins each session to
+     one replica; every request carries a deadline. *)
+  let slack_us = 500_000.0 in
+  let chat seed =
+    Serve.Workload.multi_turn_chat ~seed ~rate_per_s:2.0 ~sessions:5
+      ~turns:24 ~vocab:cfg.Frontend.Configs.vocab ~system_len:16
+      ~think_time_us:120_000.0 ~max_total:cfg.Frontend.Configs.max_context
+      ~turn_user:(Serve.Workload.Uniform (3, 8))
+      ~output:(Serve.Workload.Uniform (4, 10))
+      ()
+  in
+  let w = chat 36 |> Serve.Workload.with_deadline ~slack_us in
+  let n = List.length w in
+  let last_arrival =
+    List.fold_left
+      (fun acc (r : Serve.Workload.request) ->
+        Float.max acc r.Serve.Workload.arrival_us)
+      0.0 w
+  in
+  let base_opts route_aware =
+    { Dist.Cluster.default_opts with
+      Dist.Cluster.replicas;
+      route = Dist.Cluster.Prefix_affinity;
+      affinity_window = 128;
+      sched;
+      health_aware = route_aware;
+    }
+  in
+  (* The victim: whichever replica affinity loads most (worst-case
+     crash for this routing policy). *)
+  let fault_free_dispatch = Dist.Cluster.dispatch ~model (base_opts true) w in
+  let share = Array.make replicas 0 in
+  List.iter (fun (_, k) -> share.(k) <- share.(k) + 1) fault_free_dispatch;
+  let victim = ref 0 in
+  Array.iteri (fun k c -> if c > share.(!victim) then victim := k) share;
+  let victim = !victim in
+  let crash_from = last_arrival /. 3.0 in
+  let crash_until = 2.0 *. last_arrival /. 3.0 in
+  let plan =
+    [ { Runtime.Fault.replica = victim;
+        rkind = Runtime.Fault.Replica_crash;
+        from_us = crash_from;
+        until_us = crash_until;
+        factor = 1.0;
+      } ]
+  in
+  Printf.printf
+    "\n%d chat requests over %.1fs, prefix-affinity; replica %d carries \
+     %d/%d (%.0f%%)\n"
+    n (last_arrival /. 1e6) victim share.(victim) n
+    (100.0 *. float_of_int share.(victim) /. float_of_int n);
+  Printf.printf "crash window: replica %d dead %.2fs - %.2fs (middle third)\n"
+    victim (crash_from /. 1e6) (crash_until /. 1e6);
+  let run label opts =
+    let r = Dist.Cluster.run ~model opts w in
+    (label, r)
+  in
+  let runs =
+    [ run "fault-free" (base_opts true);
+      run "naive"
+        { (base_opts false) with Dist.Cluster.replica_faults = plan };
+      run "health-aware"
+        { (base_opts true) with Dist.Cluster.replica_faults = plan } ]
+  in
+  (* Per-request metrics merged across every era of every replica
+     (hedging is off, so ids are unique). *)
+  let merged (r : Dist.Cluster.result) =
+    Array.to_list r.Dist.Cluster.replica_reports
+    |> List.concat_map (fun (rep : Dist.Cluster.replica_report) ->
+           List.concat_map
+             (fun (_, (er : Serve.Scheduler.result)) ->
+               er.Serve.Scheduler.completed)
+             rep.Dist.Cluster.eras)
+  in
+  let met (rm : Serve.Metrics.request_metrics) =
+    match rm.Serve.Metrics.deadline_us with
+    | Some d -> rm.Serve.Metrics.finish_us <= d
+    | None -> true
+  in
+  (* Windowed goodput: deadline-met output tokens finishing inside
+     [a, b), per second of window. *)
+  let goodput_in rs a b =
+    List.fold_left
+      (fun acc (rm : Serve.Metrics.request_metrics) ->
+        if rm.Serve.Metrics.finish_us >= a && rm.Serve.Metrics.finish_us < b
+           && met rm
+        then acc + rm.Serve.Metrics.tokens
+        else acc)
+      0 rs
+    |> fun t -> float_of_int t /. ((b -. a) /. 1e6)
+  in
+  (* Post window starts once recovery has settled (rejoin probe +
+     half-open promotion land within ~200ms of the window end). *)
+  let post_from = crash_until +. 200_000.0 in
+  let post_until = last_arrival +. 1_000_000.0 in
+  Printf.printf "\n%-14s %9s %9s %9s %9s %7s %7s %6s %9s\n" "run" "goodput"
+    "pre" "fault" "post" "SLO" "lost" "failov" "downtime";
+  let stats =
+    List.map
+      (fun (label, (r : Dist.Cluster.result)) ->
+        let rs = merged r in
+        let s = r.Dist.Cluster.summary in
+        let lost = n - s.Serve.Metrics.completed in
+        let pre = goodput_in rs 0.0 crash_from in
+        let fault = goodput_in rs crash_from crash_until in
+        let post = goodput_in rs post_from post_until in
+        Printf.printf
+          "%-14s %9.1f %9.1f %9.1f %9.1f %6.0f%% %7d %6d %7.0fms\n" label
+          s.Serve.Metrics.goodput_tokens_per_s pre fault post
+          (100.0 *. s.Serve.Metrics.slo_attainment)
+          lost s.Serve.Metrics.failovers
+          (s.Serve.Metrics.replica_downtime_us /. 1e3);
+        (label, (s, lost, pre, fault, post)))
+      runs
+  in
+  let stat label = List.assoc label stats in
+  let _, _, _, fault_aware, post_aware = stat "health-aware" in
+  let _, _, _, fault_naive, _ = stat "naive" in
+  let _, _, _, _, post_free = stat "fault-free" in
+  Printf.printf
+    "\nfault-window goodput: health-aware %.1f vs naive %.1f tok/s \
+     (%.2fx)%s\n"
+    fault_aware fault_naive
+    (fault_aware /. Float.max 1.0 fault_naive)
+    (if fault_aware >= 2.0 *. fault_naive then ""
+     else "  ** EXPECTED >= 2x NAIVE **");
+  Printf.printf "post-recovery goodput: %.1f vs fault-free %.1f tok/s \
+                 (%.0f%%)%s\n"
+    post_aware post_free
+    (100.0 *. post_aware /. Float.max 1.0 post_free)
+    (if post_aware >= 0.9 *. post_free then ""
+     else "  ** EXPECTED WITHIN 10% OF FAULT-FREE **");
+  let _, lost_aware, _, _, _ = stat "health-aware" in
+  let aware_ids =
+    List.map
+      (fun (rm : Serve.Metrics.request_metrics) -> rm.Serve.Metrics.id)
+      (merged (snd (List.nth runs 2)))
+  in
+  let dups = List.length aware_ids - List.length (List.sort_uniq compare aware_ids) in
+  Printf.printf "health-aware completions: %d lost, %d duplicated%s\n"
+    lost_aware dups
+    (if lost_aware = 0 && dups = 0 then ""
+     else "  ** EXPECTED ZERO LOST / DUPLICATED **");
+  let path = out_file "BENCH_failover.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"failover\",\n\
+    \  \"model\": %S,\n\
+    \  \"device\": %S,\n\
+    \  \"replicas\": %d,\n\
+    \  \"route\": \"prefix-affinity\",\n\
+    \  \"requests\": %d,\n\
+    \  \"deadline_slack_ms\": %.0f,\n\
+    \  \"victim_replica\": %d,\n\
+    \  \"victim_share\": %.3f,\n\
+    \  \"crash_window_s\": [%.3f, %.3f],\n\
+    \  \"runs\": [\n"
+    cfg.Frontend.Configs.name device.Runtime.Device.name replicas n
+    (slack_us /. 1e3) victim
+    (float_of_int share.(victim) /. float_of_int n)
+    (crash_from /. 1e6) (crash_until /. 1e6);
+  List.iteri
+    (fun i (label, ((s : Serve.Metrics.summary), lost, pre, fault, post)) ->
+      Printf.fprintf oc
+        "    { \"run\": %S, \"goodput_tokens_per_s\": %.1f, \
+         \"window_goodput_tokens_per_s\": { \"pre\": %.1f, \"fault\": %.1f, \
+         \"post\": %.1f }, \"slo_attainment\": %.3f, \"completed\": %d, \
+         \"lost\": %d, \"failovers\": %d, \"migrations\": %d, \
+         \"replica_downtime_ms\": %.1f, \"makespan_ms\": %.1f }%s\n"
+        label s.Serve.Metrics.goodput_tokens_per_s pre fault post
+        s.Serve.Metrics.slo_attainment s.Serve.Metrics.completed lost
+        s.Serve.Metrics.failovers s.Serve.Metrics.migrations
+        (s.Serve.Metrics.replica_downtime_us /. 1e3)
+        (ms s.Serve.Metrics.makespan_us)
+        (if i = List.length stats - 1 then "" else ","))
+    stats;
+  Printf.fprintf oc
+    "  ],\n\
+    \  \"fault_window_ratio_vs_naive\": %.3f,\n\
+    \  \"post_recovery_ratio_vs_fault_free\": %.3f\n\
+     }\n"
+    (fault_aware /. Float.max 1.0 fault_naive)
+    (post_aware /. Float.max 1.0 post_free);
+  close_out oc;
+  Printf.printf "\n  wrote %s\n" path
+
 (* ---------- registry ---------- *)
 
 let experiments =
@@ -1420,7 +1636,11 @@ let experiments =
     ("cluster",
      "replica scaling, routing policies and TP sweep; writes \
       BENCH_cluster.json",
-     cluster) ]
+     cluster);
+    ("failover",
+     "crash 1-of-4 replicas mid-run, health-aware vs naive; writes \
+      BENCH_failover.json",
+     failover) ]
 
 let usage () =
   prerr_endline

@@ -44,7 +44,9 @@ let usage_error fmt =
          [--retries N]\n\
         \                [--faults P] [--fault-seed N] [--kv-share]\n\
         \                [--replicas M] [--route \
-         round-robin|least-loaded|power-of-two|prefix-affinity]]\n";
+         round-robin|least-loaded|power-of-two|prefix-affinity]\n\
+        \                [--replica-faults P] [--hedge] [--heartbeat-ms MS] \
+         [--no-failover]]\n";
       exit 2)
     fmt
 
@@ -92,7 +94,8 @@ let run_tp cfg (device : Runtime.Device.t) ~batch ~ctx ~tp ~profile =
    across M independent engine replicas (lib/dist). *)
 let run_serve cfg (device : Runtime.Device.t) precision ~max_batch ~rate
     ~requests ~policy_name ~seed ~admission_name ~deadline_ms ~retries
-    ~faults_p ~fault_seed ~kv_share ~replicas ~route ~trace ~profile =
+    ~faults_p ~fault_seed ~kv_share ~replicas ~route ~replica_faults_p
+    ~hedge ~heartbeat_ms ~no_failover ~trace ~profile =
   let policy =
     match policy_name with
     | "continuous" -> Serve.Scheduler.Continuous
@@ -163,12 +166,37 @@ let run_serve cfg (device : Runtime.Device.t) precision ~max_batch ~rate
      replicas and fold their metrics. --trace/--profile are
      single-engine affairs and were rejected up front. *)
   if replicas > 1 then begin
+    (* Replica-scoped fault plan: crash and stall windows at the
+       headline probability, router partitions at half of it, drawn
+       from per-(replica, kind) streams off --fault-seed. *)
+    let replica_faults =
+      if replica_faults_p > 0.0 then begin
+        let last_arrival =
+          List.fold_left
+            (fun acc (r : Serve.Workload.request) ->
+              Float.max acc r.Serve.Workload.arrival_us)
+            0.0 workload
+        in
+        Runtime.Fault.plan_replica_faults ~seed:fault_seed ~replicas
+          ~horizon_us:(Float.max 1e6 (last_arrival *. 1.5))
+          ~crash_p:replica_faults_p ~stall_p:replica_faults_p
+          ~partition_p:(0.5 *. replica_faults_p) ()
+      end
+      else []
+    in
     let copts =
       { Dist.Cluster.default_opts with
         Dist.Cluster.replicas;
         route;
         affinity_window = max 64 (mmax / 4);
         sched = opts;
+        replica_faults;
+        health =
+          { Dist.Health.default_opts with
+            Dist.Health.heartbeat_us = heartbeat_ms *. 1000.0;
+          };
+        health_aware = not no_failover;
+        hedge;
       }
     in
     let r =
@@ -190,6 +218,16 @@ let run_serve cfg (device : Runtime.Device.t) precision ~max_batch ~rate
       policy_name max_batch;
     Printf.printf "workload         %d requests at %.1f req/s (seed %d)\n"
       (List.length workload) rate seed;
+    if copts.Dist.Cluster.replica_faults <> [] then
+      Printf.printf
+        "replica faults   %d windows (seed %d), %s routing%s, heartbeat \
+         %.0f ms\n"
+        (List.length copts.Dist.Cluster.replica_faults)
+        fault_seed
+        (if copts.Dist.Cluster.health_aware then "health-aware"
+         else "health-blind")
+        (if copts.Dist.Cluster.hedge then " + hedged decode" else "")
+        heartbeat_ms;
     print_string (Dist.Cluster.to_string copts r);
     exit 0
   end;
@@ -269,7 +307,8 @@ let run_serve cfg (device : Runtime.Device.t) precision ~max_batch ~rate
 let run model_name device_name batch ctx quant backend_name dump_ir no_fusion
     no_library no_planning no_capture paged trace profile lint verify_passes
     json serve rate requests policy seed admission deadline_ms retries faults
-    fault_seed kv_share tp replicas route_name =
+    fault_seed kv_share tp replicas route_name replica_faults hedge
+    heartbeat_ms no_failover =
   let cfg =
     match List.assoc_opt model_name models with
     | Some cfg -> cfg
@@ -322,7 +361,11 @@ let run model_name device_name batch ctx quant backend_name dump_ir no_fusion
     requires "fault-seed" (fault_seed <> None);
     requires "kv-share" kv_share;
     requires "replicas" (replicas <> None);
-    requires "route" (route_name <> None)
+    requires "route" (route_name <> None);
+    requires "replica-faults" (replica_faults <> None);
+    requires "hedge" hedge;
+    requires "heartbeat-ms" (heartbeat_ms <> None);
+    requires "no-failover" no_failover
   end
   else if backend_name <> None then
     (* Serving builds its VMs internally on the default backend; a
@@ -372,6 +415,21 @@ let run model_name device_name batch ctx quant backend_name dump_ir no_fusion
   in
   if replicas_n > 1 && (trace || profile) then
     usage_error "--trace/--profile cannot be combined with --replicas";
+  (* Cluster fault-tolerance knobs only mean something with more than
+     one replica to fail over between. *)
+  List.iter
+    (fun (flag, present) ->
+      if present && replicas_n < 2 then
+        usage_error "--%s requires --replicas >= 2" flag)
+    [ ("replica-faults", replica_faults <> None); ("hedge", hedge);
+      ("heartbeat-ms", heartbeat_ms <> None); ("no-failover", no_failover) ];
+  let replica_faults_p = Option.value replica_faults ~default:0.0 in
+  if replica_faults_p < 0.0 || replica_faults_p > 1.0 then
+    usage_error "--replica-faults must be a probability in [0, 1] (got %g)"
+      replica_faults_p;
+  let heartbeat_ms = Option.value heartbeat_ms ~default:10.0 in
+  if heartbeat_ms <= 0.0 then
+    usage_error "--heartbeat-ms must be > 0 (got %g)" heartbeat_ms;
   if serve then begin
     if dump_ir then usage_error "--dump-ir cannot be combined with --serve";
     if lint || verify_passes then
@@ -398,7 +456,8 @@ let run model_name device_name batch ctx quant backend_name dump_ir no_fusion
     | _ -> ());
     run_serve cfg device precision ~max_batch:batch ~rate ~requests
       ~policy_name ~seed ~admission_name ~deadline_ms ~retries ~faults_p
-      ~fault_seed ~kv_share ~replicas:replicas_n ~route ~trace ~profile;
+      ~fault_seed ~kv_share ~replicas:replicas_n ~route ~replica_faults_p
+      ~hedge ~heartbeat_ms ~no_failover ~trace ~profile;
     exit 0
   end;
   (* Memory planning sizes storages for the model's declared maximum
@@ -731,6 +790,46 @@ let route =
            to a replica's KV cache; pair with $(b,--kv-share)). Requires \
            $(b,--replicas).")
 
+let replica_faults =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "replica-faults" ]
+        ~doc:
+          "Serving: arm seeded replica-scoped fault windows across the \
+           cluster. P is the per-replica probability of a crash window and \
+           of a stall window; router partitions fire at P/2. Windows are \
+           drawn from independent per-(replica, kind) streams off \
+           $(b,--fault-seed). Requires $(b,--replicas) >= 2.")
+
+let hedge =
+  Arg.(
+    value & flag
+    & info [ "hedge" ]
+        ~doc:
+          "Serving: hedged decode — duplicate requests routed to a \
+           degraded replica onto the least-backlogged healthy one; the \
+           earliest finish wins. Requires $(b,--replicas) >= 2.")
+
+let heartbeat_ms =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "heartbeat-ms" ]
+        ~doc:
+          "Serving: health-probe cadence in milliseconds (default 10). \
+           Crash detection lands two missed probes after the crash. \
+           Requires $(b,--replicas) >= 2.")
+
+let no_failover =
+  Arg.(
+    value & flag
+    & info [ "no-failover" ]
+        ~doc:
+          "Serving: disable health-aware routing and failover — the \
+           health-blind baseline where a crashed replica's queue strands \
+           until its engine restarts. Requires $(b,--replicas) >= 2.")
+
 let cmd =
   Cmd.v
     (Cmd.info "relax_compile" ~doc:"Compile and time a model from the zoo")
@@ -739,6 +838,7 @@ let cmd =
       $ no_fusion $ no_library $ no_planning $ no_capture $ paged $ trace
       $ profile $ lint $ verify_passes $ json $ serve $ rate $ requests
       $ policy $ seed $ admission $ deadline_ms $ retries $ faults
-      $ fault_seed $ kv_share $ tp $ replicas $ route)
+      $ fault_seed $ kv_share $ tp $ replicas $ route $ replica_faults
+      $ hedge $ heartbeat_ms $ no_failover)
 
 let () = exit (Cmd.eval cmd)

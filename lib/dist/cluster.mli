@@ -1,19 +1,64 @@
-(** Replicated serving cluster: a deterministic router over M
-    independent {!Serve.Scheduler} replicas.
+(** Replicated serving cluster: one request stream spread across M
+    independent {!Serve.Scheduler} replicas — data parallelism over
+    requests, with cluster-level fault tolerance (DESIGN.md §14).
 
-    Dispatch happens in two phases. First the router walks the
-    workload in arrival order and assigns every request to a replica,
-    maintaining a per-replica backlog estimate from
-    {!Serve.Scheduler.estimate_request_us} (a single-queue drain
-    estimate — no engine runs during routing, so the dispatch
-    sequence is a pure function of workload, policy and seed, which
-    the golden tests pin). Then each replica serves its sub-stream to
-    completion with its own engine — own block manager, own clock,
-    own metrics — and the per-replica summaries fold into one cluster
-    summary whose makespan is the slowest replica's clock.
+    Routing is decided deterministically in a single up-front walk:
+    the router keeps a per-replica backlog estimate (queued work from
+    {!Serve.Scheduler.estimate_request_us} — no engine runs during
+    routing) and assigns each request as it arrives; then every
+    replica serves its share with a private engine (own block manager,
+    own clock, own metrics) and the per-replica results fold into one
+    cluster summary whose makespan is the slowest replica's clock.
 
     Best-of-n forks always follow their parent's replica under every
-    policy: a fork only shares KV with a parent on the same engine. *)
+    policy (a fork only shares KV with a parent on the same engine) —
+    unless that replica is currently believed Down.
+
+    {2 Fault tolerance}
+
+    [opts.replica_faults] arms a {!Runtime.Fault} replica plan (crash
+    / stall / partition windows). {!Health} simulates the heartbeat
+    prober against the plan up front, so the per-replica health
+    timeline — like everything else about routing — is a pure function
+    of (workload, policy, seed, plan).
+
+    With [health_aware = true] (default):
+    - no policy routes to a replica believed [Down]; [Degraded]
+      replicas are deprioritized ({!Prefix_affinity} keeps its hash
+      home while it is [Healthy], else falls back to the
+      next-healthiest replica deterministically — ordered by health,
+      then estimated backlog, then scan distance from the home — so a
+      hot home's sessions re-spread over the survivors);
+    - each {e detected} crash splits the victim into eras: the
+      pre-crash era runs with [stop_at] at the crash instant, and the
+      requests it drains re-enter routing at the detection time on
+      surviving replicas, KV recomputed from scratch (vLLM-style
+      recompute preemption lifted across replicas). Each request
+      migrates at most [max_migrations] times; past that it is
+      aborted. The post-recovery era is a fresh engine incarnation —
+      a restarted engine has no KV either, so era isolation is the
+      correct restart semantics, not an approximation;
+    - crash blips too short for the prober to detect are handed to
+      the era run as engine-side outage windows instead — nothing
+      drains, nothing is lost;
+    - [hedge = true] additionally duplicates any request routed to a
+      [Degraded] / [Recovering] replica onto the least-backlogged
+      [Healthy] one; whichever copy finishes first wins (duplicates
+      deduplicate in the fold, counted as [hedge_wins] when the hedge
+      copy won).
+
+    With [health_aware = false] — the health-blind baseline the
+    failover bench compares against — routing ignores the plan
+    entirely and each crashed replica runs its whole assignment
+    through {!Serve.Scheduler} outage windows: its queue strands
+    until the engine restarts. Stall windows degrade step time
+    identically on both paths.
+
+    When every replica is [Healthy] at every decision point (in
+    particular whenever [replica_faults = []]), every policy routes
+    bit-for-bit as the pre-failover cluster did and the folded
+    summary is byte-identical — the routing goldens and the
+    cluster-of-one test pin this. *)
 
 type route =
   | Round_robin  (** arrival order modulo M *)
@@ -42,11 +87,28 @@ type opts = {
           to spread across replicas at all *)
   route_seed : int;  (** PRNG seed for {!Power_of_two} *)
   sched : Serve.Scheduler.opts;  (** per-replica engine options *)
+  replica_faults : Runtime.Fault.plan;
+      (** scheduled replica-scoped fault windows; [[]] (default)
+          disarms every fault-tolerance path — routing, era splitting
+          and the fold are then byte-identical to the pre-failover
+          cluster *)
+  health : Health.opts;  (** heartbeat prober configuration *)
+  health_aware : bool;
+      (** [false]: health-blind routing + engine outage windows (the
+          naive baseline). Default [true]. *)
+  hedge : bool;
+      (** duplicate requests routed to Degraded replicas onto the
+          least-backlogged Healthy one; earliest finish wins.
+          Default [false]. *)
+  max_migrations : int;
+      (** per-request failover budget; a request drained more than
+          this many times is aborted. Default 2. *)
 }
 
 val default_opts : opts
 (** 2 replicas, round-robin, 64-token affinity window, seed 0,
-    {!Serve.Scheduler.default_opts} engines. *)
+    {!Serve.Scheduler.default_opts} engines, no fault plan,
+    {!Health.default_opts}, health-aware, no hedging, 2 migrations. *)
 
 val fnv1a : int list -> int
 (** 32-bit FNV-1a over token ids (4 little-endian bytes each) —
@@ -58,27 +120,66 @@ val dispatch :
   Serve.Workload.t ->
   (int * int) list
 (** The routing phase alone: [(request id, replica)] in arrival
-    order. Runs nothing beyond the shared cost-model VMs. *)
+    order, health-aware against the precomputed timeline but with no
+    engines run — so no failover re-admission happens here. The
+    determinism golden pins this: same (workload, policy, seed, plan)
+    → byte-equal decisions, even as the healthy set changes
+    mid-stream. Runs nothing beyond the shared cost-model VMs.
+    @raise Invalid_argument if [replicas < 1]. *)
+
+type replica_report = {
+  eras : (float * Serve.Scheduler.result) list;
+      (** (era start, era result) in time order; era clocks are
+          absolute cluster time. One era when the replica never
+          crashed; a detected crash ends an era (its result carries
+          the drained set) and recovery starts the next. *)
+  downtime_us : float;
+      (** total time the health model held the replica [Down],
+          clipped to the cluster makespan; 0.0 with no plan *)
+}
 
 type result = {
   dispatch : (int * int) list;
-  replica_results : Serve.Scheduler.result array;
+      (** realized primary routing, in workload order. With faults
+          armed this is what actually ran — mid-walk failover bumps
+          the backlog estimates later decisions see, so it can differ
+          from what {!dispatch} (routing alone) would pick. *)
+  hedged : (int * int) list;
+      (** (request id, hedge replica) per duplicated dispatch *)
+  migrations : (int * int * int) list;
+      (** (request id, from, to) per failover re-admission, in
+          detection order *)
+  replica_reports : replica_report array;
+  health : Health.transition list;  (** the full health timeline *)
   summary : Serve.Metrics.summary;
-      (** cluster fold: makespan = slowest replica, counters summed,
-          rates time-weighted by replica activity, percentiles over
-          the merged per-request metrics *)
+      (** cluster fold: makespan = slowest era end, counters summed,
+          rates time-weighted by era duration, percentiles over the
+          merged per-request metrics — deduplicated by earliest
+          finish (hedges), migrated requests charged from their
+          {e original} arrival — plus the failover counters
+          ([failovers] / [migrations] / [hedges] / [hedge_wins] /
+          [replica_downtime_us]) *)
 }
 
 val run :
+  ?trace:Runtime.Trace.sink ->
   ?exec:Serve.Scheduler.exec ->
   model:Serve.Scheduler.model ->
   opts ->
   Serve.Workload.t ->
   result
-(** Route, then serve every replica's sub-stream to completion.
-    Replicas share [model] (compilations and memoized step costs are
-    reused; all run-time state is per-{!Serve.Scheduler.run}), so a
-    cluster run costs M engine loops, not M compilations. *)
+(** Route, serve every era, fold. Replicas share [model]
+    (compilations and memoized step costs are reused; all run-time
+    state is per-{!Serve.Scheduler.run}), so a cluster run costs the
+    engine loops, not M compilations. [trace] receives cluster-level
+    events only (per-replica engine streams are not forwarded):
+    {!Runtime.Trace.Fault_injected} per scheduled window, then
+    [`Replica_down] / [`Replica_up] per health down-span (id =
+    replica index), [`Failover] per migration (id = request, batch =
+    destination replica), [`Hedge] / [`Hedge_win] when hedging.
+    @raise Invalid_argument if [replicas < 1]. *)
 
 val to_string : opts -> result -> string
-(** Per-replica load lines followed by the cluster summary. *)
+(** Per-replica utilization lines (completed, busy time summed over
+    eras, tok/s, downtime when nonzero) followed by the folded
+    cluster summary. *)

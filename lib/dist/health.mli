@@ -1,0 +1,67 @@
+(** Per-replica health model for the serving cluster (DESIGN.md §14).
+
+    A heartbeat prober walks the simulated clock at a fixed cadence
+    and asks, for each replica, whether a probe at that instant
+    succeeds against the {!Runtime.Fault} replica plan: it fails iff a
+    crash or partition window covers it, and is slow iff a stall
+    window does. A per-replica state machine folds the probe stream:
+
+    - [Healthy]: probes succeeding at full speed.
+    - [Degraded]: last probe succeeded but was slow (straggler) —
+      routable, deprioritized.
+    - [Down]: [down_after] consecutive probes failed. The circuit is
+      open: probing drops to single half-open trials spaced by an
+      exponentially growing backoff ([backoff_us] × [backoff_mult]^k,
+      capped at [max_backoff_us]).
+    - [Recovering]: a half-open trial succeeded; back at heartbeat
+      cadence, promoted to [Healthy] after [recover_after] consecutive
+      good probes.
+
+    Probe outcomes depend only on the plan — never on serving load —
+    so the whole timeline is computed deterministically up front and
+    routing stays a pure function of (workload, policy, seed, plan). *)
+
+type state = Healthy | Degraded | Down | Recovering
+
+val state_name : state -> string
+(** "healthy", "degraded", "down", "recovering". *)
+
+type opts = {
+  heartbeat_us : float;  (** probe cadence while the circuit is closed *)
+  down_after : int;  (** consecutive failed probes before [Down] *)
+  recover_after : int;  (** consecutive good probes before [Healthy] *)
+  backoff_us : float;  (** first half-open retry delay once [Down] *)
+  backoff_mult : float;  (** exponential growth per failed half-open trial *)
+  max_backoff_us : float;  (** backoff ceiling *)
+}
+
+val default_opts : opts
+(** 10 ms heartbeat, Down after 2 misses, Healthy after 2 good
+    probes, 20 ms half-open backoff doubling up to 160 ms. *)
+
+type transition = { t_us : float; replica : int; state : state }
+
+val timeline :
+  opts ->
+  plan:Runtime.Fault.plan ->
+  replicas:int ->
+  horizon_us:float ->
+  transition list
+(** All state transitions in [\[0, horizon_us\]], sorted by time then
+    replica. Replicas start [Healthy] at 0 (no transition emitted). A
+    crash at [tc] is detected — i.e. the [Down] transition lands — at
+    the [down_after]'th heartbeat after [tc]; recovery is observed at
+    the first half-open probe after the window closes. *)
+
+val state_at : transition list -> replica:int -> t_us:float -> state
+(** The replica's state at [t_us] (transitions at exactly [t_us]
+    already apply); [Healthy] before any transition. *)
+
+val down_spans :
+  transition list -> replica:int -> horizon_us:float -> (float * float) list
+(** Maximal [\[t_down, t_back)] spans during which the replica was
+    [Down], in time order; a span still open at the horizon closes
+    there. *)
+
+val downtime_us : transition list -> replica:int -> horizon_us:float -> float
+(** Total [Down] time clipped to [\[0, horizon_us\]]. *)

@@ -29,21 +29,36 @@ let disabled =
 let enabled c =
   c.kernel_fail_p > 0.0 || c.stall_p > 0.0 || c.oom_p > 0.0 || c.nan_p > 0.0
 
-type kind = Kernel_failure | Device_stall | Alloc_oom | Nan_corruption
+type kind =
+  | Kernel_failure
+  | Device_stall
+  | Alloc_oom
+  | Nan_corruption
+  | Replica_crash
+  | Replica_stall
+  | Replica_partition
 
 let kind_name = function
   | Kernel_failure -> "kernel_failure"
   | Device_stall -> "device_stall"
   | Alloc_oom -> "alloc_oom"
   | Nan_corruption -> "nan_corruption"
+  | Replica_crash -> "replica_crash"
+  | Replica_stall -> "replica_stall"
+  | Replica_partition -> "replica_partition"
 
-let all_kinds = [ Kernel_failure; Device_stall; Alloc_oom; Nan_corruption ]
+let all_kinds =
+  [ Kernel_failure; Device_stall; Alloc_oom; Nan_corruption; Replica_crash;
+    Replica_stall; Replica_partition ]
 
 let kind_index = function
   | Kernel_failure -> 0
   | Device_stall -> 1
   | Alloc_oom -> 2
   | Nan_corruption -> 3
+  | Replica_crash -> 4
+  | Replica_stall -> 5
+  | Replica_partition -> 6
 
 type event = { seq : int; site : string; kind : kind }
 
@@ -59,7 +74,7 @@ let create config =
     config;
     st = Random.State.make [| config.seed |];
     seq = 0;
-    counts = Array.make 4 0;
+    counts = Array.make (List.length all_kinds) 0;
   }
 
 let config t = t.config
@@ -85,6 +100,94 @@ let alloc_oom t ~site = draw t t.config.oom_p Alloc_oom site
 let nan_corruption t ~site = draw t t.config.nan_p Nan_corruption site
 let injected_total t = t.seq
 let injected t kind = t.counts.(kind_index kind)
+
+(* Replica-scoped scheduled faults.
+
+   Unlike the per-draw injector above, cluster faults are *windows* on
+   the simulated clock: replica [replica] is crashed / stalled /
+   partitioned from [from_us] (inclusive) to [until_us] (exclusive).
+   Windows are planned up front from per-(replica, kind) independent
+   PRNG streams, so arming one kind on one replica never perturbs the
+   schedule of any other stream — the same discipline [draw] uses for
+   probability-zero knobs. *)
+
+type window = {
+  replica : int;
+  rkind : kind;
+  from_us : float;
+  until_us : float;
+  factor : float;
+}
+
+type plan = window list
+
+let window_active w t_us = t_us >= w.from_us && t_us < w.until_us
+
+let plan_windows plan ~replica ?rkind () =
+  List.filter
+    (fun w ->
+      w.replica = replica
+      && match rkind with None -> true | Some k -> w.rkind = k)
+    plan
+
+let active_at plan ~replica rkind ~t_us =
+  List.exists
+    (fun w -> w.replica = replica && w.rkind = rkind && window_active w t_us)
+    plan
+
+let crashed_at plan ~replica ~t_us = active_at plan ~replica Replica_crash ~t_us
+
+let partitioned_at plan ~replica ~t_us =
+  active_at plan ~replica Replica_partition ~t_us
+
+let stall_factor_at plan ~replica ~t_us =
+  List.fold_left
+    (fun acc w ->
+      if w.replica = replica && w.rkind = Replica_stall && window_active w t_us
+      then acc *. w.factor
+      else acc)
+    1.0 plan
+
+let plan_replica_faults ~seed ~replicas ~horizon_us ?(crash_p = 0.0)
+    ?(stall_p = 0.0) ?(partition_p = 0.0) ?(stall_factor = 4.0)
+    ?(mean_down_us = 0.0) () =
+  let mean_down_us =
+    if mean_down_us > 0.0 then mean_down_us else horizon_us /. 5.0
+  in
+  let windows = ref [] in
+  let sample replica rkind p factor =
+    if p > 0.0 then begin
+      (* one stream per (replica, kind): independent schedules *)
+      let st = Random.State.make [| seed; replica; kind_index rkind |] in
+      if Random.State.float st 1.0 < p then begin
+        let from_us =
+          horizon_us *. (0.1 +. (0.6 *. Random.State.float st 1.0))
+        in
+        let dur = mean_down_us *. (0.5 +. Random.State.float st 1.0) in
+        let until_us = Float.min (from_us +. dur) (horizon_us *. 0.95) in
+        if until_us > from_us then
+          windows := { replica; rkind; from_us; until_us; factor } :: !windows
+      end
+    end
+  in
+  for replica = 0 to replicas - 1 do
+    sample replica Replica_crash crash_p 1.0;
+    sample replica Replica_stall stall_p stall_factor;
+    sample replica Replica_partition partition_p 1.0
+  done;
+  List.sort
+    (fun a b ->
+      match compare a.from_us b.from_us with
+      | 0 -> compare (a.replica, kind_index a.rkind) (b.replica, kind_index b.rkind)
+      | c -> c)
+    !windows
+
+let window_event ~seq w =
+  {
+    seq;
+    site = Printf.sprintf "replica-%d@%.0fus" w.replica w.from_us;
+    kind = w.rkind;
+  }
 
 type error_class = Transient | Fatal | Resource_exhausted | Corrupt_output
 

@@ -43,13 +43,30 @@ val disabled : config
 val enabled : config -> bool
 (** Any probability strictly positive. *)
 
-type kind = Kernel_failure | Device_stall | Alloc_oom | Nan_corruption
+type kind =
+  | Kernel_failure
+  | Device_stall
+  | Alloc_oom
+  | Nan_corruption
+  | Replica_crash
+      (** cluster scope: a replica's engine dies; its KV cache and
+          in-flight batches are lost until the window closes *)
+  | Replica_stall
+      (** cluster scope: a straggler replica; every step is slowed by
+          the window's [factor] *)
+  | Replica_partition
+      (** cluster scope: router-to-replica link drops; health probes
+          fail but already-dispatched work is unaffected *)
 
 val kind_name : kind -> string
 (** Stable short names: "kernel_failure", "device_stall",
-    "alloc_oom", "nan_corruption". *)
+    "alloc_oom", "nan_corruption", "replica_crash", "replica_stall",
+    "replica_partition". *)
 
 val all_kinds : kind list
+
+val kind_index : kind -> int
+(** Dense 0-based index into [all_kinds], for counter arrays. *)
 
 type event = {
   seq : int;  (** 0-based injection sequence number within this injector *)
@@ -82,6 +99,56 @@ val injected_total : t -> int
 (** Number of events fired so far (= next event's [seq]). *)
 
 val injected : t -> kind -> int
+
+(** {1 Replica-scoped scheduled faults}
+
+    Cluster-level faults are planned *windows* on the simulated clock
+    rather than per-draw Bernoulli trials: replica [replica] is
+    crashed / stalled / partitioned for [\[from_us, until_us)]. The
+    plan is generated up front from per-(replica, kind) independent
+    PRNG streams ([Random.State.make \[| seed; replica; kind |\]]), so
+    arming one kind on one replica never perturbs any other stream,
+    and a probability-0 kind consumes no PRNG state at all. Explicit
+    windows can also be constructed directly (benches script exact
+    scenarios such as "replica 2 dead for the middle third"). *)
+
+type window = {
+  replica : int;
+  rkind : kind;  (** one of the [Replica_*] kinds *)
+  from_us : float;  (** window start, inclusive *)
+  until_us : float;  (** window end, exclusive *)
+  factor : float;  (** stall slowdown multiplier; 1.0 for crash/partition *)
+}
+
+type plan = window list
+
+val plan_replica_faults :
+  seed:int ->
+  replicas:int ->
+  horizon_us:float ->
+  ?crash_p:float ->
+  ?stall_p:float ->
+  ?partition_p:float ->
+  ?stall_factor:float ->
+  ?mean_down_us:float ->
+  unit ->
+  plan
+(** Sample at most one window per (replica, kind): with probability
+    [p] the window starts uniformly in the first 70% of the horizon
+    and lasts [mean_down_us × U(0.5, 1.5)] (default mean: a fifth of
+    the horizon), clamped to end by 95% of the horizon. Windows are
+    returned sorted by start time. Same seed = same plan. *)
+
+val window_active : window -> float -> bool
+val plan_windows : plan -> replica:int -> ?rkind:kind -> unit -> window list
+val crashed_at : plan -> replica:int -> t_us:float -> bool
+val partitioned_at : plan -> replica:int -> t_us:float -> bool
+
+val stall_factor_at : plan -> replica:int -> t_us:float -> float
+(** Product of the factors of all active stall windows; 1.0 if none. *)
+
+val window_event : seq:int -> window -> event
+(** Typed event for recording a window through {!Trace.Fault_injected}. *)
 
 (** {1 Typed failure taxonomy}
 

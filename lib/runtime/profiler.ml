@@ -24,6 +24,11 @@ type serve_counts = {
   prefix_hits : int;
   cow_copies : int;
   kv_evictions : int;
+  failovers : int;
+  hedges : int;
+  hedge_wins : int;
+  replica_downs : int;
+  replica_ups : int;
 }
 
 type t = {
@@ -79,6 +84,11 @@ let zero_serve =
     prefix_hits = 0;
     cow_copies = 0;
     kv_evictions = 0;
+    failovers = 0;
+    hedges = 0;
+    hedge_wins = 0;
+    replica_downs = 0;
+    replica_ups = 0;
   }
 
 let create () =
@@ -105,11 +115,7 @@ let bump_device t tag elapsed_us =
   in
   Hashtbl.replace t.devices tag (calls + 1, us +. elapsed_us)
 
-let kind_idx = function
-  | Fault.Kernel_failure -> 0
-  | Fault.Device_stall -> 1
-  | Fault.Alloc_oom -> 2
-  | Fault.Nan_corruption -> 3
+let kind_idx = Fault.kind_index
 
 let row t kind name origin =
   match Hashtbl.find_opt t.table name with
@@ -199,7 +205,12 @@ let feed t (ev : Trace.event) =
         | `Degrade -> { s with degrades = s.degrades + 1 }
         | `Prefix_hit -> { s with prefix_hits = s.prefix_hits + 1 }
         | `Cow_copy -> { s with cow_copies = s.cow_copies + 1 }
-        | `Evict -> { s with kv_evictions = s.kv_evictions + 1 })
+        | `Evict -> { s with kv_evictions = s.kv_evictions + 1 }
+        | `Failover -> { s with failovers = s.failovers + 1 }
+        | `Hedge -> { s with hedges = s.hedges + 1 }
+        | `Hedge_win -> { s with hedge_wins = s.hedge_wins + 1 }
+        | `Replica_down -> { s with replica_downs = s.replica_downs + 1 }
+        | `Replica_up -> { s with replica_ups = s.replica_ups + 1 })
   | Trace.Fault_injected { Fault.kind; _ } ->
       t.faults.(kind_idx kind) <- t.faults.(kind_idx kind) + 1
   | Trace.Exit _ | Trace.Instr_begin _ | Trace.Instr_end _ | Trace.Bind_shape _
@@ -355,6 +366,12 @@ let report ?(top = 0) t =
       (Printf.sprintf
          "kv sharing: %d prefix hits, %d cow copies, %d evictions\n"
          s.prefix_hits s.cow_copies s.kv_evictions);
+  if s.failovers + s.hedges + s.replica_downs > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "failover: %d migrations, %d hedges (%d wins), %d replica downs, %d \
+          replica ups\n"
+         s.failovers s.hedges s.hedge_wins s.replica_downs s.replica_ups);
   if faults_injected t > 0 then
     Buffer.add_string buf
       (Printf.sprintf "faults: %d injected (%s)\n" (faults_injected t)

@@ -47,6 +47,11 @@ type serve_counts = {
   prefix_hits : int;  (** [`Prefix_hit]: admissions served from the prefix cache *)
   cow_copies : int;  (** [`Cow_copy]: writes into shared blocks that copied *)
   kv_evictions : int;  (** [`Evict]: cached refcount-0 blocks reclaimed *)
+  failovers : int;  (** [`Failover]: requests migrated off a crashed replica *)
+  hedges : int;  (** [`Hedge]: duplicate dispatches to cover stragglers *)
+  hedge_wins : int;  (** [`Hedge_win]: hedge copies that finished first *)
+  replica_downs : int;  (** [`Replica_down]: health transitions to Down *)
+  replica_ups : int;  (** [`Replica_up]: recoveries back to non-Down *)
 }
 (** Counts of {!Trace.Serve} events by tag (all zero unless a serving
     engine fed its events into this profiler). *)

@@ -71,7 +71,12 @@ and serve_tag =
   | `Degrade
   | `Prefix_hit
   | `Cow_copy
-  | `Evict ]
+  | `Evict
+  | `Failover
+  | `Hedge
+  | `Hedge_win
+  | `Replica_down
+  | `Replica_up ]
 
 type sink = event -> unit
 
@@ -89,6 +94,11 @@ let serve_tag_name = function
   | `Prefix_hit -> "prefix_hit"
   | `Cow_copy -> "cow_copy"
   | `Evict -> "evict"
+  | `Failover -> "failover"
+  | `Hedge -> "hedge"
+  | `Hedge_win -> "hedge_win"
+  | `Replica_down -> "replica_down"
+  | `Replica_up -> "replica_up"
 
 let shapes_str shapes =
   shapes |> Array.to_list

@@ -137,7 +137,16 @@ type event =
           [`Cow_copy] (a write into a shared block copy-on-wrote;
           [tokens] = copies made), [`Evict] (cached refcount-0 blocks
           reclaimed under pool pressure; [tokens] = blocks evicted,
-          [id] = -1). Never emitted when sharing is off. *)
+          [id] = -1). Never emitted when sharing is off.
+
+          Cluster failover tags (emitted by [Dist.Cluster], never by a
+          single-replica engine): [`Failover] (request [id] drained
+          from a crashed replica and re-admitted elsewhere; [batch] =
+          destination replica), [`Hedge] (a duplicate of request [id]
+          was dispatched to a healthy replica; [batch] = hedge
+          replica), [`Hedge_win] (the hedge copy finished first),
+          [`Replica_down] / [`Replica_up] (health state machine marked
+          replica [id] Down / back non-Down at [t_us]). *)
   | Fault_injected of Fault.event
       (** A {!Fault} injector fired at this point of the stream. The
           event precedes the consequence it causes (failed launch,
@@ -157,15 +166,21 @@ and serve_tag =
   | `Degrade
   | `Prefix_hit
   | `Cow_copy
-  | `Evict ]
+  | `Evict
+  | `Failover
+  | `Hedge
+  | `Hedge_win
+  | `Replica_down
+  | `Replica_up ]
 
 type sink = event -> unit
 
 val serve_tag_name : serve_tag -> string
 (** Short stable name ("arrive", "prefill", "decode_step", "preempt",
     "finish", "shed", "timeout", "retry", "abort", "degrade",
-    "prefix_hit", "cow_copy", "evict") used by renderings and the
-    profiler report. *)
+    "prefix_hit", "cow_copy", "evict", "failover", "hedge",
+    "hedge_win", "replica_down", "replica_up") used by renderings and
+    the profiler report. *)
 
 val to_string : event -> string
 (** One-line rendering including timing fields. *)

@@ -32,10 +32,18 @@ type summary = {
   prefix_hit_rate : float;
   cow_copies : int;
   kv_bytes_per_token : float;
+  failovers : int;
+  migrations : int;
+  hedges : int;
+  hedge_wins : int;
+  replica_downtime_us : float;
 }
 
+(* Percentiles drop non-finite samples before ranking: a replica that
+   completed zero requests (or a fold that divided 0/0 upstream) must
+   never poison the cluster tail with NaN. Empty after filtering -> 0. *)
 let percentile p xs =
-  match List.sort compare xs with
+  match List.sort compare (List.filter (fun x -> Float.is_finite x) xs) with
   | [] -> 0.0
   | sorted ->
       let n = List.length sorted in
@@ -54,7 +62,8 @@ let met_deadline r =
 
 let summarize ~makespan_us ~occupancy ?submitted ?(shed = 0) ?(timeouts = 0)
     ?(aborted = 0) ?(faults = 0) ?(prefix_hit_rate = 0.0) ?(cow_copies = 0)
-    ?(kv_bytes_per_token = 0.0) rs =
+    ?(kv_bytes_per_token = 0.0) ?(failovers = 0) ?(migrations = 0)
+    ?(hedges = 0) ?(hedge_wins = 0) ?(replica_downtime_us = 0.0) rs =
   let tokens = List.fold_left (fun acc r -> acc + r.tokens) 0 rs in
   let ttft = List.map (fun r -> r.first_token_us -. r.arrival_us) rs in
   let e2e = List.map (fun r -> r.finish_us -. r.arrival_us) rs in
@@ -98,6 +107,11 @@ let summarize ~makespan_us ~occupancy ?submitted ?(shed = 0) ?(timeouts = 0)
     prefix_hit_rate;
     cow_copies;
     kv_bytes_per_token;
+    failovers;
+    migrations;
+    hedges;
+    hedge_wins;
+    replica_downtime_us;
   }
 
 let to_string s =
@@ -148,4 +162,18 @@ let to_string s =
       ]
     else []
   in
-  String.concat "\n" (base @ resilience @ sharing)
+  (* Failover line only when the cluster actually lost or hedged
+     something, so single-replica and fault-free cluster reports are
+     byte-identical to the pre-failover engine. *)
+  let failover =
+    if s.failovers + s.hedges > 0 || s.replica_downtime_us > 0.0 then
+      [
+        Printf.sprintf
+          "failover:    %d requests migrated (%d migrations), %d hedges (%d \
+           wins), %.1f ms replica downtime"
+          s.failovers s.migrations s.hedges s.hedge_wins
+          (ms s.replica_downtime_us);
+      ]
+    else []
+  in
+  String.concat "\n" (base @ resilience @ sharing @ failover)

@@ -58,11 +58,25 @@ type summary = {
           bytes-per-token of one block exactly when nothing is shared;
           sharing pushes it below that. 0 when the engine didn't
           measure it. *)
+  failovers : int;
+      (** distinct requests migrated off a crashed replica at least
+          once (0 outside a faulted cluster run) *)
+  migrations : int;
+      (** total migration events; ≥ [failovers] when a request had to
+          move more than once before completing *)
+  hedges : int;  (** duplicate dispatches issued to cover stragglers *)
+  hedge_wins : int;  (** hedge copies that finished before the primary *)
+  replica_downtime_us : float;
+      (** summed health-model Down time across replicas, clipped to
+          the run *)
 }
 
 val percentile : float -> float list -> float
 (** Nearest-rank percentile, [p] in [0, 100]; 0.0 on the empty list.
-    [p = 0] returns the minimum, [p = 100] the maximum. *)
+    [p = 0] returns the minimum, [p = 100] the maximum. Non-finite
+    samples (NaN/inf from degenerate folds, e.g. a replica that
+    completed nothing) are dropped before ranking, so the result is
+    always finite. *)
 
 val summarize :
   makespan_us:float ->
@@ -75,16 +89,23 @@ val summarize :
   ?prefix_hit_rate:float ->
   ?cow_copies:int ->
   ?kv_bytes_per_token:float ->
+  ?failovers:int ->
+  ?migrations:int ->
+  ?hedges:int ->
+  ?hedge_wins:int ->
+  ?replica_downtime_us:float ->
   request_metrics list ->
   summary
 (** The optional resilience counters default to 0 ([submitted]
     defaults to [completed + shed + aborted]), so fault-free callers
-    get the same summary as the pre-fault engine. The sharing fields
-    likewise default to 0, matching a sharing-off run. *)
+    get the same summary as the pre-fault engine. The sharing and
+    failover fields likewise default to 0, matching a sharing-off /
+    single-replica run. *)
 
 val to_string : summary -> string
 (** Multi-line human-readable report (printed by [--serve]). The
     resilience/goodput lines appear only when something
     resilience-related happened (shed/abort/retry/fault > 0 or
     SLO attainment < 100%); the kv-sharing line only when the prefix
-    cache hit or copy-on-wrote at least once. *)
+    cache hit or copy-on-wrote at least once; the failover line only
+    when a request migrated, a hedge fired, or a replica was Down. *)

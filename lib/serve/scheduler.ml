@@ -19,6 +19,8 @@ type opts = {
   faults : Runtime.Fault.config option;
   kv_share : bool;
   prefix_prefill_discount : bool;
+  slowdowns : (float * float * float) list;
+  outages : (float * float) list;
 }
 
 let default_opts =
@@ -32,6 +34,8 @@ let default_opts =
     faults = None;
     kv_share = false;
     prefix_prefill_discount = false;
+    slowdowns = [];
+    outages = [];
   }
 
 type exec = [ `Sim | `Numeric of int ]
@@ -297,6 +301,7 @@ type result = {
   blocks : Block_manager.t;
   shed : int list;
   aborted : int list;
+  drained : Workload.request list;
 }
 
 (* Effective-batch degradation thresholds: halve after this many
@@ -313,7 +318,7 @@ let recover_after = 8
    admitted with exactly zero slack and mostly miss. *)
 let feasibility_headroom = 1.4
 
-let run ?trace ?(exec = `Sim) m opts workload =
+let run ?trace ?(exec = `Sim) ?stop_at m opts workload =
   if opts.max_batch < 1 then
     Runtime.Fault.errorf Runtime.Fault.Fatal "Scheduler.run: max_batch < 1";
   if opts.retry.max_attempts < 1 then
@@ -495,6 +500,31 @@ let run ?trace ?(exec = `Sim) m opts workload =
     let bucket = bucket_for ~max_batch:opts.max_batch live in
     let ctx' = min (max 1 (round_up ctx opts.block_size)) (mmax - 1) in
     cost_of (decode_entry m bucket) ctx'
+  in
+  (* Replica-level straggler windows (cluster fault plan): every step
+     started inside a window is slowed by its factor. Empty list ->
+     multiplier 1.0, and [dt *. 1.0] is exact, so runs without windows
+     are byte-identical to the pre-failover engine. *)
+  let window_mult t =
+    List.fold_left
+      (fun acc (from_us, until_us, factor) ->
+        if t >= from_us && t < until_us then acc *. factor else acc)
+      1.0 opts.slowdowns
+  in
+  (* Replica crash windows (health-blind cluster baseline): the engine
+     is dead for [from, until) — everything in flight loses its KV and
+     recomputes after the window, new admissions wait. *)
+  let outage_at t =
+    List.find_opt (fun (from_us, until_us) -> t >= from_us && t < until_us)
+      opts.outages
+  in
+  let past_stop () =
+    match stop_at with Some s -> !clock >= s | None -> false
+  in
+  (* Idle jumps never skip past the drain point (in-flight steps may
+     overshoot it by one step's discrete-event granularity). *)
+  let cap_stop t =
+    match stop_at with Some s -> Float.min t s | None -> t
   in
   let prefill_cost n =
     let ctx' = min (max 1 (round_up n opts.block_size)) mmax in
@@ -761,7 +791,10 @@ let run ?trace ?(exec = `Sim) m opts workload =
               max 1 (target - matched)
             else target
           in
-          let dt = prefill_cost charged_target *. stall_mult "prefill" in
+          let dt =
+            prefill_cost charged_target *. stall_mult "prefill"
+            *. window_mult !clock
+          in
           advance_to (!clock +. dt);
           if draw_kernel_fail "prefill" then begin
             (* Transient prefill failure: the time is wasted, the
@@ -910,7 +943,8 @@ let run ?trace ?(exec = `Sim) m opts workload =
       let ctx = List.fold_left (fun acc r -> max acc r.cache_len) 0 live in
       let base_dt = decode_cost ~live:cost_batch ~ctx in
       let mult = stall_mult "decode" in
-      let dt = base_dt *. mult in
+      let wmult = window_mult !clock in
+      let dt = base_dt *. mult *. wmult in
       advance_to (!clock +. dt);
       if draw_kernel_fail "decode" then begin
         (* Whole-step transient failure: the step's time is wasted and
@@ -919,13 +953,13 @@ let run ?trace ?(exec = `Sim) m opts workload =
            occupancy. *)
         decode_time := !decode_time +. dt;
         emit `Retry ~id:(-1) ~t_us:!clock ~batch:nlive ~tokens:0;
-        note_stall (mult > 1.0)
+        note_stall (mult > 1.0 || wmult > 1.0)
       end
       else begin
         busy := !busy +. (float_of_int nlive *. dt);
         decode_time := !decode_time +. dt;
         emit `Decode_step ~id:(-1) ~t_us:!clock ~batch:nlive ~tokens:nlive;
-        note_stall (mult > 1.0);
+        note_stall (mult > 1.0 || wmult > 1.0);
         List.iter
           (fun r ->
             if draw_nan "decode" then begin
@@ -959,11 +993,31 @@ let run ?trace ?(exec = `Sim) m opts workload =
   in
   let rec loop () =
     deliver ();
+    if past_stop () then ()
+    else
+      match outage_at !clock with
+      | Some (_, until_us) ->
+          (* The engine is down: everything in flight loses its KV
+             (recompute-preemption on restart) and the clock jumps to
+             the window's end, where the restarted engine drains the
+             backlog that piled up. *)
+          List.iter
+            (fun (r : rstate) ->
+              Block_manager.release bm ~request_id:r.req.Workload.id;
+              r.preempt_count <- r.preempt_count + 1;
+              emit `Preempt ~id:r.req.Workload.id ~t_us:!clock
+                ~batch:(List.length !running) ~tokens:r.cache_len)
+            !running;
+          waiting := !running @ !waiting;
+          running := [];
+          advance_to until_us;
+          loop ()
+      | None ->
     if !running = [] && !waiting = [] then
       match !arrivals with
       | [] -> ()
       | (r : Workload.request) :: _ ->
-          advance_to (max !clock r.Workload.arrival_us);
+          advance_to (cap_stop (max !clock r.Workload.arrival_us));
           loop ()
     else begin
       let progressed = admit () in
@@ -979,7 +1033,7 @@ let run ?trace ?(exec = `Sim) m opts workload =
         match (!arrivals, opts.policy) with
         | (r : Workload.request) :: _, Static ->
             (* waiting for the cohort to fill *)
-            advance_to (max !clock r.Workload.arrival_us);
+            advance_to (cap_stop (max !clock r.Workload.arrival_us));
             loop ()
         | _ ->
             (* Idle machine, nothing admissible. With faults armed (or
@@ -1004,7 +1058,7 @@ let run ?trace ?(exec = `Sim) m opts workload =
                 if next > !clock && next < Float.infinity then next
                 else !clock +. opts.retry.backoff_us
               in
-              advance_to next;
+              advance_to (cap_stop next);
               loop ()
             end
             else
@@ -1014,6 +1068,24 @@ let run ?trace ?(exec = `Sim) m opts workload =
     end
   in
   loop ();
+  (* Drain surface (cluster failover): everything not yet finished at
+     the stop point — waiting, in flight (KV released: the crashed
+     engine's cache is gone) and not-yet-delivered arrivals — is
+     handed back for re-admission elsewhere. Empty without [stop_at]. *)
+  let drained =
+    if stop_at = None then []
+    else begin
+      List.iter
+        (fun (r : rstate) ->
+          Block_manager.release bm ~request_id:r.req.Workload.id)
+        !running;
+      List.map (fun (r : rstate) -> r.req) (!waiting @ !running) @ !arrivals
+      |> List.sort (fun (a : Workload.request) (b : Workload.request) ->
+             compare
+               (a.Workload.arrival_us, a.Workload.id)
+               (b.Workload.arrival_us, b.Workload.id))
+    end
+  in
   let completed = List.rev !completed in
   let occupancy =
     if !decode_time > 0.0 then
@@ -1054,4 +1126,5 @@ let run ?trace ?(exec = `Sim) m opts workload =
     blocks = bm;
     shed = List.rev !shed_ids;
     aborted = List.rev !aborted_ids;
+    drained;
   }

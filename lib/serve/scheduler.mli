@@ -120,12 +120,28 @@ type opts = {
           tensors), so token streams are unchanged; only the clock —
           and therefore scheduling under load — differs. [false]
           (default): byte-identical to the accounting-only engine. *)
+  slowdowns : (float * float * float) list;
+      (** replica-level straggler windows [(from_us, until_us,
+          factor)]: every prefill/decode step {e started} inside a
+          window is slowed by [factor] (windows compose by
+          multiplication), and slowed steps feed the same
+          batch-degradation streaks injected stalls do. The cluster
+          passes a replica's [Replica_stall] fault windows here. [[]]
+          (default): byte-identical to the pre-failover engine. *)
+  outages : (float * float) list;
+      (** replica crash windows [(from_us, until_us)]: the engine is
+          dead for the span — on entering a window every in-flight
+          request loses its KV (recompute-preemption on restart) and
+          the clock jumps to the window end, where the restarted
+          engine drains the backlog. The health-blind cluster baseline
+          runs crashed replicas this way; the health-aware path drains
+          via [stop_at] instead. [[]] (default): no effect. *)
 }
 
 val default_opts : opts
 (** Continuous, max_batch 8, block_size 16, VRAM-derived budget,
     FCFS admission, {!default_retry}, no faults, no sharing, no
-    prefill discount. *)
+    prefill discount, no slowdown/outage windows. *)
 
 type model
 (** Compiled programs + memoized step costs for one (config,
@@ -171,12 +187,31 @@ type result = {
   aborted : int list;
       (** ids aborted mid-flight (retry budget spent, or KV-infeasible),
           in abort order. Every submitted id lands in exactly one of
-          [completed] / [shed] / [aborted]. *)
+          [completed] / [shed] / [aborted] — except under [stop_at],
+          where unfinished ids land in [drained] instead. *)
+  drained : Workload.request list;
+      (** requests not finished when [stop_at] fired — waiting, in
+          flight (their KV blocks are released: a crashed engine's
+          cache is gone) and undelivered arrivals — sorted by
+          (arrival, id). The cluster failover path re-admits these on
+          surviving replicas with recompute. Always [[]] without
+          [stop_at]. *)
 }
 
 val run :
-  ?trace:Runtime.Trace.sink -> ?exec:exec -> model -> opts -> Workload.t -> result
-(** Serve the workload to completion. [trace] receives the
+  ?trace:Runtime.Trace.sink ->
+  ?exec:exec ->
+  ?stop_at:float ->
+  model ->
+  opts ->
+  Workload.t ->
+  result
+(** Serve the workload to completion — or, with [stop_at t], only
+    until the clock reaches [t] (the moment a crashed replica's
+    engine died): the run stops at the first event boundary at or
+    after [t] (idle jumps never skip past it; an in-flight step may
+    overshoot by its own duration), and everything unfinished is
+    returned in [drained]. [trace] receives the
     {!Runtime.Trace.Serve} event stream ([Request_arrive] / [Prefill]
     / [Decode_step] / [Preempt] / [Finish], plus [Shed] / [Timeout] /
     [Retry] / [Abort] / [Degrade] on the resilience paths, plus

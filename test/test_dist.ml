@@ -342,10 +342,14 @@ let test_cluster_partitions_and_folds () =
   let r = Dist.Cluster.run ~model:(Lazy.force model) opts w in
   let all_ids =
     List.concat_map
-      (fun (rr : Serve.Scheduler.result) ->
-        List.map (fun (m : Serve.Metrics.request_metrics) -> m.Serve.Metrics.id)
-          rr.Serve.Scheduler.completed)
-      (Array.to_list r.Dist.Cluster.replica_results)
+      (fun (rep : Dist.Cluster.replica_report) ->
+        List.concat_map
+          (fun (_, (rr : Serve.Scheduler.result)) ->
+            List.map
+              (fun (m : Serve.Metrics.request_metrics) -> m.Serve.Metrics.id)
+              rr.Serve.Scheduler.completed)
+          rep.Dist.Cluster.eras)
+      (Array.to_list r.Dist.Cluster.replica_reports)
   in
   Alcotest.(check (list int)) "every request completes exactly once"
     (List.init 14 Fun.id)
@@ -356,9 +360,12 @@ let test_cluster_partitions_and_folds () =
     r.Dist.Cluster.summary.Serve.Metrics.submitted;
   let max_clock =
     Array.fold_left
-      (fun acc (rr : Serve.Scheduler.result) ->
-        Float.max acc rr.Serve.Scheduler.clock_us)
-      0.0 r.Dist.Cluster.replica_results
+      (fun acc (rep : Dist.Cluster.replica_report) ->
+        List.fold_left
+          (fun a (_, (rr : Serve.Scheduler.result)) ->
+            Float.max a rr.Serve.Scheduler.clock_us)
+          acc rep.Dist.Cluster.eras)
+      0.0 r.Dist.Cluster.replica_reports
   in
   Alcotest.(check (float 1e-9)) "makespan = slowest replica" max_clock
     r.Dist.Cluster.summary.Serve.Metrics.makespan_us
@@ -439,6 +446,308 @@ let test_prefill_discount () =
     (List.sort compare off_n.Serve.Scheduler.token_streams
     = List.sort compare on_n.Serve.Scheduler.token_streams)
 
+(* ---------- fault tolerance ---------- *)
+
+let crash_w ?(replica = 1) from_us until_us =
+  {
+    Runtime.Fault.replica;
+    rkind = Runtime.Fault.Replica_crash;
+    from_us;
+    until_us;
+    factor = 1.0;
+  }
+
+let stall_w ?(replica = 1) ?(factor = 4.0) from_us until_us =
+  {
+    Runtime.Fault.replica;
+    rkind = Runtime.Fault.Replica_stall;
+    from_us;
+    until_us;
+    factor;
+  }
+
+let merged_ids (r : Dist.Cluster.result) =
+  Array.to_list r.Dist.Cluster.replica_reports
+  |> List.concat_map (fun (rep : Dist.Cluster.replica_report) ->
+         List.concat_map
+           (fun (_, (rr : Serve.Scheduler.result)) ->
+             List.map
+               (fun (m : Serve.Metrics.request_metrics) -> m.Serve.Metrics.id)
+               rr.Serve.Scheduler.completed)
+           rep.Dist.Cluster.eras)
+  |> List.sort compare
+
+let test_health_timeline_golden () =
+  (* Default prober: 10 ms heartbeat, Down after 2 misses, Healthy
+     after 2 good probes, 20 ms half-open backoff doubling. A crash
+     over [25ms, 95ms) is therefore detected at the second failed
+     probe (40ms); half-open trials at 60, 80 (failed, backoff 20 then
+     40) and 120 (succeeds) pin the circuit breaker; promotion lands
+     one heartbeat later. *)
+  let ms v = v *. 1000.0 in
+  let plan = [ crash_w (ms 25.0) (ms 95.0) ] in
+  let tl =
+    Dist.Health.timeline Dist.Health.default_opts ~plan ~replicas:2
+      ~horizon_us:(ms 400.0)
+  in
+  List.iter
+    (fun (tr : Dist.Health.transition) ->
+      Alcotest.(check int) "only the victim transitions" 1
+        tr.Dist.Health.replica)
+    tl;
+  Alcotest.(check (list (pair (float 1e-9) string)))
+    "victim transition golden"
+    [ (ms 40.0, "down"); (ms 120.0, "recovering"); (ms 130.0, "healthy") ]
+    (List.map
+       (fun (tr : Dist.Health.transition) ->
+         (tr.Dist.Health.t_us, Dist.Health.state_name tr.Dist.Health.state))
+       tl);
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "down span = detection to half-open success"
+    [ (ms 40.0, ms 120.0) ]
+    (Dist.Health.down_spans tl ~replica:1 ~horizon_us:(ms 400.0));
+  Alcotest.(check (float 1e-9)) "downtime" (ms 80.0)
+    (Dist.Health.downtime_us tl ~replica:1 ~horizon_us:(ms 400.0));
+  Alcotest.(check string) "state mid-outage" "down"
+    (Dist.Health.state_name
+       (Dist.Health.state_at tl ~replica:1 ~t_us:(ms 70.0)));
+  Alcotest.(check string) "untouched replica stays healthy" "healthy"
+    (Dist.Health.state_name
+       (Dist.Health.state_at tl ~replica:0 ~t_us:(ms 70.0)))
+
+let test_health_stall_degrades () =
+  (* A stall window never opens the circuit: the replica is Degraded
+     (routable, deprioritized) from the first slow probe and promoted
+     back after recover_after good ones. *)
+  let ms v = v *. 1000.0 in
+  let plan = [ stall_w (ms 25.0) (ms 55.0) ] in
+  let tl =
+    Dist.Health.timeline Dist.Health.default_opts ~plan ~replicas:2
+      ~horizon_us:(ms 200.0)
+  in
+  Alcotest.(check (list (pair (float 1e-9) string)))
+    "straggler transition golden"
+    [ (ms 30.0, "degraded"); (ms 70.0, "healthy") ]
+    (List.map
+       (fun (tr : Dist.Health.transition) ->
+         (tr.Dist.Health.t_us, Dist.Health.state_name tr.Dist.Health.state))
+       tl);
+  Alcotest.(check (float 1e-9)) "no downtime" 0.0
+    (Dist.Health.downtime_us tl ~replica:1 ~horizon_us:(ms 200.0))
+
+let test_route_determinism_under_faults () =
+  (* Satellite: routing stays a deterministic pure function of
+     (workload, policy, seed, plan) even as the healthy set changes
+     mid-stream. Replica 1 is Down from 40ms (detection) to 200ms
+     (half-open success): the round-robin scan skips it exactly while
+     it is believed Down and resumes the legacy rotation after. *)
+  let w = List.init 8 (fun i -> req i (float_of_int i *. 30_000.0)) in
+  let opts =
+    { (copts Dist.Cluster.Round_robin) with
+      Dist.Cluster.replica_faults = [ crash_w 25_000.0 200_000.0 ] }
+  in
+  let d = Dist.Cluster.dispatch ~model:(Lazy.force model) opts w in
+  Alcotest.(check (list (pair int int)))
+    "health-aware round-robin golden"
+    [ (0, 0); (1, 1); (2, 2); (3, 0); (4, 2); (5, 2); (6, 0); (7, 1) ]
+    d;
+  Alcotest.(check (list (pair int int)))
+    "byte-identical on re-dispatch" d
+    (Dist.Cluster.dispatch ~model:(Lazy.force model) opts w)
+
+let test_route_affinity_failover_deterministic () =
+  (* The hash home crashes: its sessions fall back to survivors
+     deterministically while it is Down and return home once it is
+     Healthy again. *)
+  let toks = [ 9; 9; 9; 4 ] in
+  let home = Dist.Cluster.fnv1a toks mod 3 in
+  let w = List.init 8 (fun i -> req ~tokens:toks i (float_of_int i *. 30_000.0)) in
+  let opts =
+    { (copts Dist.Cluster.Prefix_affinity) with
+      Dist.Cluster.replica_faults =
+        [ crash_w ~replica:home 25_000.0 200_000.0 ] }
+  in
+  let d = Dist.Cluster.dispatch ~model:(Lazy.force model) opts w in
+  let at i = List.assoc i d in
+  (* Down span is [40ms, 200ms): requests 0 (0ms) and 1 (30ms) still
+     see the home Healthy; 2..6 (60..180ms) must avoid it; 7 (210ms)
+     arrives after half-open success and recover_after promotion. *)
+  List.iter
+    (fun i ->
+      Alcotest.(check int)
+        (Printf.sprintf "request %d at home before detection" i)
+        home (at i))
+    [ 0; 1 ];
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "request %d avoids the down home" i)
+        true
+        (at i <> home && at i >= 0 && at i < 3))
+    [ 2; 3; 4; 5; 6 ];
+  Alcotest.(check int) "back home after recovery" home (at 7);
+  Alcotest.(check (list (pair int int)))
+    "fallback deterministic on re-dispatch" d
+    (Dist.Cluster.dispatch ~model:(Lazy.force model) opts w)
+
+let test_cluster_failover_no_loss () =
+  (* Crash replica 1 from t=0: its whole early assignment drains at
+     detection (20ms) and re-admits on replica 0 with KV recomputed;
+     the replica rejoins at 40ms as a fresh era. Every request still
+     completes exactly once. *)
+  let w = poisson 16 in
+  let opts =
+    { (copts ~replicas:2 Dist.Cluster.Round_robin) with
+      Dist.Cluster.replica_faults = [ crash_w 0.0 40_000.0 ] }
+  in
+  let r = Dist.Cluster.run ~model:(Lazy.force model) opts w in
+  Alcotest.(check (list int)) "every request completes exactly once"
+    (List.init 16 Fun.id) (merged_ids r);
+  let s = r.Dist.Cluster.summary in
+  Alcotest.(check int) "summary.completed" 16 s.Serve.Metrics.completed;
+  Alcotest.(check int) "nothing aborted" 0 s.Serve.Metrics.aborted;
+  Alcotest.(check bool) "some requests failed over" true
+    (s.Serve.Metrics.failovers >= 1);
+  Alcotest.(check int) "migration log matches counter"
+    s.Serve.Metrics.migrations
+    (List.length r.Dist.Cluster.migrations);
+  Alcotest.(check bool) "downtime accounted" true
+    (s.Serve.Metrics.replica_downtime_us > 0.0);
+  Alcotest.(check bool) "victim split into eras" true
+    (List.length r.Dist.Cluster.replica_reports.(1).Dist.Cluster.eras >= 2)
+
+let test_hedged_decode_no_duplicates () =
+  (* Replicas 1 and 2 straggle for the whole run; power-of-two keeps
+     routing to them (Degraded is routable), and each such pick is
+     hedged onto the healthy replica 0. Winners dedup in the fold:
+     nothing completes twice. *)
+  let w = poisson 16 in
+  let opts =
+    { (copts Dist.Cluster.Power_of_two) with
+      Dist.Cluster.hedge = true;
+      Dist.Cluster.replica_faults =
+        [
+          stall_w ~replica:1 0.0 100_000.0; stall_w ~replica:2 0.0 100_000.0;
+        ] }
+  in
+  let r = Dist.Cluster.run ~model:(Lazy.force model) opts w in
+  (* Both copies of a hedged request really run — the raw era results
+     may contain an id twice — but only losing hedge copies may
+     duplicate, and the fold keeps exactly one winner per id. *)
+  Alcotest.(check (list int)) "every id served at least once"
+    (List.init 16 Fun.id)
+    (List.sort_uniq compare (merged_ids r));
+  let dup =
+    let rec go = function
+      | a :: (b :: _ as tl) -> if a = b then a :: go tl else go tl
+      | _ -> []
+    in
+    List.sort_uniq compare (go (merged_ids r))
+  in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (Printf.sprintf "duplicate %d is a hedged request" id)
+        true
+        (List.mem_assoc id r.Dist.Cluster.hedged))
+    dup;
+  let s = r.Dist.Cluster.summary in
+  Alcotest.(check int) "fold keeps one winner per id" 16
+    s.Serve.Metrics.completed;
+  Alcotest.(check bool) "hedges fired" true (s.Serve.Metrics.hedges >= 1);
+  Alcotest.(check int) "hedge log matches counter" s.Serve.Metrics.hedges
+    (List.length r.Dist.Cluster.hedged);
+  Alcotest.(check bool) "wins bounded by hedges" true
+    (s.Serve.Metrics.hedge_wins <= s.Serve.Metrics.hedges)
+
+let test_zero_request_replica_fold () =
+  (* Satellite: a replica that served nothing must not poison the
+     cluster fold with NaN. Both the raw percentile guard and the
+     full fold over an idle replica. *)
+  Alcotest.(check (float 0.0)) "empty percentile" 0.0
+    (Serve.Metrics.percentile 95.0 []);
+  Alcotest.(check (float 0.0)) "non-finite samples dropped" 0.0
+    (Serve.Metrics.percentile 50.0 [ Float.nan; Float.infinity ]);
+  Alcotest.(check (float 0.0)) "finite sample survives the filter" 3.0
+    (Serve.Metrics.percentile 50.0 [ Float.nan; 3.0 ]);
+  let empty = Serve.Metrics.summarize ~makespan_us:0.0 ~occupancy:0.0 [] in
+  let finite (s : Serve.Metrics.summary) =
+    List.for_all Float.is_finite
+      [
+        s.Serve.Metrics.tokens_per_s;
+        s.Serve.Metrics.goodput_tokens_per_s;
+        s.Serve.Metrics.slo_attainment;
+        s.Serve.Metrics.ttft_us.Serve.Metrics.p50;
+        s.Serve.Metrics.ttft_us.Serve.Metrics.p95;
+        s.Serve.Metrics.ttft_us.Serve.Metrics.p99;
+        s.Serve.Metrics.per_token_us.Serve.Metrics.p50;
+        s.Serve.Metrics.per_token_us.Serve.Metrics.p95;
+        s.Serve.Metrics.per_token_us.Serve.Metrics.p99;
+        s.Serve.Metrics.e2e_us.Serve.Metrics.p50;
+        s.Serve.Metrics.e2e_us.Serve.Metrics.p95;
+        s.Serve.Metrics.e2e_us.Serve.Metrics.p99;
+        s.Serve.Metrics.occupancy;
+        s.Serve.Metrics.prefix_hit_rate;
+      ]
+  in
+  Alcotest.(check bool) "empty summary all-finite" true (finite empty);
+  Alcotest.(check (float 0.0)) "empty slo is vacuous" 1.0
+    empty.Serve.Metrics.slo_attainment;
+  (* 2 requests over 3 replicas: at least one replica serves nothing. *)
+  let w = [ req 0 0.0; req 1 100.0 ] in
+  let r =
+    Dist.Cluster.run ~model:(Lazy.force model)
+      (copts Dist.Cluster.Round_robin) w
+  in
+  Alcotest.(check bool) "idle-replica cluster fold all-finite" true
+    (finite r.Dist.Cluster.summary);
+  Alcotest.(check int) "both requests complete" 2
+    r.Dist.Cluster.summary.Serve.Metrics.completed
+
+let print_failover_case (seed, replicas, victim, n, from_ms, dur_ms) =
+  Printf.sprintf "seed=%d replicas=%d victim=%d n=%d crash=[%dms,+%dms)" seed
+    replicas victim n from_ms dur_ms
+
+let gen_failover_case =
+  QCheck.Gen.(
+    let* seed = int_range 0 500 in
+    let* replicas = oneofl [ 2; 3 ] in
+    let* victim = int_range 0 (replicas - 1) in
+    let* n = int_range 8 14 in
+    let* from_ms = int_range 0 20 in
+    let* dur_ms = int_range 5 60 in
+    return (seed, replicas, victim, n, from_ms, dur_ms))
+
+(* Differential: crash-then-recover (detected eras or undetected
+   blips alike) completes exactly the request set the fault-free
+   cluster completes — nothing lost, nothing duplicated — on both the
+   health-aware and the naive path. *)
+let test_failover_differential_qcheck =
+  QCheck.Test.make ~count:6
+    ~name:"failover differential: no request lost or duplicated"
+    (QCheck.make ~print:print_failover_case gen_failover_case)
+    (fun (seed, replicas, victim, n, from_ms, dur_ms) ->
+      let w = poisson ~seed n in
+      let from_us = float_of_int from_ms *. 1000.0 in
+      let plan =
+        [ crash_w ~replica:victim from_us
+            (from_us +. (float_of_int dur_ms *. 1000.0)) ]
+      in
+      let base = copts ~replicas Dist.Cluster.Round_robin in
+      let run o = Dist.Cluster.run ~model:(Lazy.force model) o w in
+      let free = run base in
+      let aware = run { base with Dist.Cluster.replica_faults = plan } in
+      let naive =
+        run
+          { base with
+            Dist.Cluster.replica_faults = plan;
+            Dist.Cluster.health_aware = false }
+      in
+      merged_ids free = List.init n Fun.id
+      && merged_ids aware = merged_ids free
+      && merged_ids naive = merged_ids free
+      && aware.Dist.Cluster.summary.Serve.Metrics.aborted = 0)
+
 let () =
   Alcotest.run "dist"
     [ ( "interconnect",
@@ -475,4 +784,20 @@ let () =
           Alcotest.test_case "two schedulers side by side" `Quick
             test_two_schedulers_side_by_side;
           Alcotest.test_case "prefix prefill discount" `Quick
-            test_prefill_discount ] ) ]
+            test_prefill_discount ] );
+      ( "failover",
+        [ Alcotest.test_case "health timeline golden" `Quick
+            test_health_timeline_golden;
+          Alcotest.test_case "stall degrades, never opens circuit" `Quick
+            test_health_stall_degrades;
+          Alcotest.test_case "routing deterministic under faults" `Quick
+            test_route_determinism_under_faults;
+          Alcotest.test_case "affinity failover deterministic" `Quick
+            test_route_affinity_failover_deterministic;
+          Alcotest.test_case "crash drains and re-admits, no loss" `Quick
+            test_cluster_failover_no_loss;
+          Alcotest.test_case "hedged decode deduplicates" `Quick
+            test_hedged_decode_no_duplicates;
+          Alcotest.test_case "zero-request replica folds finite" `Quick
+            test_zero_request_replica_fold;
+          QCheck_alcotest.to_alcotest test_failover_differential_qcheck ] ) ]

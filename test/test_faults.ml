@@ -239,6 +239,8 @@ let opts ?(max_batch = 2) ?(block_size = 4) ?(policy = Serve.Scheduler.Continuou
     kv_budget_bytes = Option.map (fun b -> b * block_bytes) budget_blocks;
     kv_share = false;
     prefix_prefill_discount = false;
+    slowdowns = [];
+    outages = [];
   }
 
 let workload ?(seed = 7) ?(rate = 50_000.0) ?(n = 6) ?deadline_slack_us () =
