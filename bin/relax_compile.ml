@@ -36,7 +36,7 @@ let usage_error fmt =
         \       [--dump-ir] [--no-fusion] [--no-library] [--no-planning] \
          [--no-capture] [--paged]\n\
         \       [--backend interp|closure|imp] [--trace] [--profile] \
-         [--lint] [--verify-passes] [--json]\n\
+         [--lint] [--verify-passes] [--json] [--fp-budget ULPS]\n\
         \       [--tp N]\n\
         \       [--serve [--rate R] [--requests N] [--policy \
          continuous|static] [--seed N]\n\
@@ -306,7 +306,8 @@ let run_serve cfg (device : Runtime.Device.t) precision ~max_batch ~rate
 
 let run model_name device_name batch ctx quant backend_name dump_ir no_fusion
     no_library no_planning no_capture paged trace profile lint verify_passes
-    json serve rate requests policy seed admission deadline_ms retries faults
+    json fp_budget serve rate requests policy seed admission deadline_ms
+    retries faults
     fault_seed kv_share tp replicas route_name replica_faults hedge
     heartbeat_ms no_failover =
   let cfg =
@@ -373,6 +374,13 @@ let run model_name device_name batch ctx quant backend_name dump_ir no_fusion
     usage_error "--backend cannot be combined with --serve";
   if json && not (lint || verify_passes) then
     usage_error "--json requires --lint or --verify-passes";
+  (match fp_budget with
+  | None -> ()
+  | Some b ->
+      if not (lint || verify_passes) then
+        usage_error "--fp-budget requires --lint or --verify-passes";
+      if (not (Float.is_finite b)) || b <= 0.0 then
+        usage_error "--fp-budget must be a positive ulp count (got %g)" b);
   (* --tp: tensor-parallel step timing, its own path. *)
   (match tp with
   | Some tp ->
@@ -501,6 +509,12 @@ let run model_name device_name batch ctx quant backend_name dump_ir no_fusion
      warnings (unprovable bounds, data-dependent indices) pass. *)
   if lint || verify_passes then begin
     let bounds = options.Relax_passes.Pipeline.upper_bounds in
+    let fp =
+      match fp_budget with
+      | None -> Some Analysis.Fp.default_opts
+      | Some budget_ulps ->
+          Some { Analysis.Fp.default_opts with Analysis.Fp.budget_ulps }
+    in
     let failed = ref false in
     let emit title diags =
       if json then print_endline (Analysis.Diag.render_json diags)
@@ -515,16 +529,16 @@ let run model_name device_name batch ctx quant backend_name dump_ir no_fusion
       emit
         (Printf.sprintf "lint (%s lowered for %s)" cfg.Frontend.Configs.name
            device.Runtime.Device.name)
-        (Relax_passes.Verify.check_module ~bounds lowered);
+        (Relax_passes.Verify.check_module ~bounds ~fp lowered);
     if verify_passes then begin
       let input_diags =
-        Relax_passes.Verify.check_module ~bounds built.Frontend.Llm.mod_
+        Relax_passes.Verify.check_module ~bounds ~fp built.Frontend.Llm.mod_
       in
       (if Analysis.Diag.errors input_diags <> [] then
          emit "verify-passes (errors pre-existing in the input module)"
            (Analysis.Diag.errors input_diags));
       let _, stage_diags =
-        Relax_passes.Pipeline.lower_with_diags ~options ~device
+        Relax_passes.Pipeline.lower_with_diags ~options ~fp ~device
           built.Frontend.Llm.mod_
       in
       emit "verify-passes (diagnostics introduced by pipeline stages)"
@@ -635,10 +649,11 @@ let lint =
     & info [ "lint" ]
         ~doc:
           "Run the static verifier on the lowered module (graph-level \
-           well-formedness, TIR memory safety, parallel-race detection) \
-           instead of timing it. Prints diagnostics and exits 1 if any \
-           has severity error, 0 otherwise. The model's declared shape \
-           bounds (e.g. max context) feed the prover.")
+           well-formedness, TIR memory safety, parallel-race detection, \
+           floating-point round-off certification) instead of timing it. \
+           Prints diagnostics and exits 1 if any has severity error, 0 \
+           otherwise. The model's declared shape bounds (e.g. max \
+           context) feed the prover.")
 
 let verify_passes =
   Arg.(
@@ -656,7 +671,21 @@ let json =
     & info [ "json" ]
         ~doc:
           "With $(b,--lint)/$(b,--verify-passes): print diagnostics as a \
-           JSON array instead of pretty text.")
+           versioned JSON object instead of pretty text (see \
+           Analysis.Diag.render_json for the schema and the exit-code \
+           contract).")
+
+let fp_budget =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "fp-budget" ] ~docv:"ULPS"
+        ~doc:
+          "With $(b,--lint)/$(b,--verify-passes): per-kernel round-off \
+           error budget in ulps of each kernel's coarsest representation \
+           (default $(b,2^24)). A kernel whose proved first-order error \
+           bound exceeds the budget is an error; unprovable bounds only \
+           warn.")
 
 let serve =
   Arg.(
@@ -836,7 +865,8 @@ let cmd =
     Term.(
       const run $ model $ device $ batch $ ctx $ quant $ backend $ dump_ir
       $ no_fusion $ no_library $ no_planning $ no_capture $ paged $ trace
-      $ profile $ lint $ verify_passes $ json $ serve $ rate $ requests
+      $ profile $ lint $ verify_passes $ json $ fp_budget $ serve $ rate
+      $ requests
       $ policy $ seed $ admission $ deadline_ms $ retries $ faults
       $ fault_seed $ kv_share $ tp $ replicas $ route $ replica_faults
       $ hedge $ heartbeat_ms $ no_failover)

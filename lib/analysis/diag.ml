@@ -8,17 +8,18 @@ type t = {
   message : string;
   pass : string option;
   key : string;
+  data : (string * string) list;
 }
 
-let make severity ~code ~func ?(path = []) ?key message =
+let make severity ~code ~func ?(path = []) ?key ?(data = []) message =
   let key = match key with Some k -> k | None -> code ^ "|" ^ message in
-  { severity; code; func; path; message; pass = None; key }
+  { severity; code; func; path; message; pass = None; key; data }
 
-let error ~code ~func ?path ?key message =
-  make Error ~code ~func ?path ?key message
+let error ~code ~func ?path ?key ?data message =
+  make Error ~code ~func ?path ?key ?data message
 
-let warning ~code ~func ?path ?key message =
-  make Warning ~code ~func ?path ?key message
+let warning ~code ~func ?path ?key ?data message =
+  make Warning ~code ~func ?path ?key ?data message
 
 let with_pass t pass = { t with pass = Some pass }
 let is_error t = t.severity = Error
@@ -54,12 +55,14 @@ let to_json t =
   let q s = "\"" ^ json_escape s ^ "\"" in
   Printf.sprintf
     "{\"severity\": %s, \"code\": %s, \"func\": %s, \"path\": [%s], \
-     \"message\": %s, \"pass\": %s}"
+     \"message\": %s, \"pass\": %s, \"data\": {%s}}"
     (q (severity_to_string t.severity))
     (q t.code) (q t.func)
     (String.concat ", " (List.map q t.path))
     (q t.message)
     (match t.pass with Some p -> q p | None -> "null")
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%s: %s" (q k) (q v)) t.data))
 
 let sorted ts =
   List.stable_sort
@@ -71,8 +74,17 @@ let sorted ts =
 
 let render ts = String.concat "\n" (List.map to_string (sorted ts))
 
+(* Version history of the machine-readable rendering:
+   1 — bare JSON array of diagnostic objects (PR 5);
+   2 — object wrapper {schema_version, diagnostics}, diagnostic
+       objects gain a string-valued "data" payload (error-bound
+       provenance for fp-* codes). *)
+let schema_version = 2
+
 let render_json ts =
-  "[" ^ String.concat ",\n " (List.map to_json (sorted ts)) ^ "]"
+  Printf.sprintf "{\"schema_version\": %d,\n \"diagnostics\": [%s]}"
+    schema_version
+    (String.concat ",\n  " (List.map to_json (sorted ts)))
 
 let dedup ts =
   let seen = Hashtbl.create 16 in

@@ -20,6 +20,12 @@ type t = {
       (** stable identity used to diff diagnostics across passes; by
           construction independent of kernel renaming, so fusion
           producing [fused_foo] does not re-count [foo]'s findings *)
+  data : (string * string) list;
+      (** structured machine-readable payload rendered into the JSON
+          ["data"] object (e.g. the fp-* error-bound provenance:
+          bound, budget, output interval); empty for most codes and
+          excluded from {!field-key} so numeric payloads never break
+          cross-pass diffing *)
 }
 
 val make :
@@ -28,15 +34,29 @@ val make :
   func:string ->
   ?path:string list ->
   ?key:string ->
+  ?data:(string * string) list ->
   string ->
   t
-(** [make sev ~code ~func msg]. [key] defaults to [code ^ "|" ^ msg]. *)
+(** [make sev ~code ~func msg]. [key] defaults to [code ^ "|" ^ msg];
+    [data] defaults to empty. *)
 
 val error :
-  code:string -> func:string -> ?path:string list -> ?key:string -> string -> t
+  code:string ->
+  func:string ->
+  ?path:string list ->
+  ?key:string ->
+  ?data:(string * string) list ->
+  string ->
+  t
 
 val warning :
-  code:string -> func:string -> ?path:string list -> ?key:string -> string -> t
+  code:string ->
+  func:string ->
+  ?path:string list ->
+  ?key:string ->
+  ?data:(string * string) list ->
+  string ->
+  t
 
 val with_pass : t -> string -> t
 val is_error : t -> bool
@@ -54,8 +74,21 @@ val render : t list -> string
 (** Pretty rendering of a list, one diagnostic per line, errors
     first. *)
 
+val schema_version : int
+(** Version of the JSON rendering emitted by {!render_json}; bumped
+    whenever the object shape changes. *)
+
 val render_json : t list -> string
-(** JSON array of {!to_json} objects. *)
+(** Versioned JSON object
+    [{"schema_version": n, "diagnostics": [...]}] wrapping the
+    {!to_json} objects, errors first.
+
+    Exit-code contract for drivers consuming this (the single source
+    of truth, mirrored by [bin/relax_compile.ml --json]): exit 0 when
+    no diagnostic has severity [Error] (warnings included in the
+    payload are tolerated), exit 1 when at least one [Error] is
+    present, exit 2 for usage errors — in which case no JSON is
+    emitted at all. *)
 
 val dedup : t list -> t list
 (** Drop diagnostics whose {!field-key} already appeared earlier in

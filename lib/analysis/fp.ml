@@ -1,0 +1,717 @@
+(* First-order round-off certification (FPTaylor-style) over TIR.
+
+   Abstract value = (real interval, absolute error bound, proved?).
+   The interval tracks the range of the exact mathematical value of an
+   expression under the input assumption |input| <= input_mag; the
+   error bound dominates |computed float - exact real| when every
+   operation rounds faithfully within its ulp constant. Reductions are
+   recognized syntactically as self-accumulating stores and collapsed
+   to closed forms scaled by trip counts proved through the shared
+   Prove context, so a sum of n terms costs n * delta_err + n * u *
+   |partial| rather than a fixpoint iteration. *)
+
+module E = Arith.Expr
+module V = Arith.Var
+module SB = Arith.Sym_bounds
+module I = Fp_interval
+module T = Tir.Texpr
+module B = Tir.Buffer
+module S = Tir.Stmt
+module D = Base.Dtype
+module M = Map.Make (Int)
+
+type opts = {
+  budget_ulps : float;
+  input_mag : float;
+  cond_limit : float;
+  max_trip : int;
+}
+
+let default_opts =
+  {
+    budget_ulps = 16777216.0 (* 2^24 *);
+    input_mag = 1.0;
+    cond_limit = 1e4;
+    max_trip = 1 lsl 24;
+  }
+
+let eps_of_dtype = function
+  | D.F16 -> 4.8828125e-4 (* 2^-11 *)
+  | D.F32 -> 5.960464477539063e-8 (* 2^-24 *)
+  | _ -> 0.0
+
+(* Shared ulp table: multiples of [u * |result|] charged per op.
+   Basic arithmetic is correctly rounded (1); transcendentals are
+   assumed faithfully rounded within 2 ulps. *)
+let ulp_of_unop = function
+  | T.Neg | T.Abs | T.Not -> 0.0
+  | T.Sqrt -> 1.0
+  | T.Exp | T.Log | T.Rsqrt | T.Tanh | T.Sigmoid | T.Erf | T.Cos | T.Sin ->
+      2.0
+
+type aval = { iv : I.t; err : float; tight : bool }
+
+let unknown = { iv = I.top; err = infinity; tight = false }
+
+(* err arithmetic must never produce NaN: 0 * inf = 0 here (an exact
+   quantity scaled by an unbounded magnitude stays exact). *)
+let pmul x y = if x = 0.0 || y = 0.0 then 0.0 else x *. y
+let sane e = if Float.is_nan e then infinity else e
+
+let join a b =
+  if a == b then a
+  else
+    {
+      iv = I.hull a.iv b.iv;
+      err = Float.max a.err b.err;
+      tight = a.tight && b.tight;
+    }
+
+type bound = {
+  buffer : B.t;
+  iv : I.t;
+  abs_err : float;
+  ulps : float;
+  eps : float;
+  proved : bool;
+}
+
+type report = { bounds : bound list; diags : Diag.t list }
+
+type st = {
+  opts : opts;
+  u : float;  (** working-precision unit roundoff of this kernel *)
+  func : string;
+  mutable quant_eps : float;
+      (** coarsest quantized representation decoded by the kernel *)
+  mutable diags : Diag.t list;
+}
+
+(* Emitted only on finite evidence: an argument whose interval or
+   error is unbounded is reported once as fp-unbounded at the output
+   instead of as a spurious domain violation at every use. *)
+let domain_warn st path opname (a : aval) =
+  if Float.is_finite a.err && Float.is_finite (I.mag a.iv) then
+    let d =
+      Diag.warning ~code:"fp-domain" ~func:st.func ~path:(List.rev path)
+        ~key:("fp-domain|" ^ opname)
+        (Printf.sprintf
+           "argument of %s may leave its domain (interval %s, error %.3g)"
+           opname (I.to_string a.iv) a.err)
+    in
+    st.diags <- d :: st.diags
+
+let rec texpr_equal a b =
+  match (a, b) with
+  | T.Imm_int x, T.Imm_int y -> x = y
+  | T.Imm_float x, T.Imm_float y -> x = y
+  | T.Idx x, T.Idx y -> E.equal_syntactic x y
+  | T.Load (bx, ix), T.Load (by, iy) ->
+      bx.B.id = by.B.id
+      && List.length ix = List.length iy
+      && List.for_all2 texpr_equal ix iy
+  | T.Binop (o, x, y), T.Binop (o', x', y') ->
+      o = o' && texpr_equal x x' && texpr_equal y y'
+  | T.Unop (o, x), T.Unop (o', x') -> o = o' && texpr_equal x x'
+  | T.Cast (d, x), T.Cast (d', x') -> D.equal d d' && texpr_equal x x'
+  | T.Select (c, x, y), T.Select (c', x', y') ->
+      texpr_equal c c' && texpr_equal x x' && texpr_equal y y'
+  | _ -> false
+
+let rec tvars e acc =
+  match e with
+  | T.Imm_int _ | T.Imm_float _ -> acc
+  | T.Idx e -> V.Set.union (E.free_vars e) acc
+  | T.Load (_, idxs) -> List.fold_left (fun a i -> tvars i a) acc idxs
+  | T.Binop (_, a, b) -> tvars a (tvars b acc)
+  | T.Unop (_, a) | T.Cast (_, a) -> tvars a acc
+  | T.Select (c, a, b) -> tvars c (tvars a (tvars b acc))
+
+let rec has_int_load e =
+  match e with
+  | T.Load (b, _) -> D.is_int b.B.dtype
+  | T.Binop (_, a, b) -> has_int_load a || has_int_load b
+  | T.Unop (_, a) | T.Cast (_, a) -> has_int_load a
+  | T.Select (c, a, b) -> has_int_load c || has_int_load a || has_int_load b
+  | _ -> false
+
+(* Value range of raw integer data: the dtype's representable range.
+   Shift/mask idioms narrow it further below. *)
+let dtype_range = function
+  | D.U8 -> Some (0.0, 255.0)
+  | D.I8 -> Some (-128.0, 127.0)
+  | D.U32 -> Some (0.0, 4294967295.0)
+  | D.I32 -> Some (-2147483648.0, 2147483647.0)
+  | D.I64 -> Some (-9.2233720368547758e18, 9.2233720368547758e18)
+  | D.Bool -> Some (0.0, 1.0)
+  | D.F16 | D.F32 -> None
+
+let const_endpoint = function Some e -> E.as_const e | None -> None
+
+(* Sound (not necessarily minimal) integer upper bound: binary search
+   over the prove_le semi-decision. Every returned value was proved. *)
+let search_hi st ctx ae =
+  if not (Prove.prove_le ctx ae (E.const st.opts.max_trip)) then None
+  else
+    let rec bs lo hi =
+      if lo >= hi then hi
+      else
+        let mid = (lo + hi) / 2 in
+        if Prove.prove_le ctx ae (E.const mid) then bs lo mid
+        else bs (mid + 1) hi
+    in
+    Some (bs 0 st.opts.max_trip)
+
+let int_aval st ctx ae =
+  let sb = Prove.eval ctx ae in
+  match (const_endpoint sb.SB.lo, const_endpoint sb.SB.hi) with
+  | Some l, Some h ->
+      { iv = I.v (float_of_int l) (float_of_int h); err = 0.0; tight = true }
+  | lo_c, hi_c ->
+      let lo =
+        match lo_c with
+        | Some l -> float_of_int l
+        | None -> if Prove.prove_nonneg ctx ae then 0.0 else neg_infinity
+      in
+      let hi =
+        match hi_c with
+        | Some h -> float_of_int h
+        | None -> (
+            match search_hi st ctx ae with
+            | Some h -> float_of_int h
+            | None -> infinity)
+      in
+      { iv = I.v lo hi; err = 0.0; tight = false }
+
+(* Trip-count bounds of a loop extent, evaluated in the enclosing
+   context: (min trips, max trips, exact). *)
+let trip st ctx extent ~nonempty =
+  let a = int_aval st ctx extent in
+  if Float.is_finite (a.iv : I.t).hi then
+    let hi = Float.max 0.0 a.iv.I.hi in
+    let lo =
+      Float.min hi
+        (Float.max (if nonempty then 1.0 else 0.0) (Float.max 0.0 a.iv.I.lo))
+    in
+    Some (lo, hi, a.tight && a.iv.I.lo = a.iv.I.hi)
+  else None
+
+let rec eval st ctx env path (e : T.t) : aval =
+  match e with
+  | T.Imm_float x -> { iv = I.point x; err = 0.0; tight = true }
+  | T.Imm_int n -> { iv = I.point (float_of_int n); err = 0.0; tight = true }
+  | T.Cast (dt, x) when D.is_float dt -> cast_float st ctx env path dt x
+  | T.Cast (_, x) ->
+      (* float/int -> int truncation: hull widened one unit downward *)
+      let r = eval st ctx env path x in
+      { r with iv = I.hull r.iv (I.add r.iv (I.point (-1.0))) }
+  | _ -> (
+      match Lin.to_expr e with
+      | Some ae -> int_aval st ctx ae
+      | None -> eval_float st ctx env path e)
+
+and eval_float st ctx env path e =
+  match e with
+  | T.Load (b, _) ->
+      if D.is_float b.B.dtype then
+        Option.value (M.find_opt b.B.id env) ~default:unknown
+      else (
+        match dtype_range b.B.dtype with
+        | Some (lo, hi) -> { iv = I.v lo hi; err = 0.0; tight = true }
+        | None -> unknown)
+  | T.Binop (op, a, b) -> binop st ctx env path op a b
+  | T.Unop (op, a) -> unop st ctx env path op a
+  | T.Select (_, a, b) ->
+      join (eval st ctx env path a) (eval st ctx env path b)
+  | T.Idx _ | T.Imm_int _ | T.Imm_float _ | T.Cast _ -> unknown
+
+and binop st ctx env path op ea eb =
+  let mask_of = function T.Imm_int m when m >= 0 -> Some m | _ -> None in
+  match op with
+  | T.Bit_and -> (
+      (* nibble extraction: [x land m] lies in [0, m] *)
+      match (mask_of eb, mask_of ea) with
+      | Some m, _ | _, Some m ->
+          { iv = I.v 0.0 (float_of_int m); err = 0.0; tight = true }
+      | None, None -> unknown)
+  | T.Shift_right -> (
+      let ra = eval st ctx env path ea in
+      match eb with
+      | T.Imm_int s
+        when s >= 0 && Float.is_finite (ra.iv : I.t).hi && ra.iv.I.lo >= 0.0
+        ->
+          let d = float_of_int (1 lsl min s 62) in
+          {
+            iv = I.v 0.0 (Float.of_int (int_of_float (ra.iv.I.hi /. d)));
+            err = 0.0;
+            tight = ra.tight;
+          }
+      | _ -> unknown)
+  | T.Bit_or | T.Bit_xor | T.Shift_left | T.Pow | T.Floor_div -> unknown
+  | T.Floor_mod -> (
+      let _ = eval st ctx env path ea in
+      match eb with
+      | T.Imm_float c when c > 0.0 ->
+          { iv = I.v 0.0 c; err = 0.0; tight = false }
+      | T.Imm_int c when c > 0 ->
+          { iv = I.v 0.0 (float_of_int c); err = 0.0; tight = false }
+      | _ -> unknown)
+  | T.Eq | T.Ne | T.Lt | T.Le | T.Gt | T.Ge | T.And | T.Or ->
+      let _ = eval st ctx env path ea and _ = eval st ctx env path eb in
+      { iv = I.v 0.0 1.0; err = 0.0; tight = true }
+  | T.Add | T.Sub | T.Mul | T.Div | T.Min | T.Max ->
+      let ra = eval st ctx env path ea and rb = eval st ctx env path eb in
+      let rnd iv = pmul st.u (I.mag iv) in
+      let mk iv err tight = { iv; err = sane err; tight } in
+      let both = ra.tight && rb.tight in
+      (match op with
+      | T.Add ->
+          let iv = I.add ra.iv rb.iv in
+          mk iv (ra.err +. rb.err +. rnd iv) both
+      | T.Sub ->
+          let iv = I.sub ra.iv rb.iv in
+          mk iv (ra.err +. rb.err +. rnd iv) both
+      | T.Mul when texpr_equal ea eb ->
+          (* x * x: the image is nonnegative (crucial for the
+             sum-of-squares feeding Rsqrt in the norm kernels) *)
+          let iv = I.square ra.iv in
+          mk iv
+            (pmul (2.0 *. I.mag ra.iv) ra.err
+            +. pmul ra.err ra.err +. rnd iv)
+            ra.tight
+      | T.Mul ->
+          let iv = I.mul ra.iv rb.iv in
+          mk iv
+            (pmul (I.mag rb.iv) ra.err
+            +. pmul (I.mag ra.iv) rb.err
+            +. pmul ra.err rb.err +. rnd iv)
+            both
+      | T.Div ->
+          (* the computed divisor ranges over iv_b +- err_b; it must
+             stay away from zero for a first-order bound *)
+          let mb = I.min_abs rb.iv -. rb.err in
+          if I.contains_zero rb.iv || mb <= 0.0 then (
+            domain_warn st path "Div" rb;
+            unknown)
+          else
+            let iv = I.div ra.iv rb.iv in
+            let err =
+              (ra.err /. mb)
+              +. (pmul (I.mag ra.iv) rb.err /. (mb *. mb))
+              +. (pmul ra.err rb.err /. (mb *. mb))
+              +. rnd iv
+            in
+            mk iv err (both && I.mag rb.iv /. mb <= st.opts.cond_limit)
+      | T.Min ->
+          (* exact selection: |min(a~,b~) - min(a,b)| <= max err *)
+          mk (I.min_ ra.iv rb.iv) (Float.max ra.err rb.err) both
+      | T.Max -> mk (I.max_ ra.iv rb.iv) (Float.max ra.err rb.err) both
+      | _ -> unknown)
+
+and unop st ctx env path op ea =
+  let ra = eval st ctx env path ea in
+  let rnd iv = pmul (ulp_of_unop op *. st.u) (I.mag iv) in
+  let mk iv err tight = { iv; err = sane err; tight } in
+  match op with
+  | T.Neg -> { ra with iv = I.neg ra.iv }
+  | T.Abs -> { ra with iv = I.abs_ ra.iv }
+  | T.Not -> { iv = I.v 0.0 1.0; err = 0.0; tight = true }
+  | T.Exp ->
+      let iv = I.exp_ ra.iv in
+      (* Lipschitz bound exp(hi + err) is only first-order-meaningful
+         while the input error stays small *)
+      let perr =
+        if ra.err > 1.0 then infinity
+        else pmul (exp ((ra.iv : I.t).hi +. ra.err)) ra.err
+      in
+      mk iv (perr +. rnd iv) ra.tight
+  | T.Log ->
+      let lo' = (ra.iv : I.t).lo -. ra.err in
+      if lo' <= 0.0 then (
+        domain_warn st path "Log" ra;
+        unknown)
+      else
+        let iv = I.log_ ra.iv in
+        mk iv
+          ((ra.err /. lo') +. rnd (I.hull iv (I.point 1.0)))
+          (ra.tight && I.mag ra.iv /. lo' <= st.opts.cond_limit)
+  | T.Sqrt ->
+      let lo' = (ra.iv : I.t).lo -. ra.err in
+      if lo' < 0.0 then (
+        domain_warn st path "Sqrt" ra;
+        unknown)
+      else
+        let iv = I.sqrt_ ra.iv in
+        (* min of the Lipschitz bound and |sqrt a - sqrt b| <=
+           sqrt |a - b|, which stays finite at a zero endpoint *)
+        let lip =
+          if lo' > 0.0 then ra.err /. (2.0 *. sqrt lo') else infinity
+        in
+        mk iv (Float.min lip (sqrt ra.err) +. rnd iv) ra.tight
+  | T.Rsqrt ->
+      let lo' = (ra.iv : I.t).lo -. ra.err in
+      if lo' <= 0.0 then (
+        domain_warn st path "Rsqrt" ra;
+        unknown)
+      else
+        let iv = I.rsqrt_ ra.iv in
+        mk iv
+          ((0.5 *. ra.err /. (lo' *. sqrt lo')) +. rnd iv)
+          (ra.tight && I.mag ra.iv /. lo' <= st.opts.cond_limit)
+  | T.Tanh ->
+      (* Lipschitz 1, range clamp 2 *)
+      mk (I.tanh_ ra.iv) (Float.min ra.err 2.0 +. rnd (I.point 1.0)) ra.tight
+  | T.Sigmoid ->
+      mk (I.sigmoid_ ra.iv)
+        (Float.min (0.25 *. ra.err) 1.0 +. rnd (I.point 1.0))
+        ra.tight
+  | T.Erf ->
+      (* Lipschitz 2/sqrt(pi); the interpreter's approximation is
+         within 1.5e-7 of erf *)
+      mk (I.erf_ ra.iv)
+        (Float.min (1.1284 *. ra.err) 2.0 +. rnd (I.point 1.0) +. 2e-7)
+        ra.tight
+  | T.Cos | T.Sin ->
+      mk I.trig (Float.min ra.err 2.0 +. rnd (I.point 1.0)) ra.tight
+
+and cast_float st ctx env path dt x =
+  let r = eval st ctx env path x in
+  let quant_bits =
+    (* decode idiom: a small exact integer range extracted from packed
+       integer data is a quantized code; charge half a quantization
+       step (pre-scale) and remember the representation coarseness *)
+    if has_int_load x && r.err = 0.0 then
+      let w = I.width r.iv in
+      if Float.is_finite w && w > 0.0 && w <= 256.0 then
+        Some (max 2 (int_of_float (ceil (log (w +. 1.0) /. log 2.0))))
+      else None
+    else None
+  in
+  match quant_bits with
+  | Some bits ->
+      st.quant_eps <-
+        Float.max st.quant_eps (2.0 ** float_of_int (-(bits + 1)));
+      { iv = r.iv; err = r.err +. 0.5; tight = r.tight }
+  | None ->
+      {
+        iv = r.iv;
+        err = sane (r.err +. pmul (eps_of_dtype dt) (I.mag r.iv));
+        tight = r.tight;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Statement walk: environment maps buffer id -> slot-abstracted aval
+   (one abstract value for every element of the buffer). Stores that
+   read their own cell back through an accumulating operator are
+   recorded as updates and collapsed to closed forms at the first
+   enclosing loop whose variable does not index the store. *)
+
+type upd_kind = Uassign | Usum of aval | Umax of aval | Umin of aval
+
+let find env (b : B.t) = Option.value (M.find_opt b.B.id env) ~default:unknown
+
+let merge_env =
+  M.merge (fun _ a b ->
+      match (a, b) with
+      | Some x, Some y -> Some (join x y)
+      | (Some _ as x), None | None, (Some _ as x) -> x
+      | None, None -> None)
+
+let rec walk st ctx env path (s : S.t) :
+    aval M.t * (B.t * V.Set.t * upd_kind) list =
+  match s with
+  | S.Seq ss ->
+      List.fold_left
+        (fun (env, us) s' ->
+          let env', us' = walk st ctx env path s' in
+          (env', us @ us'))
+        (env, []) ss
+  | S.Alloc (b, body) ->
+      (* workspace storage starts zeroed *)
+      let env =
+        if D.is_float b.B.dtype then
+          M.add b.B.id { iv = I.point 0.0; err = 0.0; tight = true } env
+        else env
+      in
+      walk st ctx env path body
+  | S.Assert _ | S.Evaluate _ -> (env, [])
+  | S.If (_, t, e) ->
+      let env_t, us_t = walk st ctx env ("if" :: path) t in
+      let env_e, us_e =
+        match e with
+        | Some e -> walk st ctx env ("else" :: path) e
+        | None -> (env, [])
+      in
+      (merge_env env_t env_e, us_t @ us_e)
+  | S.Store (b, idxs, v) -> store st ctx env path b idxs v
+  | S.For { var; extent; kind = _; body } ->
+      for_loop st ctx env path var extent body
+
+and store st ctx env path b idxs v =
+  let path' = ("store " ^ b.B.name) :: path in
+  if not (D.is_float b.B.dtype) then (
+    ignore (eval st ctx env path' v);
+    (env, []))
+  else
+    let self = function
+      | T.Load (b', idxs') ->
+          b'.B.id = b.B.id
+          && List.length idxs = List.length idxs'
+          && List.for_all2 texpr_equal idxs idxs'
+      | _ -> false
+    in
+    let rec mentions = function
+      | T.Load (b', idxs') ->
+          b'.B.id = b.B.id || List.exists mentions idxs'
+      | T.Binop (_, x, y) -> mentions x || mentions y
+      | T.Unop (_, x) | T.Cast (_, x) -> mentions x
+      | T.Select (c, x, y) -> mentions c || mentions x || mentions y
+      | T.Imm_int _ | T.Imm_float _ | T.Idx _ -> false
+    in
+    let idx_vars = List.fold_left (fun acc i -> tvars i acc) V.Set.empty idxs in
+    let ev e = eval st ctx env path' e in
+    let upd =
+      match v with
+      | T.Binop (T.Add, l, e) when self l && not (mentions e) ->
+          Some (Usum (ev e))
+      | T.Binop (T.Add, e, l) when self l && not (mentions e) ->
+          Some (Usum (ev e))
+      | T.Binop (T.Sub, l, e) when self l && not (mentions e) ->
+          let d = ev e in
+          Some (Usum { d with iv = I.neg d.iv })
+      | T.Binop (T.Max, l, e) when self l && not (mentions e) ->
+          Some (Umax (ev e))
+      | T.Binop (T.Max, e, l) when self l && not (mentions e) ->
+          Some (Umax (ev e))
+      | T.Binop (T.Min, l, e) when self l && not (mentions e) ->
+          Some (Umin (ev e))
+      | T.Binop (T.Min, e, l) when self l && not (mentions e) ->
+          Some (Umin (ev e))
+      | _ -> None
+    in
+    match upd with
+    | Some (Usum d) ->
+        let base = find env b in
+        let iv = I.add base.iv d.iv in
+        let once =
+          {
+            iv;
+            err = sane (base.err +. d.err +. pmul st.u (I.mag iv));
+            tight = base.tight && d.tight;
+          }
+        in
+        (M.add b.B.id once env, [ (b, idx_vars, Usum d) ])
+    | Some (Umax d) ->
+        let base = find env b in
+        let once =
+          {
+            iv = I.max_ base.iv d.iv;
+            err = Float.max base.err d.err;
+            tight = base.tight && d.tight;
+          }
+        in
+        (M.add b.B.id once env, [ (b, idx_vars, Umax d) ])
+    | Some (Umin d) ->
+        let base = find env b in
+        let once =
+          {
+            iv = I.min_ base.iv d.iv;
+            err = Float.max base.err d.err;
+            tight = base.tight && d.tight;
+          }
+        in
+        (M.add b.B.id once env, [ (b, idx_vars, Umin d) ])
+    | Some Uassign | None ->
+        let r = ev v in
+        (M.add b.B.id r env, [ (b, idx_vars, Uassign) ])
+
+and for_loop st ctx env path var extent body =
+  let ctx', nonempty = Prove.bind_loop ctx var ~extent in
+  let path' = V.name var :: path in
+  let env_out, us = walk st ctx' env path' body in
+  let n = trip st ctx extent ~nonempty in
+  let seen = Hashtbl.create 4 in
+  let apply (envAcc, passed) (b, vars, kind) =
+    let accum = not (V.Set.mem var vars) in
+    let dup = accum && Hashtbl.mem seen b.B.id in
+    if accum then Hashtbl.replace seen b.B.id ();
+    match kind with
+    | _ when dup ->
+        (* two independent reductions into the same cells within one
+           loop: no closed form, give up soundly *)
+        (M.add b.B.id unknown envAcc, (b, vars, Uassign) :: passed)
+    | Usum d when accum -> (
+        let base = find env b in
+        match n with
+        | Some (nlo, nhi, exact) ->
+            let total =
+              let lo =
+                if (d.iv : I.t).lo >= 0.0 then pmul nlo d.iv.I.lo
+                else pmul nhi d.iv.I.lo
+              in
+              let hi =
+                if (d.iv : I.t).hi >= 0.0 then pmul nhi d.iv.I.hi
+                else pmul nlo d.iv.I.hi
+              in
+              I.v lo hi
+            in
+            let iv = I.add base.iv total in
+            (* partial sums stay within mag(base) + n * mag(delta) *)
+            let pmag = I.mag base.iv +. pmul nhi (I.mag d.iv) in
+            let derr = sane (pmul nhi d.err +. pmul nhi (pmul st.u pmag)) in
+            let cell =
+              {
+                iv;
+                err = sane (base.err +. derr);
+                tight = base.tight && d.tight && exact;
+              }
+            in
+            ( M.add b.B.id cell envAcc,
+              (b, vars, Usum { iv = total; err = derr; tight = cell.tight })
+              :: passed )
+        | None ->
+            (M.add b.B.id unknown envAcc, (b, vars, Uassign) :: passed))
+    | Umax d when accum ->
+        let base = find env b in
+        let maxed =
+          {
+            iv = I.max_ base.iv d.iv;
+            err = Float.max base.err d.err;
+            tight = base.tight && d.tight;
+          }
+        in
+        let cell = if nonempty then maxed else join base maxed in
+        (M.add b.B.id cell envAcc, (b, vars, Umax d) :: passed)
+    | Umin d when accum ->
+        let base = find env b in
+        let mined =
+          {
+            iv = I.min_ base.iv d.iv;
+            err = Float.max base.err d.err;
+            tight = base.tight && d.tight;
+          }
+        in
+        let cell = if nonempty then mined else join base mined in
+        (M.add b.B.id cell envAcc, (b, vars, Umin d) :: passed)
+    | _ ->
+        (* per-slot assignment; an empty loop leaves the old value *)
+        let envAcc =
+          if nonempty then envAcc
+          else
+            match M.find_opt b.B.id env with
+            | Some pre -> M.add b.B.id (join pre (find envAcc b)) envAcc
+            | None -> envAcc
+        in
+        (envAcc, (b, vars, Uassign) :: passed)
+  in
+  let envF, passed = List.fold_left apply (env_out, []) us in
+  (envF, List.rev passed)
+
+(* ------------------------------------------------------------------ *)
+
+let working_eps f =
+  List.fold_left
+    (fun acc (b : B.t) ->
+      if D.is_float b.B.dtype then Float.max acc (eps_of_dtype b.dtype)
+      else acc)
+    (eps_of_dtype D.F32) f.Tir.Prim_func.params
+
+let analyze ?(bounds = []) ?(opts = default_opts) ?func
+    (f : Tir.Prim_func.t) : report =
+  let name = Option.value func ~default:f.Tir.Prim_func.name in
+  let st =
+    { opts; u = working_eps f; func = name; quant_eps = 0.0; diags = [] }
+  in
+  let ctx = Prove.create ~bounds f in
+  let seed_in env (b : B.t) =
+    if D.is_float b.B.dtype then
+      M.add b.B.id
+        {
+          iv = I.v (-.opts.input_mag) opts.input_mag;
+          err = pmul (eps_of_dtype b.dtype) opts.input_mag;
+          tight = true;
+        }
+        env
+    else env
+  in
+  let seed_out env (b : B.t) =
+    (* outputs hold arbitrary caller data until written; reading one
+       before writing defeats certification *)
+    if D.is_float b.B.dtype then
+      M.add b.B.id { iv = I.top; err = 0.0; tight = false } env
+    else env
+  in
+  let env0 =
+    List.fold_left seed_out
+      (List.fold_left seed_in M.empty (Tir.Prim_func.inputs f))
+      (Tir.Prim_func.outputs f)
+  in
+  let env, _ = walk st ctx env0 [] f.Tir.Prim_func.body in
+  let bounds_out = ref [] in
+  List.iter
+    (fun (b : B.t) ->
+      if D.is_float b.B.dtype then
+        match M.find_opt b.B.id env with
+        | None -> ()
+        | Some a ->
+            if not (Float.is_finite a.err) then
+              st.diags <-
+                Diag.warning ~code:"fp-unbounded" ~func:name
+                  ~key:("fp-unbounded|" ^ b.B.name)
+                  (Printf.sprintf
+                     "cannot bound round-off error of output %s (unbounded \
+                      value interval or reduction extent)"
+                     b.B.name)
+                :: st.diags
+            else begin
+              let eps =
+                Float.max
+                  (Float.max st.u (eps_of_dtype b.dtype))
+                  st.quant_eps
+              in
+              let m = I.mag a.iv in
+              let ulps =
+                if Float.is_finite m && m > 0.0 then a.err /. (eps *. m)
+                else a.err /. eps
+              in
+              bounds_out :=
+                {
+                  buffer = b;
+                  iv = a.iv;
+                  abs_err = a.err;
+                  ulps;
+                  eps;
+                  proved = a.tight;
+                }
+                :: !bounds_out;
+              if ulps > opts.budget_ulps then
+                let data =
+                  [
+                    ("bound_ulps", Printf.sprintf "%.6g" ulps);
+                    ("budget_ulps", Printf.sprintf "%.6g" opts.budget_ulps);
+                    ("abs_err", Printf.sprintf "%.6g" a.err);
+                    ("interval", I.to_string a.iv);
+                    ("eps", Printf.sprintf "%.6g" eps);
+                    ("input_mag", Printf.sprintf "%.6g" opts.input_mag);
+                  ]
+                in
+                let msg =
+                  Printf.sprintf
+                    "first-order round-off of output %s reaches %.3g ulps \
+                     over interval %s (budget %.3g)"
+                    b.B.name ulps (I.to_string a.iv) opts.budget_ulps
+                in
+                let d =
+                  if a.tight then
+                    Diag.error ~code:"fp-budget" ~func:name
+                      ~key:("fp-budget|" ^ b.B.name) ~data msg
+                  else
+                    Diag.warning ~code:"fp-budget-unproved" ~func:name
+                      ~key:("fp-budget-unproved|" ^ b.B.name) ~data msg
+                in
+                st.diags <- d :: st.diags
+            end)
+    (Tir.Prim_func.outputs f);
+  { bounds = List.rev !bounds_out; diags = Diag.dedup (List.rev st.diags) }
+
+let check ?bounds ?opts ?func f = (analyze ?bounds ?opts ?func f).diags

@@ -1,0 +1,78 @@
+(** First-order floating-point round-off certification for tensor
+    programs (FPTaylor-style, DESIGN.md §15).
+
+    Abstractly interprets a {!Tir.Prim_func} over pairs of a real-value
+    interval ({!Fp_interval}) and an absolute round-off error bound.
+    Every float [Binop]/[Unop] contributes [ulp_op * u * |result|]
+    (one shared per-op ulp table covering [Exp]/[Log]/[Sqrt]/[Rsqrt]/
+    [Tanh]/[Erf]/...), propagated first-order through the operation's
+    Lipschitz constant; reductions recognized as self-accumulating
+    stores collapse to closed forms scaled by loop trip counts bounded
+    through the {!Prove} shape/loop context; quantized loads (f16
+    representation, q4/q3 bit-extraction) contribute their
+    representation error. Each output buffer's bound is normalized to
+    ulps of the coarsest representation feeding the kernel and checked
+    against a per-kernel budget.
+
+    Severity policy mirrors {!Tir_safety}: a budget violation is an
+    [Error] ([fp-budget]) only when the whole derivation is {e proved}
+    — finite intervals, exact constant trip counts, no ill-conditioned
+    division/[Rsqrt]/[Log] (interval spread beyond
+    {!opts.cond_limit}). Anything less certain degrades to a
+    [Warning] ([fp-budget-unproved], [fp-unbounded], [fp-domain]), so
+    symbolic-extent reductions can never hard-fail the lint gate. *)
+
+type opts = {
+  budget_ulps : float;
+      (** per-kernel output error budget, in ulps of the kernel's
+          coarsest representation (default [2^24]) *)
+  input_mag : float;
+      (** input buffers are assumed to hold values in
+          [[-input_mag, input_mag]] (default [1.0]) *)
+  cond_limit : float;
+      (** interval spread ([mag / min_abs]) beyond which a divisor or
+          [Rsqrt]/[Log] argument is considered ill-conditioned and the
+          derivation demoted to Warning-only (default [1e4]) *)
+  max_trip : int;
+      (** largest reduction extent the trip-count search will try to
+          prove (default [2^24]) *)
+}
+
+val default_opts : opts
+
+val eps_of_dtype : Base.Dtype.t -> float
+(** Unit roundoff: [2^-11] for [F16], [2^-24] for [F32], [0] for
+    integer types. *)
+
+val ulp_of_unop : Tir.Texpr.unop -> float
+(** The shared per-op ulp-error table: the assumed faithful-rounding
+    multiple of [u * |result|] charged by one application. *)
+
+type bound = {
+  buffer : Tir.Buffer.t;  (** the output this bound certifies *)
+  iv : Fp_interval.t;  (** real-value interval of the output *)
+  abs_err : float;  (** absolute round-off bound over that interval *)
+  ulps : float;  (** [abs_err / (eps * mag iv)] *)
+  eps : float;  (** normalization unit: coarsest representation *)
+  proved : bool;  (** derivation complete — Error-eligible *)
+}
+
+type report = { bounds : bound list; diags : Diag.t list }
+
+val analyze :
+  ?bounds:(Arith.Var.t * int) list ->
+  ?opts:opts ->
+  ?func:string ->
+  Tir.Prim_func.t ->
+  report
+(** Certify every float output of the kernel. [bounds] are upper
+    bounds for free symbolic shape variables (same convention as
+    {!Tir_safety.check}). *)
+
+val check :
+  ?bounds:(Arith.Var.t * int) list ->
+  ?opts:opts ->
+  ?func:string ->
+  Tir.Prim_func.t ->
+  Diag.t list
+(** Diagnostics only (the [--lint] entry point). *)

@@ -1,0 +1,104 @@
+type t = { lo : float; hi : float }
+
+let top = { lo = neg_infinity; hi = infinity }
+
+(* One-ulp outward widening of finite endpoints. The endpoint
+   computations below are done in double precision with unknown
+   rounding direction; pushing each endpoint one representable value
+   outward restores containment of the exact real result. *)
+let down x = if Float.is_finite x then Float.pred x else x
+let up x = if Float.is_finite x then Float.succ x else x
+
+let v lo hi =
+  if Float.is_nan lo || Float.is_nan hi then top
+  else if lo <= hi then { lo; hi }
+  else { lo = hi; hi = lo }
+
+let point x = if Float.is_nan x then top else { lo = x; hi = x }
+let out lo hi = v (down lo) (up hi)
+let is_finite t = Float.is_finite t.lo && Float.is_finite t.hi
+let contains_zero t = t.lo <= 0.0 && t.hi >= 0.0
+let mag t = Float.max (Float.abs t.lo) (Float.abs t.hi)
+
+let min_abs t =
+  if contains_zero t then 0.0 else Float.min (Float.abs t.lo) (Float.abs t.hi)
+
+let width t = t.hi -. t.lo
+let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+let add a b = out (a.lo +. b.lo) (a.hi +. b.hi)
+let sub a b = out (a.lo -. b.hi) (a.hi -. b.lo)
+
+(* 0 * inf = NaN under IEEE; in interval arithmetic the product of a
+   zero endpoint with anything is 0. *)
+let prod x y = if x = 0.0 || y = 0.0 then 0.0 else x *. y
+
+let mul a b =
+  let p1 = prod a.lo b.lo
+  and p2 = prod a.lo b.hi
+  and p3 = prod a.hi b.lo
+  and p4 = prod a.hi b.hi in
+  out
+    (Float.min (Float.min p1 p2) (Float.min p3 p4))
+    (Float.max (Float.max p1 p2) (Float.max p3 p4))
+
+let div a b =
+  if contains_zero b then top
+  else
+    let q1 = a.lo /. b.lo
+    and q2 = a.lo /. b.hi
+    and q3 = a.hi /. b.lo
+    and q4 = a.hi /. b.hi in
+    if
+      Float.is_nan q1 || Float.is_nan q2 || Float.is_nan q3 || Float.is_nan q4
+    then top
+    else
+      out
+        (Float.min (Float.min q1 q2) (Float.min q3 q4))
+        (Float.max (Float.max q1 q2) (Float.max q3 q4))
+
+let neg a = { lo = -.a.hi; hi = -.a.lo }
+
+let abs_ a =
+  if a.lo >= 0.0 then a
+  else if a.hi <= 0.0 then neg a
+  else { lo = 0.0; hi = mag a }
+
+let min_ a b = { lo = Float.min a.lo b.lo; hi = Float.min a.hi b.hi }
+let max_ a b = { lo = Float.max a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let square a =
+  let m = mag a and n = min_abs a in
+  out (prod n n) (prod m m)
+
+let scale c a =
+  if Float.is_nan c then top
+  else if c >= 0.0 then out (prod c a.lo) (prod c a.hi)
+  else out (prod c a.hi) (prod c a.lo)
+
+(* Monotone functions: evaluate at the endpoints, widen outward. *)
+let exp_ a = out (exp a.lo) (exp a.hi)
+let log_ a = if a.lo <= 0.0 then top else out (log a.lo) (log a.hi)
+
+let sqrt_ a =
+  let lo = Float.max 0.0 a.lo and hi = Float.max 0.0 a.hi in
+  out (sqrt lo) (sqrt hi)
+
+let rsqrt_ a =
+  if a.lo <= 0.0 then top else out (1.0 /. sqrt a.hi) (1.0 /. sqrt a.lo)
+
+let clamp1 t = { lo = Float.max (-1.0) t.lo; hi = Float.min 1.0 t.hi }
+let tanh_ a = clamp1 (out (tanh a.lo) (tanh a.hi))
+
+let sigmoid x = 1.0 /. (1.0 +. exp (-.x))
+
+let sigmoid_ a =
+  let t = out (sigmoid a.lo) (sigmoid a.hi) in
+  { lo = Float.max 0.0 t.lo; hi = Float.min 1.0 t.hi }
+
+(* Tir.Interp.erf is the Abramowitz–Stegun 7.1.26 approximation with
+   |error| <= 1.5e-7; widen by 2e-7 on each side to cover it. *)
+let erf_ a =
+  clamp1 (v (Tir.Interp.erf a.lo -. 2e-7) (Tir.Interp.erf a.hi +. 2e-7))
+
+let trig = { lo = -1.0; hi = 1.0 }
+let to_string t = Printf.sprintf "[%.6g, %.6g]" t.lo t.hi

@@ -1,0 +1,68 @@
+(** Outward-rounded floating-point intervals.
+
+    The value domain for the round-off analysis ({!Fp}): a closed
+    interval [[lo, hi]] of reals with [lo <= hi], endpoints stored as
+    IEEE doubles and widened one ulp outward after every operation so
+    that the interval soundly contains the exact mathematical result
+    regardless of the rounding of the endpoint computation itself.
+    Endpoints may be infinite ([top] = [[-inf, +inf]]); NaN never
+    appears — any operation whose endpoint arithmetic produces NaN
+    (e.g. [inf - inf]) collapses to {!top}. *)
+
+type t = private { lo : float; hi : float }
+
+val v : float -> float -> t
+(** [v lo hi]; swaps misordered endpoints, maps NaN to {!top}. *)
+
+val point : float -> t
+val top : t
+val is_finite : t -> bool
+val contains_zero : t -> bool
+
+val mag : t -> float
+(** [max |lo| |hi|] — the magnitude bound used for [u * mag] rounding
+    terms. Infinite for unbounded intervals. *)
+
+val min_abs : t -> float
+(** Distance of the interval from zero: [0] when it contains zero,
+    else [min |lo| |hi|]. *)
+
+val width : t -> float
+val hull : t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** {!top} when the divisor contains zero. *)
+
+val neg : t -> t
+val abs_ : t -> t
+val min_ : t -> t -> t
+val max_ : t -> t -> t
+
+val square : t -> t
+(** Image of [x * x] for [x] in the interval — never negative, unlike
+    [mul t t] which treats the operands as independent. *)
+
+val scale : float -> t -> t
+(** Multiply both endpoints by a constant (outward-rounded). *)
+
+val exp_ : t -> t
+val log_ : t -> t
+(** Domain [lo > 0]; callers must guard — returns {!top} otherwise. *)
+
+val sqrt_ : t -> t
+(** Negative part of the domain is clamped to 0. *)
+
+val rsqrt_ : t -> t
+(** Domain [lo > 0]; returns {!top} otherwise. *)
+
+val tanh_ : t -> t
+val sigmoid_ : t -> t
+val erf_ : t -> t
+
+val trig : t
+(** [[-1, 1]] — the range bound used for [cos]/[sin]. *)
+
+val to_string : t -> string

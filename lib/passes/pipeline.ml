@@ -79,43 +79,14 @@ let stages ~(options : options) ~(device : Runtime.Device.t) : stage list =
       (options.graph_capture && device.Runtime.Device.supports_graph_capture)
       "graph-capture" Graph_capture.run
 
-let rec take n = function
-  | x :: rest when n > 0 -> x :: take (n - 1) rest
-  | _ -> []
-
-(* Diagnostics introduced by a stage: keys whose occurrence count grew
-   relative to the stage's input. Keys are designed to survive kernel
-   renaming (they carry the diagnostic code, buffer and dimension, not
-   the function name), so fusion re-counting an inherited finding does
-   not re-attribute it. *)
-let fresh_against prev_tally diags =
-  List.concat_map
-    (fun (key, n) ->
-      let before =
-        match List.assoc_opt key prev_tally with Some k -> k | None -> 0
-      in
-      if n > before then
-        take (n - before)
-          (List.filter (fun d -> d.Analysis.Diag.key = key) diags)
-      else [])
-    (Analysis.Diag.tally diags)
-
-let lower_with_diags ?(options = default_options) ~(device : Runtime.Device.t)
-    mod_ =
-  let bounds = options.upper_bounds in
-  let prev = ref (Analysis.Diag.tally (Verify.check_module ~bounds mod_)) in
-  List.fold_left
-    (fun (mod_, acc) stage ->
-      let mod_ = stage.run mod_ in
-      let diags = Verify.check_module ~bounds mod_ in
-      let fresh =
-        List.map
-          (fun d -> Analysis.Diag.with_pass d stage.stage_name)
-          (fresh_against !prev diags)
-      in
-      prev := Analysis.Diag.tally diags;
-      (mod_, acc @ fresh))
-    (mod_, []) (stages ~options ~device)
+(* Per-stage verification and attribution live in Verify.diff_stages
+   so golden tests can run the same diffing over synthetic stages. *)
+let lower_with_diags ?(options = default_options) ?fp
+    ~(device : Runtime.Device.t) mod_ =
+  Verify.diff_stages ~bounds:options.upper_bounds ?fp
+    ~stages:
+      (List.map (fun s -> (s.stage_name, s.run)) (stages ~options ~device))
+    mod_
 
 let lower ?(options = default_options) ?(verify = false)
     ~(device : Runtime.Device.t) mod_ =

@@ -63,6 +63,7 @@ val lower :
 
 val lower_with_diags :
   ?options:options ->
+  ?fp:Analysis.Fp.opts option ->
   device:Runtime.Device.t ->
   Relax_core.Ir_module.t ->
   Relax_core.Ir_module.t * Analysis.Diag.t list
@@ -71,4 +72,6 @@ val lower_with_diags :
     {e introduced} (keys absent from — or counted fewer times in —
     the stage's input), attributed to that stage via
     {!Analysis.Diag.with_pass}. Diagnostics already present in the
-    input module are attributed to no pass and not returned. *)
+    input module are attributed to no pass and not returned. [fp]
+    selects the round-off budget as in {!Verify.check_module}.
+    Implemented on {!Verify.diff_stages}. *)

@@ -1,17 +1,60 @@
-let check_module ?(bounds = []) (mod_ : Relax_core.Ir_module.t) :
-    Analysis.Diag.t list =
+let check_module ?(bounds = []) ?(fp = Some Analysis.Fp.default_opts)
+    (mod_ : Relax_core.Ir_module.t) : Analysis.Diag.t list =
   let wf = Relax_core.Well_formed.check_module mod_ in
   let tir =
     List.concat_map
       (fun (name, tf) ->
         Analysis.Tir_safety.check ~bounds ~func:name tf
-        @ Analysis.Race.check ~bounds ~func:name tf)
+        @ Analysis.Race.check ~bounds ~func:name tf
+        @
+        match fp with
+        | Some opts -> Analysis.Fp.check ~bounds ~opts ~func:name tf
+        | None -> [])
       (Relax_core.Ir_module.tir_funcs mod_)
   in
   wf @ tir
 
-let assert_clean ?bounds mod_ =
-  let diags = check_module ?bounds mod_ in
+let assert_clean ?bounds ?fp mod_ =
+  let diags = check_module ?bounds ?fp mod_ in
   match Analysis.Diag.errors diags with
   | [] -> ()
   | _ -> failwith (Analysis.Diag.render diags)
+
+let rec take n = function
+  | x :: rest when n > 0 -> x :: take (n - 1) rest
+  | _ -> []
+
+(* Diagnostics introduced by a stage: keys whose occurrence count grew
+   relative to the stage's input. Keys are designed to survive kernel
+   renaming (they carry the diagnostic code, buffer and dimension, not
+   the function name), so fusion re-counting an inherited finding does
+   not re-attribute it. *)
+let fresh_against prev_tally diags =
+  List.concat_map
+    (fun (key, n) ->
+      let before =
+        match List.assoc_opt key prev_tally with Some k -> k | None -> 0
+      in
+      if n > before then
+        take (n - before)
+          (List.filter (fun d -> d.Analysis.Diag.key = key) diags)
+      else [])
+    (Analysis.Diag.tally diags)
+
+let diff_stages ?(bounds = []) ?fp
+    ~(stages : (string * (Relax_core.Ir_module.t -> Relax_core.Ir_module.t))
+               list) mod_ =
+  let check m = check_module ~bounds ?fp m in
+  let prev = ref (Analysis.Diag.tally (check mod_)) in
+  List.fold_left
+    (fun (mod_, acc) (stage_name, run) ->
+      let mod_ = run mod_ in
+      let diags = check mod_ in
+      let fresh =
+        List.map
+          (fun d -> Analysis.Diag.with_pass d stage_name)
+          (fresh_against !prev diags)
+      in
+      prev := Analysis.Diag.tally diags;
+      (mod_, acc @ fresh))
+    (mod_, []) stages

@@ -3,20 +3,41 @@
     Runs every analysis over a cross-level module: graph-level
     structural well-formedness ({!Relax_core.Well_formed}) plus, for
     each loop-level tensor program, memory safety
-    ({!Analysis.Tir_safety}) and parallel-race detection
-    ({!Analysis.Race}). Used standalone by the [--lint] driver and
+    ({!Analysis.Tir_safety}), parallel-race detection
+    ({!Analysis.Race}) and floating-point round-off certification
+    ({!Analysis.Fp}). Used standalone by the [--lint] driver and
     between stages by {!Pipeline} when per-pass verification is
     requested. *)
 
 val check_module :
   ?bounds:(Arith.Var.t * int) list ->
+  ?fp:Analysis.Fp.opts option ->
   Relax_core.Ir_module.t ->
   Analysis.Diag.t list
 (** [bounds] are user-annotated upper bounds for symbolic shape
     variables (same convention as {!Pipeline.options.upper_bounds});
-    unannotated variables are only assumed [>= 1]. *)
+    unannotated variables are only assumed [>= 1]. [fp] selects the
+    round-off certification budget ([Some
+    Analysis.Fp.default_opts] when omitted; [None] disables the
+    numeric analysis entirely). *)
 
 val assert_clean :
-  ?bounds:(Arith.Var.t * int) list -> Relax_core.Ir_module.t -> unit
+  ?bounds:(Arith.Var.t * int) list ->
+  ?fp:Analysis.Fp.opts option ->
+  Relax_core.Ir_module.t ->
+  unit
 (** @raise Failure rendering all diagnostics if any has severity
     [Error]. Warnings are tolerated. *)
+
+val diff_stages :
+  ?bounds:(Arith.Var.t * int) list ->
+  ?fp:Analysis.Fp.opts option ->
+  stages:(string * (Relax_core.Ir_module.t -> Relax_core.Ir_module.t)) list ->
+  Relax_core.Ir_module.t ->
+  Relax_core.Ir_module.t * Analysis.Diag.t list
+(** Run the named transformations in order, re-verifying after each
+    and attributing {e fresh} diagnostics (rename-stable keys whose
+    occurrence count grew) to the introducing stage via
+    {!Analysis.Diag.with_pass}. Returns the final module and the
+    attributed diagnostics. This is the engine behind
+    {!Pipeline.lower_with_diags} and the per-pass golden tests. *)

@@ -230,6 +230,51 @@ let softmax_last ~name shape dtype =
   Prim_func.create ~name ~params:[ x; y ]
     (Stmt.Alloc (mx, Stmt.Alloc (sm, body)))
 
+let softmax_last_reassoc ~name ?(bias = 8192.0) shape dtype =
+  (* Deliberately mis-reassociated softmax: the normalizer accumulates
+     [exp (x - mx) + bias] and subtracts [n * bias] afterwards.
+     Algebraically the identity, numerically a catastrophic
+     cancellation — each rounding error is amplified by the biased
+     partial-sum magnitude. Exists as the seeded defect for the
+     round-off certifier's golden tests (Analysis.Fp). *)
+  let outer, last =
+    match List.rev shape with
+    | last :: rev_outer -> (List.rev rev_outer, last)
+    | [] -> invalid_arg "Kernels.softmax_last_reassoc: rank-0 input"
+  in
+  let x = Buffer.create "X" shape dtype in
+  let y = Buffer.create "Y" shape dtype in
+  let mx = Buffer.create ~scope:Buffer.Shared "mx" outer dtype in
+  let sm = Buffer.create ~scope:Buffer.Shared "sm" outer dtype in
+  let r = Arith.Var.fresh "r" in
+  let er = Arith.Expr.var r in
+  let body =
+    Stmt.grid (dims_named "i" outer) (fun o ->
+        let ot = List.map Texpr.idx o in
+        let x_at = Texpr.load x (o @ [ er ]) in
+        let centered = Texpr.(Unop (Exp, x_at -. Load (mx, ot))) in
+        Stmt.seq
+          [ Stmt.Store (mx, ot, Texpr.f neg_infinity);
+            Stmt.for_ r last
+              (Stmt.Store
+                 (mx, ot, Texpr.Binop (Texpr.Max, Texpr.Load (mx, ot), x_at)));
+            Stmt.Store (sm, ot, Texpr.f 0.0);
+            Stmt.for_ r last
+              (Stmt.Store (sm, ot, Texpr.(Load (sm, ot) +. (centered +. f bias))));
+            Stmt.Store
+              ( sm,
+                ot,
+                Texpr.(
+                  Load (sm, ot) -. (Cast (dtype, Texpr.idx last) *. f bias)) );
+            Stmt.for_ r last
+              (Stmt.Store
+                 ( y,
+                   List.map Texpr.idx (o @ [ er ]),
+                   Texpr.(centered /. Load (sm, ot)) )) ])
+  in
+  Prim_func.create ~name ~params:[ x; y ]
+    (Stmt.Alloc (mx, Stmt.Alloc (sm, body)))
+
 let rms_norm ~name shape ~eps dtype =
   let outer, last =
     match List.rev shape with

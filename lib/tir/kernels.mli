@@ -77,6 +77,15 @@ val reduce :
 val softmax_last : name:string -> shape -> Base.Dtype.t -> Prim_func.t
 (** Numerically-stable softmax over the last axis. *)
 
+val softmax_last_reassoc :
+  name:string -> ?bias:float -> shape -> Base.Dtype.t -> Prim_func.t
+(** Same mathematical function as {!softmax_last}, but the normalizer
+    is accumulated as [sum (exp (x - mx) + bias)] with a [- n * bias]
+    correction afterwards — an exact algebraic identity whose rounding
+    error is amplified by the biased partial sums. The seeded
+    reassociation defect for the round-off certifier's golden tests
+    ({!Analysis.Fp}); [bias] defaults to [8192]. *)
+
 val layer_norm :
   name:string ->
   shape ->

@@ -464,6 +464,18 @@ let test_diag_rendering () =
     (contains ~sub:"\"severity\": \"error\"" json);
   Alcotest.(check bool) "json has pass" true
     (contains ~sub:"\"pass\": \"fuse\"" json);
+  Alcotest.(check bool) "json is versioned" true
+    (contains ~sub:"\"schema_version\": 2" json);
+  (* machine-readable payloads ride along under "data" but stay out of
+     the stable key, so per-pass diffing is unaffected by them. *)
+  let p =
+    D.warning ~code:"fp-budget-unproved" ~func:"f"
+      ~data:[ ("bound_ulps", "42") ] "over"
+  in
+  Alcotest.(check bool) "json has data payload" true
+    (contains ~sub:"\"bound_ulps\": \"42\"" (D.render_json [ p ]));
+  let p' = D.warning ~code:"fp-budget-unproved" ~func:"f" "over" in
+  Alcotest.(check string) "data excluded from key" p'.D.key p.D.key;
   (* tally counts per stable key; dedup keeps first occurrences. *)
   let t = D.tally [ d; d; w ] in
   Alcotest.(check int) "tally counts" 2 (List.assoc d.D.key t);

@@ -1,0 +1,351 @@
+(* Round-off certification (Analysis.Fp).
+
+   Three properties anchor the suite: the whole standard-kernel zoo
+   certifies under the default budget (symbolic shapes degrade to
+   Warnings, never Errors); the deliberately reassociated softmax
+   blows the budget with a proved Error that per-pass verification
+   attributes to the stage that introduced it; and measured errors on
+   random inputs never exceed the certified bounds (soundness,
+   checked differentially against the interpreter and across the
+   reassociated/reference kernel pair). *)
+
+open Relax_core
+
+let e = Arith.Expr.const
+let f32 = Base.Dtype.F32
+
+module D = Analysis.Diag
+module Fp = Analysis.Fp
+module K = Tir.Kernels
+module E = Arith.Expr
+module T = Tir.Texpr
+
+let sym name = E.var (Arith.Var.fresh name)
+
+let has_code code diags = List.exists (fun (d : D.t) -> d.D.code = code) diags
+let error_codes diags = List.map (fun (d : D.t) -> d.D.code) (D.errors diags)
+
+let assert_no_errors ~what diags =
+  match D.errors diags with
+  | [] -> ()
+  | errs ->
+      Alcotest.failf "%s: unexpected errors:\n%s" what (D.render errs)
+
+(* The symbolic zoo from test_analysis: reduction extents are free
+   shape variables, so bounds degrade to fp-unbounded /
+   fp-budget-unproved Warnings — but never Errors. *)
+let zoo () : Tir.Prim_func.t list =
+  let n = sym "n" and m = sym "m" and b = sym "b" in
+  [
+    K.unary ~name:"exp" ~op:(fun x -> T.Unop (T.Exp, x)) [ n; e 8 ] f32;
+    K.unary ~name:"relu" ~op:K.relu [ e 4; e 3 ] f32;
+    K.binary ~name:"add" ~op:(fun a c -> T.(a +. c)) [ n; m ] f32;
+    K.broadcast_binary ~name:"badd"
+      ~op:(fun a c -> T.(a +. c))
+      ~lhs:[ b; n; e 8 ] ~rhs:[ e 8 ] f32;
+    K.cast_kernel ~name:"cast" [ n; e 5 ] ~from_:f32 ~to_:Base.Dtype.F16;
+    K.matmul ~name:"bmm" ~batch:[ b ] ~m:n ~k:(e 64) ~n:m f32;
+    K.matmul_weights ~name:"mm" ~m:n ~k:(e 6) ~n:(e 10) f32;
+    K.transpose ~name:"tr" [ n; m; e 4 ] ~perm:[ 2; 0; 1 ] f32;
+    K.reshape ~name:"rs" ~from_:[ n; e 6 ] ~to_:[ n; e 2; e 3 ] f32;
+    K.reduce ~name:"rsum" ~kind:`Sum [ n; m ] f32;
+    K.reduce ~name:"rmax" ~kind:`Max [ e 3; e 7 ] f32;
+    K.reduce ~name:"rmean" ~kind:`Mean [ n; e 7 ] f32;
+    K.softmax_last ~name:"sm" [ b; n ] f32;
+    K.layer_norm ~name:"ln" [ n; e 16 ] ~eps:1e-5 f32;
+    K.rms_norm ~name:"rms" [ n; e 16 ] ~eps:1e-5 f32;
+    K.take_rows ~name:"take" ~rows:n ~width:m ~num_indices:b f32;
+    K.decode_q4 ~name:"q4" ~k:n ~n:(e 64) f32;
+    K.decode_q3 ~name:"q3" ~k:n ~n:(e 64) f32;
+    K.split_k_matmul ~name:"skmm" ~m:(e 8) ~k:(e 32) ~n:(e 4) ~splits:4 f32;
+  ]
+
+(* Constant-shape instances paired with concrete argument shapes, for
+   full certification and the measured-error differential. *)
+let const_zoo () : (Tir.Prim_func.t * int array list) list =
+  [
+    ( K.unary ~name:"exp" ~op:(fun x -> T.Unop (T.Exp, x)) [ e 4; e 8 ] f32,
+      [ [| 4; 8 |]; [| 4; 8 |] ] );
+    ( K.binary ~name:"add" ~op:(fun a c -> T.(a +. c)) [ e 3; e 5 ] f32,
+      [ [| 3; 5 |]; [| 3; 5 |]; [| 3; 5 |] ] );
+    ( K.matmul_weights ~name:"mm" ~m:(e 5) ~k:(e 6) ~n:(e 4) f32,
+      [ [| 5; 6 |]; [| 6; 4 |]; [| 5; 4 |] ] );
+    ( K.reduce ~name:"rsum" ~kind:`Sum [ e 4; e 16 ] f32,
+      [ [| 4; 16 |]; [| 4 |] ] );
+    ( K.reduce ~name:"rmax" ~kind:`Max [ e 3; e 7 ] f32,
+      [ [| 3; 7 |]; [| 3 |] ] );
+    ( K.reduce ~name:"rmean" ~kind:`Mean [ e 4; e 7 ] f32,
+      [ [| 4; 7 |]; [| 4 |] ] );
+    ( K.softmax_last ~name:"sm" [ e 4; e 256 ] f32,
+      [ [| 4; 256 |]; [| 4; 256 |] ] );
+    ( K.rms_norm ~name:"rms" [ e 3; e 8 ] ~eps:1e-5 f32,
+      [ [| 3; 8 |]; [| 8 |]; [| 3; 8 |] ] );
+    ( K.layer_norm ~name:"ln" [ e 3; e 8 ] ~eps:1e-5 f32,
+      [ [| 3; 8 |]; [| 8 |]; [| 8 |]; [| 3; 8 |] ] );
+    ( K.take_rows ~name:"take" ~rows:(e 16) ~width:(e 5) ~num_indices:(e 6)
+        f32,
+      [ [| 16; 5 |]; [| 6 |]; [| 6; 5 |] ] );
+    ( K.decode_q4 ~name:"q4" ~k:(e 4) ~n:(e 16) f32,
+      [ [| 4; 2 |]; [| 4; 1 |]; [| 4; 16 |] ] );
+    ( K.decode_q3 ~name:"q3" ~k:(e 4) ~n:(e 20) f32,
+      [ [| 4; 2 |]; [| 4; 1 |]; [| 4; 20 |] ] );
+    ( K.split_k_matmul ~name:"skmm" ~m:(e 4) ~k:(e 8) ~n:(e 3) ~splits:2 f32,
+      [ [| 4; 8 |]; [| 8; 3 |]; [| 4; 3 |] ] );
+  ]
+
+(* --- certification --------------------------------------------- *)
+
+let test_zoo_certifies () =
+  List.iter
+    (fun (f : Tir.Prim_func.t) ->
+      assert_no_errors ~what:f.Tir.Prim_func.name (Fp.check f))
+    (zoo ())
+
+let test_zoo_auto_scheduled_certifies () =
+  List.iter
+    (fun (f : Tir.Prim_func.t) ->
+      assert_no_errors
+        ~what:(f.Tir.Prim_func.name ^ " (auto-scheduled)")
+        (Fp.check (Tir.Schedule.auto_schedule f)))
+    (zoo ())
+
+(* Under constant shapes every float output gets a finite bound well
+   under the default budget, and the structurally simple kernels are
+   fully proved (Error-eligible derivations). *)
+let test_const_zoo_bounded () =
+  List.iter
+    (fun ((f : Tir.Prim_func.t), _) ->
+      let name = f.Tir.Prim_func.name in
+      let report = Fp.analyze f in
+      assert_no_errors ~what:name report.Fp.diags;
+      if report.Fp.bounds = [] then
+        Alcotest.failf "%s: no certified output bound" name;
+      List.iter
+        (fun (b : Fp.bound) ->
+          if not (Float.is_finite b.Fp.abs_err) then
+            Alcotest.failf "%s/%s: infinite error bound" name
+              b.Fp.buffer.Tir.Buffer.name;
+          (* the budget binds where the derivation is proved; unproved
+             bounds (layer_norm's ill-conditioned rsqrt) may be
+             coarser, and can only warn *)
+          if b.Fp.proved && b.Fp.ulps >= Fp.default_opts.Fp.budget_ulps then
+            Alcotest.failf "%s/%s: %g ulps exceeds the default budget" name
+              b.Fp.buffer.Tir.Buffer.name b.Fp.ulps)
+        report.Fp.bounds;
+      if List.mem name [ "exp"; "add"; "mm"; "rsum"; "rmax"; "sm"; "q4" ]
+      then
+        List.iter
+          (fun (b : Fp.bound) ->
+            if not b.Fp.proved then
+              Alcotest.failf "%s/%s: expected a fully proved derivation" name
+                b.Fp.buffer.Tir.Buffer.name)
+          report.Fp.bounds)
+    (const_zoo ())
+
+(* Symbolic reduction extents can never hard-fail: the sum bound
+   degrades to an fp-unbounded Warning, not an Error. *)
+let test_symbolic_reduction_warns () =
+  let f = K.reduce ~name:"rsum" ~kind:`Sum [ e 4; sym "n" ] f32 in
+  let diags = Fp.check f in
+  Alcotest.(check (list string)) "no errors" [] (error_codes diags);
+  Alcotest.(check bool) "fp-unbounded warning" true
+    (has_code "fp-unbounded" diags)
+
+(* The budget knob: a proved bound over a tiny budget is an Error. *)
+let test_budget_knob () =
+  let f = K.softmax_last ~name:"sm" [ e 4; e 256 ] f32 in
+  let tight = { Fp.default_opts with Fp.budget_ulps = 1.0 } in
+  Alcotest.(check bool) "1-ulp budget violated" true
+    (List.mem "fp-budget" (error_codes (Fp.check ~opts:tight f)));
+  assert_no_errors ~what:"default budget" (Fp.check f)
+
+(* --- the reassociation golden ---------------------------------- *)
+
+let test_reassoc_golden () =
+  let shape = [ e 4; e 256 ] in
+  let ref_ = K.softmax_last ~name:"softmax_ref" shape f32 in
+  let bad = K.softmax_last_reassoc ~name:"softmax_fused" shape f32 in
+  (* reference: clean, proved, comfortably under budget *)
+  let rr = Fp.analyze ref_ in
+  assert_no_errors ~what:"softmax_ref" rr.Fp.diags;
+  List.iter
+    (fun (b : Fp.bound) ->
+      Alcotest.(check bool)
+        (b.Fp.buffer.Tir.Buffer.name ^ " proved") true b.Fp.proved;
+      if b.Fp.ulps >= Fp.default_opts.Fp.budget_ulps then
+        Alcotest.failf "softmax_ref/%s: %g ulps over budget"
+          b.Fp.buffer.Tir.Buffer.name b.Fp.ulps)
+    rr.Fp.bounds;
+  (* reassociated: proved budget violation -> Error *)
+  let rb = Fp.analyze bad in
+  Alcotest.(check (list string))
+    "reassoc blows the budget" [ "fp-budget" ] (error_codes rb.Fp.diags);
+  let y =
+    List.find
+      (fun (b : Fp.bound) -> b.Fp.buffer.Tir.Buffer.name = "Y")
+      rb.Fp.bounds
+  in
+  Alcotest.(check bool) "violation is proved" true y.Fp.proved;
+  Alcotest.(check bool) "over budget" true
+    (y.Fp.ulps > Fp.default_opts.Fp.budget_ulps)
+
+(* Per-pass attribution: a synthetic "fuse" stage swaps the clean
+   softmax for the reassociated one; diff_stages must pin the fresh
+   fp-budget Error on that stage. *)
+let test_reassoc_attributed_to_pass () =
+  let shape = [ e 4; e 256 ] in
+  let mod_ =
+    Ir_module.add_tir Ir_module.empty "sm"
+      (K.softmax_last ~name:"sm" shape f32)
+  in
+  let swap =
+    Ir_module.map_tir (fun name f ->
+        if name = "sm" then K.softmax_last_reassoc ~name:"sm" shape f32
+        else f)
+  in
+  let _mod', diags =
+    Relax_passes.Verify.diff_stages
+      ~stages:[ ("renormalize", Fun.id); ("fuse", swap) ]
+      mod_
+  in
+  match D.errors diags with
+  | [ d ] ->
+      Alcotest.(check string) "code" "fp-budget" d.D.code;
+      Alcotest.(check (option string)) "pass" (Some "fuse") d.D.pass
+  | ds ->
+      Alcotest.failf "expected exactly one attributed error, got:\n%s"
+        (D.render ds)
+
+(* --- JSON payload ---------------------------------------------- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_json_payload () =
+  let diags =
+    Fp.check (K.softmax_last_reassoc ~name:"sm" [ e 4; e 256 ] f32)
+  in
+  let json = D.render_json diags in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) (frag ^ " present") true (contains json frag))
+    [ "\"schema_version\": 2"; "fp-budget"; "\"data\""; "bound_ulps";
+      "budget_ulps"; "interval" ]
+
+(* --- measured error never exceeds the certified bound ---------- *)
+
+let max_float_diff what (a : Base.Ndarray.t) (b : Base.Ndarray.t) =
+  match (a.Base.Ndarray.data, b.Base.Ndarray.data) with
+  | Base.Ndarray.Float_data x, Base.Ndarray.Float_data y ->
+      let m = ref 0.0 in
+      Array.iteri (fun i v -> m := Float.max !m (Float.abs (v -. y.(i)))) x;
+      !m
+  | _ -> Alcotest.failf "%s: expected float outputs" what
+
+let build_args ?(seed = 0) (k : Tir.Prim_func.t) shapes =
+  let n = List.length k.Tir.Prim_func.params in
+  let n_out = k.Tir.Prim_func.num_outputs in
+  List.mapi
+    (fun i ((b : Tir.Buffer.t), shape) ->
+      if i >= n - n_out then Base.Ndarray.create b.Tir.Buffer.dtype shape
+      else
+        Base.Ndarray.random_uniform
+          ~seed:((31 * i) + (7 * seed) + 3)
+          b.Tir.Buffer.dtype shape)
+    (List.combine k.Tir.Prim_func.params shapes)
+
+(* Each float output of each constant-shape kernel: the measured
+   |imp backend - interpreter| on random inputs drawn from the
+   analyzed interval stays within the certified absolute bound. *)
+let measured_within_bound seed =
+  List.iter
+    (fun ((k : Tir.Prim_func.t), shapes) ->
+      let report = Fp.analyze k in
+      let ref_args = build_args ~seed k shapes in
+      Tir.Interp.run k ref_args;
+      let imp_args = build_args ~seed k shapes in
+      Tir.Imp_compile.run ~elide_bounds:false k imp_args;
+      let n = List.length k.Tir.Prim_func.params in
+      let n_out = k.Tir.Prim_func.num_outputs in
+      List.iteri
+        (fun i ((p : Tir.Buffer.t), (r, c)) ->
+          if i >= n - n_out then
+            match
+              List.find_opt
+                (fun (b : Fp.bound) ->
+                  b.Fp.buffer.Tir.Buffer.id = p.Tir.Buffer.id)
+                report.Fp.bounds
+            with
+            | None -> ()
+            | Some b ->
+                let what =
+                  Printf.sprintf "%s/%s (seed %d)" k.Tir.Prim_func.name
+                    p.Tir.Buffer.name seed
+                in
+                let m = max_float_diff what r c in
+                if m > b.Fp.abs_err then
+                  Alcotest.failf "%s: measured %g exceeds certified %g" what
+                    m b.Fp.abs_err)
+        (List.combine k.Tir.Prim_func.params
+           (List.combine ref_args imp_args)))
+    (const_zoo ());
+  true
+
+let prop_measured_within_bound =
+  QCheck.Test.make ~count:20 ~name:"measured error within certified bound"
+    QCheck.small_nat measured_within_bound
+
+(* The reassociated and reference softmax compute the same real
+   function, so by the triangle inequality the measured divergence of
+   the pair is bounded by the sum of their certified bounds. *)
+let measured_reassoc_within_bound seed =
+  let shape = [ e 4; e 256 ] in
+  let shapes = [ [| 4; 256 |]; [| 4; 256 |] ] in
+  let ref_ = K.softmax_last ~name:"softmax_ref" shape f32 in
+  let bad = K.softmax_last_reassoc ~name:"softmax_fused" shape f32 in
+  let bound_of k =
+    match (Fp.analyze k).Fp.bounds with
+    | [ b ] -> b.Fp.abs_err
+    | _ -> Alcotest.failf "expected a single output bound"
+  in
+  let budget = bound_of ref_ +. bound_of bad in
+  let ref_args = build_args ~seed ref_ shapes in
+  Tir.Interp.run ref_ ref_args;
+  let bad_args = build_args ~seed bad shapes in
+  Tir.Interp.run bad bad_args;
+  let m =
+    max_float_diff "softmax pair" (List.nth ref_args 1) (List.nth bad_args 1)
+  in
+  if m > budget then
+    Alcotest.failf "seed %d: measured divergence %g exceeds %g" seed m budget;
+  true
+
+let prop_reassoc_within_bound =
+  QCheck.Test.make ~count:20
+    ~name:"reassociated softmax divergence within summed bounds"
+    QCheck.small_nat measured_reassoc_within_bound
+
+let () =
+  Alcotest.run "fp"
+    [ ( "certification",
+        [ Alcotest.test_case "symbolic zoo certifies" `Quick
+            test_zoo_certifies;
+          Alcotest.test_case "auto-scheduled zoo certifies" `Quick
+            test_zoo_auto_scheduled_certifies;
+          Alcotest.test_case "constant zoo fully bounded" `Quick
+            test_const_zoo_bounded;
+          Alcotest.test_case "symbolic reduction warns" `Quick
+            test_symbolic_reduction_warns;
+          Alcotest.test_case "budget knob" `Quick test_budget_knob ] );
+      ( "golden",
+        [ Alcotest.test_case "reassociated softmax blows budget" `Quick
+            test_reassoc_golden;
+          Alcotest.test_case "blow-up attributed to fusing stage" `Quick
+            test_reassoc_attributed_to_pass;
+          Alcotest.test_case "json payload" `Quick test_json_payload ] );
+      ( "soundness",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_measured_within_bound; prop_reassoc_within_bound ] )
+    ]
